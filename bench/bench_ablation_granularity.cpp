@@ -1,0 +1,80 @@
+// Ablation A (DESIGN.md): precise versus loose elimination.
+//
+// §1's second challenge argues that a *loose* elimination "retains numerous
+// time-consuming calculations, leading to under-optimization."  This bench
+// quantifies it: Frodo with exact element ranges vs Frodo-loose (whole-block
+// granularity: a partially-needed block recomputes everything) vs the
+// DFSynth baseline (no range analysis at all).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "blocks/analysis.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+
+namespace {
+
+long long eliminated(const frodo::model::Model& m, bool loose) {
+  auto flat = frodo::model::flatten(m);
+  auto g = frodo::graph::DataflowGraph::build(flat.value());
+  auto a = frodo::blocks::analyze(g.value());
+  auto r = frodo::range::determine_ranges(a.value());
+  if (loose) {
+    auto l = frodo::range::loosen(a.value(), r.value());
+    return l.eliminated_elements(a.value());
+  }
+  return r.value().eliminated_elements(a.value());
+}
+
+}  // namespace
+
+int main() {
+  const int repetitions = frodo::bench::reps();
+  const frodo::jit::CompilerProfile profile{"gcc-O3", "gcc", {"-O3"}, 4};
+
+  std::printf("Ablation: precise vs loose calculation ranges, and the S5 "
+              "shared-kernel option (%d repetitions, gcc -O3).\n\n",
+              repetitions);
+  std::printf("%-14s %10s %12s %12s %13s %12s %12s\n", "Model", "DFSynth",
+              "Frodo-loose", "Frodo", "Frodo-shared", "elim(loose)",
+              "elim(exact)");
+
+  frodo::codegen::DFSynthGenerator dfsynth;
+  frodo::codegen::FrodoGenerator loose(/*loose=*/true);
+  frodo::codegen::FrodoGenerator exact;
+  frodo::codegen::FrodoGenerator shared(/*loose=*/false,
+                                        /*shared_kernels=*/true);
+
+  for (const auto& bench : frodo::benchmodels::all_models()) {
+    auto model = bench.build();
+    if (!model.is_ok()) return 1;
+    double t[4] = {};
+    int i = 0;
+    const frodo::codegen::Generator* generators[] = {&dfsynth, &loose,
+                                                     &exact, &shared};
+    for (const frodo::codegen::Generator* gen : generators) {
+      std::fprintf(stderr, "  %s / %s ...\n", bench.name.c_str(),
+                   gen->name().c_str());
+      auto seconds =
+          frodo::bench::run_cell(model.value(), *gen, profile, repetitions);
+      if (!seconds.is_ok()) {
+        std::fprintf(stderr, "%s\n", seconds.message().c_str());
+        return 1;
+      }
+      t[i++] = seconds.value();
+    }
+    std::printf("%-14s %9.3fs %11.3fs %11.3fs %12.3fs %12lld %12lld\n",
+                bench.name.c_str(), t[0], t[1], t[2], t[3],
+                eliminated(model.value(), true),
+                eliminated(model.value(), false));
+  }
+
+  std::printf(
+      "\nReading: 'Frodo-loose' only removes fully-dead blocks — the gap to "
+      "'Frodo' is the value of element-precise calculation ranges "
+      "(challenge 2 of the paper).  'Frodo-shared' trades per-range snippet "
+      "instances for one generic range-parameterized kernel (S5), shrinking "
+      "code size at near-equal speed.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace frodo::bench {
+
+int reps() {
+  if (const char* env = std::getenv("FRODO_BENCH_REPS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 10000;  // the paper's repetition count
+}
+
+std::string workdir() {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/frodo_bench";
+  return dir;
+}
+
+Result<double> run_cell(const model::Model& model,
+                        const codegen::Generator& generator,
+                        const jit::CompilerProfile& profile,
+                        int repetitions) {
+  FRODO_ASSIGN_OR_RETURN(codegen::GeneratedCode code,
+                         generator.generate(model));
+  FRODO_ASSIGN_OR_RETURN(jit::CompiledModel compiled,
+                         jit::compile_and_load(code, profile, workdir()));
+  const auto inputs = jit::random_inputs(code, /*seed=*/0xF20D0);
+  return jit::time_steps(compiled, inputs, repetitions);
+}
+
+Result<std::vector<Row>> sweep(const jit::CompilerProfile& profile,
+                               int repetitions) {
+  std::vector<Row> rows;
+  const auto generators = codegen::paper_generators(profile.hcg_simd_width);
+  for (const auto& bench : benchmodels::all_models()) {
+    FRODO_ASSIGN_OR_RETURN(model::Model model, bench.build());
+    Row row;
+    row.model = bench.name;
+    for (const auto& gen : generators) {
+      std::fprintf(stderr, "  [%s] %s / %s ...\n", profile.label.c_str(),
+                   bench.name.c_str(), gen->name().c_str());
+      auto seconds = run_cell(model, *gen, profile, repetitions);
+      if (!seconds.is_ok())
+        return seconds.status().with_context(bench.name + "/" + gen->name());
+      row.seconds[gen->name()] = seconds.value();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+void print_speedup_summary(const std::vector<Row>& rows,
+                           const std::string& profile_label) {
+  for (const char* baseline : {"Simulink", "DFSynth", "HCG"}) {
+    double lo = 1e300;
+    double hi = 0.0;
+    for (const Row& row : rows) {
+      const double ratio =
+          row.seconds.at(baseline) / row.seconds.at("Frodo");
+      lo = std::min(lo, ratio);
+      hi = std::max(hi, ratio);
+    }
+    std::printf(
+        "  [%s] Frodo is %.2fx - %.2fx faster than %s\n",
+        profile_label.c_str(), lo, hi, baseline);
+  }
+}
+
+}  // namespace frodo::bench

@@ -1,0 +1,54 @@
+// Shared machinery for the table/figure-regenerating benchmark binaries.
+//
+// Every binary follows the paper's measurement protocol (§4.1): generate
+// code with each tool, compile it with a real C compiler at -O3, execute the
+// step function repeatedly over fixed random inputs, and report the average
+// total duration.  FRODO_BENCH_REPS overrides the 10,000-rep default (times
+// scale linearly; the shape of the comparison does not change).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "jit/jit.hpp"
+#include "model/model.hpp"
+#include "support/status.hpp"
+
+namespace frodo::bench {
+
+// Repetition count: FRODO_BENCH_REPS env var, default 10000 (the paper's).
+int reps();
+
+// Scratch directory for generated C files and shared objects.
+std::string workdir();
+
+// Generates, compiles and times one (model, generator, profile) cell.
+// Returns total seconds for `repetitions` steps.
+Result<double> run_cell(const model::Model& model,
+                        const codegen::Generator& generator,
+                        const jit::CompilerProfile& profile, int repetitions);
+
+// Results of a full generator sweep over one model.
+struct Row {
+  std::string model;
+  // seconds by generator name ("Simulink", "DFSynth", "HCG", "Frodo").
+  std::map<std::string, double> seconds;
+};
+
+// Runs all paper generators over all Table 1 models under one compiler
+// profile, printing progress to stderr.
+Result<std::vector<Row>> sweep(const jit::CompilerProfile& profile,
+                               int repetitions);
+
+// Formats "0.333s"-style cells.
+std::string fmt_seconds(double s);
+
+// Prints the min-max speedup of Frodo versus each baseline, mirroring the
+// paper's "1.26x - 5.64x faster than Simulink" summaries.
+void print_speedup_summary(const std::vector<Row>& rows,
+                           const std::string& profile_label);
+
+}  // namespace frodo::bench

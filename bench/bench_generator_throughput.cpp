@@ -1,0 +1,87 @@
+// Ablation B (DESIGN.md): generator-phase cost.
+//
+// google-benchmark microbenchmarks of the code-generation pipeline itself —
+// model package parse, dataflow analysis, Algorithm 1 range determination,
+// and full code generation — demonstrating that FRODO's extra analysis is
+// an offline cost measured in microseconds, amortized over every deployment.
+#include <benchmark/benchmark.h>
+
+#include "benchmodels/benchmodels.hpp"
+#include "blocks/analysis.hpp"
+#include "codegen/generator.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+#include "slx/slx.hpp"
+
+namespace {
+
+using frodo::benchmodels::all_models;
+
+frodo::model::Model model_by_name(const std::string& name) {
+  for (const auto& bench : all_models()) {
+    if (bench.name == name) return std::move(bench.build()).value();
+  }
+  std::abort();
+}
+
+const char* kModels[] = {"Back", "AudioProcess", "Maintenance"};
+
+void BM_PackageParse(benchmark::State& state) {
+  const auto m = model_by_name(kModels[state.range(0)]);
+  const std::string bytes = frodo::slx::to_package_bytes(m);
+  for (auto _ : state) {
+    auto parsed = frodo::slx::from_package_bytes(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetLabel(kModels[state.range(0)]);
+}
+BENCHMARK(BM_PackageParse)->DenseRange(0, 2);
+
+void BM_DataflowAnalysis(benchmark::State& state) {
+  const auto m =
+      std::move(frodo::model::flatten(model_by_name(kModels[state.range(0)])))
+          .value();
+  for (auto _ : state) {
+    auto graph = frodo::graph::DataflowGraph::build(m);
+    auto analysis = frodo::blocks::analyze(graph.value());
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetLabel(kModels[state.range(0)]);
+}
+BENCHMARK(BM_DataflowAnalysis)->DenseRange(0, 2);
+
+void BM_RangeDetermination(benchmark::State& state) {
+  const auto m =
+      std::move(frodo::model::flatten(model_by_name(kModels[state.range(0)])))
+          .value();
+  const auto graph = std::move(frodo::graph::DataflowGraph::build(m)).value();
+  const auto analysis = std::move(frodo::blocks::analyze(graph)).value();
+  for (auto _ : state) {
+    auto ranges = frodo::range::determine_ranges(analysis);
+    benchmark::DoNotOptimize(ranges);
+  }
+  state.SetLabel(kModels[state.range(0)]);
+}
+BENCHMARK(BM_RangeDetermination)->DenseRange(0, 2);
+
+void BM_FullGeneration(benchmark::State& state) {
+  const auto m = model_by_name(kModels[state.range(0) % 3]);
+  const bool frodo = state.range(0) < 3;
+  frodo::codegen::FrodoGenerator frodo_gen;
+  frodo::codegen::DFSynthGenerator dfsynth_gen;
+  const frodo::codegen::Generator& gen =
+      frodo ? static_cast<const frodo::codegen::Generator&>(frodo_gen)
+            : dfsynth_gen;
+  for (auto _ : state) {
+    auto code = gen.generate(m);
+    benchmark::DoNotOptimize(code);
+  }
+  state.SetLabel(std::string(kModels[state.range(0) % 3]) + "/" +
+                 (frodo ? "Frodo" : "DFSynth"));
+}
+BENCHMARK(BM_FullGeneration)->DenseRange(0, 5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Regenerates Table 2: code execution duration on the host (x86) across two
+// compiler pipelines, for Simulink (Embedded Coder emulation), DFSynth, HCG
+// and FRODO over the 10 benchmark models.
+//
+// Substitution note (DESIGN.md): the paper's second compiler is Clang 14;
+// when clang is not installed the harness uses gcc -O2 as an independent
+// second optimization pipeline and labels the column accordingly.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using frodo::bench::fmt_seconds;
+  const int repetitions = frodo::bench::reps();
+  const auto profiles = frodo::jit::table2_profiles();
+
+  std::printf(
+      "Table 2: Comparison of the code execution duration on x86 "
+      "(%d repetitions per cell).\n\n",
+      repetitions);
+
+  std::vector<std::vector<frodo::bench::Row>> all_rows;
+  for (const auto& profile : profiles) {
+    auto rows = frodo::bench::sweep(profile, repetitions);
+    if (!rows.is_ok()) {
+      std::fprintf(stderr, "sweep failed: %s\n", rows.message().c_str());
+      return 1;
+    }
+    all_rows.push_back(std::move(rows).value());
+  }
+
+  // Header: two compiler groups of four generator columns.
+  std::printf("%-14s", "Model");
+  for (const auto& profile : profiles) {
+    std::printf(" | %-8s %-8s %-8s %-8s", ("[" + profile.label).c_str(),
+                "DFSynth", "HCG", "Frodo]");
+  }
+  std::printf("\n");
+  std::printf("%-14s", "");
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    std::printf(" | %-8s %-8s %-8s %-8s", "Simulink", "DFSynth", "HCG",
+                "Frodo");
+  }
+  std::printf("\n");
+
+  for (std::size_t row_idx = 0; row_idx < all_rows[0].size(); ++row_idx) {
+    std::printf("%-14s", all_rows[0][row_idx].model.c_str());
+    for (const auto& rows : all_rows) {
+      const auto& row = rows[row_idx];
+      std::printf(" | %-8s %-8s %-8s %-8s",
+                  fmt_seconds(row.seconds.at("Simulink")).c_str(),
+                  fmt_seconds(row.seconds.at("DFSynth")).c_str(),
+                  fmt_seconds(row.seconds.at("HCG")).c_str(),
+                  fmt_seconds(row.seconds.at("Frodo")).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSpeedup summary (paper: GCC 1.26x-5.64x vs Simulink, "
+              "1.32x-5.75x vs DFSynth, 1.22x-2.89x vs HCG):\n");
+  for (std::size_t p = 0; p < profiles.size(); ++p)
+    frodo::bench::print_speedup_summary(all_rows[p], profiles[p].label);
+
+  // Shape check: Frodo must be the fastest generator on every cell.
+  bool frodo_wins = true;
+  for (const auto& rows : all_rows) {
+    for (const auto& row : rows) {
+      const double frodo = row.seconds.at("Frodo");
+      for (const char* other : {"Simulink", "DFSynth", "HCG"}) {
+        if (row.seconds.at(other) < frodo) {
+          std::printf("NOTE: %s beats Frodo on %s\n", other,
+                      row.model.c_str());
+          frodo_wins = false;
+        }
+      }
+    }
+  }
+  std::printf("\nFrodo fastest on every model/compiler cell: %s\n",
+              frodo_wins ? "yes" : "no (see notes above)");
+  return 0;
+}

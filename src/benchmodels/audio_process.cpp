@@ -1,0 +1,113 @@
+// AudioProcess — vehicle audio analysis (Table 1: 51 blocks).
+//
+// A 1024-sample frame is windowed, pre-filtered by a same-convolution
+// (Convolution + Selector, the Figure 1 motif), then analyzed by four
+// band-pass convolution channels that each keep only their quarter of the
+// spectrum-shaped signal — the truncation that lets FRODO shrink the band
+// convolutions to ~27% of their full range.  An envelope/loudness path and
+// scalar summary outputs complete the model.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_audio_process() {
+  using detail::vec;
+  model::Model m("AudioProcess");
+
+  m.add_block("in_audio", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", 1024);
+  m.add_block("hann", "Constant").set_param("Value", vec(detail::hann(1024)));
+  m.add_block("win", "Product");
+  m.add_block("k_pre", "Constant")
+      .set_param("Value", vec(detail::gaussian(33, 5.0)));
+  m.add_block("conv_pre", "Convolution");
+  m.add_block("sel_pre", "Selector")
+      .set_param("Start", 16)
+      .set_param("End", 1039);  // same-convolution: keep the centered 1024
+  m.add_block("pre_gain", "Gain").set_param("Gain", 0.8);
+
+  m.connect("in_audio", 0, "win", 0);
+  m.connect("hann", 0, "win", 1);
+  m.connect("win", 0, "conv_pre", 0);
+  m.connect("k_pre", 0, "conv_pre", 1);
+  m.connect("conv_pre", 0, "sel_pre", 0);
+  m.connect("sel_pre", 0, "pre_gain", 0);
+
+  // Four analysis bands; band b keeps only its quarter of the convolved
+  // signal, so its Convolution is optimizable.
+  int out_port = 1;
+  for (int b = 0; b < 4; ++b) {
+    const std::string s = std::to_string(b + 1);
+    m.add_block("k_band" + s, "Constant")
+        .set_param("Value",
+                   vec(detail::modulated_gaussian(33, 6.0, 0.05 + 0.1 * b)));
+    m.add_block("conv_band" + s, "Convolution");
+    m.add_block("sel_band" + s, "Selector")
+        .set_param("Start", b * 256 + 16)
+        .set_param("End", b * 256 + 271);
+    m.add_block("abs_band" + s, "Math").set_param("Function", "abs");
+    m.add_block("ma_band" + s, "MovingAverage").set_param("Window", 8);
+    m.add_block("mean_band" + s, "Mean");
+    m.add_block("out_band" + s, "Outport").set_param("Port", out_port++);
+
+    m.connect("pre_gain", 0, "conv_band" + s, 0);
+    m.connect("k_band" + s, 0, "conv_band" + s, 1);
+    m.connect("conv_band" + s, 0, "sel_band" + s, 0);
+    m.connect("sel_band" + s, 0, "abs_band" + s, 0);
+    m.connect("abs_band" + s, 0, "ma_band" + s, 0);
+    m.connect("ma_band" + s, 0, "mean_band" + s, 0);
+    m.connect("mean_band" + s, 0, "out_band" + s, 0);
+  }
+
+  // Loudness envelope path.
+  m.add_block("loud_fir", "FIR")
+      .set_param("Coefficients", vec(detail::gaussian(16, 3.0)));
+  m.add_block("env_abs", "Math").set_param("Function", "abs");
+  m.add_block("env_ma", "MovingAverage").set_param("Window", 16);
+  m.add_block("env_ds", "Downsample").set_param("Factor", 8);
+  m.add_block("out_env", "Outport").set_param("Port", out_port++);
+  m.connect("pre_gain", 0, "loud_fir", 0);
+  m.connect("loud_fir", 0, "env_abs", 0);
+  m.connect("env_abs", 0, "env_ma", 0);
+  m.connect("env_ma", 0, "env_ds", 0);
+  m.connect("env_ds", 0, "out_env", 0);
+
+  // Scalar summaries over the band means.
+  m.add_block("peak", "MinMax")
+      .set_param("Function", "max")
+      .set_param("Inputs", 4);
+  m.add_block("out_peak", "Outport").set_param("Port", out_port++);
+  for (int b = 0; b < 4; ++b)
+    m.connect("mean_band" + std::to_string(b + 1), 0, "peak", b);
+  m.connect("peak", 0, "out_peak", 0);
+
+  m.add_block("rms_sq", "Power").set_param("Exponent", 2);
+  m.add_block("rms_mean", "Mean");
+  m.add_block("rms_sqrt", "Math").set_param("Function", "sqrt");
+  m.add_block("out_rms", "Outport").set_param("Port", out_port++);
+  m.connect("env_ds", 0, "rms_sq", 0);
+  m.connect("rms_sq", 0, "rms_mean", 0);
+  m.connect("rms_mean", 0, "rms_sqrt", 0);
+  m.connect("rms_sqrt", 0, "out_rms", 0);
+
+  m.add_block("balance", "Sum").set_param("Inputs", "+-");
+  m.add_block("balance_gain", "Gain").set_param("Gain", 0.5);
+  m.add_block("out_balance", "Outport").set_param("Port", out_port++);
+  m.connect("mean_band1", 0, "balance", 0);
+  m.connect("mean_band4", 0, "balance", 1);
+  m.connect("balance", 0, "balance_gain", 0);
+  m.connect("balance_gain", 0, "out_balance", 0);
+
+  m.add_block("energy", "Sum").set_param("Inputs", "++++");
+  m.add_block("out_energy", "Outport").set_param("Port", out_port++);
+  for (int b = 0; b < 4; ++b)
+    m.connect("mean_band" + std::to_string(b + 1), 0, "energy", b);
+  m.connect("energy", 0, "out_energy", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

@@ -1,0 +1,88 @@
+// Back — backpropagation in a CNN model (Table 1: 24 blocks).
+//
+// The backward pass of a 1-D convolution layer with tanh activation:
+//   dz = dL/dy * tanh'(z);  dx = conv(dz, flip(kernel));  dw = corr(x, dz).
+// The weight-gradient correlation is a full 512x512 convolution of which a
+// Selector keeps just the 64 kernel taps — ~8.5x of its work is redundant,
+// the elimination that makes Back one of FRODO's strong models.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_back() {
+  using detail::vec;
+  model::Model m("Back");
+
+  m.add_block("in_grad", "Inport").set_param("Port", 1).set_param("Dims",
+                                                                  512);
+  m.add_block("in_act", "Inport").set_param("Port", 2).set_param("Dims", 512);
+
+  // tanh'(z) = 1 - tanh(z)^2, applied to the gradient.
+  m.add_block("tanh_act", "Math").set_param("Function", "tanh");
+  m.add_block("tanh_sq", "Product");
+  m.add_block("one", "Constant").set_param("Value", 1.0);
+  m.add_block("dact", "Sum").set_param("Inputs", "+-");
+  m.add_block("dz", "Product");
+  m.connect("in_act", 0, "tanh_act", 0);
+  m.connect("tanh_act", 0, "tanh_sq", 0);
+  m.connect("tanh_act", 0, "tanh_sq", 1);
+  m.connect("one", 0, "dact", 0);
+  m.connect("tanh_sq", 0, "dact", 1);
+  m.connect("in_grad", 0, "dz", 0);
+  m.connect("dact", 0, "dz", 1);
+
+  // Input gradient: same-convolution with the flipped kernel.
+  m.add_block("k_flip", "Constant")
+      .set_param("Value", vec(detail::modulated_gaussian(64, 12.0, 0.08)));
+  m.add_block("conv_dx", "Convolution");  // [575]
+  m.add_block("sel_dx", "Selector").set_param("Start", 63).set_param("End",
+                                                                     574);
+  m.add_block("dx_gain", "Gain").set_param("Gain", 1.0);
+  m.add_block("out_dx", "Outport").set_param("Port", 1);
+  m.connect("dz", 0, "conv_dx", 0);
+  m.connect("k_flip", 0, "conv_dx", 1);
+  m.connect("conv_dx", 0, "sel_dx", 0);
+  m.connect("sel_dx", 0, "dx_gain", 0);
+  m.connect("dx_gain", 0, "out_dx", 0);
+
+  // Weight gradient: correlation of activations with dz, truncated to the
+  // 64 kernel taps.
+  m.add_block("conv_dw", "Convolution");  // [1023]
+  m.add_block("sel_dw", "Selector").set_param("Start", 448).set_param("End",
+                                                                      511);
+  m.add_block("lr", "Gain").set_param("Gain", -0.01);
+  m.add_block("clip", "Saturation")
+      .set_param("LowerLimit", -1.0)
+      .set_param("UpperLimit", 1.0);
+  m.add_block("out_dw", "Outport").set_param("Port", 2);
+  m.connect("in_act", 0, "conv_dw", 0);
+  m.connect("dz", 0, "conv_dw", 1);
+  m.connect("conv_dw", 0, "sel_dw", 0);
+  m.connect("sel_dw", 0, "lr", 0);
+  m.connect("lr", 0, "clip", 0);
+  m.connect("clip", 0, "out_dw", 0);
+
+  // Bias gradient.
+  m.add_block("bias_mean", "Mean");
+  m.add_block("bias_gain", "Gain").set_param("Gain", -0.01 * 512.0);
+  m.add_block("out_db", "Outport").set_param("Port", 3);
+  m.connect("dz", 0, "bias_mean", 0);
+  m.connect("bias_mean", 0, "bias_gain", 0);
+  m.connect("bias_gain", 0, "out_db", 0);
+
+  // Gradient norm (for clipping diagnostics).
+  m.add_block("gn_sq", "Power").set_param("Exponent", 2);
+  m.add_block("gn_mean", "Mean");
+  m.add_block("gn_sqrt", "Math").set_param("Function", "sqrt");
+  m.add_block("out_gnorm", "Outport").set_param("Port", 4);
+  m.connect("dz", 0, "gn_sq", 0);
+  m.connect("gn_sq", 0, "gn_mean", 0);
+  m.connect("gn_mean", 0, "gn_sqrt", 0);
+  m.connect("gn_sqrt", 0, "out_gnorm", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

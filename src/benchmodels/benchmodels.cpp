@@ -1,0 +1,23 @@
+#include "benchmodels/benchmodels.hpp"
+
+namespace frodo::benchmodels {
+
+const std::vector<BenchmarkModel>& all_models() {
+  static const std::vector<BenchmarkModel> models = {
+      {"AudioProcess", "Vehicle audio analysis", 51, build_audio_process},
+      {"Decryption", "Decryption protocol", 39, build_decryption},
+      {"HighPass", "HighPass filter model", 49, build_highpass},
+      {"HT", "Hermitian transpose matrix calculation", 26, build_ht},
+      {"Kalman", "Automotive temperature control module", 46, build_kalman},
+      {"Back", "Backpropagation in the CNN model", 24, build_back},
+      {"Maintenance", "Industry equipment preservation model", 165,
+       build_maintenance},
+      {"Maunfacture", "Product quality assessment model", 29,
+       build_manufacture},
+      {"RunningDiff", "Differential amplifier", 106, build_running_diff},
+      {"Simpson", "Numerical integration model", 30, build_simpson},
+  };
+  return models;
+}
+
+}  // namespace frodo::benchmodels

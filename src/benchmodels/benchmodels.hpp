@@ -1,0 +1,41 @@
+// The 10 data-intensive benchmark models of Table 1.
+//
+// The paper's models are proprietary industrial Simulink models; these are
+// synthetic recreations built from each model's stated functionality and
+// block count (DESIGN.md §3).  Every builder returns a hierarchical model
+// whose deep block count matches Table 1 exactly (asserted in tests), with
+// the structural property that drives the paper's evaluation: heavy compute
+// blocks feeding data-truncation blocks.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "support/status.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_audio_process();
+Result<model::Model> build_decryption();
+Result<model::Model> build_highpass();
+Result<model::Model> build_ht();
+Result<model::Model> build_kalman();
+Result<model::Model> build_back();
+Result<model::Model> build_maintenance();
+Result<model::Model> build_manufacture();
+Result<model::Model> build_running_diff();
+Result<model::Model> build_simpson();
+
+struct BenchmarkModel {
+  std::string name;
+  std::string functionality;  // Table 1's description
+  int paper_blocks = 0;       // Table 1's #Block
+  std::function<Result<model::Model>()> build;
+};
+
+// Table 1, in row order.
+const std::vector<BenchmarkModel>& all_models();
+
+}  // namespace frodo::benchmodels

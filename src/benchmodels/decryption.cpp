@@ -1,0 +1,74 @@
+// Decryption — decryption protocol (Table 1: 39 blocks).
+//
+// A 1024-word cipher block passes through four round subsystems (exercising
+// subsystem flattening): each round mixes in a round key, substitutes
+// through an S-box lookup table and rotates by 16 via two Selectors and a
+// Concatenate.  The final Selector keeps only the 512-word payload, so the
+// demand shrinks backwards through the rotation of every round — the
+// expensive S-box lookups run on roughly half of each round's 1024 words.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+namespace {
+
+model::Model build_round(const std::string& name, int round) {
+  using detail::vec;
+  model::Model r(name);
+  r.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 1024);
+  r.add_block("round_key", "Constant")
+      .set_param("Value",
+                 vec(detail::curve(1024, 2.0 + 0.3 * round, 0.2 * round)));
+  r.add_block("mix", "Sum").set_param("Inputs", "+-");
+  r.add_block("sbox", "LookupTable")
+      .set_param("BreakpointsData", vec(detail::ramp(17, -4.0, 4.0)))
+      .set_param("TableData", vec(detail::curve(17, 3.0, 0.35)));
+  // Rotate left by 64: [64..1023] ++ [0..63].
+  r.add_block("rot_hi", "Selector").set_param("Start", 64).set_param("End",
+                                                                     1023);
+  r.add_block("rot_lo", "Selector").set_param("Start", 0).set_param("End", 63);
+  r.add_block("rot", "Concatenate").set_param("Inputs", 2);
+  r.add_block("out", "Outport").set_param("Port", 1);
+
+  r.connect("in", 0, "mix", 0);
+  r.connect("round_key", 0, "mix", 1);
+  r.connect("mix", 0, "sbox", 0);
+  r.connect("sbox", 0, "rot_hi", 0);
+  r.connect("sbox", 0, "rot_lo", 0);
+  r.connect("rot_hi", 0, "rot", 0);
+  r.connect("rot_lo", 0, "rot", 1);
+  r.connect("rot", 0, "out", 0);
+  return r;
+}
+
+}  // namespace
+
+Result<model::Model> build_decryption() {
+  model::Model m("Decryption");
+  m.add_block("in_cipher", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", 1024);
+
+  std::string prev = "in_cipher";
+  for (int round = 1; round <= 4; ++round) {
+    const std::string name = "round" + std::to_string(round);
+    model::Block& sub = m.add_block(name, "Subsystem");
+    sub.make_subsystem() = build_round(name, round);
+    m.connect(prev, 0, name, 0);
+    prev = name;
+  }
+
+  // Only the payload half of the final state is the decrypted message.
+  m.add_block("sel_payload", "Selector")
+      .set_param("Start", 0)
+      .set_param("End", 511);
+  m.add_block("out_plain", "Outport").set_param("Port", 1);
+  m.connect(prev, 0, "sel_payload", 0);
+  m.connect("sel_payload", 0, "out_plain", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

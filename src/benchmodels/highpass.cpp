@@ -1,0 +1,124 @@
+// HighPass — high-pass filter model (Table 1: 49 blocks).
+//
+// Five spectral-subtraction stages (FIR low-pass, subtract, gain, saturate)
+// over a 2048-sample frame, followed by warm-up trimming (Selector),
+// decimation, and a convolution-based spectral analysis whose Selector keeps
+// the centered window.  Scalar ripple/energy/balance/peak/DC summaries
+// complete the model.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_highpass() {
+  using detail::vec;
+  model::Model m("HighPass");
+
+  m.add_block("in_signal", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", 2048);
+
+  // Stage k: hp_k = sat(gain * (x - lowpass(x))).
+  std::string prev = "in_signal";
+  for (int k = 1; k <= 5; ++k) {
+    const std::string s = std::to_string(k);
+    m.add_block("lp" + s, "FIR")
+        .set_param("Coefficients", vec(detail::gaussian(33, 4.0 + k)));
+    m.add_block("hp" + s, "Sum").set_param("Inputs", "+-");
+    m.add_block("g" + s, "Gain").set_param("Gain", 1.1);
+    m.add_block("sat" + s, "Saturation")
+        .set_param("LowerLimit", -100.0)
+        .set_param("UpperLimit", 100.0);
+    m.connect(prev, 0, "lp" + s, 0);
+    m.connect(prev, 0, "hp" + s, 0);
+    m.connect("lp" + s, 0, "hp" + s, 1);
+    m.connect("hp" + s, 0, "g" + s, 0);
+    m.connect("g" + s, 0, "sat" + s, 0);
+    prev = "sat" + s;
+  }
+
+  // Trim the filter warm-up, then keep the centered window.
+  m.add_block("sel_settle", "Selector")
+      .set_param("Start", 64)
+      .set_param("End", 2047);
+  m.add_block("sel_dec", "Selector")
+      .set_param("Start", 496)
+      .set_param("End", 1487);  // centered 992 of the settled 1984
+  m.connect(prev, 0, "sel_settle", 0);
+  m.connect("sel_settle", 0, "sel_dec", 0);
+
+  // Spectral analysis: convolution + centered Selector (same-convolution).
+  m.add_block("k_an", "Constant")
+      .set_param("Value", vec(detail::modulated_gaussian(65, 10.0, 0.12)));
+  m.add_block("conv_an", "Convolution");  // [992+65-1 = 1056]
+  m.add_block("sel_an", "Selector").set_param("Start", 32).set_param("End",
+                                                                     1023);
+  m.add_block("abs_an", "Math").set_param("Function", "abs");
+  m.add_block("ma_an", "MovingAverage").set_param("Window", 32);
+  m.add_block("out_main", "Outport").set_param("Port", 1);
+  m.connect("sel_dec", 0, "conv_an", 0);
+  m.connect("k_an", 0, "conv_an", 1);
+  m.connect("conv_an", 0, "sel_an", 0);
+  m.connect("sel_an", 0, "abs_an", 0);
+  m.connect("abs_an", 0, "ma_an", 0);
+  m.connect("ma_an", 0, "out_main", 0);
+
+  // Ripple metric.
+  m.add_block("ripple_diff", "Difference");
+  m.add_block("ripple_abs", "Math").set_param("Function", "abs");
+  m.add_block("ripple_mean", "Mean");
+  m.add_block("out_ripple", "Outport").set_param("Port", 2);
+  m.connect("ma_an", 0, "ripple_diff", 0);
+  m.connect("ripple_diff", 0, "ripple_abs", 0);
+  m.connect("ripple_abs", 0, "ripple_mean", 0);
+  m.connect("ripple_mean", 0, "out_ripple", 0);
+
+  // Energy metric.
+  m.add_block("energy_sq", "Power").set_param("Exponent", 2);
+  m.add_block("energy_mean", "Mean");
+  m.add_block("energy_sqrt", "Math").set_param("Function", "sqrt");
+  m.add_block("out_energy", "Outport").set_param("Port", 3);
+  m.connect("ma_an", 0, "energy_sq", 0);
+  m.connect("energy_sq", 0, "energy_mean", 0);
+  m.connect("energy_mean", 0, "energy_sqrt", 0);
+  m.connect("energy_sqrt", 0, "out_energy", 0);
+
+  // Low/high half balance.
+  m.add_block("sel_lo", "Selector").set_param("Start", 0).set_param("End",
+                                                                    495);
+  m.add_block("sel_hi", "Selector").set_param("Start", 496).set_param("End",
+                                                                      991);
+  m.add_block("mean_lo", "Mean");
+  m.add_block("mean_hi", "Mean");
+  m.add_block("bal", "Sum").set_param("Inputs", "+-");
+  m.add_block("bal_gain", "Gain").set_param("Gain", 2.0);
+  m.add_block("out_bal", "Outport").set_param("Port", 4);
+  m.connect("ma_an", 0, "sel_lo", 0);
+  m.connect("ma_an", 0, "sel_hi", 0);
+  m.connect("sel_lo", 0, "mean_lo", 0);
+  m.connect("sel_hi", 0, "mean_hi", 0);
+  m.connect("mean_lo", 0, "bal", 0);
+  m.connect("mean_hi", 0, "bal", 1);
+  m.connect("bal", 0, "bal_gain", 0);
+  m.connect("bal_gain", 0, "out_bal", 0);
+
+  m.add_block("peak", "MinMax")
+      .set_param("Function", "max")
+      .set_param("Inputs", 2);
+  m.add_block("out_peak", "Outport").set_param("Port", 5);
+  m.connect("mean_lo", 0, "peak", 0);
+  m.connect("mean_hi", 0, "peak", 1);
+  m.connect("peak", 0, "out_peak", 0);
+
+  m.add_block("dc", "Mean");
+  m.add_block("dc_gain", "Gain").set_param("Gain", 1.0 / 992.0);
+  m.add_block("out_dc", "Outport").set_param("Port", 6);
+  m.connect("sel_dec", 0, "dc", 0);
+  m.connect("dc", 0, "dc_gain", 0);
+  m.connect("dc_gain", 0, "out_dc", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

@@ -1,0 +1,148 @@
+// Kalman — automotive temperature control module (Table 1: 46 blocks).
+//
+// A scalar-gain Kalman-style estimator over a 512-cell temperature field,
+// with a genuine feedback loop through a UnitDelay (its vector
+// InitialCondition resolves the loop's shapes; the loop's blocks keep full
+// ranges, exercising the cyclic-SCC path of range analysis).  Outside the
+// loop, a per-cell calibration LookupTable feeds a zone Selector, so the
+// expensive table lookups run on 128 of 512 cells only.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_kalman() {
+  using detail::vec;
+  model::Model m("Kalman");
+
+  m.add_block("in_meas", "Inport").set_param("Port", 1).set_param("Dims", 512);
+  m.add_block("in_ctrl", "Inport").set_param("Port", 2).set_param("Dims", 512);
+
+  // Predictor/corrector loop.
+  m.add_block("x_est", "UnitDelay")
+      .set_param("InitialCondition", vec(std::vector<double>(512, 0.0)));
+  m.add_block("a_gain", "Gain").set_param("Gain", 0.95);
+  m.add_block("b_gain", "Gain").set_param("Gain", 0.1);
+  m.add_block("x_pred", "Sum").set_param("Inputs", "++");
+  m.add_block("innov", "Sum").set_param("Inputs", "+-");
+  m.add_block("k_gain", "Gain").set_param("Gain", 0.35);
+  m.add_block("x_new", "Sum").set_param("Inputs", "++");
+  m.connect("x_est", 0, "a_gain", 0);
+  m.connect("in_ctrl", 0, "b_gain", 0);
+  m.connect("a_gain", 0, "x_pred", 0);
+  m.connect("b_gain", 0, "x_pred", 1);
+  m.connect("in_meas", 0, "innov", 0);
+  m.connect("x_pred", 0, "innov", 1);
+  m.connect("innov", 0, "k_gain", 0);
+  m.connect("x_pred", 0, "x_new", 0);
+  m.connect("k_gain", 0, "x_new", 1);
+  m.connect("x_new", 0, "x_est", 0);  // closes the loop
+
+  // Calibrated zone temperature (LookupTable truncated by the Selector).
+  m.add_block("cal", "LookupTable")
+      .set_param("BreakpointsData", vec(detail::ramp(33, -10.0, 10.0)))
+      .set_param("TableData", vec(detail::curve(33, 10.0, 0.15)));
+  m.add_block("sel_zone", "Selector").set_param("Start", 64).set_param("End",
+                                                                      191);
+  m.add_block("zone_ma", "MovingAverage").set_param("Window", 4);
+  m.add_block("zone_mean", "Mean");
+  m.add_block("out_zone", "Outport").set_param("Port", 1);
+  m.connect("x_new", 0, "cal", 0);
+  m.connect("cal", 0, "sel_zone", 0);
+  m.connect("sel_zone", 0, "zone_ma", 0);
+  m.connect("zone_ma", 0, "zone_mean", 0);
+  m.connect("zone_mean", 0, "out_zone", 0);
+
+  // Innovation magnitude.
+  m.add_block("err_abs", "Math").set_param("Function", "abs");
+  m.add_block("err_mean", "Mean");
+  m.add_block("err_gain", "Gain").set_param("Gain", 100.0 / 512.0);
+  m.add_block("out_err", "Outport").set_param("Port", 2);
+  m.connect("innov", 0, "err_abs", 0);
+  m.connect("err_abs", 0, "err_mean", 0);
+  m.connect("err_mean", 0, "err_gain", 0);
+  m.connect("err_gain", 0, "out_err", 0);
+
+  // Saturated state output.
+  m.add_block("sat_state", "Saturation")
+      .set_param("LowerLimit", -50.0)
+      .set_param("UpperLimit", 50.0);
+  m.add_block("out_state", "Outport").set_param("Port", 3);
+  m.connect("x_new", 0, "sat_state", 0);
+  m.connect("sat_state", 0, "out_state", 0);
+
+  // Zone alarm.
+  m.add_block("alarm_thr", "Constant").set_param("Value", 6.5);
+  m.add_block("alarm", "Relational").set_param("Operator", ">=");
+  m.add_block("out_alarm", "Outport").set_param("Port", 4);
+  m.connect("zone_mean", 0, "alarm", 0);
+  m.connect("alarm_thr", 0, "alarm", 1);
+  m.connect("alarm", 0, "out_alarm", 0);
+
+  // Smoothed trend of the estimate.
+  m.add_block("smooth", "FIR")
+      .set_param("Coefficients", vec(detail::gaussian(8, 2.0)));
+  m.add_block("trend", "Difference");
+  m.add_block("trend_abs", "Math").set_param("Function", "abs");
+  m.add_block("trend_mean", "Mean");
+  m.add_block("out_trend", "Outport").set_param("Port", 5);
+  m.connect("x_new", 0, "smooth", 0);
+  m.connect("smooth", 0, "trend", 0);
+  m.connect("trend", 0, "trend_abs", 0);
+  m.connect("trend_abs", 0, "trend_mean", 0);
+  m.connect("trend_mean", 0, "out_trend", 0);
+
+  // Next-step prediction output.
+  m.add_block("pred_gain", "Gain").set_param("Gain", 0.95);
+  m.add_block("pred_bias", "Bias").set_param("Bias", 0.2);
+  m.add_block("pred_sat", "Saturation")
+      .set_param("LowerLimit", -60.0)
+      .set_param("UpperLimit", 60.0);
+  m.add_block("out_pred", "Outport").set_param("Port", 6);
+  m.connect("x_new", 0, "pred_gain", 0);
+  m.connect("pred_gain", 0, "pred_bias", 0);
+  m.connect("pred_bias", 0, "pred_sat", 0);
+  m.connect("pred_sat", 0, "out_pred", 0);
+
+  // Heater duty: bang-bang control on the zone temperature.
+  m.add_block("duty_on", "Constant").set_param("Value", 1.0);
+  m.add_block("duty_off", "Constant").set_param("Value", 0.0);
+  m.add_block("duty", "Switch")
+      .set_param("Criteria", "u2 >= Threshold")
+      .set_param("Threshold", 4.0);
+  m.add_block("out_duty", "Outport").set_param("Port", 7);
+  m.connect("duty_on", 0, "duty", 0);
+  m.connect("zone_mean", 0, "duty", 1);
+  m.connect("duty_off", 0, "duty", 2);
+  m.connect("duty", 0, "out_duty", 0);
+
+  // Control energy.
+  m.add_block("energy_sq", "Power").set_param("Exponent", 2);
+  m.add_block("energy_mean", "Mean");
+  m.add_block("out_energy", "Outport").set_param("Port", 8);
+  m.connect("k_gain", 0, "energy_sq", 0);
+  m.connect("energy_sq", 0, "energy_mean", 0);
+  m.connect("energy_mean", 0, "out_energy", 0);
+
+  // Field range check: every cell within [lo, hi].
+  m.add_block("range_lo", "Constant").set_param("Value", -45.0);
+  m.add_block("range_hi", "Constant").set_param("Value", 45.0);
+  m.add_block("ge_lo", "Relational").set_param("Operator", ">=");
+  m.add_block("le_hi", "Relational").set_param("Operator", "<=");
+  m.add_block("in_range", "Logic").set_param("Operator", "AND");
+  m.add_block("ok_mean", "Mean");
+  m.add_block("out_ok", "Outport").set_param("Port", 9);
+  m.connect("x_new", 0, "ge_lo", 0);
+  m.connect("range_lo", 0, "ge_lo", 1);
+  m.connect("x_new", 0, "le_hi", 0);
+  m.connect("range_hi", 0, "le_hi", 1);
+  m.connect("ge_lo", 0, "in_range", 0);
+  m.connect("le_hi", 0, "in_range", 1);
+  m.connect("in_range", 0, "ok_mean", 0);
+  m.connect("ok_mean", 0, "out_ok", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

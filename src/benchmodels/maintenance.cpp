@@ -1,0 +1,139 @@
+// Maintenance — industry equipment preservation model (Table 1: 165 blocks).
+//
+// The largest benchmark: a 2048-sample multi-sensor acquisition feeds 11
+// per-channel monitoring subsystems (exercising subsystem flattening at
+// scale), a fleet-level aggregation with a UnitDelay trend memory, and a
+// power-signature convolution whose Selector keeps a 256-sample window of
+// the 2174-sample response (the dominant eliminable cost).
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+namespace {
+
+model::Model build_channel(const std::string& name, int channel) {
+  using detail::vec;
+  model::Model ch(name);
+  ch.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 160);
+  ch.add_block("ma", "MovingAverage").set_param("Window", 16);
+  ch.add_block("diff", "Difference");
+  ch.add_block("dabs", "Math").set_param("Function", "abs");
+  ch.add_block("wear", "LookupTable")
+      .set_param("BreakpointsData", vec(detail::ramp(17, 0.0, 4.0)))
+      .set_param("TableData",
+                 vec(detail::curve(17, 1.0, 0.1 + 0.02 * channel)));
+  ch.add_block("sat", "Saturation")
+      .set_param("LowerLimit", 0.0)
+      .set_param("UpperLimit", 1.0);
+  ch.add_block("health", "Mean");
+  ch.add_block("thr", "Constant").set_param("Value", 0.35 + 0.01 * channel);
+  ch.add_block("alarm", "Relational").set_param("Operator", ">=");
+  ch.add_block("out_health", "Outport").set_param("Port", 1);
+  ch.add_block("out_alarm", "Outport").set_param("Port", 2);
+  ch.connect("in", 0, "ma", 0);
+  ch.connect("ma", 0, "diff", 0);
+  ch.connect("diff", 0, "dabs", 0);
+  ch.connect("dabs", 0, "wear", 0);
+  ch.connect("wear", 0, "sat", 0);
+  ch.connect("sat", 0, "health", 0);
+  ch.connect("health", 0, "out_health", 0);
+  ch.connect("health", 0, "alarm", 0);
+  ch.connect("thr", 0, "alarm", 1);
+  ch.connect("alarm", 0, "out_alarm", 0);
+  return ch;
+}
+
+}  // namespace
+
+Result<model::Model> build_maintenance() {
+  using detail::vec;
+  constexpr int kChannels = 11;
+  model::Model m("Maintenance");
+
+  m.add_block("in_sensors", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", 2048);
+
+  for (int c = 0; c < kChannels; ++c) {
+    const std::string s = std::to_string(c + 1);
+    m.add_block("ch_sel" + s, "Selector")
+        .set_param("Start", c * 160)
+        .set_param("End", c * 160 + 159);
+    model::Block& sub = m.add_block("channel" + s, "Subsystem");
+    sub.make_subsystem() = build_channel("channel" + s, c);
+    m.connect("in_sensors", 0, "ch_sel" + s, 0);
+    m.connect("ch_sel" + s, 0, "channel" + s, 0);
+  }
+
+  // Fleet aggregation.
+  m.add_block("cat_health", "Concatenate").set_param("Inputs", kChannels);
+  m.add_block("cat_alarm", "Concatenate").set_param("Inputs", kChannels);
+  for (int c = 0; c < kChannels; ++c) {
+    const std::string s = std::to_string(c + 1);
+    m.connect("channel" + s, 0, "cat_health", c);
+    m.connect("channel" + s, 1, "cat_alarm", c);
+  }
+
+  m.add_block("alarm_rate", "Mean");
+  m.add_block("fleet_thr", "Constant").set_param("Value", 0.5);
+  m.add_block("fleet_alarm", "Relational").set_param("Operator", ">=");
+  m.add_block("out_fleet", "Outport").set_param("Port", 1);
+  m.connect("cat_alarm", 0, "alarm_rate", 0);
+  m.connect("alarm_rate", 0, "fleet_alarm", 0);
+  m.connect("fleet_thr", 0, "fleet_alarm", 1);
+  m.connect("fleet_alarm", 0, "out_fleet", 0);
+
+  m.add_block("worst", "MinMax")
+      .set_param("Function", "min")
+      .set_param("Inputs", kChannels);
+  m.add_block("out_worst", "Outport").set_param("Port", 2);
+  for (int c = 0; c < kChannels; ++c)
+    m.connect("channel" + std::to_string(c + 1), 0, "worst", c);
+  m.connect("worst", 0, "out_worst", 0);
+
+  // Health trend against the previous acquisition.
+  m.add_block("trend_mem", "UnitDelay")
+      .set_param("InitialCondition",
+                 vec(std::vector<double>(kChannels, 0.5)));
+  m.add_block("trend_diff", "Sum").set_param("Inputs", "+-");
+  m.add_block("trend_gain", "Gain").set_param("Gain", 10.0);
+  m.add_block("out_trend", "Outport").set_param("Port", 3);
+  m.connect("cat_health", 0, "trend_mem", 0);
+  m.connect("cat_health", 0, "trend_diff", 0);
+  m.connect("trend_mem", 0, "trend_diff", 1);
+  m.connect("trend_diff", 0, "trend_gain", 0);
+  m.connect("trend_gain", 0, "out_trend", 0);
+
+  // Maintenance scheduling from per-channel health.
+  m.add_block("sched", "LookupTable")
+      .set_param("BreakpointsData", vec(detail::ramp(9, 0.0, 1.0)))
+      .set_param("TableData", vec(detail::ramp(9, 90.0, 0.0)));
+  m.add_block("out_sched", "Outport").set_param("Port", 4);
+  m.connect("cat_health", 0, "sched", 0);
+  m.connect("sched", 0, "out_sched", 0);
+
+  // Power-signature analysis over the full acquisition, truncated to the
+  // drive-motor window.
+  m.add_block("k_power", "Constant")
+      .set_param("Value", vec(detail::modulated_gaussian(127, 20.0, 0.06)));
+  m.add_block("conv_power", "Convolution");  // [2174]
+  m.add_block("sel_power", "Selector").set_param("Start", 512).set_param(
+      "End", 767);
+  m.add_block("pabs", "Math").set_param("Function", "abs");
+  m.add_block("pma", "MovingAverage").set_param("Window", 16);
+  m.add_block("pmean", "Mean");
+  m.add_block("out_power", "Outport").set_param("Port", 5);
+  m.connect("in_sensors", 0, "conv_power", 0);
+  m.connect("k_power", 0, "conv_power", 1);
+  m.connect("conv_power", 0, "sel_power", 0);
+  m.connect("sel_power", 0, "pabs", 0);
+  m.connect("pabs", 0, "pma", 0);
+  m.connect("pma", 0, "pmean", 0);
+  m.connect("pmean", 0, "out_power", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

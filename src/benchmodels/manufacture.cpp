@@ -1,0 +1,105 @@
+// Maunfacture — product quality assessment model (Table 1: 29 blocks,
+// keeping the paper's spelling of the model name).
+//
+// A 2048-sample surface profile runs through a 127-tap matched-filter
+// convolution and a 63-tap edge-detector convolution; both Selectors keep
+// only the 384-sample region of interest, eliminating ~75-80% of the
+// convolution work.  This is the model where the Simulink baseline is
+// slowest in the paper (full padding + boundary judgments over 2174
+// elements), and FRODO's largest x86 win.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_manufacture() {
+  using detail::vec;
+  model::Model m("Maunfacture");
+
+  m.add_block("in_profile", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", 2048);
+
+  // Matched filter for the stamped feature.
+  m.add_block("k_match", "Constant")
+      .set_param("Value", vec(detail::modulated_gaussian(127, 24.0, 0.04)));
+  m.add_block("conv_match", "Convolution");  // [2174]
+  m.add_block("sel_roi", "Selector").set_param("Start", 1024).set_param("End",
+                                                                        1407);
+  m.add_block("abs_roi", "Math").set_param("Function", "abs");
+  m.add_block("ma_roi", "MovingAverage").set_param("Window", 8);
+  m.add_block("peak_mean", "Mean");
+  m.add_block("out_peak", "Outport").set_param("Port", 1);
+  m.connect("in_profile", 0, "conv_match", 0);
+  m.connect("k_match", 0, "conv_match", 1);
+  m.connect("conv_match", 0, "sel_roi", 0);
+  m.connect("sel_roi", 0, "abs_roi", 0);
+  m.connect("abs_roi", 0, "ma_roi", 0);
+  m.connect("ma_roi", 0, "peak_mean", 0);
+  m.connect("peak_mean", 0, "out_peak", 0);
+
+  // Spread of the matched response.
+  m.add_block("var_sq", "Power").set_param("Exponent", 2);
+  m.add_block("var_mean", "Mean");
+  m.add_block("var_sqrt", "Math").set_param("Function", "sqrt");
+  m.add_block("out_sigma", "Outport").set_param("Port", 2);
+  m.connect("ma_roi", 0, "var_sq", 0);
+  m.connect("var_sq", 0, "var_mean", 0);
+  m.connect("var_mean", 0, "var_sqrt", 0);
+  m.connect("var_sqrt", 0, "out_sigma", 0);
+
+  // Pass/fail decision.
+  m.add_block("qual_thr", "Constant").set_param("Value", 0.08);
+  m.add_block("pass", "Relational").set_param("Operator", ">=");
+  m.add_block("out_pass", "Outport").set_param("Port", 3);
+  m.connect("peak_mean", 0, "pass", 0);
+  m.connect("qual_thr", 0, "pass", 1);
+  m.connect("pass", 0, "out_pass", 0);
+
+  // Edge sharpness in the same region of interest.
+  m.add_block("k_edge", "Constant")
+      .set_param("Value", vec(detail::modulated_gaussian(63, 8.0, 0.25)));
+  m.add_block("conv_edge", "Convolution");  // [2110]
+  m.add_block("sel_edge", "Selector")
+      .set_param("Start", 1024)
+      .set_param("End", 1407);
+  m.add_block("abs_edge", "Math").set_param("Function", "abs");
+  m.add_block("edge_mean", "Mean");
+  m.add_block("out_edge", "Outport").set_param("Port", 4);
+  m.connect("in_profile", 0, "conv_edge", 0);
+  m.connect("k_edge", 0, "conv_edge", 1);
+  m.connect("conv_edge", 0, "sel_edge", 0);
+  m.connect("sel_edge", 0, "abs_edge", 0);
+  m.connect("abs_edge", 0, "edge_mean", 0);
+  m.connect("edge_mean", 0, "out_edge", 0);
+
+  // Feature-to-edge ratio.
+  m.add_block("ratio", "Product").set_param("Inputs", "*/");
+  m.add_block("out_ratio", "Outport").set_param("Port", 5);
+  m.connect("peak_mean", 0, "ratio", 0);
+  m.connect("edge_mean", 0, "ratio", 1);
+  m.connect("ratio", 0, "out_ratio", 0);
+
+  // Baseline drift within the region of interest.
+  m.add_block("base_ma", "MovingAverage").set_param("Window", 64);
+  m.add_block("sel_base", "Selector")
+      .set_param("Start", 1024)
+      .set_param("End", 1407);
+  m.add_block("base_mean", "Mean");
+  m.add_block("out_base", "Outport").set_param("Port", 6);
+  m.connect("in_profile", 0, "base_ma", 0);
+  m.connect("base_ma", 0, "sel_base", 0);
+  m.connect("sel_base", 0, "base_mean", 0);
+  m.connect("base_mean", 0, "out_base", 0);
+
+  m.add_block("drift", "Sum").set_param("Inputs", "+-");
+  m.add_block("out_drift", "Outport").set_param("Port", 7);
+  m.connect("peak_mean", 0, "drift", 0);
+  m.connect("base_mean", 0, "drift", 1);
+  m.connect("drift", 0, "out_drift", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

@@ -1,0 +1,65 @@
+// RunningDiff — differential amplifier (Table 1: 106 blocks).
+//
+// A 4096-sample acquisition is split into 16 channels; each channel is
+// differentiated, amplified, smoothed and summarized.  A global common-mode
+// path runs a 64-tap MovingAverage over the full acquisition of which a
+// Selector keeps only the first channel's window — 16x of that heavy
+// average is redundant and eliminated by FRODO.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+Result<model::Model> build_running_diff() {
+  using detail::vec;
+  model::Model m("RunningDiff");
+
+  m.add_block("in_acq", "Inport").set_param("Port", 1).set_param("Dims", 4096);
+
+  for (int c = 0; c < 16; ++c) {
+    const std::string s = std::to_string(c + 1);
+    m.add_block("ch_sel" + s, "Selector")
+        .set_param("Start", c * 256)
+        .set_param("End", c * 256 + 255);
+    m.add_block("ch_diff" + s, "Difference");
+    m.add_block("ch_gain" + s, "Gain").set_param("Gain", 20.0);
+    m.add_block("ch_ma" + s, "MovingAverage").set_param("Window", 8);
+    m.add_block("ch_mean" + s, "Mean");
+    m.add_block("out_ch" + s, "Outport").set_param("Port", c + 1);
+    m.connect("in_acq", 0, "ch_sel" + s, 0);
+    m.connect("ch_sel" + s, 0, "ch_diff" + s, 0);
+    m.connect("ch_diff" + s, 0, "ch_gain" + s, 0);
+    m.connect("ch_gain" + s, 0, "ch_ma" + s, 0);
+    m.connect("ch_ma" + s, 0, "ch_mean" + s, 0);
+    m.connect("ch_mean" + s, 0, "out_ch" + s, 0);
+  }
+
+  // Channel-to-channel imbalance.
+  m.add_block("cat", "Concatenate").set_param("Inputs", 16);
+  m.add_block("gdiff", "Difference");
+  m.add_block("gabs", "Math").set_param("Function", "abs");
+  m.add_block("gmean", "Mean");
+  m.add_block("out_imbalance", "Outport").set_param("Port", 17);
+  for (int c = 0; c < 16; ++c)
+    m.connect("ch_mean" + std::to_string(c + 1), 0, "cat", c);
+  m.connect("cat", 0, "gdiff", 0);
+  m.connect("gdiff", 0, "gabs", 0);
+  m.connect("gabs", 0, "gmean", 0);
+  m.connect("gmean", 0, "out_imbalance", 0);
+
+  // Common-mode estimate over the first channel window only.
+  m.add_block("cm_ma", "MovingAverage").set_param("Window", 64);
+  m.add_block("cm_sel", "Selector").set_param("Start", 0).set_param("End",
+                                                                    255);
+  m.add_block("cm_mean", "Mean");
+  m.add_block("out_cm", "Outport").set_param("Port", 18);
+  m.connect("in_acq", 0, "cm_ma", 0);
+  m.connect("cm_ma", 0, "cm_sel", 0);
+  m.connect("cm_sel", 0, "cm_mean", 0);
+  m.connect("cm_mean", 0, "out_cm", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

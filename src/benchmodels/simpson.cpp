@@ -1,0 +1,88 @@
+// Simpson — numerical integration model (Table 1: 30 blocks).
+//
+// Composite Simpson integration of an 8193-sample function: four overlapping
+// 2049-sample panels (Selector + weight Constant + DotProduct + Gain) summed
+// into the total, a running CumulativeSum integral of which only the first
+// 1024 samples are kept (prefix-sum truncation: the cumulative sum computes
+// an eighth of its range), plus a weighted energy integral and a mean.
+#include "benchmodels/benchmodels.hpp"
+#include "benchmodels/util.hpp"
+
+namespace frodo::benchmodels {
+
+namespace {
+
+// Simpson weights 1,4,2,4,...,4,1 for an odd-length panel.
+std::vector<double> simpson_weights(int n) {
+  std::vector<double> w(static_cast<std::size_t>(n), 4.0);
+  w.front() = 1.0;
+  w.back() = 1.0;
+  for (int i = 2; i < n - 1; i += 2) w[static_cast<std::size_t>(i)] = 2.0;
+  return w;
+}
+
+}  // namespace
+
+Result<model::Model> build_simpson() {
+  using detail::vec;
+  const double h = 1.0 / 8192.0;
+  model::Model m("Simpson");
+
+  m.add_block("in_f", "Inport").set_param("Port", 1).set_param("Dims", 8193);
+
+  // Four Simpson panels (panels share their endpoint samples).
+  for (int p = 0; p < 4; ++p) {
+    const std::string s = std::to_string(p + 1);
+    m.add_block("panel_sel" + s, "Selector")
+        .set_param("Start", p * 2048)
+        .set_param("End", p * 2048 + 2048);
+    m.add_block("panel_w" + s, "Constant")
+        .set_param("Value", vec(simpson_weights(2049)));
+    m.add_block("panel_dot" + s, "DotProduct");
+    m.add_block("panel_scale" + s, "Gain").set_param("Gain", h / 3.0);
+    m.connect("in_f", 0, "panel_sel" + s, 0);
+    m.connect("panel_sel" + s, 0, "panel_dot" + s, 0);
+    m.connect("panel_w" + s, 0, "panel_dot" + s, 1);
+    m.connect("panel_dot" + s, 0, "panel_scale" + s, 0);
+  }
+
+  m.add_block("total", "Sum").set_param("Inputs", "++++");
+  m.add_block("out_total", "Outport").set_param("Port", 1);
+  for (int p = 0; p < 4; ++p)
+    m.connect("panel_scale" + std::to_string(p + 1), 0, "total", p);
+  m.connect("total", 0, "out_total", 0);
+
+  // Running (rectangle-rule) integral, truncated to the first 256 samples.
+  m.add_block("cum", "CumulativeSum");
+  m.add_block("cum_sel", "Selector").set_param("Start", 0).set_param("End",
+                                                                     1023);
+  m.add_block("cum_gain", "Gain").set_param("Gain", h);
+  m.add_block("out_running", "Outport").set_param("Port", 2);
+  m.connect("in_f", 0, "cum", 0);
+  m.connect("cum", 0, "cum_sel", 0);
+  m.connect("cum_sel", 0, "cum_gain", 0);
+  m.connect("cum_gain", 0, "out_running", 0);
+
+  // Energy integral: Simpson-weighted dot product of f^2.
+  m.add_block("sq", "Power").set_param("Exponent", 2);
+  m.add_block("w_all", "Constant")
+      .set_param("Value", vec(simpson_weights(8193)));
+  m.add_block("energy_dot", "DotProduct");
+  m.add_block("energy_gain", "Gain").set_param("Gain", h / 3.0);
+  m.add_block("out_energy", "Outport").set_param("Port", 3);
+  m.connect("in_f", 0, "sq", 0);
+  m.connect("sq", 0, "energy_dot", 0);
+  m.connect("w_all", 0, "energy_dot", 1);
+  m.connect("energy_dot", 0, "energy_gain", 0);
+  m.connect("energy_gain", 0, "out_energy", 0);
+
+  m.add_block("mean_f", "Mean");
+  m.add_block("out_mean", "Outport").set_param("Port", 4);
+  m.connect("in_f", 0, "mean_f", 0);
+  m.connect("mean_f", 0, "out_mean", 0);
+
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+}  // namespace frodo::benchmodels

@@ -1,0 +1,68 @@
+// Deterministic parameter-vector generators shared by the benchmark model
+// builders (window functions, filter kernels, lookup tables).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "model/value.hpp"
+
+namespace frodo::benchmodels::detail {
+
+inline std::vector<double> hann(int n) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    w[static_cast<std::size_t>(i)] =
+        0.5 - 0.5 * std::cos(2.0 * M_PI * i / (n - 1));
+  return w;
+}
+
+// Normalized Gaussian low-pass kernel.
+inline std::vector<double> gaussian(int n, double sigma) {
+  std::vector<double> k(static_cast<std::size_t>(n));
+  const double mid = (n - 1) / 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i - mid) / sigma;
+    k[static_cast<std::size_t>(i)] = std::exp(-0.5 * x * x);
+    sum += k[static_cast<std::size_t>(i)];
+  }
+  for (double& v : k) v /= sum;
+  return k;
+}
+
+// Band-pass kernel: Gaussian envelope modulated by a cosine.
+inline std::vector<double> modulated_gaussian(int n, double sigma,
+                                              double freq) {
+  std::vector<double> k = gaussian(n, sigma);
+  const double mid = (n - 1) / 2.0;
+  for (int i = 0; i < n; ++i)
+    k[static_cast<std::size_t>(i)] *=
+        std::cos(2.0 * M_PI * freq * (i - mid));
+  return k;
+}
+
+inline std::vector<double> ramp(int n, double from, double to) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] =
+        from + (to - from) * (n == 1 ? 0.0 : static_cast<double>(i) / (n - 1));
+  return v;
+}
+
+// Smooth monotone-ish lookup curve (for sensor calibration / S-box tables).
+inline std::vector<double> curve(int n, double scale, double wobble) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / (n - 1);
+    v[static_cast<std::size_t>(i)] =
+        scale * (x + wobble * std::sin(3.0 * M_PI * x));
+  }
+  return v;
+}
+
+inline model::Value vec(std::vector<double> values) {
+  return model::Value(std::move(values));
+}
+
+}  // namespace frodo::benchmodels::detail

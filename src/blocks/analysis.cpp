@@ -1,0 +1,199 @@
+#include "blocks/analysis.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/strings.hpp"
+
+namespace frodo::blocks {
+
+namespace {
+
+Status check_arity(const graph::DataflowGraph& graph, model::BlockId id,
+                   const BlockSemantics& sem) {
+  const model::Block& block = graph.model().block(id);
+  const int connected = graph.input_count(id);
+  const int declared = sem.input_count(block);
+
+  // Every input port up to the connected count must have a driver.
+  for (int p = 0; p < connected; ++p) {
+    if (!graph.input_driver(id, p).has_value())
+      return Status::error("block '" + block.name() + "' (" + block.type() +
+                           "): input port " + std::to_string(p + 1) +
+                           " is unconnected");
+  }
+  if (declared != BlockSemantics::kVariadic && connected != declared)
+    return Status::error("block '" + block.name() + "' (" + block.type() +
+                         "): expects " + std::to_string(declared) +
+                         " input(s), has " + std::to_string(connected));
+  if (declared == BlockSemantics::kVariadic && connected < 1)
+    return Status::error("block '" + block.name() + "' (" + block.type() +
+                         "): needs at least one input");
+
+  const int max_out = graph.output_count(id);
+  if (max_out > sem.output_count(block))
+    return Status::error("block '" + block.name() + "' (" + block.type() +
+                         "): connection uses output port " +
+                         std::to_string(max_out) + " but the block has " +
+                         std::to_string(sem.output_count(block)));
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<Analysis> analyze(const graph::DataflowGraph& graph) {
+  Analysis a;
+  a.graph = &graph;
+  const int n = graph.block_count();
+  a.sems.resize(static_cast<std::size_t>(n));
+  a.in_shapes.resize(static_cast<std::size_t>(n));
+  a.out_shapes.resize(static_cast<std::size_t>(n));
+
+  // 1. Bind semantics and check arities.
+  for (model::BlockId id = 0; id < n; ++id) {
+    const model::Block& block = graph.model().block(id);
+    const BlockSemantics* sem = find(block.type());
+    if (sem == nullptr)
+      return Result<Analysis>::error(
+          "block '" + block.name() + "': unknown block type '" + block.type() +
+          "' (supported: " + join(registered_types(), ", ") + ")");
+    FRODO_RETURN_IF_ERROR(check_arity(graph, id, *sem));
+    a.sems[static_cast<std::size_t>(id)] = sem;
+  }
+
+  // 2. Shape resolution to a fixed point.
+  std::vector<std::optional<std::vector<model::Shape>>> resolved(
+      static_cast<std::size_t>(n));
+  for (model::BlockId id = 0; id < n; ++id) {
+    const model::Block& block = graph.model().block(id);
+    auto early = a.sems[static_cast<std::size_t>(id)]->infer_early(block);
+    if (!early.is_ok()) return early.status();
+    if (!early.value().empty()) resolved[static_cast<std::size_t>(id)] = early.value();
+  }
+
+  bool allow_scalar_fallback = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (model::BlockId id = 0; id < n; ++id) {
+      if (resolved[static_cast<std::size_t>(id)].has_value()) continue;
+      const model::Block& block = graph.model().block(id);
+      std::vector<model::Shape> ins;
+      bool ready = true;
+      for (int p = 0; p < graph.input_count(id); ++p) {
+        const auto driver = graph.input_driver(id, p);
+        const auto& src = resolved[static_cast<std::size_t>(driver->block)];
+        if (!src.has_value() ||
+            driver->port >= static_cast<int>(src->size())) {
+          ready = false;
+          break;
+        }
+        ins.push_back((*src)[static_cast<std::size_t>(driver->port)]);
+      }
+      if (!ready) continue;
+      auto out = a.sems[static_cast<std::size_t>(id)]->infer(block, ins);
+      if (!out.is_ok()) return out.status();
+      resolved[static_cast<std::size_t>(id)] = std::move(out).value();
+      progress = true;
+    }
+
+    // Second chance for feedback loops through a delay with a scalar (or
+    // absent) InitialCondition: a scalar IC broadcasts to the signal shape,
+    // so when nothing else anchors the loop the signal must be scalar.
+    // Step 3b re-checks the assumption against the resolved input shapes.
+    if (!progress && !allow_scalar_fallback) {
+      allow_scalar_fallback = true;
+      for (model::BlockId id = 0; id < n; ++id) {
+        if (resolved[static_cast<std::size_t>(id)].has_value()) continue;
+        const model::Block& block = graph.model().block(id);
+        if (!a.sems[static_cast<std::size_t>(id)]->has_state(block)) continue;
+        resolved[static_cast<std::size_t>(id)] =
+            std::vector<model::Shape>{model::Shape::scalar()};
+        progress = true;
+      }
+    }
+  }
+
+  for (model::BlockId id = 0; id < n; ++id) {
+    if (!resolved[static_cast<std::size_t>(id)].has_value())
+      return Result<Analysis>::error(
+          "cannot resolve signal shapes for block '" +
+          graph.model().block(id).name() +
+          "' — an algebraic loop without a vector InitialCondition?");
+    a.out_shapes[static_cast<std::size_t>(id)] =
+        *resolved[static_cast<std::size_t>(id)];
+  }
+
+  // 3. Input shapes from drivers.
+  for (model::BlockId id = 0; id < n; ++id) {
+    for (int p = 0; p < graph.input_count(id); ++p) {
+      const auto driver = graph.input_driver(id, p);
+      a.in_shapes[static_cast<std::size_t>(id)].push_back(
+          a.out_shapes[static_cast<std::size_t>(driver->block)]
+                      [static_cast<std::size_t>(driver->port)]);
+    }
+  }
+
+  // 3b. Consistency: early-resolved blocks (e.g. delays whose shape came
+  // from a vector InitialCondition) must agree with what their actual input
+  // shapes imply.
+  for (model::BlockId id = 0; id < n; ++id) {
+    if (graph.input_count(id) == 0) continue;
+    const model::Block& block = graph.model().block(id);
+    auto recomputed = a.sems[static_cast<std::size_t>(id)]->infer(
+        block, a.in_shapes[static_cast<std::size_t>(id)]);
+    if (!recomputed.is_ok()) return recomputed.status();
+    if (recomputed.value() != a.out_shapes[static_cast<std::size_t>(id)])
+      return Result<Analysis>::error(
+          "block '" + block.name() +
+          "': declared shape disagrees with the shape implied by its "
+          "inputs");
+  }
+
+  // 4. Execution schedule.
+  {
+    auto order = graph.topo_order(
+        [](const model::Block& block) { return is_state_block(block); });
+    if (!order.is_ok()) return order.status();
+    a.order = std::move(order).value();
+  }
+  return a;
+}
+
+Result<IoSignature> io_signature(const Analysis& analysis) {
+  IoSignature sig;
+  for (model::BlockId id = 0; id < analysis.graph->block_count(); ++id) {
+    const model::Block& block = analysis.model().block(id);
+    const bool is_in = block.type() == "Inport";
+    const bool is_out = block.type() == "Outport";
+    if (!is_in && !is_out) continue;
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Port"));
+    FRODO_ASSIGN_OR_RETURN(long long port, v.as_int());
+    if (port < 1)
+      return Result<IoSignature>::error("port block '" + block.name() +
+                                        "': Port must be >= 1");
+    IoPort p;
+    p.block = id;
+    p.position = static_cast<int>(port - 1);
+    p.name = block.name();
+    p.shape = is_in ? analysis.out_shapes[static_cast<std::size_t>(id)][0]
+                    : analysis.in_shapes[static_cast<std::size_t>(id)][0];
+    (is_in ? sig.inputs : sig.outputs).push_back(std::move(p));
+  }
+  auto by_position = [](const IoPort& a, const IoPort& b) {
+    return a.position < b.position;
+  };
+  std::sort(sig.inputs.begin(), sig.inputs.end(), by_position);
+  std::sort(sig.outputs.begin(), sig.outputs.end(), by_position);
+  for (const auto* list : {&sig.inputs, &sig.outputs}) {
+    for (std::size_t i = 0; i < list->size(); ++i) {
+      if ((*list)[i].position != static_cast<int>(i))
+        return Result<IoSignature>::error(
+            "model ports must be numbered densely from 1; port block '" +
+            (*list)[i].name + "' breaks the sequence");
+    }
+  }
+  return sig;
+}
+
+}  // namespace frodo::blocks

@@ -1,0 +1,60 @@
+// Model analysis: binds every block to its semantics, checks arities,
+// resolves every signal shape, and fixes the execution schedule.
+//
+// This is the output of FRODO's Model Analysis stage (§3.1) that both the
+// interpreter and all code generators consume; range analysis (src/range)
+// adds the calculation ranges on top.
+#pragma once
+
+#include <vector>
+
+#include "blocks/semantics.hpp"
+#include "graph/graph.hpp"
+#include "model/shape.hpp"
+#include "support/status.hpp"
+
+namespace frodo::blocks {
+
+struct Analysis {
+  const graph::DataflowGraph* graph = nullptr;
+  // Parallel to block ids.
+  std::vector<const BlockSemantics*> sems;
+  std::vector<std::vector<model::Shape>> in_shapes;
+  std::vector<std::vector<model::Shape>> out_shapes;
+  // Execution schedule (state blocks ordered as sources).
+  std::vector<model::BlockId> order;
+
+  const model::Model& model() const { return graph->model(); }
+
+  BlockInstance instance(model::BlockId id) const {
+    return BlockInstance{&graph->model().block(id),
+                         in_shapes[static_cast<std::size_t>(id)],
+                         out_shapes[static_cast<std::size_t>(id)]};
+  }
+};
+
+// `graph` must outlive the returned Analysis.
+//
+// Shape resolution runs to a fixed point so that delays inside feedback
+// loops (whose shape comes from a vector InitialCondition) resolve without
+// a topological order existing over the raw connection graph.
+Result<Analysis> analyze(const graph::DataflowGraph& graph);
+
+// The model's external interface: Inport/Outport blocks ordered by their
+// 1-based Port parameter.  Shared by the interpreter and the generators so
+// positional argument order always matches.
+struct IoPort {
+  model::BlockId block = -1;
+  int position = 0;  // 0-based (Port parameter - 1)
+  std::string name;  // block name
+  model::Shape shape;
+};
+
+struct IoSignature {
+  std::vector<IoPort> inputs;
+  std::vector<IoPort> outputs;
+};
+
+Result<IoSignature> io_signature(const Analysis& analysis);
+
+}  // namespace frodo::blocks

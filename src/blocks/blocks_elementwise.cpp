@@ -1,0 +1,778 @@
+// Elementwise blocks: Gain, Bias, UnaryMinus, Sum, Product, Math,
+// Trigonometry, Power, Saturation, Relational, Logic, Switch, MinMax,
+// LookupTable.
+//
+// All of these compute out[i] from the i-th element of each (non-scalar)
+// input, so their I/O mapping is the identity: the pullback of a demand set
+// is the demand set itself (scalar inputs collapse to {0}).  They share
+// ElementwiseSemantics, which also gives HCG's SIMD synthesis a single
+// hook — arithmetic combiners vectorize, libm-based ones stay scalar.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "blocks/emit_util.hpp"
+#include "blocks/semantics.hpp"
+#include "support/strings.hpp"
+
+namespace frodo::blocks {
+
+namespace {
+
+using mapping::IndexSet;
+using model::Block;
+using model::Shape;
+
+// -- Shared elementwise machinery ------------------------------------------------
+
+class ElementwiseSemantics : public BlockSemantics {
+ public:
+  int input_count(const Block& block) const override { return arity(block); }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    Shape common = Shape::scalar();
+    for (const Shape& s : in) {
+      if (s.is_scalar()) continue;
+      if (!common.is_scalar() && common != s)
+        return Result<std::vector<Shape>>::error(
+            "block '" + block.name() + "' (" + block.type() +
+            "): mismatched input shapes " + common.to_string() + " vs " +
+            s.to_string());
+      common = s;
+    }
+    return std::vector<Shape>{common};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    std::vector<IndexSet> in_demand;
+    in_demand.reserve(inst.in_shapes.size());
+    for (const Shape& s : inst.in_shapes) {
+      if (out_demand[0].is_empty())
+        in_demand.push_back(IndexSet::empty());
+      else if (s.is_scalar())
+        in_demand.push_back(IndexSet::single(0));
+      else
+        in_demand.push_back(out_demand[0]);
+    }
+    return in_demand;
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.out_shapes[0].size();
+    std::vector<double> operands(in.size());
+    for (long long i = 0; i < n; ++i) {
+      for (std::size_t p = 0; p < in.size(); ++p)
+        operands[p] = inst.in_shapes[p].is_scalar() ? in[p][0] : in[p][i];
+      FRODO_ASSIGN_OR_RETURN(out[0][i], fold(inst.b(), operands));
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    Status status = Status::ok();
+    auto scalar_body = [&](const std::string& idx) {
+      std::vector<std::string> operands;
+      for (std::size_t p = 0; p < ctx.in.size(); ++p)
+        operands.push_back(ctx.in_shapes[p].is_scalar()
+                               ? detail::at(ctx.in[p], 0)
+                               : detail::at(ctx.in[p], idx));
+      auto rhs = expr(*ctx.block, operands);
+      if (!rhs.is_ok()) {
+        status = rhs.status();
+        return;
+      }
+      ctx.w->line(detail::at(ctx.out[0], idx) + " = " + rhs.value() + ";");
+    };
+    auto vector_body = [&](const std::string& idx) {
+      std::vector<std::string> operands;
+      for (std::size_t p = 0; p < ctx.in.size(); ++p)
+        operands.push_back(ctx.in_shapes[p].is_scalar()
+                               ? detail::at(ctx.in[p], 0)  // splat by GNU C
+                               : detail::vload(ctx, ctx.in[p], idx));
+      auto rhs = expr(*ctx.block, operands);
+      if (!rhs.is_ok()) {
+        status = rhs.status();
+        return;
+      }
+      ctx.w->line(detail::vstore(ctx, ctx.out[0], idx) + " = " + rhs.value() +
+                  ";");
+    };
+    if (simd_capable(*ctx.block) && !ctx.out_shapes[0].is_scalar()) {
+      detail::for_each_interval_simd(ctx, ctx.out_ranges[0], "i", scalar_body,
+                                     vector_body);
+    } else {
+      detail::for_each_interval(ctx, ctx.out_ranges[0], "i", scalar_body);
+    }
+    return status;
+  }
+
+ protected:
+  virtual int arity(const Block& block) const = 0;
+  // C expression combining the operand expressions; must match fold().
+  virtual Result<std::string> expr(
+      const Block& block, const std::vector<std::string>& a) const = 0;
+  virtual Result<double> fold(const Block& block,
+                              const std::vector<double>& a) const = 0;
+  // True when expr() is valid GNU C vector arithmetic.
+  virtual bool simd_capable(const Block&) const { return false; }
+};
+
+// -- Gain / Bias / UnaryMinus ---------------------------------------------------
+
+class GainSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Gain"; }
+
+ protected:
+  int arity(const Block&) const override { return 1; }
+  bool simd_capable(const Block&) const override { return true; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double gain, gain_of(block));
+    return "(" + a[0] + " * " + format_double(gain) + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double gain, gain_of(block));
+    return a[0] * gain;
+  }
+
+ private:
+  static Result<double> gain_of(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Gain"));
+    return v.as_double();
+  }
+};
+
+class BiasSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Bias"; }
+
+ protected:
+  int arity(const Block&) const override { return 1; }
+  bool simd_capable(const Block&) const override { return true; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double bias, bias_of(block));
+    return "(" + a[0] + " + " + format_double(bias) + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double bias, bias_of(block));
+    return a[0] + bias;
+  }
+
+ private:
+  static Result<double> bias_of(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Bias"));
+    return v.as_double();
+  }
+};
+
+class UnaryMinusSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "UnaryMinus"; }
+
+ protected:
+  int arity(const Block&) const override { return 1; }
+  bool simd_capable(const Block&) const override { return true; }
+
+  Result<std::string> expr(const Block&,
+                           const std::vector<std::string>& a) const override {
+    return "(-" + a[0] + ")";
+  }
+
+  Result<double> fold(const Block&,
+                      const std::vector<double>& a) const override {
+    return -a[0];
+  }
+};
+
+// -- Sum / Product (sign strings, e.g. "++-" / "**/" ) ---------------------------
+
+Result<std::string> sign_string(const Block& block, char positive,
+                                int default_arity) {
+  if (!block.has_param("Inputs"))
+    return std::string(static_cast<std::size_t>(default_arity), positive);
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Inputs"));
+  if (v.is_int()) {
+    FRODO_ASSIGN_OR_RETURN(long long n, v.as_int());
+    if (n < 1)
+      return Result<std::string>::error("block '" + block.name() +
+                                        "': Inputs must be >= 1");
+    return std::string(static_cast<std::size_t>(n), positive);
+  }
+  return v.as_string();
+}
+
+class SumSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Sum"; }
+
+ protected:
+  int arity(const Block& block) const override {
+    auto signs = sign_string(block, '+', 2);
+    return signs.is_ok() ? static_cast<int>(signs.value().size()) : 2;
+  }
+
+  bool simd_capable(const Block&) const override { return true; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string signs, sign_string(block, '+', 2));
+    std::string out = "(";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const char sign = signs[i];
+      if (sign != '+' && sign != '-')
+        return Result<std::string>::error("Sum '" + block.name() +
+                                          "': bad sign '" +
+                                          std::string(1, sign) + "'");
+      if (i == 0 && sign == '+')
+        out += a[0];
+      else
+        out += std::string(" ") + sign + " " + a[i];
+    }
+    return out + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string signs, sign_string(block, '+', 2));
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      acc += signs[i] == '-' ? -a[i] : a[i];
+    return acc;
+  }
+};
+
+class ProductSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Product"; }
+
+ protected:
+  int arity(const Block& block) const override {
+    auto signs = sign_string(block, '*', 2);
+    return signs.is_ok() ? static_cast<int>(signs.value().size()) : 2;
+  }
+
+  bool simd_capable(const Block&) const override { return true; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string signs, sign_string(block, '*', 2));
+    std::string out = "(";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const char sign = signs[i];
+      if (sign != '*' && sign != '/')
+        return Result<std::string>::error("Product '" + block.name() +
+                                          "': bad sign '" +
+                                          std::string(1, sign) + "'");
+      if (i == 0) {
+        out += sign == '*' ? a[0] : "1.0 / " + a[0];
+      } else {
+        out += std::string(" ") + sign + " " + a[i];
+      }
+    }
+    return out + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string signs, sign_string(block, '*', 2));
+    double acc = 1.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      acc = signs[i] == '/' ? acc / a[i] : acc * a[i];
+    return acc;
+  }
+};
+
+// -- Math / Trigonometry (Function parameter) ------------------------------------
+
+struct MathFunction {
+  const char* name;
+  // C expression with %s for the operand.
+  const char* c_format;
+  double (*eval)(double);
+  bool simd;
+};
+
+const MathFunction kMathFunctions[] = {
+    {"exp", "exp(%s)", [](double x) { return std::exp(x); }, false},
+    {"log", "log(%s)", [](double x) { return std::log(x); }, false},
+    {"log10", "log10(%s)", [](double x) { return std::log10(x); }, false},
+    {"sqrt", "sqrt(%s)", [](double x) { return std::sqrt(x); }, false},
+    {"square", "(%s * %s)", [](double x) { return x * x; }, true},
+    {"reciprocal", "(1.0 / %s)", [](double x) { return 1.0 / x; }, true},
+    {"abs", "fabs(%s)", [](double x) { return std::fabs(x); }, false},
+    {"sign", "(double)((%s > 0.0) - (%s < 0.0))",
+     [](double x) { return static_cast<double>((x > 0.0) - (x < 0.0)); },
+     false},
+    {"floor", "floor(%s)", [](double x) { return std::floor(x); }, false},
+    {"ceil", "ceil(%s)", [](double x) { return std::ceil(x); }, false},
+    {"round", "round(%s)", [](double x) { return std::round(x); }, false},
+    {"sin", "sin(%s)", [](double x) { return std::sin(x); }, false},
+    {"cos", "cos(%s)", [](double x) { return std::cos(x); }, false},
+    {"tan", "tan(%s)", [](double x) { return std::tan(x); }, false},
+    {"atan", "atan(%s)", [](double x) { return std::atan(x); }, false},
+    {"tanh", "tanh(%s)", [](double x) { return std::tanh(x); }, false},
+    {"sigmoid", "(1.0 / (1.0 + exp(-%s)))",
+     [](double x) { return 1.0 / (1.0 + std::exp(-x)); }, false},
+};
+
+class MathSemantics final : public ElementwiseSemantics {
+ public:
+  MathSemantics(std::string type_name, std::string param_key)
+      : type_name_(std::move(type_name)), param_key_(std::move(param_key)) {}
+
+  std::string_view type() const override { return type_name_; }
+
+ protected:
+  int arity(const Block&) const override { return 1; }
+
+  bool simd_capable(const Block& block) const override {
+    auto fn = function_of(block);
+    return fn.is_ok() && fn.value()->simd;
+  }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(const MathFunction* fn, function_of(block));
+    return replace_all(fn->c_format, "%s", a[0]);
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(const MathFunction* fn, function_of(block));
+    return fn->eval(a[0]);
+  }
+
+ private:
+  Result<const MathFunction*> function_of(const Block& block) const {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(param_key_));
+    FRODO_ASSIGN_OR_RETURN(std::string name, v.as_string());
+    for (const MathFunction& fn : kMathFunctions) {
+      if (name == fn.name) return &fn;
+    }
+    return Result<const MathFunction*>::error(
+        type_name_ + " '" + block.name() + "': unsupported " + param_key_ +
+        " '" + name + "'");
+  }
+
+  std::string type_name_;
+  std::string param_key_;
+};
+
+// -- Power (fixed exponent) -------------------------------------------------------
+
+class PowerSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Power"; }
+
+ protected:
+  int arity(const Block&) const override { return 1; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double e, exponent_of(block));
+    if (e == 2.0) return "(" + a[0] + " * " + a[0] + ")";
+    return "pow(" + a[0] + ", " + format_double(e) + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double e, exponent_of(block));
+    if (e == 2.0) return a[0] * a[0];
+    return std::pow(a[0], e);
+  }
+
+ private:
+  static Result<double> exponent_of(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Exponent"));
+    return v.as_double();
+  }
+};
+
+// -- Saturation --------------------------------------------------------------------
+
+class SaturationSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Saturation"; }
+
+ protected:
+  int arity(const Block&) const override { return 1; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double lo, limit_of(block, "LowerLimit"));
+    FRODO_ASSIGN_OR_RETURN(double hi, limit_of(block, "UpperLimit"));
+    return "fmin(fmax(" + a[0] + ", " + format_double(lo) + "), " +
+           format_double(hi) + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(double lo, limit_of(block, "LowerLimit"));
+    FRODO_ASSIGN_OR_RETURN(double hi, limit_of(block, "UpperLimit"));
+    return std::fmin(std::fmax(a[0], lo), hi);
+  }
+
+ private:
+  static Result<double> limit_of(const Block& block, const char* key) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(key));
+    return v.as_double();
+  }
+};
+
+// -- Relational / Logic / Switch / MinMax -----------------------------------------
+
+class RelationalSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Relational"; }
+
+ protected:
+  int arity(const Block&) const override { return 2; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string op, op_of(block));
+    return "((" + a[0] + " " + op + " " + a[1] + ") ? 1.0 : 0.0)";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string op, op_of(block));
+    bool r = false;
+    if (op == "==") r = a[0] == a[1];
+    else if (op == "!=") r = a[0] != a[1];
+    else if (op == "<") r = a[0] < a[1];
+    else if (op == "<=") r = a[0] <= a[1];
+    else if (op == ">") r = a[0] > a[1];
+    else if (op == ">=") r = a[0] >= a[1];
+    return r ? 1.0 : 0.0;
+  }
+
+ private:
+  static Result<std::string> op_of(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Operator"));
+    FRODO_ASSIGN_OR_RETURN(std::string op, v.as_string());
+    if (op == "~=") op = "!=";  // MATLAB spelling
+    for (const char* valid : {"==", "!=", "<", "<=", ">", ">="}) {
+      if (op == valid) return op;
+    }
+    return Result<std::string>::error("Relational '" + block.name() +
+                                      "': unsupported Operator '" + op + "'");
+  }
+};
+
+class LogicSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Logic"; }
+
+ protected:
+  int arity(const Block& block) const override {
+    auto op = op_of(block);
+    if (op.is_ok() && op.value() == "NOT") return 1;
+    long long n = 2;
+    if (block.has_param("Inputs")) {
+      auto v = block.param("Inputs");
+      if (v.is_ok()) {
+        auto i = v.value().as_int();
+        if (i.is_ok()) n = i.value();
+      }
+    }
+    return static_cast<int>(n);
+  }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string op, op_of(block));
+    auto truthy = [](const std::string& x) { return "(" + x + " != 0.0)"; };
+    if (op == "NOT") return "((" + a[0] + " == 0.0) ? 1.0 : 0.0)";
+    const char* joiner = op == "AND" || op == "NAND" ? " && " : " || ";
+    std::string combined;
+    if (op == "XOR") {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) combined += " ^ ";
+        combined += truthy(a[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) combined += joiner;
+        combined += truthy(a[i]);
+      }
+    }
+    std::string result = "((" + combined + ") ? 1.0 : 0.0)";
+    if (op == "NAND" || op == "NOR")
+      result = "(1.0 - " + result + ")";
+    return result;
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string op, op_of(block));
+    if (op == "NOT") return a[0] == 0.0 ? 1.0 : 0.0;
+    bool acc = op == "AND" || op == "NAND";
+    for (double x : a) {
+      const bool t = x != 0.0;
+      if (op == "AND" || op == "NAND") acc = acc && t;
+      else if (op == "OR" || op == "NOR") acc = acc || t;
+      else if (op == "XOR") acc = acc != t;
+    }
+    if (op == "NAND" || op == "NOR") acc = !acc;
+    return acc ? 1.0 : 0.0;
+  }
+
+ private:
+  static Result<std::string> op_of(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Operator"));
+    FRODO_ASSIGN_OR_RETURN(std::string op, v.as_string());
+    for (const char* valid : {"AND", "OR", "NOT", "XOR", "NAND", "NOR"}) {
+      if (op == valid) return op;
+    }
+    return Result<std::string>::error("Logic '" + block.name() +
+                                      "': unsupported Operator '" + op + "'");
+  }
+};
+
+class SwitchSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "Switch"; }
+
+ protected:
+  int arity(const Block&) const override { return 3; }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string cond, condition(block, a[1]));
+    return "(" + cond + " ? " + a[0] + " : " + a[2] + ")";
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string crit, criteria_of(block));
+    FRODO_ASSIGN_OR_RETURN(double thr, threshold_of(block));
+    bool pass = false;
+    if (crit == "u2 >= Threshold") pass = a[1] >= thr;
+    else if (crit == "u2 > Threshold") pass = a[1] > thr;
+    else pass = a[1] != 0.0;
+    return pass ? a[0] : a[2];
+  }
+
+ private:
+  static Result<std::string> criteria_of(const Block& block) {
+    if (!block.has_param("Criteria"))
+      return std::string("u2 >= Threshold");
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Criteria"));
+    FRODO_ASSIGN_OR_RETURN(std::string crit, v.as_string());
+    for (const char* valid :
+         {"u2 >= Threshold", "u2 > Threshold", "u2 ~= 0"}) {
+      if (crit == valid) return crit;
+    }
+    return Result<std::string>::error("Switch '" + block.name() +
+                                      "': unsupported Criteria '" + crit +
+                                      "'");
+  }
+
+  static Result<double> threshold_of(const Block& block) {
+    if (!block.has_param("Threshold")) return 0.0;
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Threshold"));
+    return v.as_double();
+  }
+
+  Result<std::string> condition(const Block& block,
+                                const std::string& u2) const {
+    FRODO_ASSIGN_OR_RETURN(std::string crit, criteria_of(block));
+    FRODO_ASSIGN_OR_RETURN(double thr, threshold_of(block));
+    if (crit == "u2 >= Threshold")
+      return "(" + u2 + " >= " + format_double(thr) + ")";
+    if (crit == "u2 > Threshold")
+      return "(" + u2 + " > " + format_double(thr) + ")";
+    return "(" + u2 + " != 0.0)";
+  }
+};
+
+class MinMaxSemantics final : public ElementwiseSemantics {
+ public:
+  std::string_view type() const override { return "MinMax"; }
+
+ protected:
+  int arity(const Block& block) const override {
+    long long n = 2;
+    if (block.has_param("Inputs")) {
+      auto v = block.param("Inputs");
+      if (v.is_ok()) {
+        auto i = v.value().as_int();
+        if (i.is_ok()) n = i.value();
+      }
+    }
+    return static_cast<int>(n);
+  }
+
+  Result<std::string> expr(const Block& block,
+                           const std::vector<std::string>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string fn, function_of(block));
+    std::string out = a[0];
+    for (std::size_t i = 1; i < a.size(); ++i)
+      out = "f" + fn + "(" + out + ", " + a[i] + ")";
+    return out;
+  }
+
+  Result<double> fold(const Block& block,
+                      const std::vector<double>& a) const override {
+    FRODO_ASSIGN_OR_RETURN(std::string fn, function_of(block));
+    double acc = a[0];
+    for (std::size_t i = 1; i < a.size(); ++i)
+      acc = fn == "min" ? std::fmin(acc, a[i]) : std::fmax(acc, a[i]);
+    return acc;
+  }
+
+ private:
+  static Result<std::string> function_of(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Function"));
+    FRODO_ASSIGN_OR_RETURN(std::string fn, v.as_string());
+    if (fn != "min" && fn != "max")
+      return Result<std::string>::error("MinMax '" + block.name() +
+                                        "': Function must be min or max");
+    return fn;
+  }
+};
+
+// -- LookupTable (1-D, linear interpolation, clipped ends) -------------------------
+
+class LookupTableSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "LookupTable"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_RETURN_IF_ERROR(tables(block).status());
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(Tables t, tables(inst.b()));
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) out[0][i] = lookup(t, in[0][i]);
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(Tables t, tables(*ctx.block));
+    const std::size_t n = t.breakpoints.size();
+    ctx.w->open("");
+    emit_static_array(ctx, "bp_" + ctx.uid, t.breakpoints);
+    emit_static_array(ctx, "td_" + ctx.uid, t.table);
+    detail::for_each_interval(ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+      const std::string u = detail::at(ctx.in[0], i);
+      const std::string bp = "bp_" + ctx.uid;
+      const std::string td = "td_" + ctx.uid;
+      const std::string last = std::to_string(n - 1);
+      ctx.w->line("double u = " + u + ";");
+      ctx.w->line("double y;");
+      ctx.w->open("if (u <= " + bp + "[0])");
+      ctx.w->line("y = " + td + "[0];");
+      ctx.w->close();
+      ctx.w->open("else if (u >= " + bp + "[" + last + "])");
+      ctx.w->line("y = " + td + "[" + last + "];");
+      ctx.w->close();
+      ctx.w->open("else");
+      ctx.w->line("int k = 1;");
+      ctx.w->line("while (" + bp + "[k] < u) ++k;");
+      ctx.w->line("double f = (u - " + bp + "[k - 1]) / (" + bp + "[k] - " +
+                  bp + "[k - 1]);");
+      ctx.w->line("y = " + td + "[k - 1] + f * (" + td + "[k] - " + td +
+                  "[k - 1]);");
+      ctx.w->close();
+      ctx.w->line(detail::at(ctx.out[0], i) + " = y;");
+    });
+    ctx.w->close();
+    return Status::ok();
+  }
+
+ private:
+  struct Tables {
+    std::vector<double> breakpoints;
+    std::vector<double> table;
+  };
+
+  static Result<Tables> tables(const Block& block) {
+    Tables t;
+    FRODO_ASSIGN_OR_RETURN(model::Value bv, block.param("BreakpointsData"));
+    FRODO_ASSIGN_OR_RETURN(t.breakpoints, bv.as_double_list());
+    FRODO_ASSIGN_OR_RETURN(model::Value tv, block.param("TableData"));
+    FRODO_ASSIGN_OR_RETURN(t.table, tv.as_double_list());
+    if (t.breakpoints.size() != t.table.size() || t.breakpoints.size() < 2)
+      return Result<Tables>::error(
+          "LookupTable '" + block.name() +
+          "': BreakpointsData/TableData must have equal length >= 2");
+    for (std::size_t i = 1; i < t.breakpoints.size(); ++i) {
+      if (t.breakpoints[i] <= t.breakpoints[i - 1])
+        return Result<Tables>::error("LookupTable '" + block.name() +
+                                     "': breakpoints must be increasing");
+    }
+    return t;
+  }
+
+  static double lookup(const Tables& t, double u) {
+    const std::size_t n = t.breakpoints.size();
+    if (u <= t.breakpoints[0]) return t.table[0];
+    if (u >= t.breakpoints[n - 1]) return t.table[n - 1];
+    std::size_t k = 1;
+    while (t.breakpoints[k] < u) ++k;
+    const double f = (u - t.breakpoints[k - 1]) /
+                     (t.breakpoints[k] - t.breakpoints[k - 1]);
+    return t.table[k - 1] + f * (t.table[k] - t.table[k - 1]);
+  }
+
+  static void emit_static_array(codegen::EmitContext& ctx,
+                                const std::string& name,
+                                const std::vector<double>& values) {
+    std::string init;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) init += ", ";
+      init += format_double(values[i]);
+    }
+    ctx.w->line("static const double " + name + "[" +
+                std::to_string(values.size()) + "] = {" + init + "};");
+  }
+};
+
+}  // namespace
+
+void register_elementwise_blocks() {
+  register_semantics(std::make_unique<GainSemantics>());
+  register_semantics(std::make_unique<BiasSemantics>());
+  register_semantics(std::make_unique<UnaryMinusSemantics>());
+  register_semantics(std::make_unique<SumSemantics>());
+  register_semantics(std::make_unique<ProductSemantics>());
+  register_semantics(std::make_unique<MathSemantics>("Math", "Function"));
+  register_semantics(
+      std::make_unique<MathSemantics>("Trigonometry", "Operator"));
+  register_semantics(std::make_unique<PowerSemantics>());
+  register_semantics(std::make_unique<SaturationSemantics>());
+  register_semantics(std::make_unique<RelationalSemantics>());
+  register_semantics(std::make_unique<LogicSemantics>());
+  register_semantics(std::make_unique<SwitchSemantics>());
+  register_semantics(std::make_unique<MinMaxSemantics>());
+  register_semantics(std::make_unique<LookupTableSemantics>());
+}
+
+}  // namespace frodo::blocks

@@ -1,0 +1,804 @@
+// Extended block set: DeadZone, Quantizer, RMS, Variance, VectorMax,
+// VectorMin, Normalization, Flip, CircularShift, Repeat, Correlation,
+// IIRFilter, DiscreteIntegrator, RateLimiter.
+//
+// These round out the "numerous blocks, including math operation blocks,
+// matrix operation blocks, complex blocks" the paper's implementation
+// supports, and deliberately cover I/O-mapping corner cases:
+//   * Flip / CircularShift — exact non-monotone index permutations,
+//   * Normalization — elementwise output with *global* input demand,
+//   * IIRFilter — recursive prefix dependence (like CumulativeSum),
+//   * DiscreteIntegrator / RateLimiter — stateful, identity-mapped.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "blocks/emit_util.hpp"
+#include "blocks/semantics.hpp"
+#include "support/strings.hpp"
+
+namespace frodo::blocks {
+
+namespace {
+
+using mapping::IndexSet;
+using mapping::Interval;
+using model::Block;
+using model::Shape;
+
+Result<double> double_param(const Block& block, const char* key) {
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(key));
+  return v.as_double();
+}
+
+Result<double> double_param_or(const Block& block, const char* key,
+                               double fallback) {
+  if (!block.has_param(key)) return fallback;
+  return double_param(block, key);
+}
+
+Result<long long> int_param(const Block& block, const char* key) {
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(key));
+  return v.as_int();
+}
+
+std::string double_array_init(const std::vector<double>& values) {
+  std::string init;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) init += ", ";
+    init += format_double(values[i]);
+  }
+  return init;
+}
+
+// -- Simple elementwise additions ------------------------------------------------
+
+// Zero inside [Start, End]; outside, shifted toward zero by the band edge.
+class DeadZoneSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "DeadZone"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(double lo, double_param(inst.b(), "Start"));
+    FRODO_ASSIGN_OR_RETURN(double hi, double_param(inst.b(), "End"));
+    for (long long i = 0; i < inst.out_shapes[0].size(); ++i) {
+      const double x = in[0][i];
+      out[0][i] = x < lo ? x - lo : (x > hi ? x - hi : 0.0);
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(double lo, double_param(*ctx.block, "Start"));
+    FRODO_ASSIGN_OR_RETURN(double hi, double_param(*ctx.block, "End"));
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line("double x = " + detail::at(ctx.in[0], i) + ";");
+          ctx.w->line(detail::at(ctx.out[0], i) + " = x < " +
+                      format_double(lo) + " ? x - " + format_double(lo) +
+                      " : (x > " + format_double(hi) + " ? x - " +
+                      format_double(hi) + " : 0.0);");
+        });
+    return Status::ok();
+  }
+};
+
+// q * round(x / q).
+class QuantizerSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Quantizer"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(double q, double_param(inst.b(), "Interval"));
+    for (long long i = 0; i < inst.out_shapes[0].size(); ++i)
+      out[0][i] = q * std::round(in[0][i] / q);
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(double q, double_param(*ctx.block, "Interval"));
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " + format_double(q) +
+                      " * round(" + detail::at(ctx.in[0], i) + " / " +
+                      format_double(q) + ");");
+        });
+    return Status::ok();
+  }
+};
+
+// -- Reductions -------------------------------------------------------------------
+
+// Base for vector -> scalar reductions (full input demand when demanded).
+class ReductionSemantics : public BlockSemantics {
+ public:
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>&) const override {
+    return std::vector<Shape>{Shape::scalar()};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    if (out_demand[0].is_empty())
+      return std::vector<IndexSet>{IndexSet::empty()};
+    return std::vector<IndexSet>{IndexSet::full(inst.in_shapes[0].size())};
+  }
+};
+
+class RmsSemantics final : public ReductionSemantics {
+ public:
+  std::string_view type() const override { return "RMS"; }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.in_shapes[0].size();
+    double acc = 0;
+    for (long long i = 0; i < n; ++i) acc += in[0][i] * in[0][i];
+    out[0][0] = std::sqrt(acc / static_cast<double>(n));
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    if (ctx.out_ranges[0].is_empty()) return Status::ok();
+    const long long n = ctx.in_shapes[0].size();
+    ctx.w->open("");
+    ctx.w->line("double acc = 0.0;");
+    ctx.w->open("for (int i = 0; i < " + std::to_string(n) + "; ++i)");
+    ctx.w->line("acc += " + detail::at(ctx.in[0], "i") + " * " +
+                detail::at(ctx.in[0], "i") + ";");
+    ctx.w->close();
+    ctx.w->line(detail::at(ctx.out[0], 0LL) + " = sqrt(acc / " +
+                format_double(static_cast<double>(n)) + ");");
+    ctx.w->close();
+    return Status::ok();
+  }
+};
+
+class VarianceSemantics final : public ReductionSemantics {
+ public:
+  std::string_view type() const override { return "Variance"; }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.in_shapes[0].size();
+    double mean = 0;
+    for (long long i = 0; i < n; ++i) mean += in[0][i];
+    mean /= static_cast<double>(n);
+    double acc = 0;
+    for (long long i = 0; i < n; ++i)
+      acc += (in[0][i] - mean) * (in[0][i] - mean);
+    out[0][0] = acc / static_cast<double>(n);
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    if (ctx.out_ranges[0].is_empty()) return Status::ok();
+    const long long n = ctx.in_shapes[0].size();
+    const std::string fn = format_double(static_cast<double>(n));
+    ctx.w->open("");
+    ctx.w->line("double mean = 0.0;");
+    ctx.w->open("for (int i = 0; i < " + std::to_string(n) + "; ++i)");
+    ctx.w->line("mean += " + detail::at(ctx.in[0], "i") + ";");
+    ctx.w->close();
+    ctx.w->line("mean /= " + fn + ";");
+    ctx.w->line("double acc = 0.0;");
+    ctx.w->open("for (int i = 0; i < " + std::to_string(n) + "; ++i)");
+    ctx.w->line("double d = " + detail::at(ctx.in[0], "i") + " - mean;");
+    ctx.w->line("acc += d * d;");
+    ctx.w->close();
+    ctx.w->line(detail::at(ctx.out[0], 0LL) + " = acc / " + fn + ";");
+    ctx.w->close();
+    return Status::ok();
+  }
+};
+
+class VectorExtremumSemantics final : public ReductionSemantics {
+ public:
+  explicit VectorExtremumSemantics(bool is_max) : is_max_(is_max) {}
+  std::string_view type() const override {
+    return is_max_ ? "VectorMax" : "VectorMin";
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.in_shapes[0].size();
+    double best = in[0][0];
+    for (long long i = 1; i < n; ++i)
+      best = is_max_ ? std::fmax(best, in[0][i]) : std::fmin(best, in[0][i]);
+    out[0][0] = best;
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    if (ctx.out_ranges[0].is_empty()) return Status::ok();
+    const long long n = ctx.in_shapes[0].size();
+    const char* fn = is_max_ ? "fmax" : "fmin";
+    ctx.w->open("");
+    ctx.w->line("double best = " + detail::at(ctx.in[0], 0LL) + ";");
+    ctx.w->open("for (int i = 1; i < " + std::to_string(n) + "; ++i)");
+    ctx.w->line(std::string("best = ") + fn + "(best, " +
+                detail::at(ctx.in[0], "i") + ");");
+    ctx.w->close();
+    ctx.w->line(detail::at(ctx.out[0], 0LL) + " = best;");
+    ctx.w->close();
+    return Status::ok();
+  }
+
+ private:
+  bool is_max_;
+};
+
+// -- Normalization: elementwise output, global demand ------------------------------
+//
+// y[i] = x[i] / sqrt(sum x^2 + eps): producing ANY output element needs the
+// whole input, so a truncation downstream cannot shrink this block's input
+// demand — only its output loop.
+class NormalizationSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Normalization"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    if (out_demand[0].is_empty())
+      return std::vector<IndexSet>{IndexSet::empty()};
+    return std::vector<IndexSet>{IndexSet::full(inst.in_shapes[0].size())};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(double eps,
+                           double_param_or(inst.b(), "Epsilon", 1e-12));
+    const long long n = inst.out_shapes[0].size();
+    double acc = eps;
+    for (long long i = 0; i < n; ++i) acc += in[0][i] * in[0][i];
+    const double norm = std::sqrt(acc);
+    for (long long i = 0; i < n; ++i) out[0][i] = in[0][i] / norm;
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    if (ctx.out_ranges[0].is_empty()) return Status::ok();
+    FRODO_ASSIGN_OR_RETURN(double eps,
+                           double_param_or(*ctx.block, "Epsilon", 1e-12));
+    const long long n = ctx.in_shapes[0].size();
+    ctx.w->open("");
+    ctx.w->line("double acc = " + format_double(eps) + ";");
+    ctx.w->open("for (int i = 0; i < " + std::to_string(n) + "; ++i)");
+    ctx.w->line("acc += " + detail::at(ctx.in[0], "i") + " * " +
+                detail::at(ctx.in[0], "i") + ";");
+    ctx.w->close();
+    ctx.w->line("double norm = sqrt(acc);");
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " +
+                      detail::at(ctx.in[0], i) + " / norm;");
+        });
+    ctx.w->close();
+    return Status::ok();
+  }
+};
+
+// -- Index permutations -------------------------------------------------------------
+
+// y[i] = x[n-1-i].
+class FlipSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Flip"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    const long long n = inst.in_shapes[0].size();
+    IndexSet in;
+    for (const Interval& iv : out_demand[0].intervals())
+      in.insert(n - 1 - iv.hi, n - 1 - iv.lo);
+    return std::vector<IndexSet>{in};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) out[0][i] = in[0][n - 1 - i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    const long long n = ctx.in_shapes[0].size();
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" +
+                      std::to_string(n - 1) + " - " + i + "];");
+        });
+    return Status::ok();
+  }
+};
+
+// y[i] = x[(i + Shift) mod n]  (left rotation by Shift).
+class CircularShiftSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "CircularShift"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_RETURN_IF_ERROR(int_param(block, "Shift").status());
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    const long long n = inst.in_shapes[0].size();
+    FRODO_ASSIGN_OR_RETURN(long long raw, int_param(inst.b(), "Shift"));
+    const long long shift = ((raw % n) + n) % n;
+    // The rotation maps each demanded run to at most two runs.
+    IndexSet in;
+    in.unite(out_demand[0].offset(shift).clamp(shift, n - 1));
+    in.unite(out_demand[0].offset(shift - n).clamp(0, shift - 1));
+    return std::vector<IndexSet>{in};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.out_shapes[0].size();
+    FRODO_ASSIGN_OR_RETURN(long long raw, int_param(inst.b(), "Shift"));
+    const long long shift = ((raw % n) + n) % n;
+    for (long long i = 0; i < n; ++i) out[0][i] = in[0][(i + shift) % n];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    const long long n = ctx.in_shapes[0].size();
+    FRODO_ASSIGN_OR_RETURN(long long raw, int_param(*ctx.block, "Shift"));
+    const long long shift = ((raw % n) + n) % n;
+    // Split each demanded run at the wrap point so no modulo runs per
+    // element.
+    for (const Interval& iv : ctx.out_ranges[0].intervals()) {
+      const IndexSet straight =
+          IndexSet::interval(iv.lo, iv.hi).clamp(0, n - 1 - shift);
+      const IndexSet wrapped =
+          IndexSet::interval(iv.lo, iv.hi).clamp(n - shift, n - 1);
+      detail::for_each_interval(ctx, straight, "i", [&](const std::string& i) {
+        ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" + i +
+                    " + " + std::to_string(shift) + "];");
+      });
+      detail::for_each_interval(ctx, wrapped, "i", [&](const std::string& i) {
+        ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" + i +
+                    " - " + std::to_string(n - shift) + "];");
+      });
+    }
+    return Status::ok();
+  }
+};
+
+// y[i] = x[i / Count]  (each element repeated Count times).
+class RepeatSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Repeat"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(block, "Count"));
+    if (k < 1)
+      return Result<std::vector<Shape>>::error("Repeat '" + block.name() +
+                                               "': Count must be >= 1");
+    return std::vector<Shape>{
+        Shape::vector(static_cast<int>(in[0].size() * k))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Count"));
+    IndexSet in;
+    for (const Interval& iv : out_demand[0].intervals())
+      in.insert(iv.lo / k, iv.hi / k);
+    return std::vector<IndexSet>{in};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Count"));
+    for (long long i = 0; i < inst.out_shapes[0].size(); ++i)
+      out[0][i] = in[0][i / k];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(*ctx.block, "Count"));
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" + i +
+                      " / " + std::to_string(k) + "];");
+        });
+    return Status::ok();
+  }
+};
+
+// -- Correlation ---------------------------------------------------------------------
+//
+// Full cross-correlation: |out| = n + m - 1,
+//   out[i] = sum_j u[j] * v[j - i + m - 1]   (v slides over u).
+class CorrelationSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Correlation"; }
+  int input_count(const Block&) const override { return 2; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{Shape::vector(
+        static_cast<int>(in[0].size() + in[1].size() - 1))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    const long long n = inst.in_shapes[0].size();
+    const long long m = inst.in_shapes[1].size();
+    std::vector<IndexSet> in(2);
+    if (!out_demand[0].is_empty()) {
+      // out[i] reads u[max(0, i-m+1) .. min(i, n-1)] — same window as
+      // convolution — and all of v.
+      in[0] = out_demand[0].dilate(m - 1, 0).clamp(0, n - 1);
+      in[1] = IndexSet::full(m);
+    }
+    return in;
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.in_shapes[0].size();
+    const long long m = inst.in_shapes[1].size();
+    for (long long i = 0; i < n + m - 1; ++i) {
+      const long long j_lo = std::max(0LL, i - m + 1);
+      const long long j_hi = std::min(i, n - 1);
+      double acc = 0;
+      for (long long j = j_lo; j <= j_hi; ++j)
+        acc += in[0][j] * in[1][j - i + m - 1];
+      out[0][i] = acc;
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    const long long n = ctx.in_shapes[0].size();
+    const long long m = ctx.in_shapes[1].size();
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line("int j_lo = " + i + " - " + std::to_string(m - 1) +
+                      "; if (j_lo < 0) j_lo = 0;");
+          ctx.w->line("int j_hi = " + i + "; if (j_hi > " +
+                      std::to_string(n - 1) + ") j_hi = " +
+                      std::to_string(n - 1) + ";");
+          ctx.w->line("double acc = 0.0;");
+          ctx.w->open("for (int j = j_lo; j <= j_hi; ++j)");
+          ctx.w->line("acc += " + ctx.in[0] + "[j] * " + ctx.in[1] + "[j - " +
+                      i + " + " + std::to_string(m - 1) + "];");
+          ctx.w->close();
+          ctx.w->line(detail::at(ctx.out[0], i) + " = acc;");
+        });
+    return Status::ok();
+  }
+};
+
+// -- IIRFilter: y[i] = sum_k B[k] u[i-k] - sum_{k>=1} A[k] y[i-k] --------------------
+//
+// Direct-form I with zero initial history per step; A[0] is assumed 1.
+// The recursion makes every output depend on the whole input prefix.
+class IirSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "IIRFilter"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_RETURN_IF_ERROR(coeffs(block, "B").status());
+    FRODO_RETURN_IF_ERROR(coeffs(block, "A").status());
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    if (out_demand[0].is_empty())
+      return std::vector<IndexSet>{IndexSet::empty()};
+    return std::vector<IndexSet>{IndexSet::interval(0, out_demand[0].max())};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> b, coeffs(inst.b(), "B"));
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> a, coeffs(inst.b(), "A"));
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) {
+      double acc = 0;
+      for (std::size_t k = 0; k < b.size(); ++k) {
+        if (i >= static_cast<long long>(k)) acc += b[k] * in[0][i - k];
+      }
+      for (std::size_t k = 1; k < a.size(); ++k) {
+        if (i >= static_cast<long long>(k)) acc -= a[k] * out[0][i - k];
+      }
+      out[0][i] = acc;
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    if (ctx.out_ranges[0].is_empty()) return Status::ok();
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> b, coeffs(*ctx.block, "B"));
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> a, coeffs(*ctx.block, "A"));
+    // The recursion needs y[0..max]; compute the full prefix (the pullback
+    // promises the input prefix is available).
+    const long long hi = ctx.out_ranges[0].max();
+    ctx.w->open("");
+    ctx.w->line("static const double bco[" + std::to_string(b.size()) +
+                "] = {" + double_array_init(b) + "};");
+    ctx.w->line("static const double aco[" + std::to_string(a.size()) +
+                "] = {" + double_array_init(a) + "};");
+    ctx.w->open("for (int i = 0; i <= " + std::to_string(hi) + "; ++i)");
+    ctx.w->line("double acc = 0.0;");
+    ctx.w->line("int kb = i < " + std::to_string(b.size() - 1) + " ? i : " +
+                std::to_string(b.size() - 1) + ";");
+    ctx.w->open("for (int k = 0; k <= kb; ++k)");
+    ctx.w->line("acc += bco[k] * " + detail::at(ctx.in[0], "i - k") + ";");
+    ctx.w->close();
+    ctx.w->line("int ka = i < " + std::to_string(a.size() - 1) + " ? i : " +
+                std::to_string(a.size() - 1) + ";");
+    ctx.w->open("for (int k = 1; k <= ka; ++k)");
+    ctx.w->line("acc -= aco[k] * " + detail::at(ctx.out[0], "i - k") + ";");
+    ctx.w->close();
+    ctx.w->line(detail::at(ctx.out[0], "i") + " = acc;");
+    ctx.w->close();
+    ctx.w->close();
+    return Status::ok();
+  }
+
+ private:
+  static Result<std::vector<double>> coeffs(const Block& block,
+                                            const char* key) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(key));
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> c, v.as_double_list());
+    if (c.empty())
+      return Result<std::vector<double>>::error(
+          "IIRFilter '" + block.name() + "': " + key + " must be non-empty");
+    return c;
+  }
+};
+
+// -- Stateful additions ---------------------------------------------------------------
+
+// y = state; state += Gain * u  (forward-Euler accumulator).
+class DiscreteIntegratorSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "DiscreteIntegrator"; }
+  int input_count(const Block&) const override { return 1; }
+  bool has_state(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<Shape>> infer_early(const Block& block) const override {
+    if (!block.has_param("InitialCondition")) return std::vector<Shape>{};
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("InitialCondition"));
+    if (!v.is_list()) return std::vector<Shape>{};
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> ic, v.as_double_list());
+    if (ic.size() <= 1) return std::vector<Shape>{};
+    return std::vector<Shape>{Shape::vector(static_cast<int>(ic.size()))};
+  }
+
+  long long state_size(const BlockInstance& inst) const override {
+    return inst.out_shapes[0].size();
+  }
+
+  Status init_state(const BlockInstance& inst, double* state) const override {
+    std::vector<double> ic(1, 0.0);
+    if (inst.b().has_param("InitialCondition")) {
+      FRODO_ASSIGN_OR_RETURN(model::Value v,
+                             inst.b().param("InitialCondition"));
+      FRODO_ASSIGN_OR_RETURN(ic, v.as_double_list());
+    }
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i)
+      state[i] = ic[ic.size() == 1 ? 0 : static_cast<std::size_t>(i)];
+    return Status::ok();
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>&,
+                  const std::vector<double*>& out,
+                  double* state) const override {
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) out[0][i] = state[i];
+    return Status::ok();
+  }
+
+  Status update_state(const BlockInstance& inst,
+                      const std::vector<const double*>& in,
+                      double* state) const override {
+    FRODO_ASSIGN_OR_RETURN(double gain,
+                           double_param_or(inst.b(), "Gain", 1.0));
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) state[i] += gain * in[0][i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " +
+                      detail::at(ctx.state, i) + ";");
+        });
+    return Status::ok();
+  }
+
+  Status emit_state_update(codegen::EmitContext& ctx,
+                           const mapping::IndexSet& in_range) const override {
+    FRODO_ASSIGN_OR_RETURN(double gain,
+                           double_param_or(*ctx.block, "Gain", 1.0));
+    detail::for_each_interval(ctx, in_range, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.state, i) + " += " + format_double(gain) +
+                  " * " + detail::at(ctx.in[0], i) + ";");
+    });
+    return Status::ok();
+  }
+};
+
+// y[i] = clamp(u[i], prev[i] - Rate, prev[i] + Rate); state = y.
+class RateLimiterSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "RateLimiter"; }
+  int input_count(const Block&) const override { return 1; }
+  bool has_state(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>& in) const override {
+    return std::vector<Shape>{in[0]};
+  }
+
+  long long state_size(const BlockInstance& inst) const override {
+    return inst.out_shapes[0].size();
+  }
+
+  Status init_state(const BlockInstance& inst, double* state) const override {
+    for (long long i = 0; i < inst.out_shapes[0].size(); ++i) state[i] = 0.0;
+    return Status::ok();
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out,
+                  double* state) const override {
+    FRODO_ASSIGN_OR_RETURN(double rate, double_param(inst.b(), "Rate"));
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i)
+      out[0][i] =
+          std::fmin(std::fmax(in[0][i], state[i] - rate), state[i] + rate);
+    return Status::ok();
+  }
+
+  Status update_state(const BlockInstance& inst,
+                      const std::vector<const double*>& in,
+                      double* state) const override {
+    FRODO_ASSIGN_OR_RETURN(double rate, double_param(inst.b(), "Rate"));
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i)
+      state[i] =
+          std::fmin(std::fmax(in[0][i], state[i] - rate), state[i] + rate);
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(double rate, double_param(*ctx.block, "Rate"));
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = fmin(fmax(" +
+                      detail::at(ctx.in[0], i) + ", " +
+                      detail::at(ctx.state, i) + " - " + format_double(rate) +
+                      "), " + detail::at(ctx.state, i) + " + " +
+                      format_double(rate) + ");");
+        });
+    return Status::ok();
+  }
+
+  Status emit_state_update(codegen::EmitContext& ctx,
+                           const mapping::IndexSet& in_range) const override {
+    FRODO_ASSIGN_OR_RETURN(double rate, double_param(*ctx.block, "Rate"));
+    detail::for_each_interval(ctx, in_range, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.state, i) + " = fmin(fmax(" +
+                  detail::at(ctx.in[0], i) + ", " + detail::at(ctx.state, i) +
+                  " - " + format_double(rate) + "), " +
+                  detail::at(ctx.state, i) + " + " + format_double(rate) +
+                  ");");
+    });
+    return Status::ok();
+  }
+};
+
+}  // namespace
+
+void register_extended_blocks() {
+  register_semantics(std::make_unique<DeadZoneSemantics>());
+  register_semantics(std::make_unique<QuantizerSemantics>());
+  register_semantics(std::make_unique<RmsSemantics>());
+  register_semantics(std::make_unique<VarianceSemantics>());
+  register_semantics(std::make_unique<VectorExtremumSemantics>(true));
+  register_semantics(std::make_unique<VectorExtremumSemantics>(false));
+  register_semantics(std::make_unique<NormalizationSemantics>());
+  register_semantics(std::make_unique<FlipSemantics>());
+  register_semantics(std::make_unique<CircularShiftSemantics>());
+  register_semantics(std::make_unique<RepeatSemantics>());
+  register_semantics(std::make_unique<CorrelationSemantics>());
+  register_semantics(std::make_unique<IirSemantics>());
+  register_semantics(std::make_unique<DiscreteIntegratorSemantics>());
+  register_semantics(std::make_unique<RateLimiterSemantics>());
+}
+
+}  // namespace frodo::blocks

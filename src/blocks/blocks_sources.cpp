@@ -1,0 +1,161 @@
+// Source/sink blocks: Inport, Outport, Constant.
+//
+// Parameters:
+//   Inport   — Port (1-based position in the step signature), Dims (optional
+//              int or int list; default scalar).
+//   Outport  — Port (1-based position in the step signature).
+//   Constant — Value (number or number list), Dims (optional reshape).
+#include <memory>
+
+#include "blocks/emit_util.hpp"
+#include "blocks/semantics.hpp"
+
+namespace frodo::blocks {
+
+namespace {
+
+using mapping::IndexSet;
+using model::Block;
+using model::Shape;
+
+Result<Shape> shape_from_dims_param(const Block& block,
+                                    const Shape& fallback) {
+  if (!block.has_param("Dims")) return fallback;
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Dims"));
+  FRODO_ASSIGN_OR_RETURN(std::vector<long long> dims, v.as_int_list());
+  std::vector<int> d;
+  for (long long x : dims) {
+    if (x < 1)
+      return Result<Shape>::error("block '" + block.name() +
+                                  "': Dims entries must be >= 1");
+    d.push_back(static_cast<int>(x));
+  }
+  if (d.empty()) return Shape::scalar();
+  if (d.size() == 1 && d[0] == 1) return Shape::scalar();
+  return Shape(d);
+}
+
+class InportSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Inport"; }
+  int input_count(const Block&) const override { return 0; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>&) const override {
+    return infer_early(block);
+  }
+
+  Result<std::vector<Shape>> infer_early(const Block& block) const override {
+    FRODO_ASSIGN_OR_RETURN(Shape shape,
+                           shape_from_dims_param(block, Shape::scalar()));
+    return std::vector<Shape>{shape};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&, const std::vector<IndexSet>&) const override {
+    return std::vector<IndexSet>{};
+  }
+
+  Status simulate(const BlockInstance&, const std::vector<const double*>&,
+                  const std::vector<double*>&, double*) const override {
+    // The interpreter copies external inputs into the Inport buffer itself.
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext&) const override {
+    // The Inport's buffer *is* the step-function parameter; nothing to do.
+    return Status::ok();
+  }
+};
+
+class OutportSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Outport"; }
+  int input_count(const Block&) const override { return 1; }
+  int output_count(const Block&) const override { return 0; }
+
+  Result<std::vector<Shape>> infer(
+      const Block&, const std::vector<Shape>&) const override {
+    return std::vector<Shape>{};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst, const std::vector<IndexSet>&) const override {
+    // A model output is externally visible: everything is demanded.
+    return std::vector<IndexSet>{IndexSet::full(inst.in_shapes[0].size())};
+  }
+
+  Status simulate(const BlockInstance&, const std::vector<const double*>&,
+                  const std::vector<double*>&, double*) const override {
+    // The interpreter reads the driver buffer directly.
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    // ctx.out[0] is the caller-supplied output pointer.
+    const long long n = ctx.in_shapes[0].size();
+    ctx.w->line("memcpy(" + ctx.out[0] + ", " + ctx.in[0] + ", " +
+                std::to_string(n) + " * sizeof(double));");
+    return Status::ok();
+  }
+};
+
+class ConstantSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Constant"; }
+  int input_count(const Block&) const override { return 0; }
+  bool is_constant(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>&) const override {
+    return infer_early(block);
+  }
+
+  Result<std::vector<Shape>> infer_early(const Block& block) const override {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Value"));
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> values, v.as_double_list());
+    Shape natural = values.size() == 1
+                        ? Shape::scalar()
+                        : Shape::vector(static_cast<int>(values.size()));
+    FRODO_ASSIGN_OR_RETURN(Shape shape, shape_from_dims_param(block, natural));
+    if (shape.size() != static_cast<long long>(values.size()))
+      return Result<std::vector<Shape>>::error(
+          "Constant '" + block.name() + "': Dims " + shape.to_string() +
+          " does not match Value length " + std::to_string(values.size()));
+    return std::vector<Shape>{shape};
+  }
+
+  Result<std::vector<double>> constant_value(
+      const BlockInstance& inst) const override {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, inst.b().param("Value"));
+    return v.as_double_list();
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&, const std::vector<IndexSet>&) const override {
+    return std::vector<IndexSet>{};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>&,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> values, constant_value(inst));
+    for (std::size_t i = 0; i < values.size(); ++i) out[0][i] = values[i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext&) const override {
+    // Generators bake constant_value() into the buffer's static initializer.
+    return Status::ok();
+  }
+};
+
+}  // namespace
+
+void register_source_blocks() {
+  register_semantics(std::make_unique<InportSemantics>());
+  register_semantics(std::make_unique<OutportSemantics>());
+  register_semantics(std::make_unique<ConstantSemantics>());
+}
+
+}  // namespace frodo::blocks

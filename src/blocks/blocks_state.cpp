@@ -1,0 +1,225 @@
+// Stateful blocks: UnitDelay, Delay.
+//
+// A delay's output is last step's state, so its incoming edges never
+// constrain this step's schedule (graph::topo_order treats it as a source),
+// and the generated code updates the state at the *end* of the step
+// function, after the producer block has filled its buffer.
+//
+// Range analysis across steps: the calculation range is a fixed point over
+// time — if downstream only ever demands elements [a,b] of the delayed
+// signal, only state elements [a,b] are ever read, so only those need to be
+// refreshed.  Hence the identity pullback.
+//
+// Parameters:
+//   UnitDelay — InitialCondition (scalar broadcast or list; default 0).
+//   Delay     — DelaySamples (N >= 1), InitialCondition as above.
+#include <memory>
+
+#include "blocks/emit_util.hpp"
+#include "blocks/semantics.hpp"
+#include "support/strings.hpp"
+
+namespace frodo::blocks {
+
+namespace {
+
+using mapping::IndexSet;
+using model::Block;
+using model::Shape;
+
+Result<std::vector<double>> initial_condition(const Block& block,
+                                              long long size) {
+  std::vector<double> ic;
+  if (block.has_param("InitialCondition")) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("InitialCondition"));
+    FRODO_ASSIGN_OR_RETURN(ic, v.as_double_list());
+  } else {
+    ic = {0.0};
+  }
+  if (ic.size() == 1) ic.assign(static_cast<std::size_t>(size), ic[0]);
+  if (static_cast<long long>(ic.size()) != size)
+    return Result<std::vector<double>>::error(
+        "block '" + block.name() + "': InitialCondition length " +
+        std::to_string(ic.size()) + " does not match signal size " +
+        std::to_string(size));
+  return ic;
+}
+
+// Shape declared by a vector InitialCondition, for delays inside feedback
+// loops where the input shape is not derivable first.
+Result<std::vector<Shape>> early_shape(const Block& block) {
+  if (!block.has_param("InitialCondition")) return std::vector<Shape>{};
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("InitialCondition"));
+  if (!v.is_list()) return std::vector<Shape>{};
+  FRODO_ASSIGN_OR_RETURN(std::vector<double> ic, v.as_double_list());
+  if (ic.size() <= 1) return std::vector<Shape>{};
+  return std::vector<Shape>{Shape::vector(static_cast<int>(ic.size()))};
+}
+
+class DelayBase : public BlockSemantics {
+ public:
+  int input_count(const Block&) const override { return 1; }
+  bool has_state(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    (void)block;
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<Shape>> infer_early(const Block& block) const override {
+    return early_shape(block);
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+};
+
+class UnitDelaySemantics final : public DelayBase {
+ public:
+  std::string_view type() const override { return "UnitDelay"; }
+
+  long long state_size(const BlockInstance& inst) const override {
+    return inst.out_shapes[0].size();
+  }
+
+  Status init_state(const BlockInstance& inst, double* state) const override {
+    FRODO_ASSIGN_OR_RETURN(
+        std::vector<double> ic,
+        initial_condition(inst.b(), inst.out_shapes[0].size()));
+    for (std::size_t i = 0; i < ic.size(); ++i) state[i] = ic[i];
+    return Status::ok();
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>&,
+                  const std::vector<double*>& out,
+                  double* state) const override {
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) out[0][i] = state[i];
+    return Status::ok();
+  }
+
+  Status update_state(const BlockInstance& inst,
+                      const std::vector<const double*>& in,
+                      double* state) const override {
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) state[i] = in[0][i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " +
+                      detail::at(ctx.state, i) + ";");
+        });
+    return Status::ok();
+  }
+
+  Status emit_state_update(codegen::EmitContext& ctx,
+                           const mapping::IndexSet& in_range) const override {
+    detail::for_each_interval(ctx, in_range, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.state, i) + " = " +
+                  detail::at(ctx.in[0], i) + ";");
+    });
+    return Status::ok();
+  }
+};
+
+class DelaySemantics final : public DelayBase {
+ public:
+  std::string_view type() const override { return "Delay"; }
+
+  long long state_size(const BlockInstance& inst) const override {
+    auto n = samples(inst.b());
+    return (n.is_ok() ? n.value() : 1) * inst.out_shapes[0].size();
+  }
+
+  Status init_state(const BlockInstance& inst, double* state) const override {
+    FRODO_ASSIGN_OR_RETURN(long long slots, samples(inst.b()));
+    const long long size = inst.out_shapes[0].size();
+    FRODO_ASSIGN_OR_RETURN(std::vector<double> ic,
+                           initial_condition(inst.b(), size));
+    for (long long j = 0; j < slots; ++j) {
+      for (long long i = 0; i < size; ++i)
+        state[j * size + i] = ic[static_cast<std::size_t>(i)];
+    }
+    return Status::ok();
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>&,
+                  const std::vector<double*>& out,
+                  double* state) const override {
+    const long long n = inst.out_shapes[0].size();
+    // Slot 0 is the oldest sample.
+    for (long long i = 0; i < n; ++i) out[0][i] = state[i];
+    return Status::ok();
+  }
+
+  Status update_state(const BlockInstance& inst,
+                      const std::vector<const double*>& in,
+                      double* state) const override {
+    FRODO_ASSIGN_OR_RETURN(long long slots, samples(inst.b()));
+    const long long n = inst.out_shapes[0].size();
+    for (long long j = 0; j + 1 < slots; ++j) {
+      for (long long i = 0; i < n; ++i)
+        state[j * n + i] = state[(j + 1) * n + i];
+    }
+    for (long long i = 0; i < n; ++i) state[(slots - 1) * n + i] = in[0][i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " +
+                      detail::at(ctx.state, i) + ";");
+        });
+    return Status::ok();
+  }
+
+  Status emit_state_update(codegen::EmitContext& ctx,
+                           const mapping::IndexSet& in_range) const override {
+    FRODO_ASSIGN_OR_RETURN(long long slots, samples(*ctx.block));
+    const long long n = ctx.out_shapes[0].size();
+    for (long long j = 0; j + 1 < slots; ++j) {
+      const long long to = j * n;
+      const long long from = (j + 1) * n;
+      detail::for_each_interval(ctx, in_range, "i", [&](const std::string& i) {
+        ctx.w->line(ctx.state + "[" + std::to_string(to) + " + " + i + "] = " +
+                    ctx.state + "[" + std::to_string(from) + " + " + i +
+                    "];");
+      });
+    }
+    const long long tail = (slots - 1) * n;
+    detail::for_each_interval(ctx, in_range, "i", [&](const std::string& i) {
+      ctx.w->line(ctx.state + "[" + std::to_string(tail) + " + " + i +
+                  "] = " + detail::at(ctx.in[0], i) + ";");
+    });
+    return Status::ok();
+  }
+
+ private:
+  static Result<long long> samples(const Block& block) {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("DelaySamples"));
+    FRODO_ASSIGN_OR_RETURN(long long n, v.as_int());
+    if (n < 1)
+      return Result<long long>::error("Delay '" + block.name() +
+                                      "': DelaySamples must be >= 1");
+    return n;
+  }
+};
+
+}  // namespace
+
+void register_state_blocks() {
+  register_semantics(std::make_unique<UnitDelaySemantics>());
+  register_semantics(std::make_unique<DelaySemantics>());
+}
+
+}  // namespace frodo::blocks

@@ -1,0 +1,837 @@
+// Data-truncation and layout blocks: Selector, Pad, Submatrix, Reshape,
+// Transpose, Concatenate, Mux, Demux, Assignment, Downsample, Upsample.
+//
+// These are the blocks §3.2 is about: "Simulink supports data-truncation
+// blocks for modeling purposes, including but not limited to Selector, Pad,
+// and Submatrix."  Their I/O mappings are *partial* — a demanded output
+// element needs only specific input elements — which is what makes upstream
+// calculation ranges shrink.
+#include <memory>
+
+#include "blocks/emit_util.hpp"
+#include "blocks/semantics.hpp"
+#include "support/strings.hpp"
+
+namespace frodo::blocks {
+
+namespace {
+
+using mapping::IndexSet;
+using mapping::Interval;
+using model::Block;
+using model::Shape;
+
+Result<long long> int_param(const Block& block, const char* key) {
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(key));
+  return v.as_int();
+}
+
+Result<long long> int_param_or(const Block& block, const char* key,
+                               long long fallback) {
+  if (!block.has_param(key)) return fallback;
+  return int_param(block, key);
+}
+
+Result<double> double_param_or(const Block& block, const char* key,
+                               double fallback) {
+  if (!block.has_param(key)) return fallback;
+  FRODO_ASSIGN_OR_RETURN(model::Value v, block.param(key));
+  return v.as_double();
+}
+
+// Calls fn(row, col_lo, col_hi) for each maximal within-row run of `set`,
+// interpreting flat indices over a row-major [*, cols] layout.
+void split_rows(
+    const IndexSet& set, long long cols,
+    const std::function<void(long long row, long long c0, long long c1)>& fn) {
+  for (const Interval& iv : set.intervals()) {
+    long long pos = iv.lo;
+    while (pos <= iv.hi) {
+      const long long row = pos / cols;
+      const long long row_end = (row + 1) * cols - 1;
+      const long long run_end = std::min(iv.hi, row_end);
+      fn(row, pos - row * cols, run_end - row * cols);
+      pos = run_end + 1;
+    }
+  }
+}
+
+// -- Selector ---------------------------------------------------------------------
+//
+// Parameters (1-D):
+//   IndexSource = "Internal" (default) | "Port"
+//   Internal:  Start, End (0-based inclusive)   — Figure 3's Start-End mode
+//          or  Indices (explicit index list)
+//   Port:      OutputSize; a second input provides the runtime start index —
+//              the IndexPort variant §3.1 uses to show that the mapping
+//              depends on parameters (it defeats static range reduction).
+class SelectorSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Selector"; }
+  bool is_truncation(const Block&) const override { return true; }
+
+  int input_count(const Block& block) const override {
+    return is_port_mode(block) ? 2 : 1;
+  }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    const long long n = in[0].size();
+    if (is_port_mode(block)) {
+      FRODO_ASSIGN_OR_RETURN(long long m, int_param(block, "OutputSize"));
+      if (m < 1 || m > n)
+        return Result<std::vector<Shape>>::error(
+            "Selector '" + block.name() + "': OutputSize out of range");
+      return std::vector<Shape>{Shape::vector(static_cast<int>(m))};
+    }
+    if (block.has_param("Indices")) {
+      FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Indices"));
+      FRODO_ASSIGN_OR_RETURN(std::vector<long long> idx, v.as_int_list());
+      for (long long i : idx) {
+        if (i < 0 || i >= n)
+          return Result<std::vector<Shape>>::error(
+              "Selector '" + block.name() + "': index " + std::to_string(i) +
+              " out of range for input of size " + std::to_string(n));
+      }
+      return std::vector<Shape>{Shape::vector(static_cast<int>(idx.size()))};
+    }
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(block, "Start"));
+    FRODO_ASSIGN_OR_RETURN(long long end, int_param(block, "End"));
+    if (start < 0 || end < start || end >= n)
+      return Result<std::vector<Shape>>::error(
+          "Selector '" + block.name() + "': [Start,End]=[" +
+          std::to_string(start) + "," + std::to_string(end) +
+          "] out of range for input of size " + std::to_string(n));
+    return std::vector<Shape>{
+        Shape::vector(static_cast<int>(end - start + 1))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    const Block& block = inst.b();
+    const long long n = inst.in_shapes[0].size();
+    const IndexSet& demand = out_demand[0];
+    if (is_port_mode(block)) {
+      // The selected window is unknown until runtime: every input element
+      // may be needed, and the index port is needed whenever any output is.
+      std::vector<IndexSet> in(2);
+      if (!demand.is_empty()) {
+        in[0] = IndexSet::full(n);
+        in[1] = IndexSet::full(inst.in_shapes[1].size());
+      }
+      return in;
+    }
+    if (block.has_param("Indices")) {
+      FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Indices"));
+      FRODO_ASSIGN_OR_RETURN(std::vector<long long> idx, v.as_int_list());
+      IndexSet in;
+      for (const Interval& iv : demand.intervals()) {
+        for (long long o = iv.lo; o <= iv.hi; ++o)
+          in.insert(idx[static_cast<std::size_t>(o)],
+                    idx[static_cast<std::size_t>(o)]);
+      }
+      return std::vector<IndexSet>{in};
+    }
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(block, "Start"));
+    return std::vector<IndexSet>{demand.offset(start)};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const Block& block = inst.b();
+    const long long n = inst.in_shapes[0].size();
+    const long long m = inst.out_shapes[0].size();
+    if (is_port_mode(block)) {
+      long long start = static_cast<long long>(in[1][0]);
+      start = std::max(0LL, std::min(start, n - m));
+      for (long long i = 0; i < m; ++i) out[0][i] = in[0][i + start];
+      return Status::ok();
+    }
+    if (block.has_param("Indices")) {
+      FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Indices"));
+      FRODO_ASSIGN_OR_RETURN(std::vector<long long> idx, v.as_int_list());
+      for (long long i = 0; i < m; ++i)
+        out[0][i] = in[0][idx[static_cast<std::size_t>(i)]];
+      return Status::ok();
+    }
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(block, "Start"));
+    for (long long i = 0; i < m; ++i) out[0][i] = in[0][i + start];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    const Block& block = *ctx.block;
+    const long long n = ctx.in_shapes[0].size();
+    const long long m = ctx.out_shapes[0].size();
+    if (is_port_mode(block)) {
+      ctx.w->open("");
+      ctx.w->line("long start = (long)" + detail::at(ctx.in[1], 0) + ";");
+      ctx.w->line("if (start < 0) start = 0;");
+      ctx.w->line("if (start > " + std::to_string(n - m) + ") start = " +
+                  std::to_string(n - m) + ";");
+      detail::for_each_interval(ctx, ctx.out_ranges[0], "i",
+                                [&](const std::string& i) {
+                                  ctx.w->line(detail::at(ctx.out[0], i) +
+                                              " = " + ctx.in[0] + "[" + i +
+                                              " + start];");
+                                });
+      ctx.w->close();
+      return Status::ok();
+    }
+    if (block.has_param("Indices")) {
+      FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Indices"));
+      FRODO_ASSIGN_OR_RETURN(std::vector<long long> idx, v.as_int_list());
+      std::string init;
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (i != 0) init += ", ";
+        init += std::to_string(idx[i]);
+      }
+      ctx.w->open("");
+      ctx.w->line("static const int sel_" + ctx.uid + "[" +
+                  std::to_string(idx.size()) + "] = {" + init + "};");
+      detail::for_each_interval(
+          ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+            ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] +
+                        "[sel_" + ctx.uid + "[" + i + "]];");
+          });
+      ctx.w->close();
+      return Status::ok();
+    }
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(block, "Start"));
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" + i +
+                      " + " + std::to_string(start) + "];");
+        });
+    return Status::ok();
+  }
+
+ private:
+  static bool is_port_mode(const Block& block) {
+    if (!block.has_param("IndexSource")) return false;
+    auto v = block.param("IndexSource");
+    if (!v.is_ok()) return false;
+    auto s = v.value().as_string();
+    return s.is_ok() && s.value() == "Port";
+  }
+};
+
+// -- Pad ---------------------------------------------------------------------------
+//
+// Parameters: Before, After (element counts), Value (fill, default 0).
+class PadSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Pad"; }
+  int input_count(const Block&) const override { return 1; }
+  bool is_truncation(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_ASSIGN_OR_RETURN(long long before, int_param_or(block, "Before", 0));
+    FRODO_ASSIGN_OR_RETURN(long long after, int_param_or(block, "After", 0));
+    if (before < 0 || after < 0)
+      return Result<std::vector<Shape>>::error(
+          "Pad '" + block.name() + "': Before/After must be >= 0");
+    return std::vector<Shape>{
+        Shape::vector(static_cast<int>(in[0].size() + before + after))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    FRODO_ASSIGN_OR_RETURN(long long before,
+                           int_param_or(inst.b(), "Before", 0));
+    const long long n = inst.in_shapes[0].size();
+    return std::vector<IndexSet>{
+        out_demand[0].clamp(before, before + n - 1).offset(-before)};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(long long before,
+                           int_param_or(inst.b(), "Before", 0));
+    FRODO_ASSIGN_OR_RETURN(double value,
+                           double_param_or(inst.b(), "Value", 0.0));
+    const long long n = inst.in_shapes[0].size();
+    const long long m = inst.out_shapes[0].size();
+    for (long long i = 0; i < m; ++i) {
+      const long long j = i - before;
+      out[0][i] = (j >= 0 && j < n) ? in[0][j] : value;
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(long long before,
+                           int_param_or(*ctx.block, "Before", 0));
+    FRODO_ASSIGN_OR_RETURN(double value,
+                           double_param_or(*ctx.block, "Value", 0.0));
+    const long long n = ctx.in_shapes[0].size();
+    const std::string fill = format_double(value);
+
+    if (ctx.style == codegen::EmitStyle::kEmbeddedCoder) {
+      // Per-element boundary judgment inside the loop — the Figure 1 shape.
+      detail::for_each_interval(
+          ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+            ctx.w->line("long j = (long)" + i + " - " +
+                        std::to_string(before) + ";");
+            ctx.w->line(detail::at(ctx.out[0], i) + " = (j >= 0 && j < " +
+                        std::to_string(n) + ") ? " + ctx.in[0] + "[j] : " +
+                        fill + ";");
+          });
+      return Status::ok();
+    }
+
+    // Split statically into fill / copy / fill segments.
+    const IndexSet& demand = ctx.out_ranges[0];
+    const IndexSet copy = demand.clamp(before, before + n - 1);
+    IndexSet pad = demand.intersect(copy.complement(
+        ctx.out_shapes[0].size()));
+    detail::for_each_interval(ctx, pad, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.out[0], i) + " = " + fill + ";");
+    });
+    detail::for_each_interval(ctx, copy, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" + i +
+                  " - " + std::to_string(before) + "];");
+    });
+    return Status::ok();
+  }
+};
+
+// -- Submatrix ----------------------------------------------------------------------
+//
+// Parameters: RowStart, RowEnd, ColStart, ColEnd (0-based inclusive).
+class SubmatrixSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Submatrix"; }
+  int input_count(const Block&) const override { return 1; }
+  bool is_truncation(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    if (in[0].rank() != 2)
+      return Result<std::vector<Shape>>::error(
+          "Submatrix '" + block.name() + "': input must be a matrix, got " +
+          in[0].to_string());
+    FRODO_ASSIGN_OR_RETURN(Window w, window(block, in[0]));
+    return std::vector<Shape>{Shape::matrix(
+        static_cast<int>(w.r1 - w.r0 + 1), static_cast<int>(w.c1 - w.c0 + 1))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    FRODO_ASSIGN_OR_RETURN(Window w, window(inst.b(), inst.in_shapes[0]));
+    const long long in_cols = inst.in_shapes[0].cols();
+    const long long out_cols = w.c1 - w.c0 + 1;
+    IndexSet in;
+    split_rows(out_demand[0], out_cols,
+               [&](long long row, long long c0, long long c1) {
+                 const long long base = (row + w.r0) * in_cols + w.c0;
+                 in.insert(base + c0, base + c1);
+               });
+    return std::vector<IndexSet>{in};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(Window w, window(inst.b(), inst.in_shapes[0]));
+    const long long in_cols = inst.in_shapes[0].cols();
+    const long long out_cols = w.c1 - w.c0 + 1;
+    const long long out_rows = w.r1 - w.r0 + 1;
+    for (long long r = 0; r < out_rows; ++r) {
+      for (long long c = 0; c < out_cols; ++c) {
+        out[0][r * out_cols + c] = in[0][(r + w.r0) * in_cols + (w.c0 + c)];
+      }
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(Window w, window(*ctx.block, ctx.in_shapes[0]));
+    const long long in_cols = ctx.in_shapes[0].cols();
+    const long long out_cols = w.c1 - w.c0 + 1;
+    // The demand decomposes into row runs; emit one copy loop per run so the
+    // generated code has no div/mod.
+    split_rows(ctx.out_ranges[0], out_cols,
+               [&](long long row, long long c0, long long c1) {
+                 const long long out_base = row * out_cols;
+                 const long long in_base = (row + w.r0) * in_cols + w.c0;
+                 ctx.w->open("for (int c = " + std::to_string(c0) +
+                             "; c <= " + std::to_string(c1) + "; ++c)");
+                 ctx.w->line(ctx.out[0] + "[" + std::to_string(out_base) +
+                             " + c] = " + ctx.in[0] + "[" +
+                             std::to_string(in_base) + " + c];");
+                 ctx.w->close();
+               });
+    return Status::ok();
+  }
+
+ private:
+  struct Window {
+    long long r0, r1, c0, c1;
+  };
+
+  static Result<Window> window(const Block& block, const Shape& in) {
+    Window w{};
+    FRODO_ASSIGN_OR_RETURN(w.r0, int_param_or(block, "RowStart", 0));
+    FRODO_ASSIGN_OR_RETURN(w.r1, int_param_or(block, "RowEnd", in.rows() - 1));
+    FRODO_ASSIGN_OR_RETURN(w.c0, int_param_or(block, "ColStart", 0));
+    FRODO_ASSIGN_OR_RETURN(w.c1, int_param_or(block, "ColEnd", in.cols() - 1));
+    if (w.r0 < 0 || w.r1 < w.r0 || w.r1 >= in.rows() || w.c0 < 0 ||
+        w.c1 < w.c0 || w.c1 >= in.cols())
+      return Result<Window>::error("Submatrix '" + block.name() +
+                                   "': window out of range for input " +
+                                   in.to_string());
+    return w;
+  }
+};
+
+// -- Reshape ------------------------------------------------------------------------
+class ReshapeSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Reshape"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_ASSIGN_OR_RETURN(model::Value v, block.param("Dims"));
+    FRODO_ASSIGN_OR_RETURN(std::vector<long long> dims, v.as_int_list());
+    std::vector<int> d;
+    for (long long x : dims) d.push_back(static_cast<int>(x));
+    const Shape shape = d.empty() ? Shape::scalar() : Shape(d);
+    if (shape.size() != in[0].size())
+      return Result<std::vector<Shape>>::error(
+          "Reshape '" + block.name() + "': cannot reshape " +
+          in[0].to_string() + " into " + shape.to_string());
+    return std::vector<Shape>{shape};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance&,
+      const std::vector<IndexSet>& out_demand) const override {
+    return std::vector<IndexSet>{out_demand[0]};  // row-major identity
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long n = inst.out_shapes[0].size();
+    for (long long i = 0; i < n; ++i) out[0][i] = in[0][i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " +
+                      detail::at(ctx.in[0], i) + ";");
+        });
+    return Status::ok();
+  }
+};
+
+// -- Transpose ----------------------------------------------------------------------
+class TransposeSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Transpose"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    if (in[0].rank() > 2)
+      return Result<std::vector<Shape>>::error(
+          "Transpose '" + block.name() + "': rank > 2 input");
+    return std::vector<Shape>{Shape::matrix(in[0].cols(), in[0].rows())};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    const long long out_cols = inst.in_shapes[0].rows();
+    const long long in_cols = inst.in_shapes[0].cols();
+    IndexSet in;
+    split_rows(out_demand[0], out_cols,
+               [&](long long row, long long c0, long long c1) {
+                 // out(row, c) = in(c, row): a row run pulls back to a
+                 // column slice, i.e. a strided set.
+                 for (long long c = c0; c <= c1; ++c)
+                   in.insert(c * in_cols + row, c * in_cols + row);
+               });
+    return std::vector<IndexSet>{in};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long rows = inst.in_shapes[0].rows();
+    const long long cols = inst.in_shapes[0].cols();
+    for (long long r = 0; r < rows; ++r) {
+      for (long long c = 0; c < cols; ++c) out[0][c * rows + r] = in[0][r * cols + c];
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    const long long out_cols = ctx.in_shapes[0].rows();
+    const long long in_cols = ctx.in_shapes[0].cols();
+    split_rows(ctx.out_ranges[0], out_cols,
+               [&](long long row, long long c0, long long c1) {
+                 ctx.w->open("for (int c = " + std::to_string(c0) +
+                             "; c <= " + std::to_string(c1) + "; ++c)");
+                 ctx.w->line(ctx.out[0] + "[" +
+                             std::to_string(row * out_cols) + " + c] = " +
+                             ctx.in[0] + "[c * " + std::to_string(in_cols) +
+                             " + " + std::to_string(row) + "];");
+                 ctx.w->close();
+               });
+    return Status::ok();
+  }
+};
+
+// -- Concatenate / Mux ----------------------------------------------------------------
+//
+// Flat segment concatenation: covers 1-D vector concat and vertical matrix
+// concat (equal column counts) alike.
+class ConcatenateSemantics : public BlockSemantics {
+ public:
+  explicit ConcatenateSemantics(std::string type_name)
+      : type_name_(std::move(type_name)) {}
+
+  std::string_view type() const override { return type_name_; }
+
+  int input_count(const Block& block) const override {
+    long long n = 2;
+    if (block.has_param("Inputs")) {
+      auto v = block.param("Inputs");
+      if (v.is_ok()) {
+        auto i = v.value().as_int();
+        if (i.is_ok()) n = i.value();
+      }
+    }
+    return static_cast<int>(n);
+  }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    long long total = 0;
+    bool matrix = in[0].rank() == 2;
+    const int cols = in[0].cols();
+    for (const Shape& s : in) {
+      total += s.size();
+      if (matrix && (s.rank() != 2 || s.cols() != cols)) matrix = false;
+    }
+    if (matrix)
+      return std::vector<Shape>{
+          Shape::matrix(static_cast<int>(total / cols), cols)};
+    (void)block;
+    return std::vector<Shape>{Shape::vector(static_cast<int>(total))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    std::vector<IndexSet> in;
+    long long offset = 0;
+    for (const Shape& s : inst.in_shapes) {
+      in.push_back(
+          out_demand[0].clamp(offset, offset + s.size() - 1).offset(-offset));
+      offset += s.size();
+    }
+    return in;
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    long long offset = 0;
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      const long long n = inst.in_shapes[p].size();
+      for (long long i = 0; i < n; ++i) out[0][offset + i] = in[p][i];
+      offset += n;
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    long long offset = 0;
+    for (std::size_t p = 0; p < ctx.in.size(); ++p) {
+      const long long n = ctx.in_shapes[p].size();
+      const IndexSet segment =
+          ctx.out_ranges[0].clamp(offset, offset + n - 1);
+      const long long off = offset;
+      detail::for_each_interval(
+          ctx, segment, "i", [&](const std::string& i) {
+            ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[p] + "[" +
+                        i + " - " + std::to_string(off) + "];");
+          });
+      offset += n;
+    }
+    return Status::ok();
+  }
+
+ private:
+  std::string type_name_;
+};
+
+// -- Demux --------------------------------------------------------------------------
+class DemuxSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Demux"; }
+  int input_count(const Block&) const override { return 1; }
+
+  int output_count(const Block& block) const override {
+    long long n = 2;
+    if (block.has_param("Outputs")) {
+      auto v = block.param("Outputs");
+      if (v.is_ok()) {
+        auto i = v.value().as_int();
+        if (i.is_ok()) n = i.value();
+      }
+    }
+    return static_cast<int>(n);
+  }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    const int parts = output_count(block);
+    const long long n = in[0].size();
+    if (parts < 1 || n % parts != 0)
+      return Result<std::vector<Shape>>::error(
+          "Demux '" + block.name() + "': input size " + std::to_string(n) +
+          " not divisible into " + std::to_string(parts) + " outputs");
+    const long long seg = n / parts;
+    std::vector<Shape> out;
+    for (int p = 0; p < parts; ++p)
+      out.push_back(seg == 1 ? Shape::scalar()
+                             : Shape::vector(static_cast<int>(seg)));
+    return out;
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    const long long seg = inst.out_shapes[0].size();
+    IndexSet in;
+    for (std::size_t p = 0; p < out_demand.size(); ++p)
+      in.unite(out_demand[p].offset(static_cast<long long>(p) * seg));
+    return std::vector<IndexSet>{in};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    const long long seg = inst.out_shapes[0].size();
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      for (long long i = 0; i < seg; ++i)
+        out[p][i] = in[0][static_cast<long long>(p) * seg + i];
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    const long long seg = ctx.out_shapes[0].size();
+    for (std::size_t p = 0; p < ctx.out.size(); ++p) {
+      const long long off = static_cast<long long>(p) * seg;
+      detail::for_each_interval(
+          ctx, ctx.out_ranges[p], "i", [&](const std::string& i) {
+            ctx.w->line(detail::at(ctx.out[p], i) + " = " + ctx.in[0] + "[" +
+                        i + " + " + std::to_string(off) + "];");
+          });
+    }
+    return Status::ok();
+  }
+};
+
+// -- Assignment ---------------------------------------------------------------------
+//
+// out = Y0 with the window [Start, Start + |U| - 1] overwritten by U.
+class AssignmentSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Assignment"; }
+  int input_count(const Block&) const override { return 2; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(block, "Start"));
+    if (start < 0 || start + in[1].size() > in[0].size())
+      return Result<std::vector<Shape>>::error(
+          "Assignment '" + block.name() + "': window out of range");
+    return std::vector<Shape>{in[0]};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(inst.b(), "Start"));
+    const long long m = inst.in_shapes[1].size();
+    const long long n = inst.in_shapes[0].size();
+    const IndexSet window = IndexSet::interval(start, start + m - 1);
+    std::vector<IndexSet> in(2);
+    in[0] = out_demand[0].intersect(window.complement(n));
+    in[1] = out_demand[0].intersect(window).offset(-start);
+    return in;
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(inst.b(), "Start"));
+    const long long n = inst.in_shapes[0].size();
+    const long long m = inst.in_shapes[1].size();
+    for (long long i = 0; i < n; ++i) out[0][i] = in[0][i];
+    for (long long i = 0; i < m; ++i) out[0][start + i] = in[1][i];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(long long start, int_param(*ctx.block, "Start"));
+    const long long n = ctx.in_shapes[0].size();
+    const long long m = ctx.in_shapes[1].size();
+    const IndexSet window = IndexSet::interval(start, start + m - 1);
+    const IndexSet keep = ctx.out_ranges[0].intersect(window.complement(n));
+    const IndexSet overwrite = ctx.out_ranges[0].intersect(window);
+    detail::for_each_interval(ctx, keep, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.out[0], i) + " = " +
+                  detail::at(ctx.in[0], i) + ";");
+    });
+    detail::for_each_interval(ctx, overwrite, "i", [&](const std::string& i) {
+      ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[1] + "[" + i +
+                  " - " + std::to_string(start) + "];");
+    });
+    return Status::ok();
+  }
+};
+
+// -- Downsample / Upsample -------------------------------------------------------------
+class DownsampleSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Downsample"; }
+  int input_count(const Block&) const override { return 1; }
+  bool is_truncation(const Block&) const override { return true; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(block, "Factor"));
+    if (k < 1)
+      return Result<std::vector<Shape>>::error(
+          "Downsample '" + block.name() + "': Factor must be >= 1");
+    const long long m = (in[0].size() - 1) / k + 1;
+    return std::vector<Shape>{Shape::vector(static_cast<int>(m))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Factor"));
+    return std::vector<IndexSet>{out_demand[0].affine_expand(k, 0, 1)};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Factor"));
+    const long long m = inst.out_shapes[0].size();
+    for (long long i = 0; i < m; ++i) out[0][i] = in[0][i * k];
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(*ctx.block, "Factor"));
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = " + ctx.in[0] + "[" + i +
+                      " * " + std::to_string(k) + "];");
+        });
+    return Status::ok();
+  }
+};
+
+class UpsampleSemantics final : public BlockSemantics {
+ public:
+  std::string_view type() const override { return "Upsample"; }
+  int input_count(const Block&) const override { return 1; }
+
+  Result<std::vector<Shape>> infer(
+      const Block& block, const std::vector<Shape>& in) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(block, "Factor"));
+    if (k < 1)
+      return Result<std::vector<Shape>>::error(
+          "Upsample '" + block.name() + "': Factor must be >= 1");
+    return std::vector<Shape>{
+        Shape::vector(static_cast<int>(in[0].size() * k))};
+  }
+
+  Result<std::vector<IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Factor"));
+    // Conservative: [lo/k, hi/k] covers every multiple of k in [lo, hi].
+    IndexSet in;
+    for (const Interval& iv : out_demand[0].intervals())
+      in.insert(iv.lo / k, iv.hi / k);
+    return std::vector<IndexSet>{
+        in.clamp(0, inst.in_shapes[0].size() - 1)};
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Factor"));
+    const long long m = inst.out_shapes[0].size();
+    for (long long i = 0; i < m; ++i)
+      out[0][i] = (i % k == 0) ? in[0][i / k] : 0.0;
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    FRODO_ASSIGN_OR_RETURN(long long k, int_param(*ctx.block, "Factor"));
+    if (ctx.style == codegen::EmitStyle::kEmbeddedCoder) {
+      detail::for_each_interval(
+          ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+            ctx.w->line(detail::at(ctx.out[0], i) + " = (" + i + " % " +
+                        std::to_string(k) + " == 0) ? " + ctx.in[0] + "[" + i +
+                        " / " + std::to_string(k) + "] : 0.0;");
+          });
+      return Status::ok();
+    }
+    // Zero-fill the demanded range, then scatter the samples.
+    detail::for_each_interval(
+        ctx, ctx.out_ranges[0], "i", [&](const std::string& i) {
+          ctx.w->line(detail::at(ctx.out[0], i) + " = 0.0;");
+        });
+    for (const Interval& iv : ctx.out_ranges[0].intervals()) {
+      const long long j0 = (iv.lo + k - 1) / k;
+      const long long j1 = iv.hi / k;
+      if (j0 > j1) continue;
+      ctx.w->open("for (int j = " + std::to_string(j0) + "; j <= " +
+                  std::to_string(j1) + "; ++j)");
+      ctx.w->line(ctx.out[0] + "[j * " + std::to_string(k) + "] = " +
+                  ctx.in[0] + "[j];");
+      ctx.w->close();
+    }
+    return Status::ok();
+  }
+};
+
+}  // namespace
+
+void register_truncation_blocks() {
+  register_semantics(std::make_unique<SelectorSemantics>());
+  register_semantics(std::make_unique<PadSemantics>());
+  register_semantics(std::make_unique<SubmatrixSemantics>());
+  register_semantics(std::make_unique<ReshapeSemantics>());
+  register_semantics(std::make_unique<TransposeSemantics>());
+  register_semantics(std::make_unique<ConcatenateSemantics>("Concatenate"));
+  register_semantics(std::make_unique<ConcatenateSemantics>("Mux"));
+  register_semantics(std::make_unique<DemuxSemantics>());
+  register_semantics(std::make_unique<AssignmentSemantics>());
+  register_semantics(std::make_unique<DownsampleSemantics>());
+  register_semantics(std::make_unique<UpsampleSemantics>());
+}
+
+}  // namespace frodo::blocks

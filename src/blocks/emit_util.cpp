@@ -1,0 +1,71 @@
+#include "blocks/emit_util.hpp"
+
+namespace frodo::blocks::detail {
+
+void for_each_interval(
+    codegen::EmitContext& ctx, const mapping::IndexSet& set,
+    const std::string& var,
+    const std::function<void(const std::string& idx)>& body) {
+  for (const mapping::Interval& iv : set.intervals()) {
+    if (iv.lo == iv.hi) {
+      // Single element: emit straight-line code (Figure 4 snippet ① spirit).
+      ctx.w->open("");
+      ctx.w->line("const int " + var + " = " + std::to_string(iv.lo) + ";");
+      body(var);
+      ctx.w->close();
+      continue;
+    }
+    ctx.w->open("for (int " + var + " = " + std::to_string(iv.lo) + "; " +
+                var + " <= " + std::to_string(iv.hi) + "; ++" + var + ")");
+    body(var);
+    ctx.w->close();
+  }
+}
+
+void for_each_interval_simd(
+    codegen::EmitContext& ctx, const mapping::IndexSet& set,
+    const std::string& var,
+    const std::function<void(const std::string& idx)>& scalar_body,
+    const std::function<void(const std::string& idx)>& vector_body) {
+  const bool simd = ctx.style == codegen::EmitStyle::kHCG &&
+                    ctx.simd_width > 1 && vector_body != nullptr;
+  if (!simd) {
+    for_each_interval(ctx, set, var, scalar_body);
+    return;
+  }
+  const int w = ctx.simd_width;
+  for (const mapping::Interval& iv : set.intervals()) {
+    ctx.w->open("");
+    ctx.w->line("int " + var + " = " + std::to_string(iv.lo) + ";");
+    ctx.w->open("for (; " + var + " + " + std::to_string(w - 1) +
+                " <= " + std::to_string(iv.hi) + "; " + var + " += " +
+                std::to_string(w) + ")");
+    vector_body(var);
+    ctx.w->close();
+    ctx.w->open("for (; " + var + " <= " + std::to_string(iv.hi) + "; ++" +
+                var + ")");
+    scalar_body(var);
+    ctx.w->close();
+    ctx.w->close();
+  }
+}
+
+std::string at(const std::string& array, const std::string& idx) {
+  return array + "[" + idx + "]";
+}
+
+std::string at(const std::string& array, long long idx) {
+  return array + "[" + std::to_string(idx) + "]";
+}
+
+std::string vload(const codegen::EmitContext& ctx, const std::string& array,
+                  const std::string& idx) {
+  return "(*(const " + ctx.simd_type + " *)&" + array + "[" + idx + "])";
+}
+
+std::string vstore(const codegen::EmitContext& ctx, const std::string& array,
+                   const std::string& idx) {
+  return "(*(" + ctx.simd_type + " *)&" + array + "[" + idx + "])";
+}
+
+}  // namespace frodo::blocks::detail

@@ -1,0 +1,42 @@
+// Shared emission helpers for block implementations.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "codegen/emit_context.hpp"
+#include "mapping/index_set.hpp"
+
+namespace frodo::blocks::detail {
+
+// Emits one `for` loop per interval of `set`:
+//   for (int <var> = lo; <var> <= hi; ++<var>) { body(<var>) }
+// The loop variable is scoped to the loop, so nested calls may reuse `var`.
+void for_each_interval(
+    codegen::EmitContext& ctx, const mapping::IndexSet& set,
+    const std::string& var,
+    const std::function<void(const std::string& idx)>& body);
+
+// Same, but each interval body may use SIMD: when `vector_body` is non-null
+// and ctx.style == kHCG with simd_width > 1, emits a stride-`simd_width`
+// main loop calling vector_body(idx) followed by a scalar tail; otherwise
+// falls back to the scalar loop.
+void for_each_interval_simd(
+    codegen::EmitContext& ctx, const mapping::IndexSet& set,
+    const std::string& var,
+    const std::function<void(const std::string& idx)>& scalar_body,
+    const std::function<void(const std::string& idx)>& vector_body);
+
+// `name[idx]` helper.
+std::string at(const std::string& array, const std::string& idx);
+std::string at(const std::string& array, long long idx);
+
+// Unaligned vector load/store expressions for the HCG style:
+//   load:  (*(const <vt> *)&arr[idx])
+//   store: (*(<vt> *)&arr[idx])
+std::string vload(const codegen::EmitContext& ctx, const std::string& array,
+                  const std::string& idx);
+std::string vstore(const codegen::EmitContext& ctx, const std::string& array,
+                   const std::string& idx);
+
+}  // namespace frodo::blocks::detail

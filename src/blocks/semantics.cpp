@@ -1,0 +1,99 @@
+#include "blocks/semantics.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace frodo::blocks {
+
+int BlockSemantics::output_count(const model::Block&) const { return 1; }
+
+bool BlockSemantics::is_truncation(const model::Block&) const { return false; }
+
+bool BlockSemantics::has_state(const model::Block&) const { return false; }
+
+long long BlockSemantics::state_size(const BlockInstance&) const { return 0; }
+
+Status BlockSemantics::init_state(const BlockInstance&, double*) const {
+  return Status::ok();
+}
+
+Result<std::vector<model::Shape>> BlockSemantics::infer_early(
+    const model::Block&) const {
+  return std::vector<model::Shape>{};  // unknown until inputs resolve
+}
+
+Status BlockSemantics::update_state(const BlockInstance&,
+                                    const std::vector<const double*>&,
+                                    double*) const {
+  return Status::ok();
+}
+
+Status BlockSemantics::emit_state_update(codegen::EmitContext&,
+                                         const mapping::IndexSet&) const {
+  return Status::error(std::string("block type '") + std::string(type()) +
+                       "' declares state but does not emit a state update");
+}
+
+bool BlockSemantics::is_constant(const model::Block&) const { return false; }
+
+Result<std::vector<double>> BlockSemantics::constant_value(
+    const BlockInstance&) const {
+  return Result<std::vector<double>>::error(
+      std::string("block type '") + std::string(type()) +
+      "' has no constant value");
+}
+
+// Family registration hooks, defined in the blocks_*.cpp files.
+void register_source_blocks();
+void register_elementwise_blocks();
+void register_truncation_blocks();
+void register_dsp_blocks();
+void register_state_blocks();
+void register_extended_blocks();
+void register_conv2d_blocks();
+
+namespace {
+
+std::map<std::string, std::unique_ptr<BlockSemantics>>& registry() {
+  static std::map<std::string, std::unique_ptr<BlockSemantics>> instance;
+  return instance;
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_source_blocks();
+    register_elementwise_blocks();
+    register_truncation_blocks();
+    register_dsp_blocks();
+    register_state_blocks();
+    register_extended_blocks();
+    register_conv2d_blocks();
+  });
+}
+
+}  // namespace
+
+const BlockSemantics* find(const std::string& type) {
+  ensure_builtins();
+  auto it = registry().find(type);
+  return it == registry().end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> registered_types() {
+  ensure_builtins();
+  std::vector<std::string> out;
+  for (const auto& [type, sem] : registry()) out.push_back(type);
+  return out;
+}
+
+void register_semantics(std::unique_ptr<BlockSemantics> semantics) {
+  registry()[std::string(semantics->type())] = std::move(semantics);
+}
+
+bool is_state_block(const model::Block& block) {
+  const BlockSemantics* sem = find(block.type());
+  return sem != nullptr && sem->has_state(block);
+}
+
+}  // namespace frodo::blocks

@@ -1,0 +1,129 @@
+// Block property library (FRODO §3.1).
+//
+// "FRODO begins by crafting a specialized block property library tailored to
+//  the block type and parameters.  This library encapsulates critical
+//  details such as type, parameters, and mapping."
+//
+// One BlockSemantics object per block *type* provides everything the rest of
+// the pipeline needs, parameterized by the concrete block instance:
+//
+//   * arity and shape inference,
+//   * the I/O mapping as a demand pullback (which input elements are needed
+//     to produce a given set of output elements),
+//   * executable reference semantics (the simulation oracle),
+//   * C code emission for a given calculation range and generator style.
+//
+// Implementations register themselves in the global registry (registry.cpp);
+// find() is how every pass resolves a block type.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codegen/emit_context.hpp"
+#include "mapping/index_set.hpp"
+#include "model/model.hpp"
+#include "model/shape.hpp"
+#include "support/status.hpp"
+
+namespace frodo::blocks {
+
+// A block instance with resolved shapes — what pullback/simulate/emit see.
+struct BlockInstance {
+  const model::Block* block = nullptr;
+  std::vector<model::Shape> in_shapes;
+  std::vector<model::Shape> out_shapes;
+
+  const model::Block& b() const { return *block; }
+};
+
+class BlockSemantics {
+ public:
+  virtual ~BlockSemantics() = default;
+
+  virtual std::string_view type() const = 0;
+
+  // Expected number of connected input ports; kVariadic accepts >= 1.
+  static constexpr int kVariadic = -1;
+  virtual int input_count(const model::Block& block) const = 0;
+  virtual int output_count(const model::Block& block) const;
+
+  // True for data-truncation blocks (Selector, Pad, Submatrix, ...) — the
+  // blocks whose presence makes upstream ranges shrink.
+  virtual bool is_truncation(const model::Block& block) const;
+
+  // -- State ------------------------------------------------------------------
+  virtual bool has_state(const model::Block& block) const;
+  // Number of doubles of persistent state.
+  virtual long long state_size(const BlockInstance& inst) const;
+  virtual Status init_state(const BlockInstance& inst, double* state) const;
+
+  // -- Shapes -------------------------------------------------------------------
+  // Output shapes from input shapes + parameters.
+  virtual Result<std::vector<model::Shape>> infer(
+      const model::Block& block,
+      const std::vector<model::Shape>& in_shapes) const = 0;
+  // Output shapes known without inputs (sources; delays with a vector
+  // initial condition).  Empty vector = "cannot tell yet".
+  virtual Result<std::vector<model::Shape>> infer_early(
+      const model::Block& block) const;
+
+  // -- I/O mapping ------------------------------------------------------------
+  // Pulls demanded output elements back to required input elements, one
+  // IndexSet per input port.  Must be *sound*: a superset of what simulate()
+  // actually reads when computing exactly `out_demand`.
+  virtual Result<std::vector<mapping::IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<mapping::IndexSet>& out_demand) const = 0;
+
+  // -- Reference semantics -------------------------------------------------------
+  // Computes every output element.  `in[p]` has in_shapes[p].size() doubles;
+  // `out[p]` is preallocated; `state` is the persistent block state (may be
+  // null when stateless).
+  virtual Status simulate(const BlockInstance& inst,
+                          const std::vector<const double*>& in,
+                          const std::vector<double*>& out,
+                          double* state) const = 0;
+
+  // End-of-step state update (only when has_state()).  Runs after every
+  // block's simulate() so that producers scheduled later than the state
+  // block have filled their buffers, mirroring the generated code's
+  // end-of-step update section.
+  virtual Status update_state(const BlockInstance& inst,
+                              const std::vector<const double*>& in,
+                              double* state) const;
+
+  // -- Code emission ---------------------------------------------------------------
+  // Emits C statements computing ctx.out_ranges of each output port in the
+  // requested style.  The default implementation is only suitable for
+  // blocks overriding it; every concrete type must emit.
+  virtual Status emit(codegen::EmitContext& ctx) const = 0;
+
+  // Emits the state-update statements executed at the end of a step (only
+  // when has_state()).  `in_range` is the part of the state that analysis
+  // proved is ever read.
+  virtual Status emit_state_update(codegen::EmitContext& ctx,
+                                   const mapping::IndexSet& in_range) const;
+
+  // -- Constant folding ---------------------------------------------------------
+  // Blocks whose output never changes (Constant) report true; generators
+  // then bake constant_value() into a static initializer instead of step
+  // code.
+  virtual bool is_constant(const model::Block& block) const;
+  virtual Result<std::vector<double>> constant_value(
+      const BlockInstance& inst) const;
+};
+
+// -- Registry ------------------------------------------------------------------
+// nullptr when the type is unknown.
+const BlockSemantics* find(const std::string& type);
+std::vector<std::string> registered_types();
+// Registers an additional semantics (user extension); replaces on same type.
+void register_semantics(std::unique_ptr<BlockSemantics> semantics);
+
+// Convenience: true if `block`'s type is registered and holds state.
+bool is_state_block(const model::Block& block);
+
+}  // namespace frodo::blocks

@@ -1,0 +1,201 @@
+// frodoc — the command-line code generator.
+//
+//   frodoc MODEL.(slxz|xml) [options]
+//
+// Options:
+//   --generator NAME   frodo (default) | frodo-loose | simulink | dfsynth |
+//                      hcg
+//   --out DIR          output directory (default: current directory)
+//   --emit-main        also write a standalone demo main.c
+//   --print-ranges     dump the calculation ranges (Algorithm 1) and exit
+//   --check            validate the model (structure, types, shapes) and exit
+//   --simd-width N     HCG vector width in doubles (default 4)
+//   --list-blocks      print the supported block types and exit
+//   --help             this text
+//
+// Writes <Model>.c and <Model>.h into the output directory.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "blocks/analysis.hpp"
+#include "codegen/generator.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+#include "slx/slx.hpp"
+#include "support/strings.hpp"
+#include "zip/zip.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: frodoc MODEL.(slxz|xml) [--generator NAME] "
+               "[--out DIR] [--emit-main] [--print-ranges] [--check] "
+               "[--simd-width N] [--list-blocks]\n");
+  return code;
+}
+
+int list_blocks() {
+  std::printf("supported block types:\n");
+  for (const std::string& type : frodo::blocks::registered_types())
+    std::printf("  %s\n", type.c_str());
+  return 0;
+}
+
+int check_model(const frodo::model::Model& m) {
+  auto flat = frodo::model::flatten(m);
+  if (!flat.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", flat.message().c_str());
+    return 1;
+  }
+  auto graph = frodo::graph::DataflowGraph::build(flat.value());
+  if (!graph.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", graph.message().c_str());
+    return 1;
+  }
+  auto analysis = frodo::blocks::analyze(graph.value());
+  if (!analysis.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", analysis.message().c_str());
+    return 1;
+  }
+  auto sig = frodo::blocks::io_signature(analysis.value());
+  if (!sig.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", sig.message().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%d blocks, %zu inputs, %zu outputs)\n",
+              m.name().c_str(), flat.value().block_count(),
+              sig.value().inputs.size(), sig.value().outputs.size());
+  return 0;
+}
+
+int print_ranges(const frodo::model::Model& m) {
+  auto flat = frodo::model::flatten(m);
+  if (!flat.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", flat.message().c_str());
+    return 1;
+  }
+  auto graph = frodo::graph::DataflowGraph::build(flat.value());
+  if (!graph.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", graph.message().c_str());
+    return 1;
+  }
+  auto analysis = frodo::blocks::analyze(graph.value());
+  if (!analysis.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", analysis.message().c_str());
+    return 1;
+  }
+  auto ranges = frodo::range::determine_ranges(analysis.value());
+  if (!ranges.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", ranges.message().c_str());
+    return 1;
+  }
+  std::printf("%s", ranges.value().to_string(analysis.value()).c_str());
+  std::printf("eliminated elements: %lld\n",
+              ranges.value().eliminated_elements(analysis.value()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_path;
+  std::string generator_name = "frodo";
+  std::string outdir = ".";
+  bool emit_main = false;
+  bool want_ranges = false;
+  bool want_check = false;
+  int simd_width = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--list-blocks") return list_blocks();
+    if (arg == "--generator") {
+      const char* v = next();
+      if (v == nullptr) return usage(2);
+      generator_name = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(2);
+      outdir = v;
+    } else if (arg == "--simd-width") {
+      const char* v = next();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) return usage(2);
+      simd_width = static_cast<int>(n);
+    } else if (arg == "--emit-main") {
+      emit_main = true;
+    } else if (arg == "--print-ranges") {
+      want_ranges = true;
+    } else if (arg == "--check") {
+      want_check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "frodoc: unknown option '%s'\n", arg.c_str());
+      return usage(2);
+    } else if (model_path.empty()) {
+      model_path = arg;
+    } else {
+      return usage(2);
+    }
+  }
+  if (model_path.empty()) return usage(2);
+
+  auto model = frodo::slx::load(model_path);
+  if (!model.is_ok()) {
+    std::fprintf(stderr, "frodoc: cannot load '%s': %s\n",
+                 model_path.c_str(), model.message().c_str());
+    return 1;
+  }
+
+  if (want_check) return check_model(model.value());
+  if (want_ranges) return print_ranges(model.value());
+
+  auto generator = frodo::codegen::make_generator(generator_name, simd_width);
+  if (!generator.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", generator.message().c_str());
+    return 2;
+  }
+
+  auto code = generator.value()->generate(model.value());
+  if (!code.is_ok()) {
+    std::fprintf(stderr, "frodoc: code generation failed: %s\n",
+                 code.message().c_str());
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  const std::string base = outdir + "/" + code.value().prefix;
+  const std::pair<std::string, std::string> parts[] = {
+      {base + ".c", code.value().source},
+      {base + ".h", code.value().header}};
+  for (const auto& [path, text] : parts) {
+    auto status = frodo::zip::write_file(path, text);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "frodoc: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (emit_main) {
+    const std::string main_path = outdir + "/main.c";
+    auto status = frodo::zip::write_file(
+        main_path, frodo::codegen::emit_demo_main(code.value()));
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "frodoc: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", main_path.c_str());
+  }
+  std::printf("%s: %d lines, %lld static doubles (%s)\n",
+              code.value().model_name.c_str(), code.value().source_lines,
+              code.value().static_doubles, code.value().generator.c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "codegen/cwriter.hpp"
+
+namespace frodo::codegen {
+
+void CWriter::put_indent() {
+  out_.append(static_cast<std::size_t>(depth_ * indent_width_), ' ');
+}
+
+void CWriter::line(std::string_view text) {
+  put_indent();
+  out_.append(text);
+  out_.push_back('\n');
+}
+
+void CWriter::blank() { out_.push_back('\n'); }
+
+void CWriter::raw(std::string_view text) {
+  out_.append(text);
+  out_.push_back('\n');
+}
+
+void CWriter::comment(std::string_view text) {
+  put_indent();
+  out_.append("/* ");
+  out_.append(text);
+  out_.append(" */\n");
+}
+
+void CWriter::open(std::string_view header) {
+  put_indent();
+  out_.append(header);
+  out_.append(" {\n");
+  ++depth_;
+}
+
+void CWriter::close(std::string_view trailer) {
+  if (depth_ > 0) --depth_;
+  put_indent();
+  out_.append(trailer);
+  out_.push_back('\n');
+}
+
+}  // namespace frodo::codegen

@@ -1,0 +1,42 @@
+// CWriter — structured C source emitter.
+//
+// All four generators assemble their output through this class so that
+// generated files share layout (indentation, block comments) and the tests
+// can make textual assertions that don't depend on the emitting generator.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace frodo::codegen {
+
+class CWriter {
+ public:
+  explicit CWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  // One indented line (no trailing newline needed).
+  void line(std::string_view text);
+  // Empty line.
+  void blank();
+  // Verbatim text, no indentation (for #include etc.).
+  void raw(std::string_view text);
+  // `/* text */` comment line.
+  void comment(std::string_view text);
+
+  // "header {" then indent; close() emits the matching "}".
+  void open(std::string_view header);
+  void close(std::string_view trailer = "}");
+
+  int depth() const { return depth_; }
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void put_indent();
+
+  std::string out_;
+  int indent_width_;
+  int depth_ = 0;
+};
+
+}  // namespace frodo::codegen

@@ -1,0 +1,15 @@
+#include "codegen/emit_context.hpp"
+
+namespace frodo::codegen {
+
+const char* to_string(EmitStyle style) {
+  switch (style) {
+    case EmitStyle::kFrodo: return "Frodo";
+    case EmitStyle::kEmbeddedCoder: return "EmbeddedCoder";
+    case EmitStyle::kDFSynth: return "DFSynth";
+    case EmitStyle::kHCG: return "HCG";
+  }
+  return "?";
+}
+
+}  // namespace frodo::codegen

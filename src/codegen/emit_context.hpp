@@ -1,0 +1,67 @@
+// Per-block code emission context.
+//
+// A generator walks the schedule and asks each block's semantics to emit C
+// statements into `w`.  The context tells the block *which* output elements
+// to compute (`out_ranges` — full for the baseline generators, the ranges of
+// Algorithm 1 for FRODO) and *how* to write them (`style` — each emulated
+// tool's characteristic code shape).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/cwriter.hpp"
+#include "codegen/snippet.hpp"
+#include "mapping/index_set.hpp"
+#include "model/model.hpp"
+#include "model/shape.hpp"
+
+namespace frodo::codegen {
+
+enum class EmitStyle {
+  kFrodo,          // range-reduced loops, hoisted bounds
+  kEmbeddedCoder,  // full padding, per-element boundary judgments, div/mod
+                   // index arithmetic — the "Simulink" baseline
+  kDFSynth,        // structured per-block regions, trimmed loop bounds
+  kHCG,            // explicit SIMD synthesis via GCC vector extensions
+};
+
+const char* to_string(EmitStyle style);
+
+struct EmitContext {
+  CWriter* w = nullptr;
+  EmitStyle style = EmitStyle::kFrodo;
+  const SnippetLibrary* snippets = nullptr;
+
+  // HCG only: vector width in doubles (4 ~ AVX2-class, 2 ~ NEON-class) and
+  // the typedef name the generator declared at file scope.
+  int simd_width = 0;
+  std::string simd_type;
+
+  const model::Block* block = nullptr;
+  std::vector<model::Shape> in_shapes;
+  std::vector<model::Shape> out_shapes;
+
+  // C array expressions for each input/output port buffer.  Buffers are
+  // always full-size (redundancy elimination shrinks loops, not storage —
+  // §5: no memory overhead).  Scalars are 1-element arrays.
+  std::vector<std::string> in;
+  std::vector<std::string> out;
+  // State array name; empty when the block is stateless.
+  std::string state;
+
+  // Which elements of each output port to compute.
+  std::vector<mapping::IndexSet> out_ranges;
+
+  // Unique fragment for local identifiers, e.g. "b3".
+  std::string uid;
+
+  // §5 code-duplication mitigation: when true, complex blocks call a shared
+  // per-model kernel with the calculation range passed as parameters
+  // instead of instantiating a snippet per range.  `prefix` names the
+  // model's symbol prefix for those kernels.
+  bool shared_kernels = false;
+  std::string prefix;
+};
+
+}  // namespace frodo::codegen

@@ -1,0 +1,147 @@
+// Code generators.
+//
+// One Generator subclass per tool in the paper's evaluation:
+//
+//   FrodoGenerator          — the contribution: Algorithm 1 ranges +
+//                             element-level snippets (optionally "loose" for
+//                             the granularity ablation).
+//   EmbeddedCoderGenerator  — the commercial "Simulink" baseline: full
+//                             buffers, full-padding convolution with
+//                             per-element boundary judgments (Figure 1).
+//   DFSynthGenerator        — structured per-block functions, trimmed loop
+//                             bounds, no cross-block range analysis.
+//   HCGGenerator            — explicit SIMD synthesis for batch blocks
+//                             (vector width parameterizes the target ISA:
+//                             4 doubles ~ AVX2-class x86, 2 ~ NEON ARM).
+//
+// All four share one pipeline (flatten -> graph -> analyze -> ranges ->
+// emit), differing only in emit style and in whether ranges are reduced, so
+// measured differences come from the generated code shape — exactly the
+// comparison the paper makes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/emit_context.hpp"
+#include "model/model.hpp"
+#include "range/range_analysis.hpp"
+#include "support/status.hpp"
+
+namespace frodo::codegen {
+
+struct PortDecl {
+  std::string name;      // C parameter name, e.g. "in0"
+  std::string comment;   // source block name
+  long long size = 0;    // elements
+};
+
+struct GeneratedCode {
+  std::string model_name;
+  std::string generator;  // which tool produced it
+  std::string prefix;     // C symbol prefix
+  std::string source;     // <model>.c
+  std::string header;     // <model>.h
+  std::vector<PortDecl> inputs;
+  std::vector<PortDecl> outputs;
+  // Memory accounting for the §5 discussion: statically allocated doubles
+  // (signal buffers + block state).
+  long long static_doubles = 0;
+  // Generated-code size (source lines), for the §5 code-duplication note.
+  int source_lines = 0;
+};
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  // Name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  // Full pipeline on an arbitrary (possibly hierarchical) model.
+  Result<GeneratedCode> generate(const model::Model& m) const;
+
+ protected:
+  virtual EmitStyle style() const = 0;
+  // Reduced calculation ranges (Algorithm 1) vs full ranges.
+  virtual bool use_range_analysis() const { return false; }
+  // Widen partial ranges to whole blocks (granularity ablation).
+  virtual bool loose_ranges() const { return false; }
+  // HCG vector width in doubles (0 = no explicit SIMD).
+  virtual int simd_width() const { return 0; }
+  // DFSynth: one static C function per block.
+  virtual bool block_functions() const { return false; }
+  // Frodo §5 option: shared range-parameterized kernels for complex blocks.
+  virtual bool shared_kernels() const { return false; }
+};
+
+class FrodoGenerator final : public Generator {
+ public:
+  // `loose` widens ranges to whole blocks (granularity ablation);
+  // `shared_kernels` emits one generic range-parameterized kernel per
+  // complex block type instead of per-range snippet instances (the §5
+  // code-duplication mitigation).
+  explicit FrodoGenerator(bool loose = false, bool shared_kernels = false)
+      : loose_(loose), shared_kernels_(shared_kernels) {}
+  std::string name() const override {
+    if (shared_kernels_) return "Frodo-shared";
+    return loose_ ? "Frodo-loose" : "Frodo";
+  }
+
+ protected:
+  EmitStyle style() const override { return EmitStyle::kFrodo; }
+  bool use_range_analysis() const override { return true; }
+  bool loose_ranges() const override { return loose_; }
+  bool shared_kernels() const override { return shared_kernels_; }
+
+ private:
+  bool loose_;
+  bool shared_kernels_;
+};
+
+class EmbeddedCoderGenerator final : public Generator {
+ public:
+  std::string name() const override { return "Simulink"; }
+
+ protected:
+  EmitStyle style() const override { return EmitStyle::kEmbeddedCoder; }
+};
+
+class DFSynthGenerator final : public Generator {
+ public:
+  std::string name() const override { return "DFSynth"; }
+
+ protected:
+  EmitStyle style() const override { return EmitStyle::kDFSynth; }
+  bool block_functions() const override { return true; }
+};
+
+class HCGGenerator final : public Generator {
+ public:
+  explicit HCGGenerator(int simd_width = 4) : simd_width_(simd_width) {}
+  std::string name() const override { return "HCG"; }
+
+ protected:
+  EmitStyle style() const override { return EmitStyle::kHCG; }
+  int simd_width() const override { return simd_width_; }
+
+ private:
+  int simd_width_;
+};
+
+// The four generators in the paper's column order: Simulink, DFSynth, HCG,
+// Frodo.  `hcg_simd_width` parameterizes HCG's target ISA.
+std::vector<std::unique_ptr<Generator>> paper_generators(
+    int hcg_simd_width = 4);
+
+// Generator by case-insensitive name ("frodo", "simulink", "dfsynth",
+// "hcg", "frodo-loose"); nullptr Result error for unknown names.
+Result<std::unique_ptr<Generator>> make_generator(const std::string& name,
+                                                  int hcg_simd_width = 4);
+
+// A standalone demo driver (main.c) for a generated bundle: fills the
+// inputs deterministically, runs `steps` steps, prints an output checksum.
+std::string emit_demo_main(const GeneratedCode& code, int steps = 100);
+
+}  // namespace frodo::codegen

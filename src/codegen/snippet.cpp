@@ -1,0 +1,136 @@
+#include "codegen/snippet.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/strings.hpp"
+
+namespace frodo::codegen {
+
+Result<std::string> instantiate(
+    std::string_view tmpl, const std::map<std::string, std::string>& subs) {
+  std::string out;
+  out.reserve(tmpl.size());
+  std::size_t pos = 0;
+  while (pos < tmpl.size()) {
+    const std::size_t dollar = tmpl.find('$', pos);
+    if (dollar == std::string_view::npos) {
+      out.append(tmpl.substr(pos));
+      break;
+    }
+    out.append(tmpl.substr(pos, dollar - pos));
+    const std::size_t end = tmpl.find('$', dollar + 1);
+    if (end == std::string_view::npos)
+      return Result<std::string>::error(
+          "snippet template has an unmatched '$'");
+    const std::string name(tmpl.substr(dollar + 1, end - dollar - 1));
+    auto it = subs.find(name);
+    if (it == subs.end())
+      return Result<std::string>::error("snippet placeholder '$" + name +
+                                        "$' has no substitution");
+    out.append(it->second);
+    pos = end + 1;
+  }
+  return out;
+}
+
+namespace {
+
+SnippetLibrary make_builtin() {
+  SnippetLibrary lib;
+
+  // Figure 4, snippet ① — one output element of a 1-D full convolution.
+  lib.set("Convolution", "element",
+          "{\n"
+          "  double acc = 0.0;\n"
+          "  int k_lo = $out_index$ - ($Input2_size$ - 1);\n"
+          "  if (k_lo < 0) k_lo = 0;\n"
+          "  int k_hi = $out_index$;\n"
+          "  if (k_hi > $Input1_size$ - 1) k_hi = $Input1_size$ - 1;\n"
+          "  for (int k = k_lo; k <= k_hi; ++k) {\n"
+          "    acc += $Input1$[k] * $Input2$[$out_index$ - k];\n"
+          "  }\n"
+          "  $Output$[$out_index$] = acc;\n"
+          "}\n");
+
+  // Figure 4, snippet ② — a consecutive range of output elements, with the
+  // boundary judgments hoisted out of the inner loop.
+  lib.set("Convolution", "range",
+          "for (int i = $range_begin$; i <= $range_end$; ++i) {\n"
+          "  double acc = 0.0;\n"
+          "  int k_lo = i - ($Input2_size$ - 1);\n"
+          "  if (k_lo < 0) k_lo = 0;\n"
+          "  int k_hi = i;\n"
+          "  if (k_hi > $Input1_size$ - 1) k_hi = $Input1_size$ - 1;\n"
+          "  for (int k = k_lo; k <= k_hi; ++k) {\n"
+          "    acc += $Input1$[k] * $Input2$[i - k];\n"
+          "  }\n"
+          "  $Output$[i] = acc;\n"
+          "}\n");
+
+  // Full-padding style with per-element boundary judgments inside the inner
+  // loop — the Embedded Coder code shape called out in Figure 1.
+  lib.set("Convolution", "padded",
+          "for (int i = 0; i < $Output_size$; ++i) {\n"
+          "  double acc = 0.0;\n"
+          "  for (int k = 0; k < $Input2_size$; ++k) {\n"
+          "    int j = i - k;\n"
+          "    if (j >= 0 && j < $Input1_size$) {\n"
+          "      acc += $Input1$[j] * $Input2$[k];\n"
+          "    }\n"
+          "  }\n"
+          "  $Output$[i] = acc;\n"
+          "}\n");
+
+  return lib;
+}
+
+}  // namespace
+
+const SnippetLibrary& SnippetLibrary::builtin() {
+  static const SnippetLibrary lib = make_builtin();
+  return lib;
+}
+
+Result<SnippetLibrary> SnippetLibrary::with_overrides(const std::string& dir) {
+  SnippetLibrary lib = builtin();
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    return Result<SnippetLibrary>::error("snippet directory not found: " +
+                                         dir);
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (!ends_with(filename, ".c.in")) continue;
+    // "<block>.<key>.c.in"
+    const std::string stem = filename.substr(0, filename.size() - 5);
+    const std::size_t dot = stem.find('.');
+    if (dot == std::string::npos) continue;
+    std::ifstream in(entry.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    lib.set(stem.substr(0, dot), stem.substr(dot + 1), std::move(text));
+  }
+  return lib;
+}
+
+Result<std::string> SnippetLibrary::get(const std::string& block_type,
+                                        const std::string& key) const {
+  auto it = snippets_.find(block_type + "." + key);
+  if (it == snippets_.end())
+    return Result<std::string>::error("no snippet '" + key +
+                                      "' for block type '" + block_type + "'");
+  return it->second;
+}
+
+void SnippetLibrary::set(const std::string& block_type, const std::string& key,
+                         std::string tmpl) {
+  snippets_[block_type + "." + key] = std::move(tmpl);
+}
+
+bool SnippetLibrary::has(const std::string& block_type,
+                         const std::string& key) const {
+  return snippets_.count(block_type + "." + key) != 0;
+}
+
+}  // namespace frodo::codegen

@@ -1,0 +1,46 @@
+// Element-level code library (FRODO §3.2, Figure 4).
+//
+// Complex blocks carry code snippet templates with `$placeholder$` variables
+// ("the variables highlighted in red need to be substituted with the
+// corresponding parameters of the target block").  The library ships with
+// built-in templates and, matching the paper's "recorded as external files to
+// support cross-architectures", can overlay templates from a directory of
+// `<block>.<key>.c.in` files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace frodo::codegen {
+
+// Substitutes every `$name$` in `tmpl` from `subs`.  Errors on a placeholder
+// without a substitution (catching typos in templates) and on an unmatched
+// `$`.
+Result<std::string> instantiate(std::string_view tmpl,
+                                const std::map<std::string, std::string>& subs);
+
+class SnippetLibrary {
+ public:
+  // Library pre-populated with the built-in templates.
+  static const SnippetLibrary& builtin();
+
+  // Copy of builtin() with `<block>.<key>.c.in` files from `dir` overlaid.
+  static Result<SnippetLibrary> with_overrides(const std::string& dir);
+
+  // Template for (block type, snippet key), e.g. ("Convolution", "element")
+  // and ("Convolution", "range") — Figure 4's snippets ① and ②.
+  Result<std::string> get(const std::string& block_type,
+                          const std::string& key) const;
+
+  void set(const std::string& block_type, const std::string& key,
+           std::string tmpl);
+  bool has(const std::string& block_type, const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> snippets_;  // "type.key" -> template
+};
+
+}  // namespace frodo::codegen

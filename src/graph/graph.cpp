@@ -1,0 +1,129 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace frodo::graph {
+
+Result<DataflowGraph> DataflowGraph::build(const model::Model& model) {
+  FRODO_RETURN_IF_ERROR(model.validate());
+  for (int id = 0; id < model.block_count(); ++id) {
+    if (model.block(id).is_subsystem())
+      return Result<DataflowGraph>::error(
+          "dataflow graph requires a flattened model, but block '" +
+          model.block(id).name() + "' is a Subsystem (call flatten() first)");
+  }
+
+  DataflowGraph g;
+  g.model_ = &model;
+  g.in_driver_.resize(static_cast<std::size_t>(model.block_count()));
+  g.out_edges_.resize(static_cast<std::size_t>(model.block_count()));
+  g.output_counts_.assign(static_cast<std::size_t>(model.block_count()), 0);
+
+  for (const model::Connection& conn : model.connections()) {
+    auto& inputs = g.in_driver_[static_cast<std::size_t>(conn.dst.block)];
+    if (static_cast<int>(inputs.size()) <= conn.dst.port)
+      inputs.resize(static_cast<std::size_t>(conn.dst.port) + 1);
+    inputs[static_cast<std::size_t>(conn.dst.port)] = conn.src;
+    g.out_edges_[static_cast<std::size_t>(conn.src.block)].push_back(conn);
+    int& outs = g.output_counts_[static_cast<std::size_t>(conn.src.block)];
+    outs = std::max(outs, conn.src.port + 1);
+  }
+  return g;
+}
+
+std::optional<model::Endpoint> DataflowGraph::input_driver(
+    model::BlockId block, int port) const {
+  const auto& inputs = in_driver_.at(static_cast<std::size_t>(block));
+  if (port < 0 || port >= static_cast<int>(inputs.size())) return std::nullopt;
+  return inputs[static_cast<std::size_t>(port)];
+}
+
+int DataflowGraph::input_count(model::BlockId block) const {
+  return static_cast<int>(in_driver_.at(static_cast<std::size_t>(block)).size());
+}
+
+int DataflowGraph::output_count(model::BlockId block) const {
+  return output_counts_.at(static_cast<std::size_t>(block));
+}
+
+const std::vector<model::Connection>& DataflowGraph::out_edges(
+    model::BlockId block) const {
+  return out_edges_.at(static_cast<std::size_t>(block));
+}
+
+std::vector<model::BlockId> DataflowGraph::children(
+    model::BlockId block) const {
+  std::set<model::BlockId> unique;
+  for (const model::Connection& conn : out_edges(block))
+    unique.insert(conn.dst.block);
+  return std::vector<model::BlockId>(unique.begin(), unique.end());
+}
+
+std::vector<model::BlockId> DataflowGraph::roots() const {
+  std::vector<model::BlockId> out;
+  for (model::BlockId id = 0; id < block_count(); ++id) {
+    bool has_input = false;
+    for (const auto& driver : in_driver_[static_cast<std::size_t>(id)])
+      has_input |= driver.has_value();
+    if (!has_input) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<model::BlockId> DataflowGraph::sinks() const {
+  std::vector<model::BlockId> out;
+  for (model::BlockId id = 0; id < block_count(); ++id) {
+    if (out_edges_[static_cast<std::size_t>(id)].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::vector<model::BlockId>> DataflowGraph::topo_order(
+    const std::function<bool(const model::Block&)>& is_state_block) const {
+  const int n = block_count();
+  std::vector<int> in_degree(static_cast<std::size_t>(n), 0);
+  for (model::BlockId id = 0; id < n; ++id) {
+    if (is_state_block(model_->block(id))) continue;  // reads state, not input
+    for (const auto& driver : in_driver_[static_cast<std::size_t>(id)]) {
+      if (driver.has_value()) ++in_degree[static_cast<std::size_t>(id)];
+    }
+  }
+
+  std::deque<model::BlockId> ready;
+  for (model::BlockId id = 0; id < n; ++id) {
+    if (in_degree[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+  }
+
+  std::vector<model::BlockId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    // Pop the lowest id for a deterministic schedule.
+    auto it = std::min_element(ready.begin(), ready.end());
+    const model::BlockId id = *it;
+    ready.erase(it);
+    order.push_back(id);
+    for (const model::Connection& conn :
+         out_edges_[static_cast<std::size_t>(id)]) {
+      if (is_state_block(model_->block(conn.dst.block))) continue;
+      if (--in_degree[static_cast<std::size_t>(conn.dst.block)] == 0)
+        ready.push_back(conn.dst.block);
+    }
+  }
+
+  if (static_cast<int>(order.size()) != n) {
+    std::string cyclic;
+    for (model::BlockId id = 0; id < n; ++id) {
+      if (std::find(order.begin(), order.end(), id) == order.end()) {
+        if (!cyclic.empty()) cyclic += ", ";
+        cyclic += "'" + model_->block(id).name() + "'";
+      }
+    }
+    return Result<std::vector<model::BlockId>>::error(
+        "algebraic loop involving blocks: " + cyclic);
+  }
+  return order;
+}
+
+}  // namespace frodo::graph

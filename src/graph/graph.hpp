@@ -1,0 +1,64 @@
+// Dataflow graph construction and scheduling (FRODO §3.1, steps ②/③).
+//
+// Built from a *flattened* model, the graph resolves each input port to its
+// unique driver, each output port to its fan-out, and provides:
+//   * roots   — 0-in-degree blocks, the starting points of Algorithm 1,
+//   * sinks   — 0-out-degree blocks, whose demand is their full output,
+//   * topo_order — the translation sequence used by code synthesis.
+//
+// Blocks with state (UnitDelay & friends) read last step's state, so their
+// incoming edges do not constrain this step's ordering; the caller supplies
+// an `is_state_block` predicate (the block property library knows which types
+// hold state), and a genuine algebraic loop is reported as an error.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "model/model.hpp"
+#include "support/status.hpp"
+
+namespace frodo::graph {
+
+class DataflowGraph {
+ public:
+  // `model` must be flattened (no Subsystem blocks) and valid.
+  static Result<DataflowGraph> build(const model::Model& model);
+
+  const model::Model& model() const { return *model_; }
+  int block_count() const { return model_->block_count(); }
+
+  // Driver of (block, input port); nullopt for unconnected inputs.
+  std::optional<model::Endpoint> input_driver(model::BlockId block,
+                                              int port) const;
+  // Number of connected input ports (max connected port + 1).
+  int input_count(model::BlockId block) const;
+  // Number of connected output ports.
+  int output_count(model::BlockId block) const;
+
+  // All edges leaving any output port of `block`.
+  const std::vector<model::Connection>& out_edges(model::BlockId block) const;
+  // Distinct consumer blocks of `block` (the "child blocks" of Algorithm 1).
+  std::vector<model::BlockId> children(model::BlockId block) const;
+
+  // 0-in-degree blocks: "the root block is defined as the 0-in-degree block
+  // in the dataflow graph" (§3.2).
+  std::vector<model::BlockId> roots() const;
+  std::vector<model::BlockId> sinks() const;
+
+  // Kahn topological order.  Incoming edges of blocks for which
+  // `is_state_block` returns true are ignored (their outputs depend on state,
+  // not on this step's inputs).  Fails on an algebraic loop.
+  Result<std::vector<model::BlockId>> topo_order(
+      const std::function<bool(const model::Block&)>& is_state_block) const;
+
+ private:
+  const model::Model* model_ = nullptr;
+  // in_driver_[block][port]
+  std::vector<std::vector<std::optional<model::Endpoint>>> in_driver_;
+  std::vector<std::vector<model::Connection>> out_edges_;
+  std::vector<int> output_counts_;
+};
+
+}  // namespace frodo::graph

@@ -1,0 +1,115 @@
+#include "interp/interpreter.hpp"
+
+namespace frodo::interp {
+
+Result<Interpreter> Interpreter::create(const blocks::Analysis& analysis) {
+  Interpreter interp;
+  interp.analysis_ = &analysis;
+  FRODO_ASSIGN_OR_RETURN(interp.signature_, blocks::io_signature(analysis));
+
+  const int n = analysis.graph->block_count();
+  interp.buffers_.resize(static_cast<std::size_t>(n));
+  interp.states_.resize(static_cast<std::size_t>(n));
+  for (model::BlockId id = 0; id < n; ++id) {
+    const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+    auto& bufs = interp.buffers_[static_cast<std::size_t>(id)];
+    bufs.resize(shapes.size());
+    for (std::size_t p = 0; p < shapes.size(); ++p)
+      bufs[p].assign(static_cast<std::size_t>(shapes[p].size()), 0.0);
+    const blocks::BlockSemantics& sem =
+        *analysis.sems[static_cast<std::size_t>(id)];
+    const model::Block& block = analysis.model().block(id);
+    if (sem.has_state(block)) {
+      interp.states_[static_cast<std::size_t>(id)].assign(
+          static_cast<std::size_t>(sem.state_size(analysis.instance(id))),
+          0.0);
+    }
+  }
+  FRODO_RETURN_IF_ERROR(interp.reset());
+  return interp;
+}
+
+Status Interpreter::reset() {
+  for (model::BlockId id = 0; id < analysis_->graph->block_count(); ++id) {
+    auto& state = states_[static_cast<std::size_t>(id)];
+    if (state.empty()) continue;
+    FRODO_RETURN_IF_ERROR(
+        analysis_->sems[static_cast<std::size_t>(id)]
+            ->init_state(analysis_->instance(id), state.data())
+            .with_context("initializing state of '" +
+                          analysis_->model().block(id).name() + "'"));
+  }
+  return Status::ok();
+}
+
+Status Interpreter::step(const std::vector<std::vector<double>>& inputs,
+                         std::vector<std::vector<double>>* outputs) {
+  if (inputs.size() != signature_.inputs.size())
+    return Status::error("step: expected " +
+                         std::to_string(signature_.inputs.size()) +
+                         " input vectors, got " +
+                         std::to_string(inputs.size()));
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    const long long want = signature_.inputs[k].shape.size();
+    if (static_cast<long long>(inputs[k].size()) != want)
+      return Status::error("step: input " + std::to_string(k + 1) +
+                           " must have " + std::to_string(want) +
+                           " elements");
+    buffers_[static_cast<std::size_t>(signature_.inputs[k].block)][0] =
+        inputs[k];
+  }
+
+  // Compute phase, in schedule order.
+  for (model::BlockId id : analysis_->order) {
+    const blocks::BlockSemantics& sem =
+        *analysis_->sems[static_cast<std::size_t>(id)];
+    const model::Block& block = analysis_->model().block(id);
+    if (block.type() == "Inport") continue;
+
+    std::vector<const double*> in;
+    for (int p = 0; p < analysis_->graph->input_count(id); ++p) {
+      const auto driver = analysis_->graph->input_driver(id, p);
+      in.push_back(buffers_[static_cast<std::size_t>(driver->block)]
+                           [static_cast<std::size_t>(driver->port)]
+                               .data());
+    }
+    std::vector<double*> out;
+    for (auto& buf : buffers_[static_cast<std::size_t>(id)])
+      out.push_back(buf.data());
+    double* state = states_[static_cast<std::size_t>(id)].empty()
+                        ? nullptr
+                        : states_[static_cast<std::size_t>(id)].data();
+    FRODO_RETURN_IF_ERROR(
+        sem.simulate(analysis_->instance(id), in, out, state)
+            .with_context("simulating '" + block.name() + "'"));
+  }
+
+  // End-of-step state updates.
+  for (model::BlockId id : analysis_->order) {
+    auto& state = states_[static_cast<std::size_t>(id)];
+    if (state.empty()) continue;
+    std::vector<const double*> in;
+    for (int p = 0; p < analysis_->graph->input_count(id); ++p) {
+      const auto driver = analysis_->graph->input_driver(id, p);
+      in.push_back(buffers_[static_cast<std::size_t>(driver->block)]
+                           [static_cast<std::size_t>(driver->port)]
+                               .data());
+    }
+    FRODO_RETURN_IF_ERROR(
+        analysis_->sems[static_cast<std::size_t>(id)]
+            ->update_state(analysis_->instance(id), in, state.data())
+            .with_context("updating state of '" +
+                          analysis_->model().block(id).name() + "'"));
+  }
+
+  // Collect outputs (the Outport's input buffer).
+  outputs->clear();
+  for (const blocks::IoPort& port : signature_.outputs) {
+    const auto driver = analysis_->graph->input_driver(port.block, 0);
+    outputs->push_back(buffers_[static_cast<std::size_t>(driver->block)]
+                               [static_cast<std::size_t>(driver->port)]);
+  }
+  return Status::ok();
+}
+
+}  // namespace frodo::interp

@@ -1,0 +1,42 @@
+// Reference interpreter — the stand-in for Simulink's model simulation.
+//
+// Executes the analyzed model directly from block semantics, one step at a
+// time.  This is the correctness oracle the paper's evaluation uses ("we
+// generated a large number of random test cases ... and compared the results
+// with those from model simulations"): every generator's compiled output is
+// diffed against it in the integration tests.
+#pragma once
+
+#include <vector>
+
+#include "blocks/analysis.hpp"
+#include "support/status.hpp"
+
+namespace frodo::interp {
+
+class Interpreter {
+ public:
+  // `analysis` must outlive the interpreter.
+  static Result<Interpreter> create(const blocks::Analysis& analysis);
+
+  const blocks::IoSignature& signature() const { return signature_; }
+
+  // Re-initializes all block state (fresh t=0).
+  Status reset();
+
+  // Runs one step.  `inputs[k]` must have signature().inputs[k] elements;
+  // on return `outputs[k]` holds signature().outputs[k].
+  Status step(const std::vector<std::vector<double>>& inputs,
+              std::vector<std::vector<double>>* outputs);
+
+ private:
+  Interpreter() = default;
+
+  const blocks::Analysis* analysis_ = nullptr;
+  blocks::IoSignature signature_;
+  // buffers_[block][port] -> values
+  std::vector<std::vector<std::vector<double>>> buffers_;
+  std::vector<std::vector<double>> states_;
+};
+
+}  // namespace frodo::interp

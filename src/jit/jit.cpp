@@ -1,0 +1,202 @@
+#include "jit/jit.hpp"
+
+#include <dlfcn.h>
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "support/strings.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo::jit {
+
+namespace {
+
+// Serial number so repeated compiles of the same model never collide on the
+// .so path (dlopen caches by path).
+int next_serial() {
+  static int serial = 0;
+  return serial++;
+}
+
+std::string shell_quote(const std::string& arg) {
+  return "'" + replace_all(arg, "'", "'\\''") + "'";
+}
+
+}  // namespace
+
+bool compiler_available(const std::string& cc) {
+  const std::string cmd =
+      "command -v " + shell_quote(cc) + " > /dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+std::vector<CompilerProfile> table2_profiles() {
+  std::vector<CompilerProfile> profiles;
+  profiles.push_back(CompilerProfile{"gcc-O3", "gcc", {"-O3"}, 4});
+  if (compiler_available("clang")) {
+    profiles.push_back(CompilerProfile{"clang-O3", "clang", {"-O3"}, 4});
+  } else {
+    // Documented substitution: a second, independent GCC optimization
+    // pipeline stands in for Clang (not installed here).
+    profiles.push_back(CompilerProfile{"gcc-O2", "gcc", {"-O2"}, 4});
+  }
+  return profiles;
+}
+
+std::vector<CompilerProfile> fig6_profiles() {
+  // ARM Cortex-A72 substitute: the same compilers with auto-vectorization
+  // disabled (narrow-SIMD embedded class) and HCG targeting 128-bit vectors.
+  const std::vector<std::string> arm_flags = {
+      "-O3", "-fno-tree-vectorize", "-fno-tree-slp-vectorize"};
+  std::vector<CompilerProfile> profiles;
+  profiles.push_back(CompilerProfile{"arm-sim-gcc", "gcc", arm_flags, 2});
+  if (compiler_available("clang")) {
+    profiles.push_back(CompilerProfile{
+        "arm-sim-clang", "clang", {"-O3", "-fno-vectorize",
+                                   "-fno-slp-vectorize"}, 2});
+  } else {
+    std::vector<std::string> flags = arm_flags;
+    flags.push_back("-funroll-loops");  // distinct second pipeline
+    profiles.push_back(CompilerProfile{"arm-sim-gcc-unroll", "gcc", flags, 2});
+  }
+  return profiles;
+}
+
+CompiledModel::~CompiledModel() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+CompiledModel::CompiledModel(CompiledModel&& other) noexcept
+    : handle_(other.handle_),
+      init_(other.init_),
+      step_(other.step_),
+      code_(std::move(other.code_)) {
+  other.handle_ = nullptr;
+}
+
+CompiledModel& CompiledModel::operator=(CompiledModel&& other) noexcept {
+  if (this != &other) {
+    if (handle_ != nullptr) dlclose(handle_);
+    handle_ = other.handle_;
+    init_ = other.init_;
+    step_ = other.step_;
+    code_ = std::move(other.code_);
+    other.handle_ = nullptr;
+  }
+  return *this;
+}
+
+Result<CompiledModel> compile_and_load(const codegen::GeneratedCode& code,
+                                       const CompilerProfile& profile,
+                                       const std::string& workdir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(workdir, ec);
+  if (ec)
+    return Result<CompiledModel>::error("cannot create workdir '" + workdir +
+                                        "': " + ec.message());
+
+  const std::string stem = code.prefix + "_" +
+                           sanitize_identifier(code.generator) + "_" +
+                           sanitize_identifier(profile.label) + "_" +
+                           std::to_string(next_serial());
+  const std::string c_path = workdir + "/" + stem + ".c";
+  const std::string so_path = workdir + "/" + stem + ".so";
+  const std::string log_path = workdir + "/" + stem + ".log";
+
+  FRODO_RETURN_IF_ERROR(zip::write_file(c_path, code.source));
+
+  std::string cmd = shell_quote(profile.cc) + " -shared -fPIC";
+  for (const std::string& flag : profile.flags) cmd += " " + shell_quote(flag);
+  cmd += " -o " + shell_quote(so_path) + " " + shell_quote(c_path) + " -lm";
+  cmd += " 2> " + shell_quote(log_path);
+  if (std::system(cmd.c_str()) != 0) {
+    auto log = zip::read_file(log_path);
+    return Result<CompiledModel>::error(
+        "compilation failed: " + cmd +
+        (log.is_ok() ? "\n" + log.value() : ""));
+  }
+
+  CompiledModel model;
+  model.code_ = code;
+  model.handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (model.handle_ == nullptr)
+    return Result<CompiledModel>::error(std::string("dlopen failed: ") +
+                                        dlerror());
+  model.init_ = reinterpret_cast<void (*)()>(
+      dlsym(model.handle_, (code.prefix + "_init").c_str()));
+  model.step_ = reinterpret_cast<void (*)(const double* const*,
+                                          double* const*)>(
+      dlsym(model.handle_, (code.prefix + "_step_arrays").c_str()));
+  if (model.init_ == nullptr || model.step_ == nullptr)
+    return Result<CompiledModel>::error(
+        "generated object is missing init/step symbols for prefix '" +
+        code.prefix + "'");
+  return model;
+}
+
+std::vector<std::vector<double>> random_inputs(
+    const codegen::GeneratedCode& code, std::uint64_t seed, double lo,
+    double hi) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ull;
+  auto next = [&x]() {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z;
+  };
+  std::vector<std::vector<double>> inputs;
+  for (const codegen::PortDecl& port : code.inputs) {
+    std::vector<double> values(static_cast<std::size_t>(port.size));
+    for (double& v : values) {
+      const double u =
+          static_cast<double>(next() >> 11) / 9007199254740992.0;  // [0,1)
+      v = lo + u * (hi - lo);
+    }
+    inputs.push_back(std::move(values));
+  }
+  return inputs;
+}
+
+double time_steps(const CompiledModel& model,
+                  const std::vector<std::vector<double>>& inputs, int reps) {
+  const codegen::GeneratedCode& code = model.code();
+  std::vector<const double*> in_ptrs;
+  for (const auto& v : inputs) in_ptrs.push_back(v.data());
+  std::vector<std::vector<double>> outputs;
+  std::vector<double*> out_ptrs;
+  for (const codegen::PortDecl& port : code.outputs) {
+    outputs.emplace_back(static_cast<std::size_t>(port.size), 0.0);
+  }
+  for (auto& v : outputs) out_ptrs.push_back(v.data());
+
+  model.init();
+  // Warm-up step (page in the code path).
+  model.step(in_ptrs.data(), out_ptrs.data());
+  model.init();
+
+  volatile double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    model.step(in_ptrs.data(), out_ptrs.data());
+    if (!outputs.empty() && !outputs[0].empty()) sink = sink + outputs[0][0];
+  }
+  const auto end = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double>(end - start).count();
+}
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+}  // namespace frodo::jit

@@ -1,0 +1,91 @@
+// Runtime compilation of generated C code.
+//
+// The evaluation compiles each generator's output with real C compilers and
+// times the resulting step function, exactly as the paper does (GCC/Clang,
+// -O3).  compile_and_load() shells out to the requested compiler, builds a
+// shared object and dlopens it; TimingOptions/time_steps() implement the
+// repeated-execution measurement (10,000 reps in the paper).
+//
+// Compiler profiles encode the evaluation grid:
+//   * table2_profiles(): x86, "GCC" = gcc -O3 and "Clang" = clang -O3 when
+//     clang is installed, otherwise gcc -O2 as the documented second
+//     optimization pipeline (see DESIGN.md substitutions).
+//   * fig6_profiles(): the ARM Cortex-A72 substitute — auto-vectorization
+//     disabled so performance is dominated by generated-code logic, the
+//     mechanism §4.2 credits for FRODO's larger win on embedded targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/generator.hpp"
+#include "support/status.hpp"
+
+namespace frodo::jit {
+
+struct CompilerProfile {
+  std::string label;  // e.g. "gcc-O3"
+  std::string cc;     // compiler executable
+  std::vector<std::string> flags;
+  // HCG synthesizes ISA-specific SIMD; 4 doubles for wide x86 vectors,
+  // 2 for the 128-bit NEON-class target.
+  int hcg_simd_width = 4;
+};
+
+bool compiler_available(const std::string& cc);
+
+// The two x86 compiler columns of Table 2.
+std::vector<CompilerProfile> table2_profiles();
+// The two ARM compiler charts of Figure 6.
+std::vector<CompilerProfile> fig6_profiles();
+
+class CompiledModel {
+ public:
+  CompiledModel() = default;
+  ~CompiledModel();
+  CompiledModel(CompiledModel&& other) noexcept;
+  CompiledModel& operator=(CompiledModel&& other) noexcept;
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+  const codegen::GeneratedCode& code() const { return code_; }
+
+  // Resets model state (calls <prefix>_init).
+  void init() const { init_(); }
+  // One step through the uniform pointer-array entry point.
+  void step(const double* const* in, double* const* out) const {
+    step_(in, out);
+  }
+
+  friend Result<CompiledModel> compile_and_load(
+      const codegen::GeneratedCode& code, const CompilerProfile& profile,
+      const std::string& workdir);
+
+ private:
+  void* handle_ = nullptr;
+  void (*init_)() = nullptr;
+  void (*step_)(const double* const*, double* const*) = nullptr;
+  codegen::GeneratedCode code_;
+};
+
+// Writes <workdir>/<model>_<generator>_<profile>.c, compiles it to a shared
+// object and loads it.  The workdir is created if needed.
+Result<CompiledModel> compile_and_load(const codegen::GeneratedCode& code,
+                                       const CompilerProfile& profile,
+                                       const std::string& workdir);
+
+// Deterministic pseudo-random input data (SplitMix64).
+std::vector<std::vector<double>> random_inputs(
+    const codegen::GeneratedCode& code, std::uint64_t seed, double lo = -1.0,
+    double hi = 1.0);
+
+// Runs `reps` steps over fixed inputs and returns elapsed seconds.  A
+// checksum over the outputs is accumulated to keep the work observable.
+double time_steps(const CompiledModel& model,
+                  const std::vector<std::vector<double>>& inputs, int reps);
+
+// Peak resident set size of this process in kilobytes (for the §5 memory
+// discussion).
+long peak_rss_kb();
+
+}  // namespace frodo::jit

@@ -1,0 +1,147 @@
+#include "mapping/index_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace frodo::mapping {
+
+IndexSet IndexSet::full(long long size) { return interval(0, size - 1); }
+
+IndexSet IndexSet::interval(long long lo, long long hi) {
+  IndexSet set;
+  if (lo <= hi) set.intervals_.push_back(Interval{lo, hi});
+  return set;
+}
+
+long long IndexSet::count() const {
+  long long n = 0;
+  for (const Interval& iv : intervals_) n += iv.size();
+  return n;
+}
+
+long long IndexSet::min() const {
+  if (is_empty()) throw std::logic_error("IndexSet::min on empty set");
+  return intervals_.front().lo;
+}
+
+long long IndexSet::max() const {
+  if (is_empty()) throw std::logic_error("IndexSet::max on empty set");
+  return intervals_.back().hi;
+}
+
+Interval IndexSet::hull() const {
+  if (is_empty()) return Interval{};
+  return Interval{intervals_.front().lo, intervals_.back().hi};
+}
+
+bool IndexSet::contains(long long index) const {
+  // Binary search over the sorted runs.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), index,
+      [](long long v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return index <= it->hi;
+}
+
+bool IndexSet::contains(const IndexSet& other) const {
+  return other.intersect(*this) == other;
+}
+
+void IndexSet::insert(long long lo, long long hi) {
+  if (lo > hi) return;
+  // Find the insertion window: all runs that overlap or are adjacent to
+  // [lo, hi] get merged into it.
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, long long v) { return iv.hi + 1 < v; });
+  auto last = first;
+  while (last != intervals_.end() && last->lo <= hi + 1) {
+    lo = std::min(lo, last->lo);
+    hi = std::max(hi, last->hi);
+    ++last;
+  }
+  first = intervals_.erase(first, last);
+  intervals_.insert(first, Interval{lo, hi});
+}
+
+void IndexSet::unite(const IndexSet& other) {
+  for (const Interval& iv : other.intervals_) insert(iv.lo, iv.hi);
+}
+
+IndexSet IndexSet::intersect(const IndexSet& other) const {
+  IndexSet out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    const long long lo = std::max(a.lo, b.lo);
+    const long long hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.intervals_.push_back(Interval{lo, hi});
+    if (a.hi < b.hi)
+      ++i;
+    else
+      ++j;
+  }
+  return out;
+}
+
+IndexSet IndexSet::offset(long long delta) const {
+  IndexSet out;
+  out.intervals_.reserve(intervals_.size());
+  for (const Interval& iv : intervals_)
+    out.intervals_.push_back(Interval{iv.lo + delta, iv.hi + delta});
+  return out;
+}
+
+IndexSet IndexSet::clamp(long long lo, long long hi) const {
+  return intersect(interval(lo, hi));
+}
+
+IndexSet IndexSet::dilate(long long left, long long right) const {
+  IndexSet out;
+  for (const Interval& iv : intervals_) out.insert(iv.lo - left, iv.hi + right);
+  return out;
+}
+
+IndexSet IndexSet::affine_expand(long long stride, long long offset,
+                                 long long span) const {
+  IndexSet out;
+  for (const Interval& iv : intervals_) {
+    if (stride == 1) {
+      // Contiguous indices stay one run: [lo+off, hi+off+span-1].
+      out.insert(iv.lo + offset, iv.hi + offset + span - 1);
+      continue;
+    }
+    for (long long i = iv.lo; i <= iv.hi; ++i) {
+      out.insert(i * stride + offset, i * stride + offset + span - 1);
+    }
+  }
+  return out;
+}
+
+IndexSet IndexSet::complement(long long size) const {
+  IndexSet out;
+  long long cursor = 0;
+  for (const Interval& iv : intervals_) {
+    if (iv.lo > cursor) out.insert(cursor, std::min(iv.lo - 1, size - 1));
+    cursor = iv.hi + 1;
+    if (cursor >= size) break;
+  }
+  if (cursor < size) out.insert(cursor, size - 1);
+  return out;
+}
+
+std::string IndexSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "[" + std::to_string(intervals_[i].lo) + "," +
+           std::to_string(intervals_[i].hi) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace frodo::mapping

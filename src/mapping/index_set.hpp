@@ -1,0 +1,94 @@
+// IndexSet — the demand-set algebra behind FRODO's I/O mappings.
+//
+// A calculation range (§3.2) is "which elements of this signal does anybody
+// downstream actually need".  We represent it as a normalized set of closed
+// integer intervals over the flattened element index space of a signal:
+// sorted, disjoint, and with adjacent runs merged, so {[0,4],[5,9]} is stored
+// as {[0,9]}.  The paper's example range "[5, 54]" is IndexSet::interval(5,54).
+//
+// Block I/O mappings are pullback functions built from the operations here:
+// offset (Selector/Pad shifts), clamp (truncation to a signal's extent),
+// dilate (convolution/FIR tap windows), strided expansion (row/column
+// selections), and set union/intersection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frodo::mapping {
+
+struct Interval {
+  long long lo = 0;
+  long long hi = -1;  // inclusive; lo > hi means empty
+
+  bool empty() const { return lo > hi; }
+  long long size() const { return empty() ? 0 : hi - lo + 1; }
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+class IndexSet {
+ public:
+  IndexSet() = default;
+
+  static IndexSet empty() { return IndexSet(); }
+  // The full index space of a signal with `size` elements: [0, size-1].
+  static IndexSet full(long long size);
+  static IndexSet single(long long index) { return interval(index, index); }
+  // Closed interval [lo, hi]; empty when lo > hi.
+  static IndexSet interval(long long lo, long long hi);
+
+  bool is_empty() const { return intervals_.empty(); }
+  // Total number of elements in the set.
+  long long count() const;
+  // Number of maximal runs (1 for a contiguous range).
+  int interval_count() const { return static_cast<int>(intervals_.size()); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  // True when the set is exactly one contiguous run [lo, hi].
+  bool is_contiguous() const { return intervals_.size() == 1; }
+  // Smallest/largest member; must not be empty.
+  long long min() const;
+  long long max() const;
+  // Smallest single interval covering the whole set; empty set -> empty hull.
+  Interval hull() const;
+
+  bool contains(long long index) const;
+  bool contains(const IndexSet& other) const;
+
+  // -- Mutating set algebra (normalizing) -------------------------------------
+  void insert(long long lo, long long hi);
+  void unite(const IndexSet& other);
+
+  // -- Pure operations ----------------------------------------------------------
+  IndexSet intersect(const IndexSet& other) const;
+  // Shifts every index by `delta` (may go negative; combine with clamp).
+  IndexSet offset(long long delta) const;
+  // Intersects with [lo, hi].
+  IndexSet clamp(long long lo, long long hi) const;
+  // Widens every interval by `left` downward and `right` upward — the window
+  // pullback of sliding-window blocks (convolution, FIR).
+  IndexSet dilate(long long left, long long right) const;
+  // Maps every index i to the run [i*stride + offset, i*stride + offset +
+  // span - 1]; the pullback of reshape/row-selection style mappings.
+  IndexSet affine_expand(long long stride, long long offset,
+                         long long span) const;
+  // Complement within [0, size-1].
+  IndexSet complement(long long size) const;
+
+  bool operator==(const IndexSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+  bool operator!=(const IndexSet& other) const { return !(*this == other); }
+
+  // "{}" / "{[5,54]}" / "{[0,3],[7,9]}" — for diagnostics and tests.
+  std::string to_string() const;
+
+ private:
+  // Invariant: sorted by lo, pairwise disjoint, non-adjacent, non-empty.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace frodo::mapping

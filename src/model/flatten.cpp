@@ -1,0 +1,191 @@
+#include "model/flatten.hpp"
+
+#include <map>
+#include <variant>
+#include <vector>
+
+namespace frodo::model {
+
+namespace {
+
+// During splicing, a connection endpoint is either a concrete block port in
+// the flattened model or a pseudo node standing for a subsystem boundary
+// port that will be eliminated.
+using PseudoId = int;
+using Ref = std::variant<Endpoint, PseudoId>;
+
+struct Edge {
+  Ref src;
+  Ref dst;
+};
+
+bool is_port_block(const Block& block) {
+  return block.type() == "Inport" || block.type() == "Outport";
+}
+
+Result<int> port_number(const Block& block) {
+  FRODO_ASSIGN_OR_RETURN(Value v, block.param("Port"));
+  FRODO_ASSIGN_OR_RETURN(long long n, v.as_int());
+  if (n < 1)
+    return Result<int>::error("port block '" + block.name() +
+                              "' has non-positive Port number");
+  return static_cast<int>(n - 1);  // model files are 1-based
+}
+
+}  // namespace
+
+Result<Model> flatten(const Model& model) {
+  FRODO_RETURN_IF_ERROR(model.validate());
+
+  Model out(model.name());
+
+  // Pseudo-node numbering: each inlined subsystem boundary port gets one.
+  int next_pseudo = 0;
+  std::vector<Edge> edges;
+  // driver[p] = the unique source feeding pseudo node p.
+  std::map<PseudoId, Ref> driver;
+
+  // Maps an endpoint of the original model to a Ref in the new model.
+  // For ordinary blocks this is Endpoint{new_id, port}; for subsystem blocks
+  // the port maps to a pseudo node.
+  std::map<BlockId, BlockId> real_id;                 // old -> new block id
+  std::map<BlockId, std::map<int, PseudoId>> sub_in;  // subsystem in-ports
+  std::map<BlockId, std::map<int, PseudoId>> sub_out;
+
+  for (BlockId id = 0; id < model.block_count(); ++id) {
+    const Block& block = model.block(id);
+    if (!block.is_subsystem()) {
+      Block& copy = out.add_block(block.name(), block.type());
+      for (const auto& [key, value] : block.params())
+        copy.set_param(key, value);
+      real_id[id] = out.block_count() - 1;
+      continue;
+    }
+
+    // Flatten the body first so it contains no nested subsystems.
+    FRODO_ASSIGN_OR_RETURN(Model body, flatten(*block.subsystem()));
+
+    std::map<BlockId, BlockId> inner_id;  // body id -> new id
+    std::map<BlockId, int> inner_inport;  // body Inport block -> port number
+    std::map<BlockId, int> inner_outport;
+    for (BlockId bid = 0; bid < body.block_count(); ++bid) {
+      const Block& inner = body.block(bid);
+      if (is_port_block(inner)) {
+        FRODO_ASSIGN_OR_RETURN(int port, port_number(inner));
+        if (inner.type() == "Inport")
+          inner_inport[bid] = port;
+        else
+          inner_outport[bid] = port;
+        continue;
+      }
+      Block& copy =
+          out.add_block(block.name() + "/" + inner.name(), inner.type());
+      for (const auto& [key, value] : inner.params())
+        copy.set_param(key, value);
+      inner_id[bid] = out.block_count() - 1;
+    }
+
+    auto boundary_in = [&](int port) -> PseudoId {
+      auto [it, inserted] = sub_in[id].try_emplace(port, next_pseudo);
+      if (inserted) ++next_pseudo;
+      return it->second;
+    };
+    auto boundary_out = [&](int port) -> PseudoId {
+      auto [it, inserted] = sub_out[id].try_emplace(port, next_pseudo);
+      if (inserted) ++next_pseudo;
+      return it->second;
+    };
+
+    for (const Connection& conn : body.connections()) {
+      Ref src;
+      if (auto it = inner_inport.find(conn.src.block);
+          it != inner_inport.end()) {
+        src = Ref(boundary_in(it->second));
+      } else if (auto rit = inner_id.find(conn.src.block);
+                 rit != inner_id.end()) {
+        src = Ref(Endpoint{rit->second, conn.src.port});
+      } else {
+        return Result<Model>::error("subsystem '" + block.name() +
+                                    "': connection from an Outport block");
+      }
+      if (auto it = inner_outport.find(conn.dst.block);
+          it != inner_outport.end()) {
+        const PseudoId p = boundary_out(it->second);
+        edges.push_back(Edge{src, Ref(p)});
+        driver[p] = src;
+      } else if (auto rit = inner_id.find(conn.dst.block);
+                 rit != inner_id.end()) {
+        edges.push_back(Edge{src, Ref(Endpoint{rit->second, conn.dst.port})});
+      } else {
+        return Result<Model>::error("subsystem '" + block.name() +
+                                    "': connection into an Inport block");
+      }
+    }
+  }
+
+  // Parent-level connections, with subsystem endpoints rewritten to pseudo
+  // nodes.
+  for (const Connection& conn : model.connections()) {
+    Ref src;
+    if (model.block(conn.src.block).is_subsystem()) {
+      auto& ports = sub_out[conn.src.block];
+      auto it = ports.find(conn.src.port);
+      if (it == ports.end())
+        return Result<Model>::error(
+            "subsystem '" + model.block(conn.src.block).name() +
+            "': output port " + std::to_string(conn.src.port) +
+            " is not driven by any Outport block");
+      src = Ref(it->second);
+    } else {
+      src = Ref(Endpoint{real_id.at(conn.src.block), conn.src.port});
+    }
+    if (model.block(conn.dst.block).is_subsystem()) {
+      auto& ports = sub_in[conn.dst.block];
+      auto it = ports.find(conn.dst.port);
+      if (it == ports.end()) {
+        // Input feeds no Inport block inside the body: the signal is unused;
+        // drop the connection (Simulink allows unconnected subsystem inputs).
+        continue;
+      }
+      const PseudoId p = it->second;
+      edges.push_back(Edge{src, Ref(p)});
+      driver[p] = src;
+    } else {
+      edges.push_back(
+          Edge{src, Ref(Endpoint{real_id.at(conn.dst.block), conn.dst.port})});
+    }
+  }
+
+  // Splice out pseudo nodes: resolve each edge's source through the driver
+  // chain, then keep only edges that land on a real endpoint.
+  auto resolve = [&](Ref ref) -> Result<Endpoint> {
+    int steps = 0;
+    while (std::holds_alternative<PseudoId>(ref)) {
+      if (++steps > next_pseudo + 1)
+        return Result<Endpoint>::error(
+            "cyclic subsystem pass-through while flattening '" +
+            model.name() + "'");
+      auto it = driver.find(std::get<PseudoId>(ref));
+      if (it == driver.end())
+        return Result<Endpoint>::error(
+            "undriven subsystem boundary port while flattening '" +
+            model.name() + "'");
+      ref = it->second;
+    }
+    return std::get<Endpoint>(ref);
+  };
+
+  for (const Edge& edge : edges) {
+    if (!std::holds_alternative<Endpoint>(edge.dst))
+      continue;  // pseudo destination: consumed via the driver map
+    FRODO_ASSIGN_OR_RETURN(Endpoint src, resolve(edge.src));
+    const Endpoint dst = std::get<Endpoint>(edge.dst);
+    out.connect(src.block, src.port, dst.block, dst.port);
+  }
+
+  FRODO_RETURN_IF_ERROR(out.validate().with_context(
+      "flattened model '" + model.name() + "' failed validation"));
+  return out;
+}
+
+}  // namespace frodo::model

@@ -1,0 +1,20 @@
+// Subsystem flattening (FRODO Model Parse, §3.1).
+//
+// "for Subsystem blocks within the model, FRODO flattens them, and maps
+//  their inports and outports to the corresponding external blocks".
+//
+// flatten() returns an equivalent single-level model: every Subsystem block
+// is replaced by its body blocks (names prefixed "Sub/Block"), and the
+// subsystem boundary ports are spliced out of the connection list, including
+// pass-through chains (an Inport wired straight to an Outport).  Top-level
+// Inport/Outport blocks are preserved — they are the model's I/O interface.
+#pragma once
+
+#include "model/model.hpp"
+#include "support/status.hpp"
+
+namespace frodo::model {
+
+Result<Model> flatten(const Model& model);
+
+}  // namespace frodo::model

@@ -1,0 +1,95 @@
+#include "model/model.hpp"
+
+#include <set>
+
+namespace frodo::model {
+
+const Value& Block::param_or(const std::string& key,
+                             const Value& fallback) const {
+  auto it = params_.find(key);
+  return it == params_.end() ? fallback : it->second;
+}
+
+Result<Value> Block::param(const std::string& key) const {
+  auto it = params_.find(key);
+  if (it == params_.end())
+    return Result<Value>::error("block '" + name_ + "' (" + type_ +
+                                "): missing parameter '" + key + "'");
+  return it->second;
+}
+
+Model& Block::make_subsystem() {
+  if (!subsystem_) subsystem_ = std::make_unique<Model>(name_);
+  return *subsystem_;
+}
+
+Block& Model::add_block(const std::string& name, const std::string& type) {
+  blocks_.emplace_back(name, type);
+  return blocks_.back();
+}
+
+BlockId Model::find_block(const std::string& name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name() == name) return static_cast<BlockId>(i);
+  }
+  return -1;
+}
+
+void Model::connect(BlockId src_block, int src_port, BlockId dst_block,
+                    int dst_port) {
+  connections_.push_back(
+      Connection{{src_block, src_port}, {dst_block, dst_port}});
+}
+
+void Model::connect(const std::string& src_block, int src_port,
+                    const std::string& dst_block, int dst_port) {
+  connect(find_block(src_block), src_port, find_block(dst_block), dst_port);
+}
+
+Status Model::validate() const {
+  std::set<std::string> names;
+  for (const Block& block : blocks_) {
+    if (block.name().empty())
+      return Status::error("model '" + name_ + "': block with empty name");
+    if (!names.insert(block.name()).second)
+      return Status::error("model '" + name_ + "': duplicate block name '" +
+                           block.name() + "'");
+    if (block.is_subsystem()) {
+      if (block.subsystem() == nullptr)
+        return Status::error("subsystem '" + block.name() +
+                             "' has no nested model");
+      FRODO_RETURN_IF_ERROR(block.subsystem()->validate().with_context(
+          "in subsystem '" + block.name() + "'"));
+    }
+  }
+  std::set<Endpoint> driven;
+  for (const Connection& conn : connections_) {
+    for (const Endpoint& end : {conn.src, conn.dst}) {
+      if (end.block < 0 || end.block >= block_count())
+        return Status::error("model '" + name_ +
+                             "': connection endpoint references unknown "
+                             "block id " +
+                             std::to_string(end.block));
+      if (end.port < 0)
+        return Status::error("model '" + name_ + "': negative port index");
+    }
+    if (!driven.insert(conn.dst).second)
+      return Status::error("model '" + name_ + "': input port " +
+                           std::to_string(conn.dst.port) + " of block '" +
+                           block(conn.dst.block).name() +
+                           "' has multiple drivers");
+  }
+  return Status::ok();
+}
+
+int Model::deep_block_count() const {
+  int count = 0;
+  for (const Block& block : blocks_) {
+    ++count;
+    if (block.is_subsystem() && block.subsystem() != nullptr)
+      count += block.subsystem()->deep_block_count();
+  }
+  return count;
+}
+
+}  // namespace frodo::model

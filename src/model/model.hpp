@@ -1,0 +1,125 @@
+// The model intermediate representation.
+//
+// A Model is a named set of blocks plus directed connections between block
+// ports, mirroring the block/line structure of a Simulink system.  Blocks of
+// type "Subsystem" own a nested Model; `flatten()` (flatten.hpp) inlines the
+// hierarchy before analysis, as FRODO does in its Model Parse step.
+//
+// The IR is deliberately dumb: block semantics (arity, shapes, I/O mappings,
+// code) live in the block property library (src/blocks), keeping the IR
+// serializable and the library extensible.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/value.hpp"
+#include "support/status.hpp"
+
+namespace frodo::model {
+
+class Model;
+
+using BlockId = int;
+
+struct Endpoint {
+  BlockId block = -1;
+  int port = 0;
+
+  bool operator==(const Endpoint& other) const {
+    return block == other.block && port == other.port;
+  }
+  bool operator<(const Endpoint& other) const {
+    return block != other.block ? block < other.block : port < other.port;
+  }
+};
+
+// A directed signal line: output port `src` drives input port `dst`.
+struct Connection {
+  Endpoint src;
+  Endpoint dst;
+};
+
+class Block {
+ public:
+  Block(std::string name, std::string type)
+      : name_(std::move(name)), type_(std::move(type)) {}
+
+  Block(Block&&) = default;
+  Block& operator=(Block&&) = default;
+
+  const std::string& name() const { return name_; }
+  const std::string& type() const { return type_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- Parameters -----------------------------------------------------------
+  Block& set_param(const std::string& key, Value value) {
+    params_[key] = std::move(value);
+    return *this;
+  }
+  bool has_param(const std::string& key) const {
+    return params_.count(key) != 0;
+  }
+  // Returns the parameter or `fallback` when absent.
+  const Value& param_or(const std::string& key, const Value& fallback) const;
+  Result<Value> param(const std::string& key) const;
+  const std::map<std::string, Value>& params() const { return params_; }
+
+  // -- Subsystem nesting ------------------------------------------------------
+  bool is_subsystem() const { return type_ == "Subsystem"; }
+  Model& make_subsystem();  // creates (or returns) the nested model
+  const Model* subsystem() const { return subsystem_.get(); }
+  Model* subsystem() { return subsystem_.get(); }
+
+ private:
+  std::string name_;
+  std::string type_;
+  std::map<std::string, Value> params_;
+  std::unique_ptr<Model> subsystem_;
+};
+
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- Blocks -----------------------------------------------------------------
+  // Adds a block and returns a reference valid until the next add_block call.
+  Block& add_block(const std::string& name, const std::string& type);
+  int block_count() const { return static_cast<int>(blocks_.size()); }
+  Block& block(BlockId id) { return blocks_.at(static_cast<std::size_t>(id)); }
+  const Block& block(BlockId id) const {
+    return blocks_.at(static_cast<std::size_t>(id));
+  }
+  // -1 when not found.
+  BlockId find_block(const std::string& name) const;
+
+  // -- Connections --------------------------------------------------------------
+  void connect(BlockId src_block, int src_port, BlockId dst_block,
+               int dst_port);
+  void connect(const std::string& src_block, int src_port,
+               const std::string& dst_block, int dst_port);
+  const std::vector<Connection>& connections() const { return connections_; }
+
+  // Structural validation: names unique and non-empty, endpoints in range,
+  // at most one driver per input port, subsystem port-block numbering dense.
+  Status validate() const;
+
+  // Total block count including nested subsystems (Table 1 reports this).
+  int deep_block_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Block> blocks_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace frodo::model

@@ -1,0 +1,48 @@
+#include "model/shape.hpp"
+
+#include <stdexcept>
+
+namespace frodo::model {
+
+Shape::Shape(std::vector<int> dims) : dims_(std::move(dims)) {
+  for (int d : dims_) {
+    if (d <= 0) throw std::invalid_argument("Shape dimensions must be >= 1");
+  }
+}
+
+long long Shape::size() const {
+  long long n = 1;
+  for (int d : dims_) n *= d;
+  return n;
+}
+
+int Shape::rows() const {
+  if (dims_.empty()) return 1;
+  if (dims_.size() == 1) return 1;
+  return dims_[0];
+}
+
+int Shape::cols() const {
+  if (dims_.empty()) return 1;
+  if (dims_.size() == 1) return dims_[0];
+  return dims_[1];
+}
+
+long long Shape::flat_index(int row, int col) const {
+  if (dims_.size() > 2)
+    throw std::invalid_argument("flat_index requires rank <= 2");
+  return static_cast<long long>(row) * cols() + col;
+}
+
+std::string Shape::to_string() const {
+  if (dims_.empty()) return "scalar";
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) out += "x";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace frodo::model

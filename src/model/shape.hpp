@@ -1,0 +1,50 @@
+// Tensor shapes of signals flowing between blocks.
+//
+// Every signal in a data-intensive model is a row-major tensor of doubles.
+// Blocks infer their output shapes from input shapes + parameters; all index
+// arithmetic downstream (I/O mappings, calculation ranges, generated loops)
+// is over the flattened element index space [0, size()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frodo::model {
+
+class Shape {
+ public:
+  Shape() = default;  // scalar
+  explicit Shape(std::vector<int> dims);
+  static Shape scalar() { return Shape(); }
+  static Shape vector(int n) { return Shape({n}); }
+  static Shape matrix(int rows, int cols) { return Shape({rows, cols}); }
+
+  const std::vector<int>& dims() const { return dims_; }
+  int rank() const { return static_cast<int>(dims_.size()); }
+  bool is_scalar() const { return dims_.empty(); }
+
+  // Total element count; 1 for scalars.
+  long long size() const;
+
+  int dim(int axis) const { return dims_.at(static_cast<std::size_t>(axis)); }
+
+  // Rows/cols treating scalars as 1x1 and vectors as 1xN row vectors, the
+  // convention used by the matrix blocks.
+  int rows() const;
+  int cols() const;
+
+  // Flattened row-major index of (row, col); requires rank() <= 2.
+  long long flat_index(int row, int col) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // "scalar", "[60]", "[4x4]" — for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::vector<int> dims_;
+};
+
+}  // namespace frodo::model

@@ -1,0 +1,140 @@
+#include "model/value.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace frodo::model {
+
+Result<long long> Value::as_int() const {
+  if (is_int()) return std::get<long long>(value_);
+  if (is_double()) {
+    double v = std::get<double>(value_);
+    if (v == std::floor(v)) return static_cast<long long>(v);
+    return Result<long long>::error("non-integral value " + to_text());
+  }
+  return Result<long long>::error("expected integer, got '" + to_text() + "'");
+}
+
+Result<double> Value::as_double() const {
+  if (is_double()) return std::get<double>(value_);
+  if (is_int()) return static_cast<double>(std::get<long long>(value_));
+  return Result<double>::error("expected number, got '" + to_text() + "'");
+}
+
+Result<std::string> Value::as_string() const {
+  if (is_string()) return std::get<std::string>(value_);
+  return Result<std::string>::error("expected string, got '" + to_text() +
+                                    "'");
+}
+
+Result<std::vector<long long>> Value::as_int_list() const {
+  if (is_int_list()) return std::get<std::vector<long long>>(value_);
+  if (is_double_list()) {
+    std::vector<long long> out;
+    for (double v : std::get<std::vector<double>>(value_)) {
+      if (v != std::floor(v))
+        return Result<std::vector<long long>>::error(
+            "non-integral element in list " + to_text());
+      out.push_back(static_cast<long long>(v));
+    }
+    return out;
+  }
+  if (is_numeric()) {
+    auto scalar = as_int();
+    if (!scalar.is_ok()) return scalar.status();
+    return std::vector<long long>{scalar.value()};
+  }
+  return Result<std::vector<long long>>::error("expected integer list, got '" +
+                                               to_text() + "'");
+}
+
+Result<std::vector<double>> Value::as_double_list() const {
+  if (is_double_list()) return std::get<std::vector<double>>(value_);
+  if (is_int_list()) {
+    std::vector<double> out;
+    for (long long v : std::get<std::vector<long long>>(value_))
+      out.push_back(static_cast<double>(v));
+    return out;
+  }
+  if (is_numeric()) {
+    auto scalar = as_double();
+    if (!scalar.is_ok()) return scalar.status();
+    return std::vector<double>{scalar.value()};
+  }
+  return Result<std::vector<double>>::error("expected number list, got '" +
+                                            to_text() + "'");
+}
+
+namespace {
+
+// Doubles keep a ".0" marker when integral so that from_text() restores the
+// same typed alternative (exact save/load round-trips).
+std::string double_text(double v) {
+  std::string s = format_double(v);
+  if (s.find_first_not_of("-0123456789") == std::string::npos) s += ".0";
+  return s;
+}
+
+}  // namespace
+
+std::string Value::to_text() const {
+  if (is_int()) return std::to_string(std::get<long long>(value_));
+  if (is_double()) return double_text(std::get<double>(value_));
+  if (is_string()) return std::get<std::string>(value_);
+  std::string out = "[";
+  if (is_int_list()) {
+    const auto& list = std::get<std::vector<long long>>(value_);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i != 0) out += " ";
+      out += std::to_string(list[i]);
+    }
+  } else {
+    const auto& list = std::get<std::vector<double>>(value_);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i != 0) out += " ";
+      out += double_text(list[i]);
+    }
+  }
+  out += "]";
+  return out;
+}
+
+Value Value::from_text(const std::string& text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.size() >= 2 && trimmed.front() == '[' && trimmed.back() == ']') {
+    const std::string body(trimmed.substr(1, trimmed.size() - 2));
+    std::vector<long long> ints;
+    std::vector<double> doubles;
+    bool all_int = true;
+    bool any = false;
+    // Accept both space- and comma-separated element lists.
+    std::string normalized = replace_all(body, ",", " ");
+    for (const std::string& token : split(normalized, ' ')) {
+      const std::string_view t = trim(token);
+      if (t.empty()) continue;
+      any = true;
+      long long i = 0;
+      double d = 0;
+      if (all_int && parse_int(t, &i)) {
+        ints.push_back(i);
+        doubles.push_back(static_cast<double>(i));
+      } else if (parse_double(t, &d)) {
+        all_int = false;
+        doubles.push_back(d);
+      } else {
+        return Value(std::string(trimmed));  // not numeric: keep as string
+      }
+    }
+    if (!any) return Value(std::vector<long long>{});
+    if (all_int) return Value(std::move(ints));
+    return Value(std::move(doubles));
+  }
+  long long i = 0;
+  if (parse_int(trimmed, &i)) return Value(i);
+  double d = 0;
+  if (parse_double(trimmed, &d)) return Value(d);
+  return Value(std::string(trimmed));
+}
+
+}  // namespace frodo::model

@@ -1,0 +1,61 @@
+// Block parameter values.
+//
+// Parameters come from model XML as strings ("5", "0.25", "[1 2 3]",
+// "Start-End") and are consumed by the block property library as typed
+// values.  Value keeps the parsed representation and performs the safe
+// coercions (int -> double, scalar -> 1-element list).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::model {
+
+class Value {
+ public:
+  Value() : value_(0LL) {}
+  Value(long long v) : value_(v) {}            // NOLINT: implicit by design
+  Value(int v) : value_(static_cast<long long>(v)) {}  // NOLINT
+  Value(double v) : value_(v) {}               // NOLINT
+  Value(std::string v) : value_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : value_(std::string(v)) {}  // NOLINT
+  Value(std::vector<long long> v) : value_(std::move(v)) {}  // NOLINT
+  Value(std::vector<double> v) : value_(std::move(v)) {}     // NOLINT
+
+  bool is_int() const { return std::holds_alternative<long long>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_int_list() const {
+    return std::holds_alternative<std::vector<long long>>(value_);
+  }
+  bool is_double_list() const {
+    return std::holds_alternative<std::vector<double>>(value_);
+  }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_list() const { return is_int_list() || is_double_list(); }
+
+  // Typed accessors with coercion; error on incompatible kinds.
+  Result<long long> as_int() const;
+  Result<double> as_double() const;
+  Result<std::string> as_string() const;
+  Result<std::vector<long long>> as_int_list() const;
+  Result<std::vector<double>> as_double_list() const;
+
+  // Serializes to the model-file text form ("5", "2.5", "[1 2 3]", "text").
+  std::string to_text() const;
+
+  // Parses the model-file text form back into a typed value.
+  static Value from_text(const std::string& text);
+
+  bool operator==(const Value& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<long long, double, std::string, std::vector<long long>,
+               std::vector<double>>
+      value_;
+};
+
+}  // namespace frodo::model

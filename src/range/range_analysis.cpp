@@ -1,0 +1,243 @@
+#include "range/range_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace frodo::range {
+
+namespace {
+
+using mapping::IndexSet;
+using model::BlockId;
+
+// Tarjan SCC; returns true for blocks in a non-trivial SCC or with a self
+// loop.
+std::vector<bool> find_cyclic(const graph::DataflowGraph& graph) {
+  const int n = graph.block_count();
+  std::vector<bool> cyclic(static_cast<std::size_t>(n), false);
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<BlockId> stack;
+  int counter = 0;
+
+  std::function<void(BlockId)> strongconnect = [&](BlockId v) {
+    index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] =
+        counter++;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (const model::Connection& e : graph.out_edges(v)) {
+      const BlockId w = e.dst.block;
+      if (index[static_cast<std::size_t>(w)] < 0) {
+        strongconnect(w);
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     low[static_cast<std::size_t>(w)]);
+      } else if (on_stack[static_cast<std::size_t>(w)]) {
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     index[static_cast<std::size_t>(w)]);
+      }
+      if (w == v) cyclic[static_cast<std::size_t>(v)] = true;  // self loop
+    }
+    if (low[static_cast<std::size_t>(v)] ==
+        index[static_cast<std::size_t>(v)]) {
+      std::vector<BlockId> component;
+      while (true) {
+        const BlockId w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<std::size_t>(w)] = false;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      if (component.size() > 1) {
+        for (BlockId w : component) cyclic[static_cast<std::size_t>(w)] = true;
+      }
+    }
+  };
+
+  for (BlockId v = 0; v < n; ++v) {
+    if (index[static_cast<std::size_t>(v)] < 0) strongconnect(v);
+  }
+  return cyclic;
+}
+
+class Determiner {
+ public:
+  Determiner(const blocks::Analysis& analysis, RangeAnalysis* out)
+      : a_(analysis), r_(*out) {
+    const int n = a_.graph->block_count();
+    computed_.assign(static_cast<std::size_t>(n), false);
+  }
+
+  Status run() {
+    const int n = a_.graph->block_count();
+    // Cyclic blocks keep their full ranges (fixed before any recursion so a
+    // recursion that reaches them stops immediately).
+    for (BlockId id = 0; id < n; ++id) {
+      if (!r_.cyclic[static_cast<std::size_t>(id)]) continue;
+      set_full(id);
+      FRODO_RETURN_IF_ERROR(fill_in_ranges(id));
+      computed_[static_cast<std::size_t>(id)] = true;
+    }
+    // Algorithm 1: recurse from the root blocks...
+    for (BlockId id : a_.graph->roots()) FRODO_RETURN_IF_ERROR(recursive(id));
+    // ...then sweep anything only reachable through a cycle.
+    for (BlockId id = 0; id < n; ++id) FRODO_RETURN_IF_ERROR(recursive(id));
+    return Status::ok();
+  }
+
+ private:
+  void set_full(BlockId id) {
+    auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
+    const auto& shapes = a_.out_shapes[static_cast<std::size_t>(id)];
+    for (std::size_t p = 0; p < shapes.size(); ++p)
+      ranges[p] = IndexSet::full(shapes[p].size());
+  }
+
+  Status fill_in_ranges(BlockId id) {
+    auto demand = a_.sems[static_cast<std::size_t>(id)]->pullback(
+        a_.instance(id), r_.out_ranges[static_cast<std::size_t>(id)]);
+    if (!demand.is_ok())
+      return demand.status().with_context(
+          "I/O mapping of block '" + a_.model().block(id).name() + "'");
+    r_.in_ranges[static_cast<std::size_t>(id)] = std::move(demand).value();
+    return Status::ok();
+  }
+
+  // The recursive function of Algorithm 1 (memoized).
+  Status recursive(BlockId id) {
+    if (computed_[static_cast<std::size_t>(id)]) return Status::ok();
+    computed_[static_cast<std::size_t>(id)] = true;
+
+    const auto& out_edges = a_.graph->out_edges(id);
+    const auto& shapes = a_.out_shapes[static_cast<std::size_t>(id)];
+    auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
+
+    if (out_edges.empty() && shapes.empty()) {
+      // Pure sink (Outport): no output ports; its pullback declares the
+      // full-input demand (line 17: range <- mapping[block.output]).
+      return fill_in_ranges(id);
+    }
+
+    // Determine every child first, then merge the demand each connection
+    // carries back (lines 20-24).
+    for (const model::Connection& e : out_edges)
+      FRODO_RETURN_IF_ERROR(recursive(e.dst.block));
+    for (const model::Connection& e : out_edges) {
+      const auto& child_in =
+          r_.in_ranges[static_cast<std::size_t>(e.dst.block)];
+      if (e.dst.port < static_cast<int>(child_in.size()))
+        ranges[static_cast<std::size_t>(e.src.port)].unite(
+            child_in[static_cast<std::size_t>(e.dst.port)]);
+    }
+    return fill_in_ranges(id);
+  }
+
+  const blocks::Analysis& a_;
+  RangeAnalysis& r_;
+  std::vector<bool> computed_;
+};
+
+}  // namespace
+
+bool RangeAnalysis::optimizable(const blocks::Analysis& analysis,
+                                BlockId id) const {
+  const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+  const auto& ranges = out_ranges[static_cast<std::size_t>(id)];
+  for (std::size_t p = 0; p < shapes.size(); ++p) {
+    if (ranges[p] != IndexSet::full(shapes[p].size())) return true;
+  }
+  return false;
+}
+
+long long RangeAnalysis::eliminated_elements(
+    const blocks::Analysis& analysis) const {
+  long long eliminated = 0;
+  for (BlockId id = 0; id < analysis.graph->block_count(); ++id) {
+    const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+    const auto& ranges = out_ranges[static_cast<std::size_t>(id)];
+    for (std::size_t p = 0; p < shapes.size(); ++p)
+      eliminated += shapes[p].size() - ranges[p].count();
+  }
+  return eliminated;
+}
+
+std::string RangeAnalysis::to_string(const blocks::Analysis& analysis) const {
+  std::string out;
+  for (BlockId id = 0; id < analysis.graph->block_count(); ++id) {
+    const model::Block& block = analysis.model().block(id);
+    const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+    out += block.name() + " (" + block.type() + ")";
+    for (std::size_t p = 0; p < shapes.size(); ++p) {
+      out += " y" + std::to_string(p) + "=" +
+             out_ranges[static_cast<std::size_t>(id)][p].to_string() + "/" +
+             std::to_string(shapes[p].size());
+    }
+    if (optimizable(analysis, id)) out += "  [optimizable]";
+    out += "\n";
+  }
+  return out;
+}
+
+Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis) {
+  RangeAnalysis r;
+  const int n = analysis.graph->block_count();
+  r.out_ranges.resize(static_cast<std::size_t>(n));
+  r.in_ranges.resize(static_cast<std::size_t>(n));
+  for (BlockId id = 0; id < n; ++id) {
+    r.out_ranges[static_cast<std::size_t>(id)].resize(
+        analysis.out_shapes[static_cast<std::size_t>(id)].size());
+  }
+  r.cyclic = find_cyclic(*analysis.graph);
+
+  Determiner determiner(analysis, &r);
+  FRODO_RETURN_IF_ERROR(determiner.run());
+  return r;
+}
+
+RangeAnalysis loosen(const blocks::Analysis& analysis,
+                     const RangeAnalysis& ranges) {
+  RangeAnalysis loose = ranges;
+  for (BlockId id = 0; id < analysis.graph->block_count(); ++id) {
+    const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+    auto& out = loose.out_ranges[static_cast<std::size_t>(id)];
+    bool any = false;
+    for (std::size_t p = 0; p < shapes.size(); ++p) {
+      if (!out[p].is_empty()) {
+        out[p] = IndexSet::full(shapes[p].size());
+        any = true;
+      }
+    }
+    if (any) {
+      auto demand = analysis.sems[static_cast<std::size_t>(id)]->pullback(
+          analysis.instance(id), out);
+      if (demand.is_ok())
+        loose.in_ranges[static_cast<std::size_t>(id)] =
+            std::move(demand).value();
+    }
+  }
+  return loose;
+}
+
+RangeAnalysis full_ranges(const blocks::Analysis& analysis) {
+  RangeAnalysis r;
+  const int n = analysis.graph->block_count();
+  r.cyclic.assign(static_cast<std::size_t>(n), false);
+  r.out_ranges.resize(static_cast<std::size_t>(n));
+  r.in_ranges.resize(static_cast<std::size_t>(n));
+  for (BlockId id = 0; id < n; ++id) {
+    const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+    auto& out = r.out_ranges[static_cast<std::size_t>(id)];
+    out.resize(shapes.size());
+    for (std::size_t p = 0; p < shapes.size(); ++p)
+      out[p] = IndexSet::full(shapes[p].size());
+    auto demand = analysis.sems[static_cast<std::size_t>(id)]->pullback(
+        analysis.instance(id), out);
+    if (demand.is_ok())
+      r.in_ranges[static_cast<std::size_t>(id)] = std::move(demand).value();
+  }
+  return r;
+}
+
+}  // namespace frodo::range

@@ -1,0 +1,56 @@
+// Calculation Range Determination — Algorithm 1 of the paper.
+//
+// For every block, determine which output elements anybody downstream
+// actually needs (its *calculation range*) by recursing child-first from the
+// root blocks and pulling each child's input demand back through its I/O
+// mapping.  Blocks whose range is smaller than their full output are the
+// *optimizable blocks*; FRODO emits range-reduced code for them.
+//
+// Extensions over the paper's pseudo-code, both required for general models:
+//   * memoization, so shared subtrees of a DAG are determined once;
+//   * feedback cycles (delay loops): every block in a non-trivial SCC keeps
+//     its full range — sound, and matching the paper's scope (its models'
+//     data-intensive paths are acyclic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blocks/analysis.hpp"
+#include "mapping/index_set.hpp"
+#include "support/status.hpp"
+
+namespace frodo::range {
+
+struct RangeAnalysis {
+  // Per block, per output port: the calculation range.
+  std::vector<std::vector<mapping::IndexSet>> out_ranges;
+  // Per block, per input port: the demand this block places on its drivers.
+  std::vector<std::vector<mapping::IndexSet>> in_ranges;
+  // Blocks in feedback cycles (kept at full range).
+  std::vector<bool> cyclic;
+
+  // True when some output port's range is strictly smaller than the full
+  // signal — the block gets concise code.
+  bool optimizable(const blocks::Analysis& analysis,
+                   model::BlockId id) const;
+
+  // Number of elements FRODO does not compute, summed over all ports.
+  long long eliminated_elements(const blocks::Analysis& analysis) const;
+
+  // Human-readable per-block range table (used by examples and tests).
+  std::string to_string(const blocks::Analysis& analysis) const;
+};
+
+Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis);
+
+// Ablation: whole-block granularity — any partially-demanded range is
+// widened back to the full signal (only completely dead blocks stay empty).
+// This models a "loose elimination" (§1, challenge 2).
+RangeAnalysis loosen(const blocks::Analysis& analysis,
+                     const RangeAnalysis& ranges);
+
+// Baseline: every block computes everything.
+RangeAnalysis full_ranges(const blocks::Analysis& analysis);
+
+}  // namespace frodo::range

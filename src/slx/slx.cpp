@@ -1,0 +1,162 @@
+#include "slx/slx.hpp"
+
+#include "support/strings.hpp"
+#include "xml/xml.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo::slx {
+
+namespace {
+
+constexpr const char* kBlockDiagramPart = "simulink/blockdiagram.xml";
+constexpr const char* kCorePropertiesPart = "metadata/coreProperties.xml";
+constexpr const char* kContentTypesPart = "[Content_Types].xml";
+
+void model_to_element(const model::Model& m, xml::Element& element) {
+  element.set_attr("Name", m.name());
+  for (int id = 0; id < m.block_count(); ++id) {
+    const model::Block& block = m.block(id);
+    xml::Element& be = element.add_child("Block");
+    be.set_attr("Name", block.name());
+    be.set_attr("Type", block.type());
+    for (const auto& [key, value] : block.params()) {
+      xml::Element& pe = be.add_child("P");
+      pe.set_attr("Name", key);
+      pe.set_text(value.to_text());
+    }
+    if (block.is_subsystem() && block.subsystem() != nullptr) {
+      model_to_element(*block.subsystem(), be.add_child("Model"));
+    }
+  }
+  for (const model::Connection& conn : m.connections()) {
+    xml::Element& line = element.add_child("Line");
+    xml::Element& src = line.add_child("Src");
+    src.set_attr("Block", m.block(conn.src.block).name());
+    src.set_attr("Port", std::to_string(conn.src.port + 1));
+    xml::Element& dst = line.add_child("Dst");
+    dst.set_attr("Block", m.block(conn.dst.block).name());
+    dst.set_attr("Port", std::to_string(conn.dst.port + 1));
+  }
+}
+
+Result<model::Model> element_to_model(const xml::Element& element) {
+  if (element.name() != "Model")
+    return Result<model::Model>::error("expected <Model>, got <" +
+                                       element.name() + ">");
+  model::Model m(element.attr("Name"));
+  for (const xml::Element* be : element.find_children("Block")) {
+    const std::string& name = be->attr("Name");
+    const std::string& type = be->attr("Type");
+    if (name.empty() || type.empty())
+      return Result<model::Model>::error(
+          "<Block> requires Name and Type attributes");
+    model::Block& block = m.add_block(name, type);
+    for (const xml::Element* pe : be->find_children("P")) {
+      block.set_param(pe->attr("Name"),
+                      model::Value::from_text(pe->text()));
+    }
+    if (const xml::Element* nested = be->find_child("Model")) {
+      if (!block.is_subsystem())
+        return Result<model::Model>::error(
+            "block '" + name + "' has a nested <Model> but is not a "
+            "Subsystem");
+      auto sub = element_to_model(*nested);
+      if (!sub.is_ok()) return sub.status();
+      block.make_subsystem() = std::move(sub).value();
+      block.subsystem()->set_name(name);
+    }
+  }
+  for (const xml::Element* line : element.find_children("Line")) {
+    const xml::Element* src = line->find_child("Src");
+    const xml::Element* dst = line->find_child("Dst");
+    if (src == nullptr || dst == nullptr)
+      return Result<model::Model>::error("<Line> requires <Src> and <Dst>");
+    auto endpoint = [&m](const xml::Element& e,
+                         const char* what) -> Result<model::Endpoint> {
+      const model::BlockId id = m.find_block(e.attr("Block"));
+      if (id < 0)
+        return Result<model::Endpoint>::error(
+            std::string(what) + " references unknown block '" +
+            e.attr("Block") + "'");
+      long long port = 0;
+      if (!parse_int(e.attr("Port"), &port) || port < 1)
+        return Result<model::Endpoint>::error(
+            std::string(what) + " of block '" + e.attr("Block") +
+            "' has invalid Port '" + e.attr("Port") + "'");
+      return model::Endpoint{id, static_cast<int>(port - 1)};
+    };
+    auto s = endpoint(*src, "<Src>");
+    if (!s.is_ok()) return s.status();
+    auto d = endpoint(*dst, "<Dst>");
+    if (!d.is_ok()) return d.status();
+    m.connect(s.value().block, s.value().port, d.value().block,
+              d.value().port);
+  }
+  FRODO_RETURN_IF_ERROR(m.validate());
+  return m;
+}
+
+std::string content_types_xml() {
+  xml::Element types("Types");
+  types.set_attr("xmlns",
+                 "http://schemas.openxmlformats.org/package/2006/"
+                 "content-types");
+  xml::Element& def = types.add_child("Default");
+  def.set_attr("Extension", "xml");
+  def.set_attr("ContentType", "application/xml");
+  return xml::write(types);
+}
+
+std::string core_properties_xml(const model::Model& m) {
+  xml::Element props("coreProperties");
+  props.add_child("title").set_text(m.name());
+  props.add_child("generator").set_text("frodo-codegen 1.0");
+  return xml::write(props);
+}
+
+}  // namespace
+
+std::string to_xml(const model::Model& m) {
+  xml::Element root("Model");
+  model_to_element(m, root);
+  return xml::write(root);
+}
+
+Result<model::Model> from_xml(std::string_view xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.is_ok()) return doc.status();
+  return element_to_model(*doc.value().root);
+}
+
+std::string to_package_bytes(const model::Model& m) {
+  zip::Archive archive;
+  archive.add(kContentTypesPart, content_types_xml());
+  archive.add(kCorePropertiesPart, core_properties_xml(m));
+  archive.add(kBlockDiagramPart, to_xml(m));
+  return archive.serialize();
+}
+
+Result<model::Model> from_package_bytes(std::string_view bytes) {
+  auto archive = zip::Archive::parse(bytes);
+  if (!archive.is_ok()) return archive.status();
+  const zip::Entry* entry = archive.value().find(kBlockDiagramPart);
+  if (entry == nullptr)
+    return Result<model::Model>::error(
+        std::string("package is missing part ") + kBlockDiagramPart);
+  return from_xml(entry->data);
+}
+
+Status save(const model::Model& m, const std::string& path) {
+  const std::string bytes =
+      ends_with(path, ".slxz") ? to_package_bytes(m) : to_xml(m);
+  return zip::write_file(path, bytes);
+}
+
+Result<model::Model> load(const std::string& path) {
+  auto bytes = zip::read_file(path);
+  if (!bytes.is_ok()) return bytes.status();
+  if (ends_with(path, ".slxz")) return from_package_bytes(bytes.value());
+  return from_xml(bytes.value());
+}
+
+}  // namespace frodo::slx

@@ -1,0 +1,40 @@
+// Model package serialization — our open equivalent of the `.slx` format.
+//
+// A `.slxz` package is a ZIP container holding XML parts, matching the
+// architecture of Simulink's model files that FRODO's Model Parse step
+// consumes ("the Simulink model is wrapped by a ZIP file that contains
+// different components ... recorded in XML files"):
+//
+//   [Content_Types].xml          part-type manifest
+//   metadata/coreProperties.xml  model name + generator version
+//   simulink/blockdiagram.xml    the block/line structure
+//
+// Block diagram schema (ports are 1-based in the file, 0-based in the IR):
+//
+//   <Model Name="Conv">
+//     <Block Name="In1" Type="Inport"><P Name="Port">1</P></Block>
+//     <Block Name="Sub" Type="Subsystem"><Model ...nested.../></Block>
+//     <Line><Src Block="In1" Port="1"/><Dst Block="Conv" Port="1"/></Line>
+//   </Model>
+#pragma once
+
+#include <string>
+
+#include "model/model.hpp"
+#include "support/status.hpp"
+
+namespace frodo::slx {
+
+// -- XML part ---------------------------------------------------------------
+std::string to_xml(const model::Model& model);
+Result<model::Model> from_xml(std::string_view xml_text);
+
+// -- ZIP package ---------------------------------------------------------------
+std::string to_package_bytes(const model::Model& model);
+Result<model::Model> from_package_bytes(std::string_view bytes);
+
+// -- Files: ".slxz" selects the ZIP package, anything else plain XML ----------
+Status save(const model::Model& model, const std::string& path);
+Result<model::Model> load(const std::string& path);
+
+}  // namespace frodo::slx

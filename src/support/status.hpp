@@ -1,0 +1,102 @@
+// Lightweight error propagation used across the code generator.
+//
+// The generator is a batch tool: almost every failure (malformed model file,
+// unknown block type, shape mismatch) is a user-input error that should be
+// reported with context rather than thrown across module boundaries.  Status
+// and Result<T> carry an error message chain; FRODO_ASSIGN_OR_RETURN keeps
+// call sites terse.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace frodo {
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+  // Prepends context to the error message, e.g. "parsing model.xml: <err>".
+  Status with_context(const std::string& context) const {
+    if (is_ok()) return *this;
+    return error(context + ": " + *message_);
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {
+    // A Result constructed from a Status must carry an error; an OK status
+    // without a value would be unrepresentable.
+  }
+
+  static Result<T> error(std::string message) {
+    return Result<T>(Status::error(std::move(message)));
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(value_);
+  }
+
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return is_ok() ? kOk : std::get<Status>(value_).message();
+  }
+
+  Result<T> with_context(const std::string& context) && {
+    if (is_ok()) return std::move(*this);
+    return Result<T>(status().with_context(context));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace frodo
+
+// Evaluates `expr` (a Result<T>); on error returns the error from the
+// enclosing function, otherwise binds the value to `lhs`.
+#define FRODO_ASSIGN_OR_RETURN(lhs, expr)                   \
+  auto FRODO_CONCAT_(res_, __LINE__) = (expr);              \
+  if (!FRODO_CONCAT_(res_, __LINE__).is_ok())               \
+    return FRODO_CONCAT_(res_, __LINE__).status();          \
+  lhs = std::move(FRODO_CONCAT_(res_, __LINE__)).value()
+
+#define FRODO_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::frodo::Status frodo_status_ = (expr);          \
+    if (!frodo_status_.is_ok()) return frodo_status_; \
+  } while (false)
+
+#define FRODO_CONCAT_(a, b) FRODO_CONCAT_IMPL_(a, b)
+#define FRODO_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,42 @@
+// Small string utilities shared by the parsers and emitters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frodo {
+
+// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+// Formats a double so that it round-trips exactly when re-parsed
+// (shortest representation, C locale).
+std::string format_double(double value);
+
+// Parses a double; returns false on trailing garbage or empty input.
+bool parse_double(std::string_view text, double* out);
+
+// Parses a (possibly negative) integer; returns false on trailing garbage.
+bool parse_int(std::string_view text, long long* out);
+
+// True if `name` is a valid C identifier.
+bool is_c_identifier(std::string_view name);
+
+// Converts an arbitrary block name into a valid C identifier fragment
+// ("Conv 2-D" -> "Conv_2_D"); never returns an empty string.
+std::string sanitize_identifier(std::string_view name);
+
+}  // namespace frodo

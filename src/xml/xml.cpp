@@ -1,0 +1,341 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace frodo::xml {
+
+void Element::set_attr(std::string key, std::string value) {
+  for (const auto& existing : attrs_) {
+    if (existing.first == key)
+      return;  // first-wins, mirroring common XML parser behaviour
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::string* Element::find_attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string& Element::attr(std::string_view key) const {
+  static const std::string kEmpty;
+  const std::string* v = find_attr(key);
+  return v ? *v : kEmpty;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt_child(ElementPtr child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::find_child(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::find_children(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Document> parse() {
+    skip_prolog();
+    ElementPtr root;
+    {
+      auto result = parse_element();
+      if (!result.is_ok()) return result.status();
+      root = std::move(result).value();
+    }
+    skip_misc();
+    if (!at_end()) return fail("trailing content after document element");
+    Document doc;
+    doc.root = std::move(root);
+    return doc;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+
+  char advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  bool consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (std::size_t i = 0; i < token.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+  }
+
+  Status fail(const std::string& what) const {
+    return Status::error("XML parse error at " + std::to_string(line_) + ":" +
+                         std::to_string(col_) + ": " + what);
+  }
+
+  // Skips the XML declaration, comments and PIs before the root element.
+  void skip_prolog() { skip_misc(); }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<?")) {
+        while (!at_end() && !consume("?>")) advance();
+      } else if (consume("<!--")) {
+        while (!at_end() && !consume("-->")) advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> parse_name() {
+    if (at_end() || !is_name_char(peek()) ||
+        std::isdigit(static_cast<unsigned char>(peek())))
+      return Result<std::string>(fail("expected name"));
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  Result<std::string> parse_entity() {
+    // Caller consumed '&'.
+    std::string entity;
+    while (!at_end() && peek() != ';') entity.push_back(advance());
+    if (at_end()) return Result<std::string>(fail("unterminated entity"));
+    advance();  // ';'
+    if (entity == "lt") return std::string("<");
+    if (entity == "gt") return std::string(">");
+    if (entity == "amp") return std::string("&");
+    if (entity == "quot") return std::string("\"");
+    if (entity == "apos") return std::string("'");
+    if (!entity.empty() && entity[0] == '#') {
+      long long code = 0;
+      bool ok = entity.size() > 1 && entity[1] == 'x'
+                    ? parse_hex(entity.substr(2), &code)
+                    : parse_int(entity.substr(1), &code);
+      if (ok && code > 0 && code < 128)
+        return std::string(1, static_cast<char>(code));
+      if (ok && code >= 128) return encode_utf8(code);
+    }
+    return Result<std::string>(fail("unknown entity &" + entity + ";"));
+  }
+
+  static bool parse_hex(std::string_view text, long long* out) {
+    if (text.empty()) return false;
+    long long v = 0;
+    for (char c : text) {
+      int digit;
+      if (c >= '0' && c <= '9')
+        digit = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F')
+        digit = c - 'A' + 10;
+      else
+        return false;
+      v = v * 16 + digit;
+    }
+    *out = v;
+    return true;
+  }
+
+  static std::string encode_utf8(long long code) {
+    std::string out;
+    if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  Result<std::string> parse_attr_value() {
+    if (at_end() || (peek() != '"' && peek() != '\''))
+      return Result<std::string>(fail("expected quoted attribute value"));
+    char quote = advance();
+    std::string value;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '&') {
+        advance();
+        auto entity = parse_entity();
+        if (!entity.is_ok()) return entity;
+        value.append(entity.value());
+      } else {
+        value.push_back(advance());
+      }
+    }
+    if (at_end()) return Result<std::string>(fail("unterminated attribute"));
+    advance();  // closing quote
+    return value;
+  }
+
+  Result<ElementPtr> parse_element() {
+    if (!consume("<")) return Result<ElementPtr>(fail("expected '<'"));
+    auto name = parse_name();
+    if (!name.is_ok()) return name.status();
+    auto element = std::make_unique<Element>(name.value());
+
+    while (true) {
+      skip_ws();
+      if (at_end())
+        return Result<ElementPtr>(fail("unterminated start tag"));
+      if (consume("/>")) return element;
+      if (consume(">")) break;
+      auto key = parse_name();
+      if (!key.is_ok()) return key.status();
+      skip_ws();
+      if (!consume("=")) return Result<ElementPtr>(fail("expected '='"));
+      skip_ws();
+      auto value = parse_attr_value();
+      if (!value.is_ok()) return value.status();
+      element->set_attr(key.value(), value.value());
+    }
+
+    // Content until the matching end tag.
+    while (true) {
+      if (at_end())
+        return Result<ElementPtr>(
+            fail("unterminated element <" + element->name() + ">"));
+      if (consume("<![CDATA[")) {
+        std::string cdata;
+        while (!at_end() && !consume("]]>")) cdata.push_back(advance());
+        element->append_text(cdata);
+      } else if (consume("<!--")) {
+        while (!at_end() && !consume("-->")) advance();
+      } else if (consume("<?")) {
+        while (!at_end() && !consume("?>")) advance();
+      } else if (input_.substr(pos_).substr(0, 2) == "</") {
+        consume("</");
+        auto end_name = parse_name();
+        if (!end_name.is_ok()) return end_name.status();
+        if (end_name.value() != element->name())
+          return Result<ElementPtr>(fail("mismatched end tag </" +
+                                         end_name.value() + "> for <" +
+                                         element->name() + ">"));
+        skip_ws();
+        if (!consume(">")) return Result<ElementPtr>(fail("expected '>'"));
+        return element;
+      } else if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.is_ok()) return child.status();
+        element->adopt_child(std::move(child).value());
+      } else if (peek() == '&') {
+        advance();
+        auto entity = parse_entity();
+        if (!entity.is_ok()) return entity.status();
+        element->append_text(entity.value());
+      } else {
+        element->append_text(std::string_view(&input_[pos_], 1));
+        advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+void write_element(const Element& element, int depth, std::string& out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent + "<" + element.name();
+  for (const auto& [key, value] : element.attrs()) {
+    out += " " + key + "=\"" + escape(value) + "\"";
+  }
+  const std::string_view text = trim(element.text());
+  if (element.children().empty() && text.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">";
+  if (element.children().empty()) {
+    out += escape(text);
+    out += "</" + element.name() + ">\n";
+    return;
+  }
+  out += "\n";
+  if (!text.empty()) {
+    out += indent + "  " + escape(text) + "\n";
+  }
+  for (const auto& child : element.children()) {
+    write_element(*child, depth + 1, out);
+  }
+  out += indent + "</" + element.name() + ">\n";
+}
+
+}  // namespace
+
+Result<Document> parse(std::string_view input) {
+  return Parser(input).parse();
+}
+
+std::string write(const Element& root) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  write_element(root, 0, out);
+  return out;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace frodo::xml

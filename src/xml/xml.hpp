@@ -1,0 +1,74 @@
+// Minimal non-validating XML parser and writer.
+//
+// Simulink stores models as XML documents inside a ZIP container; our `.slxz`
+// format follows the same architecture, so the code generator needs a real
+// XML path rather than an ad-hoc line format.  The subset implemented here is
+// what model files use: elements, attributes, character data, CDATA,
+// comments, processing instructions and the five predefined entities.
+// Namespaces are treated as plain prefixes; DTDs are not supported.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+// An XML element.  Text content is aggregated per-element (mixed content
+// keeps only the concatenated character data), which is sufficient for model
+// files where leaves are either pure-text or pure-children.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // -- Attributes (ordered, first-wins on duplicates) -----------------------
+  void set_attr(std::string key, std::string value);
+  const std::string* find_attr(std::string_view key) const;
+  // Returns "" when absent.
+  const std::string& attr(std::string_view key) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- Children --------------------------------------------------------------
+  Element& add_child(std::string name);
+  Element& adopt_child(ElementPtr child);
+  const std::vector<ElementPtr>& children() const { return children_; }
+  // First child with the given tag, or nullptr.
+  const Element* find_child(std::string_view name) const;
+  std::vector<const Element*> find_children(std::string_view name) const;
+
+  // -- Text -------------------------------------------------------------------
+  void append_text(std::string_view text) { text_.append(text); }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<ElementPtr> children_;
+  std::string text_;
+};
+
+struct Document {
+  ElementPtr root;
+};
+
+// Parses a complete XML document.  Errors carry 1-based line:column positions.
+Result<Document> parse(std::string_view input);
+
+// Serializes with 2-space indentation and a standard XML declaration.
+std::string write(const Element& root);
+
+// Escapes the five predefined entities (&<>"').
+std::string escape(std::string_view text);
+
+}  // namespace frodo::xml

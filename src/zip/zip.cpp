@@ -1,0 +1,277 @@
+#include "zip/zip.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace frodo::zip {
+
+namespace {
+
+constexpr std::uint32_t kLocalHeaderSig = 0x04034b50;
+constexpr std::uint32_t kCentralHeaderSig = 0x02014b50;
+constexpr std::uint32_t kEndOfCentralSig = 0x06054b50;
+constexpr std::uint16_t kMethodStore = 0;
+constexpr std::uint16_t kVersionNeeded = 20;
+
+void put16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes, std::size_t pos = 0)
+      : bytes_(bytes), pos_(pos) {}
+
+  std::size_t pos() const { return pos_; }
+  void seek(std::size_t pos) { pos_ = pos; }
+  bool has(std::size_t count) const { return pos_ + count <= bytes_.size(); }
+
+  std::uint16_t get16() {
+    std::uint16_t v = static_cast<std::uint8_t>(bytes_[pos_]) |
+                      (static_cast<std::uint8_t>(bytes_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t get32() {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint8_t>(bytes_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::string_view get_bytes(std::size_t count) {
+    std::string_view v = bytes_.substr(pos_, count);
+    pos_ += count;
+    return v;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_;
+};
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Archive::add(std::string name, std::string data) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.data = std::move(data);
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::move(name), std::move(data)});
+}
+
+const Entry* Archive::find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string Archive::serialize() const {
+  std::string out;
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(entries_.size());
+
+  for (const Entry& entry : entries_) {
+    offsets.push_back(static_cast<std::uint32_t>(out.size()));
+    const std::uint32_t crc = crc32(entry.data);
+    put32(out, kLocalHeaderSig);
+    put16(out, kVersionNeeded);
+    put16(out, 0);             // general purpose flags
+    put16(out, kMethodStore);  // method
+    put16(out, 0);             // mod time
+    put16(out, 0);             // mod date
+    put32(out, crc);
+    put32(out, static_cast<std::uint32_t>(entry.data.size()));  // compressed
+    put32(out, static_cast<std::uint32_t>(entry.data.size()));  // uncompressed
+    put16(out, static_cast<std::uint16_t>(entry.name.size()));
+    put16(out, 0);  // extra length
+    out += entry.name;
+    out += entry.data;
+  }
+
+  const std::uint32_t central_offset = static_cast<std::uint32_t>(out.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    const std::uint32_t crc = crc32(entry.data);
+    put32(out, kCentralHeaderSig);
+    put16(out, kVersionNeeded);  // version made by
+    put16(out, kVersionNeeded);  // version needed
+    put16(out, 0);               // flags
+    put16(out, kMethodStore);
+    put16(out, 0);  // mod time
+    put16(out, 0);  // mod date
+    put32(out, crc);
+    put32(out, static_cast<std::uint32_t>(entry.data.size()));
+    put32(out, static_cast<std::uint32_t>(entry.data.size()));
+    put16(out, static_cast<std::uint16_t>(entry.name.size()));
+    put16(out, 0);  // extra
+    put16(out, 0);  // comment
+    put16(out, 0);  // disk number
+    put16(out, 0);  // internal attrs
+    put32(out, 0);  // external attrs
+    put32(out, offsets[i]);
+    out += entry.name;
+  }
+  const std::uint32_t central_size =
+      static_cast<std::uint32_t>(out.size()) - central_offset;
+
+  put32(out, kEndOfCentralSig);
+  put16(out, 0);  // disk
+  put16(out, 0);  // central dir disk
+  put16(out, static_cast<std::uint16_t>(entries_.size()));
+  put16(out, static_cast<std::uint16_t>(entries_.size()));
+  put32(out, central_size);
+  put32(out, central_offset);
+  put16(out, 0);  // comment length
+  return out;
+}
+
+Result<Archive> Archive::parse(std::string_view bytes) {
+  // Locate the end-of-central-directory record by scanning backwards (the
+  // record has a variable-length trailing comment).
+  if (bytes.size() < 22) return Result<Archive>::error("ZIP too small");
+  std::size_t eocd_pos = std::string_view::npos;
+  const std::size_t scan_limit =
+      bytes.size() >= 22 + 65535 ? bytes.size() - 22 - 65535 : 0;
+  for (std::size_t pos = bytes.size() - 22; ; --pos) {
+    ByteReader probe(bytes, pos);
+    if (probe.get32() == kEndOfCentralSig) {
+      eocd_pos = pos;
+      break;
+    }
+    if (pos == scan_limit) break;
+  }
+  if (eocd_pos == std::string_view::npos)
+    return Result<Archive>::error("ZIP: end of central directory not found");
+
+  ByteReader eocd(bytes, eocd_pos + 4);
+  if (!eocd.has(18)) return Result<Archive>::error("ZIP: truncated EOCD");
+  eocd.get16();  // disk
+  eocd.get16();  // central dir disk
+  eocd.get16();  // entries on this disk
+  const std::uint16_t entry_count = eocd.get16();
+  eocd.get32();  // central size
+  const std::uint32_t central_offset = eocd.get32();
+
+  Archive archive;
+  ByteReader central(bytes, central_offset);
+  for (std::uint16_t i = 0; i < entry_count; ++i) {
+    if (!central.has(46))
+      return Result<Archive>::error("ZIP: truncated central directory");
+    if (central.get32() != kCentralHeaderSig)
+      return Result<Archive>::error("ZIP: bad central header signature");
+    central.get16();  // version made by
+    central.get16();  // version needed
+    central.get16();  // flags
+    const std::uint16_t method = central.get16();
+    central.get16();  // time
+    central.get16();  // date
+    const std::uint32_t crc = central.get32();
+    const std::uint32_t compressed_size = central.get32();
+    const std::uint32_t uncompressed_size = central.get32();
+    const std::uint16_t name_len = central.get16();
+    const std::uint16_t extra_len = central.get16();
+    const std::uint16_t comment_len = central.get16();
+    central.get16();  // disk
+    central.get16();  // internal attrs
+    central.get32();  // external attrs
+    const std::uint32_t local_offset = central.get32();
+    if (!central.has(name_len + extra_len + comment_len))
+      return Result<Archive>::error("ZIP: truncated central entry");
+    std::string name(central.get_bytes(name_len));
+    central.get_bytes(extra_len);
+    central.get_bytes(comment_len);
+
+    if (method != kMethodStore)
+      return Result<Archive>::error(
+          "ZIP: entry '" + name +
+          "' uses an unsupported compression method (only STORE is "
+          "supported)");
+    if (compressed_size != uncompressed_size)
+      return Result<Archive>::error("ZIP: STORE entry with size mismatch");
+
+    ByteReader local(bytes, local_offset);
+    if (!local.has(30))
+      return Result<Archive>::error("ZIP: truncated local header");
+    if (local.get32() != kLocalHeaderSig)
+      return Result<Archive>::error("ZIP: bad local header signature");
+    local.get16();  // version
+    local.get16();  // flags
+    local.get16();  // method
+    local.get16();  // time
+    local.get16();  // date
+    local.get32();  // crc (authoritative copy is central)
+    local.get32();  // compressed size
+    local.get32();  // uncompressed size
+    const std::uint16_t local_name_len = local.get16();
+    const std::uint16_t local_extra_len = local.get16();
+    if (!local.has(static_cast<std::size_t>(local_name_len) +
+                   local_extra_len + compressed_size))
+      return Result<Archive>::error("ZIP: truncated entry data");
+    local.get_bytes(local_name_len);
+    local.get_bytes(local_extra_len);
+    std::string data(local.get_bytes(compressed_size));
+    if (crc32(data) != crc)
+      return Result<Archive>::error("ZIP: CRC mismatch in entry '" + name +
+                                    "'");
+    archive.entries_.push_back(Entry{std::move(name), std::move(data)});
+  }
+  return archive;
+}
+
+Status write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::error("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::error("write failed: " + path);
+  return Status::ok();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result<std::string>::error("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace frodo::zip

@@ -1,0 +1,49 @@
+// Minimal ZIP archive reader/writer.
+//
+// Simulink's `.slx` is a ZIP of XML parts; our `.slxz` model package uses the
+// same container architecture.  Entries are written with the STORE method (no
+// compression) — model files are small and STORE keeps the implementation
+// dependency-free — but the reader validates the full local/central record
+// structure and CRC-32 so that any conforming ZIP tool can unpack a package.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::zip {
+
+struct Entry {
+  std::string name;
+  std::string data;
+};
+
+class Archive {
+ public:
+  // Adds or replaces an entry (last write wins on duplicate names).
+  void add(std::string name, std::string data);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  const Entry* find(std::string_view name) const;
+
+  // Serializes to the on-disk ZIP byte stream.
+  std::string serialize() const;
+
+  // Parses a ZIP byte stream (STORE entries only).
+  static Result<Archive> parse(std::string_view bytes);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// CRC-32 (IEEE 802.3 polynomial), as required by the ZIP format.
+std::uint32_t crc32(std::string_view data);
+
+// Whole-file convenience helpers.
+Status write_file(const std::string& path, std::string_view bytes);
+Result<std::string> read_file(const std::string& path);
+
+}  // namespace frodo::zip

@@ -1,0 +1,143 @@
+// Golden calculation ranges for the benchmark models: these pins document
+// (and protect) the elimination structure each Table 2 row relies on.  If a
+// model edit or an I/O-mapping change silently destroys the redundancy a
+// model is supposed to contain, these tests fail before the benches drift.
+#include <gtest/gtest.h>
+
+#include "benchmodels/benchmodels.hpp"
+#include "blocks/analysis.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+
+namespace frodo::range {
+namespace {
+
+struct Analyzed {
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  RangeAnalysis ranges;
+
+  std::string range_of(const std::string& block) const {
+    const model::BlockId id = flat.find_block(block);
+    EXPECT_NE(id, -1) << block;
+    if (id == -1) return "";
+    return ranges.out_ranges[static_cast<std::size_t>(id)][0].to_string();
+  }
+};
+
+std::unique_ptr<Analyzed> analyze_benchmark(const std::string& name) {
+  for (const auto& bench : benchmodels::all_models()) {
+    if (bench.name != name) continue;
+    auto holder = std::make_unique<Analyzed>();
+    auto m = bench.build();
+    EXPECT_TRUE(m.is_ok()) << m.message();
+    auto flat = model::flatten(m.value());
+    EXPECT_TRUE(flat.is_ok()) << flat.message();
+    holder->flat = std::move(flat).value();
+    auto g = graph::DataflowGraph::build(holder->flat);
+    EXPECT_TRUE(g.is_ok());
+    holder->graph = std::move(g).value();
+    auto a = blocks::analyze(holder->graph);
+    EXPECT_TRUE(a.is_ok()) << a.message();
+    holder->analysis = std::move(a).value();
+    auto r = determine_ranges(holder->analysis);
+    EXPECT_TRUE(r.is_ok()) << r.message();
+    holder->ranges = std::move(r).value();
+    return holder;
+  }
+  ADD_FAILURE() << "no benchmark model " << name;
+  return nullptr;
+}
+
+TEST(BenchmarkRanges, ManufactureConvolutionsShrinkToRoi) {
+  auto a = analyze_benchmark("Maunfacture");
+  // Both big convolutions compute only the 384-sample region of interest.
+  EXPECT_EQ(a->range_of("conv_match"), "{[1024,1407]}");
+  EXPECT_EQ(a->range_of("conv_edge"), "{[1024,1407]}");
+  EXPECT_EQ(a->range_of("base_ma"), "{[1024,1407]}");
+  // The input itself is demanded only around the ROI (dilated by the
+  // largest kernel: 1024 - 126 = 898).
+  EXPECT_EQ(a->range_of("in_profile"), "{[898,1407]}");
+}
+
+TEST(BenchmarkRanges, BackWeightGradientKeepsOnlyKernelTaps) {
+  auto a = analyze_benchmark("Back");
+  EXPECT_EQ(a->range_of("conv_dw"), "{[448,511]}");  // 64 of 1023
+  EXPECT_EQ(a->range_of("conv_dx"), "{[63,574]}");   // same-convolution
+}
+
+TEST(BenchmarkRanges, HtMatrixMultipliesShrinkToPrincipalSubmatrix) {
+  auto a = analyze_benchmark("HT");
+  // 16 row-runs of 16 columns each in the 32x32 product.
+  const std::string got = a->range_of("mm_rr");
+  EXPECT_EQ(got.substr(0, 14), "{[0,15],[32,47");
+  EXPECT_EQ(a->ranges.out_ranges[static_cast<std::size_t>(
+                                     a->flat.find_block("mm_rr"))][0]
+                .count(),
+            256);
+  EXPECT_EQ(a->range_of("mm_ii"), got);
+  EXPECT_EQ(a->range_of("mm_ri"), got);
+  EXPECT_EQ(a->range_of("mm_ir"), got);
+}
+
+TEST(BenchmarkRanges, SimpsonPrefixSumTruncated) {
+  auto a = analyze_benchmark("Simpson");
+  EXPECT_EQ(a->range_of("cum"), "{[0,1023]}");  // an eighth of 8193
+}
+
+TEST(BenchmarkRanges, KalmanLookupShrinksButLoopStaysFull) {
+  auto a = analyze_benchmark("Kalman");
+  EXPECT_EQ(a->range_of("cal"), "{[64,191]}");
+  // The feedback loop keeps full ranges (cyclic SCC).
+  EXPECT_EQ(a->range_of("x_new"), "{[0,511]}");
+  const model::BlockId x_est = a->flat.find_block("x_est");
+  EXPECT_TRUE(a->ranges.cyclic[static_cast<std::size_t>(x_est)]);
+}
+
+TEST(BenchmarkRanges, DecryptionDemandShiftsThroughRounds) {
+  auto a = analyze_benchmark("Decryption");
+  // The payload Selector's 512-word demand rotates backwards by 64 words
+  // per round through the Concatenate-based rotation.
+  EXPECT_EQ(a->range_of("round4/sbox"), "{[64,575]}");
+  EXPECT_EQ(a->range_of("round3/sbox"), "{[128,639]}");
+  EXPECT_EQ(a->range_of("round2/sbox"), "{[192,703]}");
+  EXPECT_EQ(a->range_of("round1/sbox"), "{[256,767]}");
+}
+
+TEST(BenchmarkRanges, AudioProcessBandConvolutionsShrink) {
+  auto a = analyze_benchmark("AudioProcess");
+  for (int b = 1; b <= 4; ++b) {
+    const model::BlockId id =
+        a->flat.find_block("conv_band" + std::to_string(b));
+    ASSERT_NE(id, -1);
+    const auto& range = a->ranges.out_ranges[static_cast<std::size_t>(id)][0];
+    EXPECT_EQ(range.count(), 256) << b;  // one quarter-band window
+    EXPECT_TRUE(a->ranges.optimizable(a->analysis, id));
+  }
+}
+
+TEST(BenchmarkRanges, RunningDiffCommonModeWindow) {
+  auto a = analyze_benchmark("RunningDiff");
+  EXPECT_EQ(a->range_of("cm_ma"), "{[0,255]}");  // 256 of 4096
+}
+
+TEST(BenchmarkRanges, HighPassStagesComputeAboutHalf) {
+  auto a = analyze_benchmark("HighPass");
+  for (const char* name : {"sat5", "g5", "hp5"}) {
+    const model::BlockId id = a->flat.find_block(name);
+    ASSERT_NE(id, -1) << name;
+    const auto& range = a->ranges.out_ranges[static_cast<std::size_t>(id)][0];
+    EXPECT_LT(range.count(), 1200) << name;  // roughly half of 2048
+    EXPECT_GT(range.count(), 900) << name;
+  }
+}
+
+TEST(BenchmarkRanges, MaintenancePowerConvolutionWindow) {
+  auto a = analyze_benchmark("Maintenance");
+  EXPECT_EQ(a->range_of("conv_power"), "{[512,767]}");
+}
+
+}  // namespace
+}  // namespace frodo::range

@@ -1,0 +1,74 @@
+#include "benchmodels/benchmodels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/analysis.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+
+namespace frodo::benchmodels {
+namespace {
+
+class BenchmarkModelTest : public testing::TestWithParam<BenchmarkModel> {};
+
+TEST_P(BenchmarkModelTest, BlockCountMatchesTable1) {
+  auto m = GetParam().build();
+  ASSERT_TRUE(m.is_ok()) << m.message();
+  EXPECT_EQ(m.value().deep_block_count(), GetParam().paper_blocks)
+      << GetParam().name;
+  EXPECT_EQ(m.value().name(), GetParam().name);
+}
+
+TEST_P(BenchmarkModelTest, AnalyzesCleanly) {
+  auto m = GetParam().build();
+  ASSERT_TRUE(m.is_ok()) << m.message();
+  auto flat = model::flatten(m.value());
+  ASSERT_TRUE(flat.is_ok()) << flat.message();
+  auto g = graph::DataflowGraph::build(flat.value());
+  ASSERT_TRUE(g.is_ok()) << g.message();
+  auto a = blocks::analyze(g.value());
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  auto sig = blocks::io_signature(a.value());
+  ASSERT_TRUE(sig.is_ok()) << sig.message();
+  EXPECT_FALSE(sig.value().inputs.empty());
+  EXPECT_FALSE(sig.value().outputs.empty());
+}
+
+TEST_P(BenchmarkModelTest, IsDataIntensiveWithEliminableWork) {
+  // Every benchmark model must contain redundancy for FRODO to eliminate —
+  // that is what makes it a meaningful Table 2 row.
+  auto m = GetParam().build();
+  ASSERT_TRUE(m.is_ok());
+  auto flat = model::flatten(m.value());
+  ASSERT_TRUE(flat.is_ok());
+  auto g = graph::DataflowGraph::build(flat.value());
+  ASSERT_TRUE(g.is_ok());
+  auto a = blocks::analyze(g.value());
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  auto r = range::determine_ranges(a.value());
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_GT(r.value().eliminated_elements(a.value()), 0) << GetParam().name;
+
+  int optimizable = 0;
+  for (model::BlockId id = 0; id < g.value().block_count(); ++id) {
+    if (r.value().optimizable(a.value(), id)) ++optimizable;
+  }
+  EXPECT_GT(optimizable, 0) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BenchmarkModelTest, testing::ValuesIn(all_models()),
+    [](const testing::TestParamInfo<BenchmarkModel>& info) {
+      return info.param.name;
+    });
+
+TEST(BenchmarkSuite, HasAllTenModels) {
+  EXPECT_EQ(all_models().size(), 10u);
+  int total_blocks = 0;
+  for (const auto& b : all_models()) total_blocks += b.paper_blocks;
+  EXPECT_EQ(total_blocks, 51 + 39 + 49 + 26 + 46 + 24 + 165 + 29 + 106 + 30);
+}
+
+}  // namespace
+}  // namespace frodo::benchmodels

@@ -1,0 +1,428 @@
+#include "blocks/analysis.hpp"
+#include "blocks/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+
+namespace frodo::blocks {
+namespace {
+
+using mapping::IndexSet;
+using model::Block;
+using model::Shape;
+
+BlockInstance make_instance(const Block& block, std::vector<Shape> in) {
+  BlockInstance inst;
+  inst.block = &block;
+  inst.in_shapes = std::move(in);
+  const BlockSemantics* sem = find(block.type());
+  EXPECT_NE(sem, nullptr) << block.type();
+  auto out = sem->infer(block, inst.in_shapes);
+  EXPECT_TRUE(out.is_ok()) << out.message();
+  inst.out_shapes = out.value();
+  return inst;
+}
+
+TEST(Registry, CoreTypesRegistered) {
+  for (const char* type :
+       {"Inport", "Outport", "Constant", "Gain", "Bias", "Sum", "Product",
+        "Math", "Trigonometry", "Power", "Saturation", "Relational", "Logic",
+        "Switch", "MinMax", "LookupTable", "Selector", "Pad", "Submatrix",
+        "Reshape", "Transpose", "Concatenate", "Mux", "Demux", "Assignment",
+        "Downsample", "Upsample", "Convolution", "FIR", "Difference",
+        "CumulativeSum", "MovingAverage", "Mean", "DotProduct",
+        "MatrixMultiply", "UnitDelay", "Delay", "Convolution2D",
+        "DeadZone", "Quantizer", "RMS", "Variance", "VectorMax",
+        "VectorMin", "Normalization", "Flip", "CircularShift", "Repeat",
+        "Correlation", "IIRFilter", "DiscreteIntegrator", "RateLimiter"}) {
+    EXPECT_NE(find(type), nullptr) << type;
+  }
+  EXPECT_EQ(find("Flux Capacitor"), nullptr);
+  EXPECT_GE(registered_types().size(), 52u);
+}
+
+TEST(Registry, StateBlocksKnown) {
+  Block delay("d", "UnitDelay");
+  Block gain("g", "Gain");
+  EXPECT_TRUE(is_state_block(delay));
+  EXPECT_FALSE(is_state_block(gain));
+}
+
+// -- Shape inference ---------------------------------------------------------
+
+TEST(Shapes, ElementwiseBroadcast) {
+  Block b("s", "Sum");
+  b.set_param("Inputs", "++");
+  auto out = find("Sum")->infer(b, {Shape::vector(8), Shape::scalar()});
+  ASSERT_TRUE(out.is_ok()) << out.message();
+  EXPECT_EQ(out.value()[0], Shape::vector(8));
+  // Mismatched vector sizes fail.
+  EXPECT_FALSE(
+      find("Sum")->infer(b, {Shape::vector(8), Shape::vector(9)}).is_ok());
+}
+
+TEST(Shapes, Convolution) {
+  Block b("c", "Convolution");
+  auto out =
+      find("Convolution")->infer(b, {Shape::vector(60), Shape::vector(7)});
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value()[0], Shape::vector(66));
+}
+
+TEST(Shapes, SelectorModes) {
+  Block se("s", "Selector");
+  se.set_param("Start", 5).set_param("End", 54);
+  EXPECT_EQ(find("Selector")->infer(se, {Shape::vector(60)}).value()[0],
+            Shape::vector(50));
+
+  Block si("s", "Selector");
+  si.set_param("Indices", model::Value(std::vector<long long>{0, 2, 4}));
+  EXPECT_EQ(find("Selector")->infer(si, {Shape::vector(60)}).value()[0],
+            Shape::vector(3));
+
+  Block sp("s", "Selector");
+  sp.set_param("IndexSource", "Port").set_param("OutputSize", 10);
+  EXPECT_EQ(find("Selector")->input_count(sp), 2);
+  EXPECT_EQ(find("Selector")
+                ->infer(sp, {Shape::vector(60), Shape::scalar()})
+                .value()[0],
+            Shape::vector(10));
+
+  Block bad("s", "Selector");
+  bad.set_param("Start", 50).set_param("End", 70);
+  EXPECT_FALSE(find("Selector")->infer(bad, {Shape::vector(60)}).is_ok());
+}
+
+TEST(Shapes, MatrixBlocks) {
+  Block t("t", "Transpose");
+  EXPECT_EQ(find("Transpose")->infer(t, {Shape::matrix(3, 5)}).value()[0],
+            Shape::matrix(5, 3));
+
+  Block mm("m", "MatrixMultiply");
+  EXPECT_EQ(find("MatrixMultiply")
+                ->infer(mm, {Shape::matrix(3, 4), Shape::matrix(4, 2)})
+                .value()[0],
+            Shape::matrix(3, 2));
+  EXPECT_FALSE(find("MatrixMultiply")
+                   ->infer(mm, {Shape::matrix(3, 4), Shape::matrix(5, 2)})
+                   .is_ok());
+
+  Block sub("s", "Submatrix");
+  sub.set_param("RowStart", 1)
+      .set_param("RowEnd", 2)
+      .set_param("ColStart", 0)
+      .set_param("ColEnd", 3);
+  EXPECT_EQ(find("Submatrix")->infer(sub, {Shape::matrix(4, 4)}).value()[0],
+            Shape::matrix(2, 4));
+  EXPECT_FALSE(find("Submatrix")->infer(sub, {Shape::vector(16)}).is_ok());
+}
+
+// -- I/O mapping (pullback) -----------------------------------------------------
+
+TEST(Pullback, SelectorPaperExample) {
+  // Figure 3: Idx = [5, 54] means O[0] = U[5], O[49] = U[54].
+  Block b("sel", "Selector");
+  b.set_param("Start", 5).set_param("End", 54);
+  BlockInstance inst = make_instance(b, {Shape::vector(60)});
+  auto in = find("Selector")->pullback(inst, {IndexSet::full(50)});
+  ASSERT_TRUE(in.is_ok());
+  EXPECT_EQ(in.value()[0].to_string(), "{[5,54]}");
+  // A partial demand maps through the same offset.
+  in = find("Selector")->pullback(inst, {IndexSet::interval(0, 0)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[5,5]}");
+}
+
+TEST(Pullback, SelectorPortModeIsFull) {
+  Block b("sel", "Selector");
+  b.set_param("IndexSource", "Port").set_param("OutputSize", 10);
+  BlockInstance inst =
+      make_instance(b, {Shape::vector(60), Shape::scalar()});
+  auto in = find("Selector")->pullback(inst, {IndexSet::interval(0, 1)});
+  ASSERT_TRUE(in.is_ok());
+  EXPECT_EQ(in.value()[0], IndexSet::full(60));  // defeats optimization
+  EXPECT_EQ(in.value()[1], IndexSet::full(1));
+}
+
+TEST(Pullback, ConvolutionWindow) {
+  Block b("c", "Convolution");
+  BlockInstance inst =
+      make_instance(b, {Shape::vector(60), Shape::vector(7)});
+  auto in = find("Convolution")->pullback(inst, {IndexSet::interval(6, 59)});
+  ASSERT_TRUE(in.is_ok());
+  EXPECT_EQ(in.value()[0].to_string(), "{[0,59]}");
+  EXPECT_EQ(in.value()[1], IndexSet::full(7));
+  // Empty demand pulls back to nothing at all.
+  in = find("Convolution")->pullback(inst, {IndexSet::empty()});
+  EXPECT_TRUE(in.value()[0].is_empty());
+  EXPECT_TRUE(in.value()[1].is_empty());
+}
+
+TEST(Pullback, PadSkipsFill) {
+  Block b("p", "Pad");
+  b.set_param("Before", 3).set_param("After", 2).set_param("Value", 9.0);
+  BlockInstance inst = make_instance(b, {Shape::vector(5)});
+  // Output is [10]; demand covering only the leading fill needs no input.
+  auto in = find("Pad")->pullback(inst, {IndexSet::interval(0, 2)});
+  EXPECT_TRUE(in.value()[0].is_empty());
+  in = find("Pad")->pullback(inst, {IndexSet::interval(2, 8)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[0,4]}");
+}
+
+TEST(Pullback, TransposeExact) {
+  Block b("t", "Transpose");
+  BlockInstance inst = make_instance(b, {Shape::matrix(2, 3)});
+  // Output is 3x2; out(0,0)=in(0,0), out(0,1)=in(1,0).
+  auto in = find("Transpose")->pullback(inst, {IndexSet::interval(0, 1)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[0,0],[3,3]}");
+}
+
+TEST(Pullback, MatrixMultiplyRowsAndColumns) {
+  Block b("m", "MatrixMultiply");
+  BlockInstance inst =
+      make_instance(b, {Shape::matrix(4, 3), Shape::matrix(3, 4)});
+  // Demand out(0,0) only: row 0 of A, column 0 of B.
+  auto in = find("MatrixMultiply")->pullback(inst, {IndexSet::single(0)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[0,2]}");
+  EXPECT_EQ(in.value()[1].to_string(), "{[0,0],[4,4],[8,8]}");
+}
+
+TEST(Pullback, AssignmentSplitsWindow) {
+  Block b("a", "Assignment");
+  b.set_param("Start", 4);
+  BlockInstance inst =
+      make_instance(b, {Shape::vector(10), Shape::vector(3)});
+  auto in = find("Assignment")->pullback(inst, {IndexSet::full(10)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[0,3],[7,9]}");
+  EXPECT_EQ(in.value()[1].to_string(), "{[0,2]}");
+}
+
+TEST(Pullback, CumulativeSumIsPrefix) {
+  Block b("c", "CumulativeSum");
+  BlockInstance inst = make_instance(b, {Shape::vector(20)});
+  auto in =
+      find("CumulativeSum")->pullback(inst, {IndexSet::interval(5, 7)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[0,7]}");
+}
+
+TEST(Pullback, DownsampleStride) {
+  Block b("d", "Downsample");
+  b.set_param("Factor", 4);
+  BlockInstance inst = make_instance(b, {Shape::vector(16)});
+  auto in = find("Downsample")->pullback(inst, {IndexSet::interval(1, 2)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[4,4],[8,8]}");
+}
+
+TEST(Pullback, DelayIsIdentity) {
+  Block b("d", "UnitDelay");
+  BlockInstance inst = make_instance(b, {Shape::vector(8)});
+  auto in = find("UnitDelay")->pullback(inst, {IndexSet::interval(2, 5)});
+  EXPECT_EQ(in.value()[0].to_string(), "{[2,5]}");
+}
+
+// -- Reference semantics ------------------------------------------------------
+
+TEST(Simulate, GainSumProduct) {
+  Block g("g", "Gain");
+  g.set_param("Gain", 2.5);
+  BlockInstance gi = make_instance(g, {Shape::vector(3)});
+  const double in[3] = {1, 2, 3};
+  double out[3] = {};
+  ASSERT_TRUE(find("Gain")->simulate(gi, {in}, {out}, nullptr).is_ok());
+  EXPECT_EQ(out[1], 5.0);
+
+  Block s("s", "Sum");
+  s.set_param("Inputs", "+-");
+  BlockInstance si =
+      make_instance(s, {Shape::vector(3), Shape::vector(3)});
+  const double in2[3] = {10, 10, 10};
+  ASSERT_TRUE(find("Sum")->simulate(si, {in, in2}, {out}, nullptr).is_ok());
+  EXPECT_EQ(out[0], -9.0);
+
+  Block p("p", "Product");
+  p.set_param("Inputs", "*/");
+  BlockInstance pi =
+      make_instance(p, {Shape::vector(3), Shape::vector(3)});
+  ASSERT_TRUE(
+      find("Product")->simulate(pi, {in, in2}, {out}, nullptr).is_ok());
+  EXPECT_EQ(out[2], 0.3);
+}
+
+TEST(Simulate, ConvolutionKnownValues) {
+  Block c("c", "Convolution");
+  BlockInstance ci =
+      make_instance(c, {Shape::vector(3), Shape::vector(2)});
+  const double u[3] = {1, 2, 3};
+  const double h[2] = {1, 1};
+  double out[4] = {};
+  ASSERT_TRUE(
+      find("Convolution")->simulate(ci, {u, h}, {out}, nullptr).is_ok());
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 3.0);
+  EXPECT_EQ(out[2], 5.0);
+  EXPECT_EQ(out[3], 3.0);
+}
+
+TEST(Simulate, UnitDelayStateMachine) {
+  Block d("d", "UnitDelay");
+  d.set_param("InitialCondition", 7.0);
+  BlockInstance di = make_instance(d, {Shape::vector(2)});
+  const BlockSemantics* sem = find("UnitDelay");
+  ASSERT_EQ(sem->state_size(di), 2);
+  double state[2];
+  ASSERT_TRUE(sem->init_state(di, state).is_ok());
+  EXPECT_EQ(state[0], 7.0);
+
+  const double in[2] = {1, 2};
+  double out[2] = {};
+  ASSERT_TRUE(sem->simulate(di, {in}, {out}, state).is_ok());
+  EXPECT_EQ(out[0], 7.0);  // still the initial condition
+  ASSERT_TRUE(sem->update_state(di, {in}, state).is_ok());
+  ASSERT_TRUE(sem->simulate(di, {in}, {out}, state).is_ok());
+  EXPECT_EQ(out[0], 1.0);
+}
+
+TEST(Simulate, MathFunctions) {
+  Block m("m", "Math");
+  for (const auto& [fn, x, want] :
+       std::vector<std::tuple<std::string, double, double>>{
+           {"exp", 0.0, 1.0},
+           {"sqrt", 4.0, 2.0},
+           {"square", 3.0, 9.0},
+           {"abs", -2.0, 2.0},
+           {"sign", -5.0, -1.0},
+           {"sigmoid", 0.0, 0.5},
+           {"floor", 1.7, 1.0},
+       }) {
+    m.set_param("Function", fn);
+    BlockInstance mi = make_instance(m, {Shape::scalar()});
+    double out = 0;
+    double in = x;
+    const double* ins[1] = {&in};
+    double* outs[1] = {&out};
+    ASSERT_TRUE(find("Math")
+                    ->simulate(mi, {ins[0]}, {outs[0]}, nullptr)
+                    .is_ok());
+    EXPECT_DOUBLE_EQ(out, want) << fn;
+  }
+  m.set_param("Function", "not_a_fn");
+  BlockInstance bad = make_instance(m, {Shape::scalar()});
+  double in = 1.0;
+  double out = 0.0;
+  EXPECT_FALSE(find("Math")->simulate(bad, {&in}, {&out}, nullptr).is_ok());
+}
+
+// -- Analysis ------------------------------------------------------------------
+
+TEST(Analysis, ResolvesShapesThroughChain) {
+  model::Model m("chain");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 60);
+  m.add_block("k", "Constant")
+      .set_param("Value", model::Value(std::vector<double>{1, 2, 1}));
+  m.add_block("c", "Convolution");
+  m.add_block("sel", "Selector").set_param("Start", 1).set_param("End", 60);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "c", 0);
+  m.connect("k", 0, "c", 1);
+  m.connect("c", 0, "sel", 0);
+  m.connect("sel", 0, "out", 0);
+
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto a = analyze(g.value());
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  EXPECT_EQ(a.value().out_shapes[static_cast<std::size_t>(m.find_block("c"))][0],
+            Shape::vector(62));
+  auto sig = io_signature(a.value());
+  ASSERT_TRUE(sig.is_ok());
+  EXPECT_EQ(sig.value().inputs.size(), 1u);
+  EXPECT_EQ(sig.value().outputs[0].shape, Shape::vector(60));
+}
+
+TEST(Analysis, ResolvesFeedbackLoopViaInitialCondition) {
+  model::Model m("loop");
+  m.add_block("d", "UnitDelay")
+      .set_param("InitialCondition",
+                 model::Value(std::vector<double>(8, 0.0)));
+  m.add_block("g", "Gain").set_param("Gain", 0.5);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("d", 0, "g", 0);
+  m.connect("g", 0, "d", 0);
+  m.connect("g", 0, "out", 0);
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto a = analyze(g.value());
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  EXPECT_EQ(a.value().out_shapes[0][0], Shape::vector(8));
+}
+
+TEST(Analysis, RejectsUnknownType) {
+  model::Model m("bad");
+  m.add_block("x", "Quantum");
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto a = analyze(g.value());
+  ASSERT_FALSE(a.is_ok());
+  EXPECT_NE(a.message().find("Quantum"), std::string::npos);
+}
+
+TEST(Analysis, RejectsArityMismatch) {
+  model::Model m("bad");
+  m.add_block("c", "Constant").set_param("Value", 1.0);
+  m.add_block("s", "Switch");  // needs 3 inputs
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("c", 0, "s", 0);
+  m.connect("s", 0, "out", 0);
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_FALSE(analyze(g.value()).is_ok());
+}
+
+TEST(Analysis, ScalarDelayLoopFallsBackToScalarShape) {
+  model::Model m("loop");
+  m.add_block("d", "UnitDelay");  // scalar IC: nothing else anchors shapes
+  m.add_block("g", "Gain").set_param("Gain", 0.5);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("d", 0, "g", 0);
+  m.connect("g", 0, "d", 0);
+  m.connect("g", 0, "out", 0);
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto a = analyze(g.value());
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  EXPECT_EQ(a.value().out_shapes[0][0], Shape::scalar());
+}
+
+TEST(Analysis, ScalarDelayFallbackRejectedOnVectorLoop) {
+  // A delay loop over a vector signal with only a scalar IC: the fallback
+  // guesses scalar, the consistency check rejects the contradiction.
+  model::Model m("loop");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 8);
+  m.add_block("d", "UnitDelay");
+  m.add_block("mix", "Sum").set_param("Inputs", "++");
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "mix", 0);
+  m.connect("d", 0, "mix", 1);
+  m.connect("mix", 0, "d", 0);
+  m.connect("mix", 0, "out", 0);
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_FALSE(analyze(g.value()).is_ok());
+}
+
+TEST(Analysis, RejectsPureAlgebraicLoop) {
+  model::Model m("loop");
+  m.add_block("a", "Gain").set_param("Gain", 0.5);
+  m.add_block("b", "Gain").set_param("Gain", 2.0);
+  m.connect("a", 0, "b", 0);
+  m.connect("b", 0, "a", 0);
+  auto g = graph::DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_FALSE(analyze(g.value()).is_ok());
+}
+
+}  // namespace
+}  // namespace frodo::blocks

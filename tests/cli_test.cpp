@@ -1,0 +1,138 @@
+// End-to-end tests of the frodoc command-line tool: package in, compilable
+// bundle out.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "benchmodels/benchmodels.hpp"
+#include "slx/slx.hpp"
+#include "zip/zip.hpp"
+
+#ifndef FRODOC_PATH
+#error "FRODOC_PATH must be defined by the build"
+#endif
+
+namespace frodo {
+namespace {
+
+std::string tmpdir() {
+  const std::string dir = testing::TempDir() + "/frodoc_cli";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+int run(const std::string& args, std::string* output = nullptr) {
+  const std::string out_file = tmpdir() + "/cli_out.txt";
+  const std::string cmd =
+      std::string(FRODOC_PATH) + " " + args + " > '" + out_file + "' 2>&1";
+  const int code = std::system(cmd.c_str());
+  if (output != nullptr) {
+    auto text = zip::read_file(out_file);
+    *output = text.is_ok() ? text.value() : "";
+  }
+  return WEXITSTATUS(code);
+}
+
+std::string write_sample_package() {
+  auto model = benchmodels::build_back();
+  const std::string path = tmpdir() + "/Back.slxz";
+  EXPECT_TRUE(slx::save(model.value(), path).is_ok());
+  return path;
+}
+
+TEST(Frodoc, GeneratesCompilableBundle) {
+  const std::string package = write_sample_package();
+  const std::string out = tmpdir() + "/bundle";
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + out + "' --emit-main", &text),
+            0)
+      << text;
+  EXPECT_TRUE(std::filesystem::exists(out + "/Back.c"));
+  EXPECT_TRUE(std::filesystem::exists(out + "/Back.h"));
+  EXPECT_TRUE(std::filesystem::exists(out + "/main.c"));
+
+  const std::string compile = "cd '" + out +
+                              "' && gcc -O1 -o demo Back.c main.c -lm "
+                              "&& ./demo > demo.txt";
+  ASSERT_EQ(std::system(compile.c_str()), 0);
+  auto demo = zip::read_file(out + "/demo.txt");
+  ASSERT_TRUE(demo.is_ok());
+  EXPECT_NE(demo.value().find("checksum"), std::string::npos);
+}
+
+TEST(Frodoc, AllGeneratorsAccepted) {
+  const std::string package = write_sample_package();
+  for (const char* gen :
+       {"frodo", "frodo-loose", "simulink", "dfsynth", "hcg"}) {
+    const std::string out = tmpdir() + "/gen_" + gen;
+    std::string text;
+    EXPECT_EQ(run("'" + package + "' --generator " + gen + " --out '" + out +
+                      "'",
+                  &text),
+              0)
+        << gen << ": " << text;
+    EXPECT_TRUE(std::filesystem::exists(out + "/Back.c")) << gen;
+  }
+}
+
+TEST(Frodoc, PrintRanges) {
+  const std::string package = write_sample_package();
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --print-ranges", &text), 0) << text;
+  EXPECT_NE(text.find("[optimizable]"), std::string::npos) << text;
+  EXPECT_NE(text.find("eliminated elements:"), std::string::npos);
+}
+
+TEST(Frodoc, CheckModeValidates) {
+  const std::string package = write_sample_package();
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --check", &text), 0) << text;
+  EXPECT_NE(text.find(": OK ("), std::string::npos) << text;
+
+  // A structurally broken model must fail the check with a diagnostic.
+  const std::string bad_xml =
+      "<Model Name=\"Bad\"><Block Name=\"s\" Type=\"Switch\"/>"
+      "<Block Name=\"o\" Type=\"Outport\"><P Name=\"Port\">1</P></Block>"
+      "<Line><Src Block=\"s\" Port=\"1\"/><Dst Block=\"o\" Port=\"1\"/>"
+      "</Line></Model>";
+  const std::string bad_path = tmpdir() + "/bad.xml";
+  ASSERT_TRUE(zip::write_file(bad_path, bad_xml).is_ok());
+  EXPECT_NE(run("'" + bad_path + "' --check", &text), 0);
+  EXPECT_NE(text.find("Switch"), std::string::npos) << text;
+}
+
+TEST(Frodoc, ListBlocks) {
+  std::string text;
+  ASSERT_EQ(run("--list-blocks", &text), 0);
+  EXPECT_NE(text.find("Convolution"), std::string::npos);
+  EXPECT_NE(text.find("Selector"), std::string::npos);
+  EXPECT_NE(text.find("IIRFilter"), std::string::npos);
+}
+
+TEST(Frodoc, ErrorsAreReported) {
+  std::string text;
+  EXPECT_NE(run("/nonexistent/model.slxz", &text), 0);
+  EXPECT_NE(text.find("cannot load"), std::string::npos) << text;
+
+  const std::string package = write_sample_package();
+  EXPECT_NE(run("'" + package + "' --generator warpdrive", &text), 0);
+  EXPECT_NE(text.find("unknown generator"), std::string::npos) << text;
+
+  EXPECT_NE(run("", &text), 0);  // missing model argument
+  EXPECT_NE(run("--bogus-flag x", &text), 0);
+}
+
+TEST(Frodoc, XmlInputAlsoAccepted) {
+  auto model = benchmodels::build_simpson();
+  const std::string path = tmpdir() + "/Simpson.xml";
+  ASSERT_TRUE(slx::save(model.value(), path).is_ok());
+  const std::string out = tmpdir() + "/xml_bundle";
+  std::string text;
+  ASSERT_EQ(run("'" + path + "' --out '" + out + "'", &text), 0) << text;
+  EXPECT_TRUE(std::filesystem::exists(out + "/Simpson.c"));
+}
+
+}  // namespace
+}  // namespace frodo

@@ -1,0 +1,78 @@
+// Generated-code hygiene: every generator's output must compile warning-free
+// under -Wall -Wextra -Werror (deployable embedded code gets reviewed and
+// pushed through strict CI; warnings in generated sources are bugs).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "support/strings.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo::codegen {
+namespace {
+
+struct QualityCase {
+  std::string model;
+  std::string generator;
+};
+
+class EmittedCodeQuality : public testing::TestWithParam<QualityCase> {};
+
+TEST_P(EmittedCodeQuality, CompilesWarningFreeUnderWallWextraWerror) {
+  auto gen = make_generator(GetParam().generator);
+  ASSERT_TRUE(gen.is_ok());
+  for (const auto& bench : benchmodels::all_models()) {
+    if (bench.name != GetParam().model) continue;
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok());
+    auto code = gen.value()->generate(m.value());
+    ASSERT_TRUE(code.is_ok()) << code.message();
+
+    const std::string dir = testing::TempDir() + "/frodo_quality";
+    std::filesystem::create_directories(dir);
+    const std::string stem = dir + "/" + code.value().prefix + "_" +
+                             sanitize_identifier(GetParam().generator);
+    ASSERT_TRUE(zip::write_file(stem + ".c", code.value().source).is_ok());
+    ASSERT_TRUE(zip::write_file(stem + ".h", code.value().header).is_ok());
+    ASSERT_TRUE(
+        zip::write_file(stem + "_main.c",
+                        emit_demo_main(code.value(), /*steps=*/2))
+            .is_ok());
+
+    // The demo main includes "<prefix>.h"; compile from the directory.
+    const std::string cmd =
+        "cd '" + dir + "' && cp '" + stem + ".h' " + code.value().prefix +
+        ".h && gcc -std=c11 -Wall -Wextra -Werror -O1 -o /dev/null '" +
+        stem + ".c' '" + stem + "_main.c' -lm 2> '" + stem + ".log'";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0) << GetParam().generator << "/" << bench.name << ":\n"
+                     << zip::read_file(stem + ".log").value() << "\n"
+                     << code.value().source;
+    return;
+  }
+  FAIL() << "model not found";
+}
+
+std::vector<QualityCase> quality_cases() {
+  std::vector<QualityCase> cases;
+  for (const char* model : {"Back", "Kalman", "HT"}) {
+    for (const char* gen :
+         {"simulink", "dfsynth", "hcg", "frodo", "frodo-shared"}) {
+      cases.push_back(QualityCase{model, gen});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EmittedCodeQuality, testing::ValuesIn(quality_cases()),
+    [](const testing::TestParamInfo<QualityCase>& info) {
+      return info.param.model + "_" +
+             sanitize_identifier(info.param.generator);
+    });
+
+}  // namespace
+}  // namespace frodo::codegen

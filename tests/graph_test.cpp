@@ -1,0 +1,125 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/semantics.hpp"
+
+namespace frodo::graph {
+namespace {
+
+model::Model diamond() {
+  // in -> g1 -> s ; in -> g2 -> s ; s -> out
+  model::Model m("diamond");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  m.add_block("g1", "Gain").set_param("Gain", 1.0);
+  m.add_block("g2", "Gain").set_param("Gain", 2.0);
+  m.add_block("s", "Sum").set_param("Inputs", "++");
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "g1", 0);
+  m.connect("in", 0, "g2", 0);
+  m.connect("g1", 0, "s", 0);
+  m.connect("g2", 0, "s", 1);
+  m.connect("s", 0, "out", 0);
+  return m;
+}
+
+TEST(Graph, BuildResolvesDrivers) {
+  model::Model m = diamond();
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok()) << g.message();
+  const model::BlockId s = m.find_block("s");
+  ASSERT_TRUE(g.value().input_driver(s, 0).has_value());
+  EXPECT_EQ(g.value().input_driver(s, 0)->block, m.find_block("g1"));
+  EXPECT_EQ(g.value().input_driver(s, 1)->block, m.find_block("g2"));
+  EXPECT_FALSE(g.value().input_driver(s, 2).has_value());
+  EXPECT_EQ(g.value().input_count(s), 2);
+  EXPECT_EQ(g.value().output_count(m.find_block("in")), 1);
+}
+
+TEST(Graph, RootsAndSinks) {
+  model::Model m = diamond();
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value().roots(), std::vector<model::BlockId>{m.find_block("in")});
+  EXPECT_EQ(g.value().sinks(),
+            std::vector<model::BlockId>{m.find_block("out")});
+}
+
+TEST(Graph, ChildrenAreDeduplicated) {
+  model::Model m("fan");
+  m.add_block("a", "Gain").set_param("Gain", 1.0);
+  m.add_block("b", "Sum").set_param("Inputs", "++");
+  m.connect("a", 0, "b", 0);
+  m.connect("a", 0, "b", 1);
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value().children(0).size(), 1u);
+  EXPECT_EQ(g.value().out_edges(0).size(), 2u);
+}
+
+TEST(Graph, TopoOrderRespectsDependencies) {
+  model::Model m = diamond();
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto order = g.value().topo_order([](const model::Block&) { return false; });
+  ASSERT_TRUE(order.is_ok()) << order.message();
+  std::vector<int> position(static_cast<std::size_t>(m.block_count()));
+  for (std::size_t i = 0; i < order.value().size(); ++i)
+    position[static_cast<std::size_t>(order.value()[i])] =
+        static_cast<int>(i);
+  for (const model::Connection& c : m.connections()) {
+    EXPECT_LT(position[static_cast<std::size_t>(c.src.block)],
+              position[static_cast<std::size_t>(c.dst.block)])
+        << "edge " << m.block(c.src.block).name() << " -> "
+        << m.block(c.dst.block).name();
+  }
+}
+
+TEST(Graph, DetectsAlgebraicLoop) {
+  model::Model m("loop");
+  m.add_block("a", "Gain").set_param("Gain", 1.0);
+  m.add_block("b", "Gain").set_param("Gain", 1.0);
+  m.connect("a", 0, "b", 0);
+  m.connect("b", 0, "a", 0);
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto order = g.value().topo_order([](const model::Block&) { return false; });
+  ASSERT_FALSE(order.is_ok());
+  EXPECT_NE(order.message().find("algebraic loop"), std::string::npos);
+}
+
+TEST(Graph, StateBlockBreaksLoop) {
+  model::Model m("delayloop");
+  m.add_block("d", "UnitDelay");
+  m.add_block("g", "Gain").set_param("Gain", 0.5);
+  m.connect("d", 0, "g", 0);
+  m.connect("g", 0, "d", 0);
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto order = g.value().topo_order(
+      [](const model::Block& b) { return blocks::is_state_block(b); });
+  ASSERT_TRUE(order.is_ok()) << order.message();
+  // Delay first (reads state), then the gain.
+  EXPECT_EQ(order.value().front(), m.find_block("d"));
+}
+
+TEST(Graph, RejectsUnflattenedModel) {
+  model::Model m("h");
+  m.add_block("sub", "Subsystem").make_subsystem();
+  auto g = DataflowGraph::build(m);
+  EXPECT_FALSE(g.is_ok());
+  EXPECT_NE(g.message().find("flatten"), std::string::npos);
+}
+
+TEST(Graph, DeterministicSchedule) {
+  model::Model m = diamond();
+  auto g = DataflowGraph::build(m);
+  ASSERT_TRUE(g.is_ok());
+  auto a = g.value().topo_order([](const model::Block&) { return false; });
+  auto b = g.value().topo_order([](const model::Block&) { return false; });
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace frodo::graph

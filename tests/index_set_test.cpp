@@ -1,0 +1,207 @@
+#include "mapping/index_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace frodo::mapping {
+namespace {
+
+TEST(IndexSet, EmptyAndFull) {
+  EXPECT_TRUE(IndexSet::empty().is_empty());
+  EXPECT_EQ(IndexSet::empty().count(), 0);
+  EXPECT_EQ(IndexSet::full(10).count(), 10);
+  EXPECT_EQ(IndexSet::full(10).to_string(), "{[0,9]}");
+  EXPECT_TRUE(IndexSet::interval(5, 4).is_empty());
+}
+
+TEST(IndexSet, InsertMergesAdjacent) {
+  IndexSet s;
+  s.insert(0, 4);
+  s.insert(5, 9);
+  EXPECT_EQ(s.to_string(), "{[0,9]}");
+  s.insert(20, 25);
+  EXPECT_EQ(s.interval_count(), 2);
+  s.insert(10, 19);
+  EXPECT_EQ(s.to_string(), "{[0,25]}");
+}
+
+TEST(IndexSet, InsertOverlapping) {
+  IndexSet s;
+  s.insert(10, 20);
+  s.insert(5, 12);
+  s.insert(18, 30);
+  EXPECT_EQ(s.to_string(), "{[5,30]}");
+}
+
+TEST(IndexSet, Contains) {
+  IndexSet s;
+  s.insert(2, 4);
+  s.insert(8, 9);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.contains(8));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_FALSE(s.contains(-1));
+  EXPECT_TRUE(s.contains(IndexSet::interval(8, 9)));
+  EXPECT_FALSE(s.contains(IndexSet::interval(3, 8)));
+}
+
+TEST(IndexSet, Intersect) {
+  IndexSet a;
+  a.insert(0, 10);
+  a.insert(20, 30);
+  IndexSet b;
+  b.insert(5, 25);
+  EXPECT_EQ(a.intersect(b).to_string(), "{[5,10],[20,25]}");
+  EXPECT_TRUE(a.intersect(IndexSet::empty()).is_empty());
+}
+
+TEST(IndexSet, OffsetAndClamp) {
+  IndexSet s = IndexSet::interval(5, 54);
+  EXPECT_EQ(s.offset(-5).to_string(), "{[0,49]}");
+  EXPECT_EQ(s.offset(10).clamp(0, 59).to_string(), "{[15,59]}");
+  EXPECT_TRUE(s.clamp(100, 200).is_empty());
+}
+
+TEST(IndexSet, Dilate) {
+  // The convolution pullback: demand [5,54], kernel 3 -> input [3,54].
+  EXPECT_EQ(IndexSet::interval(5, 54).dilate(2, 0).clamp(0, 59).to_string(),
+            "{[3,54]}");
+  IndexSet s;
+  s.insert(10, 10);
+  s.insert(14, 14);
+  EXPECT_EQ(s.dilate(2, 2).to_string(), "{[8,16]}");  // runs merge
+}
+
+TEST(IndexSet, AffineExpand) {
+  // Downsample-by-4 pullback of [0,3]: {0,4,8,12}.
+  EXPECT_EQ(IndexSet::interval(0, 3).affine_expand(4, 0, 1).to_string(),
+            "{[0,0],[4,4],[8,8],[12,12]}");
+  // Stride-1 span-3 expansion stays a single run.
+  EXPECT_EQ(IndexSet::interval(2, 5).affine_expand(1, 10, 3).to_string(),
+            "{[12,17]}");
+}
+
+TEST(IndexSet, Complement) {
+  IndexSet s;
+  s.insert(2, 3);
+  s.insert(7, 8);
+  EXPECT_EQ(s.complement(10).to_string(), "{[0,1],[4,6],[9,9]}");
+  EXPECT_EQ(IndexSet::empty().complement(3).to_string(), "{[0,2]}");
+  EXPECT_TRUE(IndexSet::full(5).complement(5).is_empty());
+}
+
+TEST(IndexSet, HullMinMax) {
+  IndexSet s;
+  s.insert(5, 6);
+  s.insert(10, 12);
+  EXPECT_EQ(s.min(), 5);
+  EXPECT_EQ(s.max(), 12);
+  EXPECT_EQ(s.hull().lo, 5);
+  EXPECT_EQ(s.hull().hi, 12);
+  EXPECT_FALSE(s.is_contiguous());
+  EXPECT_TRUE(IndexSet::interval(1, 3).is_contiguous());
+  EXPECT_THROW(IndexSet::empty().min(), std::logic_error);
+}
+
+TEST(IndexSet, Unite) {
+  IndexSet a = IndexSet::interval(0, 3);
+  IndexSet b;
+  b.insert(2, 5);
+  b.insert(9, 9);
+  a.unite(b);
+  EXPECT_EQ(a.to_string(), "{[0,5],[9,9]}");
+}
+
+// Property test: IndexSet operations agree with a naive std::set model.
+class IndexSetPropertyTest : public testing::TestWithParam<unsigned> {};
+
+std::set<long long> to_model(const IndexSet& s) {
+  std::set<long long> out;
+  for (const Interval& iv : s.intervals()) {
+    for (long long i = iv.lo; i <= iv.hi; ++i) out.insert(i);
+  }
+  return out;
+}
+
+TEST_P(IndexSetPropertyTest, MatchesNaiveSetModel) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<long long> pos(0, 60);
+  std::uniform_int_distribution<long long> len(0, 10);
+
+  IndexSet a;
+  IndexSet b;
+  std::set<long long> ma;
+  std::set<long long> mb;
+  for (int i = 0; i < 12; ++i) {
+    long long lo = pos(rng);
+    long long hi = lo + len(rng);
+    a.insert(lo, hi);
+    for (long long k = lo; k <= hi; ++k) ma.insert(k);
+    lo = pos(rng);
+    hi = lo + len(rng);
+    b.insert(lo, hi);
+    for (long long k = lo; k <= hi; ++k) mb.insert(k);
+  }
+
+  // Normalization invariant: sorted, disjoint, non-adjacent.
+  for (std::size_t i = 1; i < a.intervals().size(); ++i)
+    EXPECT_GT(a.intervals()[i].lo, a.intervals()[i - 1].hi + 1);
+
+  EXPECT_EQ(to_model(a), ma);
+  EXPECT_EQ(static_cast<std::size_t>(a.count()), ma.size());
+
+  // Intersection.
+  std::set<long long> minter;
+  for (long long v : ma) {
+    if (mb.count(v)) minter.insert(v);
+  }
+  EXPECT_EQ(to_model(a.intersect(b)), minter);
+
+  // Union.
+  IndexSet u = a;
+  u.unite(b);
+  std::set<long long> munion = ma;
+  munion.insert(mb.begin(), mb.end());
+  EXPECT_EQ(to_model(u), munion);
+
+  // Offset / clamp / complement / dilate.
+  std::set<long long> moff;
+  for (long long v : ma) moff.insert(v + 7);
+  EXPECT_EQ(to_model(a.offset(7)), moff);
+
+  std::set<long long> mclamp;
+  for (long long v : ma) {
+    if (v >= 10 && v <= 40) mclamp.insert(v);
+  }
+  EXPECT_EQ(to_model(a.clamp(10, 40)), mclamp);
+
+  std::set<long long> mcomp;
+  for (long long v = 0; v < 80; ++v) {
+    if (!ma.count(v)) mcomp.insert(v);
+  }
+  EXPECT_EQ(to_model(a.complement(80)), mcomp);
+
+  std::set<long long> mdilate;
+  for (long long v : ma) {
+    for (long long d = -2; d <= 1; ++d) mdilate.insert(v + d);
+  }
+  EXPECT_EQ(to_model(a.dilate(2, 1)), mdilate);
+
+  // affine_expand with stride 3, span 2.
+  std::set<long long> mexp;
+  for (long long v : ma) {
+    mexp.insert(v * 3 + 1);
+    mexp.insert(v * 3 + 2);
+  }
+  EXPECT_EQ(to_model(a.affine_expand(3, 1, 2)), mexp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexSetPropertyTest,
+                         testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace frodo::mapping

@@ -1,0 +1,240 @@
+#include "interp/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "model/flatten.hpp"
+
+namespace frodo::interp {
+namespace {
+
+struct Rig {
+  model::Model model;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  std::unique_ptr<Interpreter> interp;
+};
+
+std::unique_ptr<Rig> make_rig(model::Model m) {
+  auto rig = std::make_unique<Rig>();
+  auto flat = model::flatten(m);
+  EXPECT_TRUE(flat.is_ok()) << flat.message();
+  rig->model = std::move(flat).value();
+  auto g = graph::DataflowGraph::build(rig->model);
+  EXPECT_TRUE(g.is_ok()) << g.message();
+  rig->graph = std::move(g).value();
+  auto a = blocks::analyze(rig->graph);
+  EXPECT_TRUE(a.is_ok()) << a.message();
+  rig->analysis = std::move(a).value();
+  auto i = Interpreter::create(rig->analysis);
+  EXPECT_TRUE(i.is_ok()) << i.message();
+  rig->interp = std::make_unique<Interpreter>(std::move(i).value());
+  return rig;
+}
+
+TEST(Interpreter, GainChain) {
+  model::Model m("chain");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 3);
+  m.add_block("g", "Gain").set_param("Gain", 2.0);
+  m.add_block("b", "Bias").set_param("Bias", 1.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "g", 0);
+  m.connect("g", 0, "b", 0);
+  m.connect("b", 0, "out", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  ASSERT_TRUE(rig->interp->step({{1, 2, 3}}, &outs).is_ok());
+  EXPECT_EQ(outs[0], (std::vector<double>{3, 5, 7}));
+}
+
+TEST(Interpreter, SameConvolutionMotif) {
+  // Figure 1: conv + selector implements a same convolution.
+  model::Model m("Conv");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 4);
+  m.add_block("k", "Constant")
+      .set_param("Value", model::Value(std::vector<double>{1, 1, 1}));
+  m.add_block("conv", "Convolution");
+  m.add_block("sel", "Selector").set_param("Start", 1).set_param("End", 4);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "conv", 0);
+  m.connect("k", 0, "conv", 1);
+  m.connect("conv", 0, "sel", 0);
+  m.connect("sel", 0, "out", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  ASSERT_TRUE(rig->interp->step({{1, 2, 3, 4}}, &outs).is_ok());
+  // full conv of [1,2,3,4] with [1,1,1] = [1,3,6,9,7,4]; same = [3,6,9,7].
+  EXPECT_EQ(outs[0], (std::vector<double>{3, 6, 9, 7}));
+}
+
+TEST(Interpreter, DelayAcrossStepsAndReset) {
+  model::Model m("delay");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  m.add_block("d", "UnitDelay").set_param("InitialCondition", 5.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "d", 0);
+  m.connect("d", 0, "out", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  ASSERT_TRUE(rig->interp->step({{1}}, &outs).is_ok());
+  EXPECT_EQ(outs[0][0], 5.0);
+  ASSERT_TRUE(rig->interp->step({{2}}, &outs).is_ok());
+  EXPECT_EQ(outs[0][0], 1.0);
+  ASSERT_TRUE(rig->interp->step({{3}}, &outs).is_ok());
+  EXPECT_EQ(outs[0][0], 2.0);
+
+  ASSERT_TRUE(rig->interp->reset().is_ok());
+  ASSERT_TRUE(rig->interp->step({{9}}, &outs).is_ok());
+  EXPECT_EQ(outs[0][0], 5.0);
+}
+
+TEST(Interpreter, MultiSampleDelayLine) {
+  model::Model m("dl");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  m.add_block("d", "Delay")
+      .set_param("DelaySamples", 3)
+      .set_param("InitialCondition", 0.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "d", 0);
+  m.connect("d", 0, "out", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  std::vector<double> seen;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    ASSERT_TRUE(rig->interp->step({{v}}, &outs).is_ok());
+    seen.push_back(outs[0][0]);
+  }
+  EXPECT_EQ(seen, (std::vector<double>{0, 0, 0, 1, 2}));
+}
+
+TEST(Interpreter, FeedbackAccumulator) {
+  // y[t] = y[t-1] + u (integrator via UnitDelay loop).
+  model::Model m("acc");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  m.add_block("d", "UnitDelay").set_param("InitialCondition", 0.0);
+  m.add_block("s", "Sum").set_param("Inputs", "++");
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "s", 0);
+  m.connect("d", 0, "s", 1);
+  m.connect("s", 0, "d", 0);
+  m.connect("s", 0, "out", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  double expected = 0;
+  for (double v : {1.0, 2.0, 3.0}) {
+    expected += v;
+    ASSERT_TRUE(rig->interp->step({{v}}, &outs).is_ok());
+    EXPECT_EQ(outs[0][0], expected);
+  }
+}
+
+TEST(Interpreter, FlattensSubsystemsBeforeRunning) {
+  model::Model m("outer");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 2);
+  model::Block& sub = m.add_block("sub", "Subsystem");
+  model::Model& body = sub.make_subsystem();
+  body.add_block("in", "Inport").set_param("Port", 1);
+  body.add_block("g", "Gain").set_param("Gain", 10.0);
+  body.add_block("out", "Outport").set_param("Port", 1);
+  body.connect("in", 0, "g", 0);
+  body.connect("g", 0, "out", 0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sub", 0);
+  m.connect("sub", 0, "out", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  ASSERT_TRUE(rig->interp->step({{1, 2}}, &outs).is_ok());
+  EXPECT_EQ(outs[0], (std::vector<double>{10, 20}));
+}
+
+TEST(Interpreter, RejectsWrongInputShape) {
+  model::Model m("chain");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 3);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "out", 0);
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  EXPECT_FALSE(rig->interp->step({{1, 2}}, &outs).is_ok());
+  EXPECT_FALSE(rig->interp->step({}, &outs).is_ok());
+}
+
+TEST(Interpreter, MultipleOutputsOrderedByPort) {
+  model::Model m("multi");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  m.add_block("g1", "Gain").set_param("Gain", 2.0);
+  m.add_block("g2", "Gain").set_param("Gain", 3.0);
+  // Deliberately add out2 before out1 to check ordering by Port.
+  m.add_block("out2", "Outport").set_param("Port", 2);
+  m.add_block("out1", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "g1", 0);
+  m.connect("in", 0, "g2", 0);
+  m.connect("g1", 0, "out1", 0);
+  m.connect("g2", 0, "out2", 0);
+
+  auto rig = make_rig(std::move(m));
+  std::vector<std::vector<double>> outs;
+  ASSERT_TRUE(rig->interp->step({{1}}, &outs).is_ok());
+  EXPECT_EQ(outs[0][0], 2.0);
+  EXPECT_EQ(outs[1][0], 3.0);
+}
+
+}  // namespace
+}  // namespace frodo::interp
+
+namespace frodo::interp {
+namespace {
+
+// Determinism / reset soundness over the whole benchmark suite: two
+// interpreter instances fed the same input sequence must agree exactly, and
+// reset() must restore the t=0 behaviour even for stateful models.
+TEST(Interpreter, BenchmarkModelsDeterministicAndResettable) {
+  for (const auto& bench : benchmodels::all_models()) {
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok()) << bench.name;
+    auto rig_a = make_rig(std::move(m).value());
+    auto rig_b = make_rig(std::move(bench.build()).value());
+
+    std::vector<std::vector<std::vector<double>>> trace;
+    for (int t = 0; t < 3; ++t) {
+      std::vector<std::vector<double>> inputs;
+      for (const auto& port : rig_a->interp->signature().inputs) {
+        std::vector<double> v(static_cast<std::size_t>(port.shape.size()));
+        for (std::size_t i = 0; i < v.size(); ++i)
+          v[i] = 0.01 * static_cast<double>((i * 7 + t * 13) % 100) - 0.5;
+        inputs.push_back(std::move(v));
+      }
+      std::vector<std::vector<double>> out_a;
+      std::vector<std::vector<double>> out_b;
+      ASSERT_TRUE(rig_a->interp->step(inputs, &out_a).is_ok()) << bench.name;
+      ASSERT_TRUE(rig_b->interp->step(inputs, &out_b).is_ok()) << bench.name;
+      EXPECT_EQ(out_a, out_b) << bench.name << " step " << t;
+      trace.push_back(std::move(out_a));
+    }
+
+    // Reset and replay: identical trace.
+    ASSERT_TRUE(rig_a->interp->reset().is_ok());
+    for (int t = 0; t < 3; ++t) {
+      std::vector<std::vector<double>> inputs;
+      for (const auto& port : rig_a->interp->signature().inputs) {
+        std::vector<double> v(static_cast<std::size_t>(port.shape.size()));
+        for (std::size_t i = 0; i < v.size(); ++i)
+          v[i] = 0.01 * static_cast<double>((i * 7 + t * 13) % 100) - 0.5;
+        inputs.push_back(std::move(v));
+      }
+      std::vector<std::vector<double>> out;
+      ASSERT_TRUE(rig_a->interp->step(inputs, &out).is_ok());
+      EXPECT_EQ(out, trace[static_cast<std::size_t>(t)])
+          << bench.name << " replay step " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace frodo::interp

@@ -1,0 +1,115 @@
+#include "jit/jit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/generator.hpp"
+
+namespace frodo::jit {
+namespace {
+
+codegen::GeneratedCode tiny_code() {
+  model::Model m("Tiny");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 4);
+  m.add_block("g", "Gain").set_param("Gain", 3.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "g", 0);
+  m.connect("g", 0, "out", 0);
+  codegen::FrodoGenerator gen;
+  return std::move(gen.generate(m)).value();
+}
+
+std::string workdir() { return testing::TempDir() + "/frodo_jit_test"; }
+
+TEST(Profiles, Table2HasTwoCompilers) {
+  auto profiles = table2_profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].label, "gcc-O3");
+  EXPECT_EQ(profiles[0].hcg_simd_width, 4);
+  // Second column is clang when present, otherwise the documented gcc -O2
+  // substitute.
+  EXPECT_TRUE(profiles[1].label == "clang-O3" ||
+              profiles[1].label == "gcc-O2");
+}
+
+TEST(Profiles, Fig6DisablesAutoVectorizationAndNarrowsHcg) {
+  auto profiles = fig6_profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.hcg_simd_width, 2) << p.label;
+    bool no_vec = false;
+    for (const auto& flag : p.flags)
+      no_vec |= flag.find("vectorize") != std::string::npos;
+    EXPECT_TRUE(no_vec) << p.label;
+  }
+}
+
+TEST(Profiles, CompilerAvailability) {
+  EXPECT_TRUE(compiler_available("gcc"));
+  EXPECT_FALSE(compiler_available("definitely-not-a-compiler-xyz"));
+}
+
+TEST(CompileAndLoad, RunsGeneratedCode) {
+  auto code = tiny_code();
+  auto compiled = compile_and_load(
+      code, CompilerProfile{"gcc-O1", "gcc", {"-O1"}, 4}, workdir());
+  ASSERT_TRUE(compiled.is_ok()) << compiled.message();
+  compiled.value().init();
+  const double in[4] = {1, 2, 3, 4};
+  const double* ins[] = {in};
+  double out[4] = {};
+  double* outs[] = {out};
+  compiled.value().step(ins, outs);
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_EQ(out[3], 12.0);
+}
+
+TEST(CompileAndLoad, ReportsCompilerErrorsWithLog) {
+  auto code = tiny_code();
+  code.source = "this is not C\n";
+  auto compiled = compile_and_load(
+      code, CompilerProfile{"gcc-O1", "gcc", {"-O1"}, 4}, workdir());
+  ASSERT_FALSE(compiled.is_ok());
+  EXPECT_NE(compiled.message().find("compilation failed"),
+            std::string::npos);
+  EXPECT_NE(compiled.message().find("error"), std::string::npos)
+      << compiled.message();
+}
+
+TEST(CompileAndLoad, UnknownCompilerFails) {
+  auto code = tiny_code();
+  auto compiled = compile_and_load(
+      code, CompilerProfile{"bad", "no-such-cc-binary", {}, 4}, workdir());
+  EXPECT_FALSE(compiled.is_ok());
+}
+
+TEST(RandomInputs, DeterministicAndInRange) {
+  auto code = tiny_code();
+  auto a = random_inputs(code, 42, -1.0, 1.0);
+  auto b = random_inputs(code, 42, -1.0, 1.0);
+  auto c = random_inputs(code, 43, -1.0, 1.0);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(a[0].size(), 4u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (double v : a[0]) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(TimeSteps, MonotoneInRepetitions) {
+  auto code = tiny_code();
+  auto compiled = compile_and_load(
+      code, CompilerProfile{"gcc-O1", "gcc", {"-O1"}, 4}, workdir());
+  ASSERT_TRUE(compiled.is_ok()) << compiled.message();
+  const auto inputs = random_inputs(code, 1);
+  const double t_small = time_steps(compiled.value(), inputs, 1000);
+  const double t_large = time_steps(compiled.value(), inputs, 100000);
+  EXPECT_GE(t_small, 0.0);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(PeakRss, Positive) { EXPECT_GT(peak_rss_kb(), 0); }
+
+}  // namespace
+}  // namespace frodo::jit

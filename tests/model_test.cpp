@@ -1,0 +1,205 @@
+#include "model/flatten.hpp"
+#include "model/model.hpp"
+#include "model/shape.hpp"
+#include "model/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frodo::model {
+namespace {
+
+TEST(Shape, Basics) {
+  EXPECT_EQ(Shape::scalar().size(), 1);
+  EXPECT_TRUE(Shape::scalar().is_scalar());
+  EXPECT_EQ(Shape::vector(5).size(), 5);
+  EXPECT_EQ(Shape::matrix(3, 4).size(), 12);
+  EXPECT_EQ(Shape::matrix(3, 4).rows(), 3);
+  EXPECT_EQ(Shape::matrix(3, 4).cols(), 4);
+  EXPECT_EQ(Shape::vector(5).rows(), 1);
+  EXPECT_EQ(Shape::vector(5).cols(), 5);
+  EXPECT_EQ(Shape::matrix(3, 4).flat_index(1, 2), 6);
+  EXPECT_EQ(Shape::scalar().to_string(), "scalar");
+  EXPECT_EQ(Shape::vector(60).to_string(), "[60]");
+  EXPECT_EQ(Shape::matrix(4, 4).to_string(), "[4x4]");
+  EXPECT_THROW(Shape({0}), std::invalid_argument);
+}
+
+TEST(Value, TextRoundTrip) {
+  EXPECT_EQ(Value::from_text("5").as_int().value(), 5);
+  EXPECT_EQ(Value::from_text("2.5").as_double().value(), 2.5);
+  EXPECT_EQ(Value::from_text("hello").as_string().value(), "hello");
+  EXPECT_EQ(Value::from_text("[1 2 3]").as_int_list().value(),
+            (std::vector<long long>{1, 2, 3}));
+  EXPECT_EQ(Value::from_text("[1, 2.5]").as_double_list().value(),
+            (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(Value(5).to_text(), "5");
+  EXPECT_EQ(Value::from_text(Value(std::vector<double>{1.5, -2.0}).to_text())
+                .as_double_list()
+                .value(),
+            (std::vector<double>{1.5, -2.0}));
+}
+
+TEST(Value, Coercions) {
+  EXPECT_EQ(Value(5).as_double().value(), 5.0);
+  EXPECT_EQ(Value(5.0).as_int().value(), 5);
+  EXPECT_FALSE(Value(5.5).as_int().is_ok());
+  EXPECT_EQ(Value(5).as_int_list().value(), (std::vector<long long>{5}));
+  EXPECT_EQ(Value(2.5).as_double_list().value(), (std::vector<double>{2.5}));
+  EXPECT_FALSE(Value("x").as_double().is_ok());
+}
+
+TEST(Model, BlocksAndConnections) {
+  Model m("test");
+  m.add_block("a", "Inport").set_param("Port", 1);
+  m.add_block("b", "Gain").set_param("Gain", 2.0);
+  m.connect("a", 0, "b", 0);
+  EXPECT_EQ(m.block_count(), 2);
+  EXPECT_EQ(m.find_block("b"), 1);
+  EXPECT_EQ(m.find_block("zzz"), -1);
+  EXPECT_TRUE(m.validate().is_ok());
+  EXPECT_EQ(m.deep_block_count(), 2);
+}
+
+TEST(Model, ValidateRejectsDuplicateNames) {
+  Model m("test");
+  m.add_block("a", "Gain");
+  m.add_block("a", "Gain");
+  EXPECT_FALSE(m.validate().is_ok());
+}
+
+TEST(Model, ValidateRejectsDoubleDriver) {
+  Model m("test");
+  m.add_block("a", "Constant").set_param("Value", 1);
+  m.add_block("b", "Constant").set_param("Value", 2);
+  m.add_block("c", "Gain");
+  m.connect("a", 0, "c", 0);
+  m.connect("b", 0, "c", 0);
+  EXPECT_FALSE(m.validate().is_ok());
+}
+
+TEST(Model, ValidateRejectsBadEndpoint) {
+  Model m("test");
+  m.add_block("a", "Gain");
+  m.connect(0, 0, 7, 0);
+  EXPECT_FALSE(m.validate().is_ok());
+}
+
+TEST(Model, ParamAccess) {
+  Model m("test");
+  Block& b = m.add_block("g", "Gain");
+  b.set_param("Gain", 2.5);
+  EXPECT_TRUE(b.has_param("Gain"));
+  EXPECT_EQ(b.param("Gain").value().as_double().value(), 2.5);
+  EXPECT_FALSE(b.param("Nope").is_ok());
+  EXPECT_EQ(b.param_or("Nope", Value(7)).as_int().value(), 7);
+}
+
+Model make_hierarchical() {
+  // outer: in -> sub(gain*2 inside) -> out
+  Model m("outer");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  Block& sub = m.add_block("sub", "Subsystem");
+  Model& body = sub.make_subsystem();
+  body.add_block("in", "Inport").set_param("Port", 1);
+  body.add_block("g", "Gain").set_param("Gain", 2.0);
+  body.add_block("out", "Outport").set_param("Port", 1);
+  body.connect("in", 0, "g", 0);
+  body.connect("g", 0, "out", 0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sub", 0);
+  m.connect("sub", 0, "out", 0);
+  return m;
+}
+
+TEST(Flatten, InlinesSubsystem) {
+  auto flat = flatten(make_hierarchical());
+  ASSERT_TRUE(flat.is_ok()) << flat.message();
+  const Model& f = flat.value();
+  // in, sub/g, out — subsystem and its port blocks are gone.
+  EXPECT_EQ(f.block_count(), 3);
+  EXPECT_NE(f.find_block("sub/g"), -1);
+  EXPECT_EQ(f.find_block("sub"), -1);
+  // in -> sub/g -> out
+  ASSERT_EQ(f.connections().size(), 2u);
+}
+
+TEST(Flatten, PassThroughSubsystem) {
+  // Subsystem whose Outport is wired straight to its Inport.
+  Model m("outer");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  Block& sub = m.add_block("sub", "Subsystem");
+  Model& body = sub.make_subsystem();
+  body.add_block("in", "Inport").set_param("Port", 1);
+  body.add_block("out", "Outport").set_param("Port", 1);
+  body.connect("in", 0, "out", 0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sub", 0);
+  m.connect("sub", 0, "out", 0);
+
+  auto flat = flatten(m);
+  ASSERT_TRUE(flat.is_ok()) << flat.message();
+  EXPECT_EQ(flat.value().block_count(), 2);
+  ASSERT_EQ(flat.value().connections().size(), 1u);
+  EXPECT_EQ(flat.value().block(flat.value().connections()[0].src.block).name(),
+            "in");
+}
+
+TEST(Flatten, NestedSubsystems) {
+  Model m("outer");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  Block& sub = m.add_block("sub", "Subsystem");
+  Model& body = sub.make_subsystem();
+  body.add_block("in", "Inport").set_param("Port", 1);
+  Block& inner = body.add_block("inner", "Subsystem");
+  Model& inner_body = inner.make_subsystem();
+  inner_body.add_block("in", "Inport").set_param("Port", 1);
+  inner_body.add_block("g", "Gain").set_param("Gain", 3.0);
+  inner_body.add_block("out", "Outport").set_param("Port", 1);
+  inner_body.connect("in", 0, "g", 0);
+  inner_body.connect("g", 0, "out", 0);
+  body.add_block("out", "Outport").set_param("Port", 1);
+  body.connect("in", 0, "inner", 0);
+  body.connect("inner", 0, "out", 0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sub", 0);
+  m.connect("sub", 0, "out", 0);
+
+  auto flat = flatten(m);
+  ASSERT_TRUE(flat.is_ok()) << flat.message();
+  EXPECT_NE(flat.value().find_block("sub/inner/g"), -1);
+  EXPECT_EQ(flat.value().block_count(), 3);
+}
+
+TEST(Flatten, FanOutFromInport) {
+  // One subsystem input feeding two internal consumers.
+  Model m("outer");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  Block& sub = m.add_block("sub", "Subsystem");
+  Model& body = sub.make_subsystem();
+  body.add_block("in", "Inport").set_param("Port", 1);
+  body.add_block("g1", "Gain").set_param("Gain", 1.0);
+  body.add_block("g2", "Gain").set_param("Gain", 2.0);
+  body.add_block("s", "Sum").set_param("Inputs", "++");
+  body.add_block("out", "Outport").set_param("Port", 1);
+  body.connect("in", 0, "g1", 0);
+  body.connect("in", 0, "g2", 0);
+  body.connect("g1", 0, "s", 0);
+  body.connect("g2", 0, "s", 1);
+  body.connect("s", 0, "out", 0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sub", 0);
+  m.connect("sub", 0, "out", 0);
+
+  auto flat = flatten(m);
+  ASSERT_TRUE(flat.is_ok()) << flat.message();
+  EXPECT_EQ(flat.value().block_count(), 5);
+  EXPECT_EQ(flat.value().connections().size(), 5u);
+  EXPECT_TRUE(flat.value().validate().is_ok());
+}
+
+TEST(Flatten, DeepBlockCountCountsNested) {
+  EXPECT_EQ(make_hierarchical().deep_block_count(), 6);
+}
+
+}  // namespace
+}  // namespace frodo::model

@@ -1,0 +1,527 @@
+// The central invariant of the whole system, checked per block type:
+//
+//   For ANY demanded output set D, code emitted with out_ranges = D must
+//   produce exactly the reference values on D while reading only the input
+//   elements that pullback(D) declared.
+//
+// The harness makes a violation observable by *poisoning*: every input
+// element NOT in pullback(D) is set to NaN before running the compiled
+// block.  If the emitted code reads an undeclared element, a NaN leaks into
+// a demanded output and the comparison fails.  This simultaneously verifies
+// the I/O mapping (soundness) and the range-restricted emission
+// (completeness) — i.e. both halves of the paper's challenge 2 ("a loose
+// elimination ... under-optimization; an excessive elimination ...
+// incorrect code").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
+
+#include "blocks/semantics.hpp"
+#include "codegen/cwriter.hpp"
+#include "jit/jit.hpp"
+#include "mapping/index_set.hpp"
+#include "model/model.hpp"
+#include "zip/zip.hpp"
+
+#include <dlfcn.h>
+
+#include <filesystem>
+
+namespace frodo::blocks {
+namespace {
+
+using mapping::IndexSet;
+using model::Shape;
+
+struct CaseSpec {
+  std::string name;  // test label
+  std::shared_ptr<model::Block> block;  // shared: test params must be copyable
+  std::vector<Shape> in_shapes;
+};
+
+std::vector<CaseSpec> cases() {
+  using model::Block;
+  using model::Value;
+  std::vector<CaseSpec> specs;
+  auto add = [&specs](const std::string& name, Block block,
+                      std::vector<Shape> in) {
+    specs.push_back(CaseSpec{
+        name, std::make_shared<Block>(std::move(block)), std::move(in)});
+  };
+
+  {
+    Block b("g", "Gain");
+    b.set_param("Gain", 2.5);
+    add("Gain", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("s", "Sum");
+    b.set_param("Inputs", "+-+");
+    add("Sum3", std::move(b),
+        {Shape::vector(40), Shape::vector(40), Shape::scalar()});
+  }
+  {
+    Block b("p", "Product");
+    b.set_param("Inputs", "*/");
+    add("ProductDiv", std::move(b), {Shape::vector(40), Shape::vector(40)});
+  }
+  {
+    Block b("m", "Math");
+    b.set_param("Function", "tanh");
+    add("MathTanh", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("sat", "Saturation");
+    b.set_param("LowerLimit", -0.5).set_param("UpperLimit", 0.5);
+    add("Saturation", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("sw", "Switch");
+    b.set_param("Criteria", "u2 >= Threshold").set_param("Threshold", 0.0);
+    add("Switch", std::move(b),
+        {Shape::vector(40), Shape::vector(40), Shape::vector(40)});
+  }
+  {
+    Block b("lut", "LookupTable");
+    b.set_param("BreakpointsData",
+                Value(std::vector<double>{-2, -1, 0, 1, 2}))
+        .set_param("TableData", Value(std::vector<double>{0, 1, 4, 9, 16}));
+    add("LookupTable", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("sel", "Selector");
+    b.set_param("Start", 7).set_param("End", 26);
+    add("SelectorStartEnd", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("sel", "Selector");
+    b.set_param("Indices",
+                Value(std::vector<long long>{3, 1, 4, 1, 5, 9, 2, 6}));
+    add("SelectorIndices", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("pad", "Pad");
+    b.set_param("Before", 5).set_param("After", 3).set_param("Value", 7.5);
+    add("Pad", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("sub", "Submatrix");
+    b.set_param("RowStart", 1)
+        .set_param("RowEnd", 4)
+        .set_param("ColStart", 2)
+        .set_param("ColEnd", 6);
+    add("Submatrix", std::move(b), {Shape::matrix(6, 8)});
+  }
+  {
+    Block b("r", "Reshape");
+    b.set_param("Dims", Value(std::vector<long long>{8, 5}));
+    add("Reshape", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("t", "Transpose");
+    add("Transpose", std::move(b), {Shape::matrix(5, 8)});
+  }
+  {
+    Block b("c", "Concatenate");
+    b.set_param("Inputs", 3);
+    add("Concatenate", std::move(b),
+        {Shape::vector(10), Shape::vector(20), Shape::vector(10)});
+  }
+  {
+    Block b("d", "Demux");
+    b.set_param("Outputs", 4);
+    add("Demux", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("a", "Assignment");
+    b.set_param("Start", 12);
+    add("Assignment", std::move(b), {Shape::vector(40), Shape::vector(9)});
+  }
+  {
+    Block b("d", "Downsample");
+    b.set_param("Factor", 3);
+    add("Downsample", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("u", "Upsample");
+    b.set_param("Factor", 3);
+    add("Upsample", std::move(b), {Shape::vector(13)});
+  }
+  {
+    Block b("c", "Convolution");
+    add("Convolution", std::move(b), {Shape::vector(30), Shape::vector(7)});
+  }
+  {
+    Block b("f", "FIR");
+    b.set_param("Coefficients",
+                Value(std::vector<double>{0.5, 0.25, 0.125, 0.125}));
+    add("FIR", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("d", "Difference");
+    add("Difference", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("c", "CumulativeSum");
+    add("CumulativeSum", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("m", "MovingAverage");
+    b.set_param("Window", 6);
+    add("MovingAverage", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("m", "Mean");
+    add("Mean", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("d", "DotProduct");
+    add("DotProduct", std::move(b), {Shape::vector(40), Shape::vector(40)});
+  }
+  {
+    Block b("m", "MatrixMultiply");
+    add("MatrixMultiply", std::move(b),
+        {Shape::matrix(6, 5), Shape::matrix(5, 7)});
+  }
+  {
+    Block b("z", "DeadZone");
+    b.set_param("Start", -0.25).set_param("End", 0.25);
+    add("DeadZone", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("q", "Quantizer");
+    b.set_param("Interval", 0.5);
+    add("Quantizer", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("r", "RMS");
+    add("RMS", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("v", "Variance");
+    add("Variance", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("v", "VectorMax");
+    add("VectorMax", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("v", "VectorMin");
+    add("VectorMin", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("n", "Normalization");
+    add("Normalization", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("f", "Flip");
+    add("Flip", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("s", "CircularShift");
+    b.set_param("Shift", 13);
+    add("CircularShift", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("s", "CircularShift");
+    b.set_param("Shift", -7);
+    add("CircularShiftNeg", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("r", "Repeat");
+    b.set_param("Count", 3);
+    add("Repeat", std::move(b), {Shape::vector(13)});
+  }
+  {
+    Block b("c", "Correlation");
+    add("Correlation", std::move(b), {Shape::vector(30), Shape::vector(7)});
+  }
+  {
+    Block b("c", "Convolution2D");
+    add("Convolution2D", std::move(b),
+        {Shape::matrix(8, 9), Shape::matrix(3, 4)});
+  }
+  {
+    Block b("d", "UnitDelay");
+    b.set_param("InitialCondition", 2.5);
+    add("UnitDelay", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("d", "Delay");
+    b.set_param("DelaySamples", 3).set_param("InitialCondition", 1.0);
+    add("Delay", std::move(b), {Shape::vector(20)});
+  }
+  {
+    Block b("d", "DiscreteIntegrator");
+    b.set_param("Gain", 0.5).set_param("InitialCondition", 4.0);
+    add("DiscreteIntegrator", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("r", "RateLimiter");
+    b.set_param("Rate", 0.25);
+    add("RateLimiter", std::move(b), {Shape::vector(40)});
+  }
+  {
+    Block b("f", "IIRFilter");
+    b.set_param("B", Value(std::vector<double>{0.2, 0.3}))
+        .set_param("A", Value(std::vector<double>{1.0, -0.4}));
+    add("IIRFilter", std::move(b), {Shape::vector(40)});
+  }
+  return specs;
+}
+
+IndexSet random_demand(std::mt19937& rng, long long size) {
+  std::uniform_int_distribution<int> interval_count(1, 3);
+  std::uniform_int_distribution<long long> pos(0, size - 1);
+  IndexSet demand;
+  const int k = interval_count(rng);
+  for (int i = 0; i < k; ++i) {
+    const long long a = pos(rng);
+    const long long b = pos(rng);
+    demand.insert(std::min(a, b), std::max(a, b));
+  }
+  return demand;
+}
+
+class PullbackSoundness : public testing::TestWithParam<CaseSpec> {};
+
+TEST_P(PullbackSoundness, PoisonedInputsCannotLeak) {
+  const CaseSpec& spec = GetParam();
+  const BlockSemantics* sem = find(spec.block->type());
+  ASSERT_NE(sem, nullptr);
+
+  BlockInstance inst;
+  inst.block = spec.block.get();
+  inst.in_shapes = spec.in_shapes;
+  auto out_shapes = sem->infer(*spec.block, spec.in_shapes);
+  ASSERT_TRUE(out_shapes.is_ok()) << out_shapes.message();
+  inst.out_shapes = out_shapes.value();
+
+  std::mt19937 rng(0xF00D + std::hash<std::string>{}(spec.name));
+
+  // Emit one C function per demand case, then compile the batch once.
+  constexpr int kCases = 4;
+  std::vector<std::vector<IndexSet>> demands;
+  codegen::CWriter w;
+  w.raw("#include <math.h>");
+  w.raw("#include <string.h>");
+  for (int c = 0; c < kCases; ++c) {
+    std::vector<IndexSet> demand;
+    for (const Shape& s : inst.out_shapes) {
+      // Case 0 is always the full range; others are random subsets.
+      demand.push_back(c == 0 ? IndexSet::full(s.size())
+                              : random_demand(rng, s.size()));
+    }
+    demands.push_back(demand);
+
+    codegen::EmitContext ctx;
+    ctx.w = &w;
+    ctx.style = codegen::EmitStyle::kFrodo;
+    ctx.snippets = &codegen::SnippetLibrary::builtin();
+    ctx.block = spec.block.get();
+    ctx.in_shapes = inst.in_shapes;
+    ctx.out_shapes = inst.out_shapes;
+    ctx.out_ranges = demand;
+    ctx.uid = "t" + std::to_string(c);
+    std::string params;
+    for (std::size_t p = 0; p < inst.in_shapes.size(); ++p) {
+      ctx.in.push_back("in" + std::to_string(p));
+      params += (params.empty() ? "" : ", ") + std::string("const double* ") +
+                ctx.in.back();
+    }
+    for (std::size_t p = 0; p < inst.out_shapes.size(); ++p) {
+      ctx.out.push_back("out" + std::to_string(p));
+      params += (params.empty() ? "" : ", ") + std::string("double* ") +
+                ctx.out.back();
+    }
+    if (sem->has_state(*spec.block)) {
+      ctx.state = "state";
+      params += ", double* state";
+    }
+    w.open("void run_case_" + std::to_string(c) + "(" + params + ")");
+    auto status = sem->emit(ctx);
+    ASSERT_TRUE(status.is_ok()) << status.message();
+    w.close();
+    w.blank();
+  }
+
+  const std::string dir = testing::TempDir() + "/frodo_pullback";
+  std::filesystem::create_directories(dir);
+  const std::string stem =
+      dir + "/" + spec.name + "_" + std::to_string(rng());
+  ASSERT_TRUE(zip::write_file(stem + ".c", w.str()).is_ok()) << w.str();
+  const std::string cmd =
+      "gcc -O1 -shared -fPIC -o '" + stem + ".so' '" + stem + ".c' -lm 2>'" +
+      stem + ".log'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0)
+      << w.str() << "\n"
+      << zip::read_file(stem + ".log").value();
+  void* handle = dlopen((stem + ".so").c_str(), RTLD_NOW | RTLD_LOCAL);
+  ASSERT_NE(handle, nullptr) << dlerror();
+
+  // Prepare reference inputs/outputs via simulate().
+  std::uniform_real_distribution<double> value(-2.0, 2.0);
+  std::vector<std::vector<double>> inputs;
+  for (const Shape& s : inst.in_shapes) {
+    std::vector<double> v(static_cast<std::size_t>(s.size()));
+    for (double& x : v) x = value(rng);
+    inputs.push_back(std::move(v));
+  }
+  std::vector<double> state(
+      static_cast<std::size_t>(sem->state_size(inst)), 0.0);
+  if (!state.empty()) {
+    ASSERT_TRUE(sem->init_state(inst, state.data()).is_ok());
+  }
+
+  std::vector<std::vector<double>> reference;
+  {
+    std::vector<const double*> in_ptrs;
+    for (const auto& v : inputs) in_ptrs.push_back(v.data());
+    std::vector<double*> out_ptrs;
+    for (const Shape& s : inst.out_shapes) {
+      reference.emplace_back(static_cast<std::size_t>(s.size()), 0.0);
+    }
+    for (auto& v : reference) out_ptrs.push_back(v.data());
+    std::vector<double> sim_state = state;
+    ASSERT_TRUE(sem->simulate(inst, in_ptrs, out_ptrs,
+                              sim_state.empty() ? nullptr : sim_state.data())
+                    .is_ok());
+  }
+
+  for (int c = 0; c < kCases; ++c) {
+    auto fn = dlsym(handle, ("run_case_" + std::to_string(c)).c_str());
+    ASSERT_NE(fn, nullptr);
+
+    auto in_demand = sem->pullback(inst, demands[static_cast<std::size_t>(c)]);
+    ASSERT_TRUE(in_demand.is_ok()) << in_demand.message();
+
+    // Poison every input element the pullback did not declare.
+    std::vector<std::vector<double>> poisoned = inputs;
+    for (std::size_t p = 0; p < poisoned.size(); ++p) {
+      for (long long i = 0; i < static_cast<long long>(poisoned[p].size());
+           ++i) {
+        if (!in_demand.value()[p].contains(i))
+          poisoned[p][static_cast<std::size_t>(i)] =
+              std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+
+    // Call through a generic pointer-array trampoline.
+    std::vector<const double*> in_ptrs;
+    for (const auto& v : poisoned) in_ptrs.push_back(v.data());
+    std::vector<std::vector<double>> outputs;
+    for (const Shape& s : inst.out_shapes)
+      outputs.emplace_back(static_cast<std::size_t>(s.size()),
+                           std::numeric_limits<double>::quiet_NaN());
+    std::vector<double> run_state = state;
+
+    // Dispatch on arity (bounded: <=3 inputs, <=4 outputs, optional state).
+    using F1 = void (*)(const double*, double*);
+    using F2 = void (*)(const double*, const double*, double*);
+    using F3 =
+        void (*)(const double*, const double*, const double*, double*);
+    using F1S = void (*)(const double*, double*, double*);
+    using F1O4 = void (*)(const double*, double*, double*, double*, double*);
+    const std::size_t ni = in_ptrs.size();
+    const std::size_t no = outputs.size();
+    const bool has_state = !run_state.empty();
+    if (ni == 1 && no == 1 && !has_state) {
+      reinterpret_cast<F1>(fn)(in_ptrs[0], outputs[0].data());
+    } else if (ni == 2 && no == 1 && !has_state) {
+      reinterpret_cast<F2>(fn)(in_ptrs[0], in_ptrs[1], outputs[0].data());
+    } else if (ni == 3 && no == 1 && !has_state) {
+      reinterpret_cast<F3>(fn)(in_ptrs[0], in_ptrs[1], in_ptrs[2],
+                               outputs[0].data());
+    } else if (ni == 1 && no == 1 && has_state) {
+      reinterpret_cast<F1S>(fn)(in_ptrs[0], outputs[0].data(),
+                                run_state.data());
+    } else if (ni == 1 && no == 4 && !has_state) {
+      reinterpret_cast<F1O4>(fn)(in_ptrs[0], outputs[0].data(),
+                                 outputs[1].data(), outputs[2].data(),
+                                 outputs[3].data());
+    } else {
+      FAIL() << "unsupported arity in test dispatch: ni=" << ni
+             << " no=" << no;
+    }
+
+    // Every demanded element must match the full-input reference exactly.
+    for (std::size_t p = 0; p < outputs.size(); ++p) {
+      for (long long i = 0;
+           i < static_cast<long long>(outputs[p].size()); ++i) {
+        if (!demands[static_cast<std::size_t>(c)][p].contains(i)) continue;
+        const double got = outputs[p][static_cast<std::size_t>(i)];
+        const double want = reference[p][static_cast<std::size_t>(i)];
+        ASSERT_FALSE(std::isnan(got))
+            << spec.name << " case " << c << " out" << p << "[" << i
+            << "]: NaN leaked — pullback missed an input element\n"
+            << "demand: "
+            << demands[static_cast<std::size_t>(c)][p].to_string();
+        ASSERT_NEAR(got, want, 1e-12 * std::max(1.0, std::fabs(want)))
+            << spec.name << " case " << c << " out" << p << "[" << i << "]";
+      }
+    }
+  }
+  dlclose(handle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBlockTypes, PullbackSoundness, testing::ValuesIn(cases()),
+    [](const testing::TestParamInfo<CaseSpec>& info) {
+      return info.param.name;
+    });
+
+// Second invariant, analysis-only: pullback must be *monotone* — a larger
+// demand can never need fewer input elements.  Algorithm 1 merges child
+// demands with set union before pulling back, which is only sound when
+// pullback(A) is a subset of pullback(A union B).
+class PullbackMonotonicity : public testing::TestWithParam<CaseSpec> {};
+
+TEST_P(PullbackMonotonicity, LargerDemandNeedsNoFewerInputs) {
+  const CaseSpec& spec = GetParam();
+  const BlockSemantics* sem = find(spec.block->type());
+  ASSERT_NE(sem, nullptr);
+  BlockInstance inst;
+  inst.block = spec.block.get();
+  inst.in_shapes = spec.in_shapes;
+  auto out_shapes = sem->infer(*spec.block, spec.in_shapes);
+  ASSERT_TRUE(out_shapes.is_ok());
+  inst.out_shapes = out_shapes.value();
+
+  std::mt19937 rng(0xBEEF + std::hash<std::string>{}(spec.name));
+  for (int round = 0; round < 20; ++round) {
+    std::vector<IndexSet> small;
+    std::vector<IndexSet> large;
+    for (const Shape& s : inst.out_shapes) {
+      IndexSet a = random_demand(rng, s.size());
+      IndexSet b = a;
+      b.unite(random_demand(rng, s.size()));
+      small.push_back(std::move(a));
+      large.push_back(std::move(b));
+    }
+    auto in_small = sem->pullback(inst, small);
+    auto in_large = sem->pullback(inst, large);
+    ASSERT_TRUE(in_small.is_ok()) << in_small.message();
+    ASSERT_TRUE(in_large.is_ok()) << in_large.message();
+    ASSERT_EQ(in_small.value().size(), in_large.value().size());
+    for (std::size_t p = 0; p < in_small.value().size(); ++p) {
+      EXPECT_TRUE(in_large.value()[p].contains(in_small.value()[p]))
+          << spec.name << " input " << p << ": pullback("
+          << small[0].to_string() << ") = "
+          << in_small.value()[p].to_string() << " not within pullback("
+          << large[0].to_string() << ") = "
+          << in_large.value()[p].to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBlockTypes, PullbackMonotonicity, testing::ValuesIn(cases()),
+    [](const testing::TestParamInfo<CaseSpec>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace frodo::blocks

@@ -1,0 +1,189 @@
+#include "range/range_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+
+namespace frodo::range {
+namespace {
+
+using mapping::IndexSet;
+
+struct Analyzed {
+  model::Model model;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+};
+
+// Keeps model/graph/analysis alive together.
+std::unique_ptr<Analyzed> analyze_model(model::Model m) {
+  auto holder = std::make_unique<Analyzed>();
+  holder->model = std::move(m);
+  auto g = graph::DataflowGraph::build(holder->model);
+  EXPECT_TRUE(g.is_ok()) << g.message();
+  holder->graph = std::move(g).value();
+  auto a = blocks::analyze(holder->graph);
+  EXPECT_TRUE(a.is_ok()) << a.message();
+  holder->analysis = std::move(a).value();
+  return holder;
+}
+
+// The paper's running example (Figures 1 and 5): a 60-sample input, a full
+// convolution, and a Selector keeping [5, 54].
+model::Model figure5_model() {
+  model::Model m("Conv");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 60);
+  m.add_block("k", "Constant")
+      .set_param("Value",
+                 model::Value(std::vector<double>{1, 2, 3, 2, 1, 1, 1, 1, 1,
+                                                  1, 1}));  // 11 taps
+  m.add_block("conv", "Convolution");  // [70]
+  m.add_block("sel", "Selector").set_param("Start", 5).set_param("End", 54);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "conv", 0);
+  m.connect("k", 0, "conv", 1);
+  m.connect("conv", 0, "sel", 0);
+  m.connect("sel", 0, "out", 0);
+  return m;
+}
+
+TEST(RangeAnalysis, Figure5ConvolutionShrinksToSelectorWindow) {
+  auto h = analyze_model(figure5_model());
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+
+  const auto conv = static_cast<std::size_t>(h->model.find_block("conv"));
+  const auto sel = static_cast<std::size_t>(h->model.find_block("sel"));
+  // "FRODO determines the calculation range of actor 4 from [0, 59] to
+  //  [5, 54]" — here the conv output is [70] and the Selector demands
+  //  exactly its window.
+  EXPECT_EQ(r.value().out_ranges[conv][0].to_string(), "{[5,54]}");
+  EXPECT_EQ(r.value().out_ranges[sel][0].to_string(), "{[0,49]}");
+  EXPECT_TRUE(
+      r.value().optimizable(h->analysis, h->model.find_block("conv")));
+  EXPECT_FALSE(
+      r.value().optimizable(h->analysis, h->model.find_block("sel")));
+  EXPECT_GT(r.value().eliminated_elements(h->analysis), 0);
+
+  const std::string dump = r.value().to_string(h->analysis);
+  EXPECT_NE(dump.find("conv"), std::string::npos);
+  EXPECT_NE(dump.find("[optimizable]"), std::string::npos);
+}
+
+TEST(RangeAnalysis, DemandMergesAcrossConsumers) {
+  // Two selectors demanding different windows of one producer.
+  model::Model m("fan");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 100);
+  m.add_block("g", "Gain").set_param("Gain", 2.0);
+  m.add_block("s1", "Selector").set_param("Start", 10).set_param("End", 19);
+  m.add_block("s2", "Selector").set_param("Start", 50).set_param("End", 59);
+  m.add_block("o1", "Outport").set_param("Port", 1);
+  m.add_block("o2", "Outport").set_param("Port", 2);
+  m.connect("in", 0, "g", 0);
+  m.connect("g", 0, "s1", 0);
+  m.connect("g", 0, "s2", 0);
+  m.connect("s1", 0, "o1", 0);
+  m.connect("s2", 0, "o2", 0);
+
+  auto h = analyze_model(std::move(m));
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  const auto g = static_cast<std::size_t>(h->model.find_block("g"));
+  EXPECT_EQ(r.value().out_ranges[g][0].to_string(), "{[10,19],[50,59]}");
+}
+
+TEST(RangeAnalysis, DeadBlockGetsEmptyRange) {
+  model::Model m("dead");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 10);
+  m.add_block("used", "Gain").set_param("Gain", 1.0);
+  m.add_block("unused", "Gain").set_param("Gain", 2.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "used", 0);
+  m.connect("in", 0, "unused", 0);
+  m.connect("used", 0, "out", 0);
+
+  auto h = analyze_model(std::move(m));
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  const auto unused = static_cast<std::size_t>(h->model.find_block("unused"));
+  EXPECT_TRUE(r.value().out_ranges[unused][0].is_empty());
+  EXPECT_TRUE(r.value().optimizable(h->analysis, h->model.find_block("unused")));
+}
+
+TEST(RangeAnalysis, FeedbackLoopKeepsFullRanges) {
+  model::Model m("loop");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 16);
+  m.add_block("d", "UnitDelay")
+      .set_param("InitialCondition",
+                 model::Value(std::vector<double>(16, 0.0)));
+  m.add_block("mix", "Sum").set_param("Inputs", "++");
+  m.add_block("sel", "Selector").set_param("Start", 0).set_param("End", 3);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "mix", 0);
+  m.connect("d", 0, "mix", 1);
+  m.connect("mix", 0, "d", 0);  // loop
+  m.connect("mix", 0, "sel", 0);
+  m.connect("sel", 0, "out", 0);
+
+  auto h = analyze_model(std::move(m));
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  const auto mix = static_cast<std::size_t>(h->model.find_block("mix"));
+  const auto d = static_cast<std::size_t>(h->model.find_block("d"));
+  EXPECT_TRUE(r.value().cyclic[mix]);
+  EXPECT_TRUE(r.value().cyclic[d]);
+  EXPECT_EQ(r.value().out_ranges[mix][0], IndexSet::full(16));
+  EXPECT_EQ(r.value().out_ranges[d][0], IndexSet::full(16));
+  // The Inport upstream of the cycle still sees the full demand.
+  const auto in = static_cast<std::size_t>(h->model.find_block("in"));
+  EXPECT_EQ(r.value().out_ranges[in][0], IndexSet::full(16));
+}
+
+TEST(RangeAnalysis, LoosenWidensPartialRanges) {
+  auto h = analyze_model(figure5_model());
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok());
+  RangeAnalysis loose = loosen(h->analysis, r.value());
+  const auto conv = static_cast<std::size_t>(h->model.find_block("conv"));
+  EXPECT_EQ(loose.out_ranges[conv][0], IndexSet::full(70));
+}
+
+TEST(RangeAnalysis, FullRangesBaseline) {
+  auto h = analyze_model(figure5_model());
+  RangeAnalysis full = full_ranges(h->analysis);
+  const auto conv = static_cast<std::size_t>(h->model.find_block("conv"));
+  EXPECT_EQ(full.out_ranges[conv][0], IndexSet::full(70));
+  EXPECT_FALSE(full.optimizable(h->analysis, h->model.find_block("conv")));
+  EXPECT_EQ(full.eliminated_elements(h->analysis), 0);
+}
+
+TEST(RangeAnalysis, ChainsThroughMultipleTruncations) {
+  // conv -> selector -> selector: demands compose.
+  model::Model m("chain");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 100);
+  m.add_block("k", "Constant")
+      .set_param("Value", model::Value(std::vector<double>{1, 1, 1}));
+  m.add_block("conv", "Convolution");  // [102]
+  m.add_block("s1", "Selector").set_param("Start", 10).set_param("End", 89);
+  m.add_block("s2", "Selector").set_param("Start", 20).set_param("End", 39);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "conv", 0);
+  m.connect("k", 0, "conv", 1);
+  m.connect("conv", 0, "s1", 0);
+  m.connect("s1", 0, "s2", 0);
+  m.connect("s2", 0, "out", 0);
+
+  auto h = analyze_model(std::move(m));
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  const auto conv = static_cast<std::size_t>(h->model.find_block("conv"));
+  // s2 demands [20,39] of s1, i.e. [30,49] of conv.
+  EXPECT_EQ(r.value().out_ranges[conv][0].to_string(), "{[30,49]}");
+  // And the input demand is the window dilated by the kernel: [28,49].
+  const auto in = static_cast<std::size_t>(h->model.find_block("in"));
+  EXPECT_EQ(r.value().out_ranges[in][0].to_string(), "{[28,49]}");
+}
+
+}  // namespace
+}  // namespace frodo::range

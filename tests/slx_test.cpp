@@ -1,0 +1,135 @@
+#include "slx/slx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmodels/benchmodels.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo::slx {
+namespace {
+
+model::Model sample_model() {
+  model::Model m("Conv");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 60);
+  m.add_block("k", "Constant")
+      .set_param("Value", model::Value(std::vector<double>{0.5, 1.0, 0.5}));
+  m.add_block("conv", "Convolution");
+  m.add_block("sel", "Selector").set_param("Start", 5).set_param("End", 54);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "conv", 0);
+  m.connect("k", 0, "conv", 1);
+  m.connect("conv", 0, "sel", 0);
+  m.connect("sel", 0, "out", 0);
+  return m;
+}
+
+void expect_same_structure(const model::Model& a, const model::Model& b) {
+  ASSERT_EQ(a.block_count(), b.block_count());
+  for (int i = 0; i < a.block_count(); ++i) {
+    EXPECT_EQ(a.block(i).name(), b.block(i).name());
+    EXPECT_EQ(a.block(i).type(), b.block(i).type());
+    EXPECT_EQ(a.block(i).params().size(), b.block(i).params().size());
+    for (const auto& [key, value] : a.block(i).params()) {
+      ASSERT_TRUE(b.block(i).has_param(key)) << key;
+      EXPECT_TRUE(value == b.block(i).param(key).value())
+          << a.block(i).name() << "." << key;
+    }
+  }
+  ASSERT_EQ(a.connections().size(), b.connections().size());
+  for (std::size_t i = 0; i < a.connections().size(); ++i) {
+    EXPECT_TRUE(a.connections()[i].src == b.connections()[i].src);
+    EXPECT_TRUE(a.connections()[i].dst == b.connections()[i].dst);
+  }
+}
+
+TEST(Slx, XmlRoundTrip) {
+  const model::Model m = sample_model();
+  auto back = from_xml(to_xml(m));
+  ASSERT_TRUE(back.is_ok()) << back.message();
+  expect_same_structure(m, back.value());
+  EXPECT_EQ(back.value().name(), "Conv");
+}
+
+TEST(Slx, PackageRoundTrip) {
+  const model::Model m = sample_model();
+  auto back = from_package_bytes(to_package_bytes(m));
+  ASSERT_TRUE(back.is_ok()) << back.message();
+  expect_same_structure(m, back.value());
+}
+
+TEST(Slx, PackageHasStandardParts) {
+  auto archive = zip::Archive::parse(to_package_bytes(sample_model()));
+  ASSERT_TRUE(archive.is_ok());
+  EXPECT_NE(archive.value().find("[Content_Types].xml"), nullptr);
+  EXPECT_NE(archive.value().find("metadata/coreProperties.xml"), nullptr);
+  EXPECT_NE(archive.value().find("simulink/blockdiagram.xml"), nullptr);
+}
+
+TEST(Slx, FileRoundTripBothFormats) {
+  const model::Model m = sample_model();
+  for (const char* name : {"rt.slxz", "rt.xml"}) {
+    const std::string path = testing::TempDir() + "/" + name;
+    ASSERT_TRUE(save(m, path).is_ok());
+    auto back = load(path);
+    ASSERT_TRUE(back.is_ok()) << back.message();
+    expect_same_structure(m, back.value());
+  }
+}
+
+TEST(Slx, SubsystemsSerializeRecursively) {
+  model::Model m("outer");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  model::Block& sub = m.add_block("sub", "Subsystem");
+  model::Model& body = sub.make_subsystem();
+  body.add_block("in", "Inport").set_param("Port", 1);
+  body.add_block("g", "Gain").set_param("Gain", 2.0);
+  body.add_block("out", "Outport").set_param("Port", 1);
+  body.connect("in", 0, "g", 0);
+  body.connect("g", 0, "out", 0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sub", 0);
+  m.connect("sub", 0, "out", 0);
+
+  auto back = from_xml(to_xml(m));
+  ASSERT_TRUE(back.is_ok()) << back.message();
+  const model::Block& sub_back =
+      back.value().block(back.value().find_block("sub"));
+  ASSERT_TRUE(sub_back.is_subsystem());
+  ASSERT_NE(sub_back.subsystem(), nullptr);
+  EXPECT_EQ(sub_back.subsystem()->block_count(), 3);
+  EXPECT_EQ(back.value().deep_block_count(), 6);
+}
+
+TEST(Slx, RejectsMalformedDocuments) {
+  EXPECT_FALSE(from_xml("<NotAModel/>").is_ok());
+  EXPECT_FALSE(from_xml("<Model><Block/></Model>").is_ok());
+  EXPECT_FALSE(
+      from_xml("<Model><Line><Src Block=\"x\" Port=\"1\"/></Line></Model>")
+          .is_ok());
+  EXPECT_FALSE(from_package_bytes("garbage").is_ok());
+}
+
+TEST(Slx, RejectsLineToUnknownBlock) {
+  const std::string xml =
+      "<Model Name=\"m\"><Block Name=\"a\" Type=\"Gain\"/>"
+      "<Line><Src Block=\"a\" Port=\"1\"/><Dst Block=\"ghost\" Port=\"1\"/>"
+      "</Line></Model>";
+  auto result = from_xml(xml);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.message().find("ghost"), std::string::npos);
+}
+
+TEST(Slx, AllBenchmarkModelsRoundTripThroughPackages) {
+  for (const auto& bench : benchmodels::all_models()) {
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok()) << bench.name << ": " << m.message();
+    auto back = from_package_bytes(to_package_bytes(m.value()));
+    ASSERT_TRUE(back.is_ok()) << bench.name << ": " << back.message();
+    expect_same_structure(m.value(), back.value());
+    EXPECT_EQ(back.value().deep_block_count(),
+              m.value().deep_block_count());
+  }
+}
+
+}  // namespace
+}  // namespace frodo::slx

@@ -1,0 +1,116 @@
+#include "support/status.hpp"
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frodo {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.message(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::error("boom");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(Status, WithContextPrepends) {
+  Status s = Status::error("boom").with_context("outer");
+  EXPECT_EQ(s.message(), "outer: boom");
+  EXPECT_TRUE(Status::ok().with_context("outer").is_ok());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Result<int>::error("bad");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.message(), "bad");
+}
+
+Result<int> parse_or_fail(bool ok) {
+  if (!ok) return Result<int>::error("inner");
+  return 41;
+}
+
+Result<int> uses_macro(bool ok) {
+  FRODO_ASSIGN_OR_RETURN(int v, parse_or_fail(ok));
+  return v + 1;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(uses_macro(true).value(), 42);
+  EXPECT_EQ(uses_macro(false).message(), "inner");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("  \t\n "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a%sb%s", "%s", "X"), "aXbX");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -2.5, 1.0 / 3.0, 1e-20, 123456789.123456789}) {
+    double back = 0;
+    ASSERT_TRUE(parse_double(format_double(v), &back)) << format_double(v);
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+  double v;
+  EXPECT_FALSE(parse_double("", &v));
+  EXPECT_FALSE(parse_double("1.5x", &v));
+  EXPECT_TRUE(parse_double(" 2.5 ", &v));
+  EXPECT_EQ(v, 2.5);
+}
+
+TEST(Strings, ParseInt) {
+  long long v;
+  EXPECT_TRUE(parse_int("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(parse_int("4.2", &v));
+  EXPECT_FALSE(parse_int("", &v));
+}
+
+TEST(Strings, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("Conv 2-D"), "Conv_2_D");
+  EXPECT_EQ(sanitize_identifier("9lives"), "b9lives");
+  EXPECT_EQ(sanitize_identifier(""), "b");
+  EXPECT_TRUE(is_c_identifier(sanitize_identifier("a/b/c")));
+}
+
+TEST(Strings, IsCIdentifier) {
+  EXPECT_TRUE(is_c_identifier("abc_123"));
+  EXPECT_FALSE(is_c_identifier("1abc"));
+  EXPECT_FALSE(is_c_identifier("a-b"));
+  EXPECT_FALSE(is_c_identifier(""));
+}
+
+}  // namespace
+}  // namespace frodo

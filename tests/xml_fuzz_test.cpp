@@ -1,0 +1,118 @@
+// Robustness fuzzing: the XML/ZIP/model parsers must never crash or hang on
+// malformed input — every outcome is either a parsed document or a clean
+// Status error.  (Model files come from external tools; the parse path is
+// attack surface.)
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "slx/slx.hpp"
+#include "xml/xml.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo {
+namespace {
+
+std::string sample_xml() {
+  model::Model m("Fuzz");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 8);
+  m.add_block("g", "Gain").set_param("Gain", 2.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "g", 0);
+  m.connect("g", 0, "out", 0);
+  return slx::to_xml(m);
+}
+
+class FuzzSeeds : public testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzSeeds, MutatedXmlNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  std::string base = sample_xml();
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> mutations(1, 12);
+
+  for (int round = 0; round < 40; ++round) {
+    std::string mutated = base;
+    const int count = mutations(rng);
+    for (int i = 0; i < count; ++i) {
+      switch (byte(rng) % 4) {
+        case 0:  // flip a byte
+          mutated[pos(rng) % mutated.size()] =
+              static_cast<char>(byte(rng));
+          break;
+        case 1:  // delete a span
+          mutated.erase(pos(rng) % mutated.size(),
+                        static_cast<std::size_t>(byte(rng) % 16));
+          break;
+        case 2:  // duplicate a span
+          mutated.insert(pos(rng) % mutated.size(),
+                         mutated.substr(pos(rng) % mutated.size(),
+                                        static_cast<std::size_t>(byte(rng) %
+                                                                 16)));
+          break;
+        default:  // insert noise
+          mutated.insert(pos(rng) % mutated.size(), 1,
+                         static_cast<char>(byte(rng)));
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+    // Must return, not crash; success or a structured error are both fine.
+    auto doc = xml::parse(mutated);
+    if (!doc.is_ok()) {
+      EXPECT_FALSE(doc.message().empty());
+    }
+    auto model = slx::from_xml(mutated);
+    if (!model.is_ok()) {
+      EXPECT_FALSE(model.message().empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedZipNeverCrashes) {
+  std::mt19937 rng(GetParam() ^ 0x5A5Au);
+  model::Model m("Fuzz");
+  m.add_block("in", "Inport").set_param("Port", 1);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "out", 0);
+  std::string base = slx::to_package_bytes(m);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  for (int round = 0; round < 40; ++round) {
+    std::string mutated = base;
+    for (int i = 0; i < 8; ++i)
+      mutated[pos(rng)] = static_cast<char>(byte(rng));
+    auto archive = zip::Archive::parse(mutated);
+    if (!archive.is_ok()) {
+      EXPECT_FALSE(archive.message().empty());
+    }
+    auto model = slx::from_package_bytes(mutated);
+    if (!model.is_ok()) {
+      EXPECT_FALSE(model.message().empty());
+    }
+  }
+}
+
+TEST(FuzzCorners, PathologicalDocuments) {
+  // Deeply nested elements must not blow the stack unreasonably fast and
+  // must parse or fail cleanly.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "<a>";
+  for (int i = 0; i < 2000; ++i) deep += "</a>";
+  auto doc = xml::parse(deep);
+  EXPECT_TRUE(doc.is_ok());
+
+  EXPECT_FALSE(xml::parse(std::string(100, '<')).is_ok());
+  EXPECT_FALSE(xml::parse("<a b=>").is_ok());
+  EXPECT_FALSE(xml::parse("<a b='1' <c/>").is_ok());
+  EXPECT_FALSE(xml::parse("<a>&bogus;</a>").is_ok());
+  EXPECT_FALSE(xml::parse("<a>&#xZZ;</a>").is_ok());
+  EXPECT_TRUE(xml::parse("<a>&#x41;</a>").is_ok());
+  EXPECT_FALSE(slx::from_package_bytes(std::string(1000, 'P')).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace frodo

@@ -1,0 +1,95 @@
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frodo::xml {
+namespace {
+
+TEST(XmlParse, SimpleElement) {
+  auto doc = parse("<a/>");
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  EXPECT_EQ(doc.value().root->name(), "a");
+}
+
+TEST(XmlParse, AttributesAndText) {
+  auto doc = parse(R"(<p name="x" v='1'>hello</p>)");
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const Element& root = *doc.value().root;
+  EXPECT_EQ(root.attr("name"), "x");
+  EXPECT_EQ(root.attr("v"), "1");
+  EXPECT_EQ(root.text(), "hello");
+  EXPECT_EQ(root.attr("missing"), "");
+}
+
+TEST(XmlParse, NestedChildren) {
+  auto doc = parse("<m><b n=\"1\"/><b n=\"2\"/><l/></m>");
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const Element& root = *doc.value().root;
+  EXPECT_EQ(root.children().size(), 3u);
+  EXPECT_EQ(root.find_children("b").size(), 2u);
+  ASSERT_NE(root.find_child("l"), nullptr);
+  EXPECT_EQ(root.find_child("zzz"), nullptr);
+}
+
+TEST(XmlParse, DeclarationAndComments) {
+  auto doc = parse(
+      "<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner -->x</a>\n");
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  EXPECT_EQ(doc.value().root->text(), "x");
+}
+
+TEST(XmlParse, Entities) {
+  auto doc = parse("<a v=\"&lt;&amp;&gt;\">&quot;&apos;&#65;</a>");
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  EXPECT_EQ(doc.value().root->attr("v"), "<&>");
+  EXPECT_EQ(doc.value().root->text(), "\"'A");
+}
+
+TEST(XmlParse, Cdata) {
+  auto doc = parse("<a><![CDATA[1 < 2 && 3 > 2]]></a>");
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  EXPECT_EQ(doc.value().root->text(), "1 < 2 && 3 > 2");
+}
+
+TEST(XmlParse, ErrorsCarryPosition) {
+  auto doc = parse("<a>\n  <b></c>\n</a>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.message().find("2:"), std::string::npos) << doc.message();
+  EXPECT_NE(doc.message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParse, RejectsTrailingContent) {
+  EXPECT_FALSE(parse("<a/><b/>").is_ok());
+  EXPECT_FALSE(parse("<a>").is_ok());
+  EXPECT_FALSE(parse("").is_ok());
+}
+
+TEST(XmlWrite, RoundTrip) {
+  Element root("Model");
+  root.set_attr("Name", "m<1>");
+  Element& block = root.add_child("Block");
+  block.set_attr("Name", "a&b");
+  block.set_text("1 2 3");
+  root.add_child("Empty");
+
+  const std::string text = write(root);
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.message() << "\n" << text;
+  EXPECT_EQ(doc.value().root->attr("Name"), "m<1>");
+  EXPECT_EQ(doc.value().root->find_child("Block")->attr("Name"), "a&b");
+  EXPECT_EQ(doc.value().root->find_child("Block")->text(), "1 2 3");
+}
+
+TEST(XmlWrite, EscapesEverything) {
+  EXPECT_EQ(escape("<a b=\"c\" & 'd'>"),
+            "&lt;a b=&quot;c&quot; &amp; &apos;d&apos;&gt;");
+}
+
+TEST(XmlParse, DuplicateAttributeFirstWins) {
+  auto doc = parse("<a x=\"1\" x=\"2\"/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().root->attr("x"), "1");
+}
+
+}  // namespace
+}  // namespace frodo::xml

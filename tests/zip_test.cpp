@@ -1,0 +1,87 @@
+#include "zip/zip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace frodo::zip {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 ("check" value for "123456789").
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Archive, RoundTrip) {
+  Archive a;
+  a.add("dir/file.xml", "<x/>");
+  a.add("other.txt", std::string(1000, 'z'));
+  const std::string bytes = a.serialize();
+
+  auto parsed = Archive::parse(bytes);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  EXPECT_EQ(parsed.value().entries().size(), 2u);
+  ASSERT_NE(parsed.value().find("dir/file.xml"), nullptr);
+  EXPECT_EQ(parsed.value().find("dir/file.xml")->data, "<x/>");
+  EXPECT_EQ(parsed.value().find("other.txt")->data.size(), 1000u);
+  EXPECT_EQ(parsed.value().find("nope"), nullptr);
+}
+
+TEST(Archive, AddReplacesExisting) {
+  Archive a;
+  a.add("f", "one");
+  a.add("f", "two");
+  EXPECT_EQ(a.entries().size(), 1u);
+  EXPECT_EQ(a.find("f")->data, "two");
+}
+
+TEST(Archive, EmptyArchiveRoundTrips) {
+  Archive a;
+  auto parsed = Archive::parse(a.serialize());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  EXPECT_TRUE(parsed.value().entries().empty());
+}
+
+TEST(Archive, RejectsGarbage) {
+  EXPECT_FALSE(Archive::parse("not a zip").is_ok());
+  EXPECT_FALSE(Archive::parse("").is_ok());
+}
+
+TEST(Archive, DetectsCorruption) {
+  Archive a;
+  a.add("f", "payload-payload-payload");
+  std::string bytes = a.serialize();
+  // Flip a byte inside the stored payload (after the 30-byte local header
+  // and 1-byte name).
+  bytes[35] = static_cast<char>(bytes[35] ^ 0xFF);
+  auto parsed = Archive::parse(bytes);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.message().find("CRC"), std::string::npos)
+      << parsed.message();
+}
+
+TEST(Archive, ExternalUnzipCanRead) {
+  // Our STORE archives should be readable by any conforming tool.
+  if (std::system("command -v unzip > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "unzip not installed";
+  Archive a;
+  a.add("hello.txt", "hello zip\n");
+  const std::string path = testing::TempDir() + "/frodo_ziptest.zip";
+  ASSERT_TRUE(write_file(path, a.serialize()).is_ok());
+  const std::string cmd = "unzip -t '" + path + "' > /dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+}
+
+TEST(Files, ReadWriteRoundTrip) {
+  const std::string path = testing::TempDir() + "/frodo_file_rt.bin";
+  const std::string payload("\x00\x01\xFFhello", 8);
+  ASSERT_TRUE(write_file(path, payload).is_ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), payload);
+  EXPECT_FALSE(read_file("/nonexistent/nope").is_ok());
+}
+
+}  // namespace
+}  // namespace frodo::zip
