@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfrodo_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_filter.dir/audio_filter.cpp.o"
+  "CMakeFiles/audio_filter.dir/audio_filter.cpp.o.d"
+  "audio_filter"
+  "audio_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

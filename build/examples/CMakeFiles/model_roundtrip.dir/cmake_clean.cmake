@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_roundtrip.dir/model_roundtrip.cpp.o"
+  "CMakeFiles/model_roundtrip.dir/model_roundtrip.cpp.o.d"
+  "model_roundtrip"
+  "model_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

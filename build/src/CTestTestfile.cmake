@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("xml")
+subdirs("zip")
+subdirs("model")
+subdirs("slx")
+subdirs("mapping")
+subdirs("graph")
+subdirs("blocks")
+subdirs("range")
+subdirs("interp")
+subdirs("codegen")
+subdirs("jit")
+subdirs("benchmodels")
+subdirs("cli")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmodels/audio_process.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/audio_process.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/audio_process.cpp.o.d"
+  "/root/repo/src/benchmodels/back.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/back.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/back.cpp.o.d"
+  "/root/repo/src/benchmodels/benchmodels.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/benchmodels.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/benchmodels.cpp.o.d"
+  "/root/repo/src/benchmodels/decryption.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/decryption.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/decryption.cpp.o.d"
+  "/root/repo/src/benchmodels/highpass.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/highpass.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/highpass.cpp.o.d"
+  "/root/repo/src/benchmodels/ht.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/ht.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/ht.cpp.o.d"
+  "/root/repo/src/benchmodels/kalman.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/kalman.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/kalman.cpp.o.d"
+  "/root/repo/src/benchmodels/maintenance.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/maintenance.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/maintenance.cpp.o.d"
+  "/root/repo/src/benchmodels/manufacture.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/manufacture.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/manufacture.cpp.o.d"
+  "/root/repo/src/benchmodels/running_diff.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/running_diff.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/running_diff.cpp.o.d"
+  "/root/repo/src/benchmodels/simpson.cpp" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/simpson.cpp.o" "gcc" "src/benchmodels/CMakeFiles/frodo_benchmodels.dir/simpson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/frodo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/slx/CMakeFiles/frodo_slx.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/frodo_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/frodo_zip.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/frodo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_benchmodels.dir/audio_process.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/audio_process.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/back.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/back.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/benchmodels.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/benchmodels.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/decryption.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/decryption.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/highpass.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/highpass.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/ht.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/ht.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/kalman.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/kalman.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/maintenance.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/maintenance.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/manufacture.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/manufacture.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/running_diff.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/running_diff.cpp.o.d"
+  "CMakeFiles/frodo_benchmodels.dir/simpson.cpp.o"
+  "CMakeFiles/frodo_benchmodels.dir/simpson.cpp.o.d"
+  "libfrodo_benchmodels.a"
+  "libfrodo_benchmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_benchmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/analysis.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/analysis.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/analysis.cpp.o.d"
+  "/root/repo/src/blocks/blocks_conv2d.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_conv2d.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_conv2d.cpp.o.d"
+  "/root/repo/src/blocks/blocks_dsp.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_dsp.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_dsp.cpp.o.d"
+  "/root/repo/src/blocks/blocks_elementwise.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_elementwise.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_elementwise.cpp.o.d"
+  "/root/repo/src/blocks/blocks_extended.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_extended.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_extended.cpp.o.d"
+  "/root/repo/src/blocks/blocks_sources.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_sources.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_sources.cpp.o.d"
+  "/root/repo/src/blocks/blocks_state.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_state.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_state.cpp.o.d"
+  "/root/repo/src/blocks/blocks_truncation.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_truncation.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/blocks_truncation.cpp.o.d"
+  "/root/repo/src/blocks/emit_util.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/emit_util.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/emit_util.cpp.o.d"
+  "/root/repo/src/blocks/semantics.cpp" "src/blocks/CMakeFiles/frodo_blocks.dir/semantics.cpp.o" "gcc" "src/blocks/CMakeFiles/frodo_blocks.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/frodo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/frodo_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/frodo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/frodo_cgcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/frodo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

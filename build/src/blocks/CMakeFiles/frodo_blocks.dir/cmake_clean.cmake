@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_blocks.dir/analysis.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/analysis.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_conv2d.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_conv2d.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_dsp.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_dsp.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_elementwise.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_elementwise.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_extended.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_extended.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_sources.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_sources.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_state.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_state.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/blocks_truncation.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/blocks_truncation.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/emit_util.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/emit_util.cpp.o.d"
+  "CMakeFiles/frodo_blocks.dir/semantics.cpp.o"
+  "CMakeFiles/frodo_blocks.dir/semantics.cpp.o.d"
+  "libfrodo_blocks.a"
+  "libfrodo_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

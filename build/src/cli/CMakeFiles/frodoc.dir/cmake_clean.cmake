@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodoc.dir/frodoc.cpp.o"
+  "CMakeFiles/frodoc.dir/frodoc.cpp.o.d"
+  "frodoc"
+  "frodoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

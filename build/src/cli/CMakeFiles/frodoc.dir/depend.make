@@ -1,0 +1,2 @@
+# Empty dependencies file for frodoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cwriter.cpp" "src/codegen/CMakeFiles/frodo_cgcore.dir/cwriter.cpp.o" "gcc" "src/codegen/CMakeFiles/frodo_cgcore.dir/cwriter.cpp.o.d"
+  "/root/repo/src/codegen/emit_context.cpp" "src/codegen/CMakeFiles/frodo_cgcore.dir/emit_context.cpp.o" "gcc" "src/codegen/CMakeFiles/frodo_cgcore.dir/emit_context.cpp.o.d"
+  "/root/repo/src/codegen/snippet.cpp" "src/codegen/CMakeFiles/frodo_cgcore.dir/snippet.cpp.o" "gcc" "src/codegen/CMakeFiles/frodo_cgcore.dir/snippet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/frodo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/frodo_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/frodo_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

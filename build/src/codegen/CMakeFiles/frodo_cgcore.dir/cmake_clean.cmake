@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_cgcore.dir/cwriter.cpp.o"
+  "CMakeFiles/frodo_cgcore.dir/cwriter.cpp.o.d"
+  "CMakeFiles/frodo_cgcore.dir/emit_context.cpp.o"
+  "CMakeFiles/frodo_cgcore.dir/emit_context.cpp.o.d"
+  "CMakeFiles/frodo_cgcore.dir/snippet.cpp.o"
+  "CMakeFiles/frodo_cgcore.dir/snippet.cpp.o.d"
+  "libfrodo_cgcore.a"
+  "libfrodo_cgcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_cgcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for frodo_cgcore.
+# This may be replaced when dependencies are built.

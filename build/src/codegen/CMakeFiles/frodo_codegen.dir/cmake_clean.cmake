@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_codegen.dir/generator.cpp.o"
+  "CMakeFiles/frodo_codegen.dir/generator.cpp.o.d"
+  "libfrodo_codegen.a"
+  "libfrodo_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrodo_codegen.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_graph.dir/graph.cpp.o"
+  "CMakeFiles/frodo_graph.dir/graph.cpp.o.d"
+  "libfrodo_graph.a"
+  "libfrodo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/frodo_interp.dir/interpreter.cpp.o.d"
+  "libfrodo_interp.a"
+  "libfrodo_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_jit.dir/jit.cpp.o"
+  "CMakeFiles/frodo_jit.dir/jit.cpp.o.d"
+  "libfrodo_jit.a"
+  "libfrodo_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_mapping.dir/index_set.cpp.o"
+  "CMakeFiles/frodo_mapping.dir/index_set.cpp.o.d"
+  "libfrodo_mapping.a"
+  "libfrodo_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

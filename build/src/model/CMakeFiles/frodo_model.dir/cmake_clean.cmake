@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_model.dir/flatten.cpp.o"
+  "CMakeFiles/frodo_model.dir/flatten.cpp.o.d"
+  "CMakeFiles/frodo_model.dir/model.cpp.o"
+  "CMakeFiles/frodo_model.dir/model.cpp.o.d"
+  "CMakeFiles/frodo_model.dir/shape.cpp.o"
+  "CMakeFiles/frodo_model.dir/shape.cpp.o.d"
+  "CMakeFiles/frodo_model.dir/value.cpp.o"
+  "CMakeFiles/frodo_model.dir/value.cpp.o.d"
+  "libfrodo_model.a"
+  "libfrodo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_range.dir/range_analysis.cpp.o"
+  "CMakeFiles/frodo_range.dir/range_analysis.cpp.o.d"
+  "libfrodo_range.a"
+  "libfrodo_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_slx.dir/slx.cpp.o"
+  "CMakeFiles/frodo_slx.dir/slx.cpp.o.d"
+  "libfrodo_slx.a"
+  "libfrodo_slx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_slx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

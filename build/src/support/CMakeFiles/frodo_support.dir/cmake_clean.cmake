@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_support.dir/strings.cpp.o"
+  "CMakeFiles/frodo_support.dir/strings.cpp.o.d"
+  "libfrodo_support.a"
+  "libfrodo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

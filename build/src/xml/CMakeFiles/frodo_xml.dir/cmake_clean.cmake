@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_xml.dir/xml.cpp.o"
+  "CMakeFiles/frodo_xml.dir/xml.cpp.o.d"
+  "libfrodo_xml.a"
+  "libfrodo_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frodo_zip.dir/zip.cpp.o"
+  "CMakeFiles/frodo_zip.dir/zip.cpp.o.d"
+  "libfrodo_zip.a"
+  "libfrodo_zip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frodo_zip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmodel_ranges.dir/benchmodel_ranges_test.cpp.o"
+  "CMakeFiles/test_benchmodel_ranges.dir/benchmodel_ranges_test.cpp.o.d"
+  "test_benchmodel_ranges"
+  "test_benchmodel_ranges.pdb"
+  "test_benchmodel_ranges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmodel_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

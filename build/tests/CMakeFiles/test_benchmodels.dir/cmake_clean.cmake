@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmodels.dir/benchmodels_test.cpp.o"
+  "CMakeFiles/test_benchmodels.dir/benchmodels_test.cpp.o.d"
+  "test_benchmodels"
+  "test_benchmodels.pdb"
+  "test_benchmodels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

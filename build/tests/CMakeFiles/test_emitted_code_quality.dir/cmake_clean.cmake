@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emitted_code_quality.dir/emitted_code_quality_test.cpp.o"
+  "CMakeFiles/test_emitted_code_quality.dir/emitted_code_quality_test.cpp.o.d"
+  "test_emitted_code_quality"
+  "test_emitted_code_quality.pdb"
+  "test_emitted_code_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emitted_code_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

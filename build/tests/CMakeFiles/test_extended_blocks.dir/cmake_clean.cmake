@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_blocks.dir/extended_blocks_test.cpp.o"
+  "CMakeFiles/test_extended_blocks.dir/extended_blocks_test.cpp.o.d"
+  "test_extended_blocks"
+  "test_extended_blocks.pdb"
+  "test_extended_blocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/test_graph.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmodels/CMakeFiles/frodo_benchmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/frodo_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/frodo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/frodo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/range/CMakeFiles/frodo_range.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/frodo_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/frodo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/frodo_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/slx/CMakeFiles/frodo_slx.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/frodo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/frodo_zip.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/frodo_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/frodo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/frodo_cgcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

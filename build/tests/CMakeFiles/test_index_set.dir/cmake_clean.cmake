@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_set.dir/index_set_test.cpp.o"
+  "CMakeFiles/test_index_set.dir/index_set_test.cpp.o.d"
+  "test_index_set"
+  "test_index_set.pdb"
+  "test_index_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

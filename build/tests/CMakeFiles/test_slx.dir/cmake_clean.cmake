@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slx.dir/slx_test.cpp.o"
+  "CMakeFiles/test_slx.dir/slx_test.cpp.o.d"
+  "test_slx"
+  "test_slx.pdb"
+  "test_slx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_zip[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_slx[1]_include.cmake")
+include("/root/repo/build/tests/test_index_set[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_blocks[1]_include.cmake")
+include("/root/repo/build/tests/test_range[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmodels[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_pullback_property[1]_include.cmake")
+include("/root/repo/build/tests/test_extended_blocks[1]_include.cmake")
+include("/root/repo/build/tests/test_jit[1]_include.cmake")
+include("/root/repo/build/tests/test_xml_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmodel_ranges[1]_include.cmake")
+include("/root/repo/build/tests/test_emitted_code_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
