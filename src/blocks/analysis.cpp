@@ -9,6 +9,79 @@ namespace frodo::blocks {
 
 namespace {
 
+// Conservative stand-in for an unknown block type (graceful degradation):
+// shaped like what is actually connected, pulls back *full* input demand
+// (always sound), and copies its first input through to every output — so a
+// model containing a block we cannot map still analyzes, simulates, and
+// generates compilable full-range code.
+class FallbackSemantics final : public BlockSemantics {
+ public:
+  FallbackSemantics(std::string type, int inputs, int outputs)
+      : type_(std::move(type)),
+        inputs_(inputs),
+        outputs_(outputs < 1 ? 1 : outputs) {}
+
+  std::string_view type() const override { return type_; }
+  int input_count(const model::Block&) const override { return inputs_; }
+  int output_count(const model::Block&) const override { return outputs_; }
+
+  Result<std::vector<model::Shape>> infer(
+      const model::Block&,
+      const std::vector<model::Shape>& in) const override {
+    const model::Shape s = in.empty() ? model::Shape::scalar() : in[0];
+    return std::vector<model::Shape>(static_cast<std::size_t>(outputs_), s);
+  }
+
+  Result<std::vector<model::Shape>> infer_early(
+      const model::Block& block) const override {
+    if (inputs_ > 0) return std::vector<model::Shape>{};
+    return infer(block, {});
+  }
+
+  Result<std::vector<mapping::IndexSet>> pullback(
+      const BlockInstance& inst,
+      const std::vector<mapping::IndexSet>&) const override {
+    std::vector<mapping::IndexSet> in_demand;
+    in_demand.reserve(inst.in_shapes.size());
+    for (const model::Shape& s : inst.in_shapes)
+      in_demand.push_back(mapping::IndexSet::full(s.size()));
+    return in_demand;
+  }
+
+  Status simulate(const BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out,
+                  double*) const override {
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      const long long n = inst.out_shapes[p].size();
+      for (long long i = 0; i < n; ++i)
+        out[p][i] = in.empty() ? 0.0 : in[0][i];
+    }
+    return Status::ok();
+  }
+
+  Status emit(codegen::EmitContext& ctx) const override {
+    for (std::size_t p = 0; p < ctx.out.size(); ++p) {
+      const long long n = ctx.out_shapes[p].size();
+      ctx.w->comment("unknown block type '" + type_ +
+                     "': identity pass-through (degraded)");
+      ctx.w->open("for (long " + ctx.uid + "i = 0; " + ctx.uid + "i < " +
+                  std::to_string(n) + "; ++" + ctx.uid + "i)");
+      ctx.w->line(ctx.out[p] + "[" + ctx.uid + "i] = " +
+                  (ctx.in.empty() ? "0.0"
+                                  : ctx.in[0] + "[" + ctx.uid + "i]") +
+                  ";");
+      ctx.w->close();
+    }
+    return Status::ok();
+  }
+
+ private:
+  std::string type_;
+  int inputs_;
+  int outputs_;
+};
+
 Status check_arity(const graph::DataflowGraph& graph, model::BlockId id,
                    const BlockSemantics& sem) {
   const model::Block& block = graph.model().block(id);
@@ -41,7 +114,8 @@ Status check_arity(const graph::DataflowGraph& graph, model::BlockId id,
 
 }  // namespace
 
-Result<Analysis> analyze(const graph::DataflowGraph& graph) {
+Result<Analysis> analyze(const graph::DataflowGraph& graph,
+                         const AnalyzeOptions& options) {
   Analysis a;
   a.graph = &graph;
   const int n = graph.block_count();
@@ -53,10 +127,27 @@ Result<Analysis> analyze(const graph::DataflowGraph& graph) {
   for (model::BlockId id = 0; id < n; ++id) {
     const model::Block& block = graph.model().block(id);
     const BlockSemantics* sem = find(block.type());
-    if (sem == nullptr)
-      return Result<Analysis>::error(
-          "block '" + block.name() + "': unknown block type '" + block.type() +
-          "' (supported: " + join(registered_types(), ", ") + ")");
+    if (sem == nullptr) {
+      if (!options.degrade_unknown)
+        return Result<Analysis>::error(
+            diag::codes::kModelUnknownBlockType,
+            "block '" + block.name() + "': unknown block type '" +
+                block.type() + "' (supported: " +
+                join(registered_types(), ", ") + ")");
+      // Graceful degradation: conservative identity stand-in, shaped like
+      // whatever the model actually connects to this block.
+      auto fallback = std::make_shared<const FallbackSemantics>(
+          block.type(), graph.input_count(id), graph.output_count(id));
+      a.owned_sems.push_back(fallback);
+      sem = fallback.get();
+      if (options.engine != nullptr)
+        options.engine->warning(
+            diag::codes::kWUnknownBlockType,
+            "unknown block type '" + block.type() +
+                "' — degrading to an identity pass-through with full "
+                "calculation ranges",
+            block.name());
+    }
     FRODO_RETURN_IF_ERROR(check_arity(graph, id, *sem));
     a.sems[static_cast<std::size_t>(id)] = sem;
   }

@@ -6,11 +6,13 @@
 // adds the calculation ranges on top.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "blocks/semantics.hpp"
 #include "graph/graph.hpp"
 #include "model/shape.hpp"
+#include "support/diag.hpp"
 #include "support/status.hpp"
 
 namespace frodo::blocks {
@@ -23,6 +25,10 @@ struct Analysis {
   std::vector<std::vector<model::Shape>> out_shapes;
   // Execution schedule (state blocks ordered as sources).
   std::vector<model::BlockId> order;
+  // Per-instance fallback semantics for unknown block types (degraded
+  // mode); `sems` entries may point into this, so it shares ownership
+  // across copies.
+  std::vector<std::shared_ptr<const BlockSemantics>> owned_sems;
 
   const model::Model& model() const { return graph->model(); }
 
@@ -33,12 +39,22 @@ struct Analysis {
   }
 };
 
+struct AnalyzeOptions {
+  // When set, degradation warnings are reported here.
+  diag::Engine* engine = nullptr;
+  // Graceful degradation: bind unknown block types to a conservative
+  // identity pass-through (full-range pullback, copy-through code) with a
+  // FRODO-W001 warning instead of failing the whole run.
+  bool degrade_unknown = false;
+};
+
 // `graph` must outlive the returned Analysis.
 //
 // Shape resolution runs to a fixed point so that delays inside feedback
 // loops (whose shape comes from a vector InitialCondition) resolve without
 // a topological order existing over the raw connection graph.
-Result<Analysis> analyze(const graph::DataflowGraph& graph);
+Result<Analysis> analyze(const graph::DataflowGraph& graph,
+                         const AnalyzeOptions& options = {});
 
 // The model's external interface: Inport/Outport blocks ordered by their
 // 1-based Port parameter.  Shared by the interpreter and the generators so

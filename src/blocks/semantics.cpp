@@ -96,4 +96,34 @@ bool is_state_block(const model::Block& block) {
   return sem != nullptr && sem->has_state(block);
 }
 
+namespace {
+
+// Adapts the registry to the model-layer validator interface.
+class RegistryOracle final : public model::ValidationOracle {
+ public:
+  bool known_type(const std::string& type) const override {
+    return blocks::find(type) != nullptr;
+  }
+  int input_count(const model::Block& block) const override {
+    const BlockSemantics* sem = blocks::find(block.type());
+    if (sem == nullptr) return 0;
+    const int count = sem->input_count(block);
+    return count == BlockSemantics::kVariadic ? kVariadicInputs : count;
+  }
+  int output_count(const model::Block& block) const override {
+    const BlockSemantics* sem = blocks::find(block.type());
+    return sem == nullptr ? 0 : sem->output_count(block);
+  }
+  bool has_state(const model::Block& block) const override {
+    return is_state_block(block);
+  }
+};
+
+}  // namespace
+
+const model::ValidationOracle& validation_oracle() {
+  static const RegistryOracle oracle;
+  return oracle;
+}
+
 }  // namespace frodo::blocks

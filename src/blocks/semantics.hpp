@@ -26,6 +26,7 @@
 #include "mapping/index_set.hpp"
 #include "model/model.hpp"
 #include "model/shape.hpp"
+#include "model/validate.hpp"
 #include "support/status.hpp"
 
 namespace frodo::blocks {
@@ -125,5 +126,8 @@ void register_semantics(std::unique_ptr<BlockSemantics> semantics);
 
 // Convenience: true if `block`'s type is registered and holds state.
 bool is_state_block(const model::Block& block);
+
+// Registry-backed oracle for the multi-error validator (model/validate.hpp).
+const model::ValidationOracle& validation_oracle();
 
 }  // namespace frodo::blocks

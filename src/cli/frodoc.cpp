@@ -9,9 +9,16 @@
 //   --emit-main        also write a standalone demo main.c
 //   --print-ranges     dump the calculation ranges (Algorithm 1) and exit
 //   --check            validate the model (structure, types, shapes) and exit
+//   --strict           treat degradable problems (unknown block types) as
+//                      errors instead of warnings
+//   --max-errors N     stop collecting after N errors (default 20)
+//   --diag-format FMT  text (default) | json — diagnostics go to stderr
 //   --simd-width N     HCG vector width in doubles (default 4)
 //   --list-blocks      print the supported block types and exit
 //   --help             this text
+//
+// Exit codes: 0 = success, 1 = the input has diagnosable problems,
+// 2 = usage error or internal/environment failure.
 //
 // Writes <Model>.c and <Model>.h into the output directory.
 #include <cstdio>
@@ -20,20 +27,26 @@
 #include <string>
 
 #include "blocks/analysis.hpp"
+#include "blocks/semantics.hpp"
 #include "codegen/generator.hpp"
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
+#include "model/validate.hpp"
 #include "range/range_analysis.hpp"
 #include "slx/slx.hpp"
+#include "support/diag.hpp"
 #include "support/strings.hpp"
 #include "zip/zip.hpp"
 
 namespace {
 
+namespace diag = frodo::diag;
+
 int usage(int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: frodoc MODEL.(slxz|xml) [--generator NAME] "
                "[--out DIR] [--emit-main] [--print-ranges] [--check] "
+               "[--strict] [--max-errors N] [--diag-format text|json] "
                "[--simd-width N] [--list-blocks]\n");
   return code;
 }
@@ -45,58 +58,73 @@ int list_blocks() {
   return 0;
 }
 
-int check_model(const frodo::model::Model& m) {
-  auto flat = frodo::model::flatten(m);
-  if (!flat.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", flat.message().c_str());
-    return 1;
+// Diagnostics always go to stderr so stdout stays parseable; JSON is
+// rendered even when empty (stable shape for tooling).
+void flush_diagnostics(const diag::Engine& engine, const std::string& format) {
+  if (format == "json") {
+    std::fprintf(stderr, "%s\n", engine.render_json().c_str());
+    return;
   }
-  auto graph = frodo::graph::DataflowGraph::build(flat.value());
-  if (!graph.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", graph.message().c_str());
-    return 1;
-  }
-  auto analysis = frodo::blocks::analyze(graph.value());
-  if (!analysis.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", analysis.message().c_str());
-    return 1;
-  }
-  auto sig = frodo::blocks::io_signature(analysis.value());
-  if (!sig.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", sig.message().c_str());
-    return 1;
-  }
-  std::printf("%s: OK (%d blocks, %zu inputs, %zu outputs)\n",
-              m.name().c_str(), flat.value().block_count(),
-              sig.value().inputs.size(), sig.value().outputs.size());
-  return 0;
+  const std::string text = engine.render_text();
+  if (!text.empty()) std::fprintf(stderr, "%s", text.c_str());
 }
 
-int print_ranges(const frodo::model::Model& m) {
-  auto flat = frodo::model::flatten(m);
-  if (!flat.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", flat.message().c_str());
-    return 1;
+// Internally self-referential (graph points into flat, analysis into
+// graph): keep the instance where it was filled in, never move or copy it.
+struct CheckedModel {
+  frodo::model::Model flat;
+  frodo::graph::DataflowGraph graph;
+  frodo::blocks::Analysis analysis;
+  frodo::blocks::IoSignature sig;
+};
+
+// Validator + analysis pipeline, reporting every problem into `engine`.
+// Returns false when errors were reported.
+bool check_into(const frodo::model::Model& m, diag::Engine& engine,
+                bool strict, CheckedModel* out) {
+  frodo::model::ValidateOptions vopts;
+  vopts.oracle = &frodo::blocks::validation_oracle();
+  vopts.strict = strict;
+  if (!frodo::model::validate(m, engine, vopts)) return false;
+
+  CheckedModel local;
+  CheckedModel& cm = out != nullptr ? *out : local;
+  {
+    auto flat = frodo::model::flatten(m);
+    if (!flat.is_ok()) {
+      engine.error_from(flat.status(), diag::codes::kInternal);
+      return false;
+    }
+    cm.flat = std::move(flat).value();
   }
-  auto graph = frodo::graph::DataflowGraph::build(flat.value());
-  if (!graph.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", graph.message().c_str());
-    return 1;
+  {
+    auto graph = frodo::graph::DataflowGraph::build(cm.flat);
+    if (!graph.is_ok()) {
+      engine.error_from(graph.status(), diag::codes::kInternal);
+      return false;
+    }
+    cm.graph = std::move(graph).value();
   }
-  auto analysis = frodo::blocks::analyze(graph.value());
-  if (!analysis.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", analysis.message().c_str());
-    return 1;
+  frodo::blocks::AnalyzeOptions aopts;
+  aopts.engine = &engine;
+  aopts.degrade_unknown = !strict;
+  {
+    auto analysis = frodo::blocks::analyze(cm.graph, aopts);
+    if (!analysis.is_ok()) {
+      engine.error_from(analysis.status(), diag::codes::kAnalysisShape);
+      return false;
+    }
+    cm.analysis = std::move(analysis).value();
   }
-  auto ranges = frodo::range::determine_ranges(analysis.value());
-  if (!ranges.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", ranges.message().c_str());
-    return 1;
+  {
+    auto sig = frodo::blocks::io_signature(cm.analysis);
+    if (!sig.is_ok()) {
+      engine.error_from(sig.status(), diag::codes::kModelPortNumbering);
+      return false;
+    }
+    cm.sig = std::move(sig).value();
   }
-  std::printf("%s", ranges.value().to_string(analysis.value()).c_str());
-  std::printf("eliminated elements: %lld\n",
-              ranges.value().eliminated_elements(analysis.value()));
-  return 0;
+  return true;
 }
 
 }  // namespace
@@ -105,31 +133,68 @@ int main(int argc, char** argv) {
   std::string model_path;
   std::string generator_name = "frodo";
   std::string outdir = ".";
+  std::string diag_format = "text";
   bool emit_main = false;
   bool want_ranges = false;
   bool want_check = false;
+  bool strict = false;
   int simd_width = 4;
+  int max_errors = frodo::diag::Engine::kDefaultMaxErrors;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    // Accept both "--opt value" and "--opt=value".
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg = arg.substr(0, eq);
+      }
+    }
+    auto value = [&]() -> const char* {
+      return has_inline_value ? inline_value.c_str() : next();
     };
     if (arg == "--help" || arg == "-h") return usage(0);
     if (arg == "--list-blocks") return list_blocks();
     if (arg == "--generator") {
-      const char* v = next();
+      const char* v = value();
       if (v == nullptr) return usage(2);
       generator_name = v;
     } else if (arg == "--out") {
-      const char* v = next();
+      const char* v = value();
       if (v == nullptr) return usage(2);
       outdir = v;
     } else if (arg == "--simd-width") {
-      const char* v = next();
+      const char* v = value();
       long long n = 0;
       if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) return usage(2);
       simd_width = static_cast<int>(n);
+    } else if (arg == "--max-errors") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "frodoc: --max-errors expects a positive integer\n");
+        return usage(2);
+      }
+      max_errors = static_cast<int>(n);
+    } else if (arg == "--diag-format") {
+      const char* v = value();
+      if (v == nullptr ||
+          (std::strcmp(v, "text") != 0 && std::strcmp(v, "json") != 0)) {
+        std::fprintf(stderr,
+                     "frodoc: --diag-format expects 'text' or 'json'\n");
+        return usage(2);
+      }
+      diag_format = v;
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--emit-main") {
       emit_main = true;
     } else if (arg == "--print-ranges") {
@@ -147,15 +212,42 @@ int main(int argc, char** argv) {
   }
   if (model_path.empty()) return usage(2);
 
+  frodo::diag::Engine engine(max_errors);
+
   auto model = frodo::slx::load(model_path);
   if (!model.is_ok()) {
-    std::fprintf(stderr, "frodoc: cannot load '%s': %s\n",
-                 model_path.c_str(), model.message().c_str());
+    const std::string code = model.status().code().empty()
+                                 ? std::string(diag::codes::kPkgUnreadable)
+                                 : model.status().code();
+    engine.error(code, "cannot load '" + model_path + "': " + model.message(),
+                 model_path);
+    flush_diagnostics(engine, diag_format);
     return 1;
   }
 
-  if (want_check) return check_model(model.value());
-  if (want_ranges) return print_ranges(model.value());
+  if (want_check || want_ranges) {
+    CheckedModel checked;
+    const bool ok = check_into(model.value(), engine, strict, &checked);
+    flush_diagnostics(engine, diag_format);
+    if (!ok) return 1;
+    if (want_check) {
+      std::printf("%s: OK (%d blocks, %zu inputs, %zu outputs)\n",
+                  model.value().name().c_str(), checked.flat.block_count(),
+                  checked.sig.inputs.size(), checked.sig.outputs.size());
+      return 0;
+    }
+    auto ranges = frodo::range::determine_ranges(
+        checked.analysis, strict ? nullptr : &engine);
+    if (!ranges.is_ok()) {
+      engine.error_from(ranges.status(), diag::codes::kAnalysisShape);
+      flush_diagnostics(engine, diag_format);
+      return 1;
+    }
+    std::printf("%s", ranges.value().to_string(checked.analysis).c_str());
+    std::printf("eliminated elements: %lld\n",
+                ranges.value().eliminated_elements(checked.analysis));
+    return 0;
+  }
 
   auto generator = frodo::codegen::make_generator(generator_name, simd_width);
   if (!generator.is_ok()) {
@@ -163,10 +255,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto code = generator.value()->generate(model.value());
+  // Surface every model problem in one run before generating.
+  if (!check_into(model.value(), engine, strict, nullptr)) {
+    flush_diagnostics(engine, diag_format);
+    return 1;
+  }
+
+  frodo::codegen::GenerateOptions gen_options;
+  gen_options.engine = strict ? nullptr : &engine;
+  auto code = generator.value()->generate(model.value(), gen_options);
   if (!code.is_ok()) {
+    engine.error_from(code.status(), diag::codes::kCodegenEmit);
     std::fprintf(stderr, "frodoc: code generation failed: %s\n",
                  code.message().c_str());
+    flush_diagnostics(engine, diag_format);
     return 1;
   }
 
@@ -180,7 +282,7 @@ int main(int argc, char** argv) {
     auto status = frodo::zip::write_file(path, text);
     if (!status.is_ok()) {
       std::fprintf(stderr, "frodoc: %s\n", status.message().c_str());
-      return 1;
+      return 2;
     }
     std::printf("wrote %s\n", path.c_str());
   }
@@ -190,10 +292,11 @@ int main(int argc, char** argv) {
         main_path, frodo::codegen::emit_demo_main(code.value()));
     if (!status.is_ok()) {
       std::fprintf(stderr, "frodoc: %s\n", status.message().c_str());
-      return 1;
+      return 2;
     }
     std::printf("wrote %s\n", main_path.c_str());
   }
+  flush_diagnostics(engine, diag_format);
   std::printf("%s: %d lines, %lld static doubles (%s)\n",
               code.value().model_name.c_str(), code.value().source_lines,
               code.value().static_doubles, code.value().generator.c_str());

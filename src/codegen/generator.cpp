@@ -83,17 +83,22 @@ bool all_ranges_empty(const std::vector<mapping::IndexSet>& ranges) {
 
 }  // namespace
 
-Result<GeneratedCode> Generator::generate(const model::Model& m) const {
+Result<GeneratedCode> Generator::generate(const model::Model& m,
+                                          const GenerateOptions& options) const {
   FRODO_ASSIGN_OR_RETURN(model::Model flat, model::flatten(m));
   FRODO_ASSIGN_OR_RETURN(graph::DataflowGraph graph,
                          graph::DataflowGraph::build(flat));
-  FRODO_ASSIGN_OR_RETURN(Analysis analysis, blocks::analyze(graph));
+  const blocks::AnalyzeOptions analyze_options{
+      options.engine, /*degrade_unknown=*/options.engine != nullptr};
+  FRODO_ASSIGN_OR_RETURN(Analysis analysis,
+                         blocks::analyze(graph, analyze_options));
   FRODO_ASSIGN_OR_RETURN(blocks::IoSignature sig,
                          blocks::io_signature(analysis));
 
   range::RangeAnalysis ranges;
   if (use_range_analysis()) {
-    FRODO_ASSIGN_OR_RETURN(ranges, range::determine_ranges(analysis));
+    FRODO_ASSIGN_OR_RETURN(ranges,
+                           range::determine_ranges(analysis, options.engine));
     if (loose_ranges()) ranges = range::loosen(analysis, ranges);
   } else {
     ranges = range::full_ranges(analysis);

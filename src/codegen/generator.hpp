@@ -27,6 +27,7 @@
 #include "codegen/emit_context.hpp"
 #include "model/model.hpp"
 #include "range/range_analysis.hpp"
+#include "support/diag.hpp"
 #include "support/status.hpp"
 
 namespace frodo::codegen {
@@ -52,6 +53,14 @@ struct GeneratedCode {
   int source_lines = 0;
 };
 
+struct GenerateOptions {
+  // When set, enables graceful degradation: unknown block types become
+  // identity pass-throughs (FRODO-W001) and failing I/O-mapping pullbacks
+  // fall back to full input ranges (FRODO-W002), with the warnings reported
+  // here instead of aborting the pipeline.
+  diag::Engine* engine = nullptr;
+};
+
 class Generator {
  public:
   virtual ~Generator() = default;
@@ -60,7 +69,8 @@ class Generator {
   virtual std::string name() const = 0;
 
   // Full pipeline on an arbitrary (possibly hierarchical) model.
-  Result<GeneratedCode> generate(const model::Model& m) const;
+  Result<GeneratedCode> generate(const model::Model& m,
+                                 const GenerateOptions& options = {}) const;
 
  protected:
   virtual EmitStyle style() const = 0;

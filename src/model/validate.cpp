@@ -1,0 +1,326 @@
+#include "model/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace frodo::model {
+
+namespace {
+
+using diag::codes::kModelAlgebraicLoop;
+using diag::codes::kModelArity;
+using diag::codes::kModelDanglingEndpoint;
+using diag::codes::kModelDuplicateBlockName;
+using diag::codes::kModelEmptyBlockName;
+using diag::codes::kModelEmptySubsystem;
+using diag::codes::kModelMultipleDrivers;
+using diag::codes::kModelPortNumbering;
+using diag::codes::kModelTooDeep;
+using diag::codes::kModelUnconnectedInput;
+using diag::codes::kModelUnknownBlockType;
+using diag::codes::kWUnknownBlockType;
+
+// A hostile file can nest subsystems arbitrarily; real models are a handful
+// of levels deep.
+constexpr int kMaxSubsystemDepth = 64;
+
+class Validator {
+ public:
+  Validator(diag::Engine& engine, const ValidateOptions& options)
+      : engine_(engine), options_(options) {}
+
+  void run(const Model& m, const std::string& prefix, int depth) {
+    if (depth > kMaxSubsystemDepth) {
+      engine_.error(kModelTooDeep,
+                    "subsystem nesting exceeds the limit of " +
+                        std::to_string(kMaxSubsystemDepth) + " levels",
+                    prefix);
+      return;
+    }
+
+    check_blocks(m, prefix, depth);
+    check_connections(m, prefix);
+    check_port_numbering(m, prefix);
+    if (options_.oracle != nullptr) {
+      check_arity(m, prefix);
+      check_cycles(m, prefix);
+    }
+  }
+
+ private:
+  std::string path(const std::string& prefix, const Block& block) const {
+    return prefix + block.name();
+  }
+
+  void check_blocks(const Model& m, const std::string& prefix, int depth) {
+    std::set<std::string> names;
+    for (BlockId id = 0; id < m.block_count(); ++id) {
+      const Block& block = m.block(id);
+      if (block.name().empty()) {
+        engine_.error(kModelEmptyBlockName,
+                      "block #" + std::to_string(id) + " has an empty name",
+                      prefix);
+      } else if (!names.insert(block.name()).second) {
+        engine_.error(kModelDuplicateBlockName,
+                      "duplicate block name '" + block.name() + "'", prefix);
+      }
+      if (block.is_subsystem()) {
+        if (block.subsystem() == nullptr) {
+          engine_.error(kModelEmptySubsystem,
+                        "subsystem has no nested model",
+                        path(prefix, block));
+        } else {
+          run(*block.subsystem(), path(prefix, block) + "/", depth + 1);
+        }
+        continue;
+      }
+      if (options_.oracle != nullptr &&
+          !options_.oracle->known_type(block.type())) {
+        if (options_.strict) {
+          engine_.error(kModelUnknownBlockType,
+                        "unknown block type '" + block.type() + "'",
+                        path(prefix, block));
+        } else {
+          engine_.warning(kWUnknownBlockType,
+                          "unknown block type '" + block.type() +
+                              "' — degrading to an identity pass-through "
+                              "with full calculation ranges",
+                          path(prefix, block));
+        }
+      }
+    }
+  }
+
+  void check_connections(const Model& m, const std::string& prefix) {
+    std::set<Endpoint> driven;
+    for (const Connection& conn : m.connections()) {
+      bool endpoints_ok = true;
+      for (const Endpoint& end : {conn.src, conn.dst}) {
+        if (end.block < 0 || end.block >= m.block_count()) {
+          engine_.error(kModelDanglingEndpoint,
+                        "connection endpoint references unknown block id " +
+                            std::to_string(end.block),
+                        prefix);
+          endpoints_ok = false;
+        } else if (end.port < 0) {
+          engine_.error(diag::codes::kModelBadPort,
+                        "connection uses negative port index " +
+                            std::to_string(end.port),
+                        path(prefix, m.block(end.block)));
+          endpoints_ok = false;
+        }
+      }
+      if (!endpoints_ok) continue;
+      if (!driven.insert(conn.dst).second) {
+        engine_.error(kModelMultipleDrivers,
+                      "input port " + std::to_string(conn.dst.port + 1) +
+                          " has multiple drivers",
+                      path(prefix, m.block(conn.dst.block)));
+      }
+    }
+  }
+
+  void check_port_numbering(const Model& m, const std::string& prefix) {
+    for (const char* kind : {"Inport", "Outport"}) {
+      std::vector<std::pair<long long, std::string>> ports;
+      bool params_ok = true;
+      for (BlockId id = 0; id < m.block_count(); ++id) {
+        const Block& block = m.block(id);
+        if (block.type() != kind) continue;
+        auto value = block.param("Port");
+        long long port = 0;
+        if (!value.is_ok() || !value.value().as_int().is_ok()) {
+          engine_.error(kModelPortNumbering,
+                        std::string(kind) +
+                            " block is missing an integer 'Port' parameter",
+                        path(prefix, block));
+          params_ok = false;
+          continue;
+        }
+        port = value.value().as_int().value();
+        if (port < 1) {
+          engine_.error(kModelPortNumbering,
+                        std::string(kind) + " block has Port " +
+                            std::to_string(port) + " (must be >= 1)",
+                        path(prefix, block));
+          params_ok = false;
+          continue;
+        }
+        ports.emplace_back(port, block.name());
+      }
+      if (!params_ok) continue;
+      std::sort(ports.begin(), ports.end());
+      for (std::size_t i = 0; i < ports.size(); ++i) {
+        if (ports[i].first != static_cast<long long>(i) + 1) {
+          engine_.error(kModelPortNumbering,
+                        std::string(kind) +
+                            " ports must be numbered densely from 1; "
+                            "block '" +
+                            ports[i].second + "' breaks the sequence",
+                        prefix);
+          break;
+        }
+      }
+    }
+  }
+
+  // Per-block connected input/output port usage, ignoring invalid endpoints
+  // (already reported by check_connections).
+  void check_arity(const Model& m, const std::string& prefix) {
+    const ValidationOracle& oracle = *options_.oracle;
+    std::map<BlockId, std::set<int>> in_ports;
+    std::map<BlockId, int> max_out;
+    for (const Connection& conn : m.connections()) {
+      if (conn.src.block < 0 || conn.src.block >= m.block_count() ||
+          conn.dst.block < 0 || conn.dst.block >= m.block_count() ||
+          conn.src.port < 0 || conn.dst.port < 0)
+        continue;
+      in_ports[conn.dst.block].insert(conn.dst.port);
+      int& out = max_out[conn.src.block];
+      out = std::max(out, conn.src.port + 1);
+    }
+
+    for (BlockId id = 0; id < m.block_count(); ++id) {
+      const Block& block = m.block(id);
+      if (block.is_subsystem() || !oracle.known_type(block.type())) continue;
+      const auto& ins = in_ports[id];
+      const int connected = ins.empty() ? 0 : *ins.rbegin() + 1;
+      for (int p = 0; p < connected; ++p) {
+        if (ins.count(p) == 0) {
+          engine_.error(kModelUnconnectedInput,
+                        "input port " + std::to_string(p + 1) +
+                            " is unconnected",
+                        path(prefix, block));
+        }
+      }
+      const int declared = oracle.input_count(block);
+      if (declared == ValidationOracle::kVariadicInputs) {
+        if (connected < 1) {
+          engine_.error(kModelArity,
+                        "block type '" + block.type() +
+                            "' needs at least one input",
+                        path(prefix, block));
+        }
+      } else if (connected != declared) {
+        engine_.error(kModelArity,
+                      "block type '" + block.type() + "' expects " +
+                          std::to_string(declared) + " input(s), has " +
+                          std::to_string(connected),
+                      path(prefix, block));
+      }
+      const int outs = max_out.count(id) != 0 ? max_out[id] : 0;
+      if (outs > oracle.output_count(block)) {
+        engine_.error(kModelArity,
+                      "connection uses output port " + std::to_string(outs) +
+                          " but the block has " +
+                          std::to_string(oracle.output_count(block)),
+                      path(prefix, block));
+      }
+    }
+  }
+
+  // Iterative Tarjan over this level's connections, skipping edges into
+  // state blocks (their inputs are read at end-of-step, not this step).
+  // Each non-trivial SCC and each self-loop is one diagnostic.
+  void check_cycles(const Model& m, const std::string& prefix) {
+    const ValidationOracle& oracle = *options_.oracle;
+    const int n = m.block_count();
+    std::vector<std::vector<BlockId>> succ(static_cast<std::size_t>(n));
+    for (const Connection& conn : m.connections()) {
+      if (conn.src.block < 0 || conn.src.block >= n || conn.dst.block < 0 ||
+          conn.dst.block >= n)
+        continue;
+      const Block& dst = m.block(conn.dst.block);
+      if (dst.is_subsystem() || oracle.has_state(dst)) continue;
+      succ[static_cast<std::size_t>(conn.src.block)].push_back(
+          conn.dst.block);
+    }
+
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    std::vector<BlockId> stack;
+    int counter = 0;
+
+    struct Frame {
+      BlockId v;
+      std::size_t next = 0;
+    };
+    for (BlockId start = 0; start < n; ++start) {
+      if (index[static_cast<std::size_t>(start)] >= 0) continue;
+      std::vector<Frame> frames{{start}};
+      index[static_cast<std::size_t>(start)] =
+          low[static_cast<std::size_t>(start)] = counter++;
+      stack.push_back(start);
+      on_stack[static_cast<std::size_t>(start)] = true;
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        const auto& edges = succ[static_cast<std::size_t>(f.v)];
+        if (f.next < edges.size()) {
+          const BlockId w = edges[f.next++];
+          if (index[static_cast<std::size_t>(w)] < 0) {
+            index[static_cast<std::size_t>(w)] =
+                low[static_cast<std::size_t>(w)] = counter++;
+            stack.push_back(w);
+            on_stack[static_cast<std::size_t>(w)] = true;
+            frames.push_back(Frame{w});
+          } else if (on_stack[static_cast<std::size_t>(w)]) {
+            low[static_cast<std::size_t>(f.v)] =
+                std::min(low[static_cast<std::size_t>(f.v)],
+                         index[static_cast<std::size_t>(w)]);
+          }
+          continue;
+        }
+        const BlockId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[static_cast<std::size_t>(frames.back().v)] =
+              std::min(low[static_cast<std::size_t>(frames.back().v)],
+                       low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          std::vector<BlockId> component;
+          while (true) {
+            const BlockId w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          const bool self_loop =
+              component.size() == 1 &&
+              std::count(succ[static_cast<std::size_t>(v)].begin(),
+                         succ[static_cast<std::size_t>(v)].end(), v) > 0;
+          if (component.size() > 1 || self_loop) {
+            std::string names;
+            std::sort(component.begin(), component.end());
+            for (BlockId w : component) {
+              if (!names.empty()) names += ", ";
+              names += "'" + m.block(w).name() + "'";
+            }
+            engine_.error(kModelAlgebraicLoop,
+                          "algebraic loop involving blocks: " + names,
+                          prefix);
+          }
+        }
+      }
+    }
+  }
+
+  diag::Engine& engine_;
+  const ValidateOptions& options_;
+};
+
+}  // namespace
+
+bool validate(const Model& m, diag::Engine& engine,
+              const ValidateOptions& options) {
+  const int before = engine.error_count();
+  Validator(engine, options).run(m, "", 0);
+  return engine.error_count() == before;
+}
+
+}  // namespace frodo::model

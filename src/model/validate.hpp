@@ -1,0 +1,54 @@
+// Multi-error model validation.
+//
+// Model::validate() (model.hpp) answers "is this IR safe to traverse?" and
+// stops at the first problem — right for internal callers.  This pass is the
+// user-facing counterpart: it walks the whole hierarchy and reports *every*
+// problem it can find into a diag::Engine in one run — duplicate or empty
+// block names, dangling connection endpoints, multiply-driven inputs,
+// unknown block types, arity mismatches, non-dense port numbering, and
+// algebraic cycles — each with a stable FRODO-Exxx code and the offending
+// block's hierarchical path ("Sub/Conv").
+//
+// Semantic checks (block types, arities, state-ness) need the block property
+// library, which layers *above* the model IR; callers pass the library's
+// ValidationOracle (blocks::validation_oracle()).  With a null oracle only
+// the structural checks run.
+#pragma once
+
+#include <string>
+
+#include "model/model.hpp"
+#include "support/diag.hpp"
+
+namespace frodo::model {
+
+// What the validator needs to know about block types without depending on
+// the block property library.
+class ValidationOracle {
+ public:
+  virtual ~ValidationOracle() = default;
+
+  virtual bool known_type(const std::string& type) const = 0;
+  // Expected connected input ports; kVariadicInputs accepts >= 1.
+  static constexpr int kVariadicInputs = -1;
+  virtual int input_count(const Block& block) const = 0;
+  virtual int output_count(const Block& block) const = 0;
+  // State blocks read last step's state, so their incoming edges do not
+  // participate in algebraic cycles.
+  virtual bool has_state(const Block& block) const = 0;
+};
+
+struct ValidateOptions {
+  const ValidationOracle* oracle = nullptr;
+  // Under --strict an unknown block type is an error; otherwise it is a
+  // FRODO-W001 warning and code generation degrades to an identity
+  // pass-through (see docs/diagnostics.md).
+  bool strict = false;
+};
+
+// Reports every problem found in `m` (recursing into subsystems) into
+// `engine`.  Returns true when no *errors* were reported (warnings allowed).
+bool validate(const Model& m, diag::Engine& engine,
+              const ValidateOptions& options = {});
+
+}  // namespace frodo::model

@@ -1,7 +1,6 @@
 #include "range/range_analysis.hpp"
 
 #include <algorithm>
-#include <functional>
 
 namespace frodo::range {
 
@@ -10,8 +9,8 @@ namespace {
 using mapping::IndexSet;
 using model::BlockId;
 
-// Tarjan SCC; returns true for blocks in a non-trivial SCC or with a self
-// loop.
+// Tarjan SCC with an explicit frame stack (graphs can be 100k+ blocks deep);
+// returns true for blocks in a non-trivial SCC or with a self loop.
 std::vector<bool> find_cyclic(const graph::DataflowGraph& graph) {
   const int n = graph.block_count();
   std::vector<bool> cyclic(static_cast<std::size_t>(n), false);
@@ -21,69 +20,87 @@ std::vector<bool> find_cyclic(const graph::DataflowGraph& graph) {
   std::vector<BlockId> stack;
   int counter = 0;
 
-  std::function<void(BlockId)> strongconnect = [&](BlockId v) {
-    index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] =
-        counter++;
-    stack.push_back(v);
-    on_stack[static_cast<std::size_t>(v)] = true;
-    for (const model::Connection& e : graph.out_edges(v)) {
-      const BlockId w = e.dst.block;
-      if (index[static_cast<std::size_t>(w)] < 0) {
-        strongconnect(w);
-        low[static_cast<std::size_t>(v)] =
-            std::min(low[static_cast<std::size_t>(v)],
-                     low[static_cast<std::size_t>(w)]);
-      } else if (on_stack[static_cast<std::size_t>(w)]) {
-        low[static_cast<std::size_t>(v)] =
-            std::min(low[static_cast<std::size_t>(v)],
-                     index[static_cast<std::size_t>(w)]);
-      }
-      if (w == v) cyclic[static_cast<std::size_t>(v)] = true;  // self loop
-    }
-    if (low[static_cast<std::size_t>(v)] ==
-        index[static_cast<std::size_t>(v)]) {
-      std::vector<BlockId> component;
-      while (true) {
-        const BlockId w = stack.back();
-        stack.pop_back();
-        on_stack[static_cast<std::size_t>(w)] = false;
-        component.push_back(w);
-        if (w == v) break;
-      }
-      if (component.size() > 1) {
-        for (BlockId w : component) cyclic[static_cast<std::size_t>(w)] = true;
-      }
-    }
+  struct Frame {
+    BlockId v;
+    std::size_t next = 0;
   };
-
-  for (BlockId v = 0; v < n; ++v) {
-    if (index[static_cast<std::size_t>(v)] < 0) strongconnect(v);
+  std::vector<Frame> frames;
+  for (BlockId start = 0; start < n; ++start) {
+    if (index[static_cast<std::size_t>(start)] >= 0) continue;
+    frames.push_back(Frame{start});
+    index[static_cast<std::size_t>(start)] =
+        low[static_cast<std::size_t>(start)] = counter++;
+    stack.push_back(start);
+    on_stack[static_cast<std::size_t>(start)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = graph.out_edges(f.v);
+      if (f.next < edges.size()) {
+        const BlockId w = edges[f.next++].dst.block;
+        if (w == f.v) cyclic[static_cast<std::size_t>(f.v)] = true;  // self
+        if (index[static_cast<std::size_t>(w)] < 0) {
+          index[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = counter++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          frames.push_back(Frame{w});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+      const BlockId v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[static_cast<std::size_t>(frames.back().v)] =
+            std::min(low[static_cast<std::size_t>(frames.back().v)],
+                     low[static_cast<std::size_t>(v)]);
+      }
+      if (low[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        std::vector<BlockId> component;
+        while (true) {
+          const BlockId w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          component.push_back(w);
+          if (w == v) break;
+        }
+        if (component.size() > 1) {
+          for (BlockId w : component)
+            cyclic[static_cast<std::size_t>(w)] = true;
+        }
+      }
+    }
   }
   return cyclic;
 }
 
 class Determiner {
  public:
-  Determiner(const blocks::Analysis& analysis, RangeAnalysis* out)
-      : a_(analysis), r_(*out) {
+  Determiner(const blocks::Analysis& analysis, RangeAnalysis* out,
+             diag::Engine* engine)
+      : a_(analysis), r_(*out), engine_(engine) {
     const int n = a_.graph->block_count();
     computed_.assign(static_cast<std::size_t>(n), false);
   }
 
   Status run() {
     const int n = a_.graph->block_count();
-    // Cyclic blocks keep their full ranges (fixed before any recursion so a
-    // recursion that reaches them stops immediately).
+    // Cyclic blocks keep their full ranges (fixed before any traversal so a
+    // traversal that reaches them stops immediately).
     for (BlockId id = 0; id < n; ++id) {
       if (!r_.cyclic[static_cast<std::size_t>(id)]) continue;
       set_full(id);
       FRODO_RETURN_IF_ERROR(fill_in_ranges(id));
       computed_[static_cast<std::size_t>(id)] = true;
     }
-    // Algorithm 1: recurse from the root blocks...
-    for (BlockId id : a_.graph->roots()) FRODO_RETURN_IF_ERROR(recursive(id));
+    // Algorithm 1: determine child-first from the root blocks...
+    for (BlockId id : a_.graph->roots()) FRODO_RETURN_IF_ERROR(determine(id));
     // ...then sweep anything only reachable through a cycle.
-    for (BlockId id = 0; id < n; ++id) FRODO_RETURN_IF_ERROR(recursive(id));
+    for (BlockId id = 0; id < n; ++id) FRODO_RETURN_IF_ERROR(determine(id));
     return Status::ok();
   }
 
@@ -98,44 +115,72 @@ class Determiner {
   Status fill_in_ranges(BlockId id) {
     auto demand = a_.sems[static_cast<std::size_t>(id)]->pullback(
         a_.instance(id), r_.out_ranges[static_cast<std::size_t>(id)]);
-    if (!demand.is_ok())
-      return demand.status().with_context(
-          "I/O mapping of block '" + a_.model().block(id).name() + "'");
+    if (!demand.is_ok()) {
+      if (engine_ == nullptr)
+        return demand.status().with_context(
+            "I/O mapping of block '" + a_.model().block(id).name() + "'");
+      // Graceful degradation: demand the block's full inputs.  Always sound
+      // (a superset of any true demand); only optimization is lost.
+      engine_->warning(diag::codes::kWPullbackFallback,
+                       "I/O mapping failed (" + demand.message() +
+                           ") — assuming full input ranges",
+                       a_.model().block(id).name());
+      auto& in_ranges = r_.in_ranges[static_cast<std::size_t>(id)];
+      in_ranges.clear();
+      for (const model::Shape& s :
+           a_.in_shapes[static_cast<std::size_t>(id)])
+        in_ranges.push_back(IndexSet::full(s.size()));
+      return Status::ok();
+    }
     r_.in_ranges[static_cast<std::size_t>(id)] = std::move(demand).value();
     return Status::ok();
   }
 
-  // The recursive function of Algorithm 1 (memoized).
-  Status recursive(BlockId id) {
-    if (computed_[static_cast<std::size_t>(id)]) return Status::ok();
-    computed_[static_cast<std::size_t>(id)] = true;
-
-    const auto& out_edges = a_.graph->out_edges(id);
-    const auto& shapes = a_.out_shapes[static_cast<std::size_t>(id)];
-    auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
-
-    if (out_edges.empty() && shapes.empty()) {
-      // Pure sink (Outport): no output ports; its pullback declares the
-      // full-input demand (line 17: range <- mapping[block.output]).
-      return fill_in_ranges(id);
+  // The recursive function of Algorithm 1 (memoized), run on an explicit
+  // frame stack: a frame is re-visited after its children complete, then
+  // merges the demand each outgoing connection carries back (lines 20-24)
+  // and pulls it through the block's I/O mapping.  Deep chains (100k+
+  // blocks) must not overflow the call stack.
+  Status determine(BlockId root) {
+    if (computed_[static_cast<std::size_t>(root)]) return Status::ok();
+    struct Frame {
+      BlockId id;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> frames{{root}};
+    computed_[static_cast<std::size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& out_edges = a_.graph->out_edges(f.id);
+      if (f.next < out_edges.size()) {
+        const BlockId w = out_edges[f.next++].dst.block;
+        if (!computed_[static_cast<std::size_t>(w)]) {
+          computed_[static_cast<std::size_t>(w)] = true;
+          frames.push_back(Frame{w});
+        }
+        continue;
+      }
+      // Children done: merge their demands into this block's out ranges.
+      const BlockId id = f.id;
+      frames.pop_back();
+      auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
+      for (const model::Connection& e : out_edges) {
+        const auto& child_in =
+            r_.in_ranges[static_cast<std::size_t>(e.dst.block)];
+        if (e.dst.port < static_cast<int>(child_in.size()))
+          ranges[static_cast<std::size_t>(e.src.port)].unite(
+              child_in[static_cast<std::size_t>(e.dst.port)]);
+      }
+      // Pure sinks (Outport) have no out edges and no output ports; their
+      // pullback declares the full-input demand (line 17).
+      FRODO_RETURN_IF_ERROR(fill_in_ranges(id));
     }
-
-    // Determine every child first, then merge the demand each connection
-    // carries back (lines 20-24).
-    for (const model::Connection& e : out_edges)
-      FRODO_RETURN_IF_ERROR(recursive(e.dst.block));
-    for (const model::Connection& e : out_edges) {
-      const auto& child_in =
-          r_.in_ranges[static_cast<std::size_t>(e.dst.block)];
-      if (e.dst.port < static_cast<int>(child_in.size()))
-        ranges[static_cast<std::size_t>(e.src.port)].unite(
-            child_in[static_cast<std::size_t>(e.dst.port)]);
-    }
-    return fill_in_ranges(id);
+    return Status::ok();
   }
 
   const blocks::Analysis& a_;
   RangeAnalysis& r_;
+  diag::Engine* engine_;
   std::vector<bool> computed_;
 };
 
@@ -180,7 +225,8 @@ std::string RangeAnalysis::to_string(const blocks::Analysis& analysis) const {
   return out;
 }
 
-Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis) {
+Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
+                                       diag::Engine* engine) {
   RangeAnalysis r;
   const int n = analysis.graph->block_count();
   r.out_ranges.resize(static_cast<std::size_t>(n));
@@ -191,7 +237,7 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis) {
   }
   r.cyclic = find_cyclic(*analysis.graph);
 
-  Determiner determiner(analysis, &r);
+  Determiner determiner(analysis, &r, engine);
   FRODO_RETURN_IF_ERROR(determiner.run());
   return r;
 }

@@ -10,7 +10,9 @@
 //   * memoization, so shared subtrees of a DAG are determined once;
 //   * feedback cycles (delay loops): every block in a non-trivial SCC keeps
 //     its full range — sound, and matching the paper's scope (its models'
-//     data-intensive paths are acyclic).
+//     data-intensive paths are acyclic);
+//   * explicit worklists instead of call-stack recursion, so a 100k-block
+//     chain cannot overflow the stack.
 #pragma once
 
 #include <string>
@@ -18,6 +20,7 @@
 
 #include "blocks/analysis.hpp"
 #include "mapping/index_set.hpp"
+#include "support/diag.hpp"
 #include "support/status.hpp"
 
 namespace frodo::range {
@@ -42,7 +45,12 @@ struct RangeAnalysis {
   std::string to_string(const blocks::Analysis& analysis) const;
 };
 
-Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis);
+// When `engine` is non-null the analysis degrades gracefully: a failing I/O
+// mapping pullback falls back to demanding the block's *full* inputs (always
+// sound — it only costs optimization) with a FRODO-W002 warning, instead of
+// failing the run.
+Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
+                                       diag::Engine* engine = nullptr);
 
 // Ablation: whole-block granularity — any partially-demanded range is
 // widened back to the full signal (only completely dead blocks stay empty).

@@ -1,5 +1,6 @@
 #include "slx/slx.hpp"
 
+#include "support/diag.hpp"
 #include "support/strings.hpp"
 #include "xml/xml.hpp"
 #include "zip/zip.hpp"
@@ -41,8 +42,9 @@ void model_to_element(const model::Model& m, xml::Element& element) {
 
 Result<model::Model> element_to_model(const xml::Element& element) {
   if (element.name() != "Model")
-    return Result<model::Model>::error("expected <Model>, got <" +
-                                       element.name() + ">");
+    return Result<model::Model>::error(
+        diag::codes::kPkgBadModel,
+        "expected <Model>, got <" + element.name() + ">");
   model::Model m(element.attr("Name"));
   for (const xml::Element* be : element.find_children("Block")) {
     const std::string& name = be->attr("Name");
@@ -138,12 +140,15 @@ std::string to_package_bytes(const model::Model& m) {
 
 Result<model::Model> from_package_bytes(std::string_view bytes) {
   auto archive = zip::Archive::parse(bytes);
-  if (!archive.is_ok()) return archive.status();
+  if (!archive.is_ok())
+    return archive.status().with_context("reading model container");
   const zip::Entry* entry = archive.value().find(kBlockDiagramPart);
   if (entry == nullptr)
     return Result<model::Model>::error(
+        diag::codes::kPkgMissingPart,
         std::string("package is missing part ") + kBlockDiagramPart);
-  return from_xml(entry->data);
+  return from_xml(entry->data)
+      .with_context(std::string("parsing part ") + kBlockDiagramPart);
 }
 
 Status save(const model::Model& m, const std::string& path) {
@@ -155,8 +160,9 @@ Status save(const model::Model& m, const std::string& path) {
 Result<model::Model> load(const std::string& path) {
   auto bytes = zip::read_file(path);
   if (!bytes.is_ok()) return bytes.status();
-  if (ends_with(path, ".slxz")) return from_package_bytes(bytes.value());
-  return from_xml(bytes.value());
+  if (ends_with(path, ".slxz"))
+    return from_package_bytes(bytes.value()).with_context(path);
+  return from_xml(bytes.value()).with_context(path);
 }
 
 }  // namespace frodo::slx

@@ -1,0 +1,123 @@
+#include "support/diag.hpp"
+
+namespace frodo::diag {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+void Engine::report(Diagnostic d) {
+  // Exact repeats (several passes rediscovering the same problem) are
+  // reported and counted once.  Length prefixes keep the key unambiguous
+  // whatever bytes the fields contain.
+  std::string key;
+  for (std::string_view field :
+       {std::string_view(d.code), to_string(d.severity),
+        std::string_view(d.message), std::string_view(d.where)}) {
+    key += std::to_string(field.size());
+    key += ':';
+    key += field;
+  }
+  if (!seen_.insert(std::move(key)).second) return;
+  if (d.severity == Severity::kError) {
+    ++error_count_;
+    if (error_count_ > max_errors_) {
+      if (error_count_ == max_errors_ + 1) {
+        diagnostics_.push_back(Diagnostic{
+            codes::kWErrorLimit, Severity::kNote,
+            "too many errors; further errors suppressed (--max-errors=" +
+                std::to_string(max_errors_) + ")",
+            ""});
+      }
+      return;
+    }
+  } else if (d.severity == Severity::kWarning) {
+    ++warning_count_;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+void Engine::error(std::string code, std::string message, std::string where) {
+  report(Diagnostic{std::move(code), Severity::kError, std::move(message),
+                    std::move(where)});
+}
+
+void Engine::warning(std::string code, std::string message,
+                     std::string where) {
+  report(Diagnostic{std::move(code), Severity::kWarning, std::move(message),
+                    std::move(where)});
+}
+
+void Engine::note(std::string message, std::string where) {
+  report(Diagnostic{"", Severity::kNote, std::move(message),
+                    std::move(where)});
+}
+
+void Engine::error_from(const Status& status, std::string fallback_code,
+                        std::string where) {
+  if (status.is_ok()) return;
+  const std::string& code = status.code();
+  error(code.empty() ? std::move(fallback_code) : code, status.message(),
+        std::move(where));
+}
+
+std::string Engine::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += to_string(d.severity);
+    if (!d.code.empty()) out += "[" + d.code + "]";
+    if (!d.where.empty()) out += " at " + d.where;
+    out += ": " + d.message + "\n";
+  }
+  if (!diagnostics_.empty()) {
+    out += std::to_string(error_count_) + " error(s), " +
+           std::to_string(warning_count_) + " warning(s)\n";
+  }
+  return out;
+}
+
+std::string Engine::render_json() const {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i != 0) out += ",";
+    out += "{\"code\":\"" + json_escape(d.code) + "\",\"severity\":\"" +
+           std::string(to_string(d.severity)) + "\",\"message\":\"" +
+           json_escape(d.message) + "\",\"where\":\"" + json_escape(d.where) +
+           "\"}";
+  }
+  out += "],\"errors\":" + std::to_string(error_count_) +
+         ",\"warnings\":" + std::to_string(warning_count_) + "}";
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace frodo::diag

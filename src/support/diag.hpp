@@ -1,0 +1,137 @@
+// Structured diagnostics engine.
+//
+// The generator is a batch tool over untrusted inputs: a run should surface
+// *every* problem it can find — with a stable machine-readable code, a
+// severity, and the block path or container part it refers to — instead of
+// aborting on the first free-text error.  Passes report into an Engine;
+// the CLI renders the accumulated list as human-readable text or JSON and
+// maps it to an exit code.
+//
+// Code space (see docs/diagnostics.md for the full catalog):
+//   FRODO-E0xx  container ingestion (ZIP)
+//   FRODO-E1xx  XML parsing
+//   FRODO-E2xx  package / model file structure
+//   FRODO-E3xx  model validation (blocks, connections, ports)
+//   FRODO-E4xx  analysis / code generation
+//   FRODO-E9xx  usage / internal
+//   FRODO-Wxxx  warnings (graceful degradation)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::diag {
+
+// -- Stable diagnostic codes ---------------------------------------------------
+namespace codes {
+// Container ingestion (ZIP).
+inline constexpr char kZipTooSmall[] = "FRODO-E001";
+inline constexpr char kZipNoEndRecord[] = "FRODO-E002";
+inline constexpr char kZipTruncated[] = "FRODO-E003";
+inline constexpr char kZipBomb[] = "FRODO-E004";
+inline constexpr char kZipBadMethod[] = "FRODO-E005";
+inline constexpr char kZipBadCrc[] = "FRODO-E006";
+inline constexpr char kZipBadSignature[] = "FRODO-E007";
+inline constexpr char kZipSizeMismatch[] = "FRODO-E008";
+// XML parsing.
+inline constexpr char kXmlSyntax[] = "FRODO-E101";
+inline constexpr char kXmlTooDeep[] = "FRODO-E102";
+inline constexpr char kXmlTooManyAttrs[] = "FRODO-E103";
+// Package / model file structure.
+inline constexpr char kPkgMissingPart[] = "FRODO-E201";
+inline constexpr char kPkgBadModel[] = "FRODO-E202";
+inline constexpr char kPkgUnreadable[] = "FRODO-E203";
+// Model validation.
+inline constexpr char kModelEmptyBlockName[] = "FRODO-E301";
+inline constexpr char kModelDuplicateBlockName[] = "FRODO-E302";
+inline constexpr char kModelDanglingEndpoint[] = "FRODO-E303";
+inline constexpr char kModelBadPort[] = "FRODO-E304";
+inline constexpr char kModelMultipleDrivers[] = "FRODO-E305";
+inline constexpr char kModelEmptySubsystem[] = "FRODO-E306";
+inline constexpr char kModelPortNumbering[] = "FRODO-E307";
+inline constexpr char kModelAlgebraicLoop[] = "FRODO-E308";
+inline constexpr char kModelUnconnectedInput[] = "FRODO-E309";
+inline constexpr char kModelArity[] = "FRODO-E310";
+inline constexpr char kModelUnknownBlockType[] = "FRODO-E311";
+inline constexpr char kModelTooDeep[] = "FRODO-E312";
+// Analysis / code generation.
+inline constexpr char kAnalysisShape[] = "FRODO-E401";
+inline constexpr char kCodegenEmit[] = "FRODO-E402";
+// Usage / internal.
+inline constexpr char kInternal[] = "FRODO-E901";
+// Warnings (graceful degradation).
+inline constexpr char kWUnknownBlockType[] = "FRODO-W001";
+inline constexpr char kWPullbackFallback[] = "FRODO-W002";
+inline constexpr char kWErrorLimit[] = "FRODO-W003";
+}  // namespace codes
+
+enum class Severity { kNote, kWarning, kError };
+
+std::string_view to_string(Severity severity);
+
+struct Diagnostic {
+  std::string code;     // stable "FRODO-Exxx" / "FRODO-Wxxx" identifier
+  Severity severity = Severity::kError;
+  std::string message;  // human-readable, no trailing newline
+  // Source location: a block path ("Sub/Conv"), container part
+  // ("simulink/blockdiagram.xml"), or file path.  Empty when global.
+  std::string where;
+};
+
+// Accumulates diagnostics across passes.  Reporting keeps working after the
+// error cap is reached, but further *errors* are counted and dropped so a
+// hostile input cannot flood the output (warnings are always kept).  Exact
+// repeats — same severity, code, message and location — are reported and
+// counted once: several passes legitimately rediscover the same problem
+// (e.g. an unknown block type seen by validation and again by each
+// analysis), and the user only needs to hear about it once.
+class Engine {
+ public:
+  static constexpr int kDefaultMaxErrors = 20;
+
+  explicit Engine(int max_errors = kDefaultMaxErrors)
+      : max_errors_(max_errors < 1 ? 1 : max_errors) {}
+
+  void report(Diagnostic d);
+  void error(std::string code, std::string message, std::string where = "");
+  void warning(std::string code, std::string message, std::string where = "");
+  void note(std::string message, std::string where = "");
+
+  // Reports a failed Status as an error, using the Status's own code when it
+  // carries one and `fallback_code` otherwise.  No-op for OK statuses.
+  void error_from(const Status& status, std::string fallback_code,
+                  std::string where = "");
+
+  int error_count() const { return error_count_; }
+  int warning_count() const { return warning_count_; }
+  bool has_errors() const { return error_count_ > 0; }
+  // True once errors beyond max_errors have been dropped.
+  bool error_limit_reached() const { return error_count_ > max_errors_; }
+  int max_errors() const { return max_errors_; }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // "error[FRODO-E305] at Sub/Conv: input port 1 has multiple drivers", one
+  // diagnostic per line, plus a trailing summary line when non-empty.
+  std::string render_text() const;
+  // {"diagnostics":[{"code":...,"severity":...,"message":...,"where":...}],
+  //  "errors":N,"warnings":N}
+  std::string render_json() const;
+
+ private:
+  int max_errors_;
+  int error_count_ = 0;
+  int warning_count_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+  std::unordered_set<std::string> seen_;  // dedup keys of reported diagnostics
+};
+
+// JSON string escaping (control characters, quotes, backslash).
+std::string json_escape(std::string_view text);
+
+}  // namespace frodo::diag

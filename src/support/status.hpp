@@ -5,9 +5,15 @@
 // reported with context rather than thrown across module boundaries.  Status
 // and Result<T> carry an error message chain; FRODO_ASSIGN_OR_RETURN keeps
 // call sites terse.
+//
+// Errors are a chain of context nodes sharing their tail, so with_context()
+// is O(length of the added context) — wrapping an error as it propagates up
+// a deep call stack never re-copies the inner message.  An error may carry a
+// stable diagnostic code ("FRODO-Exxx"); the innermost code in the chain is
+// the root cause and wins.
 #pragma once
 
-#include <optional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
@@ -20,27 +26,63 @@ class Status {
 
   static Status ok() { return Status(); }
   static Status error(std::string message) {
+    return error(std::string(), std::move(message));
+  }
+  // An error with a stable diagnostic code (see support/diag.hpp).
+  static Status error(std::string code, std::string message) {
     Status s;
-    s.message_ = std::move(message);
+    s.node_ = std::make_shared<const Node>(
+        Node{std::move(message), std::move(code), nullptr});
     return s;
   }
 
-  bool is_ok() const { return !message_.has_value(); }
+  bool is_ok() const { return node_ == nullptr; }
   explicit operator bool() const { return is_ok(); }
 
+  // The full "outer: inner: root" message (lazily joined and cached).
   const std::string& message() const {
     static const std::string kOk = "OK";
-    return message_ ? *message_ : kOk;
+    if (node_ == nullptr) return kOk;
+    if (!rendered_) {
+      std::string joined;
+      for (const Node* n = node_.get(); n != nullptr; n = n->cause.get()) {
+        if (!joined.empty()) joined += ": ";
+        joined += n->text;
+      }
+      rendered_ = std::make_shared<const std::string>(std::move(joined));
+    }
+    return *rendered_;
+  }
+
+  // The innermost (root cause) diagnostic code; "" when none was attached.
+  const std::string& code() const {
+    static const std::string kNone;
+    const std::string* found = &kNone;
+    for (const Node* n = node_.get(); n != nullptr; n = n->cause.get()) {
+      if (!n->code.empty()) found = &n->code;
+    }
+    return *found;
   }
 
   // Prepends context to the error message, e.g. "parsing model.xml: <err>".
-  Status with_context(const std::string& context) const {
+  // O(1) in the length of the existing chain.
+  Status with_context(std::string context) const {
     if (is_ok()) return *this;
-    return error(context + ": " + *message_);
+    Status s;
+    s.node_ = std::make_shared<const Node>(
+        Node{std::move(context), std::string(), node_});
+    return s;
   }
 
  private:
-  std::optional<std::string> message_;
+  struct Node {
+    std::string text;
+    std::string code;
+    std::shared_ptr<const Node> cause;
+  };
+
+  std::shared_ptr<const Node> node_;
+  mutable std::shared_ptr<const std::string> rendered_;
 };
 
 template <typename T>
@@ -54,6 +96,9 @@ class Result {
 
   static Result<T> error(std::string message) {
     return Result<T>(Status::error(std::move(message)));
+  }
+  static Result<T> error(std::string code, std::string message) {
+    return Result<T>(Status::error(std::move(code), std::move(message)));
   }
 
   bool is_ok() const { return std::holds_alternative<T>(value_); }
@@ -85,12 +130,16 @@ class Result {
 }  // namespace frodo
 
 // Evaluates `expr` (a Result<T>); on error returns the error from the
-// enclosing function, otherwise binds the value to `lhs`.
-#define FRODO_ASSIGN_OR_RETURN(lhs, expr)                   \
-  auto FRODO_CONCAT_(res_, __LINE__) = (expr);              \
-  if (!FRODO_CONCAT_(res_, __LINE__).is_ok())               \
-    return FRODO_CONCAT_(res_, __LINE__).status();          \
-  lhs = std::move(FRODO_CONCAT_(res_, __LINE__)).value()
+// enclosing function, otherwise binds the value to `lhs`.  Uses __COUNTER__
+// so multiple expansions are collision-free even on the same source line.
+#define FRODO_ASSIGN_OR_RETURN(lhs, expr) \
+  FRODO_ASSIGN_OR_RETURN_IMPL_(FRODO_CONCAT_(frodo_res_, __COUNTER__), lhs, \
+                               expr)
+
+#define FRODO_ASSIGN_OR_RETURN_IMPL_(res, lhs, expr) \
+  auto res = (expr);                                 \
+  if (!res.is_ok()) return res.status();             \
+  lhs = std::move(res).value()
 
 #define FRODO_RETURN_IF_ERROR(expr)                  \
   do {                                               \

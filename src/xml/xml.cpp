@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "support/diag.hpp"
 #include "support/strings.hpp"
 
 namespace frodo::xml {
@@ -55,6 +56,13 @@ std::vector<const Element*> Element::find_children(
 
 namespace {
 
+// Ingestion hardening: model documents nest a few levels per subsystem, so
+// these caps are far above any legitimate file while keeping a hostile
+// document from exhausting the parser's memory.  Element parsing runs on an
+// explicit open-element stack, so depth costs heap, not call stack.
+constexpr std::size_t kMaxNestingDepth = 4000;
+constexpr std::size_t kMaxAttributesPerElement = 4096;
+
 class Parser {
  public:
   explicit Parser(std::string_view input) : input_(input) {}
@@ -101,8 +109,12 @@ class Parser {
   }
 
   Status fail(const std::string& what) const {
-    return Status::error("XML parse error at " + std::to_string(line_) + ":" +
-                         std::to_string(col_) + ": " + what);
+    return fail_code(diag::codes::kXmlSyntax, what);
+  }
+
+  Status fail_code(const char* code, const std::string& what) const {
+    return Status::error(code, "XML parse error at " + std::to_string(line_) +
+                                   ":" + std::to_string(col_) + ": " + what);
   }
 
   // Skips the XML declaration, comments and PIs before the root element.
@@ -215,64 +227,113 @@ class Parser {
     return value;
   }
 
-  Result<ElementPtr> parse_element() {
-    if (!consume("<")) return Result<ElementPtr>(fail("expected '<'"));
+  struct StartTag {
+    ElementPtr element;
+    bool self_closing = false;
+  };
+
+  // Parses "<name attr=... (>|/>)" with the cursor on the '<'.
+  Result<StartTag> parse_start_tag() {
+    if (!consume("<")) return Result<StartTag>(fail("expected '<'"));
     auto name = parse_name();
     if (!name.is_ok()) return name.status();
-    auto element = std::make_unique<Element>(name.value());
+    StartTag tag;
+    tag.element = std::make_unique<Element>(name.value());
 
+    std::size_t attr_count = 0;
     while (true) {
       skip_ws();
-      if (at_end())
-        return Result<ElementPtr>(fail("unterminated start tag"));
-      if (consume("/>")) return element;
-      if (consume(">")) break;
+      if (at_end()) return Result<StartTag>(fail("unterminated start tag"));
+      if (consume("/>")) {
+        tag.self_closing = true;
+        return tag;
+      }
+      if (consume(">")) return tag;
+      if (++attr_count > kMaxAttributesPerElement)
+        return Result<StartTag>(fail_code(
+            diag::codes::kXmlTooManyAttrs,
+            "element <" + tag.element->name() +
+                "> exceeds the limit of " +
+                std::to_string(kMaxAttributesPerElement) + " attributes"));
       auto key = parse_name();
       if (!key.is_ok()) return key.status();
       skip_ws();
-      if (!consume("=")) return Result<ElementPtr>(fail("expected '='"));
+      if (!consume("=")) return Result<StartTag>(fail("expected '='"));
       skip_ws();
       auto value = parse_attr_value();
       if (!value.is_ok()) return value.status();
-      element->set_attr(key.value(), value.value());
+      tag.element->set_attr(key.value(), value.value());
     }
+  }
 
-    // Content until the matching end tag.
+  // Iterative element parser on an explicit open-element stack: a hostile
+  // deeply-nested document costs heap until the depth limit fires, never
+  // call-stack frames.
+  Result<ElementPtr> parse_element() {
+    std::vector<ElementPtr> open;  // ancestors of the cursor, innermost last
+
+    // Attaches a finished element to its parent, or returns it as the root.
+    const auto close = [&open](ElementPtr done) -> ElementPtr {
+      if (open.empty()) return done;
+      open.back()->adopt_child(std::move(done));
+      return nullptr;
+    };
+
     while (true) {
-      if (at_end())
-        return Result<ElementPtr>(
-            fail("unterminated element <" + element->name() + ">"));
-      if (consume("<![CDATA[")) {
-        std::string cdata;
-        while (!at_end() && !consume("]]>")) cdata.push_back(advance());
-        element->append_text(cdata);
-      } else if (consume("<!--")) {
-        while (!at_end() && !consume("-->")) advance();
-      } else if (consume("<?")) {
-        while (!at_end() && !consume("?>")) advance();
-      } else if (input_.substr(pos_).substr(0, 2) == "</") {
-        consume("</");
-        auto end_name = parse_name();
-        if (!end_name.is_ok()) return end_name.status();
-        if (end_name.value() != element->name())
-          return Result<ElementPtr>(fail("mismatched end tag </" +
-                                         end_name.value() + "> for <" +
-                                         element->name() + ">"));
-        skip_ws();
-        if (!consume(">")) return Result<ElementPtr>(fail("expected '>'"));
-        return element;
-      } else if (peek() == '<') {
-        auto child = parse_element();
-        if (!child.is_ok()) return child.status();
-        element->adopt_child(std::move(child).value());
-      } else if (peek() == '&') {
-        advance();
-        auto entity = parse_entity();
-        if (!entity.is_ok()) return entity.status();
-        element->append_text(entity.value());
+      // Cursor is on the '<' of a start tag.
+      if (open.size() >= kMaxNestingDepth)
+        return Result<ElementPtr>(fail_code(
+            diag::codes::kXmlTooDeep,
+            "element nesting exceeds the limit of " +
+                std::to_string(kMaxNestingDepth) + " levels"));
+      auto start = parse_start_tag();
+      if (!start.is_ok()) return start.status();
+      if (start.value().self_closing) {
+        if (ElementPtr root = close(std::move(start.value().element)))
+          return root;
       } else {
-        element->append_text(std::string_view(&input_[pos_], 1));
-        advance();
+        open.push_back(std::move(start.value().element));
+      }
+
+      // Content of the innermost open element, until a child start tag
+      // (back to the outer loop) or its end tag (pop).
+      while (!open.empty()) {
+        Element& element = *open.back();
+        if (at_end())
+          return Result<ElementPtr>(
+              fail("unterminated element <" + element.name() + ">"));
+        if (consume("<![CDATA[")) {
+          std::string cdata;
+          while (!at_end() && !consume("]]>")) cdata.push_back(advance());
+          element.append_text(cdata);
+        } else if (consume("<!--")) {
+          while (!at_end() && !consume("-->")) advance();
+        } else if (consume("<?")) {
+          while (!at_end() && !consume("?>")) advance();
+        } else if (input_.substr(pos_).substr(0, 2) == "</") {
+          consume("</");
+          auto end_name = parse_name();
+          if (!end_name.is_ok()) return end_name.status();
+          if (end_name.value() != element.name())
+            return Result<ElementPtr>(fail("mismatched end tag </" +
+                                           end_name.value() + "> for <" +
+                                           element.name() + ">"));
+          skip_ws();
+          if (!consume(">")) return Result<ElementPtr>(fail("expected '>'"));
+          ElementPtr done = std::move(open.back());
+          open.pop_back();
+          if (ElementPtr root = close(std::move(done))) return root;
+        } else if (peek() == '<') {
+          break;  // child element: parse its start tag in the outer loop
+        } else if (peek() == '&') {
+          advance();
+          auto entity = parse_entity();
+          if (!entity.is_ok()) return entity.status();
+          element.append_text(entity.value());
+        } else {
+          element.append_text(std::string_view(&input_[pos_], 1));
+          advance();
+        }
       }
     }
   }

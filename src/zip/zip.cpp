@@ -1,8 +1,11 @@
 #include "zip/zip.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
+
+#include "support/diag.hpp"
 
 namespace frodo::zip {
 
@@ -13,6 +16,14 @@ constexpr std::uint32_t kCentralHeaderSig = 0x02014b50;
 constexpr std::uint32_t kEndOfCentralSig = 0x06054b50;
 constexpr std::uint16_t kMethodStore = 0;
 constexpr std::uint16_t kVersionNeeded = 20;
+
+// Ingestion hardening: model packages are small (a handful of XML parts), so
+// anything approaching these caps is a damaged or hostile container, not a
+// legitimate model.  Rejecting early bounds both memory and CPU.
+constexpr std::size_t kMaxEntries = 4096;
+constexpr std::uint64_t kMaxEntryBytes = 256ull << 20;   // per entry
+constexpr std::uint64_t kMaxTotalBytes = 1024ull << 20;  // whole archive
+constexpr std::uint64_t kMaxCompressionRatio = 1024;
 
 void put16(std::string& out, std::uint16_t v) {
   out.push_back(static_cast<char>(v & 0xFF));
@@ -168,7 +179,11 @@ std::string Archive::serialize() const {
 Result<Archive> Archive::parse(std::string_view bytes) {
   // Locate the end-of-central-directory record by scanning backwards (the
   // record has a variable-length trailing comment).
-  if (bytes.size() < 22) return Result<Archive>::error("ZIP too small");
+  if (bytes.size() < 22)
+    return Result<Archive>::error(diag::codes::kZipTooSmall,
+                                  "ZIP too small (" +
+                                      std::to_string(bytes.size()) +
+                                      " bytes, need at least 22)");
   std::size_t eocd_pos = std::string_view::npos;
   const std::size_t scan_limit =
       bytes.size() >= 22 + 65535 ? bytes.size() - 22 - 65535 : 0;
@@ -181,10 +196,14 @@ Result<Archive> Archive::parse(std::string_view bytes) {
     if (pos == scan_limit) break;
   }
   if (eocd_pos == std::string_view::npos)
-    return Result<Archive>::error("ZIP: end of central directory not found");
+    return Result<Archive>::error(diag::codes::kZipNoEndRecord,
+                                  "ZIP: end of central directory not found");
 
   ByteReader eocd(bytes, eocd_pos + 4);
-  if (!eocd.has(18)) return Result<Archive>::error("ZIP: truncated EOCD");
+  if (!eocd.has(18))
+    return Result<Archive>::error(diag::codes::kZipTruncated,
+                                  "ZIP: truncated end-of-central-directory "
+                                  "record");
   eocd.get16();  // disk
   eocd.get16();  // central dir disk
   eocd.get16();  // entries on this disk
@@ -192,13 +211,40 @@ Result<Archive> Archive::parse(std::string_view bytes) {
   eocd.get32();  // central size
   const std::uint32_t central_offset = eocd.get32();
 
+  // Bomb guard: the central directory needs >= 46 bytes per declared entry,
+  // so an entry count the container cannot possibly hold is rejected before
+  // any per-entry work.
+  if (entry_count > kMaxEntries)
+    return Result<Archive>::error(
+        diag::codes::kZipBomb, "ZIP: declares " + std::to_string(entry_count) +
+                                   " entries, limit is " +
+                                   std::to_string(kMaxEntries));
+  if (static_cast<std::uint64_t>(entry_count) * 46 > bytes.size())
+    return Result<Archive>::error(
+        diag::codes::kZipTruncated,
+        "ZIP: declares " + std::to_string(entry_count) +
+            " entries but the container is only " +
+            std::to_string(bytes.size()) + " bytes");
+  if (central_offset > bytes.size())
+    return Result<Archive>::error(
+        diag::codes::kZipTruncated,
+        "ZIP: central directory offset " + std::to_string(central_offset) +
+            " is beyond the end of the container");
+
   Archive archive;
+  std::uint64_t total_bytes = 0;
   ByteReader central(bytes, central_offset);
   for (std::uint16_t i = 0; i < entry_count; ++i) {
     if (!central.has(46))
-      return Result<Archive>::error("ZIP: truncated central directory");
+      return Result<Archive>::error(
+          diag::codes::kZipTruncated,
+          "ZIP: truncated central directory (entry " + std::to_string(i + 1) +
+              " of " + std::to_string(entry_count) + ")");
     if (central.get32() != kCentralHeaderSig)
-      return Result<Archive>::error("ZIP: bad central header signature");
+      return Result<Archive>::error(diag::codes::kZipBadSignature,
+                                    "ZIP: bad central header signature at "
+                                    "entry " +
+                                        std::to_string(i + 1));
     central.get16();  // version made by
     central.get16();  // version needed
     central.get16();  // flags
@@ -215,25 +261,58 @@ Result<Archive> Archive::parse(std::string_view bytes) {
     central.get16();  // internal attrs
     central.get32();  // external attrs
     const std::uint32_t local_offset = central.get32();
-    if (!central.has(name_len + extra_len + comment_len))
-      return Result<Archive>::error("ZIP: truncated central entry");
+    if (!central.has(static_cast<std::size_t>(name_len) + extra_len +
+                     comment_len))
+      return Result<Archive>::error(diag::codes::kZipTruncated,
+                                    "ZIP: truncated central entry " +
+                                        std::to_string(i + 1));
     std::string name(central.get_bytes(name_len));
     central.get_bytes(extra_len);
     central.get_bytes(comment_len);
 
+    // Bomb guards: per-entry size, declared-vs-container ratio, and archive
+    // total, all checked against the *declared* sizes before touching data.
+    if (uncompressed_size > kMaxEntryBytes)
+      return Result<Archive>::error(
+          diag::codes::kZipBomb,
+          "ZIP: entry '" + name + "' declares " +
+              std::to_string(uncompressed_size) + " bytes, per-entry limit "
+              "is " + std::to_string(kMaxEntryBytes));
+    if (uncompressed_size >
+        std::max<std::uint64_t>(compressed_size, 1) * kMaxCompressionRatio)
+      return Result<Archive>::error(
+          diag::codes::kZipBomb,
+          "ZIP: entry '" + name + "' declares an implausible compression "
+          "ratio (" + std::to_string(compressed_size) + " -> " +
+              std::to_string(uncompressed_size) + " bytes)");
+    total_bytes += uncompressed_size;
+    if (total_bytes > kMaxTotalBytes)
+      return Result<Archive>::error(
+          diag::codes::kZipBomb,
+          "ZIP: archive declares more than " +
+              std::to_string(kMaxTotalBytes) + " total uncompressed bytes");
+
     if (method != kMethodStore)
       return Result<Archive>::error(
+          diag::codes::kZipBadMethod,
           "ZIP: entry '" + name +
-          "' uses an unsupported compression method (only STORE is "
-          "supported)");
+              "' uses an unsupported compression method (only STORE is "
+              "supported)");
     if (compressed_size != uncompressed_size)
-      return Result<Archive>::error("ZIP: STORE entry with size mismatch");
+      return Result<Archive>::error(diag::codes::kZipSizeMismatch,
+                                    "ZIP: STORE entry '" + name +
+                                        "' with size mismatch");
 
     ByteReader local(bytes, local_offset);
     if (!local.has(30))
-      return Result<Archive>::error("ZIP: truncated local header");
+      return Result<Archive>::error(diag::codes::kZipTruncated,
+                                    "ZIP: truncated local header of entry '" +
+                                        name + "'");
     if (local.get32() != kLocalHeaderSig)
-      return Result<Archive>::error("ZIP: bad local header signature");
+      return Result<Archive>::error(diag::codes::kZipBadSignature,
+                                    "ZIP: bad local header signature of "
+                                    "entry '" +
+                                        name + "'");
     local.get16();  // version
     local.get16();  // flags
     local.get16();  // method
@@ -246,13 +325,16 @@ Result<Archive> Archive::parse(std::string_view bytes) {
     const std::uint16_t local_extra_len = local.get16();
     if (!local.has(static_cast<std::size_t>(local_name_len) +
                    local_extra_len + compressed_size))
-      return Result<Archive>::error("ZIP: truncated entry data");
+      return Result<Archive>::error(diag::codes::kZipTruncated,
+                                    "ZIP: truncated data of entry '" + name +
+                                        "'");
     local.get_bytes(local_name_len);
     local.get_bytes(local_extra_len);
     std::string data(local.get_bytes(compressed_size));
     if (crc32(data) != crc)
-      return Result<Archive>::error("ZIP: CRC mismatch in entry '" + name +
-                                    "'");
+      return Result<Archive>::error(diag::codes::kZipBadCrc,
+                                    "ZIP: CRC mismatch in entry '" + name +
+                                        "'");
     archive.entries_.push_back(Entry{std::move(name), std::move(data)});
   }
   return archive;
@@ -268,7 +350,9 @@ Status write_file(const std::string& path, std::string_view bytes) {
 
 Result<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Result<std::string>::error("cannot open: " + path);
+  if (!in)
+    return Result<std::string>::error(diag::codes::kPkgUnreadable,
+                                      "cannot open: " + path);
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   return data;

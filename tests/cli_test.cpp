@@ -1,6 +1,7 @@
 // End-to-end tests of the frodoc command-line tool: package in, compilable
 // bundle out.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -23,8 +24,16 @@ std::string tmpdir() {
   return dir;
 }
 
+// Unique per call: ctest runs tests from this binary as parallel processes,
+// which must never share capture files.
+std::string unique_file(const std::string& stem, const std::string& ext) {
+  static int counter = 0;
+  return tmpdir() + "/" + stem + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ext;
+}
+
 int run(const std::string& args, std::string* output = nullptr) {
-  const std::string out_file = tmpdir() + "/cli_out.txt";
+  const std::string out_file = unique_file("cli_out", ".txt");
   const std::string cmd =
       std::string(FRODOC_PATH) + " " + args + " > '" + out_file + "' 2>&1";
   const int code = std::system(cmd.c_str());
@@ -37,8 +46,26 @@ int run(const std::string& args, std::string* output = nullptr) {
 
 std::string write_sample_package() {
   auto model = benchmodels::build_back();
-  const std::string path = tmpdir() + "/Back.slxz";
+  const std::string path = unique_file("Back", ".slxz");
   EXPECT_TRUE(slx::save(model.value(), path).is_ok());
+  return path;
+}
+
+// A model containing a block type the generator does not know.
+std::string write_unknown_block_model() {
+  const std::string xml =
+      "<Model Name=\"Exotic\">"
+      "<Block Name=\"in\" Type=\"Inport\"><P Name=\"Port\">1</P>"
+      "<P Name=\"Dims\">8</P></Block>"
+      "<Block Name=\"mystery\" Type=\"QuantumFilter\"/>"
+      "<Block Name=\"out\" Type=\"Outport\"><P Name=\"Port\">1</P></Block>"
+      "<Line><Src Block=\"in\" Port=\"1\"/>"
+      "<Dst Block=\"mystery\" Port=\"1\"/></Line>"
+      "<Line><Src Block=\"mystery\" Port=\"1\"/>"
+      "<Dst Block=\"out\" Port=\"1\"/></Line>"
+      "</Model>";
+  const std::string path = unique_file("Exotic", ".xml");
+  EXPECT_TRUE(zip::write_file(path, xml).is_ok());
   return path;
 }
 
@@ -122,6 +149,102 @@ TEST(Frodoc, ErrorsAreReported) {
 
   EXPECT_NE(run("", &text), 0);  // missing model argument
   EXPECT_NE(run("--bogus-flag x", &text), 0);
+}
+
+TEST(Frodoc, ExitCodesAreDocumentedContract) {
+  // 0 = success.
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("codes", "");
+  EXPECT_EQ(run("'" + package + "' --out '" + out + "'"), 0);
+  // 1 = input diagnostics.
+  EXPECT_EQ(run("/nonexistent/model.slxz"), 1);
+  // 2 = usage errors.
+  EXPECT_EQ(run(""), 2);
+  EXPECT_EQ(run("--bogus-flag x"), 2);
+  EXPECT_EQ(run("'" + package + "' --generator warpdrive"), 2);
+  EXPECT_EQ(run("'" + package + "' --diag-format yaml"), 2);
+  EXPECT_EQ(run("'" + package + "' --max-errors 0"), 2);
+}
+
+TEST(Frodoc, JsonDiagnostics) {
+  std::string text;
+  EXPECT_EQ(run("/nonexistent/model.slxz --diag-format=json", &text), 1);
+  EXPECT_NE(text.find("\"diagnostics\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"code\":\"FRODO-E"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"severity\":\"error\""), std::string::npos) << text;
+
+  // A clean run still renders the (empty) JSON report for tooling.
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("json_ok", "");
+  EXPECT_EQ(run("'" + package + "' --out '" + out +
+                    "' --diag-format=json",
+                &text),
+            0);
+  EXPECT_NE(text.find("\"errors\":0"), std::string::npos) << text;
+}
+
+TEST(Frodoc, UnknownBlockTypeDegradesToCompilableCode) {
+  const std::string path = write_unknown_block_model();
+  const std::string out = unique_file("degraded", "");
+  std::string text;
+  // Non-strict: warn (FRODO-W001) and still generate compilable C code.
+  ASSERT_EQ(run("'" + path + "' --out '" + out + "' --emit-main", &text), 0)
+      << text;
+  EXPECT_NE(text.find("FRODO-W001"), std::string::npos) << text;
+  EXPECT_NE(text.find("QuantumFilter"), std::string::npos) << text;
+  ASSERT_TRUE(std::filesystem::exists(out + "/Exotic.c"));
+
+  const std::string compile = "cd '" + out +
+                              "' && gcc -O1 -o demo Exotic.c main.c -lm "
+                              "&& ./demo > demo.txt";
+  EXPECT_EQ(std::system(compile.c_str()), 0);
+}
+
+TEST(Frodoc, StrictRejectsUnknownBlockType) {
+  const std::string path = write_unknown_block_model();
+  const std::string out = unique_file("strict", "");
+  std::string text;
+  EXPECT_EQ(run("'" + path + "' --out '" + out + "' --strict", &text), 1)
+      << text;
+  EXPECT_NE(text.find("FRODO-E311"), std::string::npos) << text;
+  EXPECT_FALSE(std::filesystem::exists(out + "/Exotic.c"));
+}
+
+TEST(Frodoc, MaxErrorsCapsTheReport) {
+  // Ten Outport blocks with an invalid Port parameter produce ten E307s;
+  // --max-errors keeps only the first N plus a truncation note.
+  std::string xml = "<Model Name=\"Manybad\">";
+  for (int i = 0; i < 10; ++i) {
+    xml += "<Block Name=\"o" + std::to_string(i) +
+           "\" Type=\"Outport\"><P Name=\"Port\">0</P></Block>";
+  }
+  xml += "</Model>";
+  const std::string path = unique_file("Manybad", ".xml");
+  ASSERT_TRUE(zip::write_file(path, xml).is_ok());
+
+  std::string text;
+  EXPECT_EQ(run("'" + path + "' --check --max-errors=3", &text), 1);
+  EXPECT_NE(text.find("further errors suppressed"), std::string::npos)
+      << text;
+  // Only o0..o2's errors are kept; o5's is counted but dropped.
+  EXPECT_NE(text.find("o2"), std::string::npos) << text;
+  EXPECT_EQ(text.find("o5"), std::string::npos) << text;
+}
+
+TEST(Frodoc, CheckReportsMultipleErrorsInOneRun) {
+  // Two independent problems, both reported in a single pass: a bad Port
+  // parameter (E307) and an unconnected Outport input (E310 arity).
+  const std::string xml =
+      "<Model Name=\"Multi\">"
+      "<Block Name=\"in\" Type=\"Inport\"><P Name=\"Port\">1</P></Block>"
+      "<Block Name=\"out\" Type=\"Outport\"><P Name=\"Port\">0</P></Block>"
+      "</Model>";
+  const std::string path = unique_file("Multi", ".xml");
+  ASSERT_TRUE(zip::write_file(path, xml).is_ok());
+  std::string text;
+  EXPECT_EQ(run("'" + path + "' --check", &text), 1);
+  EXPECT_NE(text.find("FRODO-E307"), std::string::npos) << text;
+  EXPECT_NE(text.find("FRODO-E310"), std::string::npos) << text;
 }
 
 TEST(Frodoc, XmlInputAlsoAccepted) {

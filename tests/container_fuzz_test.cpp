@@ -1,0 +1,256 @@
+// Corrupted-container fuzz cases: every damaged or hostile .slxz/ZIP input
+// must fail *cleanly* — frodoc exits with status 1 and a stable FRODO-Exxx
+// diagnostic, never a crash, hang, or huge allocation.  Run under
+// tests/run_sanitized.sh for the zero-ASan/UBSan-findings guarantee.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "zip/zip.hpp"
+
+#ifndef FRODOC_PATH
+#error "FRODOC_PATH must be defined by the build"
+#endif
+
+namespace frodo {
+namespace {
+
+std::string tmpdir() {
+  const std::string dir = testing::TempDir() + "/frodoc_fuzz";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Unique per call so parallel ctest workers never share files.
+std::string unique_path(const std::string& stem) {
+  static int counter = 0;
+  return tmpdir() + "/" + stem + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".slxz";
+}
+
+// Runs `frodoc <file>` and returns {exit status, combined output}.
+struct RunResult {
+  int status = -1;
+  std::string output;
+};
+
+RunResult run_frodoc(const std::string& package_path) {
+  const std::string out_file = package_path + ".out";
+  const std::string cmd = std::string(FRODOC_PATH) + " '" + package_path +
+                          "' --out '" + tmpdir() + "/gen' > '" + out_file +
+                          "' 2>&1";
+  const int code = std::system(cmd.c_str());
+  RunResult r;
+  r.status = WEXITSTATUS(code);
+  auto text = zip::read_file(out_file);
+  r.output = text.is_ok() ? text.value() : "";
+  return r;
+}
+
+// Writes `bytes` as a package and asserts the clean-failure contract: exit
+// status 1 (input diagnostics — not a crash code) and a FRODO-Exxx code in
+// the output.
+void expect_clean_failure(const std::string& stem, const std::string& bytes,
+                          const std::string& expected_code = "FRODO-E") {
+  const std::string path = unique_path(stem);
+  ASSERT_TRUE(zip::write_file(path, bytes).is_ok());
+  const RunResult r = run_frodoc(path);
+  EXPECT_EQ(r.status, 1) << stem << ": " << r.output;
+  EXPECT_NE(r.output.find(expected_code), std::string::npos)
+      << stem << ": " << r.output;
+}
+
+// A minimal well-formed package to corrupt.
+std::string valid_package() {
+  zip::Archive archive;
+  archive.add("simulink/blockdiagram.xml",
+              "<Model Name=\"M\">"
+              "<Block Name=\"in\" Type=\"Inport\"><P Name=\"Port\">1</P>"
+              "</Block>"
+              "<Block Name=\"out\" Type=\"Outport\"><P Name=\"Port\">1</P>"
+              "</Block>"
+              "<Line><Src Block=\"in\" Port=\"1\"/>"
+              "<Dst Block=\"out\" Port=\"1\"/></Line>"
+              "</Model>");
+  return archive.serialize();
+}
+
+void patch16(std::string* bytes, std::size_t pos, std::uint16_t v) {
+  (*bytes)[pos] = static_cast<char>(v & 0xFF);
+  (*bytes)[pos + 1] = static_cast<char>((v >> 8) & 0xFF);
+}
+
+void patch32(std::string* bytes, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    (*bytes)[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t read32(const std::string& bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(bytes[pos +
+                                                   static_cast<std::size_t>(
+                                                       i)]);
+  return v;
+}
+
+// The end-of-central-directory record occupies the last 22 bytes (our writer
+// emits no trailing comment).  Field offsets within it:
+constexpr std::size_t kEocdEntriesOnDisk = 8;
+constexpr std::size_t kEocdTotalEntries = 10;
+constexpr std::size_t kEocdCentralOffset = 16;
+// Field offsets within a central directory header:
+constexpr std::size_t kCentralMethod = 10;
+constexpr std::size_t kCentralCompressed = 20;
+constexpr std::size_t kCentralUncompressed = 24;
+
+std::size_t eocd_pos(const std::string& bytes) { return bytes.size() - 22; }
+
+TEST(ContainerFuzz, SanityValidPackageGenerates) {
+  const std::string path = unique_path("valid");
+  ASSERT_TRUE(zip::write_file(path, valid_package()).is_ok());
+  const RunResult r = run_frodoc(path);
+  EXPECT_EQ(r.status, 0) << r.output;
+}
+
+TEST(ContainerFuzz, EmptyFile) { expect_clean_failure("empty", ""); }
+
+TEST(ContainerFuzz, TinyFile) {
+  expect_clean_failure("tiny", "PK\x03\x04", "FRODO-E001");
+}
+
+TEST(ContainerFuzz, GarbageBytes) {
+  std::string garbage(256, '\0');
+  for (std::size_t i = 0; i < garbage.size(); ++i)
+    garbage[i] = static_cast<char>((i * 131 + 7) & 0xFF);
+  expect_clean_failure("garbage", garbage, "FRODO-E002");
+}
+
+TEST(ContainerFuzz, TruncatedEndRecord) {
+  std::string bytes = valid_package();
+  bytes.resize(bytes.size() - 10);  // cut into the EOCD record
+  expect_clean_failure("truncated_eocd", bytes);
+}
+
+TEST(ContainerFuzz, TruncatedCentralDirectory) {
+  std::string bytes = valid_package();
+  // Point the central directory just before the EOCD: not enough room for
+  // the declared entries.
+  patch32(&bytes, eocd_pos(bytes) + kEocdCentralOffset,
+          static_cast<std::uint32_t>(eocd_pos(bytes) - 4));
+  expect_clean_failure("truncated_central", bytes, "FRODO-E");
+}
+
+TEST(ContainerFuzz, CentralOffsetBeyondEof) {
+  std::string bytes = valid_package();
+  patch32(&bytes, eocd_pos(bytes) + kEocdCentralOffset, 0x7FFFFFFF);
+  expect_clean_failure("central_beyond_eof", bytes, "FRODO-E003");
+}
+
+TEST(ContainerFuzz, HugeDeclaredEntryCount) {
+  std::string bytes = valid_package();
+  patch16(&bytes, eocd_pos(bytes) + kEocdEntriesOnDisk, 0xFFFF);
+  patch16(&bytes, eocd_pos(bytes) + kEocdTotalEntries, 0xFFFF);
+  expect_clean_failure("huge_entry_count", bytes, "FRODO-E004");
+}
+
+TEST(ContainerFuzz, FlippedDataByteFailsCrc) {
+  std::string bytes = valid_package();
+  // The first local header is at offset 0; its data starts after the 30-byte
+  // header + name.  Flip a byte inside the first entry's payload.
+  const std::size_t name_len =
+      std::string("simulink/blockdiagram.xml").size();
+  const std::size_t data_pos = 30 + name_len + 5;
+  bytes[data_pos] = static_cast<char>(bytes[data_pos] ^ 0x5A);
+  expect_clean_failure("crc_mismatch", bytes, "FRODO-E006");
+}
+
+TEST(ContainerFuzz, CorruptLocalHeaderSignature) {
+  std::string bytes = valid_package();
+  bytes[0] = 'X';  // first local header signature
+  expect_clean_failure("bad_local_sig", bytes, "FRODO-E007");
+}
+
+TEST(ContainerFuzz, CorruptCentralHeaderSignature) {
+  std::string bytes = valid_package();
+  const std::size_t central = read32(bytes, eocd_pos(bytes) +
+                                                kEocdCentralOffset);
+  bytes[central] = 'X';
+  expect_clean_failure("bad_central_sig", bytes, "FRODO-E007");
+}
+
+TEST(ContainerFuzz, UnsupportedCompressionMethod) {
+  std::string bytes = valid_package();
+  const std::size_t central = read32(bytes, eocd_pos(bytes) +
+                                                kEocdCentralOffset);
+  patch16(&bytes, central + kCentralMethod, 8);  // DEFLATE
+  expect_clean_failure("bad_method", bytes, "FRODO-E005");
+}
+
+TEST(ContainerFuzz, PerEntrySizeBomb) {
+  std::string bytes = valid_package();
+  const std::size_t central = read32(bytes, eocd_pos(bytes) +
+                                                kEocdCentralOffset);
+  // Declares a ~4 GiB entry in a few-hundred-byte container; must be
+  // rejected from the declared size alone, without any allocation.
+  patch32(&bytes, central + kCentralCompressed, 0xFFFFFFF0u);
+  patch32(&bytes, central + kCentralUncompressed, 0xFFFFFFF0u);
+  expect_clean_failure("entry_size_bomb", bytes, "FRODO-E004");
+}
+
+TEST(ContainerFuzz, CompressionRatioBomb) {
+  std::string bytes = valid_package();
+  const std::size_t central = read32(bytes, eocd_pos(bytes) +
+                                                kEocdCentralOffset);
+  // 4 bytes "compressed" expanding to 8 MiB: ratio 2^21 >> the 1024 cap.
+  patch32(&bytes, central + kCentralCompressed, 4);
+  patch32(&bytes, central + kCentralUncompressed, 8u << 20);
+  expect_clean_failure("ratio_bomb", bytes, "FRODO-E004");
+}
+
+TEST(ContainerFuzz, MissingBlockDiagramPart) {
+  zip::Archive archive;
+  archive.add("unrelated/part.xml", "<x/>");
+  expect_clean_failure("missing_part", archive.serialize(), "FRODO-E201");
+}
+
+TEST(ContainerFuzz, NonModelRootElement) {
+  zip::Archive archive;
+  archive.add("simulink/blockdiagram.xml", "<NotAModel/>");
+  expect_clean_failure("bad_root", archive.serialize(), "FRODO-E202");
+}
+
+TEST(ContainerFuzz, MalformedXmlPart) {
+  zip::Archive archive;
+  archive.add("simulink/blockdiagram.xml", "<Model Name=\"M\"><Block");
+  expect_clean_failure("bad_xml", archive.serialize(), "FRODO-E101");
+}
+
+TEST(ContainerFuzz, XmlNestingBomb) {
+  std::string xml = "<Model Name=\"M\">";
+  for (int i = 0; i < 5000; ++i) xml += "<a>";
+  for (int i = 0; i < 5000; ++i) xml += "</a>";
+  xml += "</Model>";
+  zip::Archive archive;
+  archive.add("simulink/blockdiagram.xml", xml);
+  expect_clean_failure("deep_xml", archive.serialize(), "FRODO-E102");
+}
+
+TEST(ContainerFuzz, XmlAttributeBomb) {
+  std::string xml = "<Model Name=\"M\"><Block ";
+  for (int i = 0; i < 5000; ++i)
+    xml += "a" + std::to_string(i) + "=\"x\" ";
+  xml += "/></Model>";
+  zip::Archive archive;
+  archive.add("simulink/blockdiagram.xml", xml);
+  expect_clean_failure("attr_bomb", archive.serialize(), "FRODO-E103");
+}
+
+}  // namespace
+}  // namespace frodo

@@ -2,6 +2,7 @@
 // under -Wall -Wextra -Werror (deployable embedded code gets reviewed and
 // pushed through strict CI; warnings in generated sources are bugs).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -31,7 +32,10 @@ TEST_P(EmittedCodeQuality, CompilesWarningFreeUnderWallWextraWerror) {
     auto code = gen.value()->generate(m.value());
     ASSERT_TRUE(code.is_ok()) << code.message();
 
-    const std::string dir = testing::TempDir() + "/frodo_quality";
+    // Per-process: parallel ctest workers cp to the same "<prefix>.h"
+    // otherwise.
+    const std::string dir = testing::TempDir() + "/frodo_quality_" +
+                            std::to_string(::getpid());
     std::filesystem::create_directories(dir);
     const std::string stem = dir + "/" + code.value().prefix + "_" +
                              sanitize_identifier(GetParam().generator);

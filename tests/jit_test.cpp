@@ -1,6 +1,7 @@
 #include "jit/jit.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "codegen/generator.hpp"
 
@@ -18,7 +19,12 @@ codegen::GeneratedCode tiny_code() {
   return std::move(gen.generate(m)).value();
 }
 
-std::string workdir() { return testing::TempDir() + "/frodo_jit_test"; }
+// Per-process so parallel ctest workers never overwrite each other's
+// sources and shared objects.
+std::string workdir() {
+  return testing::TempDir() + "/frodo_jit_test_" +
+         std::to_string(::getpid());
+}
 
 TEST(Profiles, Table2HasTwoCompilers) {
   auto profiles = table2_profiles();

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Builds the whole tree with AddressSanitizer + UBSan and runs the test
+# suite.  Any sanitizer finding aborts the offending test (halt_on_error,
+# -fno-sanitize-recover), so a green run means zero findings.
+#
+# Usage: tests/run_sanitized.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DFRODO_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 4)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+cd "$build_dir"
+ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 4)"

@@ -1,3 +1,4 @@
+#include "support/diag.hpp"
 #include "support/status.hpp"
 #include "support/strings.hpp"
 
@@ -50,6 +51,112 @@ Result<int> uses_macro(bool ok) {
 TEST(Result, AssignOrReturnMacro) {
   EXPECT_EQ(uses_macro(true).value(), 42);
   EXPECT_EQ(uses_macro(false).message(), "inner");
+}
+
+// Two expansions on one source line must not collide (__COUNTER__-based
+// temporary names).
+Result<int> uses_macro_twice_on_one_line(bool first_ok, bool second_ok) {
+  // clang-format off
+  FRODO_ASSIGN_OR_RETURN(int a, parse_or_fail(first_ok)); FRODO_ASSIGN_OR_RETURN(int b, parse_or_fail(second_ok));
+  // clang-format on
+  return a + b;
+}
+
+TEST(Result, AssignOrReturnMacroTwiceOnOneLine) {
+  EXPECT_EQ(uses_macro_twice_on_one_line(true, true).value(), 82);
+  EXPECT_EQ(uses_macro_twice_on_one_line(false, true).message(), "inner");
+  EXPECT_EQ(uses_macro_twice_on_one_line(true, false).message(), "inner");
+}
+
+TEST(Status, ContextChainsWithoutRecopying) {
+  // Deep chains stay O(1) per wrap; the rendered message joins every layer
+  // outermost-first.
+  Status s = Status::error("root");
+  for (int i = 0; i < 1000; ++i) s = s.with_context("ctx");
+  const std::string& message = s.message();
+  EXPECT_EQ(message.substr(0, 9), "ctx: ctx:");
+  EXPECT_EQ(message.substr(message.size() - 4), "root");
+
+  Status inner = Status::error("leaf");
+  Status outer = inner.with_context("wrap");
+  // Wrapping shares the tail: the inner status is unchanged.
+  EXPECT_EQ(inner.message(), "leaf");
+  EXPECT_EQ(outer.message(), "wrap: leaf");
+}
+
+TEST(Status, InnermostCodeWins) {
+  Status inner = Status::error(diag::codes::kZipBadCrc, "crc");
+  EXPECT_EQ(inner.code(), "FRODO-E006");
+  Status wrapped = inner.with_context("reading container");
+  EXPECT_EQ(wrapped.code(), "FRODO-E006");
+  EXPECT_EQ(wrapped.message(), "reading container: crc");
+  EXPECT_EQ(Status::error("plain").code(), "");
+}
+
+TEST(Diag, EngineAccumulatesAndRenders) {
+  diag::Engine engine;
+  engine.error(diag::codes::kModelDanglingEndpoint, "no such block 'x'",
+               "Sub/Conv");
+  engine.warning(diag::codes::kWUnknownBlockType, "unknown type", "B");
+  EXPECT_EQ(engine.error_count(), 1);
+  EXPECT_EQ(engine.warning_count(), 1);
+  EXPECT_TRUE(engine.has_errors());
+
+  const std::string text = engine.render_text();
+  EXPECT_NE(text.find("error[FRODO-E303] at Sub/Conv:"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 error(s), 1 warning(s)"), std::string::npos);
+
+  const std::string json = engine.render_json();
+  EXPECT_NE(json.find("\"code\":\"FRODO-E303\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+}
+
+TEST(Diag, EngineCapsErrors) {
+  diag::Engine engine(/*max_errors=*/2);
+  for (int i = 0; i < 5; ++i) {
+    std::string message = "e";
+    message += std::to_string(i);
+    engine.error(diag::codes::kModelDanglingEndpoint, std::move(message));
+  }
+  // All 5 counted, but only 2 kept plus one truncation note.
+  EXPECT_EQ(engine.error_count(), 5);
+  EXPECT_TRUE(engine.error_limit_reached());
+  EXPECT_EQ(engine.diagnostics().size(), 3u);
+  EXPECT_EQ(engine.diagnostics().back().code, diag::codes::kWErrorLimit);
+  // Warnings survive the cap.
+  engine.warning(diag::codes::kWUnknownBlockType, "w");
+  EXPECT_EQ(engine.diagnostics().size(), 4u);
+}
+
+TEST(Diag, ExactDuplicatesReportedOnce) {
+  // Validation and analysis legitimately rediscover the same problem; the
+  // user hears about it once.
+  diag::Engine engine;
+  for (int i = 0; i < 3; ++i)
+    engine.warning(diag::codes::kWUnknownBlockType, "unknown type", "B");
+  engine.warning(diag::codes::kWUnknownBlockType, "unknown type", "C");
+  EXPECT_EQ(engine.warning_count(), 2);
+  EXPECT_EQ(engine.diagnostics().size(), 2u);
+  engine.error(diag::codes::kModelArity, "bad arity", "B");
+  engine.error(diag::codes::kModelArity, "bad arity", "B");
+  EXPECT_EQ(engine.error_count(), 1);
+}
+
+TEST(Diag, ErrorFromStatusPrefersStatusCode) {
+  diag::Engine engine;
+  engine.error_from(Status::error(diag::codes::kXmlSyntax, "bad"),
+                    diag::codes::kInternal);
+  engine.error_from(Status::error("plain"), diag::codes::kInternal, "w");
+  engine.error_from(Status::ok(), diag::codes::kInternal);  // no-op
+  ASSERT_EQ(engine.diagnostics().size(), 2u);
+  EXPECT_EQ(engine.diagnostics()[0].code, diag::codes::kXmlSyntax);
+  EXPECT_EQ(engine.diagnostics()[1].code, diag::codes::kInternal);
+}
+
+TEST(Diag, JsonEscape) {
+  EXPECT_EQ(diag::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(diag::json_escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
 TEST(Strings, Split) {
