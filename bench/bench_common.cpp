@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "support/diag.hpp"
+
 namespace frodo::bench {
 
 int reps() {
@@ -33,15 +35,20 @@ Result<double> run_cell(const model::Model& model,
   return jit::time_steps(compiled, inputs, repetitions);
 }
 
-Result<std::vector<Row>> sweep(const jit::CompilerProfile& profile,
-                               int repetitions) {
+Result<std::vector<Row>> sweep(
+    const jit::CompilerProfile& profile, int repetitions,
+    const std::vector<const codegen::Generator*>& extra_generators) {
   std::vector<Row> rows;
-  const auto generators = codegen::paper_generators(profile.hcg_simd_width);
+  const auto owned = codegen::paper_generators(profile.hcg_simd_width);
+  std::vector<const codegen::Generator*> generators;
+  for (const auto& gen : owned) generators.push_back(gen.get());
+  generators.insert(generators.end(), extra_generators.begin(),
+                    extra_generators.end());
   for (const auto& bench : benchmodels::all_models()) {
     FRODO_ASSIGN_OR_RETURN(model::Model model, bench.build());
     Row row;
     row.model = bench.name;
-    for (const auto& gen : generators) {
+    for (const codegen::Generator* gen : generators) {
       std::fprintf(stderr, "  [%s] %s / %s ...\n", profile.label.c_str(),
                    bench.name.c_str(), gen->name().c_str());
       auto seconds = run_cell(model, *gen, profile, repetitions);
@@ -52,6 +59,43 @@ Result<std::vector<Row>> sweep(const jit::CompilerProfile& profile,
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+Status write_json(const std::string& path, const std::string& bench_name,
+                  int repetitions, const std::vector<ProfileRows>& profiles) {
+  std::string out = "{\"bench\":\"" + diag::json_escape(bench_name) +
+                    "\",\"repetitions\":" + std::to_string(repetitions) +
+                    ",\"profiles\":[";
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    if (p != 0) out += ",";
+    out += "{\"label\":\"" + diag::json_escape(profiles[p].label) +
+           "\",\"rows\":[";
+    for (std::size_t r = 0; r < profiles[p].rows.size(); ++r) {
+      const Row& row = profiles[p].rows[r];
+      if (r != 0) out += ",";
+      out += "{\"model\":\"" + diag::json_escape(row.model) +
+             "\",\"ns_per_step\":{";
+      bool first = true;
+      for (const auto& [gen, seconds] : row.seconds) {
+        if (!first) out += ",";
+        first = false;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      seconds / repetitions * 1e9);
+        out += "\"" + diag::json_escape(gen) + "\":" + buf;
+      }
+      out += "}}";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::error("cannot open '" + path + "' for writing");
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (!ok) return Status::error("short write to '" + path + "'");
+  return Status::ok();
 }
 
 std::string fmt_seconds(double s) {

@@ -39,9 +39,25 @@ struct Row {
 };
 
 // Runs all paper generators over all Table 1 models under one compiler
-// profile, printing progress to stderr.
-Result<std::vector<Row>> sweep(const jit::CompilerProfile& profile,
-                               int repetitions);
+// profile, printing progress to stderr.  `extra_generators` adds columns
+// beyond the paper's four (e.g. a Frodo-noopt ablation).
+Result<std::vector<Row>> sweep(
+    const jit::CompilerProfile& profile, int repetitions,
+    const std::vector<const codegen::Generator*>& extra_generators = {});
+
+// One full benchmark result: rows per compiler profile, ready for the JSON
+// trajectory reporter.
+struct ProfileRows {
+  std::string label;
+  std::vector<Row> rows;
+};
+
+// Writes the machine-readable result file future runs diff against:
+//   {"bench": NAME, "repetitions": N, "profiles": [{"label": ...,
+//    "rows": [{"model": ..., "ns_per_step": {GEN: NS, ...}}, ...]}, ...]}
+// ns_per_step = seconds / repetitions * 1e9.
+Status write_json(const std::string& path, const std::string& bench_name,
+                  int repetitions, const std::vector<ProfileRows>& profiles);
 
 // Formats "0.333s"-style cells.
 std::string fmt_seconds(double s);

@@ -1,6 +1,11 @@
-// Regenerates the §5 memory discussion: all four generators plan the same
-// static signal buffers and block state, use no dynamic allocation, and so
-// consume the same memory — FRODO's speedups are free of memory overhead.
+// Regenerates the §5 memory discussion: the baseline generators all plan
+// the same full-size static signal buffers and block state and use no
+// dynamic allocation.  FRODO's range analysis does not change that by
+// itself (it shrinks loops, not storage) — verified via the Frodo-noopt
+// ablation — but the codegen optimizer's buffer shrinking additionally
+// allocates each signal at its calculation-range hull, so the optimized
+// Frodo column must come in at or below the baseline footprint on every
+// model and strictly below on at least one (see docs/CODEGEN.md).
 //
 // Also reports generated source size, quantifying the §5 threat-to-validity
 // note that FRODO's per-range code instances make its sources longer.
@@ -10,10 +15,16 @@
 
 int main() {
   std::printf("Section 5 discussion: memory and code-size accounting.\n\n");
-  std::printf("%-14s %-10s %14s %14s %10s\n", "Model", "Generator",
+  std::printf("%-14s %-12s %14s %14s %10s\n", "Model", "Generator",
               "static doubles", "static KiB", "source LoC");
 
-  bool memory_identical = true;
+  const frodo::codegen::FrodoGenerator noopt(
+      /*loose=*/false, /*shared_kernels=*/false,
+      frodo::codegen::OptimizeOptions::none());
+
+  bool baselines_identical = true;
+  bool frodo_within = true;
+  int frodo_shrunk_models = 0;
   for (const auto& bench : frodo::benchmodels::all_models()) {
     auto model = bench.build();
     if (!model.is_ok()) {
@@ -21,31 +32,49 @@ int main() {
                    model.message().c_str());
       return 1;
     }
-    long long reference = -1;
-    for (const auto& gen : frodo::codegen::paper_generators()) {
+
+    const auto paper = frodo::codegen::paper_generators();
+    std::vector<const frodo::codegen::Generator*> gens;
+    for (const auto& gen : paper) gens.push_back(gen.get());
+    gens.push_back(&noopt);
+
+    long long reference = -1;   // full-size footprint (baselines + noopt)
+    long long frodo_opt = -1;   // optimized Frodo footprint
+    for (const auto* gen : gens) {
       auto code = gen->generate(model.value());
       if (!code.is_ok()) {
         std::fprintf(stderr, "generate %s/%s: %s\n", bench.name.c_str(),
                      gen->name().c_str(), code.message().c_str());
         return 1;
       }
-      if (reference < 0) reference = code.value().static_doubles;
-      memory_identical &= code.value().static_doubles == reference;
-      std::printf("%-14s %-10s %14lld %14.1f %10d\n", bench.name.c_str(),
-                  gen->name().c_str(), code.value().static_doubles,
-                  static_cast<double>(code.value().static_doubles) * 8.0 /
-                      1024.0,
+      const long long doubles = code.value().static_doubles;
+      if (gen->name() == "Frodo") {
+        frodo_opt = doubles;
+      } else {
+        if (reference < 0) reference = doubles;
+        baselines_identical &= doubles == reference;
+      }
+      std::printf("%-14s %-12s %14lld %14.1f %10d\n", bench.name.c_str(),
+                  gen->name().c_str(), doubles,
+                  static_cast<double>(doubles) * 8.0 / 1024.0,
                   code.value().source_lines);
     }
+    frodo_within &= frodo_opt <= reference;
+    if (frodo_opt < reference) ++frodo_shrunk_models;
   }
 
   std::printf(
-      "\nStatic memory identical across generators for every model: %s\n",
-      memory_identical ? "yes" : "NO");
+      "\nStatic memory identical across baseline generators (incl. "
+      "Frodo-noopt) for every model: %s\n",
+      baselines_identical ? "yes" : "NO");
+  std::printf("Optimized Frodo at or below the baseline footprint on every "
+              "model: %s (strictly below on %d/10)\n",
+              frodo_within ? "yes" : "NO", frodo_shrunk_models);
   std::printf(
       "Generated code uses no malloc/free; all buffers and state are "
       "static arrays, matching the paper's heap/stack analysis.\n");
   std::printf("Peak RSS of this process (all generators loaded): %ld KiB\n",
               frodo::jit::peak_rss_kb());
-  return memory_identical ? 0 : 1;
+  const bool ok = baselines_identical && frodo_within && frodo_shrunk_models > 0;
+  return ok ? 0 : 1;
 }

@@ -1,70 +1,107 @@
 // Regenerates Table 2: code execution duration on the host (x86) across two
 // compiler pipelines, for Simulink (Embedded Coder emulation), DFSynth, HCG
-// and FRODO over the 10 benchmark models.
+// and FRODO over the 10 benchmark models, plus a Frodo-noopt ablation column
+// (range analysis on, codegen optimizer off) isolating the contribution of
+// loop fusion / buffer shrinking / zero-copy truncation.
 //
 // Substitution note (DESIGN.md): the paper's second compiler is Clang 14;
 // when clang is not installed the harness uses gcc -O2 as an independent
 // second optimization pipeline and labels the column accordingly.
+//
+// --json=PATH writes the machine-readable per-model ns/step trajectory file
+// (see bench/run_benchmarks.sh, which maintains BENCH_table2_x86.json).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using frodo::bench::fmt_seconds;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: bench_table2_x86 [--json=PATH]\n");
+      return 2;
+    }
+  }
+
   const int repetitions = frodo::bench::reps();
   const auto profiles = frodo::jit::table2_profiles();
+  const frodo::codegen::FrodoGenerator noopt(
+      /*loose=*/false, /*shared_kernels=*/false,
+      frodo::codegen::OptimizeOptions::none());
 
   std::printf(
       "Table 2: Comparison of the code execution duration on x86 "
       "(%d repetitions per cell).\n\n",
       repetitions);
 
-  std::vector<std::vector<frodo::bench::Row>> all_rows;
+  std::vector<frodo::bench::ProfileRows> all_rows;
   for (const auto& profile : profiles) {
-    auto rows = frodo::bench::sweep(profile, repetitions);
+    auto rows = frodo::bench::sweep(profile, repetitions, {&noopt});
     if (!rows.is_ok()) {
       std::fprintf(stderr, "sweep failed: %s\n", rows.message().c_str());
       return 1;
     }
-    all_rows.push_back(std::move(rows).value());
+    all_rows.push_back(
+        frodo::bench::ProfileRows{profile.label, std::move(rows).value()});
   }
 
-  // Header: two compiler groups of four generator columns.
+  const char* kColumns[] = {"Simulink", "DFSynth", "HCG", "Frodo-noopt",
+                            "Frodo"};
   std::printf("%-14s", "Model");
-  for (const auto& profile : profiles) {
-    std::printf(" | %-8s %-8s %-8s %-8s", ("[" + profile.label).c_str(),
-                "DFSynth", "HCG", "Frodo]");
-  }
+  for (const auto& profile : profiles)
+    std::printf(" | [%s]%*s", profile.label.c_str(),
+                static_cast<int>(49 - profile.label.size()), "");
   std::printf("\n");
   std::printf("%-14s", "");
   for (std::size_t p = 0; p < profiles.size(); ++p) {
-    std::printf(" | %-8s %-8s %-8s %-8s", "Simulink", "DFSynth", "HCG",
-                "Frodo");
+    std::printf(" |");
+    for (const char* col : kColumns) std::printf(" %-10s", col);
   }
   std::printf("\n");
 
-  for (std::size_t row_idx = 0; row_idx < all_rows[0].size(); ++row_idx) {
-    std::printf("%-14s", all_rows[0][row_idx].model.c_str());
+  for (std::size_t row_idx = 0; row_idx < all_rows[0].rows.size();
+       ++row_idx) {
+    std::printf("%-14s", all_rows[0].rows[row_idx].model.c_str());
     for (const auto& rows : all_rows) {
-      const auto& row = rows[row_idx];
-      std::printf(" | %-8s %-8s %-8s %-8s",
-                  fmt_seconds(row.seconds.at("Simulink")).c_str(),
-                  fmt_seconds(row.seconds.at("DFSynth")).c_str(),
-                  fmt_seconds(row.seconds.at("HCG")).c_str(),
-                  fmt_seconds(row.seconds.at("Frodo")).c_str());
+      const auto& row = rows.rows[row_idx];
+      std::printf(" |");
+      for (const char* col : kColumns)
+        std::printf(" %-10s", fmt_seconds(row.seconds.at(col)).c_str());
     }
     std::printf("\n");
   }
 
   std::printf("\nSpeedup summary (paper: GCC 1.26x-5.64x vs Simulink, "
               "1.32x-5.75x vs DFSynth, 1.22x-2.89x vs HCG):\n");
-  for (std::size_t p = 0; p < profiles.size(); ++p)
-    frodo::bench::print_speedup_summary(all_rows[p], profiles[p].label);
+  for (const auto& rows : all_rows)
+    frodo::bench::print_speedup_summary(rows.rows, rows.label);
 
-  // Shape check: Frodo must be the fastest generator on every cell.
+  // Optimizer contribution: per-model ns/step, optimizer on vs off.
+  std::printf("\nCodegen optimizer contribution (Frodo vs Frodo-noopt, "
+              "ns/step):\n");
+  for (const auto& rows : all_rows) {
+    int improved = 0;
+    for (const auto& row : rows.rows) {
+      const double off = row.seconds.at("Frodo-noopt") / repetitions * 1e9;
+      const double on = row.seconds.at("Frodo") / repetitions * 1e9;
+      if (on < off) ++improved;
+      std::printf("  [%s] %-14s %9.1f -> %9.1f (%+.1f%%)\n",
+                  rows.label.c_str(), row.model.c_str(), off, on,
+                  (on - off) / off * 100.0);
+    }
+    std::printf("  [%s] optimizer faster on %d/%zu models\n",
+                rows.label.c_str(), improved, rows.rows.size());
+  }
+
+  // Shape check: Frodo must be the fastest paper generator on every cell.
   bool frodo_wins = true;
   for (const auto& rows : all_rows) {
-    for (const auto& row : rows) {
+    for (const auto& row : rows.rows) {
       const double frodo = row.seconds.at("Frodo");
       for (const char* other : {"Simulink", "DFSynth", "HCG"}) {
         if (row.seconds.at(other) < frodo) {
@@ -77,5 +114,15 @@ int main() {
   }
   std::printf("\nFrodo fastest on every model/compiler cell: %s\n",
               frodo_wins ? "yes" : "no (see notes above)");
+
+  if (!json_path.empty()) {
+    auto status = frodo::bench::write_json(json_path, "table2_x86",
+                                           repetitions, all_rows);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates the perf-trajectory file BENCH_table2_x86.json at the repo
+# root: per-model, per-generator ns/step for both Table 2 compiler profiles,
+# including the Frodo-noopt ablation column.  Future PRs re-run this script
+# and diff the JSON to track the trajectory.
+#
+#   FRODO_BENCH_REPS   repetitions per cell (default 2000 here; the paper's
+#                      10000 via `FRODO_BENCH_REPS=10000 bench/run_benchmarks.sh`)
+#   BUILD_DIR          cmake build tree (default: build)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_table2_x86 -j >/dev/null
+
+FRODO_BENCH_REPS="${FRODO_BENCH_REPS:-2000}" \
+    "$build_dir/bench/bench_table2_x86" \
+    --json="$repo_root/BENCH_table2_x86.json"

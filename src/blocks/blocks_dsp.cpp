@@ -430,6 +430,14 @@ class CumulativeSumSemantics final : public BlockSemantics {
     ctx.w->close();
     return Status::ok();
   }
+
+  mapping::IndexSet emitted_store_range(
+      const BlockInstance&, int,
+      const mapping::IndexSet& out_range) const override {
+    // emit() fills the whole prefix [0, max], not just the demanded set.
+    if (out_range.is_empty()) return out_range;
+    return mapping::IndexSet::interval(0, out_range.max());
+  }
 };
 
 // -- MovingAverage (window parameter) ------------------------------------------------

@@ -111,6 +111,14 @@ class ElementwiseSemantics : public BlockSemantics {
     return status;
   }
 
+  bool fusible(const Block&) const override { return true; }
+
+  Result<std::string> scalar_expr(
+      const Block& block,
+      const std::vector<std::string>& operands) const override {
+    return expr(block, operands);
+  }
+
  protected:
   virtual int arity(const Block& block) const = 0;
   // C expression combining the operand expressions; must match fold().

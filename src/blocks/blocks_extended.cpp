@@ -607,6 +607,14 @@ class IirSemantics final : public BlockSemantics {
     return Status::ok();
   }
 
+  mapping::IndexSet emitted_store_range(
+      const BlockInstance&, int,
+      const mapping::IndexSet& out_range) const override {
+    // The recursion stores the whole prefix [0, max].
+    if (out_range.is_empty()) return out_range;
+    return mapping::IndexSet::interval(0, out_range.max());
+  }
+
  private:
   static Result<std::vector<double>> coeffs(const Block& block,
                                             const char* key) {

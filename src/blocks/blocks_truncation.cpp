@@ -208,6 +208,25 @@ class SelectorSemantics final : public BlockSemantics {
     return Status::ok();
   }
 
+  std::optional<SliceAlias> slice_alias(const BlockInstance& inst,
+                                        int) const override {
+    const Block& block = inst.b();
+    if (is_port_mode(block)) return std::nullopt;  // runtime start index
+    if (block.has_param("Indices")) {
+      auto v = block.param("Indices");
+      if (!v.is_ok()) return std::nullopt;
+      auto idx = v.value().as_int_list();
+      if (!idx.is_ok() || idx.value().empty()) return std::nullopt;
+      for (std::size_t i = 1; i < idx.value().size(); ++i) {
+        if (idx.value()[i] != idx.value()[i - 1] + 1) return std::nullopt;
+      }
+      return SliceAlias{0, idx.value()[0]};
+    }
+    auto start = int_param(block, "Start");
+    if (!start.is_ok()) return std::nullopt;
+    return SliceAlias{0, start.value()};
+  }
+
  private:
   static bool is_port_mode(const Block& block) {
     if (!block.has_param("IndexSource")) return false;
@@ -371,6 +390,16 @@ class SubmatrixSemantics final : public BlockSemantics {
     return Status::ok();
   }
 
+  std::optional<SliceAlias> slice_alias(const BlockInstance& inst,
+                                        int) const override {
+    auto w = window(inst.b(), inst.in_shapes[0]);
+    if (!w.is_ok()) return std::nullopt;
+    const long long in_cols = inst.in_shapes[0].cols();
+    // Full-width row windows are contiguous in row-major layout.
+    if (w.value().c0 != 0 || w.value().c1 != in_cols - 1) return std::nullopt;
+    return SliceAlias{0, w.value().r0 * in_cols};
+  }
+
  private:
   struct Window {
     long long r0, r1, c0, c1;
@@ -433,6 +462,11 @@ class ReshapeSemantics final : public BlockSemantics {
         });
     return Status::ok();
   }
+
+  std::optional<SliceAlias> slice_alias(const BlockInstance&,
+                                        int) const override {
+    return SliceAlias{0, 0};  // row-major identity
+  }
 };
 
 // -- Transpose ----------------------------------------------------------------------
@@ -490,6 +524,14 @@ class TransposeSemantics final : public BlockSemantics {
                  ctx.w->close();
                });
     return Status::ok();
+  }
+
+  std::optional<SliceAlias> slice_alias(const BlockInstance& inst,
+                                        int) const override {
+    // Transposing a row or column vector permutes nothing in flat layout.
+    if (inst.in_shapes[0].rows() == 1 || inst.in_shapes[0].cols() == 1)
+      return SliceAlias{0, 0};
+    return std::nullopt;
   }
 };
 

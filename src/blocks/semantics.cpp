@@ -34,6 +34,25 @@ Status BlockSemantics::emit_state_update(codegen::EmitContext&,
                        "' declares state but does not emit a state update");
 }
 
+bool BlockSemantics::fusible(const model::Block&) const { return false; }
+
+Result<std::string> BlockSemantics::scalar_expr(
+    const model::Block&, const std::vector<std::string>&) const {
+  return Result<std::string>::error(
+      std::string("block type '") + std::string(type()) +
+      "' does not provide a scalar expression");
+}
+
+std::optional<SliceAlias> BlockSemantics::slice_alias(const BlockInstance&,
+                                                      int) const {
+  return std::nullopt;
+}
+
+mapping::IndexSet BlockSemantics::emitted_store_range(
+    const BlockInstance&, int, const mapping::IndexSet& out_range) const {
+  return out_range;
+}
+
 bool BlockSemantics::is_constant(const model::Block&) const { return false; }
 
 Result<std::vector<double>> BlockSemantics::constant_value(

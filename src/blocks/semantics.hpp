@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,15 @@ struct BlockInstance {
   std::vector<model::Shape> out_shapes;
 
   const model::Block& b() const { return *block; }
+};
+
+// Answer of slice_alias(): the block's output port is a pure contiguous
+// slice of one input — out[j] == in[input_port][offset + j] for every j —
+// so a generator may replace its buffer with a pointer alias into the
+// source buffer instead of emitting a copy loop.
+struct SliceAlias {
+  int input_port = 0;
+  long long offset = 0;
 };
 
 class BlockSemantics {
@@ -107,6 +117,32 @@ class BlockSemantics {
   // proved is ever read.
   virtual Status emit_state_update(codegen::EmitContext& ctx,
                                    const mapping::IndexSet& in_range) const;
+
+  // -- Optimizer hooks (codegen/optimize) ---------------------------------------
+  // True when the block computes out[i] purely from the i-th element of each
+  // non-scalar input (and scalar_expr() is implemented), making it a loop
+  // fusion candidate.  emit() stays the fallback for unfused instances.
+  virtual bool fusible(const model::Block& block) const;
+
+  // C expression for one output element in terms of per-element operand
+  // expressions (one per input port, already indexed).  Only meaningful when
+  // fusible(); the default declines.
+  virtual Result<std::string> scalar_expr(
+      const model::Block& block,
+      const std::vector<std::string>& operands) const;
+
+  // When the output port is a pure contiguous slice of one input, returns
+  // the alias; nullopt (the default) means "emit copy code as usual".
+  virtual std::optional<SliceAlias> slice_alias(const BlockInstance& inst,
+                                                int out_port) const;
+
+  // The index set emit() may *store* to on `out_port` given the demanded
+  // `out_range` — a superset of out_range for blocks whose code fills a
+  // whole prefix (CumulativeSum, IIRFilter).  Buffer shrinking sizes the
+  // backing array to cover range and stores alike.
+  virtual mapping::IndexSet emitted_store_range(
+      const BlockInstance& inst, int out_port,
+      const mapping::IndexSet& out_range) const;
 
   // -- Constant folding ---------------------------------------------------------
   // Blocks whose output never changes (Constant) report true; generators

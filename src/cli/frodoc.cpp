@@ -3,10 +3,13 @@
 //   frodoc MODEL.(slxz|xml) [options]
 //
 // Options:
-//   --generator NAME   frodo (default) | frodo-loose | simulink | dfsynth |
-//                      hcg
+//   --generator NAME   frodo (default) | frodo-noopt | frodo-loose |
+//                      frodo-shared | simulink | dfsynth | hcg
 //   --out DIR          output directory (default: current directory)
 //   --emit-main        also write a standalone demo main.c
+//   --[no-]fuse               elementwise loop fusion (frodo; default on)
+//   --[no-]shrink-buffers     range-hull buffer shrinking (frodo; default on)
+//   --[no-]alias-truncation   zero-copy slice aliases (frodo; default on)
 //   --print-ranges     dump the calculation ranges (Algorithm 1) and exit
 //   --check            validate the model (structure, types, shapes) and exit
 //   --strict           treat degradable problems (unknown block types) as
@@ -45,7 +48,9 @@ namespace diag = frodo::diag;
 int usage(int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: frodoc MODEL.(slxz|xml) [--generator NAME] "
-               "[--out DIR] [--emit-main] [--print-ranges] [--check] "
+               "[--out DIR] [--emit-main] [--[no-]fuse] "
+               "[--[no-]shrink-buffers] [--[no-]alias-truncation] "
+               "[--print-ranges] [--check] "
                "[--strict] [--max-errors N] [--diag-format text|json] "
                "[--simd-width N] [--list-blocks]\n");
   return code;
@@ -140,6 +145,7 @@ int main(int argc, char** argv) {
   bool strict = false;
   int simd_width = 4;
   int max_errors = frodo::diag::Engine::kDefaultMaxErrors;
+  frodo::codegen::OptimizeOptions optimize;  // all passes on by default
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -195,6 +201,18 @@ int main(int argc, char** argv) {
       diag_format = v;
     } else if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--fuse") {
+      optimize.fuse = true;
+    } else if (arg == "--no-fuse") {
+      optimize.fuse = false;
+    } else if (arg == "--shrink-buffers") {
+      optimize.shrink_buffers = true;
+    } else if (arg == "--no-shrink-buffers") {
+      optimize.shrink_buffers = false;
+    } else if (arg == "--alias-truncation") {
+      optimize.alias_truncation = true;
+    } else if (arg == "--no-alias-truncation") {
+      optimize.alias_truncation = false;
     } else if (arg == "--emit-main") {
       emit_main = true;
     } else if (arg == "--print-ranges") {
@@ -249,7 +267,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto generator = frodo::codegen::make_generator(generator_name, simd_width);
+  auto generator =
+      frodo::codegen::make_generator(generator_name, simd_width, &optimize);
   if (!generator.is_ok()) {
     std::fprintf(stderr, "frodoc: %s\n", generator.message().c_str());
     return 2;

@@ -42,9 +42,12 @@ struct EmitContext {
   std::vector<model::Shape> in_shapes;
   std::vector<model::Shape> out_shapes;
 
-  // C array expressions for each input/output port buffer.  Buffers are
-  // always full-size (redundancy elimination shrinks loops, not storage —
-  // §5: no memory overhead).  Scalars are 1-element arrays.
+  // C array expressions for each input/output port buffer, always indexed
+  // by *logical* element index.  The expression may be more than a bare
+  // array name: the optimizer (codegen/optimize.hpp) hands out rebased
+  // expressions like "(B - 5)" for hull-shrunk buffers and macro names for
+  // zero-copy aliases, so emitters must compose them as `expr[index]` and
+  // never assume full-size storage.  Scalars are 1-element arrays.
   std::vector<std::string> in;
   std::vector<std::string> out;
   // State array name; empty when the block is stateless.

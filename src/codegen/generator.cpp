@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blocks/analysis.hpp"
+#include "codegen/optimize.hpp"
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
 #include "support/strings.hpp"
@@ -74,13 +75,6 @@ std::string double_list(const std::vector<double>& values) {
   return out;
 }
 
-bool all_ranges_empty(const std::vector<mapping::IndexSet>& ranges) {
-  for (const auto& r : ranges) {
-    if (!r.is_empty()) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 Result<GeneratedCode> Generator::generate(const model::Model& m,
@@ -99,10 +93,21 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   if (use_range_analysis()) {
     FRODO_ASSIGN_OR_RETURN(ranges,
                            range::determine_ranges(analysis, options.engine));
-    if (loose_ranges()) ranges = range::loosen(analysis, ranges);
+    if (loose_ranges())
+      ranges = range::loosen(analysis, ranges, options.engine);
   } else {
     ranges = range::full_ranges(analysis);
   }
+
+  // Post-range-analysis optimization plan (fusion / shrinking / aliasing).
+  // Only the frodo emit style understands rebased and aliased buffer
+  // expressions; with every pass off the plan degenerates to full-shape
+  // buffers and the emission below is unchanged.
+  const bool optimize_active = style() == EmitStyle::kFrodo &&
+                               !block_functions() && optimize_options().any();
+  const OptimizePlan plan = plan_optimizations(
+      analysis, ranges,
+      optimize_active ? optimize_options() : OptimizeOptions::none());
 
   GeneratedCode code;
   code.model_name = m.name();
@@ -130,8 +135,16 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
       names.resize(shapes.size());  // read through the step parameter
       continue;
     }
-    for (std::size_t p = 0; p < shapes.size(); ++p)
-      names.push_back(buffer_name(analysis, id, static_cast<int>(p)));
+    for (std::size_t p = 0; p < shapes.size(); ++p) {
+      std::string expr = buffer_name(analysis, id, static_cast<int>(p));
+      // A shrunk buffer keeps its logical indexing by rebasing the array
+      // expression; aliases keep the bare name (it becomes a #define).
+      const BufferLayout& l =
+          plan.layout[static_cast<std::size_t>(id)][p];
+      if (!l.alias && !l.fused_away && l.origin > 0)
+        expr = "(" + expr + " - " + std::to_string(l.origin) + ")";
+      names.push_back(expr);
+    }
     const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(id)];
     if (sem.has_state(block)) {
       buffers.state[static_cast<std::size_t>(id)] =
@@ -182,26 +195,29 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     w.blank();
   }
 
-  // Signal buffers and state arrays.
+  // Signal buffers and state arrays.  Sizes come from the optimization
+  // plan: full shape by default, range hulls when shrinking is on, nothing
+  // at all for dead signals, fused intermediates and aliases.
   for (BlockId id = 0; id < n; ++id) {
     const model::Block& block = flat.block(id);
     if (block.type() == "Inport") continue;
     const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(id)];
     const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
     for (std::size_t p = 0; p < shapes.size(); ++p) {
-      const std::string& bname =
-          buffers.out[static_cast<std::size_t>(id)][p];
-      code.static_doubles += shapes[p].size();
+      const std::string bname = buffer_name(analysis, id, static_cast<int>(p));
       if (sem.is_constant(block)) {
+        code.static_doubles += shapes[p].size();
         auto values = sem.constant_value(analysis.instance(id));
         if (!values.is_ok()) return values.status();
         w.raw("static const double " + bname + "[" +
               std::to_string(shapes[p].size()) + "] = {" +
               double_list(values.value()) + "};");
-      } else {
-        w.raw("static double " + bname + "[" +
-              std::to_string(shapes[p].size()) + "];");
+        continue;
       }
+      const BufferLayout& l = plan.layout[static_cast<std::size_t>(id)][p];
+      if (l.alias || l.fused_away || l.size == 0) continue;
+      code.static_doubles += l.size;
+      w.raw("static double " + bname + "[" + std::to_string(l.size) + "];");
     }
     const long long ssize = buffers.state_sizes[static_cast<std::size_t>(id)];
     if (ssize > 0) {
@@ -213,6 +229,24 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
       w.raw("static double " + sname + "[" + std::to_string(ssize) + "];");
       w.raw("static const double " + sname + "_ic[" + std::to_string(ssize) +
             "] = {" + double_list(init) + "};");
+    }
+  }
+
+  // Zero-copy truncations: the sliced "buffer" is a macro expanding to a
+  // pointer into the source signal, so chained aliases and rebased sources
+  // compose at every use site.
+  for (BlockId id = 0; id < n; ++id) {
+    const auto& row = plan.layout[static_cast<std::size_t>(id)];
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      if (!row[p].alias) continue;
+      const std::string src =
+          input_expr(analysis, buffers, sig, id, row[p].alias_port);
+      std::string body = "(" + src;
+      if (row[p].alias_offset != 0)
+        body += " + " + std::to_string(row[p].alias_offset);
+      body += ")";
+      w.raw("#define " + buffer_name(analysis, id, static_cast<int>(p)) +
+            " " + body);
     }
   }
   w.blank();
@@ -234,16 +268,14 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     return Status::ok();
   };
 
+  // Inports, constants, and all-dead blocks generate no step code (the
+  // strongest form of redundancy elimination); the optimizer adds fused
+  // non-tail members and aliased slices on top.
   auto should_skip = [&](BlockId id) {
-    const model::Block& block = flat.block(id);
-    const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(id)];
-    if (block.type() == "Inport") return true;
-    if (sem.is_constant(block)) return true;  // baked into the initializer
-    // A block whose entire output is dead generates no code (the strongest
-    // form of redundancy elimination); only possible with reduced ranges.
-    if (!analysis.out_shapes[static_cast<std::size_t>(id)].empty() &&
-        all_ranges_empty(ranges.out_ranges[static_cast<std::size_t>(id)]))
-      return true;
+    if (emission_skipped(analysis, ranges, id)) return true;
+    const auto i = static_cast<std::size_t>(id);
+    if (plan.chain_of[i] != -1 && !plan.chain_tail[i]) return true;
+    if (!plan.layout[i].empty() && plan.layout[i][0].alias) return true;
     return false;
   };
 
@@ -339,24 +371,44 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     FRODO_RETURN_IF_ERROR(make_ctx(id));
     const model::Block& block = flat.block(id);
     if (block_functions()) {
+      // make_ctx already resolved every buffer expression; reuse it.
       std::string args;
-      for (int p = 0; p < graph.input_count(id); ++p) {
+      for (const std::string& e : ctx.in) {
         if (!args.empty()) args += ", ";
-        args += input_expr(analysis, buffers, sig, id, p);
+        args += e;
       }
-      std::vector<std::string> outs =
-          block.type() == "Outport"
-              ? std::vector<std::string>{output_param(sig, id)}
-              : buffers.out[static_cast<std::size_t>(id)];
-      for (const std::string& o : outs) {
+      for (const std::string& o : ctx.out) {
         if (!args.empty()) args += ", ";
         args += o;
       }
-      if (!buffers.state[static_cast<std::size_t>(id)].empty()) {
+      if (!ctx.state.empty()) {
         if (!args.empty()) args += ", ";
-        args += buffers.state[static_cast<std::size_t>(id)];
+        args += ctx.state;
       }
       w.line(code.prefix + "_blk" + std::to_string(id) + "(" + args + ");");
+      continue;
+    }
+    const int chain = plan.chain_of[static_cast<std::size_t>(id)];
+    if (chain != -1) {
+      // Tail of a fused chain: one loop computes every member.
+      std::string names;
+      for (BlockId m : plan.chains[static_cast<std::size_t>(chain)].members) {
+        if (!names.empty()) names += " -> ";
+        names += flat.block(m).name();
+      }
+      w.comment("fused chain: " + names);
+      w.open("");
+      FRODO_RETURN_IF_ERROR(
+          emit_fused_chain(
+              w, analysis, ranges,
+              plan.chains[static_cast<std::size_t>(chain)],
+              [&](BlockId b, int p) {
+                return input_expr(analysis, buffers, sig, b, p);
+              },
+              buffers.out[static_cast<std::size_t>(id)][0])
+              .with_context("emitting fused chain ending at '" +
+                            block.name() + "'"));
+      w.close();
       continue;
     }
     w.comment(block.name() + " (" + block.type() + ")");
@@ -400,15 +452,10 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
       if (!args.empty()) args += ", ";
       args += "out[" + std::to_string(k) + "]";
     }
-    if (code.inputs.empty() && code.outputs.empty()) {
-      w.line("(void)in;");
-      w.line("(void)out;");
-      w.line(code.prefix + "_step();");
-    } else {
-      w.line("(void)in;");
-      w.line("(void)out;");
-      w.line(code.prefix + "_step(" + args + ");");
-    }
+    // Cast away only the genuinely unused parameters.
+    if (code.inputs.empty()) w.line("(void)in;");
+    if (code.outputs.empty()) w.line("(void)out;");
+    w.line(code.prefix + "_step(" + args + ");");
   }
   w.close();
 
@@ -428,17 +475,24 @@ std::vector<std::unique_ptr<Generator>> paper_generators(int hcg_simd_width) {
   return out;
 }
 
-Result<std::unique_ptr<Generator>> make_generator(const std::string& name,
-                                                  int hcg_simd_width) {
+Result<std::unique_ptr<Generator>> make_generator(
+    const std::string& name, int hcg_simd_width,
+    const OptimizeOptions* frodo_optimize) {
   std::string lower;
   for (char c : name)
     lower.push_back(static_cast<char>(std::tolower(
         static_cast<unsigned char>(c))));
+  const OptimizeOptions opt =
+      frodo_optimize != nullptr ? *frodo_optimize : OptimizeOptions();
   if (lower == "frodo")
-    return std::unique_ptr<Generator>(std::make_unique<FrodoGenerator>());
+    return std::unique_ptr<Generator>(std::make_unique<FrodoGenerator>(
+        /*loose=*/false, /*shared_kernels=*/false, opt));
+  if (lower == "frodo-noopt")
+    return std::unique_ptr<Generator>(std::make_unique<FrodoGenerator>(
+        /*loose=*/false, /*shared_kernels=*/false, OptimizeOptions::none()));
   if (lower == "frodo-loose")
-    return std::unique_ptr<Generator>(
-        std::make_unique<FrodoGenerator>(/*loose=*/true));
+    return std::unique_ptr<Generator>(std::make_unique<FrodoGenerator>(
+        /*loose=*/true, /*shared_kernels=*/false, opt));
   if (lower == "simulink" || lower == "embeddedcoder")
     return std::unique_ptr<Generator>(
         std::make_unique<EmbeddedCoderGenerator>());
@@ -446,14 +500,14 @@ Result<std::unique_ptr<Generator>> make_generator(const std::string& name,
     return std::unique_ptr<Generator>(std::make_unique<DFSynthGenerator>());
   if (lower == "frodo-shared")
     return std::unique_ptr<Generator>(std::make_unique<FrodoGenerator>(
-        /*loose=*/false, /*shared_kernels=*/true));
+        /*loose=*/false, /*shared_kernels=*/true, opt));
   if (lower == "hcg")
     return std::unique_ptr<Generator>(
         std::make_unique<HCGGenerator>(hcg_simd_width));
   return Result<std::unique_ptr<Generator>>::error(
       "unknown generator '" + name +
-      "' (expected frodo, frodo-loose, frodo-shared, simulink, dfsynth or "
-      "hcg)");
+      "' (expected frodo, frodo-noopt, frodo-loose, frodo-shared, simulink, "
+      "dfsynth or hcg)");
 }
 
 std::string emit_demo_main(const GeneratedCode& code, int steps) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "codegen/emit_context.hpp"
+#include "codegen/optimize.hpp"
 #include "model/model.hpp"
 #include "range/range_analysis.hpp"
 #include "support/diag.hpp"
@@ -84,6 +85,11 @@ class Generator {
   virtual bool block_functions() const { return false; }
   // Frodo §5 option: shared range-parameterized kernels for complex blocks.
   virtual bool shared_kernels() const { return false; }
+  // Post-range-analysis optimization passes (codegen/optimize.hpp); only
+  // honoured for the kFrodo emit style.
+  virtual OptimizeOptions optimize_options() const {
+    return OptimizeOptions::none();
+  }
 };
 
 class FrodoGenerator final : public Generator {
@@ -91,12 +97,15 @@ class FrodoGenerator final : public Generator {
   // `loose` widens ranges to whole blocks (granularity ablation);
   // `shared_kernels` emits one generic range-parameterized kernel per
   // complex block type instead of per-range snippet instances (the §5
-  // code-duplication mitigation).
-  explicit FrodoGenerator(bool loose = false, bool shared_kernels = false)
-      : loose_(loose), shared_kernels_(shared_kernels) {}
+  // code-duplication mitigation); `optimize` selects the post-range-analysis
+  // passes (all on by default).
+  explicit FrodoGenerator(bool loose = false, bool shared_kernels = false,
+                          OptimizeOptions optimize = OptimizeOptions())
+      : loose_(loose), shared_kernels_(shared_kernels), optimize_(optimize) {}
   std::string name() const override {
     if (shared_kernels_) return "Frodo-shared";
-    return loose_ ? "Frodo-loose" : "Frodo";
+    if (loose_) return "Frodo-loose";
+    return optimize_.any() ? "Frodo" : "Frodo-noopt";
   }
 
  protected:
@@ -104,10 +113,12 @@ class FrodoGenerator final : public Generator {
   bool use_range_analysis() const override { return true; }
   bool loose_ranges() const override { return loose_; }
   bool shared_kernels() const override { return shared_kernels_; }
+  OptimizeOptions optimize_options() const override { return optimize_; }
 
  private:
   bool loose_;
   bool shared_kernels_;
+  OptimizeOptions optimize_;
 };
 
 class EmbeddedCoderGenerator final : public Generator {
@@ -146,9 +157,13 @@ std::vector<std::unique_ptr<Generator>> paper_generators(
     int hcg_simd_width = 4);
 
 // Generator by case-insensitive name ("frodo", "simulink", "dfsynth",
-// "hcg", "frodo-loose"); nullptr Result error for unknown names.
-Result<std::unique_ptr<Generator>> make_generator(const std::string& name,
-                                                  int hcg_simd_width = 4);
+// "hcg", "frodo-loose", "frodo-noopt"); nullptr Result error for unknown
+// names.  `frodo_optimize`, when given, overrides the pass selection of the
+// frodo/frodo-loose/frodo-shared variants ("frodo-noopt" always forces all
+// passes off).
+Result<std::unique_ptr<Generator>> make_generator(
+    const std::string& name, int hcg_simd_width = 4,
+    const OptimizeOptions* frodo_optimize = nullptr);
 
 // A standalone demo driver (main.c) for a generated bundle: fills the
 // inputs deterministically, runs `steps` steps, prints an output checksum.

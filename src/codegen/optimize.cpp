@@ -1,0 +1,243 @@
+#include "codegen/optimize.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace frodo::codegen {
+
+namespace {
+
+using blocks::Analysis;
+using blocks::BlockSemantics;
+using mapping::IndexSet;
+using model::BlockId;
+
+std::string at(const std::string& array, const std::string& index) {
+  return array + "[" + index + "]";
+}
+
+bool all_ranges_empty(const std::vector<IndexSet>& ranges) {
+  for (const IndexSet& r : ranges) {
+    if (!r.is_empty()) return false;
+  }
+  return true;
+}
+
+// Union-find over block ids.
+int find_root(std::vector<int>& parent, int x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+// A block qualifies for fusion when it emits one output whose every element
+// is a pure function of the same-index elements of its inputs.
+bool fusion_candidate(const Analysis& analysis,
+                      const range::RangeAnalysis& ranges, BlockId id) {
+  if (emission_skipped(analysis, ranges, id)) return false;
+  const model::Block& block = analysis.model().block(id);
+  const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(id)];
+  if (!sem.fusible(block) || sem.has_state(block)) return false;
+  if (analysis.out_shapes[static_cast<std::size_t>(id)].size() != 1)
+    return false;
+  return !ranges.out_ranges[static_cast<std::size_t>(id)][0].is_empty();
+}
+
+void plan_fusion(const Analysis& analysis, const range::RangeAnalysis& ranges,
+                 OptimizePlan& plan) {
+  const int n = analysis.graph->block_count();
+  // link[id] = the downstream chain neighbour, when id's single consumer
+  // edge connects two compatible candidates.
+  std::vector<int> link(static_cast<std::size_t>(n), -1);
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+
+  for (BlockId id = 0; id < n; ++id) {
+    if (!fusion_candidate(analysis, ranges, id)) continue;
+    const auto& edges = analysis.graph->out_edges(id);
+    if (edges.size() != 1) continue;  // fan-out keeps the buffer alive
+    const BlockId dst = edges[0].dst.block;
+    if (!fusion_candidate(analysis, ranges, dst)) continue;
+    const auto i = static_cast<std::size_t>(id);
+    const auto d = static_cast<std::size_t>(dst);
+    if (analysis.out_shapes[i][0] != analysis.out_shapes[d][0]) continue;
+    if (ranges.out_ranges[i][0] != ranges.out_ranges[d][0]) continue;
+    link[i] = dst;
+    parent[find_root(parent, static_cast<int>(id))] =
+        find_root(parent, static_cast<int>(dst));
+  }
+
+  // Group members by component; keep components of two or more blocks.
+  std::vector<std::vector<BlockId>> components(static_cast<std::size_t>(n));
+  for (BlockId id : analysis.order)  // schedule order within each chain
+    components[static_cast<std::size_t>(
+                   find_root(parent, static_cast<int>(id)))]
+        .push_back(id);
+  for (auto& members : components) {
+    if (members.size() < 2) continue;
+    const int chain_index = static_cast<int>(plan.chains.size());
+    for (BlockId m : members) {
+      plan.chain_of[static_cast<std::size_t>(m)] = chain_index;
+      const bool is_tail = link[static_cast<std::size_t>(m)] == -1;
+      plan.chain_tail[static_cast<std::size_t>(m)] = is_tail;
+      if (!is_tail)
+        plan.layout[static_cast<std::size_t>(m)][0].fused_away = true;
+    }
+    plan.chains.push_back(FusionChain{std::move(members)});
+  }
+}
+
+void plan_aliases(const Analysis& analysis, const range::RangeAnalysis& ranges,
+                  OptimizePlan& plan) {
+  const int n = analysis.graph->block_count();
+  for (BlockId id = 0; id < n; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    const model::Block& block = analysis.model().block(id);
+    if (block.type() == "Inport") continue;
+    if (emission_skipped(analysis, ranges, id)) continue;
+    if (plan.chain_of[i] != -1) continue;
+    const BlockSemantics& sem = *analysis.sems[i];
+    if (sem.is_constant(block) || sem.has_state(block)) continue;
+    const std::size_t ports = analysis.out_shapes[i].size();
+    if (ports == 0) continue;
+    const blocks::BlockInstance inst = analysis.instance(id);
+    std::vector<blocks::SliceAlias> aliases;
+    bool ok = true;
+    for (std::size_t p = 0; p < ports && ok; ++p) {
+      auto alias = sem.slice_alias(inst, static_cast<int>(p));
+      ok = alias.has_value() &&
+           analysis.graph->input_driver(id, alias->input_port).has_value();
+      if (ok) aliases.push_back(*alias);
+    }
+    if (!ok) continue;  // emission stays; partial aliasing is not worth it
+    for (std::size_t p = 0; p < ports; ++p) {
+      BufferLayout& l = plan.layout[i][p];
+      l.alias = true;
+      l.alias_port = aliases[p].input_port;
+      l.alias_offset = aliases[p].offset;
+      l.size = 0;
+    }
+  }
+}
+
+void plan_shrinking(const Analysis& analysis,
+                    const range::RangeAnalysis& ranges, OptimizePlan& plan) {
+  const int n = analysis.graph->block_count();
+  for (BlockId id = 0; id < n; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    const model::Block& block = analysis.model().block(id);
+    if (block.type() == "Inport") continue;
+    const BlockSemantics& sem = *analysis.sems[i];
+    if (sem.is_constant(block)) continue;  // initializer stays full-shape
+    const bool skipped = emission_skipped(analysis, ranges, id);
+    for (std::size_t p = 0; p < analysis.out_shapes[i].size(); ++p) {
+      BufferLayout& l = plan.layout[i][p];
+      if (l.alias || l.fused_away) continue;
+      const IndexSet& range = ranges.out_ranges[i][p];
+      // Cover demanded elements *and* every element emit() stores (blocks
+      // like CumulativeSum fill a whole prefix).
+      IndexSet all = range;
+      if (!skipped)
+        all.unite(sem.emitted_store_range(analysis.instance(id),
+                                          static_cast<int>(p), range));
+      if (all.is_empty()) {
+        l.size = 0;  // dead signal: no array at all
+        l.origin = 0;
+        continue;
+      }
+      const mapping::Interval hull = all.hull();
+      l.origin = hull.lo;
+      l.size = hull.size();
+    }
+  }
+}
+
+}  // namespace
+
+bool emission_skipped(const Analysis& analysis,
+                      const range::RangeAnalysis& ranges, BlockId id) {
+  const model::Block& block = analysis.model().block(id);
+  const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(id)];
+  if (block.type() == "Inport") return true;
+  if (sem.is_constant(block)) return true;
+  if (!analysis.out_shapes[static_cast<std::size_t>(id)].empty() &&
+      all_ranges_empty(ranges.out_ranges[static_cast<std::size_t>(id)]))
+    return true;
+  return false;
+}
+
+OptimizePlan plan_optimizations(const Analysis& analysis,
+                                const range::RangeAnalysis& ranges,
+                                const OptimizeOptions& options) {
+  const int n = analysis.graph->block_count();
+  OptimizePlan plan;
+  plan.options = options;
+  plan.chain_of.assign(static_cast<std::size_t>(n), -1);
+  plan.chain_tail.assign(static_cast<std::size_t>(n), false);
+  plan.layout.resize(static_cast<std::size_t>(n));
+  for (BlockId id = 0; id < n; ++id) {
+    const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
+    auto& row = plan.layout[static_cast<std::size_t>(id)];
+    row.resize(shapes.size());
+    for (std::size_t p = 0; p < shapes.size(); ++p)
+      row[p].size = shapes[p].size();  // full-shape default
+  }
+  if (options.fuse) plan_fusion(analysis, ranges, plan);
+  if (options.alias_truncation) plan_aliases(analysis, ranges, plan);
+  if (options.shrink_buffers) plan_shrinking(analysis, ranges, plan);
+  return plan;
+}
+
+Status emit_fused_chain(
+    CWriter& w, const Analysis& analysis, const range::RangeAnalysis& ranges,
+    const FusionChain& chain,
+    const std::function<std::string(model::BlockId, int)>& input_expr,
+    const std::string& tail_out_expr) {
+  const BlockId tail = chain.members.back();
+  const IndexSet& range =
+      ranges.out_ranges[static_cast<std::size_t>(tail)][0];
+  std::vector<bool> in_chain(
+      static_cast<std::size_t>(analysis.graph->block_count()), false);
+  for (BlockId m : chain.members) in_chain[static_cast<std::size_t>(m)] = true;
+
+  for (const mapping::Interval& iv : range.intervals()) {
+    w.open("for (int i = " + std::to_string(iv.lo) +
+           "; i <= " + std::to_string(iv.hi) + "; ++i)");
+    for (BlockId m : chain.members) {
+      const model::Block& block = analysis.model().block(m);
+      const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(m)];
+      std::vector<std::string> operands;
+      for (int p = 0; p < analysis.graph->input_count(m); ++p) {
+        const auto driver = analysis.graph->input_driver(m, p);
+        if (driver.has_value() &&
+            in_chain[static_cast<std::size_t>(driver->block)]) {
+          operands.push_back("t" + std::to_string(driver->block));
+        } else if (analysis.in_shapes[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(p)].is_scalar()) {
+          operands.push_back(at(input_expr(m, p), "0"));
+        } else {
+          operands.push_back(at(input_expr(m, p), "i"));
+        }
+      }
+      auto expr = sem.scalar_expr(block, operands);
+      if (!expr.is_ok())
+        return expr.status().with_context("fusing block '" + block.name() +
+                                          "'");
+      if (m == tail) {
+        w.line(at(tail_out_expr, "i") + " = " + expr.value() + ";");
+      } else {
+        // A named scalar per member keeps duplicated operands (square,
+        // sign) from exploding the expression tree.
+        w.line("const double t" + std::to_string(m) + " = " + expr.value() +
+               ";");
+      }
+    }
+    w.close();
+  }
+  return Status::ok();
+}
+
+}  // namespace frodo::codegen

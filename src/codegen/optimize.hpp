@@ -1,0 +1,105 @@
+// Post-range-analysis codegen optimization pipeline.
+//
+// Algorithm 1 tells us, per block, exactly which output elements are ever
+// needed.  The passes here turn that knowledge into generated-code structure
+// (beyond the per-block snippet slicing the paper describes):
+//
+//   1. Elementwise loop fusion — maximal single-consumer chains of
+//      elementwise blocks with identical shapes and ranges collapse into one
+//      loop that writes only the chain's final buffer.  Intermediate values
+//      live in loop-local scalars, so their buffers (and the load/store
+//      traffic between every pair of blocks) disappear entirely.
+//   2. Range-hull buffer shrinking — each non-constant signal buffer is
+//      allocated at the size of its calculation-range hull, and emitted
+//      index expressions are rebased by hull().lo through the buffer's C
+//      expression ("(B - lo)[i]"), converting the paper's "no memory
+//      overhead" into a static-footprint reduction.
+//   3. Zero-copy truncation — a block whose output is a pure contiguous
+//      slice of one input (Selector, Submatrix rows, Reshape, ...) becomes a
+//      pointer alias (#define into the source buffer) instead of a copy loop.
+//
+// plan_optimizations() computes a pure description of all three passes; the
+// generator applies it when emitting.  Every pass is independently
+// switchable so the differential tests can exercise all combinations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "blocks/analysis.hpp"
+#include "codegen/cwriter.hpp"
+#include "range/range_analysis.hpp"
+#include "support/status.hpp"
+
+namespace frodo::codegen {
+
+struct OptimizeOptions {
+  bool fuse = true;
+  bool shrink_buffers = true;
+  bool alias_truncation = true;
+
+  static OptimizeOptions none() { return OptimizeOptions{false, false, false}; }
+  bool any() const { return fuse || shrink_buffers || alias_truncation; }
+};
+
+// Storage decision for one output-port buffer.
+struct BufferLayout {
+  // Allocated doubles; 0 means the array is not declared at all (dead
+  // signal, fused intermediate, or alias).
+  long long size = 0;
+  // Logical index of allocated element 0 — the hull's lower bound.  The
+  // buffer's C expression becomes "(name - origin)" so emitters keep using
+  // logical indices unchanged.
+  long long origin = 0;
+  // Zero-copy truncation: the port is a #define alias of
+  // input_port's buffer at +offset, with no storage of its own.
+  bool alias = false;
+  int alias_port = 0;
+  long long alias_offset = 0;
+  // The port belongs to a fused chain as a non-tail member; its value only
+  // ever exists as a loop-local scalar.
+  bool fused_away = false;
+};
+
+// One fused chain, in schedule order; the last member is the tail, whose
+// buffer receives the chain's result.
+struct FusionChain {
+  std::vector<model::BlockId> members;
+};
+
+struct OptimizePlan {
+  OptimizeOptions options;
+  // Per block, per output port (parallel to Analysis::out_shapes).
+  std::vector<std::vector<BufferLayout>> layout;
+  std::vector<FusionChain> chains;
+  // Per block: index into `chains`, or -1.
+  std::vector<int> chain_of;
+  // Per block: true when the block is the tail of its chain (emission point).
+  std::vector<bool> chain_tail;
+
+  bool active() const { return options.any(); }
+};
+
+// Mirror of the generator's per-block skip rule: Inports, constants, and
+// blocks whose every output range is empty emit no step code.
+bool emission_skipped(const blocks::Analysis& analysis,
+                      const range::RangeAnalysis& ranges, model::BlockId id);
+
+// Computes the full plan.  Pure: no code is emitted and nothing is mutated.
+OptimizePlan plan_optimizations(const blocks::Analysis& analysis,
+                                const range::RangeAnalysis& ranges,
+                                const OptimizeOptions& options);
+
+// Emits the single loop computing an entire fused chain.  `input_expr`
+// resolves a (block, input port) to the final C array expression of its
+// driver (rebased / aliased / step parameter); in-chain inputs are routed
+// through loop-local scalars instead.  `tail_out_expr` is the final array
+// expression of the tail's output buffer.
+Status emit_fused_chain(
+    CWriter& w, const blocks::Analysis& analysis,
+    const range::RangeAnalysis& ranges, const FusionChain& chain,
+    const std::function<std::string(model::BlockId, int)>& input_expr,
+    const std::string& tail_out_expr);
+
+}  // namespace frodo::codegen

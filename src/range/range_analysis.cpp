@@ -243,7 +243,7 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
 }
 
 RangeAnalysis loosen(const blocks::Analysis& analysis,
-                     const RangeAnalysis& ranges) {
+                     const RangeAnalysis& ranges, diag::Engine* engine) {
   RangeAnalysis loose = ranges;
   for (BlockId id = 0; id < analysis.graph->block_count(); ++id) {
     const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
@@ -258,9 +258,25 @@ RangeAnalysis loosen(const blocks::Analysis& analysis,
     if (any) {
       auto demand = analysis.sems[static_cast<std::size_t>(id)]->pullback(
           analysis.instance(id), out);
-      if (demand.is_ok())
+      if (demand.is_ok()) {
         loose.in_ranges[static_cast<std::size_t>(id)] =
             std::move(demand).value();
+      } else {
+        // Keeping the tight pre-loosening demand would under-report what
+        // the widened block now reads; fall back to full inputs (always
+        // sound) and surface the failed pullback like determine_ranges does.
+        if (engine != nullptr)
+          engine->warning(diag::codes::kWPullbackFallback,
+                          "I/O mapping failed while loosening (" +
+                              demand.message() +
+                              ") — assuming full input ranges",
+                          analysis.model().block(id).name());
+        auto& in_ranges = loose.in_ranges[static_cast<std::size_t>(id)];
+        in_ranges.clear();
+        for (const model::Shape& s :
+             analysis.in_shapes[static_cast<std::size_t>(id)])
+          in_ranges.push_back(IndexSet::full(s.size()));
+      }
     }
   }
   return loose;

@@ -54,9 +54,12 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
 
 // Ablation: whole-block granularity — any partially-demanded range is
 // widened back to the full signal (only completely dead blocks stay empty).
-// This models a "loose elimination" (§1, challenge 2).
+// This models a "loose elimination" (§1, challenge 2).  A failing pullback
+// falls back to full input ranges, reported through `engine` (FRODO-W002)
+// when one is given.
 RangeAnalysis loosen(const blocks::Analysis& analysis,
-                     const RangeAnalysis& ranges);
+                     const RangeAnalysis& ranges,
+                     diag::Engine* engine = nullptr);
 
 // Baseline: every block computes everything.
 RangeAnalysis full_ranges(const blocks::Analysis& analysis);

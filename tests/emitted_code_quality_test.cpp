@@ -64,7 +64,8 @@ std::vector<QualityCase> quality_cases() {
   std::vector<QualityCase> cases;
   for (const char* model : {"Back", "Kalman", "HT"}) {
     for (const char* gen :
-         {"simulink", "dfsynth", "hcg", "frodo", "frodo-shared"}) {
+         {"simulink", "dfsynth", "hcg", "frodo", "frodo-noopt",
+          "frodo-shared"}) {
       cases.push_back(QualityCase{model, gen});
     }
   }
@@ -77,6 +78,83 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.model + "_" +
              sanitize_identifier(info.param.generator);
     });
+
+// -- Optimizer structure assertions --------------------------------------------
+
+// in[12] -> Gain -> Bias -> out: a two-member elementwise chain.
+model::Model chain_model() {
+  model::Model m("Chain");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 12);
+  m.add_block("g", "Gain").set_param("Gain", 2.0);
+  m.add_block("b", "Bias").set_param("Bias", 0.5);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "g", 0);
+  m.connect("g", 0, "b", 0);
+  m.connect("b", 0, "out", 0);
+  return m;
+}
+
+TEST(OptimizedCode, FusedChainEliminatesIntermediateBuffer) {
+  FrodoGenerator gen;
+  auto code = gen.generate(chain_model());
+  ASSERT_TRUE(code.is_ok()) << code.message();
+  const std::string& src = code.value().source;
+  // The Gain's buffer is gone: its value lives in a loop-local scalar.
+  EXPECT_EQ(src.find("B1_g_y0"), std::string::npos) << src;
+  EXPECT_NE(src.find("fused chain"), std::string::npos) << src;
+  EXPECT_NE(src.find("const double t1"), std::string::npos) << src;
+
+  FrodoGenerator noopt(false, false, OptimizeOptions::none());
+  auto baseline = noopt.generate(chain_model());
+  ASSERT_TRUE(baseline.is_ok());
+  // One intermediate 12-element buffer eliminated.
+  EXPECT_EQ(code.value().static_doubles + 12,
+            baseline.value().static_doubles);
+}
+
+// in[8] -> Selector [2,5] -> Gain -> out: a contiguous slice feeding a chain.
+model::Model slice_model() {
+  model::Model m("Slice");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 8);
+  m.add_block("sel", "Selector").set_param("Start", 2).set_param("End", 5);
+  m.add_block("g", "Gain").set_param("Gain", 3.0);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "sel", 0);
+  m.connect("sel", 0, "g", 0);
+  m.connect("g", 0, "out", 0);
+  return m;
+}
+
+TEST(OptimizedCode, AliasedTruncationEmitsNoCopy) {
+  FrodoGenerator gen;
+  auto code = gen.generate(slice_model());
+  ASSERT_TRUE(code.is_ok()) << code.message();
+  const std::string& src = code.value().source;
+  // The Selector is a pointer alias into the step input, not a copy loop.
+  EXPECT_NE(src.find("#define B1_sel_y0 (in0 + 2)"), std::string::npos)
+      << src;
+  EXPECT_EQ(src.find("B1_sel_y0[i] ="), std::string::npos) << src;
+  EXPECT_EQ(src.find("memcpy(B1_sel_y0"), std::string::npos) << src;
+  // No storage allocated for the alias either.
+  EXPECT_EQ(src.find("static double B1_sel_y0"), std::string::npos) << src;
+}
+
+TEST(OptimizedCode, ShrunkBuffersReportLowerStaticFootprint) {
+  for (const auto& bench : benchmodels::all_models()) {
+    if (bench.name != "Back") continue;
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok());
+    FrodoGenerator optimized;
+    FrodoGenerator noopt(false, false, OptimizeOptions::none());
+    auto on = optimized.generate(m.value());
+    auto off = noopt.generate(m.value());
+    ASSERT_TRUE(on.is_ok()) << on.message();
+    ASSERT_TRUE(off.is_ok()) << off.message();
+    EXPECT_LT(on.value().static_doubles, off.value().static_doubles);
+    return;
+  }
+  FAIL() << "Back model not found";
+}
 
 }  // namespace
 }  // namespace frodo::codegen

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "blocks/semantics.hpp"
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
+#include "support/diag.hpp"
 
 namespace frodo::range {
 namespace {
@@ -147,6 +151,67 @@ TEST(RangeAnalysis, LoosenWidensPartialRanges) {
   RangeAnalysis loose = loosen(h->analysis, r.value());
   const auto conv = static_cast<std::size_t>(h->model.find_block("conv"));
   EXPECT_EQ(loose.out_ranges[conv][0], IndexSet::full(70));
+}
+
+// A custom block whose I/O mapping only handles partial demand: pulling a
+// full range back fails.  determine_ranges never feeds it a full demand
+// (the Selector downstream shrinks it), but loosen() widens every range and
+// must then surface the failed pullback as FRODO-W002 instead of silently
+// keeping the tight pre-loosening demand.
+class PartialOnlySemantics final : public blocks::BlockSemantics {
+ public:
+  std::string_view type() const override { return "PartialOnly"; }
+  int input_count(const model::Block&) const override { return 1; }
+  Result<std::vector<model::Shape>> infer(
+      const model::Block&,
+      const std::vector<model::Shape>& in) const override {
+    return std::vector<model::Shape>{in[0]};
+  }
+  Result<std::vector<IndexSet>> pullback(
+      const blocks::BlockInstance& inst,
+      const std::vector<IndexSet>& out_demand) const override {
+    if (out_demand[0] == IndexSet::full(inst.out_shapes[0].size()))
+      return Status::error("full demand unsupported");
+    return std::vector<IndexSet>{out_demand[0]};
+  }
+  Status simulate(const blocks::BlockInstance& inst,
+                  const std::vector<const double*>& in,
+                  const std::vector<double*>& out, double*) const override {
+    for (long long i = 0; i < inst.out_shapes[0].size(); ++i)
+      out[0][i] = in[0][i];
+    return Status::ok();
+  }
+  Status emit(codegen::EmitContext&) const override {
+    return Status::error("PartialOnly is analysis-only");
+  }
+};
+
+TEST(RangeAnalysis, LoosenReportsFailedPullbackAsWarning) {
+  blocks::register_semantics(std::make_unique<PartialOnlySemantics>());
+  model::Model m("loosewarn");
+  m.add_block("in", "Inport").set_param("Port", 1).set_param("Dims", 32);
+  m.add_block("p", "PartialOnly");
+  m.add_block("sel", "Selector").set_param("Start", 4).set_param("End", 11);
+  m.add_block("out", "Outport").set_param("Port", 1);
+  m.connect("in", 0, "p", 0);
+  m.connect("p", 0, "sel", 0);
+  m.connect("sel", 0, "out", 0);
+
+  auto h = analyze_model(std::move(m));
+  auto r = determine_ranges(h->analysis);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+
+  const auto p = static_cast<std::size_t>(h->model.find_block("p"));
+  // Without an engine the failure would be silent; with one it is W002 and
+  // the block's input demand falls back to the (sound) full range.
+  diag::Engine engine;
+  RangeAnalysis loose = loosen(h->analysis, r.value(), &engine);
+  ASSERT_EQ(engine.warning_count(), 1);
+  EXPECT_EQ(engine.diagnostics()[0].code, diag::codes::kWPullbackFallback);
+  EXPECT_EQ(engine.diagnostics()[0].where, "p");
+  EXPECT_EQ(loose.out_ranges[p][0], IndexSet::full(32));
+  ASSERT_EQ(loose.in_ranges[p].size(), 1u);
+  EXPECT_EQ(loose.in_ranges[p][0], IndexSet::full(32));
 }
 
 TEST(RangeAnalysis, FullRangesBaseline) {
