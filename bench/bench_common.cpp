@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 
 #include "support/diag.hpp"
+#include "support/version.hpp"
 
 namespace frodo::bench {
 
@@ -35,6 +37,76 @@ Result<double> run_cell(const model::Model& model,
   return jit::time_steps(compiled, inputs, repetitions);
 }
 
+RunMetadata collect_metadata(
+    const std::vector<jit::CompilerProfile>& profiles) {
+  RunMetadata meta;
+  meta.version = version_string();
+
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  meta.timestamp = stamp;
+
+  for (const jit::CompilerProfile& profile : profiles) {
+    CompilerInfo info;
+    info.label = profile.label;
+    info.cc = profile.cc;
+    info.flags = profile.flags;
+    info.version = "unknown";
+    // First line of `cc --version` identifies the host toolchain.
+    const std::string cmd = profile.cc + " --version 2>/dev/null";
+    if (std::FILE* pipe = popen(cmd.c_str(), "r")) {
+      char line[256];
+      if (std::fgets(line, sizeof(line), pipe) != nullptr) {
+        std::string v = line;
+        while (!v.empty() && (v.back() == '\n' || v.back() == '\r'))
+          v.pop_back();
+        if (!v.empty()) info.version = v;
+      }
+      pclose(pipe);
+    }
+    meta.compilers.push_back(std::move(info));
+  }
+  return meta;
+}
+
+Result<ProfileAttribution> run_profiled_cell(
+    const model::Model& model, const codegen::Generator& generator,
+    const jit::CompilerProfile& profile, int repetitions) {
+  codegen::GenerateOptions options;
+  options.profile_hooks = true;
+  FRODO_ASSIGN_OR_RETURN(codegen::GeneratedCode code,
+                         generator.generate(model, options));
+
+  jit::CompilerProfile instrumented = profile;
+  instrumented.label += "-prof";
+  instrumented.flags.push_back("-DFRODO_PROFILE");
+  FRODO_ASSIGN_OR_RETURN(
+      jit::CompiledModel compiled,
+      jit::compile_and_load(code, instrumented, workdir()));
+  if (!compiled.has_profile())
+    return Result<ProfileAttribution>::error(
+        "compiled object for '" + model.name() +
+        "' exposes no FRODO_PROFILE accessors (empty step code?)");
+
+  const auto inputs = jit::random_inputs(code, /*seed=*/0xF20D0);
+  compiled.profile_reset();
+  ProfileAttribution result;
+  result.measured_seconds = jit::time_steps(compiled, inputs, repetitions);
+  const int count = compiled.profile_count();
+  for (int i = 0; i < count; ++i) {
+    ProfiledSite site;
+    site.name = compiled.profile_name(i);
+    site.ns = compiled.profile_ns(i);
+    site.calls = compiled.profile_calls(i);
+    result.attributed_ns += site.ns;
+    result.sites.push_back(std::move(site));
+  }
+  return result;
+}
+
 Result<std::vector<Row>> sweep(
     const jit::CompilerProfile& profile, int repetitions,
     const std::vector<const codegen::Generator*>& extra_generators) {
@@ -62,10 +134,31 @@ Result<std::vector<Row>> sweep(
 }
 
 Status write_json(const std::string& path, const std::string& bench_name,
-                  int repetitions, const std::vector<ProfileRows>& profiles) {
+                  int repetitions, const std::vector<ProfileRows>& profiles,
+                  const RunMetadata* metadata,
+                  const std::vector<AttributionRow>* attribution) {
   std::string out = "{\"bench\":\"" + diag::json_escape(bench_name) +
-                    "\",\"repetitions\":" + std::to_string(repetitions) +
-                    ",\"profiles\":[";
+                    "\",\"repetitions\":" + std::to_string(repetitions);
+  if (metadata != nullptr) {
+    out += ",\"metadata\":{\"version\":\"" +
+           diag::json_escape(metadata->version) + "\",\"timestamp\":\"" +
+           diag::json_escape(metadata->timestamp) + "\",\"host_compilers\":[";
+    for (std::size_t c = 0; c < metadata->compilers.size(); ++c) {
+      const CompilerInfo& info = metadata->compilers[c];
+      if (c != 0) out += ",";
+      out += "{\"label\":\"" + diag::json_escape(info.label) +
+             "\",\"cc\":\"" + diag::json_escape(info.cc) +
+             "\",\"version\":\"" + diag::json_escape(info.version) +
+             "\",\"flags\":[";
+      for (std::size_t f = 0; f < info.flags.size(); ++f) {
+        if (f != 0) out += ",";
+        out += "\"" + diag::json_escape(info.flags[f]) + "\"";
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += ",\"profiles\":[";
   for (std::size_t p = 0; p < profiles.size(); ++p) {
     if (p != 0) out += ",";
     out += "{\"label\":\"" + diag::json_escape(profiles[p].label) +
@@ -88,7 +181,34 @@ Status write_json(const std::string& path, const std::string& bench_name,
     }
     out += "]}";
   }
-  out += "]}\n";
+  out += "]";
+  if (attribution != nullptr && !attribution->empty()) {
+    out += ",\"profile_attribution\":[";
+    for (std::size_t a = 0; a < attribution->size(); ++a) {
+      const AttributionRow& row = (*attribution)[a];
+      if (a != 0) out += ",";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    row.attribution.measured_seconds / repetitions * 1e9);
+      out += "{\"model\":\"" + diag::json_escape(row.model) +
+             "\",\"compiler\":\"" + diag::json_escape(row.profile_label) +
+             "\",\"generator\":\"" + diag::json_escape(row.generator) +
+             "\",\"measured_ns_per_step\":" + buf;
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    row.attribution.coverage() * 100.0);
+      out += ",\"attributed_pct\":" + std::string(buf) + ",\"sites\":[";
+      for (std::size_t s = 0; s < row.attribution.sites.size(); ++s) {
+        const ProfiledSite& site = row.attribution.sites[s];
+        if (s != 0) out += ",";
+        out += "{\"name\":\"" + diag::json_escape(site.name) +
+               "\",\"ns\":" + std::to_string(site.ns) +
+               ",\"calls\":" + std::to_string(site.calls) + "}";
+      }
+      out += "]}";
+    }
+    out += "]";
+  }
+  out += "}\n";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr)
     return Status::error("cannot open '" + path + "' for writing");

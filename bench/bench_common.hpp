@@ -31,6 +31,59 @@ Result<double> run_cell(const model::Model& model,
                         const codegen::Generator& generator,
                         const jit::CompilerProfile& profile, int repetitions);
 
+// Reproducibility metadata stamped into every benchmark JSON: which frodoc
+// build produced the numbers, when, and with which host compilers.
+struct CompilerInfo {
+  std::string label;    // profile label, e.g. "gcc-O3"
+  std::string cc;       // compiler executable
+  std::string version;  // first line of `cc --version` ("unknown" if absent)
+  std::vector<std::string> flags;
+};
+
+struct RunMetadata {
+  std::string version;    // frodo::version_string()
+  std::string timestamp;  // ISO-8601 UTC, e.g. "2026-08-07T12:34:56Z"
+  std::vector<CompilerInfo> compilers;
+};
+
+RunMetadata collect_metadata(const std::vector<jit::CompilerProfile>& profiles);
+
+// Per-block step-time attribution from the FRODO_PROFILE hooks: the cell is
+// regenerated with codegen profile hooks, compiled with -DFRODO_PROFILE
+// (profile label gains a "-prof" suffix), and run for `repetitions` steps.
+struct ProfiledSite {
+  std::string name;  // site table entry ("<block>", "fused:<tail>", ".../state")
+  unsigned long long ns = 0;
+  unsigned long long calls = 0;
+};
+
+struct ProfileAttribution {
+  double measured_seconds = 0.0;      // wall time of the instrumented run
+  unsigned long long attributed_ns = 0;  // sum over sites
+  std::vector<ProfiledSite> sites;    // site-table order
+
+  // Fraction of the measured step time the per-site counters account for.
+  double coverage() const {
+    return measured_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(attributed_ns) / 1e9 / measured_seconds;
+  }
+};
+
+Result<ProfileAttribution> run_profiled_cell(const model::Model& model,
+                                             const codegen::Generator& generator,
+                                             const jit::CompilerProfile& profile,
+                                             int repetitions);
+
+// Attribution results merged into the --json output, one entry per
+// (model, compiler profile) pair profiled.
+struct AttributionRow {
+  std::string model;
+  std::string profile_label;
+  std::string generator;
+  ProfileAttribution attribution;
+};
+
 // Results of a full generator sweep over one model.
 struct Row {
   std::string model;
@@ -53,11 +106,19 @@ struct ProfileRows {
 };
 
 // Writes the machine-readable result file future runs diff against:
-//   {"bench": NAME, "repetitions": N, "profiles": [{"label": ...,
-//    "rows": [{"model": ..., "ns_per_step": {GEN: NS, ...}}, ...]}, ...]}
-// ns_per_step = seconds / repetitions * 1e9.
+//   {"bench": NAME, "repetitions": N,
+//    "metadata": {"version": ..., "timestamp": ...,
+//                 "host_compilers": [{"label": ..., "cc": ...,
+//                                     "version": ..., "flags": [...]}, ...]},
+//    "profiles": [{"label": ...,
+//      "rows": [{"model": ..., "ns_per_step": {GEN: NS, ...}}, ...]}, ...]}
+// ns_per_step = seconds / repetitions * 1e9.  When `metadata` is null the
+// block is omitted (legacy shape); `attribution`, when given, adds a
+// "profile_attribution" array (docs/OBSERVABILITY.md).
 Status write_json(const std::string& path, const std::string& bench_name,
-                  int repetitions, const std::vector<ProfileRows>& profiles);
+                  int repetitions, const std::vector<ProfileRows>& profiles,
+                  const RunMetadata* metadata = nullptr,
+                  const std::vector<AttributionRow>* attribution = nullptr);
 
 // Formats "0.333s"-style cells.
 std::string fmt_seconds(double s);

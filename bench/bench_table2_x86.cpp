@@ -9,7 +9,14 @@
 // second optimization pipeline and labels the column accordingly.
 //
 // --json=PATH writes the machine-readable per-model ns/step trajectory file
-// (see bench/run_benchmarks.sh, which maintains BENCH_table2_x86.json).
+// (see bench/run_benchmarks.sh, which maintains BENCH_table2_x86.json); the
+// file carries a metadata block (frodoc version, UTC timestamp, host
+// compiler versions and flags) so trajectories stay attributable.
+//
+// --profile additionally recompiles the Frodo cells with -DFRODO_PROFILE
+// (codegen profile hooks on) under the first compiler profile and reports
+// per-block step-time attribution; with --json the attribution is merged
+// into the output as "profile_attribution".
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,11 +26,15 @@
 int main(int argc, char** argv) {
   using frodo::bench::fmt_seconds;
   std::string json_path;
+  bool profile_attribution = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile_attribution = true;
     } else {
-      std::fprintf(stderr, "usage: bench_table2_x86 [--json=PATH]\n");
+      std::fprintf(stderr,
+                   "usage: bench_table2_x86 [--json=PATH] [--profile]\n");
       return 2;
     }
   }
@@ -115,9 +126,50 @@ int main(int argc, char** argv) {
   std::printf("\nFrodo fastest on every model/compiler cell: %s\n",
               frodo_wins ? "yes" : "no (see notes above)");
 
+  // Per-block attribution of the Frodo step time (FRODO_PROFILE hooks).
+  std::vector<frodo::bench::AttributionRow> attribution;
+  if (profile_attribution) {
+    const frodo::codegen::FrodoGenerator frodo_gen;
+    const auto& profile = profiles[0];
+    std::printf("\nPer-block step-time attribution (Frodo, [%s], "
+                "-DFRODO_PROFILE):\n",
+                profile.label.c_str());
+    for (const auto& bench : frodo::benchmodels::all_models()) {
+      auto model = bench.build();
+      if (!model.is_ok()) {
+        std::fprintf(stderr, "%s: %s\n", bench.name.c_str(),
+                     model.message().c_str());
+        return 1;
+      }
+      auto attr = frodo::bench::run_profiled_cell(model.value(), frodo_gen,
+                                                  profile, repetitions);
+      if (!attr.is_ok()) {
+        std::fprintf(stderr, "%s: %s\n", bench.name.c_str(),
+                     attr.message().c_str());
+        return 1;
+      }
+      std::printf("  %-14s %5.1f%% of %.1f ns/step attributed across %zu "
+                  "site(s)\n",
+                  bench.name.c_str(), attr.value().coverage() * 100.0,
+                  attr.value().measured_seconds / repetitions * 1e9,
+                  attr.value().sites.size());
+      for (const auto& site : attr.value().sites) {
+        if (site.ns == 0) continue;
+        std::printf("      %-40s %12.1f ns/step\n", site.name.c_str(),
+                    static_cast<double>(site.ns) / repetitions);
+      }
+      attribution.push_back(frodo::bench::AttributionRow{
+          bench.name, profile.label, frodo_gen.name(),
+          std::move(attr).value()});
+    }
+  }
+
   if (!json_path.empty()) {
-    auto status = frodo::bench::write_json(json_path, "table2_x86",
-                                           repetitions, all_rows);
+    const frodo::bench::RunMetadata metadata =
+        frodo::bench::collect_metadata(profiles);
+    auto status = frodo::bench::write_json(
+        json_path, "table2_x86", repetitions, all_rows, &metadata,
+        attribution.empty() ? nullptr : &attribution);
     if (!status.is_ok()) {
       std::fprintf(stderr, "%s\n", status.message().c_str());
       return 1;

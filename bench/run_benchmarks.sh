@@ -4,9 +4,17 @@
 # including the Frodo-noopt ablation column.  Future PRs re-run this script
 # and diff the JSON to track the trajectory.
 #
+# The JSON carries a "metadata" block recorded by the harness at run time —
+# frodoc build identification (git describe + compiler + build type), an
+# ISO-8601 UTC timestamp, and the host compiler version + flags of every
+# profile — so each trajectory point stays attributable to the toolchain
+# that produced it (docs/OBSERVABILITY.md documents the schema).
+#
 #   FRODO_BENCH_REPS   repetitions per cell (default 2000 here; the paper's
 #                      10000 via `FRODO_BENCH_REPS=10000 bench/run_benchmarks.sh`)
 #   BUILD_DIR          cmake build tree (default: build)
+#   FRODO_BENCH_PROFILE=1  also run the -DFRODO_PROFILE per-block attribution
+#                      pass and merge it into the JSON ("profile_attribution")
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -15,6 +23,9 @@ build_dir="${BUILD_DIR:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target bench_table2_x86 -j >/dev/null
 
+profile_flag=""
+[ "${FRODO_BENCH_PROFILE:-0}" = "1" ] && profile_flag="--profile"
+
 FRODO_BENCH_REPS="${FRODO_BENCH_REPS:-2000}" \
     "$build_dir/bench/bench_table2_x86" \
-    --json="$repo_root/BENCH_table2_x86.json"
+    --json="$repo_root/BENCH_table2_x86.json" $profile_flag

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace frodo::blocks {
 
@@ -116,6 +117,7 @@ Status check_arity(const graph::DataflowGraph& graph, model::BlockId id,
 
 Result<Analysis> analyze(const graph::DataflowGraph& graph,
                          const AnalyzeOptions& options) {
+  trace::Scope span("analyze");
   Analysis a;
   a.graph = &graph;
   const int n = graph.block_count();

@@ -10,7 +10,18 @@
 //   --[no-]fuse               elementwise loop fusion (frodo; default on)
 //   --[no-]shrink-buffers     range-hull buffer shrinking (frodo; default on)
 //   --[no-]alias-truncation   zero-copy slice aliases (frodo; default on)
-//   --print-ranges     dump the calculation ranges (Algorithm 1) and exit
+//   --print-ranges     dump the calculation ranges (Algorithm 1); composes
+//                      with --report (ranges first, then the report), then
+//                      exits without generating code
+//   --report FMT       text | json — redundancy-elimination report on stdout
+//                      (per-block full vs demanded sizes, optimizer passes,
+//                      model totals; see docs/OBSERVABILITY.md)
+//   --trace-out FILE   write a Chrome trace_event JSON of the pipeline
+//                      phases (load in chrome://tracing or Perfetto)
+//   --profile-hooks    emit FRODO_PROFILE-guarded per-block counters and a
+//                      <model>_profile_dump() into the generated code
+//   -v, --verbose      print per-phase wall times and pipeline counters to
+//                      stderr
 //   --check            validate the model (structure, types, shapes) and exit
 //   --strict           treat degradable problems (unknown block types) as
 //                      errors instead of warnings
@@ -18,12 +29,14 @@
 //   --diag-format FMT  text (default) | json — diagnostics go to stderr
 //   --simd-width N     HCG vector width in doubles (default 4)
 //   --list-blocks      print the supported block types and exit
+//   --version          print the frodoc build identification and exit
 //   --help             this text
 //
 // Exit codes: 0 = success, 1 = the input has diagnosable problems,
 // 2 = usage error or internal/environment failure.
 //
 // Writes <Model>.c and <Model>.h into the output directory.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -32,6 +45,7 @@
 #include "blocks/analysis.hpp"
 #include "blocks/semantics.hpp"
 #include "codegen/generator.hpp"
+#include "codegen/report.hpp"
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
 #include "model/validate.hpp"
@@ -39,6 +53,8 @@
 #include "slx/slx.hpp"
 #include "support/diag.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
+#include "support/version.hpp"
 #include "zip/zip.hpp"
 
 namespace {
@@ -50,9 +66,10 @@ int usage(int code) {
                "usage: frodoc MODEL.(slxz|xml) [--generator NAME] "
                "[--out DIR] [--emit-main] [--[no-]fuse] "
                "[--[no-]shrink-buffers] [--[no-]alias-truncation] "
-               "[--print-ranges] [--check] "
+               "[--print-ranges] [--report text|json] [--trace-out FILE] "
+               "[--profile-hooks] [-v|--verbose] [--check] "
                "[--strict] [--max-errors N] [--diag-format text|json] "
-               "[--simd-width N] [--list-blocks]\n");
+               "[--simd-width N] [--list-blocks] [--version]\n");
   return code;
 }
 
@@ -90,7 +107,10 @@ bool check_into(const frodo::model::Model& m, diag::Engine& engine,
   frodo::model::ValidateOptions vopts;
   vopts.oracle = &frodo::blocks::validation_oracle();
   vopts.strict = strict;
-  if (!frodo::model::validate(m, engine, vopts)) return false;
+  {
+    frodo::trace::Scope span("validate");
+    if (!frodo::model::validate(m, engine, vopts)) return false;
+  }
 
   CheckedModel local;
   CheckedModel& cm = out != nullptr ? *out : local;
@@ -132,6 +152,40 @@ bool check_into(const frodo::model::Model& m, diag::Engine& engine,
   return true;
 }
 
+// The report mirrors the ranges/plan the selected generator actually uses:
+// frodo variants run Algorithm 1 (frodo-loose widens, frodo-noopt plans no
+// passes); the baselines compute every element, so their report shows zero
+// elimination.
+frodo::Result<frodo::codegen::Report> compute_report(
+    const CheckedModel& checked, const std::string& generator_name,
+    const frodo::codegen::OptimizeOptions& optimize,
+    const std::string& model_name) {
+  std::string lower;
+  for (char c : generator_name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  const bool frodo_style = lower.rfind("frodo", 0) == 0;
+
+  frodo::range::RangeAnalysis ranges;
+  if (frodo_style) {
+    // Degradation warnings were already reported by the main pipeline run;
+    // recomputing with a null engine keeps them from appearing twice.
+    auto r = frodo::range::determine_ranges(checked.analysis, nullptr);
+    if (!r.is_ok()) return r.status();
+    ranges = std::move(r).value();
+    if (lower == "frodo-loose")
+      ranges = frodo::range::loosen(checked.analysis, ranges, nullptr);
+  } else {
+    ranges = frodo::range::full_ranges(checked.analysis);
+  }
+  const frodo::codegen::OptimizePlan plan = frodo::codegen::plan_optimizations(
+      checked.analysis, ranges,
+      (frodo_style && lower != "frodo-noopt")
+          ? optimize
+          : frodo::codegen::OptimizeOptions::none());
+  return frodo::codegen::build_report(checked.analysis, ranges, plan,
+                                      model_name, generator_name);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,6 +193,10 @@ int main(int argc, char** argv) {
   std::string generator_name = "frodo";
   std::string outdir = ".";
   std::string diag_format = "text";
+  std::string report_format;  // empty = no report
+  std::string trace_out;      // empty = no trace file
+  bool verbose = false;
+  bool profile_hooks = false;
   bool emit_main = false;
   bool want_ranges = false;
   bool want_check = false;
@@ -168,6 +226,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") return usage(0);
     if (arg == "--list-blocks") return list_blocks();
+    if (arg == "--version") {
+      std::printf("%s\n", frodo::version_string());
+      return 0;
+    }
     if (arg == "--generator") {
       const char* v = value();
       if (v == nullptr) return usage(2);
@@ -219,6 +281,25 @@ int main(int argc, char** argv) {
       want_ranges = true;
     } else if (arg == "--check") {
       want_check = true;
+    } else if (arg == "--report") {
+      const char* v = value();
+      if (v == nullptr ||
+          (std::strcmp(v, "text") != 0 && std::strcmp(v, "json") != 0)) {
+        std::fprintf(stderr, "frodoc: --report expects 'text' or 'json'\n");
+        return usage(2);
+      }
+      report_format = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodoc: --trace-out expects a file path\n");
+        return usage(2);
+      }
+      trace_out = v;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--profile-hooks") {
+      profile_hooks = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "frodoc: unknown option '%s'\n", arg.c_str());
       return usage(2);
@@ -232,92 +313,154 @@ int main(int argc, char** argv) {
 
   frodo::diag::Engine engine(max_errors);
 
-  auto model = frodo::slx::load(model_path);
-  if (!model.is_ok()) {
-    const std::string code = model.status().code().empty()
-                                 ? std::string(diag::codes::kPkgUnreadable)
-                                 : model.status().code();
-    engine.error(code, "cannot load '" + model_path + "': " + model.message(),
-                 model_path);
-    flush_diagnostics(engine, diag_format);
-    return 1;
+  // The tracer must be installed before slx::load so the "parse" span is
+  // captured; the epilogue below uninstalls it, writes --trace-out, and
+  // prints the -v summary.
+  frodo::trace::Tracer tracer;
+  if (!trace_out.empty() || verbose) {
+    tracer.set_metadata("model", model_path);
+    tracer.set_metadata("generator", generator_name);
+    frodo::trace::install(&tracer);
   }
 
-  if (want_check || want_ranges) {
-    CheckedModel checked;
-    const bool ok = check_into(model.value(), engine, strict, &checked);
-    flush_diagnostics(engine, diag_format);
-    if (!ok) return 1;
-    if (want_check) {
-      std::printf("%s: OK (%d blocks, %zu inputs, %zu outputs)\n",
-                  model.value().name().c_str(), checked.flat.block_count(),
-                  checked.sig.inputs.size(), checked.sig.outputs.size());
-      return 0;
-    }
-    auto ranges = frodo::range::determine_ranges(
-        checked.analysis, strict ? nullptr : &engine);
-    if (!ranges.is_ok()) {
-      engine.error_from(ranges.status(), diag::codes::kAnalysisShape);
-      flush_diagnostics(engine, diag_format);
+  // The full pipeline, with diagnostics accumulated into `engine` and
+  // flushed exactly once by the epilogue.
+  auto run = [&]() -> int {
+    auto model = frodo::slx::load(model_path);
+    if (!model.is_ok()) {
+      const std::string code = model.status().code().empty()
+                                   ? std::string(diag::codes::kPkgUnreadable)
+                                   : model.status().code();
+      engine.error(code,
+                   "cannot load '" + model_path + "': " + model.message(),
+                   model_path);
       return 1;
     }
-    std::printf("%s", ranges.value().to_string(checked.analysis).c_str());
-    std::printf("eliminated elements: %lld\n",
-                ranges.value().eliminated_elements(checked.analysis));
+
+    if (want_check || want_ranges) {
+      CheckedModel checked;
+      if (!check_into(model.value(), engine, strict, &checked)) return 1;
+      if (want_check) {
+        std::printf("%s: OK (%d blocks, %zu inputs, %zu outputs)\n",
+                    model.value().name().c_str(), checked.flat.block_count(),
+                    checked.sig.inputs.size(), checked.sig.outputs.size());
+        return 0;
+      }
+      auto ranges = frodo::range::determine_ranges(
+          checked.analysis, strict ? nullptr : &engine);
+      if (!ranges.is_ok()) {
+        engine.error_from(ranges.status(), diag::codes::kAnalysisShape);
+        return 1;
+      }
+      std::printf("%s", ranges.value().to_string(checked.analysis).c_str());
+      std::printf("eliminated elements: %lld\n",
+                  ranges.value().eliminated_elements(checked.analysis));
+      // --print-ranges --report: ranges first, then the report, then exit
+      // without generating code.
+      if (!report_format.empty()) {
+        auto report = compute_report(checked, generator_name, optimize,
+                                     model.value().name());
+        if (!report.is_ok()) {
+          engine.error_from(report.status(), diag::codes::kAnalysisShape);
+          return 1;
+        }
+        std::printf("%s",
+                    report_format == "json"
+                        ? frodo::codegen::render_report_json(report.value())
+                              .c_str()
+                        : frodo::codegen::render_report_text(report.value())
+                              .c_str());
+      }
+      return 0;
+    }
+
+    auto generator =
+        frodo::codegen::make_generator(generator_name, simd_width, &optimize);
+    if (!generator.is_ok()) {
+      std::fprintf(stderr, "frodoc: %s\n", generator.message().c_str());
+      return 2;
+    }
+
+    // Surface every model problem in one run before generating.
+    CheckedModel checked;
+    if (!check_into(model.value(), engine, strict, &checked)) return 1;
+
+    frodo::codegen::GenerateOptions gen_options;
+    gen_options.engine = strict ? nullptr : &engine;
+    gen_options.profile_hooks = profile_hooks;
+    auto code = generator.value()->generate(model.value(), gen_options);
+    if (!code.is_ok()) {
+      engine.error_from(code.status(), diag::codes::kCodegenEmit);
+      std::fprintf(stderr, "frodoc: code generation failed: %s\n",
+                   code.message().c_str());
+      return 1;
+    }
+
+    {
+      frodo::trace::Scope write_span("write_output");
+      std::error_code ec;
+      std::filesystem::create_directories(outdir, ec);
+      const std::string base = outdir + "/" + code.value().prefix;
+      const std::pair<std::string, std::string> parts[] = {
+          {base + ".c", code.value().source},
+          {base + ".h", code.value().header}};
+      for (const auto& [path, text] : parts) {
+        auto status = frodo::zip::write_file(path, text);
+        if (!status.is_ok()) {
+          engine.error(diag::codes::kIoWrite, status.message(), path);
+          return 2;
+        }
+        std::printf("wrote %s\n", path.c_str());
+      }
+      if (emit_main) {
+        const std::string main_path = outdir + "/main.c";
+        auto status = frodo::zip::write_file(
+            main_path, frodo::codegen::emit_demo_main(code.value()));
+        if (!status.is_ok()) {
+          engine.error(diag::codes::kIoWrite, status.message(), main_path);
+          return 2;
+        }
+        std::printf("wrote %s\n", main_path.c_str());
+      }
+    }
+    std::printf("%s: %d lines, %lld static doubles (%s)\n",
+                code.value().model_name.c_str(), code.value().source_lines,
+                code.value().static_doubles, code.value().generator.c_str());
+
+    // The report goes last on stdout so tooling can take everything after
+    // the final "wrote ..." line.
+    if (!report_format.empty()) {
+      auto report = compute_report(checked, generator_name, optimize,
+                                   model.value().name());
+      if (!report.is_ok()) {
+        engine.error_from(report.status(), diag::codes::kAnalysisShape);
+        return 1;
+      }
+      std::printf("%s",
+                  report_format == "json"
+                      ? frodo::codegen::render_report_json(report.value())
+                            .c_str()
+                      : frodo::codegen::render_report_text(report.value())
+                            .c_str());
+    }
     return 0;
-  }
+  };
 
-  auto generator =
-      frodo::codegen::make_generator(generator_name, simd_width, &optimize);
-  if (!generator.is_ok()) {
-    std::fprintf(stderr, "frodoc: %s\n", generator.message().c_str());
-    return 2;
-  }
+  int rc = run();
 
-  // Surface every model problem in one run before generating.
-  if (!check_into(model.value(), engine, strict, nullptr)) {
-    flush_diagnostics(engine, diag_format);
-    return 1;
-  }
-
-  frodo::codegen::GenerateOptions gen_options;
-  gen_options.engine = strict ? nullptr : &engine;
-  auto code = generator.value()->generate(model.value(), gen_options);
-  if (!code.is_ok()) {
-    engine.error_from(code.status(), diag::codes::kCodegenEmit);
-    std::fprintf(stderr, "frodoc: code generation failed: %s\n",
-                 code.message().c_str());
-    flush_diagnostics(engine, diag_format);
-    return 1;
-  }
-
-  std::error_code ec;
-  std::filesystem::create_directories(outdir, ec);
-  const std::string base = outdir + "/" + code.value().prefix;
-  const std::pair<std::string, std::string> parts[] = {
-      {base + ".c", code.value().source},
-      {base + ".h", code.value().header}};
-  for (const auto& [path, text] : parts) {
-    auto status = frodo::zip::write_file(path, text);
+  // Epilogue: stop tracing, export, flush all diagnostics once, summarize.
+  frodo::trace::install(nullptr);
+  if (!trace_out.empty()) {
+    auto status = frodo::zip::write_file(trace_out, tracer.chrome_json());
     if (!status.is_ok()) {
-      std::fprintf(stderr, "frodoc: %s\n", status.message().c_str());
-      return 2;
+      engine.error(diag::codes::kIoWrite,
+                   "cannot write trace '" + trace_out + "': " +
+                       status.message(),
+                   trace_out);
+      if (rc == 0) rc = 2;
     }
-    std::printf("wrote %s\n", path.c_str());
-  }
-  if (emit_main) {
-    const std::string main_path = outdir + "/main.c";
-    auto status = frodo::zip::write_file(
-        main_path, frodo::codegen::emit_demo_main(code.value()));
-    if (!status.is_ok()) {
-      std::fprintf(stderr, "frodoc: %s\n", status.message().c_str());
-      return 2;
-    }
-    std::printf("wrote %s\n", main_path.c_str());
   }
   flush_diagnostics(engine, diag_format);
-  std::printf("%s: %d lines, %lld static doubles (%s)\n",
-              code.value().model_name.c_str(), code.value().source_lines,
-              code.value().static_doubles, code.value().generator.c_str());
-  return 0;
+  if (verbose) std::fprintf(stderr, "%s", tracer.summary_text().c_str());
+  return rc;
 }

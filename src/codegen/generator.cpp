@@ -7,6 +7,7 @@
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace frodo::codegen {
 
@@ -66,6 +67,17 @@ std::string step_params(const blocks::IoSignature& sig) {
   return params;
 }
 
+// Block names land inside C string literals (the profile site table); keep
+// them printable and escape-free.
+std::string c_string_safe(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    out += (c == '"' || c == '\\' || u < 0x20 || u > 0x7E) ? '_' : c;
+  }
+  return out;
+}
+
 std::string double_list(const std::vector<double>& values) {
   std::string out;
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -108,6 +120,10 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   const OptimizePlan plan = plan_optimizations(
       analysis, ranges,
       optimize_active ? optimize_options() : OptimizeOptions::none());
+
+  // Everything below — buffer planning, header and step-code assembly — is
+  // the emit phase of the trace.
+  trace::Scope emit_span("emit");
 
   GeneratedCode code;
   code.model_name = m.name();
@@ -155,6 +171,43 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     }
   }
 
+  // Inports, constants, and all-dead blocks generate no step code (the
+  // strongest form of redundancy elimination); the optimizer adds fused
+  // non-tail members and aliased slices on top.
+  auto should_skip = [&](BlockId id) {
+    if (emission_skipped(analysis, ranges, id)) return true;
+    const auto i = static_cast<std::size_t>(id);
+    if (plan.chain_of[i] != -1 && !plan.chain_tail[i]) return true;
+    if (!plan.layout[i].empty() && plan.layout[i][0].alias) return true;
+    return false;
+  };
+
+  // ---- Profiling hook sites --------------------------------------------------
+  // One site per emitted step-code unit, in emission order: scheduled blocks
+  // (a fused chain counts once, at its tail), then end-of-step state
+  // updates.  The table is fixed here so the names array can precede the
+  // step function in the generated source.
+  if (options.profile_hooks) {
+    for (BlockId id : analysis.order) {
+      if (should_skip(id)) continue;
+      const std::string name = c_string_safe(flat.block(id).name());
+      code.profile_sites.push_back(
+          plan.chain_of[static_cast<std::size_t>(id)] != -1 ? "fused:" + name
+                                                            : name);
+    }
+    for (BlockId id : analysis.order) {
+      if (buffers.state[static_cast<std::size_t>(id)].empty()) continue;
+      const auto& in_ranges = ranges.in_ranges[static_cast<std::size_t>(id)];
+      if (in_ranges.empty() || in_ranges[0].is_empty()) continue;
+      code.profile_sites.push_back(c_string_safe(flat.block(id).name()) +
+                                   "/state");
+    }
+  }
+  // A model whose step code is empty has nothing to instrument; emitting a
+  // zero-length site table would not be valid C.
+  const bool profile = !code.profile_sites.empty();
+  const std::size_t prof_count = code.profile_sites.size();
+
   // ---- Header ---------------------------------------------------------------
   {
     CWriter h;
@@ -168,6 +221,17 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     h.raw("void " + code.prefix + "_step(" + step_params(sig) + ");");
     h.raw("void " + code.prefix +
           "_step_arrays(const double* const* in, double* const* out);");
+    if (profile) {
+      h.blank();
+      h.raw("#ifdef FRODO_PROFILE");
+      h.raw("int " + code.prefix + "_profile_count(void);");
+      h.raw("const char* " + code.prefix + "_profile_name(int i);");
+      h.raw("unsigned long long " + code.prefix + "_profile_ns(int i);");
+      h.raw("unsigned long long " + code.prefix + "_profile_calls(int i);");
+      h.raw("void " + code.prefix + "_profile_reset(void);");
+      h.raw("void " + code.prefix + "_profile_dump(void);");
+      h.raw("#endif /* FRODO_PROFILE */");
+    }
     h.blank();
     h.raw("#endif /* " + guard + " */");
     code.header = h.take();
@@ -251,6 +315,59 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   }
   w.blank();
 
+  // Per-site profiling counters (docs/OBSERVABILITY.md).  Every line lives
+  // inside `#ifdef FRODO_PROFILE`, so an undefined macro preprocesses to the
+  // exact uninstrumented code.
+  if (profile) {
+    const std::string p = code.prefix;
+    const std::string count = std::to_string(prof_count);
+    w.raw("#ifdef FRODO_PROFILE");
+    w.raw("#include <stdio.h>");
+    w.raw("#include <time.h>");
+    w.raw("static unsigned long long " + p + "_prof_ns[" + count + "];");
+    w.raw("static unsigned long long " + p + "_prof_calls[" + count + "];");
+    w.raw("static const char* const " + p + "_prof_names[" + count +
+          "] = {");
+    for (const std::string& site : code.profile_sites)
+      w.raw("  \"" + site + "\",");
+    w.raw("};");
+    w.raw("static unsigned long long " + p + "_prof_now(void) {");
+    w.raw("  struct timespec prof_ts;");
+    w.raw("  clock_gettime(CLOCK_MONOTONIC, &prof_ts);");
+    w.raw("  return (unsigned long long)prof_ts.tv_sec * 1000000000ull +");
+    w.raw("         (unsigned long long)prof_ts.tv_nsec;");
+    w.raw("}");
+    w.raw("int " + p + "_profile_count(void) { return " + count + "; }");
+    w.raw("const char* " + p + "_profile_name(int i) { return " + p +
+          "_prof_names[i]; }");
+    w.raw("unsigned long long " + p + "_profile_ns(int i) { return " + p +
+          "_prof_ns[i]; }");
+    w.raw("unsigned long long " + p + "_profile_calls(int i) { return " + p +
+          "_prof_calls[i]; }");
+    w.raw("void " + p + "_profile_reset(void) {");
+    w.raw("  int i;");
+    w.raw("  for (i = 0; i < " + count + "; ++i) { " + p + "_prof_ns[i] = 0; " +
+          p + "_prof_calls[i] = 0; }");
+    w.raw("}");
+    w.raw("void " + p + "_profile_dump(void) {");
+    w.raw("  unsigned long long prof_total = 0;");
+    w.raw("  int i;");
+    w.raw("  for (i = 0; i < " + count + "; ++i) prof_total += " + p +
+          "_prof_ns[i];");
+    w.raw("  fprintf(stderr, \"" + c_string_safe(code.model_name) +
+          " step profile (%llu ns total):\\n\", prof_total);");
+    w.raw("  for (i = 0; i < " + count + "; ++i)");
+    w.raw("    fprintf(stderr, \"  %-40s %14llu ns %10llu calls (%5.1f%%)"
+          "\\n\",");
+    w.raw("            " + p + "_prof_names[i], " + p + "_prof_ns[i], " + p +
+          "_prof_calls[i],");
+    w.raw("            prof_total ? 100.0 * (double)" + p +
+          "_prof_ns[i] / (double)prof_total : 0.0);");
+    w.raw("}");
+    w.raw("#endif /* FRODO_PROFILE */");
+    w.blank();
+  }
+
   // Helper configuring the per-block context.
   auto make_ctx = [&](BlockId id) -> Status {
     const model::Block& block = flat.block(id);
@@ -268,15 +385,25 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     return Status::ok();
   };
 
-  // Inports, constants, and all-dead blocks generate no step code (the
-  // strongest form of redundancy elimination); the optimizer adds fused
-  // non-tail members and aliased slices on top.
-  auto should_skip = [&](BlockId id) {
-    if (emission_skipped(analysis, ranges, id)) return true;
-    const auto i = static_cast<std::size_t>(id);
-    if (plan.chain_of[i] != -1 && !plan.chain_tail[i]) return true;
-    if (!plan.layout[i].empty() && plan.layout[i][0].alias) return true;
-    return false;
+  // The RAII profiling brace pair around one step-code site: enter opens a
+  // scope holding the start timestamp, leave charges the elapsed time to the
+  // site's row and closes it.  Both vanish without FRODO_PROFILE.
+  std::size_t prof_index = 0;
+  auto prof_enter = [&]() {
+    if (!profile) return;
+    w.raw("#ifdef FRODO_PROFILE");
+    w.line("{ unsigned long long frodo_prof_t0 = " + code.prefix +
+           "_prof_now();");
+    w.raw("#endif");
+  };
+  auto prof_leave = [&]() {
+    if (!profile) return;
+    const std::string idx = std::to_string(prof_index++);
+    w.raw("#ifdef FRODO_PROFILE");
+    w.line(code.prefix + "_prof_ns[" + idx + "] += " + code.prefix +
+           "_prof_now() - frodo_prof_t0;");
+    w.line(code.prefix + "_prof_calls[" + idx + "] += 1; }");
+    w.raw("#endif");
   };
 
   // §5 code-duplication mitigation: one generic, range-parameterized kernel
@@ -385,7 +512,9 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
         if (!args.empty()) args += ", ";
         args += ctx.state;
       }
+      prof_enter();
       w.line(code.prefix + "_blk" + std::to_string(id) + "(" + args + ");");
+      prof_leave();
       continue;
     }
     const int chain = plan.chain_of[static_cast<std::size_t>(id)];
@@ -397,6 +526,7 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
         names += flat.block(m).name();
       }
       w.comment("fused chain: " + names);
+      prof_enter();
       w.open("");
       FRODO_RETURN_IF_ERROR(
           emit_fused_chain(
@@ -409,14 +539,17 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
               .with_context("emitting fused chain ending at '" +
                             block.name() + "'"));
       w.close();
+      prof_leave();
       continue;
     }
     w.comment(block.name() + " (" + block.type() + ")");
+    prof_enter();
     w.open("");
     FRODO_RETURN_IF_ERROR(
         analysis.sems[static_cast<std::size_t>(id)]->emit(ctx).with_context(
             "emitting block '" + block.name() + "'"));
     w.close();
+    prof_leave();
   }
 
   // End-of-step state updates.
@@ -428,6 +561,7 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
         in_ranges.empty() ? mapping::IndexSet::empty() : in_ranges[0];
     if (in_range.is_empty()) continue;  // state never read downstream
     w.comment(flat.block(id).name() + " state update");
+    prof_enter();
     w.open("");
     FRODO_RETURN_IF_ERROR(
         analysis.sems[static_cast<std::size_t>(id)]
@@ -435,6 +569,7 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
             .with_context("emitting state update of '" +
                           flat.block(id).name() + "'"));
     w.close();
+    prof_leave();
   }
   w.close();
   w.blank();

@@ -52,6 +52,10 @@ struct GeneratedCode {
   long long static_doubles = 0;
   // Generated-code size (source lines), for the §5 code-duplication note.
   int source_lines = 0;
+  // When GenerateOptions::profile_hooks was set: the instrumented step-code
+  // sites in table order ("<block>", "fused:<tail>", "<block>/state") —
+  // index i matches the emitted <prefix>_profile_name(i)/_ns(i) accessors.
+  std::vector<std::string> profile_sites;
 };
 
 struct GenerateOptions {
@@ -60,6 +64,12 @@ struct GenerateOptions {
   // fall back to full input ranges (FRODO-W002), with the warnings reported
   // here instead of aborting the pipeline.
   diag::Engine* engine = nullptr;
+  // Emit FRODO_PROFILE-guarded per-site cycle counters plus the
+  // <prefix>_profile_*() accessors and <prefix>_profile_dump() into the step
+  // code (docs/OBSERVABILITY.md).  Every added line lives inside
+  // `#ifdef FRODO_PROFILE`, so with the macro undefined the preprocessed
+  // code is byte-identical to the uninstrumented output — zero overhead.
+  bool profile_hooks = false;
 };
 
 class Generator {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "support/trace.hpp"
+
 namespace frodo::codegen {
 
 namespace {
@@ -172,6 +174,7 @@ bool emission_skipped(const Analysis& analysis,
 OptimizePlan plan_optimizations(const Analysis& analysis,
                                 const range::RangeAnalysis& ranges,
                                 const OptimizeOptions& options) {
+  trace::Scope span("optimize_plan");
   const int n = analysis.graph->block_count();
   OptimizePlan plan;
   plan.options = options;
@@ -188,6 +191,20 @@ OptimizePlan plan_optimizations(const Analysis& analysis,
   if (options.fuse) plan_fusion(analysis, ranges, plan);
   if (options.alias_truncation) plan_aliases(analysis, ranges, plan);
   if (options.shrink_buffers) plan_shrinking(analysis, ranges, plan);
+
+  trace::count("fused_chains", static_cast<long long>(plan.chains.size()));
+  for (const FusionChain& chain : plan.chains)
+    trace::count("fused_blocks", static_cast<long long>(chain.members.size()));
+  for (BlockId id = 0; id < n; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    const auto& shapes = analysis.out_shapes[i];
+    for (std::size_t p = 0; p < shapes.size(); ++p) {
+      const BufferLayout& l = plan.layout[i][p];
+      if (l.alias) trace::count("aliased_ports");
+      else if (!l.fused_away && l.size > 0 && l.size < shapes[p].size())
+        trace::count("shrunk_buffers");
+    }
+  }
   return plan;
 }
 

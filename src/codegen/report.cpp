@@ -1,0 +1,263 @@
+#include "codegen/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/diag.hpp"
+#include "support/version.hpp"
+
+namespace frodo::codegen {
+
+namespace {
+
+using blocks::Analysis;
+using mapping::IndexSet;
+using model::BlockId;
+
+double pct(long long eliminated, long long full) {
+  return full == 0 ? 0.0
+                   : 100.0 * static_cast<double>(eliminated) /
+                         static_cast<double>(full);
+}
+
+std::string fmt_pct(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += sep;
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+Report build_report(const Analysis& analysis,
+                    const range::RangeAnalysis& ranges,
+                    const OptimizePlan& plan, const std::string& model_name,
+                    const std::string& generator_name) {
+  Report report;
+  report.model_name = model_name;
+  report.generator = generator_name;
+  report.blocks = analysis.graph->block_count();
+
+  report.fused_chains = static_cast<long long>(plan.chains.size());
+  for (const FusionChain& chain : plan.chains)
+    report.fused_blocks += static_cast<long long>(chain.members.size());
+
+  const range::RangeAnalysis baseline = range::full_ranges(analysis);
+
+  for (BlockId id : analysis.order) {
+    const auto i = static_cast<std::size_t>(id);
+    const model::Block& block = analysis.model().block(id);
+    const blocks::BlockSemantics& sem = *analysis.sems[i];
+    const bool is_inport = block.type() == "Inport";
+    const bool is_constant = sem.is_constant(block);
+    const bool skipped = emission_skipped(analysis, ranges, id);
+    const auto& shapes = analysis.out_shapes[i];
+    const auto& out_ranges = ranges.out_ranges[i];
+
+    BlockReportRow row;
+    row.id = id;
+    row.name = block.name();
+    row.type = block.type();
+    for (std::size_t p = 0; p < shapes.size(); ++p) {
+      row.full_elements += shapes[p].size();
+      row.demanded_elements += out_ranges[p].count();
+    }
+    row.eliminated_elements = row.full_elements - row.demanded_elements;
+    row.eliminated_pct = pct(row.eliminated_elements, row.full_elements);
+
+    // Buffer accounting mirrors the generator: Inports read through step
+    // parameters (no buffer), constants keep their full-shape initializer,
+    // everything else follows the optimizer's layout.
+    bool any_shrunk = false;
+    if (!is_inport) {
+      for (std::size_t p = 0; p < shapes.size(); ++p) {
+        row.full_buffer_doubles += shapes[p].size();
+        const BufferLayout& l = plan.layout[i][p];
+        // Mirror the generator's declaration rule: constants keep their
+        // full-shape initializer; aliased and fused-away ports have no
+        // array at all.
+        row.planned_buffer_doubles +=
+            is_constant ? shapes[p].size()
+                        : ((l.alias || l.fused_away) ? 0 : l.size);
+        if (!is_constant && !l.alias && !l.fused_away && l.size > 0 &&
+            l.size < shapes[p].size())
+          any_shrunk = true;
+        if (l.alias) ++report.aliased_ports;
+      }
+    }
+    if (any_shrunk) ++report.shrunk_buffers;
+
+    const bool fused = plan.chain_of[i] != -1;
+    const bool fused_tail = fused && plan.chain_tail[i];
+    const bool aliased = !plan.layout[i].empty() && plan.layout[i][0].alias;
+
+    if (is_inport || is_constant) {
+      // Sources: no step code by construction, not a redundancy win.
+    } else if (skipped) {
+      row.passes.push_back("eliminated");
+      ++report.eliminated_blocks;
+    } else {
+      if (row.eliminated_elements > 0) row.passes.push_back("range-reduced");
+      if (fused) row.passes.push_back(fused_tail ? "fused-tail" : "fused");
+      if (aliased) row.passes.push_back("aliased");
+      if (any_shrunk) row.passes.push_back("shrunk");
+    }
+    const bool emits_step_code =
+        !skipped && !(fused && !fused_tail) && !aliased;
+    if (emits_step_code) ++report.emitted_blocks;
+
+    // Per-step traffic never performed by the generated code:
+    //  * stores for elements outside the calculation range;
+    //  * the whole demanded range of a fused intermediate (loop-local
+    //    scalar) or an aliased copy (pointer #define) — both its store and
+    //    its consumer's reload;
+    //  * loads for input elements never demanded.
+    report.stores_avoided += row.eliminated_elements;
+    if ((fused && !fused_tail) || aliased) {
+      report.stores_avoided += row.demanded_elements;
+      report.loads_avoided += row.demanded_elements;
+    }
+    // Load baseline: what the block would read with full output ranges (its
+    // own pullback of everything), not the raw input shape — a Selector
+    // never reads its unselected window even without range analysis, so
+    // that is not an elimination win.
+    const auto& base_in = baseline.in_ranges[i];
+    const auto& in_ranges = ranges.in_ranges[i];
+    for (std::size_t p = 0; p < base_in.size() && p < in_ranges.size(); ++p) {
+      const long long delta = static_cast<long long>(base_in[p].count()) -
+                              static_cast<long long>(in_ranges[p].count());
+      if (delta > 0) report.loads_avoided += delta;
+    }
+
+    report.full_elements += row.full_elements;
+    report.demanded_elements += row.demanded_elements;
+    report.eliminated_elements += row.eliminated_elements;
+    report.bytes_saved +=
+        (row.full_buffer_doubles - row.planned_buffer_doubles) * 8;
+    report.rows.push_back(std::move(row));
+  }
+  report.eliminated_pct = pct(report.eliminated_elements, report.full_elements);
+  return report;
+}
+
+std::string render_report_text(const Report& report) {
+  std::size_t name_w = 5, type_w = 4;
+  for (const BlockReportRow& row : report.rows) {
+    name_w = std::max(name_w, row.name.size());
+    type_w = std::max(type_w, row.type.size());
+  }
+  name_w = std::min<std::size_t>(name_w, 40);
+  type_w = std::min<std::size_t>(type_w, 20);
+
+  auto pad = [](std::string s, std::size_t w) {
+    if (s.size() > w) s.resize(w);
+    s.resize(w, ' ');
+    return s;
+  };
+  auto num = [](long long v, int w) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%*lld", w, v);
+    return std::string(buf);
+  };
+
+  std::string out;
+  out += "redundancy elimination report: model '" + report.model_name +
+         "', generator " + report.generator + "\n";
+  out += pad("block", name_w) + "  " + pad("type", type_w) +
+         "      full  demanded      elim   elim%  passes\n";
+  for (const BlockReportRow& row : report.rows) {
+    char pbuf[16];
+    std::snprintf(pbuf, sizeof(pbuf), "%6.1f%%", row.eliminated_pct);
+    out += pad(row.name, name_w) + "  " + pad(row.type, type_w) + "  " +
+           num(row.full_elements, 8) + "  " + num(row.demanded_elements, 8) +
+           "  " + num(row.eliminated_elements, 8) + "  " + pbuf + "  " +
+           join(row.passes, ",") + "\n";
+  }
+  char pbuf[16];
+  std::snprintf(pbuf, sizeof(pbuf), "%.1f%%", report.eliminated_pct);
+  out += "totals: " + std::to_string(report.eliminated_elements) + " of " +
+         std::to_string(report.full_elements) + " elements eliminated (" +
+         pbuf + "); " + std::to_string(report.eliminated_blocks) + " of " +
+         std::to_string(report.blocks) + " blocks fully eliminated\n";
+  out += "per step: " + std::to_string(report.stores_avoided) +
+         " stores avoided, " + std::to_string(report.loads_avoided) +
+         " loads avoided; static buffers: " +
+         std::to_string(report.bytes_saved) + " bytes saved\n";
+  out += "optimizer: " + std::to_string(report.fused_chains) +
+         " fused chain(s) covering " + std::to_string(report.fused_blocks) +
+         " block(s), " + std::to_string(report.aliased_ports) +
+         " aliased port(s), " + std::to_string(report.shrunk_buffers) +
+         " shrunk buffer(s)\n";
+  return out;
+}
+
+std::string render_report_json(const Report& report) {
+  auto q = [](std::string_view s) {
+    return "\"" + diag::json_escape(s) + "\"";
+  };
+  std::string out = "{\n";
+  out += "  \"version\": " + q(version_string()) + ",\n";
+  out += "  \"model\": " + q(report.model_name) + ",\n";
+  out += "  \"generator\": " + q(report.generator) + ",\n";
+  out += "  \"totals\": {\n";
+  out += "    \"blocks\": " + std::to_string(report.blocks) + ",\n";
+  out += "    \"emitted_blocks\": " + std::to_string(report.emitted_blocks) +
+         ",\n";
+  out += "    \"eliminated_blocks\": " +
+         std::to_string(report.eliminated_blocks) + ",\n";
+  out += "    \"full_elements\": " + std::to_string(report.full_elements) +
+         ",\n";
+  out += "    \"demanded_elements\": " +
+         std::to_string(report.demanded_elements) + ",\n";
+  out += "    \"eliminated_elements\": " +
+         std::to_string(report.eliminated_elements) + ",\n";
+  out += "    \"eliminated_pct\": " + fmt_pct(report.eliminated_pct) + ",\n";
+  out += "    \"stores_avoided\": " + std::to_string(report.stores_avoided) +
+         ",\n";
+  out += "    \"loads_avoided\": " + std::to_string(report.loads_avoided) +
+         ",\n";
+  out += "    \"bytes_saved\": " + std::to_string(report.bytes_saved) + ",\n";
+  out += "    \"fused_chains\": " + std::to_string(report.fused_chains) +
+         ",\n";
+  out += "    \"fused_blocks\": " + std::to_string(report.fused_blocks) +
+         ",\n";
+  out += "    \"aliased_ports\": " + std::to_string(report.aliased_ports) +
+         ",\n";
+  out += "    \"shrunk_buffers\": " + std::to_string(report.shrunk_buffers) +
+         "\n";
+  out += "  },\n";
+  out += "  \"blocks\": [\n";
+  for (std::size_t r = 0; r < report.rows.size(); ++r) {
+    const BlockReportRow& row = report.rows[r];
+    out += "    {\"id\": " + std::to_string(row.id) + ", \"name\": " +
+           q(row.name) + ", \"type\": " + q(row.type) +
+           ", \"full_elements\": " + std::to_string(row.full_elements) +
+           ", \"demanded_elements\": " +
+           std::to_string(row.demanded_elements) +
+           ", \"eliminated_elements\": " +
+           std::to_string(row.eliminated_elements) + ", \"eliminated_pct\": " +
+           fmt_pct(row.eliminated_pct) + ", \"buffer_doubles\": {\"full\": " +
+           std::to_string(row.full_buffer_doubles) + ", \"planned\": " +
+           std::to_string(row.planned_buffer_doubles) + "}, \"passes\": [";
+    for (std::size_t p = 0; p < row.passes.size(); ++p) {
+      if (p != 0) out += ", ";
+      out += q(row.passes[p]);
+    }
+    out += "]}";
+    out += (r + 1 < report.rows.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace frodo::codegen

@@ -1,0 +1,84 @@
+// Redundancy-elimination report — what did range analysis and the optimizer
+// actually buy for a model?
+//
+// The report is computed from the same three artifacts the generator emits
+// from (block analysis, calculation ranges, optimization plan), so its
+// per-block eliminated counts agree with RangeAnalysis::eliminated_elements
+// and with the code that is actually generated.  Rendered as a human table
+// (`frodoc --report text`) or a stable JSON document (`--report json`);
+// docs/OBSERVABILITY.md documents the schema.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blocks/analysis.hpp"
+#include "codegen/optimize.hpp"
+#include "range/range_analysis.hpp"
+
+namespace frodo::codegen {
+
+// One row per model block, in schedule order.
+struct BlockReportRow {
+  model::BlockId id = 0;
+  std::string name;
+  std::string type;
+  // Summed over all output ports.
+  long long full_elements = 0;       // full-range signal size
+  long long demanded_elements = 0;   // calculation-range size (Algorithm 1)
+  long long eliminated_elements = 0; // full - demanded
+  double eliminated_pct = 0.0;       // 100 * eliminated / full (0 if full==0)
+  // Statically allocated doubles for this block's signal buffers, before and
+  // after the optimizer's layout decisions (shrinking/aliasing/fusion).
+  long long full_buffer_doubles = 0;
+  long long planned_buffer_doubles = 0;
+  // Which passes touched the block: "eliminated" (no step code at all),
+  // "range-reduced", "fused", "fused-tail", "aliased", "shrunk".  Empty for
+  // a block emitted in full.
+  std::vector<std::string> passes;
+};
+
+struct Report {
+  std::string model_name;
+  std::string generator;
+
+  // Model totals.
+  long long blocks = 0;              // all blocks in the flattened model
+  long long emitted_blocks = 0;      // blocks producing step code
+  long long eliminated_blocks = 0;   // blocks with no step code at all
+  long long full_elements = 0;
+  long long demanded_elements = 0;
+  long long eliminated_elements = 0; // == RangeAnalysis::eliminated_elements
+  double eliminated_pct = 0.0;
+  // Per-step data traffic the generated code never performs: stores for
+  // elements never computed (plus fused-away intermediates and aliased
+  // copies), loads for input elements never demanded.
+  long long stores_avoided = 0;
+  long long loads_avoided = 0;
+  // Static-footprint reduction from the optimizer's buffer layout, in bytes
+  // (doubles * 8).
+  long long bytes_saved = 0;
+  // Optimizer pass tallies (mirror the pipeline trace counters).
+  long long fused_chains = 0;
+  long long fused_blocks = 0;
+  long long aliased_ports = 0;
+  long long shrunk_buffers = 0;
+
+  std::vector<BlockReportRow> rows;
+};
+
+// Pure: computes the report from the pipeline artifacts the generator itself
+// consumes.  `generator_name` labels the report (e.g. "Frodo").
+Report build_report(const blocks::Analysis& analysis,
+                    const range::RangeAnalysis& ranges,
+                    const OptimizePlan& plan, const std::string& model_name,
+                    const std::string& generator_name);
+
+// Human-readable table (column-aligned, one row per block, totals footer).
+std::string render_report_text(const Report& report);
+
+// Single JSON document terminated by a newline; `version` stamps the
+// producing frodoc build (support/version.hpp).
+std::string render_report_json(const Report& report);
+
+}  // namespace frodo::codegen

@@ -4,9 +4,12 @@
 #include <deque>
 #include <set>
 
+#include "support/trace.hpp"
+
 namespace frodo::graph {
 
 Result<DataflowGraph> DataflowGraph::build(const model::Model& model) {
+  trace::Scope span("graph_build");
   FRODO_RETURN_IF_ERROR(model.validate());
   for (int id = 0; id < model.block_count(); ++id) {
     if (model.block(id).is_subsystem())

@@ -75,6 +75,11 @@ CompiledModel::CompiledModel(CompiledModel&& other) noexcept
     : handle_(other.handle_),
       init_(other.init_),
       step_(other.step_),
+      profile_count_(other.profile_count_),
+      profile_name_(other.profile_name_),
+      profile_ns_(other.profile_ns_),
+      profile_calls_(other.profile_calls_),
+      profile_reset_(other.profile_reset_),
       code_(std::move(other.code_)) {
   other.handle_ = nullptr;
 }
@@ -85,6 +90,11 @@ CompiledModel& CompiledModel::operator=(CompiledModel&& other) noexcept {
     handle_ = other.handle_;
     init_ = other.init_;
     step_ = other.step_;
+    profile_count_ = other.profile_count_;
+    profile_name_ = other.profile_name_;
+    profile_ns_ = other.profile_ns_;
+    profile_calls_ = other.profile_calls_;
+    profile_reset_ = other.profile_reset_;
     code_ = std::move(other.code_);
     other.handle_ = nullptr;
   }
@@ -137,6 +147,25 @@ Result<CompiledModel> compile_and_load(const codegen::GeneratedCode& code,
     return Result<CompiledModel>::error(
         "generated object is missing init/step symbols for prefix '" +
         code.prefix + "'");
+  // Optional FRODO_PROFILE instrumentation: present only when the code was
+  // generated with profile hooks and compiled with -DFRODO_PROFILE.  All
+  // five accessors are emitted together, so resolve all-or-nothing.
+  auto sym = [&](const char* suffix) {
+    return dlsym(model.handle_, (code.prefix + suffix).c_str());
+  };
+  void* pc = sym("_profile_count");
+  void* pn = sym("_profile_name");
+  void* pt = sym("_profile_ns");
+  void* pk = sym("_profile_calls");
+  void* pr = sym("_profile_reset");
+  if (pc != nullptr && pn != nullptr && pt != nullptr && pk != nullptr &&
+      pr != nullptr) {
+    model.profile_count_ = reinterpret_cast<int (*)()>(pc);
+    model.profile_name_ = reinterpret_cast<const char* (*)(int)>(pn);
+    model.profile_ns_ = reinterpret_cast<unsigned long long (*)(int)>(pt);
+    model.profile_calls_ = reinterpret_cast<unsigned long long (*)(int)>(pk);
+    model.profile_reset_ = reinterpret_cast<void (*)()>(pr);
+  }
   return model;
 }
 

@@ -57,6 +57,16 @@ class CompiledModel {
     step_(in, out);
   }
 
+  // FRODO_PROFILE accessors — resolved when the object was generated with
+  // profile hooks *and* compiled with -DFRODO_PROFILE; absent otherwise
+  // (the instrumentation preprocesses away).  All five resolve together.
+  bool has_profile() const { return profile_count_ != nullptr; }
+  int profile_count() const { return profile_count_(); }
+  const char* profile_name(int i) const { return profile_name_(i); }
+  unsigned long long profile_ns(int i) const { return profile_ns_(i); }
+  unsigned long long profile_calls(int i) const { return profile_calls_(i); }
+  void profile_reset() const { profile_reset_(); }
+
   friend Result<CompiledModel> compile_and_load(
       const codegen::GeneratedCode& code, const CompilerProfile& profile,
       const std::string& workdir);
@@ -65,6 +75,11 @@ class CompiledModel {
   void* handle_ = nullptr;
   void (*init_)() = nullptr;
   void (*step_)(const double* const*, double* const*) = nullptr;
+  int (*profile_count_)() = nullptr;
+  const char* (*profile_name_)(int) = nullptr;
+  unsigned long long (*profile_ns_)(int) = nullptr;
+  unsigned long long (*profile_calls_)(int) = nullptr;
+  void (*profile_reset_)() = nullptr;
   codegen::GeneratedCode code_;
 };
 

@@ -4,6 +4,8 @@
 #include <variant>
 #include <vector>
 
+#include "support/trace.hpp"
+
 namespace frodo::model {
 
 namespace {
@@ -35,6 +37,7 @@ Result<int> port_number(const Block& block) {
 }  // namespace
 
 Result<Model> flatten(const Model& model) {
+  trace::Scope span("flatten");
   FRODO_RETURN_IF_ERROR(model.validate());
 
   Model out(model.name());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/trace.hpp"
+
 namespace frodo::range {
 
 namespace {
@@ -113,6 +115,7 @@ class Determiner {
   }
 
   Status fill_in_ranges(BlockId id) {
+    trace::count("pullbacks");
     auto demand = a_.sems[static_cast<std::size_t>(id)]->pullback(
         a_.instance(id), r_.out_ranges[static_cast<std::size_t>(id)]);
     if (!demand.is_ok()) {
@@ -121,6 +124,7 @@ class Determiner {
             "I/O mapping of block '" + a_.model().block(id).name() + "'");
       // Graceful degradation: demand the block's full inputs.  Always sound
       // (a superset of any true demand); only optimization is lost.
+      trace::count("w002_loosenings");
       engine_->warning(diag::codes::kWPullbackFallback,
                        "I/O mapping failed (" + demand.message() +
                            ") — assuming full input ranges",
@@ -150,6 +154,7 @@ class Determiner {
     std::vector<Frame> frames{{root}};
     computed_[static_cast<std::size_t>(root)] = true;
     while (!frames.empty()) {
+      trace::count("worklist_iterations");
       Frame& f = frames.back();
       const auto& out_edges = a_.graph->out_edges(f.id);
       if (f.next < out_edges.size()) {
@@ -161,6 +166,7 @@ class Determiner {
         continue;
       }
       // Children done: merge their demands into this block's out ranges.
+      trace::count("blocks_visited");
       const BlockId id = f.id;
       frames.pop_back();
       auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
@@ -227,6 +233,7 @@ std::string RangeAnalysis::to_string(const blocks::Analysis& analysis) const {
 
 Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
                                        diag::Engine* engine) {
+  trace::Scope span("range_analysis");
   RangeAnalysis r;
   const int n = analysis.graph->block_count();
   r.out_ranges.resize(static_cast<std::size_t>(n));
@@ -244,6 +251,7 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
 
 RangeAnalysis loosen(const blocks::Analysis& analysis,
                      const RangeAnalysis& ranges, diag::Engine* engine) {
+  trace::Scope span("range_loosen");
   RangeAnalysis loose = ranges;
   for (BlockId id = 0; id < analysis.graph->block_count(); ++id) {
     const auto& shapes = analysis.out_shapes[static_cast<std::size_t>(id)];
@@ -265,6 +273,7 @@ RangeAnalysis loosen(const blocks::Analysis& analysis,
         // Keeping the tight pre-loosening demand would under-report what
         // the widened block now reads; fall back to full inputs (always
         // sound) and surface the failed pullback like determine_ranges does.
+        trace::count("w002_loosenings");
         if (engine != nullptr)
           engine->warning(diag::codes::kWPullbackFallback,
                           "I/O mapping failed while loosening (" +

@@ -2,6 +2,7 @@
 
 #include "support/diag.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 #include "xml/xml.hpp"
 #include "zip/zip.hpp"
 
@@ -158,6 +159,7 @@ Status save(const model::Model& m, const std::string& path) {
 }
 
 Result<model::Model> load(const std::string& path) {
+  trace::Scope span("parse");
   auto bytes = zip::read_file(path);
   if (!bytes.is_ok()) return bytes.status();
   if (ends_with(path, ".slxz"))

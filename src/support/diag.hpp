@@ -64,6 +64,8 @@ inline constexpr char kAnalysisShape[] = "FRODO-E401";
 inline constexpr char kCodegenEmit[] = "FRODO-E402";
 // Usage / internal.
 inline constexpr char kInternal[] = "FRODO-E901";
+// Output artifacts (generated sources, trace files) cannot be written.
+inline constexpr char kIoWrite[] = "FRODO-E902";
 // Warnings (graceful degradation).
 inline constexpr char kWUnknownBlockType[] = "FRODO-W001";
 inline constexpr char kWPullbackFallback[] = "FRODO-W002";

@@ -1,0 +1,209 @@
+#include "support/json.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace frodo::json {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    Value value;
+    FRODO_RETURN_IF_ERROR(parse_value(&value, 0));
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("trailing garbage after the top-level value");
+    return value;
+  }
+
+ private:
+  Status fail(const std::string& message) const {
+    return Status::error("JSON parse error at offset " +
+                         std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("expected '" + std::string(word) + "'");
+    pos_ += word.size();
+    return Status::ok();
+  }
+
+  Status parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) return fail("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — fine for validation purposes).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape '\\" + std::string(1, e) + "'");
+      }
+    }
+  }
+
+  Status parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::strchr("0123456789.eE+-", text_[pos_]) != nullptr))
+      ++pos_;
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return fail("bad number");
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number '" + token +
+                                                    "'");
+    out->kind = Value::Kind::kNumber;
+    return Status::ok();
+  }
+
+  Status parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Value::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return Status::ok();
+      while (true) {
+        skip_ws();
+        std::string key;
+        FRODO_RETURN_IF_ERROR(parse_string(&key));
+        skip_ws();
+        if (!consume(':')) return fail("expected ':' after object key");
+        Value member;
+        FRODO_RETURN_IF_ERROR(parse_value(&member, depth + 1));
+        out->members.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return Status::ok();
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Value::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return Status::ok();
+      while (true) {
+        Value item;
+        FRODO_RETURN_IF_ERROR(parse_value(&item, depth + 1));
+        out->items.push_back(std::move(item));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return Status::ok();
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return parse_string(&out->string);
+    }
+    if (c == 't') {
+      FRODO_RETURN_IF_ERROR(expect_literal("true"));
+      out->kind = Value::Kind::kBool;
+      out->boolean = true;
+      return Status::ok();
+    }
+    if (c == 'f') {
+      FRODO_RETURN_IF_ERROR(expect_literal("false"));
+      out->kind = Value::Kind::kBool;
+      out->boolean = false;
+      return Status::ok();
+    }
+    if (c == 'n') {
+      FRODO_RETURN_IF_ERROR(expect_literal("null"));
+      out->kind = Value::Kind::kNull;
+      return Status::ok();
+    }
+    return parse_number(out);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace frodo::json

@@ -1,0 +1,47 @@
+// Minimal JSON reader.
+//
+// The toolchain *emits* several JSON artifacts (diagnostics, Chrome traces,
+// redundancy reports, bench trajectory files); this parser exists so the
+// repo can *validate* them — in tests and in the pure-ctest schema check
+// over the committed BENCH_*.json — without a Python or third-party
+// dependency.  It is a strict RFC 8259 subset reader: no comments, no
+// trailing commas, objects as ordered key/value lists (duplicate keys are
+// kept; find() returns the first).  Inputs are bounded by a nesting-depth
+// guard so a hostile file cannot overflow the stack.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> items;  // kArray
+  std::vector<std::pair<std::string, Value>> members;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // First member with `key`, or nullptr (also for non-objects).
+  const Value* find(std::string_view key) const;
+};
+
+// Parses exactly one JSON value covering the whole input (surrounding
+// whitespace allowed); trailing garbage is an error.
+Result<Value> parse(std::string_view text);
+
+}  // namespace frodo::json

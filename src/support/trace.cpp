@@ -1,0 +1,155 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/diag.hpp"
+#include "support/version.hpp"
+
+namespace frodo::trace {
+
+namespace {
+
+Tracer* g_tracer = nullptr;
+
+}  // namespace
+
+Tracer* install(Tracer* tracer) {
+  Tracer* previous = g_tracer;
+  g_tracer = tracer;
+  return previous;
+}
+
+Tracer* current() { return g_tracer; }
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+long long Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::set_metadata(std::string key, std::string value) {
+  for (auto& [k, v] : metadata_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  metadata_.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::add_counter(std::string_view name, long long delta) {
+  for (auto& [k, v] : counters_) {
+    if (k == name) {
+      v += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(name), delta);
+}
+
+long long Tracer::counter(std::string_view name) const {
+  for (const auto& [k, v] : counters_) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+std::size_t Tracer::begin_span(std::string_view name) {
+  Span span;
+  span.name = std::string(name);
+  span.start_us = now_us();
+  span.depth = depth_++;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Tracer::end_span(std::size_t index) {
+  if (index >= spans_.size()) return;
+  Span& span = spans_[index];
+  span.dur_us = std::max<long long>(0, now_us() - span.start_us);
+  if (depth_ > 0) --depth_;
+}
+
+Scope::Scope(std::string_view name) : tracer_(current()) {
+  if (tracer_ != nullptr) index_ = tracer_->begin_span(name);
+}
+
+Scope::~Scope() {
+  if (tracer_ != nullptr) tracer_->end_span(index_);
+}
+
+std::string Tracer::chrome_json() const {
+  // https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+  // "X" complete events carry ts + dur in microseconds; one final "C"
+  // counter event snapshots the accumulated pipeline counters.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + diag::json_escape(span.name) +
+           "\",\"ph\":\"X\",\"ts\":" + std::to_string(span.start_us) +
+           ",\"dur\":" + std::to_string(span.dur_us) +
+           ",\"pid\":1,\"tid\":1,\"args\":{\"depth\":" +
+           std::to_string(span.depth) + "}}";
+  }
+  if (!counters_.empty()) {
+    long long ts = 0;
+    for (const Span& span : spans_)
+      ts = std::max(ts, span.start_us + span.dur_us);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"counters\",\"ph\":\"C\",\"ts\":" +
+           std::to_string(ts) + ",\"pid\":1,\"args\":{";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + diag::json_escape(counters_[i].first) +
+             "\":" + std::to_string(counters_[i].second);
+    }
+    out += "}}";
+  }
+  out += ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
+         "{\"name\":\"frodoc\"}}";
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  out += "\"version\":\"" + diag::json_escape(version_string()) + "\"";
+  for (const auto& [k, v] : metadata_) {
+    out += ",\"" + diag::json_escape(k) + "\":\"" + diag::json_escape(v) +
+           "\"";
+  }
+  if (!counters_.empty()) {
+    out += ",\"counters\":{";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + diag::json_escape(counters_[i].first) +
+             "\":" + std::to_string(counters_[i].second);
+    }
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string Tracer::summary_text() const {
+  std::string out = "pipeline phases (wall time):\n";
+  for (const Span& span : spans_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %*s%-*s %9.3f ms\n", span.depth * 2,
+                  "", 28 - span.depth * 2, span.name.c_str(),
+                  static_cast<double>(span.dur_us) / 1000.0);
+    out += buf;
+  }
+  if (!counters_.empty()) {
+    out += "pipeline counters:\n";
+    for (const auto& [name, value] : counters_) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %-28s %lld\n", name.c_str(), value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace frodo::trace

@@ -1,0 +1,93 @@
+// Pipeline tracing and metrics.
+//
+// The compile pipeline (parse -> flatten -> graph build -> range analysis ->
+// optimize passes -> emit) instruments itself with RAII `Scope` spans and
+// named counters.  Instrumentation is installation-based: library code calls
+// `trace::Scope span("flatten")` / `trace::count("pullbacks")` unconditionally
+// and both are no-ops (one relaxed pointer load) unless a `Tracer` has been
+// installed for the process — so hot paths pay nothing in normal runs and
+// nothing needs to be threaded through the pass APIs.
+//
+// A populated Tracer renders two ways:
+//   * chrome_json() — the Chrome `trace_event` format (load in
+//     chrome://tracing or Perfetto); spans become "X" complete events,
+//     counters a final "C" event, metadata goes into "otherData".
+//   * summary_text() — the human per-phase wall-time + counter table that
+//     `frodoc -v` prints to stderr.
+//
+// The tool is single-threaded by design; the installed tracer is process
+// state, not thread state (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace frodo::trace {
+
+struct Span {
+  std::string name;
+  long long start_us = 0;  // since the tracer's construction
+  long long dur_us = 0;
+  int depth = 0;  // nesting level at begin time (0 = top-level phase)
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  // Free-form key/value attached to the exported trace ("model", "version").
+  void set_metadata(std::string key, std::string value);
+  void add_counter(std::string_view name, long long delta);
+
+  // Span protocol used by Scope; begin returns the span's index.
+  std::size_t begin_span(std::string_view name);
+  void end_span(std::size_t index);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  // Counters in first-touch order.
+  const std::vector<std::pair<std::string, long long>>& counters() const {
+    return counters_;
+  }
+  // 0 when the counter was never touched.
+  long long counter(std::string_view name) const;
+
+  std::string chrome_json() const;
+  std::string summary_text() const;
+
+ private:
+  long long now_us() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  int depth_ = 0;
+  std::vector<Span> spans_;
+  std::vector<std::pair<std::string, long long>> counters_;
+  std::vector<std::pair<std::string, std::string>> metadata_;
+};
+
+// Installs `tracer` as the process-wide sink (nullptr disables tracing);
+// returns the previously installed one so callers can restore it.
+Tracer* install(Tracer* tracer);
+Tracer* current();
+
+// RAII span over the installed tracer; no-op when tracing is off.
+class Scope {
+ public:
+  explicit Scope(std::string_view name);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::size_t index_ = 0;
+};
+
+inline void count(std::string_view name, long long delta = 1) {
+  if (Tracer* t = current()) t->add_counter(name, delta);
+}
+
+}  // namespace frodo::trace

@@ -1,0 +1,20 @@
+// Build identification, generated at configure time (see
+// src/support/CMakeLists.txt's configure_file of version.cpp.in).
+//
+// Every machine-readable artifact the toolchain emits — `--report json`,
+// `--trace-out` metadata, bench JSON metadata blocks — embeds
+// version_string() so results stay attributable to the build that produced
+// them.  `frodoc --version` prints the same string.
+#pragma once
+
+namespace frodo {
+
+// "frodo-codegen <git describe> (<compiler>, <build type>)".
+const char* version_string();
+
+// The individual components.
+const char* version_revision();    // git describe --always --dirty
+const char* version_compiler();    // e.g. "GNU 12.2.0"
+const char* version_build_type();  // e.g. "RelWithDebInfo"
+
+}  // namespace frodo

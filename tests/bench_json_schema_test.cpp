@@ -1,0 +1,97 @@
+// Schema check of the committed perf-trajectory file BENCH_table2_x86.json
+// (maintained by bench/run_benchmarks.sh).  Runs under plain ctest — no
+// benchmark execution — so a malformed or metadata-less trajectory file is
+// caught at test time, not at the next perf triage.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+#ifndef BENCH_JSON_PATH
+#error "BENCH_JSON_PATH must be defined by the build"
+#endif
+
+namespace frodo {
+namespace {
+
+const json::Value& load_bench_json() {
+  static const json::Value* doc = [] {
+    std::ifstream in(BENCH_JSON_PATH);
+    EXPECT_TRUE(in.good()) << "missing " << BENCH_JSON_PATH;
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = json::parse(text.str());
+    EXPECT_TRUE(parsed.is_ok()) << parsed.message();
+    return new json::Value(std::move(parsed).value());
+  }();
+  return *doc;
+}
+
+TEST(BenchJson, TopLevelShape) {
+  const json::Value& root = load_bench_json();
+  ASSERT_NE(root.find("bench"), nullptr);
+  EXPECT_EQ(root.find("bench")->string, "table2_x86");
+  ASSERT_NE(root.find("repetitions"), nullptr);
+  EXPECT_GT(root.find("repetitions")->number, 0.0);
+}
+
+TEST(BenchJson, MetadataIdentifiesTheRun) {
+  const json::Value* meta = load_bench_json().find("metadata");
+  ASSERT_NE(meta, nullptr)
+      << "BENCH_table2_x86.json lacks the metadata block; regenerate it "
+         "with bench/run_benchmarks.sh";
+  ASSERT_NE(meta->find("version"), nullptr);
+  EXPECT_NE(meta->find("version")->string.find("frodo-codegen"),
+            std::string::npos);
+  // ISO-8601 UTC: YYYY-MM-DDTHH:MM:SSZ.
+  ASSERT_NE(meta->find("timestamp"), nullptr);
+  const std::string& ts = meta->find("timestamp")->string;
+  ASSERT_EQ(ts.size(), 20u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], 'Z');
+
+  const json::Value* compilers = meta->find("host_compilers");
+  ASSERT_NE(compilers, nullptr);
+  ASSERT_TRUE(compilers->is_array());
+  ASSERT_GE(compilers->items.size(), 2u);  // both Table 2 profiles
+  for (const json::Value& info : compilers->items) {
+    ASSERT_NE(info.find("label"), nullptr);
+    ASSERT_NE(info.find("cc"), nullptr);
+    ASSERT_NE(info.find("version"), nullptr);
+    ASSERT_NE(info.find("flags"), nullptr);
+    EXPECT_TRUE(info.find("flags")->is_array());
+  }
+}
+
+TEST(BenchJson, ProfilesCoverAllModelsAndGenerators) {
+  const json::Value* profiles = load_bench_json().find("profiles");
+  ASSERT_NE(profiles, nullptr);
+  ASSERT_TRUE(profiles->is_array());
+  ASSERT_GE(profiles->items.size(), 2u);
+  for (const json::Value& profile : profiles->items) {
+    ASSERT_NE(profile.find("label"), nullptr);
+    const json::Value* rows = profile.find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_TRUE(rows->is_array());
+    EXPECT_EQ(rows->items.size(), 10u);  // the paper's benchmark set
+    for (const json::Value& row : rows->items) {
+      ASSERT_NE(row.find("model"), nullptr);
+      const json::Value* cells = row.find("ns_per_step");
+      ASSERT_NE(cells, nullptr);
+      for (const char* gen :
+           {"Simulink", "DFSynth", "HCG", "Frodo", "Frodo-noopt"}) {
+        ASSERT_NE(cells->find(gen), nullptr)
+            << row.find("model")->string << "/" << gen;
+        EXPECT_GT(cells->find(gen)->number, 0.0)
+            << row.find("model")->string << "/" << gen;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace frodo

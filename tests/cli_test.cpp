@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "benchmodels/benchmodels.hpp"
 #include "slx/slx.hpp"
+#include "support/json.hpp"
 #include "zip/zip.hpp"
 
 #ifndef FRODOC_PATH
@@ -245,6 +247,194 @@ TEST(Frodoc, CheckReportsMultipleErrorsInOneRun) {
   EXPECT_EQ(run("'" + path + "' --check", &text), 1);
   EXPECT_NE(text.find("FRODO-E307"), std::string::npos) << text;
   EXPECT_NE(text.find("FRODO-E310"), std::string::npos) << text;
+}
+
+TEST(Frodoc, VersionPrintsBuildIdentification) {
+  std::string text;
+  ASSERT_EQ(run("--version", &text), 0);
+  EXPECT_NE(text.find("frodo-codegen"), std::string::npos) << text;
+}
+
+// The report JSON is printed last on stdout; it starts at the first line
+// that is exactly "{".
+std::string extract_report_json(const std::string& text) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text.substr(pos, eol - pos) == "{") return text.substr(pos);
+    pos = eol + 1;
+  }
+  return "";
+}
+
+TEST(Frodoc, TraceOutWritesLoadableChromeTrace) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("traced", "");
+  const std::string trace_path = unique_file("trace", ".json");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + out + "' --trace-out '" +
+                    trace_path + "'",
+                &text),
+            0)
+      << text;
+
+  auto trace_text = zip::read_file(trace_path);
+  ASSERT_TRUE(trace_text.is_ok());
+  auto doc = json::parse(trace_text.value());
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::set<std::string> span_names;
+  for (const json::Value& ev : events->items) {
+    const json::Value* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string != "X") continue;
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("dur"), nullptr);
+    span_names.insert(ev.find("name")->string);
+  }
+  // The acceptance bar: at least six distinct pipeline phases.
+  EXPECT_GE(span_names.size(), 6u) << trace_text.value();
+  for (const char* phase : {"parse", "flatten", "graph_build",
+                            "range_analysis", "emit", "write_output"})
+    EXPECT_EQ(span_names.count(phase), 1u) << phase;
+  // Run metadata rides along for attribution.
+  const json::Value* other = doc.value().find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->find("version"), nullptr);
+  ASSERT_NE(other->find("model"), nullptr);
+  ASSERT_NE(other->find("counters"), nullptr);
+}
+
+TEST(Frodoc, TraceOutBadPathIsACodedError) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("traced_bad", "");
+  std::string text;
+  EXPECT_EQ(run("'" + package + "' --out '" + out +
+                    "' --trace-out /nonexistent/dir/trace.json",
+                &text),
+            2)
+      << text;
+  EXPECT_NE(text.find("FRODO-E902"), std::string::npos) << text;
+  // The trace failing to write must not forfeit the generated bundle.
+  EXPECT_TRUE(std::filesystem::exists(out + "/Back.c"));
+}
+
+TEST(Frodoc, ReportJsonAgreesWithPrintRangesOnEveryBenchmodel) {
+  for (const auto& bench : benchmodels::all_models()) {
+    auto model = bench.build();
+    ASSERT_TRUE(model.is_ok()) << bench.name;
+    const std::string package = unique_file(bench.name, ".slxz");
+    ASSERT_TRUE(slx::save(model.value(), package).is_ok());
+
+    std::string ranges_text;
+    ASSERT_EQ(run("'" + package + "' --print-ranges", &ranges_text), 0)
+        << bench.name << ": " << ranges_text;
+    const std::string marker = "eliminated elements: ";
+    const std::size_t at = ranges_text.find(marker);
+    ASSERT_NE(at, std::string::npos) << bench.name << ": " << ranges_text;
+    const long long expected =
+        std::atoll(ranges_text.c_str() + at + marker.size());
+
+    const std::string out = unique_file("report_" + bench.name, "");
+    std::string text;
+    ASSERT_EQ(run("'" + package + "' --out '" + out + "' --report json",
+                  &text),
+              0)
+        << bench.name << ": " << text;
+    auto doc = json::parse(extract_report_json(text));
+    ASSERT_TRUE(doc.is_ok()) << bench.name << ": " << doc.message();
+    const json::Value* totals = doc.value().find("totals");
+    ASSERT_NE(totals, nullptr) << bench.name;
+    ASSERT_NE(totals->find("eliminated_elements"), nullptr) << bench.name;
+    EXPECT_DOUBLE_EQ(totals->find("eliminated_elements")->number,
+                     static_cast<double>(expected))
+        << bench.name;
+    EXPECT_EQ(doc.value().find("model")->string, model.value().name())
+        << bench.name;
+    ASSERT_TRUE(doc.value().find("blocks")->is_array()) << bench.name;
+    EXPECT_FALSE(doc.value().find("blocks")->items.empty()) << bench.name;
+  }
+}
+
+TEST(Frodoc, ReportTextRendersTheTable) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("report_text", "");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + out + "' --report text",
+                &text),
+            0)
+      << text;
+  EXPECT_NE(text.find("redundancy elimination report"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("totals:"), std::string::npos) << text;
+}
+
+TEST(Frodoc, PrintRangesComposesWithReport) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("ranges_report", "");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + out +
+                    "' --print-ranges --report text",
+                &text),
+            0)
+      << text;
+  const std::size_t ranges_at = text.find("eliminated elements:");
+  const std::size_t report_at = text.find("redundancy elimination report");
+  ASSERT_NE(ranges_at, std::string::npos) << text;
+  ASSERT_NE(report_at, std::string::npos) << text;
+  EXPECT_LT(ranges_at, report_at);  // ranges first, then the report
+  // --print-ranges never generates code, even with --out.
+  EXPECT_FALSE(std::filesystem::exists(out + "/Back.c"));
+}
+
+TEST(Frodoc, ReportBadFormatIsAUsageError) {
+  const std::string package = write_sample_package();
+  std::string text;
+  EXPECT_EQ(run("'" + package + "' --report yaml", &text), 2);
+  EXPECT_NE(text.find("--report"), std::string::npos) << text;
+}
+
+TEST(Frodoc, ProfileHooksPreprocessToIdenticalCode) {
+  const std::string package = write_sample_package();
+  const std::string plain = unique_file("prof_off", "");
+  const std::string hooked = unique_file("prof_on", "");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + plain + "'", &text), 0)
+      << text;
+  ASSERT_EQ(run("'" + package + "' --out '" + hooked + "' --profile-hooks",
+                &text),
+            0)
+      << text;
+  // The instrumented source mentions the guard; the plain one must not.
+  auto hooked_c = zip::read_file(hooked + "/Back.c");
+  ASSERT_TRUE(hooked_c.is_ok());
+  EXPECT_NE(hooked_c.value().find("FRODO_PROFILE"), std::string::npos);
+  auto plain_c = zip::read_file(plain + "/Back.c");
+  ASSERT_TRUE(plain_c.is_ok());
+  EXPECT_EQ(plain_c.value().find("FRODO_PROFILE"), std::string::npos);
+
+  // With the macro undefined, preprocessing both sources yields
+  // byte-identical code: the zero-overhead contract.
+  const std::string cmd = "gcc -E -P '" + plain + "/Back.c' > '" + plain +
+                          "/Back.i' && gcc -E -P '" + hooked +
+                          "/Back.c' > '" + hooked + "/Back.i' && cmp -s '" +
+                          plain + "/Back.i' '" + hooked + "/Back.i'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+}
+
+TEST(Frodoc, VerboseSummarizesPhasesAndCounters) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("verbose", "");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + out + "' -v", &text), 0)
+      << text;
+  EXPECT_NE(text.find("pipeline phases"), std::string::npos) << text;
+  EXPECT_NE(text.find("pipeline counters"), std::string::npos) << text;
+  EXPECT_NE(text.find("range_analysis"), std::string::npos) << text;
 }
 
 TEST(Frodoc, XmlInputAlsoAccepted) {

@@ -1,0 +1,166 @@
+// Tests of the --profile-hooks contract: no instrumentation without the
+// option, FRODO_PROFILE-guarded instrumentation with it (zero overhead when
+// the macro is off), and working per-site accessors through the jit loader.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "jit/jit.hpp"
+
+namespace frodo {
+namespace {
+
+std::string workdir() {
+  return testing::TempDir() + "/frodo_profile_test_" +
+         std::to_string(::getpid());
+}
+
+codegen::GeneratedCode generate_back(bool profile_hooks) {
+  auto m = benchmodels::build_back();
+  EXPECT_TRUE(m.is_ok()) << m.message();
+  codegen::FrodoGenerator gen;
+  codegen::GenerateOptions options;
+  options.profile_hooks = profile_hooks;
+  auto code = gen.generate(m.value(), options);
+  EXPECT_TRUE(code.is_ok()) << code.message();
+  return std::move(code).value();
+}
+
+TEST(ProfileHooks, OffByDefaultAndLeavesNoTrace) {
+  const codegen::GeneratedCode code = generate_back(false);
+  EXPECT_TRUE(code.profile_sites.empty());
+  EXPECT_EQ(code.source.find("FRODO_PROFILE"), std::string::npos);
+  EXPECT_EQ(code.header.find("FRODO_PROFILE"), std::string::npos);
+  EXPECT_EQ(code.source.find("_prof_"), std::string::npos);
+}
+
+TEST(ProfileHooks, EveryInstrumentedLineIsGuarded) {
+  const codegen::GeneratedCode code = generate_back(true);
+  ASSERT_FALSE(code.profile_sites.empty());
+  // Strip every `#ifdef FRODO_PROFILE` ... `#endif` region; nothing
+  // mentioning the instrumentation may survive outside the guards.
+  std::string stripped;
+  bool inside = false;
+  std::size_t pos = 0;
+  while (pos < code.source.size()) {
+    std::size_t eol = code.source.find('\n', pos);
+    if (eol == std::string::npos) eol = code.source.size();
+    const std::string line = code.source.substr(pos, eol - pos);
+    if (line.find("#ifdef FRODO_PROFILE") != std::string::npos) {
+      inside = true;
+    } else if (inside && line.find("#endif") != std::string::npos) {
+      inside = false;
+    } else if (!inside) {
+      stripped += line;
+      stripped += '\n';
+    }
+    pos = eol + 1;
+  }
+  EXPECT_EQ(stripped.find("_prof_"), std::string::npos);
+  EXPECT_EQ(stripped.find("FRODO_PROFILE"), std::string::npos);
+}
+
+TEST(ProfileHooks, StrippedSourceMatchesUninstrumentedBehaviour) {
+  // Without -DFRODO_PROFILE the instrumented source must behave exactly
+  // like the plain one, and expose no profile accessors.
+  const codegen::GeneratedCode plain = generate_back(false);
+  const codegen::GeneratedCode hooked = generate_back(true);
+  const jit::CompilerProfile profile{"gcc-O1", "gcc", {"-O1"}, 4};
+
+  auto plain_obj = jit::compile_and_load(plain, profile, workdir());
+  ASSERT_TRUE(plain_obj.is_ok()) << plain_obj.message();
+  jit::CompilerProfile relabelled = profile;
+  relabelled.label = "gcc-O1-hooked";  // distinct cache/so name
+  auto hooked_obj = jit::compile_and_load(hooked, relabelled, workdir());
+  ASSERT_TRUE(hooked_obj.is_ok()) << hooked_obj.message();
+  EXPECT_FALSE(hooked_obj.value().has_profile());
+
+  const auto inputs = jit::random_inputs(plain, /*seed=*/7);
+  std::vector<const double*> ins;
+  for (const auto& in : inputs) ins.push_back(in.data());
+  std::vector<std::vector<double>> out_a, out_b;
+  std::vector<double*> outs_a, outs_b;
+  for (const auto& port : plain.outputs) {
+    out_a.emplace_back(port.size, 0.0);
+    out_b.emplace_back(port.size, 0.0);
+    outs_a.push_back(out_a.back().data());
+    outs_b.push_back(out_b.back().data());
+  }
+  plain_obj.value().init();
+  hooked_obj.value().init();
+  for (int i = 0; i < 5; ++i) {
+    plain_obj.value().step(ins.data(), outs_a.data());
+    hooked_obj.value().step(ins.data(), outs_b.data());
+  }
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST(ProfileHooks, AccessorsCountAndAttribute) {
+  const codegen::GeneratedCode code = generate_back(true);
+  jit::CompilerProfile profile{"gcc-O1-prof", "gcc",
+                               {"-O1", "-DFRODO_PROFILE"}, 4};
+  auto compiled = jit::compile_and_load(code, profile, workdir());
+  ASSERT_TRUE(compiled.is_ok()) << compiled.message();
+  jit::CompiledModel& m = compiled.value();
+  ASSERT_TRUE(m.has_profile());
+
+  // The site table in GeneratedCode is the ground truth for the indices.
+  ASSERT_EQ(static_cast<std::size_t>(m.profile_count()),
+            code.profile_sites.size());
+  for (int i = 0; i < m.profile_count(); ++i)
+    EXPECT_EQ(m.profile_name(i), code.profile_sites[i]) << i;
+
+  const auto inputs = jit::random_inputs(code, /*seed=*/7);
+  std::vector<const double*> ins;
+  for (const auto& in : inputs) ins.push_back(in.data());
+  std::vector<std::vector<double>> out;
+  std::vector<double*> outs;
+  for (const auto& port : code.outputs) {
+    out.emplace_back(port.size, 0.0);
+    outs.push_back(out.back().data());
+  }
+  m.init();
+  m.profile_reset();
+  const int kSteps = 10;
+  for (int i = 0; i < kSteps; ++i) m.step(ins.data(), outs.data());
+
+  long long total_ns = 0;
+  for (int i = 0; i < m.profile_count(); ++i) {
+    EXPECT_EQ(m.profile_calls(i), kSteps) << code.profile_sites[i];
+    EXPECT_GE(m.profile_ns(i), 0) << code.profile_sites[i];
+    total_ns += m.profile_ns(i);
+  }
+  EXPECT_GT(total_ns, 0);
+
+  m.profile_reset();
+  for (int i = 0; i < m.profile_count(); ++i) {
+    EXPECT_EQ(m.profile_calls(i), 0);
+    EXPECT_EQ(m.profile_ns(i), 0);
+  }
+}
+
+TEST(ProfileHooks, StateSitesAreNamed) {
+  // Kalman has a UnitDelay feedback loop, so the site table must contain
+  // both plain step sites and "/state" sites.
+  auto m = benchmodels::build_kalman();
+  ASSERT_TRUE(m.is_ok()) << m.message();
+  codegen::FrodoGenerator gen;
+  codegen::GenerateOptions options;
+  options.profile_hooks = true;
+  auto generated = gen.generate(m.value(), options);
+  ASSERT_TRUE(generated.is_ok()) << generated.message();
+  const codegen::GeneratedCode& code = generated.value();
+  bool any_state = false;
+  for (const std::string& site : code.profile_sites)
+    if (site.size() > 6 &&
+        site.compare(site.size() - 6, 6, "/state") == 0)
+      any_state = true;
+  EXPECT_TRUE(any_state);
+}
+
+}  // namespace
+}  // namespace frodo

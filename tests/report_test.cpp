@@ -1,0 +1,192 @@
+// Tests of the redundancy-elimination report (codegen/report): agreement
+// with range analysis, schema of the JSON rendering, and the text table.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchmodels/benchmodels.hpp"
+#include "blocks/analysis.hpp"
+#include "codegen/report.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+#include "support/json.hpp"
+
+namespace frodo {
+namespace {
+
+// Pipeline artifacts the report is computed from; members are
+// self-referential (analysis points into graph, graph into flat), so the
+// struct is filled in place and never copied.
+struct Pipeline {
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  range::RangeAnalysis ranges;
+  codegen::OptimizePlan plan;
+};
+
+void build_pipeline(const model::Model& m, Pipeline* p) {
+  auto flat = model::flatten(m);
+  ASSERT_TRUE(flat.is_ok()) << flat.message();
+  p->flat = std::move(flat).value();
+  auto graph = graph::DataflowGraph::build(p->flat);
+  ASSERT_TRUE(graph.is_ok()) << graph.message();
+  p->graph = std::move(graph).value();
+  auto analysis = blocks::analyze(p->graph);
+  ASSERT_TRUE(analysis.is_ok()) << analysis.message();
+  p->analysis = std::move(analysis).value();
+  auto ranges = range::determine_ranges(p->analysis);
+  ASSERT_TRUE(ranges.is_ok()) << ranges.message();
+  p->ranges = std::move(ranges).value();
+  p->plan = codegen::plan_optimizations(p->analysis, p->ranges,
+                                        codegen::OptimizeOptions());
+}
+
+TEST(Report, AgreesWithRangeAnalysisOnEveryBenchmodel) {
+  for (const auto& bench : benchmodels::all_models()) {
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok()) << bench.name;
+    Pipeline p;
+    build_pipeline(m.value(), &p);
+    if (testing::Test::HasFatalFailure()) return;
+
+    const codegen::Report report = codegen::build_report(
+        p.analysis, p.ranges, p.plan, bench.name, "Frodo");
+
+    // The headline number must match Algorithm 1's own accounting.
+    EXPECT_EQ(report.eliminated_elements,
+              p.ranges.eliminated_elements(p.analysis))
+        << bench.name;
+    EXPECT_EQ(report.full_elements - report.demanded_elements,
+              report.eliminated_elements)
+        << bench.name;
+
+    // One row per block, and the rows sum to the totals.
+    EXPECT_EQ(static_cast<long long>(report.rows.size()), report.blocks)
+        << bench.name;
+    long long full = 0, demanded = 0, eliminated = 0;
+    for (const auto& row : report.rows) {
+      full += row.full_elements;
+      demanded += row.demanded_elements;
+      eliminated += row.eliminated_elements;
+      EXPECT_EQ(row.eliminated_elements,
+                row.full_elements - row.demanded_elements)
+          << bench.name << "/" << row.name;
+      EXPECT_GE(row.demanded_elements, 0) << bench.name << "/" << row.name;
+    }
+    EXPECT_EQ(full, report.full_elements) << bench.name;
+    EXPECT_EQ(demanded, report.demanded_elements) << bench.name;
+    EXPECT_EQ(eliminated, report.eliminated_elements) << bench.name;
+    EXPECT_EQ(report.bytes_saved % 8, 0) << bench.name;
+  }
+}
+
+TEST(Report, FullRangesReportNothingEliminated) {
+  auto m = benchmodels::build_back();
+  ASSERT_TRUE(m.is_ok());
+  Pipeline p;
+  build_pipeline(m.value(), &p);
+  if (testing::Test::HasFatalFailure()) return;
+
+  const range::RangeAnalysis full = range::full_ranges(p.analysis);
+  const codegen::OptimizePlan none = codegen::plan_optimizations(
+      p.analysis, full, codegen::OptimizeOptions::none());
+  const codegen::Report report =
+      codegen::build_report(p.analysis, full, none, "Back", "Simulink");
+  EXPECT_EQ(report.eliminated_elements, 0);
+  EXPECT_EQ(report.stores_avoided, 0);
+  EXPECT_EQ(report.loads_avoided, 0);
+  EXPECT_EQ(report.bytes_saved, 0);
+  EXPECT_EQ(report.fused_chains, 0);
+  EXPECT_EQ(report.aliased_ports, 0);
+}
+
+TEST(Report, RangeReductionEliminatesSomethingSomewhere) {
+  // The benchmark set exists to demonstrate redundancy elimination; at
+  // least one model must show it, or the report is vacuous.
+  bool any = false;
+  for (const auto& bench : benchmodels::all_models()) {
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok()) << bench.name;
+    Pipeline p;
+    build_pipeline(m.value(), &p);
+    if (testing::Test::HasFatalFailure()) return;
+    const codegen::Report report = codegen::build_report(
+        p.analysis, p.ranges, p.plan, bench.name, "Frodo");
+    if (report.eliminated_elements > 0) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Report, JsonRenderingMatchesSchema) {
+  auto m = benchmodels::build_back();
+  ASSERT_TRUE(m.is_ok());
+  Pipeline p;
+  build_pipeline(m.value(), &p);
+  if (testing::Test::HasFatalFailure()) return;
+  const codegen::Report report =
+      codegen::build_report(p.analysis, p.ranges, p.plan, "Back", "Frodo");
+
+  auto doc = json::parse(codegen::render_report_json(report));
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const json::Value& root = doc.value();
+  ASSERT_NE(root.find("version"), nullptr);
+  EXPECT_NE(root.find("version")->string.find("frodo-codegen"),
+            std::string::npos);
+  EXPECT_EQ(root.find("model")->string, "Back");
+  EXPECT_EQ(root.find("generator")->string, "Frodo");
+
+  const json::Value* totals = root.find("totals");
+  ASSERT_NE(totals, nullptr);
+  for (const char* key :
+       {"blocks", "emitted_blocks", "eliminated_blocks", "full_elements",
+        "demanded_elements", "eliminated_elements", "eliminated_pct",
+        "stores_avoided", "loads_avoided", "bytes_saved", "fused_chains",
+        "fused_blocks", "aliased_ports", "shrunk_buffers"}) {
+    ASSERT_NE(totals->find(key), nullptr) << key;
+    EXPECT_TRUE(totals->find(key)->is_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(totals->find("eliminated_elements")->number,
+                   static_cast<double>(report.eliminated_elements));
+
+  const json::Value* blocks = root.find("blocks");
+  ASSERT_NE(blocks, nullptr);
+  ASSERT_TRUE(blocks->is_array());
+  ASSERT_EQ(blocks->items.size(), report.rows.size());
+  for (const json::Value& row : blocks->items) {
+    ASSERT_NE(row.find("name"), nullptr);
+    ASSERT_NE(row.find("type"), nullptr);
+    ASSERT_NE(row.find("full_elements"), nullptr);
+    ASSERT_NE(row.find("demanded_elements"), nullptr);
+    ASSERT_NE(row.find("eliminated_elements"), nullptr);
+    ASSERT_NE(row.find("passes"), nullptr);
+    EXPECT_TRUE(row.find("passes")->is_array());
+    const json::Value* buffers = row.find("buffer_doubles");
+    ASSERT_NE(buffers, nullptr);
+    ASSERT_NE(buffers->find("full"), nullptr);
+    ASSERT_NE(buffers->find("planned"), nullptr);
+  }
+}
+
+TEST(Report, TextRenderingContainsTotalsAndRows) {
+  auto m = benchmodels::build_back();
+  ASSERT_TRUE(m.is_ok());
+  Pipeline p;
+  build_pipeline(m.value(), &p);
+  if (testing::Test::HasFatalFailure()) return;
+  const codegen::Report report =
+      codegen::build_report(p.analysis, p.ranges, p.plan, "Back", "Frodo");
+  const std::string text = codegen::render_report_text(report);
+  EXPECT_NE(text.find("redundancy elimination report"), std::string::npos);
+  EXPECT_NE(text.find("Back"), std::string::npos);
+  EXPECT_NE(text.find("totals:"), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(report.eliminated_elements)),
+            std::string::npos);
+  for (const auto& row : report.rows)
+    EXPECT_NE(text.find(row.name.substr(0, 10)), std::string::npos)
+        << row.name;
+}
+
+}  // namespace
+}  // namespace frodo

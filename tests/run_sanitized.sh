@@ -17,3 +17,14 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 cd "$build_dir"
 ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 4)"
+
+# Re-drive the observability surfaces explicitly (trace writer, report
+# renderers, profile hooks, frodoc's tracing/report/verbose paths) so a
+# memory bug in any of them fails this script even if the suites above are
+# ever filtered or renamed.
+echo "== observability surfaces under ASan/UBSan =="
+"$build_dir/tests/test_trace"
+"$build_dir/tests/test_report"
+"$build_dir/tests/test_profile_hooks"
+"$build_dir/tests/test_cli" \
+    --gtest_filter='Frodoc.Version*:Frodoc.Trace*:Frodoc.Report*:Frodoc.PrintRanges*:Frodoc.ProfileHooks*:Frodoc.Verbose*'

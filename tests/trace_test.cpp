@@ -1,0 +1,169 @@
+// Tests of the pipeline tracing layer (support/trace), the build
+// identification (support/version), and the minimal JSON reader
+// (support/json) used to validate emitted artifacts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hpp"
+#include "support/trace.hpp"
+#include "support/version.hpp"
+
+namespace frodo {
+namespace {
+
+// ---- JSON reader -----------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").value().is_null());
+  EXPECT_TRUE(json::parse("true").value().boolean);
+  EXPECT_FALSE(json::parse("false").value().boolean);
+  EXPECT_DOUBLE_EQ(json::parse("-12.5e1").value().number, -125.0);
+  EXPECT_EQ(json::parse("\"hi\"").value().string, "hi");
+}
+
+TEST(Json, ParsesEscapes) {
+  auto v = json::parse(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value().string, "a\"b\\c\n\tA");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto v = json::parse(R"({"a": [1, 2, {"b": "x"}], "c": {"d": true}})");
+  ASSERT_TRUE(v.is_ok());
+  const json::Value* a = v.value().find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items[0].number, 1.0);
+  const json::Value* b = a->items[2].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "x");
+  EXPECT_TRUE(v.value().find("c")->find("d")->boolean);
+  EXPECT_EQ(v.value().find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").is_ok());
+  EXPECT_FALSE(json::parse("{").is_ok());
+  EXPECT_FALSE(json::parse("[1,]").is_ok());
+  EXPECT_FALSE(json::parse("{\"a\" 1}").is_ok());
+  EXPECT_FALSE(json::parse("nul").is_ok());
+  EXPECT_FALSE(json::parse("1 2").is_ok());  // trailing garbage
+  EXPECT_FALSE(json::parse("\"unterminated").is_ok());
+}
+
+TEST(Json, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 10000; ++i) deep += "[";
+  EXPECT_FALSE(json::parse(deep).is_ok());
+}
+
+// ---- Version ---------------------------------------------------------------
+
+TEST(Version, IdentifiesTheBuild) {
+  const std::string v = version_string();
+  EXPECT_NE(v.find("frodo-codegen"), std::string::npos);
+  EXPECT_NE(v.find(version_revision()), std::string::npos);
+  EXPECT_NE(v.find(version_compiler()), std::string::npos);
+  EXPECT_STRNE(version_revision(), "");
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_EQ(trace::current(), nullptr);
+  // No-ops without an installed tracer.
+  trace::Scope scope("orphan");
+  trace::count("orphan_counter");
+}
+
+TEST(Trace, RecordsSpansAndCounters) {
+  trace::Tracer tracer;
+  trace::Tracer* prev = trace::install(&tracer);
+  {
+    trace::Scope outer("outer");
+    {
+      trace::Scope inner("inner");
+      trace::count("widgets", 2);
+    }
+    trace::count("widgets", 3);
+  }
+  trace::install(prev);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  // begin order: outer first, inner nested one level deep.
+  EXPECT_EQ(tracer.spans()[0].name, "outer");
+  EXPECT_EQ(tracer.spans()[0].depth, 0);
+  EXPECT_EQ(tracer.spans()[1].name, "inner");
+  EXPECT_EQ(tracer.spans()[1].depth, 1);
+  EXPECT_GE(tracer.spans()[0].dur_us, tracer.spans()[1].dur_us);
+  EXPECT_EQ(tracer.counter("widgets"), 5);
+  EXPECT_EQ(tracer.counter("never_touched"), 0);
+}
+
+TEST(Trace, InstallReturnsPrevious) {
+  trace::Tracer a;
+  trace::Tracer b;
+  trace::Tracer* prev = trace::install(&a);
+  EXPECT_EQ(trace::install(&b), &a);
+  EXPECT_EQ(trace::install(prev), &b);
+  EXPECT_EQ(trace::current(), prev);
+}
+
+TEST(Trace, ChromeJsonIsValidAndComplete) {
+  trace::Tracer tracer;
+  tracer.set_metadata("model", "M.xml");
+  trace::Tracer* prev = trace::install(&tracer);
+  { trace::Scope s1("parse"); }
+  { trace::Scope s2("emit"); }
+  trace::count("pullbacks", 7);
+  trace::install(prev);
+
+  auto doc = json::parse(tracer.chrome_json());
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  int complete_events = 0;
+  for (const json::Value& ev : events->items) {
+    const json::Value* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      ++complete_events;
+      EXPECT_NE(ev.find("name"), nullptr);
+      EXPECT_NE(ev.find("ts"), nullptr);
+      EXPECT_NE(ev.find("dur"), nullptr);
+    }
+  }
+  EXPECT_EQ(complete_events, 2);
+  const json::Value* other = doc.value().find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->find("model"), nullptr);
+  EXPECT_EQ(other->find("model")->string, "M.xml");
+  const json::Value* counters = other->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("pullbacks"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("pullbacks")->number, 7.0);
+  ASSERT_NE(other->find("version"), nullptr);
+  EXPECT_NE(other->find("version")->string.find("frodo-codegen"),
+            std::string::npos);
+}
+
+TEST(Trace, SummaryTextListsPhasesAndCounters) {
+  trace::Tracer tracer;
+  trace::Tracer* prev = trace::install(&tracer);
+  { trace::Scope s("range_analysis"); }
+  trace::count("worklist_iterations", 42);
+  trace::install(prev);
+
+  const std::string text = tracer.summary_text();
+  EXPECT_NE(text.find("pipeline phases"), std::string::npos);
+  EXPECT_NE(text.find("range_analysis"), std::string::npos);
+  EXPECT_NE(text.find("pipeline counters"), std::string::npos);
+  EXPECT_NE(text.find("worklist_iterations"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frodo
