@@ -770,7 +770,8 @@ class DownsampleSemantics final : public BlockSemantics {
       const BlockInstance& inst,
       const std::vector<IndexSet>& out_demand) const override {
     FRODO_ASSIGN_OR_RETURN(long long k, int_param(inst.b(), "Factor"));
-    return std::vector<IndexSet>{out_demand[0].affine_expand(k, 0, 1)};
+    FRODO_ASSIGN_OR_RETURN(IndexSet in, out_demand[0].affine_expand(k, 0, 1));
+    return std::vector<IndexSet>{in};
   }
 
   Status simulate(const BlockInstance& inst,

@@ -1,0 +1,112 @@
+// frodo-fuzz — differential fuzzing campaign over random models.
+//
+//   frodo-fuzz --seeds 200 --corpus /tmp/corpus --minimize
+//
+// Generates seeded random models from the block property library and drives
+// each through the serializer round-trip, every generator configuration,
+// the JIT and the reference interpreter.  Exit status is 0 only when every
+// model agrees everywhere.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: frodo-fuzz [options]\n"
+               "  --seeds N        number of models to run (default 50)\n"
+               "  --base-seed S    first seed (default 1)\n"
+               "  --max-blocks K   block budget per model (default 24)\n"
+               "  --steps N        simulation steps per config (default 3)\n"
+               "  --jobs J         worker threads (default 1)\n"
+               "  --corpus DIR     write failing repros under DIR\n"
+               "  --minimize       shrink failing models before writing\n"
+               "  --no-minimize    keep failing models as generated\n"
+               "  --workdir DIR    JIT scratch dir (default "
+               "/tmp/frodo_fuzz_work)\n"
+               "  --cc BIN         C compiler for the JIT (default gcc)\n"
+               "  --verbose        per-seed progress on stderr\n");
+}
+
+bool parse_int(const char* text, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  frodo::fuzz::CampaignOptions options;
+  options.minimize = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](long long* out) {
+      if (i + 1 >= argc || !parse_int(argv[++i], out)) {
+        std::fprintf(stderr, "frodo-fuzz: %s needs an integer argument\n",
+                     arg.c_str());
+        return false;
+      }
+      return true;
+    };
+    long long n = 0;
+    if (arg == "--seeds") {
+      if (!next_value(&n)) return 2;
+      options.seeds = static_cast<int>(n);
+    } else if (arg == "--base-seed") {
+      if (!next_value(&n)) return 2;
+      options.base_seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--max-blocks") {
+      if (!next_value(&n)) return 2;
+      options.gen.max_blocks = static_cast<int>(n);
+      if (options.gen.min_blocks > options.gen.max_blocks)
+        options.gen.min_blocks = options.gen.max_blocks;
+    } else if (arg == "--steps") {
+      if (!next_value(&n)) return 2;
+      options.diff.steps = static_cast<int>(n);
+    } else if (arg == "--jobs") {
+      if (!next_value(&n)) return 2;
+      options.jobs = static_cast<int>(n);
+    } else if (arg == "--corpus") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "frodo-fuzz: --corpus needs a directory\n");
+        return 2;
+      }
+      options.corpus_dir = argv[++i];
+    } else if (arg == "--workdir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "frodo-fuzz: --workdir needs a directory\n");
+        return 2;
+      }
+      options.diff.workdir = argv[++i];
+    } else if (arg == "--cc") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "frodo-fuzz: --cc needs a compiler\n");
+        return 2;
+      }
+      options.diff.cc = argv[++i];
+    } else if (arg == "--minimize") {
+      options.minimize = true;
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "frodo-fuzz: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  const frodo::fuzz::CampaignResult result =
+      frodo::fuzz::run_campaign(options);
+  std::printf("%s\n", result.summary().c_str());
+  return result.clean() ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+#include "fuzz/campaign.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "fuzz/minimize.hpp"
+#include "slx/slx.hpp"
+
+namespace frodo::fuzz {
+
+namespace {
+
+// Minimization predicate: the reduced model must fail in the same phase
+// under the same generator configuration.  Pinning only_generator makes
+// each probe compile at most one configuration.
+bool fails_same_way(const model::Model& candidate, const DiffOutcome& want,
+                    const DiffOptions& diff) {
+  DiffOptions probe = diff;
+  probe.only_generator = want.generator;
+  const DiffOutcome outcome = run_differential(candidate, probe);
+  return outcome.failed && outcome.phase == want.phase &&
+         outcome.generator == want.generator;
+}
+
+void write_corpus_entry(const CampaignOptions& options, const Failure& f) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      options.corpus_dir + "/seed_" + std::to_string(f.seed);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return;
+  (void)slx::save(f.original, dir + "/original.slxz");
+  if (options.minimize)
+    (void)slx::save(f.minimized, dir + "/minimized.slxz");
+  std::ofstream report(dir + "/failure.txt");
+  report << "seed: " << f.seed << "\n"
+         << "outcome: " << f.outcome.to_string() << "\n"
+         << "reproduce: frodo-fuzz --base-seed " << f.seed
+         << " --seeds 1 --max-blocks " << options.gen.max_blocks << "\n";
+}
+
+}  // namespace
+
+std::string CampaignResult::summary() const {
+  std::string out = std::to_string(models_run) + " models, " +
+                    std::to_string(failures.size()) + " failures";
+  if (generation_errors > 0)
+    out += ", " + std::to_string(generation_errors) + " generation errors";
+  for (const Failure& f : failures)
+    out += "\n  seed " + std::to_string(f.seed) + ": " +
+           f.outcome.to_string();
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  std::atomic<int> next{0};
+  std::mutex result_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const int index = next.fetch_add(1);
+      if (index >= options.seeds) return;
+      const std::uint64_t seed =
+          options.base_seed + static_cast<std::uint64_t>(index);
+
+      auto generated = generate_model(seed, options.gen);
+      if (!generated.is_ok()) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        ++result.generation_errors;
+        if (options.verbose)
+          std::fprintf(stderr, "seed %llu: generation error: %s\n",
+                       static_cast<unsigned long long>(seed),
+                       generated.message().c_str());
+        continue;
+      }
+
+      const DiffOutcome outcome =
+          run_differential(generated.value(), options.diff);
+      if (options.verbose) {
+        std::fprintf(stderr, "seed %llu: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     outcome.to_string().c_str());
+      }
+
+      Failure failure;
+      if (outcome.failed) {
+        failure.seed = seed;
+        failure.outcome = outcome;
+        failure.minimized =
+            options.minimize
+                ? minimize_model(generated.value(),
+                                 [&](const model::Model& candidate) {
+                                   return fails_same_way(candidate, outcome,
+                                                         options.diff);
+                                 })
+                : model::Model();
+        failure.original = std::move(generated.value());
+      }
+
+      std::lock_guard<std::mutex> lock(result_mutex);
+      ++result.models_run;
+      if (outcome.failed) {
+        if (!options.corpus_dir.empty())
+          write_corpus_entry(options, failure);
+        result.failures.push_back(std::move(failure));
+      }
+    }
+  };
+
+  const int jobs = options.jobs < 1 ? 1 : options.jobs;
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < jobs; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  return result;
+}
+
+}  // namespace frodo::fuzz

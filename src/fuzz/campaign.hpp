@@ -1,0 +1,55 @@
+// Fuzz campaign driver: seed loop, worker threads, corpus writer.
+//
+// Seeds base_seed .. base_seed+seeds-1 each become one generated model run
+// through the full differential.  Failures are (optionally) minimized and
+// written to a corpus directory as .slxz repros; the seed alone is enough
+// to regenerate the original model on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/model_gen.hpp"
+#include "model/model.hpp"
+#include "support/status.hpp"
+
+namespace frodo::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t base_seed = 1;
+  int seeds = 50;
+  GenOptions gen;
+  DiffOptions diff;
+  // Worker threads (the JIT layer is thread-safe: atomic .so serials,
+  // serialized dl* sections).
+  int jobs = 1;
+  bool minimize = true;
+  // When non-empty, failures are written under
+  // <corpus_dir>/seed_<seed>/{original.slxz, minimized.slxz, failure.txt}.
+  std::string corpus_dir;
+  bool verbose = false;
+};
+
+struct Failure {
+  std::uint64_t seed = 0;
+  DiffOutcome outcome;
+  model::Model original;
+  model::Model minimized;
+};
+
+struct CampaignResult {
+  int models_run = 0;
+  // Seeds where generate_model itself failed — a harness bug, counted
+  // separately from differential failures.
+  int generation_errors = 0;
+  std::vector<Failure> failures;
+
+  bool clean() const { return failures.empty() && generation_errors == 0; }
+  std::string summary() const;
+};
+
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace frodo::fuzz

@@ -1,0 +1,186 @@
+#include "fuzz/differential.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "blocks/analysis.hpp"
+#include "codegen/generator.hpp"
+#include "codegen/optimize.hpp"
+#include "graph/graph.hpp"
+#include "interp/interpreter.hpp"
+#include "jit/jit.hpp"
+#include "model/flatten.hpp"
+#include "slx/slx.hpp"
+
+namespace frodo::fuzz {
+
+namespace {
+
+struct GenConfig {
+  std::string label;
+  std::unique_ptr<codegen::Generator> gen;
+};
+
+// Simulink/DFSynth/HCG once each, FRODO under every optimizer flag
+// combination — the optimizer passes rewrite the emitted loops, so each
+// mask is a distinct code path worth diffing.
+std::vector<GenConfig> make_configs() {
+  std::vector<GenConfig> configs;
+  configs.push_back({"Simulink",
+                     std::make_unique<codegen::EmbeddedCoderGenerator>()});
+  configs.push_back({"DFSynth", std::make_unique<codegen::DFSynthGenerator>()});
+  configs.push_back({"HCG", std::make_unique<codegen::HCGGenerator>(4)});
+  for (int mask = 0; mask < 8; ++mask) {
+    codegen::OptimizeOptions optimize;
+    optimize.fuse = (mask & 1) != 0;
+    optimize.shrink_buffers = (mask & 2) != 0;
+    optimize.alias_truncation = (mask & 4) != 0;
+    const std::string label = std::string("Frodo[") +
+                              (optimize.fuse ? "f" : "-") +
+                              (optimize.shrink_buffers ? "s" : "-") +
+                              (optimize.alias_truncation ? "a" : "-") + "]";
+    configs.push_back({label, std::make_unique<codegen::FrodoGenerator>(
+                                  false, false, optimize)});
+  }
+  return configs;
+}
+
+bool values_match(double want, double got, double rel_tolerance) {
+  if (std::isnan(want) && std::isnan(got)) return true;
+  if (std::isinf(want) || std::isinf(got)) return want == got;
+  return std::fabs(want - got) <=
+         rel_tolerance * std::fmax(1.0, std::fabs(want));
+}
+
+DiffOutcome fail(std::string phase, std::string generator, std::string detail,
+                 int configs_run) {
+  DiffOutcome out;
+  out.failed = true;
+  out.phase = std::move(phase);
+  out.generator = std::move(generator);
+  out.detail = std::move(detail);
+  out.configs_run = configs_run;
+  return out;
+}
+
+}  // namespace
+
+std::string DiffOutcome::to_string() const {
+  if (!failed)
+    return "ok (" + std::to_string(configs_run) + " generator configs)";
+  std::string out = "FAIL phase=" + phase;
+  if (!generator.empty()) out += " generator=" + generator;
+  return out + ": " + detail;
+}
+
+std::vector<std::string> generator_labels() {
+  std::vector<std::string> labels;
+  for (const GenConfig& config : make_configs())
+    labels.push_back(config.label);
+  return labels;
+}
+
+DiffOutcome run_differential(const model::Model& m,
+                             const DiffOptions& options) {
+  // Phase 1: package round-trip.  The round-tripped model is used for
+  // everything downstream, so serializer bugs surface either here (XML not
+  // stable) or as an analysis/compare divergence.
+  const std::string bytes = slx::to_package_bytes(m);
+  auto roundtripped = slx::from_package_bytes(bytes);
+  if (!roundtripped.is_ok())
+    return fail("roundtrip", "", roundtripped.message(), 0);
+  if (slx::to_xml(roundtripped.value()) != slx::to_xml(m))
+    return fail("roundtrip", "",
+                "model XML differs after .slxz round-trip", 0);
+  const model::Model& model = roundtripped.value();
+
+  // Phase 2: the interpreter oracle.
+  auto flat = model::flatten(model);
+  if (!flat.is_ok()) return fail("analyze", "", flat.message(), 0);
+  auto graph = graph::DataflowGraph::build(flat.value());
+  if (!graph.is_ok()) return fail("analyze", "", graph.message(), 0);
+  auto analysis = blocks::analyze(graph.value());
+  if (!analysis.is_ok()) return fail("analyze", "", analysis.message(), 0);
+  auto interp = interp::Interpreter::create(analysis.value());
+  if (!interp.is_ok()) return fail("analyze", "", interp.message(), 0);
+
+  const jit::CompilerProfile profile{"fuzz-" + options.cc, options.cc,
+                                     options.cc_flags, 4};
+
+  DiffOutcome outcome;
+  for (const GenConfig& config : make_configs()) {
+    if (!options.only_generator.empty() &&
+        config.label != options.only_generator)
+      continue;
+
+    auto code = config.gen->generate(model);
+    if (!code.is_ok())
+      return fail("generate", config.label, code.message(),
+                  outcome.configs_run);
+    auto compiled =
+        jit::compile_and_load(code.value(), profile, options.workdir);
+    if (!compiled.is_ok())
+      return fail("compile", config.label, compiled.message(),
+                  outcome.configs_run);
+    compiled.value().init();
+    Status reset = interp.value().reset();
+    if (!reset.is_ok())
+      return fail("compare", config.label,
+                  "interpreter reset: " + reset.message(),
+                  outcome.configs_run);
+
+    for (int step = 0; step < options.steps; ++step) {
+      auto inputs = jit::random_inputs(
+          code.value(),
+          options.input_seed + static_cast<std::uint64_t>(step) * 1000003ull);
+      std::vector<std::vector<double>> want;
+      Status stepped = interp.value().step(inputs, &want);
+      if (!stepped.is_ok())
+        return fail("compare", config.label,
+                    "interpreter step: " + stepped.message(),
+                    outcome.configs_run);
+
+      std::vector<const double*> in_ptrs;
+      for (const auto& v : inputs) in_ptrs.push_back(v.data());
+      std::vector<std::vector<double>> got(code.value().outputs.size());
+      std::vector<double*> out_ptrs;
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        got[k].assign(
+            static_cast<std::size_t>(code.value().outputs[k].size), 0.0);
+        out_ptrs.push_back(got[k].data());
+      }
+      compiled.value().step(in_ptrs.data(), out_ptrs.data());
+
+      if (want.size() != got.size())
+        return fail("compare", config.label,
+                    "output port count: interpreter " +
+                        std::to_string(want.size()) + " vs generated " +
+                        std::to_string(got.size()),
+                    outcome.configs_run);
+      for (std::size_t k = 0; k < want.size(); ++k) {
+        if (want[k].size() != got[k].size())
+          return fail("compare", config.label,
+                      "output " + std::to_string(k) +
+                          " size: interpreter " +
+                          std::to_string(want[k].size()) +
+                          " vs generated " + std::to_string(got[k].size()),
+                      outcome.configs_run);
+        for (std::size_t i = 0; i < want[k].size(); ++i) {
+          if (!values_match(want[k][i], got[k][i], options.rel_tolerance))
+            return fail(
+                "compare", config.label,
+                "step " + std::to_string(step) + " output " +
+                    std::to_string(k) + " index " + std::to_string(i) +
+                    ": interpreter " + std::to_string(want[k][i]) +
+                    " vs generated " + std::to_string(got[k][i]),
+                outcome.configs_run);
+        }
+      }
+    }
+    ++outcome.configs_run;
+  }
+  return outcome;
+}
+
+}  // namespace frodo::fuzz

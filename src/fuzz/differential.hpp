@@ -1,0 +1,54 @@
+// Differential oracle for fuzz-generated models.
+//
+// One model is driven through every stage the paper's evaluation exercises:
+// package round-trip, analysis, all four generator styles (with every
+// optimizer flag combination for FRODO), JIT compilation, and element-wise
+// comparison of the compiled step function against the reference
+// interpreter on random inputs.  The first divergence is reported with the
+// phase and generator configuration that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace frodo::fuzz {
+
+struct DiffOptions {
+  // Simulation steps per generator configuration.
+  int steps = 3;
+  std::uint64_t input_seed = 0xF0220;
+  std::string workdir = "/tmp/frodo_fuzz_work";
+  std::string cc = "gcc";
+  std::vector<std::string> cc_flags = {"-O0"};
+  double rel_tolerance = 1e-9;
+  // When non-empty, only the generator configuration with this label runs —
+  // the minimizer re-checks a single failing configuration this way.
+  std::string only_generator;
+};
+
+struct DiffOutcome {
+  bool failed = false;
+  // "roundtrip" | "analyze" | "generate" | "compile" | "compare".
+  std::string phase;
+  // Generator configuration label ("Simulink", "Frodo[fsa]", ...); empty
+  // for model-level phases.
+  std::string generator;
+  std::string detail;
+  // Generator configurations that ran to completion.
+  int configs_run = 0;
+
+  std::string to_string() const;
+};
+
+// Labels of every generator configuration the harness drives.
+std::vector<std::string> generator_labels();
+
+// Runs the full differential over `m`.  Never throws; infrastructure
+// problems (unwritable workdir, missing compiler) surface as failures in
+// the phase where they occur.
+DiffOutcome run_differential(const model::Model& m, const DiffOptions& options);
+
+}  // namespace frodo::fuzz

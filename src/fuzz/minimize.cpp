@@ -1,0 +1,236 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/value.hpp"
+
+namespace frodo::fuzz {
+
+namespace {
+
+using model::Block;
+using model::Model;
+using model::Value;
+
+// Name-based connection view — survives block removal and reordering.
+struct NamedConn {
+  std::string src;
+  int sport = 0;
+  std::string dst;
+  int dport = 0;
+};
+
+std::vector<NamedConn> named_connections(const Model& m) {
+  std::vector<NamedConn> out;
+  for (const model::Connection& c : m.connections()) {
+    out.push_back(NamedConn{m.block(c.src.block).name(), c.src.port,
+                            m.block(c.dst.block).name(), c.dst.port});
+  }
+  return out;
+}
+
+// Rebuilds `src` keeping only blocks not in `removed`, wiring `conns`
+// (connections touching removed blocks are dropped), and renumbering
+// Inport/Outport Port parameters densely in their original order.
+Model rebuild(const Model& src, const std::set<std::string>& removed,
+              const std::vector<NamedConn>& conns) {
+  Model out(src.name());
+  for (int id = 0; id < src.block_count(); ++id) {
+    const Block& block = src.block(id);
+    if (removed.count(block.name()) != 0) continue;
+    Block& copy = out.add_block(block.name(), block.type());
+    for (const auto& [key, value] : block.params())
+      copy.set_param(key, value);
+  }
+  for (const NamedConn& c : conns) {
+    if (removed.count(c.src) != 0 || removed.count(c.dst) != 0) continue;
+    out.connect(c.src, c.sport, c.dst, c.dport);
+  }
+  // Renumber port blocks densely (io_signature rejects gaps).
+  for (const char* kind : {"Inport", "Outport"}) {
+    std::vector<std::pair<long long, model::BlockId>> ports;
+    for (int id = 0; id < out.block_count(); ++id) {
+      Block& block = out.block(id);
+      if (block.type() != kind) continue;
+      long long old_port = 0;
+      auto v = block.param("Port");
+      if (v.is_ok()) {
+        auto n = v.value().as_int();
+        if (n.is_ok()) old_port = n.value();
+      }
+      ports.push_back({old_port, id});
+    }
+    std::sort(ports.begin(), ports.end());
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      out.block(ports[i].second)
+          .set_param("Port", static_cast<long long>(i + 1));
+    }
+  }
+  return out;
+}
+
+// Expands `removed` with every block that has become terminal (none of its
+// outputs consumed) and is not an Outport, to a fixpoint.
+void cascade_dead(const Model& src, const std::vector<NamedConn>& conns,
+                  std::set<std::string>* removed) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::string> consumed_producers;
+    for (const NamedConn& c : conns) {
+      if (removed->count(c.src) != 0 || removed->count(c.dst) != 0) continue;
+      consumed_producers.insert(c.src);
+    }
+    for (int id = 0; id < src.block_count(); ++id) {
+      const Block& block = src.block(id);
+      if (block.type() == "Outport") continue;
+      if (removed->count(block.name()) != 0) continue;
+      if (consumed_producers.count(block.name()) == 0) {
+        removed->insert(block.name());
+        changed = true;
+      }
+    }
+  }
+}
+
+struct Candidate {
+  std::string what;
+  Model m;
+};
+
+std::vector<Candidate> reductions(const Model& current) {
+  std::vector<Candidate> out;
+  const std::vector<NamedConn> conns = named_connections(current);
+
+  // 1. Drop all dead blocks at once (cheap big win when it works).
+  {
+    std::set<std::string> removed;
+    cascade_dead(current, conns, &removed);
+    if (!removed.empty())
+      out.push_back({"drop " + std::to_string(removed.size()) +
+                         " dead blocks",
+                     rebuild(current, removed, conns)});
+  }
+
+  // 2. Drop each Outport (plus the cone that dies with it), keeping >= 1.
+  int outports = 0;
+  for (int id = 0; id < current.block_count(); ++id)
+    if (current.block(id).type() == "Outport") ++outports;
+  if (outports > 1) {
+    for (int id = 0; id < current.block_count(); ++id) {
+      const Block& block = current.block(id);
+      if (block.type() != "Outport") continue;
+      std::set<std::string> removed = {block.name()};
+      cascade_dead(current, conns, &removed);
+      out.push_back({"drop outport " + block.name(),
+                     rebuild(current, removed, conns)});
+    }
+  }
+
+  // 3. Bypass each intermediate block: rewire consumers of its output 0 to
+  // one of its drivers, then drop it (and anything that dies with it).
+  for (int id = 0; id < current.block_count(); ++id) {
+    const Block& block = current.block(id);
+    if (block.type() == "Inport" || block.type() == "Outport" ||
+        block.type() == "Constant")
+      continue;
+    // Only single-output-port producers are safe to rewire wholesale.
+    bool other_port_consumed = false;
+    std::vector<const NamedConn*> drivers;
+    for (const NamedConn& c : conns) {
+      if (c.src == block.name() && c.sport != 0) other_port_consumed = true;
+      if (c.dst == block.name()) drivers.push_back(&c);
+    }
+    if (other_port_consumed || drivers.empty()) continue;
+    for (const NamedConn* driver : drivers) {
+      std::vector<NamedConn> rewired;
+      for (const NamedConn& c : conns) {
+        if (c.dst == block.name()) continue;  // inputs of the dropped block
+        if (c.src == block.name()) {
+          rewired.push_back(
+              NamedConn{driver->src, driver->sport, c.dst, c.dport});
+        } else {
+          rewired.push_back(c);
+        }
+      }
+      std::set<std::string> removed = {block.name()};
+      cascade_dead(current, rewired, &removed);
+      out.push_back({"bypass " + block.name() + " via input " +
+                         std::to_string(driver->dport),
+                     rebuild(current, removed, rewired)});
+    }
+  }
+
+  // 4. Parameter simplifications: halve Inport dims, neutralize Gain,
+  // zero Constant values.
+  for (int id = 0; id < current.block_count(); ++id) {
+    const Block& block = current.block(id);
+    if (block.type() == "Inport" && block.has_param("Dims")) {
+      auto dims = block.param("Dims");
+      if (dims.is_ok()) {
+        auto list = dims.value().as_int_list();
+        if (list.is_ok() && list.value().size() == 1 && list.value()[0] >= 2) {
+          Model next = rebuild(current, {}, conns);
+          next.block(next.find_block(block.name()))
+              .set_param("Dims",
+                         std::vector<long long>{list.value()[0] / 2});
+          out.push_back({"halve dims of " + block.name(), std::move(next)});
+        }
+      }
+    }
+    if (block.type() == "Gain") {
+      Model next = rebuild(current, {}, conns);
+      next.block(next.find_block(block.name())).set_param("Gain", 1.0);
+      out.push_back({"neutralize " + block.name(), std::move(next)});
+    }
+    if (block.type() == "Constant" && block.has_param("Value")) {
+      auto v = block.param("Value");
+      if (v.is_ok() && v.value().is_list()) {
+        auto list = v.value().as_double_list();
+        if (list.is_ok()) {
+          Model next = rebuild(current, {}, conns);
+          next.block(next.find_block(block.name()))
+              .set_param("Value",
+                         std::vector<double>(list.value().size(), 0.0));
+          out.push_back({"zero " + block.name(), std::move(next)});
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+Model minimize_model(
+    const Model& failing,
+    const std::function<bool(const Model&)>& still_fails,
+    const MinimizeOptions& options) {
+  Model current = rebuild(failing, {}, named_connections(failing));
+  int probes = 0;
+  bool improved = true;
+  while (improved && probes < options.max_probes) {
+    improved = false;
+    for (Candidate& candidate : reductions(current)) {
+      // Structural pre-filter: never spend a differential run on a model
+      // that cannot even validate.
+      if (!candidate.m.validate().is_ok()) continue;
+      if (probes >= options.max_probes) break;
+      ++probes;
+      if (still_fails(candidate.m)) {
+        current = std::move(candidate.m);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace frodo::fuzz

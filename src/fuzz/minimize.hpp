@@ -1,0 +1,28 @@
+// Delta-debugging minimizer for failing fuzz models.
+//
+// Given a model and a predicate "does this model still fail the same way?",
+// greedily applies structure-shrinking reductions — dropping dead blocks,
+// dropping extra Outports, bypassing intermediate blocks, simplifying
+// parameters — keeping each reduction only when the predicate still holds.
+// The predicate is ordinarily a re-run of the differential harness pinned
+// to the failing generator configuration, but any callable works, which is
+// how the minimizer itself is unit-tested without a real miscompile.
+#pragma once
+
+#include <functional>
+
+#include "model/model.hpp"
+
+namespace frodo::fuzz {
+
+struct MinimizeOptions {
+  // Upper bound on predicate evaluations (each one is a differential run).
+  int max_probes = 400;
+};
+
+model::Model minimize_model(
+    const model::Model& failing,
+    const std::function<bool(const model::Model&)>& still_fails,
+    const MinimizeOptions& options = {});
+
+}  // namespace frodo::fuzz

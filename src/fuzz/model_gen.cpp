@@ -1,0 +1,497 @@
+#include "fuzz/model_gen.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocks/semantics.hpp"
+#include "fuzz/rng.hpp"
+#include "model/shape.hpp"
+#include "model/value.hpp"
+
+namespace frodo::fuzz {
+
+namespace {
+
+using model::Block;
+using model::Model;
+using model::Shape;
+using model::Value;
+
+// One produced signal in the growing model: an output port of a block,
+// its inferred shape, and how many consumers read it so far.
+struct Signal {
+  std::string block;
+  int port = 0;
+  Shape shape;
+  int consumers = 0;
+};
+
+// Largest signal size a generated block may produce — keeps Upsample /
+// Convolution / Concatenate chains from blowing up element counts.
+constexpr long long kMaxSignalSize = 4096;
+
+struct Builder {
+  Builder(std::uint64_t seed, const GenOptions& options)
+      : rng(seed), opt(options), m("Fuzz_" + std::to_string(seed)) {}
+
+  Rng rng;
+  GenOptions opt;
+  Model m;
+  std::vector<Signal> pool;
+  int counter = 0;
+  bool has_truncation = false;
+
+  std::string fresh_name(const std::string& type) {
+    std::string name = "b";
+    name += std::to_string(counter++);
+    name += '_';
+    for (char c : type)
+      name += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return name;
+  }
+
+  // Admits `type` with `params`, reading the pooled signals `inputs`, only
+  // if the block property library's own shape inference accepts the
+  // combination — this keeps generation automatically in sync with the
+  // library: a new registered block type is rejected or wired correctly by
+  // its own infer(), never by generator-side duplication of its rules.
+  bool try_add(const std::string& type,
+               const std::vector<std::pair<std::string, Value>>& params,
+               const std::vector<int>& inputs) {
+    const blocks::BlockSemantics* sem = blocks::find(type);
+    if (sem == nullptr) return false;
+    Block probe("probe", type);
+    for (const auto& [key, value] : params) probe.set_param(key, value);
+    const int want = sem->input_count(probe);
+    if (want == blocks::BlockSemantics::kVariadic) {
+      if (inputs.empty()) return false;
+    } else if (want != static_cast<int>(inputs.size())) {
+      return false;
+    }
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(inputs.size());
+    for (int idx : inputs) in_shapes.push_back(pool[static_cast<std::size_t>(idx)].shape);
+    auto inferred = sem->infer(probe, in_shapes);
+    if (!inferred.is_ok()) return false;
+    for (const Shape& s : inferred.value()) {
+      if (s.size() < 1 || s.size() > kMaxSignalSize) return false;
+    }
+
+    const std::string name = fresh_name(type);
+    Block& block = m.add_block(name, type);
+    for (const auto& [key, value] : params) block.set_param(key, value);
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+      const Signal& src = pool[static_cast<std::size_t>(inputs[p])];
+      m.connect(src.block, src.port, name, static_cast<int>(p));
+    }
+    for (int idx : inputs) pool[static_cast<std::size_t>(idx)].consumers++;
+    for (std::size_t p = 0; p < inferred.value().size(); ++p) {
+      pool.push_back(Signal{name, static_cast<int>(p),
+                            inferred.value()[p], 0});
+    }
+    if (sem->is_truncation(probe)) has_truncation = true;
+    return true;
+  }
+
+  // -- Pool pickers ---------------------------------------------------------
+
+  int pick_any() {
+    return static_cast<int>(rng.range(0, static_cast<long long>(pool.size()) - 1));
+  }
+
+  // Random signal with size >= min_size; -1 when none exists.
+  int pick_min_size(long long min_size) {
+    std::vector<int> candidates;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].shape.size() >= min_size) candidates.push_back(static_cast<int>(i));
+    }
+    if (candidates.empty()) return -1;
+    return candidates[static_cast<std::size_t>(
+        rng.range(0, static_cast<long long>(candidates.size()) - 1))];
+  }
+
+  int pick_matrix() {
+    std::vector<int> candidates;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].shape.rank() == 2) candidates.push_back(static_cast<int>(i));
+    }
+    if (candidates.empty()) return -1;
+    return candidates[static_cast<std::size_t>(
+        rng.range(0, static_cast<long long>(candidates.size()) - 1))];
+  }
+
+  // Random (a, b) with equal shapes; {-1, -1} when no pair exists.
+  std::pair<int, int> pick_same_shape() {
+    const int a = pick_any();
+    std::vector<int> candidates;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].shape == pool[static_cast<std::size_t>(a)].shape)
+        candidates.push_back(static_cast<int>(i));
+    }
+    const int b = candidates[static_cast<std::size_t>(
+        rng.range(0, static_cast<long long>(candidates.size()) - 1))];
+    return {a, b};
+  }
+
+  std::vector<double> random_doubles(long long n, double lo, double hi) {
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (double& v : out) v = rng.real(lo, hi);
+    return out;
+  }
+
+  // -- Makers ---------------------------------------------------------------
+  // Each maker samples one candidate block; returns whether it was admitted.
+
+  bool make_unary_elementwise() {
+    const int in = pick_any();
+    switch (rng.range(0, 5)) {
+      case 0:
+        return try_add("Gain", {{"Gain", rng.real(-2.0, 2.0)}}, {in});
+      case 1:
+        return try_add("Bias", {{"Bias", rng.real(-2.0, 2.0)}}, {in});
+      case 2:
+        return try_add("UnaryMinus", {}, {in});
+      case 3: {
+        static const char* kSafeFunctions[] = {
+            "abs",  "square", "sign", "floor", "ceil", "round",
+            "sin",  "cos",    "atan", "tanh",  "sigmoid", "exp"};
+        const char* fn = kSafeFunctions[rng.range(0, 11)];
+        return try_add("Math", {{"Function", fn}}, {in});
+      }
+      case 4:
+        return try_add("Power",
+                       {{"Exponent", static_cast<long long>(rng.range(2, 3))}},
+                       {in});
+      default: {
+        const double lo = rng.real(-2.0, 0.0);
+        const double hi = rng.real(0.0, 2.0);
+        return try_add("Saturation",
+                       {{"LowerLimit", lo}, {"UpperLimit", hi}}, {in});
+      }
+    }
+  }
+
+  bool make_binary_elementwise() {
+    // Same-shape pair (or scalar broadcast against any signal).
+    auto [a, b] = rng.chance(0.75)
+                      ? pick_same_shape()
+                      : std::pair<int, int>{pick_any(), pick_any()};
+    switch (rng.range(0, 3)) {
+      case 0:
+        return try_add("Sum", {{"Inputs", rng.chance(0.5) ? "++" : "+-"}},
+                       {a, b});
+      case 1:
+        return try_add("Product", {{"Inputs", "**"}}, {a, b});
+      case 2:
+        return try_add("MinMax",
+                       {{"Function", rng.chance(0.5) ? "min" : "max"},
+                        {"Inputs", 2LL}},
+                       {a, b});
+      default: {
+        static const char* kOps[] = {"==", "<", "<=", ">", ">="};
+        return try_add("Relational", {{"Operator", kOps[rng.range(0, 4)]}},
+                       {a, b});
+      }
+    }
+  }
+
+  bool make_logic_switch() {
+    if (rng.chance(0.5)) {
+      static const char* kOps[] = {"AND", "OR", "XOR", "NAND", "NOR"};
+      auto [a, b] = pick_same_shape();
+      return try_add("Logic", {{"Operator", kOps[rng.range(0, 4)]}}, {a, b});
+    }
+    auto [a, b] = pick_same_shape();
+    const int c = pick_any();
+    std::vector<std::pair<std::string, Value>> params = {
+        {"Threshold", rng.real(-0.5, 0.5)}};
+    if (rng.chance(0.5)) params.push_back({"Criteria", "u2 > Threshold"});
+    return try_add("Switch", params, {a, c, b});
+  }
+
+  bool make_lookup_table() {
+    const int in = pick_any();
+    const long long n = rng.range(3, 6);
+    std::vector<double> breakpoints(static_cast<std::size_t>(n));
+    double x = rng.real(-2.0, -1.0);
+    for (double& bp : breakpoints) {
+      bp = x;
+      x += rng.real(0.25, 1.0);
+    }
+    return try_add("LookupTable",
+                   {{"BreakpointsData", breakpoints},
+                    {"TableData", random_doubles(n, -2.0, 2.0)}},
+                   {in});
+  }
+
+  bool make_constant() {
+    const long long n = rng.range(1, opt.max_dim);
+    Block& block = m.add_block(fresh_name("Constant"), "Constant");
+    block.set_param("Value", random_doubles(n, -2.0, 2.0));
+    Shape shape = n == 1 ? Shape::scalar() : Shape::vector(static_cast<int>(n));
+    if (n == 1) block.set_param("Value", rng.real(-2.0, 2.0));
+    pool.push_back(Signal{block.name(), 0, shape, 0});
+    return true;
+  }
+
+  bool make_selector() {
+    const int in = pick_min_size(2);
+    if (in < 0) return false;
+    const long long n = pool[static_cast<std::size_t>(in)].shape.size();
+    if (rng.chance(0.6)) {
+      const long long start = rng.range(0, n - 1);
+      const long long end = rng.range(start, n - 1);
+      return try_add("Selector", {{"Start", start}, {"End", end}}, {in});
+    }
+    std::vector<long long> indices(static_cast<std::size_t>(
+        rng.range(1, std::min<long long>(n, 6))));
+    for (long long& idx : indices) idx = rng.range(0, n - 1);
+    return try_add("Selector", {{"Indices", indices}}, {in});
+  }
+
+  bool make_pad() {
+    return try_add("Pad",
+                   {{"Before", rng.range(0, 4)},
+                    {"After", rng.range(0, 4)},
+                    {"Value", rng.real(-1.0, 1.0)}},
+                   {pick_any()});
+  }
+
+  bool make_submatrix() {
+    const int in = pick_matrix();
+    if (in < 0) return false;
+    const Shape& s = pool[static_cast<std::size_t>(in)].shape;
+    const long long r0 = rng.range(0, s.rows() - 1);
+    const long long r1 = rng.range(r0, s.rows() - 1);
+    const long long c0 = rng.range(0, s.cols() - 1);
+    const long long c1 = rng.range(c0, s.cols() - 1);
+    return try_add("Submatrix",
+                   {{"RowStart", r0}, {"RowEnd", r1},
+                    {"ColStart", c0}, {"ColEnd", c1}},
+                   {in});
+  }
+
+  bool make_reshape() {
+    const int in = pick_any();
+    const long long n = pool[static_cast<std::size_t>(in)].shape.size();
+    std::vector<long long> divisors;
+    for (long long d = 1; d * d <= n; ++d) {
+      if (n % d == 0) {
+        divisors.push_back(d);
+        divisors.push_back(n / d);
+      }
+    }
+    const long long r = divisors[static_cast<std::size_t>(
+        rng.range(0, static_cast<long long>(divisors.size()) - 1))];
+    std::vector<long long> dims =
+        rng.chance(0.3) ? std::vector<long long>{n}
+                        : std::vector<long long>{r, n / r};
+    return try_add("Reshape", {{"Dims", dims}}, {in});
+  }
+
+  bool make_transpose() { return try_add("Transpose", {}, {pick_any()}); }
+
+  bool make_concat() {
+    const int a = pick_any();
+    const int b = pick_any();
+    return try_add(rng.chance(0.5) ? "Concatenate" : "Mux",
+                   {{"Inputs", 2LL}}, {a, b});
+  }
+
+  bool make_demux() {
+    const int in = pick_min_size(2);
+    if (in < 0) return false;
+    const long long n = pool[static_cast<std::size_t>(in)].shape.size();
+    std::vector<long long> divisors;
+    for (long long d = 2; d <= std::min<long long>(n, 4); ++d) {
+      if (n % d == 0) divisors.push_back(d);
+    }
+    if (divisors.empty()) return false;
+    const long long outs = divisors[static_cast<std::size_t>(
+        rng.range(0, static_cast<long long>(divisors.size()) - 1))];
+    return try_add("Demux", {{"Outputs", outs}}, {in});
+  }
+
+  bool make_assignment() {
+    const int big = pick_min_size(2);
+    if (big < 0) return false;
+    const long long n = pool[static_cast<std::size_t>(big)].shape.size();
+    const int small = pick_any();
+    const long long len = pool[static_cast<std::size_t>(small)].shape.size();
+    if (len > n) return false;
+    return try_add("Assignment", {{"Start", rng.range(0, n - len)}},
+                   {big, small});
+  }
+
+  bool make_resample() {
+    const int in = pick_min_size(2);
+    if (in < 0) return false;
+    if (rng.chance(0.5))
+      return try_add("Downsample", {{"Factor", rng.range(2, 4)}}, {in});
+    return try_add("Upsample", {{"Factor", rng.range(2, 3)}}, {in});
+  }
+
+  bool make_dsp() {
+    switch (rng.range(0, 5)) {
+      case 0: {
+        const int a = pick_any();
+        const int b = pick_any();
+        return try_add("Convolution", {}, {a, b});
+      }
+      case 1:
+        return try_add(
+            "FIR",
+            {{"Coefficients", random_doubles(rng.range(2, 6), -1.0, 1.0)}},
+            {pick_any()});
+      case 2:
+        return try_add("Difference", {}, {pick_any()});
+      case 3:
+        return try_add("CumulativeSum", {}, {pick_any()});
+      case 4: {
+        const int in = pick_min_size(2);
+        if (in < 0) return false;
+        const long long n = pool[static_cast<std::size_t>(in)].shape.size();
+        return try_add(
+            "MovingAverage",
+            {{"Window", rng.range(2, std::min<long long>(n, 8))}}, {in});
+      }
+      default:
+        return try_add("Mean", {}, {pick_any()});
+    }
+  }
+
+  bool make_matrix() {
+    if (rng.chance(0.5)) {
+      auto [a, b] = pick_same_shape();
+      return try_add("DotProduct", {}, {a, b});
+    }
+    // MatrixMultiply: search a few random pairs for compatible inner dims.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int a = pick_any();
+      const int b = pick_any();
+      if (pool[static_cast<std::size_t>(a)].shape.cols() ==
+          pool[static_cast<std::size_t>(b)].shape.rows()) {
+        return try_add("MatrixMultiply", {}, {a, b});
+      }
+    }
+    return false;
+  }
+
+  bool make_state() {
+    const int in = pick_any();
+    if (rng.chance(0.5)) {
+      std::vector<std::pair<std::string, Value>> params;
+      if (rng.chance(0.5))
+        params.push_back({"InitialCondition", rng.real(-1.0, 1.0)});
+      return try_add("UnitDelay", params, {in});
+    }
+    return try_add("Delay",
+                   {{"DelaySamples", rng.range(1, 3)},
+                    {"InitialCondition", rng.real(-1.0, 1.0)}},
+                   {in});
+  }
+};
+
+}  // namespace
+
+Result<Model> generate_model(std::uint64_t seed, const GenOptions& options) {
+  Builder b(seed, options);
+
+  // Sources: the first Inport is always a vector so truncation blocks have
+  // something to cut; later sources mix scalars, vectors and matrices.
+  const int inports = static_cast<int>(b.rng.range(1, 3));
+  for (int i = 0; i < inports; ++i) {
+    Block& block =
+        b.m.add_block("in" + std::to_string(i + 1), "Inport");
+    block.set_param("Port", static_cast<long long>(i + 1));
+    Shape shape;
+    const double kind = b.rng.real(0.0, 1.0);
+    if (i == 0 || kind < 0.55) {
+      shape = Shape::vector(static_cast<int>(b.rng.range(4, options.max_dim)));
+    } else if (kind < 0.75) {
+      const int rows = static_cast<int>(b.rng.range(2, 6));
+      const int cols = static_cast<int>(b.rng.range(2, 6));
+      shape = Shape::matrix(rows, cols);
+    } else {
+      shape = Shape::scalar();
+    }
+    if (!shape.is_scalar()) {
+      std::vector<long long> dims;
+      for (int d : shape.dims()) dims.push_back(d);
+      block.set_param("Dims", dims);
+    }
+    b.pool.push_back(Signal{block.name(), 0, shape, 0});
+  }
+  const int constants = static_cast<int>(b.rng.range(0, 2));
+  for (int i = 0; i < constants; ++i) b.make_constant();
+
+  // Weighted maker table; truncation makers are well represented so range
+  // reduction has work to do in nearly every model.
+  using Maker = bool (Builder::*)();
+  const std::vector<Maker> makers = {
+      &Builder::make_unary_elementwise, &Builder::make_unary_elementwise,
+      &Builder::make_binary_elementwise, &Builder::make_binary_elementwise,
+      &Builder::make_logic_switch,
+      &Builder::make_lookup_table,
+      &Builder::make_selector, &Builder::make_selector,
+      &Builder::make_pad,
+      &Builder::make_submatrix,
+      &Builder::make_reshape,
+      &Builder::make_transpose,
+      &Builder::make_concat,
+      &Builder::make_demux,
+      &Builder::make_assignment,
+      &Builder::make_resample,
+      &Builder::make_dsp, &Builder::make_dsp,
+      &Builder::make_matrix,
+      &Builder::make_state,
+  };
+
+  const int budget =
+      static_cast<int>(b.rng.range(options.min_blocks, options.max_blocks));
+  int added = 0;
+  for (int attempt = 0; added < budget && attempt < budget * 30; ++attempt) {
+    const Maker maker = makers[static_cast<std::size_t>(
+        b.rng.range(0, static_cast<long long>(makers.size()) - 1))];
+    if ((b.*maker)()) ++added;
+  }
+
+  // Guaranteed truncation coverage: force a Selector when sampling happened
+  // to produce none.
+  for (int attempt = 0; !b.has_truncation && attempt < 20; ++attempt) {
+    b.make_selector();
+  }
+  if (!b.has_truncation)
+    return Result<Model>::error(
+        "fuzz generator: could not place a truncation block (seed " +
+        std::to_string(seed) + ")");
+
+  // Outports: attach to a random subset of unconsumed signals (at least
+  // one).  Signals left unattached become dead code — exactly the situation
+  // the elimination passes must handle, so leave them in.
+  std::vector<int> leaves;
+  for (std::size_t i = 0; i < b.pool.size(); ++i) {
+    if (b.pool[i].consumers == 0) leaves.push_back(static_cast<int>(i));
+  }
+  long long port = 1;
+  for (int leaf : leaves) {
+    if (port > 1 && !b.rng.chance(0.75)) continue;
+    const Signal& src = b.pool[static_cast<std::size_t>(leaf)];
+    Block& out = b.m.add_block("out" + std::to_string(port), "Outport");
+    out.set_param("Port", port);
+    b.m.connect(src.block, src.port, out.name(), 0);
+    ++port;
+  }
+  if (port == 1)
+    return Result<Model>::error(
+        "fuzz generator: model has no leaf signal for an Outport (seed " +
+        std::to_string(seed) + ")");
+
+  FRODO_RETURN_IF_ERROR(b.m.validate());
+  return std::move(b.m);
+}
+
+}  // namespace frodo::fuzz

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generator for the fuzz harness (SplitMix64).
+//
+// Every campaign artifact — the generated model, the differential inputs and
+// the minimized repro — is a pure function of its 64-bit seed, so a corpus
+// entry's seed alone reproduces the failure on any machine.
+#pragma once
+
+#include <cstdint>
+
+namespace frodo::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  long long range(long long lo, long long hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<long long>(
+                    next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  // Uniform double in [lo, hi).
+  double real(double lo, double hi) {
+    const double u =
+        static_cast<double>(next() >> 11) / 9007199254740992.0;  // [0,1)
+    return lo + u * (hi - lo);
+  }
+
+  bool chance(double p) { return real(0.0, 1.0) < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace frodo::fuzz

@@ -2,12 +2,15 @@
 
 #include <dlfcn.h>
 #include <sys/resource.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 
 #include "support/strings.hpp"
 #include "zip/zip.hpp"
@@ -17,10 +20,28 @@ namespace frodo::jit {
 namespace {
 
 // Serial number so repeated compiles of the same model never collide on the
-// .so path (dlopen caches by path).
+// .so path (dlopen caches by path).  Atomic: the fuzz harness compiles
+// models from a thread pool, and a duplicated serial silently aliases two
+// different shared objects.
 int next_serial() {
-  static int serial = 0;
-  return serial++;
+  static std::atomic<int> serial{0};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The serial only disambiguates within one process; concurrent test
+// processes sharing a workdir (ctest -j) each start at serial 0 and can
+// compile the same model/generator/profile to the same path — one
+// process's compiler then overwrites the .so another is executing.  The
+// PID makes the stem process-unique.
+std::string process_tag() { return std::to_string(getpid()); }
+
+// dlerror() reports the status of the *last* dl* call; even where the
+// buffer itself is thread-local (glibc), an unsynchronized
+// dlopen/dlsym/dlerror sequence can attribute one thread's failure to
+// another libc's shared state.  Serialize every dl* critical section.
+std::mutex& dl_mutex() {
+  static std::mutex m;
+  return m;
 }
 
 std::string shell_quote(const std::string& arg) {
@@ -68,7 +89,10 @@ std::vector<CompilerProfile> fig6_profiles() {
 }
 
 CompiledModel::~CompiledModel() {
-  if (handle_ != nullptr) dlclose(handle_);
+  if (handle_ != nullptr) {
+    std::lock_guard<std::mutex> lock(dl_mutex());
+    dlclose(handle_);
+  }
 }
 
 CompiledModel::CompiledModel(CompiledModel&& other) noexcept
@@ -86,7 +110,10 @@ CompiledModel::CompiledModel(CompiledModel&& other) noexcept
 
 CompiledModel& CompiledModel::operator=(CompiledModel&& other) noexcept {
   if (this != &other) {
-    if (handle_ != nullptr) dlclose(handle_);
+    if (handle_ != nullptr) {
+      std::lock_guard<std::mutex> lock(dl_mutex());
+      dlclose(handle_);
+    }
     handle_ = other.handle_;
     init_ = other.init_;
     step_ = other.step_;
@@ -113,7 +140,8 @@ Result<CompiledModel> compile_and_load(const codegen::GeneratedCode& code,
 
   const std::string stem = code.prefix + "_" +
                            sanitize_identifier(code.generator) + "_" +
-                           sanitize_identifier(profile.label) + "_" +
+                           sanitize_identifier(profile.label) + "_p" +
+                           process_tag() + "_" +
                            std::to_string(next_serial());
   const std::string c_path = workdir + "/" + stem + ".c";
   const std::string so_path = workdir + "/" + stem + ".so";
@@ -134,6 +162,7 @@ Result<CompiledModel> compile_and_load(const codegen::GeneratedCode& code,
 
   CompiledModel model;
   model.code_ = code;
+  std::lock_guard<std::mutex> dl_lock(dl_mutex());
   model.handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (model.handle_ == nullptr)
     return Result<CompiledModel>::error(std::string("dlopen failed: ") +

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/diag.hpp"
+
 namespace frodo::mapping {
 
 IndexSet IndexSet::full(long long size) { return interval(0, size - 1); }
@@ -105,17 +107,42 @@ IndexSet IndexSet::dilate(long long left, long long right) const {
   return out;
 }
 
-IndexSet IndexSet::affine_expand(long long stride, long long offset,
-                                 long long span) const {
+Result<IndexSet> IndexSet::affine_expand(long long stride, long long offset,
+                                         long long span) const {
+  if (stride < 1 || span < 1)
+    return Result<IndexSet>::error(
+        diag::codes::kMappingOverflow,
+        "affine_expand: stride and span must be >= 1 (stride=" +
+            std::to_string(stride) + ", span=" + std::to_string(span) + ")");
   IndexSet out;
   for (const Interval& iv : intervals_) {
-    if (stride == 1) {
-      // Contiguous indices stay one run: [lo+off, hi+off+span-1].
-      out.insert(iv.lo + offset, iv.hi + offset + span - 1);
-      continue;
-    }
-    for (long long i = iv.lo; i <= iv.hi; ++i) {
-      out.insert(i * stride + offset, i * stride + offset + span - 1);
+    long long lo = 0;
+    long long hi = 0;
+    if (__builtin_mul_overflow(iv.lo, stride, &lo) ||
+        __builtin_add_overflow(lo, offset, &lo) ||
+        __builtin_mul_overflow(iv.hi, stride, &hi) ||
+        __builtin_add_overflow(hi, offset, &hi) ||
+        __builtin_add_overflow(hi, span - 1, &hi))
+      return Result<IndexSet>::error(
+          diag::codes::kMappingOverflow,
+          "affine_expand: index arithmetic overflows for interval [" +
+              std::to_string(iv.lo) + "," + std::to_string(iv.hi) +
+              "] with stride=" + std::to_string(stride) +
+              ", offset=" + std::to_string(offset) +
+              ", span=" + std::to_string(span));
+    if (span >= stride) {
+      // The per-index runs overlap or abut, so the whole interval expands
+      // into one contiguous run.
+      out.insert(lo, hi);
+    } else {
+      // span < stride: consecutive runs are separated by at least one gap
+      // index, and intervals_ is sorted, so the runs come out strictly
+      // increasing and non-adjacent — append directly instead of paying a
+      // binary-search insert() per element.
+      for (long long i = iv.lo; i <= iv.hi; ++i) {
+        const long long run_lo = i * stride + offset;
+        out.intervals_.push_back(Interval{run_lo, run_lo + span - 1});
+      }
     }
   }
   return out;
@@ -123,11 +150,14 @@ IndexSet IndexSet::affine_expand(long long stride, long long offset,
 
 IndexSet IndexSet::complement(long long size) const {
   IndexSet out;
+  if (size <= 0) return out;
   long long cursor = 0;
   for (const Interval& iv : intervals_) {
+    if (iv.lo >= size) break;  // this and all later runs are out of range
+    if (iv.hi < 0) continue;   // entirely below the [0, size-1] space
     if (iv.lo > cursor) out.insert(cursor, std::min(iv.lo - 1, size - 1));
-    cursor = iv.hi + 1;
-    if (cursor >= size) break;
+    cursor = std::max(cursor, iv.hi + 1);
+    if (cursor >= size) return out;
   }
   if (cursor < size) out.insert(cursor, size - 1);
   return out;

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "support/status.hpp"
+
 namespace frodo::mapping {
 
 struct Interval {
@@ -73,9 +75,12 @@ class IndexSet {
   IndexSet dilate(long long left, long long right) const;
   // Maps every index i to the run [i*stride + offset, i*stride + offset +
   // span - 1]; the pullback of reshape/row-selection style mappings.
-  IndexSet affine_expand(long long stride, long long offset,
-                         long long span) const;
-  // Complement within [0, size-1].
+  // Requires stride >= 1 and span >= 1; a coded FRODO-E403 error is returned
+  // when the index arithmetic would overflow instead of wrapping silently.
+  Result<IndexSet> affine_expand(long long stride, long long offset,
+                                 long long span) const;
+  // Complement within [0, size-1].  Members outside [0, size-1] (reachable
+  // after offset() with a negative delta) never leak into the result.
   IndexSet complement(long long size) const;
 
   bool operator==(const IndexSet& other) const {

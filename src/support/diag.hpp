@@ -62,6 +62,8 @@ inline constexpr char kModelTooDeep[] = "FRODO-E312";
 // Analysis / code generation.
 inline constexpr char kAnalysisShape[] = "FRODO-E401";
 inline constexpr char kCodegenEmit[] = "FRODO-E402";
+// Index-mapping arithmetic would overflow (IndexSet::affine_expand).
+inline constexpr char kMappingOverflow[] = "FRODO-E403";
 // Usage / internal.
 inline constexpr char kInternal[] = "FRODO-E901";
 // Output artifacts (generated sources, trace files) cannot be written.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 #include <set>
 
@@ -78,11 +79,60 @@ TEST(IndexSet, Dilate) {
 
 TEST(IndexSet, AffineExpand) {
   // Downsample-by-4 pullback of [0,3]: {0,4,8,12}.
-  EXPECT_EQ(IndexSet::interval(0, 3).affine_expand(4, 0, 1).to_string(),
+  EXPECT_EQ(IndexSet::interval(0, 3).affine_expand(4, 0, 1).value().to_string(),
             "{[0,0],[4,4],[8,8],[12,12]}");
   // Stride-1 span-3 expansion stays a single run.
-  EXPECT_EQ(IndexSet::interval(2, 5).affine_expand(1, 10, 3).to_string(),
+  EXPECT_EQ(IndexSet::interval(2, 5).affine_expand(1, 10, 3).value().to_string(),
             "{[12,17]}");
+}
+
+TEST(IndexSet, AffineExpandMergesWhenSpanCoversStride) {
+  // span >= stride: per-index runs abut, one run per interval.
+  EXPECT_EQ(IndexSet::interval(0, 5).affine_expand(2, 0, 2).value().to_string(),
+            "{[0,11]}");
+  EXPECT_EQ(IndexSet::interval(1, 3).affine_expand(3, 2, 5).value().to_string(),
+            "{[5,15]}");
+  IndexSet two;
+  two.insert(0, 1);
+  two.insert(10, 11);
+  EXPECT_EQ(two.affine_expand(2, 0, 3).value().to_string(), "{[0,4],[20,24]}");
+}
+
+// Regression (ISSUE 4): the per-element insert() made a large contiguous
+// demand degrade to O(count log n); the strided-run emission must handle a
+// million-element interval in well under a second.
+TEST(IndexSet, AffineExpandLargeContiguousDemand) {
+  const IndexSet demand = IndexSet::interval(0, 1000000);
+  // Merging case: one run total.
+  auto merged = demand.affine_expand(2, 0, 2);
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_EQ(merged.value().interval_count(), 1);
+  EXPECT_EQ(merged.value().count(), 2000002);
+  // Non-merging case: one run per index, appended in order.
+  auto strided = demand.affine_expand(2, 0, 1);
+  ASSERT_TRUE(strided.is_ok());
+  EXPECT_EQ(strided.value().interval_count(), 1000001);
+  EXPECT_EQ(strided.value().count(), 1000001);
+  EXPECT_TRUE(strided.value().contains(2000000));
+  EXPECT_FALSE(strided.value().contains(1999999));
+}
+
+// Regression (ISSUE 4): overflowing index arithmetic must surface as a coded
+// FRODO-E403 error, not silent wraparound.
+TEST(IndexSet, AffineExpandOverflowIsDiagnosed) {
+  const long long huge = std::numeric_limits<long long>::max() / 2;
+  auto mul = IndexSet::interval(huge, huge).affine_expand(4, 0, 1);
+  ASSERT_FALSE(mul.is_ok());
+  EXPECT_EQ(mul.status().code(), "FRODO-E403");
+  auto add = IndexSet::interval(huge, huge).affine_expand(1, huge, 4);
+  ASSERT_FALSE(add.is_ok());
+  EXPECT_EQ(add.status().code(), "FRODO-E403");
+  auto span = IndexSet::interval(0, 0).affine_expand(
+      1, std::numeric_limits<long long>::max() - 1, 4);
+  ASSERT_FALSE(span.is_ok());
+  EXPECT_EQ(span.status().code(), "FRODO-E403");
+  auto bad = IndexSet::interval(0, 3).affine_expand(0, 0, 1);
+  ASSERT_FALSE(bad.is_ok());
 }
 
 TEST(IndexSet, Complement) {
@@ -92,6 +142,41 @@ TEST(IndexSet, Complement) {
   EXPECT_EQ(s.complement(10).to_string(), "{[0,1],[4,6],[9,9]}");
   EXPECT_EQ(IndexSet::empty().complement(3).to_string(), "{[0,2]}");
   EXPECT_TRUE(IndexSet::full(5).complement(5).is_empty());
+}
+
+// Regression (ISSUE 4): a set holding negative intervals — reachable after
+// offset() with a negative delta — let the complement cursor go negative, so
+// indices < 0 leaked into the result.
+TEST(IndexSet, ComplementOfNegativeIntervals) {
+  // Entirely negative: complement is the whole space.
+  EXPECT_EQ(IndexSet::interval(5, 9).offset(-20).complement(10).to_string(),
+            "{[0,9]}");
+  // Straddling zero: only the non-negative part is excluded.
+  EXPECT_EQ(IndexSet::interval(-3, 4).complement(10).to_string(), "{[5,9]}");
+  // Negative run plus an in-range run.
+  IndexSet s;
+  s.insert(-7, -5);
+  s.insert(2, 3);
+  const IndexSet comp = s.complement(6);
+  EXPECT_EQ(comp.to_string(), "{[0,1],[4,5]}");
+  for (const Interval& iv : comp.intervals()) {
+    EXPECT_GE(iv.lo, 0);
+    EXPECT_LE(iv.hi, 5);
+  }
+}
+
+// Regression (ISSUE 4): intervals at or beyond `size` must not be walked —
+// and must never widen the result past size-1.
+TEST(IndexSet, ComplementOfOverhangingIntervals) {
+  EXPECT_EQ(IndexSet::interval(10, 12).complement(10).to_string(), "{[0,9]}");
+  EXPECT_EQ(IndexSet::interval(8, 15).complement(10).to_string(), "{[0,7]}");
+  IndexSet s;
+  s.insert(2, 3);
+  s.insert(15, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.complement(10).to_string(), "{[0,1],[4,9]}");
+  EXPECT_TRUE(IndexSet::interval(0, 5).complement(0).is_empty());
+  EXPECT_TRUE(IndexSet::interval(0, 5).complement(-3).is_empty());
 }
 
 TEST(IndexSet, HullMinMax) {
@@ -197,11 +282,111 @@ TEST_P(IndexSetPropertyTest, MatchesNaiveSetModel) {
     mexp.insert(v * 3 + 1);
     mexp.insert(v * 3 + 2);
   }
-  EXPECT_EQ(to_model(a.affine_expand(3, 1, 2)), mexp);
+  EXPECT_EQ(to_model(a.affine_expand(3, 1, 2).value()), mexp);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexSetPropertyTest,
                          testing::Range(0u, 25u));
+
+// Randomized algebra laws (ISSUE 4): seeded and deterministic under ctest.
+class IndexSetAlgebraTest : public testing::TestWithParam<unsigned> {};
+
+IndexSet random_set(std::mt19937& rng, long long lo_bound, long long hi_bound) {
+  std::uniform_int_distribution<long long> pos(lo_bound, hi_bound);
+  std::uniform_int_distribution<long long> len(0, 8);
+  std::uniform_int_distribution<int> runs(0, 6);
+  IndexSet s;
+  const int n = runs(rng);
+  for (int i = 0; i < n; ++i) {
+    const long long lo = pos(rng);
+    s.insert(lo, lo + len(rng));
+  }
+  return s;
+}
+
+IndexSet unite(IndexSet a, const IndexSet& b) {
+  a.unite(b);
+  return a;
+}
+
+TEST_P(IndexSetAlgebraTest, UnionAndIntersectionLaws) {
+  std::mt19937 rng(GetParam());
+  const IndexSet a = random_set(rng, -20, 60);
+  const IndexSet b = random_set(rng, -20, 60);
+  const IndexSet c = random_set(rng, -20, 60);
+
+  // Commutativity.
+  EXPECT_EQ(unite(a, b), unite(b, a));
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+  // Associativity.
+  EXPECT_EQ(unite(unite(a, b), c), unite(a, unite(b, c)));
+  EXPECT_EQ(a.intersect(b).intersect(c), a.intersect(b.intersect(c)));
+  // Idempotence and identity.
+  EXPECT_EQ(unite(a, a), a);
+  EXPECT_EQ(a.intersect(a), a);
+  EXPECT_EQ(unite(a, IndexSet::empty()), a);
+  EXPECT_TRUE(a.intersect(IndexSet::empty()).is_empty());
+  // Distributivity.
+  EXPECT_EQ(a.intersect(unite(b, c)), unite(a.intersect(b), a.intersect(c)));
+  // Absorption.
+  EXPECT_EQ(a.intersect(unite(a, b)), a);
+  EXPECT_EQ(unite(a, a.intersect(b)), a);
+}
+
+TEST_P(IndexSetAlgebraTest, DeMorganViaComplement) {
+  std::mt19937 rng(GetParam() + 1000);
+  constexpr long long kSize = 70;
+  // Mix in negative and overhanging runs: complement must behave as if the
+  // set were first clamped to [0, kSize-1].
+  const IndexSet a = random_set(rng, -30, 90);
+  const IndexSet b = random_set(rng, -30, 90);
+
+  // ¬(a ∪ b) == ¬a ∩ ¬b  and  ¬(a ∩ b) == ¬a ∪ ¬b  within [0, kSize).
+  EXPECT_EQ(unite(a, b).complement(kSize),
+            a.complement(kSize).intersect(b.complement(kSize)));
+  EXPECT_EQ(a.intersect(b).complement(kSize),
+            unite(a.complement(kSize), b.complement(kSize)));
+  // Involution modulo clamping.
+  EXPECT_EQ(a.complement(kSize).complement(kSize), a.clamp(0, kSize - 1));
+  // Complement really is exhaustive and disjoint.
+  EXPECT_TRUE(a.intersect(a.complement(kSize)).is_empty());
+  EXPECT_EQ(unite(a.clamp(0, kSize - 1), a.complement(kSize)),
+            IndexSet::full(kSize));
+}
+
+TEST_P(IndexSetAlgebraTest, OffsetClampComposition) {
+  std::mt19937 rng(GetParam() + 2000);
+  const IndexSet a = random_set(rng, -20, 60);
+  std::uniform_int_distribution<long long> delta_dist(-15, 15);
+  const long long d = delta_dist(rng);
+
+  // Offsets compose additively and invert.
+  EXPECT_EQ(a.offset(d).offset(-d), a);
+  EXPECT_EQ(a.offset(d).offset(3), a.offset(d + 3));
+  // Clamp commutes with offset when the window shifts along.
+  EXPECT_EQ(a.offset(d).clamp(0, 40), a.clamp(-d, 40 - d).offset(d));
+  // Clamping twice is clamping to the intersection window.
+  EXPECT_EQ(a.clamp(0, 50).clamp(10, 70), a.clamp(10, 50));
+}
+
+TEST_P(IndexSetAlgebraTest, DilateMonotonicity) {
+  std::mt19937 rng(GetParam() + 3000);
+  const IndexSet a = random_set(rng, 0, 60);
+  const IndexSet b = unite(a, random_set(rng, 0, 60));  // a ⊆ b
+
+  // Extensive: a ⊆ dilate(a) for non-negative margins.
+  EXPECT_TRUE(a.dilate(2, 3).contains(a));
+  // Monotone in the argument: a ⊆ b → dilate(a) ⊆ dilate(b).
+  EXPECT_TRUE(b.dilate(2, 3).contains(a.dilate(2, 3)));
+  // Monotone in the margins.
+  EXPECT_TRUE(a.dilate(4, 5).contains(a.dilate(1, 2)));
+  // Dilation distributes over union.
+  EXPECT_EQ(unite(a, b).dilate(1, 2), unite(a.dilate(1, 2), b.dilate(1, 2)));
+  // Composition adds margins.
+  EXPECT_EQ(a.dilate(1, 2).dilate(3, 1), a.dilate(4, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexSetAlgebraTest, testing::Range(0u, 20u));
 
 }  // namespace
 }  // namespace frodo::mapping

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <filesystem>
+#include <vector>
+
 #include "codegen/generator.hpp"
 
 namespace frodo::jit {
@@ -67,6 +70,34 @@ TEST(CompileAndLoad, RunsGeneratedCode) {
   compiled.value().step(ins, outs);
   EXPECT_EQ(out[0], 3.0);
   EXPECT_EQ(out[3], 12.0);
+}
+
+// Regression: .so paths must be unique per process AND per compile.
+// Concurrent ctest workers share TempDir-based workdirs; before the stem
+// carried the PID, two processes at serial 0 compiling the same
+// model/generator/profile raced on one .so — one process's compiler
+// overwrote the object another was executing (observed as SEGFAULT under
+// ctest -j).  Within a process the atomic serial keeps repeated compiles
+// of identical code apart.
+TEST(CompileAndLoad, SharedObjectPathsAreProcessAndSerialUnique) {
+  auto code = tiny_code();
+  const std::string dir = workdir() + "_unique";
+  const CompilerProfile profile{"gcc-O0", "gcc", {"-O0"}, 4};
+  auto first = compile_and_load(code, profile, dir);
+  auto second = compile_and_load(code, profile, dir);
+  ASSERT_TRUE(first.is_ok()) << first.message();
+  ASSERT_TRUE(second.is_ok()) << second.message();
+
+  const std::string tag = "_p" + std::to_string(::getpid()) + "_";
+  std::vector<std::string> so_files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".so")
+      so_files.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(so_files.size(), 2u);
+  EXPECT_NE(so_files[0], so_files[1]);
+  for (const std::string& name : so_files)
+    EXPECT_NE(name.find(tag), std::string::npos) << name;
 }
 
 TEST(CompileAndLoad, ReportsCompilerErrorsWithLog) {

@@ -1,0 +1,206 @@
+// The model fuzzer itself: generator validity/determinism, minimizer
+// behaviour against synthetic predicates, and a bounded differential smoke
+// campaign (the ctest face of `frodo-fuzz`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "blocks/analysis.hpp"
+#include "blocks/semantics.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/model_gen.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "slx/slx.hpp"
+
+namespace frodo {
+namespace {
+
+// -- Generator ---------------------------------------------------------------
+
+TEST(ModelGen, GeneratesValidAnalyzableModels) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto m = fuzz::generate_model(seed);
+    ASSERT_TRUE(m.is_ok()) << "seed " << seed << ": " << m.message();
+    EXPECT_TRUE(m.value().validate().is_ok()) << "seed " << seed;
+    auto flat = model::flatten(m.value());
+    ASSERT_TRUE(flat.is_ok()) << "seed " << seed;
+    auto graph = graph::DataflowGraph::build(flat.value());
+    ASSERT_TRUE(graph.is_ok()) << "seed " << seed;
+    auto analysis = blocks::analyze(graph.value());
+    EXPECT_TRUE(analysis.is_ok())
+        << "seed " << seed << ": " << analysis.message();
+  }
+}
+
+TEST(ModelGen, SameSeedSameModel) {
+  auto a = fuzz::generate_model(42);
+  auto b = fuzz::generate_model(42);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(slx::to_xml(a.value()), slx::to_xml(b.value()));
+}
+
+TEST(ModelGen, DifferentSeedsDiffer) {
+  auto a = fuzz::generate_model(1);
+  auto b = fuzz::generate_model(2);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NE(slx::to_xml(a.value()), slx::to_xml(b.value()));
+}
+
+TEST(ModelGen, EveryModelContainsATruncationBlock) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto m = fuzz::generate_model(seed);
+    ASSERT_TRUE(m.is_ok()) << "seed " << seed;
+    bool truncation = false;
+    for (int id = 0; id < m.value().block_count(); ++id) {
+      const model::Block& block = m.value().block(id);
+      const blocks::BlockSemantics* sem = blocks::find(block.type());
+      ASSERT_NE(sem, nullptr) << block.type();
+      if (sem->is_truncation(block)) truncation = true;
+    }
+    EXPECT_TRUE(truncation) << "seed " << seed << " has no truncation block";
+  }
+}
+
+TEST(ModelGen, RespectsBlockBudget) {
+  fuzz::GenOptions options;
+  options.min_blocks = 3;
+  options.max_blocks = 5;
+  options.max_dim = 8;
+  auto m = fuzz::generate_model(7, options);
+  ASSERT_TRUE(m.is_ok());
+  // Budgeted blocks plus sources and outports; stay within a sane bound.
+  EXPECT_LE(m.value().block_count(), 5 + 3 + 2 + 20);
+}
+
+// -- Minimizer ---------------------------------------------------------------
+
+// The minimizer must shrink a model down to the blocks the predicate cares
+// about: here, "still contains a Selector".
+TEST(Minimize, ShrinksToPredicateCore) {
+  auto generated = fuzz::generate_model(11);
+  ASSERT_TRUE(generated.is_ok());
+  const int before = generated.value().block_count();
+
+  auto has_selector = [](const model::Model& m) {
+    if (!m.validate().is_ok()) return false;
+    for (int id = 0; id < m.block_count(); ++id) {
+      if (m.block(id).type() == "Selector") return true;
+    }
+    return false;
+  };
+  if (!has_selector(generated.value())) GTEST_SKIP() << "no selector sampled";
+
+  model::Model minimized =
+      fuzz::minimize_model(generated.value(), has_selector);
+  EXPECT_TRUE(has_selector(minimized));
+  EXPECT_LT(minimized.block_count(), before);
+  EXPECT_TRUE(minimized.validate().is_ok());
+}
+
+TEST(Minimize, KeepsModelWhenNothingCanGo) {
+  auto generated = fuzz::generate_model(3);
+  ASSERT_TRUE(generated.is_ok());
+  // Predicate pinned to the exact serialized form: no reduction survives.
+  const std::string xml = slx::to_xml(generated.value());
+  model::Model minimized = fuzz::minimize_model(
+      generated.value(),
+      [&](const model::Model& m) { return slx::to_xml(m) == xml; });
+  EXPECT_EQ(slx::to_xml(minimized), xml);
+}
+
+TEST(Minimize, RenumbersPortsDensely) {
+  // Three outports; predicate only needs outport "out3" to stay.  Dropping
+  // out1/out2 forces renumbering or io_signature would reject the result.
+  model::Model m("ports");
+  m.add_block("in1", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", std::vector<long long>{8});
+  m.add_block("g", "Gain").set_param("Gain", 2.0);
+  m.add_block("out1", "Outport").set_param("Port", 1);
+  m.add_block("out2", "Outport").set_param("Port", 2);
+  m.add_block("out3", "Outport").set_param("Port", 3);
+  m.connect("in1", 0, "g", 0);
+  m.connect("g", 0, "out1", 0);
+  m.connect("g", 0, "out2", 0);
+  m.connect("g", 0, "out3", 0);
+  ASSERT_TRUE(m.validate().is_ok());
+
+  auto keeps_out3 = [](const model::Model& candidate) {
+    return candidate.validate().is_ok() &&
+           candidate.find_block("out3") >= 0;
+  };
+  model::Model minimized = fuzz::minimize_model(m, keeps_out3);
+  EXPECT_GE(minimized.find_block("out3"), 0);
+  EXPECT_LT(minimized.block_count(), m.block_count());
+  // The surviving outports must be densely numbered from 1 again.
+  auto flat = model::flatten(minimized);
+  ASSERT_TRUE(flat.is_ok());
+  auto graph = graph::DataflowGraph::build(flat.value());
+  ASSERT_TRUE(graph.is_ok());
+  auto analysis = blocks::analyze(graph.value());
+  ASSERT_TRUE(analysis.is_ok()) << analysis.message();
+  auto signature = blocks::io_signature(analysis.value());
+  EXPECT_TRUE(signature.is_ok()) << signature.message();
+}
+
+// -- Differential smoke campaign ---------------------------------------------
+
+// The bounded ctest face of the fuzzer.  FRODO_FUZZ_SEEDS raises the seed
+// count for long runs (the sanitizer script sets it).
+TEST(FuzzCampaign, SmokeDifferential) {
+  fuzz::CampaignOptions options;
+  options.base_seed = 1;
+  options.seeds = 16;
+  if (const char* env = std::getenv("FRODO_FUZZ_SEEDS")) {
+    options.seeds = std::atoi(env);
+    if (options.seeds < 1) options.seeds = 1;
+  }
+  options.jobs = 4;
+  options.minimize = false;  // any failure fails the test outright
+  options.diff.workdir = testing::TempDir() + "/frodo_fuzz_smoke";
+  const fuzz::CampaignResult result = fuzz::run_campaign(options);
+  EXPECT_EQ(result.models_run, options.seeds);
+  EXPECT_TRUE(result.clean()) << result.summary();
+}
+
+TEST(FuzzCampaign, GeneratorLabelsCoverAllStyles) {
+  const std::vector<std::string> labels = fuzz::generator_labels();
+  const std::set<std::string> label_set(labels.begin(), labels.end());
+  EXPECT_EQ(labels.size(), 11u);  // 3 baselines + 8 FRODO optimizer masks
+  EXPECT_EQ(label_set.count("Simulink"), 1u);
+  EXPECT_EQ(label_set.count("DFSynth"), 1u);
+  EXPECT_EQ(label_set.count("HCG"), 1u);
+  EXPECT_EQ(label_set.count("Frodo[---]"), 1u);
+  EXPECT_EQ(label_set.count("Frodo[fsa]"), 1u);
+}
+
+// A deliberately broken model must be caught and reported in the right
+// phase — guards the harness against "always passes" bugs.
+TEST(FuzzCampaign, BrokenModelIsCaught) {
+  model::Model m("broken");
+  m.add_block("in1", "Inport")
+      .set_param("Port", 1)
+      .set_param("Dims", std::vector<long long>{4});
+  // Selector range [2, 9] overruns the 4-element input: analysis must fail.
+  m.add_block("sel", "Selector").set_param("Start", 2).set_param("End", 9);
+  m.add_block("out1", "Outport").set_param("Port", 1);
+  m.connect("in1", 0, "sel", 0);
+  m.connect("sel", 0, "out1", 0);
+  ASSERT_TRUE(m.validate().is_ok());
+
+  fuzz::DiffOptions options;
+  options.workdir = testing::TempDir() + "/frodo_fuzz_broken";
+  const fuzz::DiffOutcome outcome = fuzz::run_differential(m, options);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.phase, "analyze");
+}
+
+}  // namespace
+}  // namespace frodo

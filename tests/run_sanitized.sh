@@ -28,3 +28,12 @@ echo "== observability surfaces under ASan/UBSan =="
 "$build_dir/tests/test_profile_hooks"
 "$build_dir/tests/test_cli" \
     --gtest_filter='Frodoc.Version*:Frodoc.Trace*:Frodoc.Report*:Frodoc.PrintRanges*:Frodoc.ProfileHooks*:Frodoc.Verbose*'
+
+# Differential fuzz smoke under the sanitizers: the whole pipeline — model
+# generation, serializer round-trip, every generator, the JIT and the
+# interpreter — executes instrumented, so memory bugs anywhere in it
+# surface here.  FRODO_FUZZ_SEEDS widens the in-process campaign.
+echo "== fuzz smoke under ASan/UBSan =="
+FRODO_FUZZ_SEEDS=${FRODO_FUZZ_SEEDS:-16} "$build_dir/tests/test_model_fuzz"
+"$build_dir/src/cli/frodo-fuzz" --seeds 4 --base-seed 900 \
+    --workdir "$build_dir/fuzz_asan_work"
