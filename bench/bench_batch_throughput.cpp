@@ -1,0 +1,141 @@
+// Batch-compilation throughput: models/sec over the 10 Table 1 models at
+// 1/2/4/8 workers.
+//
+// Measures the `frodoc --batch` engine itself (parse -> analyze ->
+// Algorithm 1 -> emit, no file writes) by compiling the whole benchmark
+// suite repeatedly under each worker count.  Parallel output is
+// byte-identical to serial by construction, so the only observable
+// difference is the wall clock — which is exactly what this binary reports.
+//
+//   --reps N       batch compiles per worker count (default 5; best wall
+//                  time wins, FRODO_BENCH_REPS overrides)
+//   --json=PATH    also write the results as a JSON document
+//   --cache DIR    run with an analysis cache (first compile cold, the rest
+//                  warm — reported separately)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "slx/slx.hpp"
+#include "support/version.hpp"
+
+namespace {
+
+long long best_wall_us(const std::vector<std::string>& inputs,
+                       const frodo::batch::BatchOptions& options, int reps) {
+  long long best = -1;
+  for (int rep = 0; rep < reps; ++rep) {
+    const frodo::batch::BatchResult result =
+        frodo::batch::compile_batch(inputs, options);
+    if (result.exit_code != 0) {
+      std::fprintf(stderr, "bench_batch_throughput: batch failed (rc %d)\n",
+                   result.exit_code);
+      std::exit(1);
+    }
+    if (best < 0 || result.wall_us < best) best = result.wall_us;
+  }
+  return best;
+}
+
+double models_per_sec(std::size_t models, long long wall_us) {
+  return wall_us > 0 ? static_cast<double>(models) * 1'000'000.0 /
+                           static_cast<double>(wall_us)
+                     : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  std::string json_path;
+  std::string cache_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_batch_throughput [--reps N] [--json=PATH] "
+                   "[--cache DIR]\n");
+      return 2;
+    }
+  }
+  if (const char* env = std::getenv("FRODO_BENCH_REPS"))
+    reps = std::max(1, std::atoi(env));
+
+  // The suite as on-disk packages, exactly what `frodoc --batch` ingests.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "frodo_bench_batch").string();
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> inputs;
+  for (const auto& bench : frodo::benchmodels::all_models()) {
+    auto model = bench.build();
+    if (!model.is_ok()) {
+      std::fprintf(stderr, "bench_batch_throughput: cannot build %s: %s\n",
+                   bench.name.c_str(), model.message().c_str());
+      return 1;
+    }
+    const std::string path = dir + "/" + bench.name + ".slxz";
+    auto saved = frodo::slx::save(model.value(), path);
+    if (!saved.is_ok()) {
+      std::fprintf(stderr, "bench_batch_throughput: cannot save %s: %s\n",
+                   bench.name.c_str(), saved.message().c_str());
+      return 1;
+    }
+    inputs.push_back(path);
+  }
+
+  std::printf("batch throughput: %zu models, best of %d reps (%s)\n",
+              inputs.size(), reps, frodo::version_string());
+
+  const int worker_counts[] = {1, 2, 4, 8};
+  std::vector<std::pair<int, double>> results;
+  for (int jobs : worker_counts) {
+    frodo::batch::BatchOptions options;
+    options.jobs = jobs;
+    options.write_outputs = false;
+    options.cache_dir = cache_dir;
+    const long long wall = best_wall_us(inputs, options, reps);
+    const double rate = models_per_sec(inputs.size(), wall);
+    results.emplace_back(jobs, rate);
+    std::printf("  jobs=%d  %8lld us  %7.1f models/sec\n", jobs, wall, rate);
+  }
+  const double serial = results.front().second;
+  for (const auto& [jobs, rate] : results) {
+    if (jobs == 1) continue;
+    std::printf("  speedup x%d: %.2f\n", jobs,
+                serial > 0.0 ? rate / serial : 0.0);
+  }
+
+  if (!json_path.empty()) {
+    std::string out = "{\"bench\":\"batch_throughput\",\"models\":" +
+                      std::to_string(inputs.size()) +
+                      ",\"reps\":" + std::to_string(reps) + ",\"rows\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      char row[96];
+      std::snprintf(row, sizeof row,
+                    "%s{\"jobs\":%d,\"models_per_sec\":%.1f}",
+                    i > 0 ? "," : "", results[i].first, results[i].second);
+      out += row;
+    }
+    out += "]}\n";
+    FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_batch_throughput: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares freshly generated BENCH_table2_x86.json runs against the
+committed trajectory file.  Three stages:
+
+1. Schema: every fresh JSON must satisfy the same invariants the
+   bench_json_schema gtest enforces on the committed file (>= 2 compiler
+   profiles, every row carries an ns_per_step cell for each generator,
+   all timings positive).
+2. Noise filtering: when several fresh files are given (CI runs the bench
+   three times), each cell uses the MINIMUM ns across runs.  The minimum
+   discards scheduler/steal-time noise, which only ever inflates a wall
+   clock; a genuine codegen regression inflates every run and survives.
+3. Regression, on the optimized-vs-baseline ratio (Frodo ns / Simulink
+   ns — lower is better; ratios cancel out the absolute speed of the CI
+   runner).  Two tiers:
+   * the GEOMETRIC MEAN of the ratio over all shared (profile, model)
+     cells must not regress by more than --threshold (default 10%) —
+     averaging 20 cells suppresses residual per-cell scheduler noise, so
+     this tier reliably catches systematic codegen quality loss;
+   * no single cell may regress by more than --cell-threshold (default
+     50%) — wide enough to clear per-cell noise on shared runners, tight
+     enough to catch one model's codegen breaking outright.
+
+--merge-out FILE writes the first fresh document with every ns_per_step
+cell replaced by the across-runs minimum — used to refresh the committed
+trajectory file from the same best-of-N measurement.
+
+Exit status: 0 clean, 1 regression or schema violation, 2 usage error.
+
+Usage:
+  bench/check_regression.py FRESH.json [FRESH.json ...] COMMITTED.json \
+      [--threshold 0.10] [--cell-threshold 0.50] [--merge-out MERGED.json]
+"""
+
+import argparse
+import json
+import math
+import signal
+import sys
+
+# Die quietly when piped into `head` instead of tracebacking on EPIPE.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+GENERATORS = ("Simulink", "DFSynth", "HCG", "Frodo", "Frodo-noopt")
+OPTIMIZED = "Frodo"
+BASELINE = "Simulink"
+
+
+def fail(message):
+    print(f"check_regression: FAIL: {message}")
+    return 1
+
+
+def validate_schema(doc, label):
+    """Mirror tests/bench_json_schema_test.cpp for a freshly generated file."""
+    errors = []
+    if doc.get("bench") != "table2_x86":
+        errors.append(f'{label}: "bench" is not "table2_x86"')
+    if not isinstance(doc.get("repetitions"), int) or doc["repetitions"] <= 0:
+        errors.append(f'{label}: "repetitions" must be a positive integer')
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or len(profiles) < 2:
+        errors.append(f"{label}: expected >= 2 compiler profiles")
+        return errors
+    for profile in profiles:
+        name = f'{label}/{profile.get("label", "?")}'
+        rows = profile.get("rows")
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"{name}: no rows")
+            continue
+        for row in rows:
+            model = row.get("model")
+            if not model:
+                errors.append(f"{name}: row without a model name")
+                continue
+            cells = row.get("ns_per_step", {})
+            for gen in GENERATORS:
+                value = cells.get(gen)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    errors.append(
+                        f"{name}/{model}: missing or non-positive "
+                        f"ns_per_step for {gen}"
+                    )
+    return errors
+
+
+def merge_min(docs):
+    """First doc with each ns_per_step cell replaced by the min across docs."""
+    merged = json.loads(json.dumps(docs[0]))
+    cells = {}
+    for doc in docs:
+        for profile in doc.get("profiles", []):
+            for row in profile.get("rows", []):
+                for gen, ns in row.get("ns_per_step", {}).items():
+                    key = (profile.get("label"), row.get("model"), gen)
+                    if key not in cells or ns < cells[key]:
+                        cells[key] = ns
+    for profile in merged.get("profiles", []):
+        for row in profile.get("rows", []):
+            for gen in list(row.get("ns_per_step", {})):
+                key = (profile.get("label"), row.get("model"), gen)
+                row["ns_per_step"][gen] = cells[key]
+    return merged
+
+
+def ratios(doc):
+    """{(profile_label, model): Frodo/Simulink ns ratio}."""
+    out = {}
+    for profile in doc.get("profiles", []):
+        for row in profile.get("rows", []):
+            cells = row.get("ns_per_step", {})
+            opt, base = cells.get(OPTIMIZED), cells.get(BASELINE)
+            if opt and base:
+                out[(profile.get("label"), row.get("model"))] = opt / base
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", nargs="+", help="freshly generated BENCH JSON run(s)"
+    )
+    parser.add_argument("committed", help="committed trajectory BENCH JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed geometric-mean ratio regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--cell-threshold",
+        type=float,
+        default=0.50,
+        help="allowed per-cell ratio regression (default 0.50 = 50%%)",
+    )
+    parser.add_argument(
+        "--merge-out",
+        metavar="FILE",
+        help="write the best-of-N merged fresh document to FILE",
+    )
+    args = parser.parse_args()
+
+    try:
+        fresh_docs = []
+        for path in args.fresh:
+            with open(path) as f:
+                fresh_docs.append(json.load(f))
+        with open(args.committed) as f:
+            committed = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_regression: cannot read input: {err}")
+        return 2
+
+    schema_errors = []
+    for path, doc in zip(args.fresh, fresh_docs):
+        schema_errors += validate_schema(doc, path)
+    if schema_errors:
+        for err in schema_errors:
+            print(f"check_regression: schema: {err}")
+        return fail(f"{len(schema_errors)} schema violation(s)")
+
+    merged = merge_min(fresh_docs)
+    if args.merge_out:
+        with open(args.merge_out, "w") as f:
+            json.dump(merged, f)
+            f.write("\n")
+        print(f"check_regression: wrote best-of-{len(fresh_docs)} merge to "
+              f"{args.merge_out}")
+
+    fresh_ratios = ratios(merged)
+    committed_ratios = ratios(committed)
+    shared = sorted(set(fresh_ratios) & set(committed_ratios))
+    if not shared:
+        return fail("no (profile, model) pairs shared between the two sides")
+
+    cell_regressions = []
+    log_sum = 0.0
+    for key in shared:
+        old, new = committed_ratios[key], fresh_ratios[key]
+        # Ratio is ns(optimized)/ns(baseline): an INCREASE is a regression.
+        change = (new - old) / old
+        log_sum += math.log(new / old)
+        marker = ""
+        if change > args.cell_threshold:
+            cell_regressions.append(key)
+            marker = "  <-- REGRESSION"
+        print(
+            f"  {key[0]:>10s} {key[1]:<14s} "
+            f"ratio {old:.4f} -> {new:.4f} ({change:+.1%}){marker}"
+        )
+    geomean_change = math.exp(log_sum / len(shared)) - 1
+    print(
+        f"check_regression: geometric-mean ratio change over {len(shared)} "
+        f"cells (best of {len(fresh_docs)} run(s)): {geomean_change:+.1%}"
+    )
+
+    if cell_regressions:
+        return fail(
+            f"{len(cell_regressions)} cell(s) regressed more than "
+            f"{args.cell_threshold:.0%}: "
+            + ", ".join(f"{p}/{m}" for p, m in cell_regressions)
+        )
+    if geomean_change > args.threshold:
+        return fail(
+            f"geometric-mean ratio regressed {geomean_change:+.1%} "
+            f"(threshold {args.threshold:.0%})"
+        )
+    print(
+        f"check_regression: OK: geomean within {args.threshold:.0%}, every "
+        f"cell within {args.cell_threshold:.0%} of the committed trajectory"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@
 #
 #   FRODO_BENCH_REPS   repetitions per cell (default 2000 here; the paper's
 #                      10000 via `FRODO_BENCH_REPS=10000 bench/run_benchmarks.sh`)
+#   FRODO_BENCH_OUT    output JSON path (default: <repo>/BENCH_table2_x86.json;
+#                      CI points this elsewhere and diffs against the
+#                      committed file with bench/check_regression.py)
 #   BUILD_DIR          cmake build tree (default: build)
 #   FRODO_BENCH_PROFILE=1  also run the -DFRODO_PROFILE per-block attribution
 #                      pass and merge it into the JSON ("profile_attribution")
@@ -28,4 +31,4 @@ profile_flag=""
 
 FRODO_BENCH_REPS="${FRODO_BENCH_REPS:-2000}" \
     "$build_dir/bench/bench_table2_x86" \
-    --json="$repo_root/BENCH_table2_x86.json" $profile_flag
+    --json="${FRODO_BENCH_OUT:-$repo_root/BENCH_table2_x86.json}" $profile_flag

@@ -1,0 +1,490 @@
+#include "batch/batch.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "blocks/semantics.hpp"
+#include "model/flatten.hpp"
+#include "model/validate.hpp"
+#include "slx/slx.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo::batch {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string lower;
+  for (char c : text)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower;
+}
+
+long long elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+bool has_model_extension(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = to_lower(path.substr(dot));
+  return ext == ".slx" || ext == ".slxz" || ext == ".xml";
+}
+
+}  // namespace
+
+bool check_model(const model::Model& m, diag::Engine& engine, bool strict,
+                 CheckedModel* out) {
+  model::ValidateOptions vopts;
+  vopts.oracle = &blocks::validation_oracle();
+  vopts.strict = strict;
+  {
+    trace::Scope span("validate");
+    if (!model::validate(m, engine, vopts)) return false;
+  }
+
+  CheckedModel local;
+  CheckedModel& cm = out != nullptr ? *out : local;
+  {
+    auto flat = model::flatten(m);
+    if (!flat.is_ok()) {
+      engine.error_from(flat.status(), diag::codes::kInternal);
+      return false;
+    }
+    cm.flat = std::move(flat).value();
+  }
+  {
+    auto graph = graph::DataflowGraph::build(cm.flat);
+    if (!graph.is_ok()) {
+      engine.error_from(graph.status(), diag::codes::kInternal);
+      return false;
+    }
+    cm.graph = std::move(graph).value();
+  }
+  blocks::AnalyzeOptions aopts;
+  aopts.engine = &engine;
+  aopts.degrade_unknown = !strict;
+  {
+    auto analysis = blocks::analyze(cm.graph, aopts);
+    if (!analysis.is_ok()) {
+      engine.error_from(analysis.status(), diag::codes::kAnalysisShape);
+      return false;
+    }
+    cm.analysis = std::move(analysis).value();
+  }
+  {
+    auto sig = blocks::io_signature(cm.analysis);
+    if (!sig.is_ok()) {
+      engine.error_from(sig.status(), diag::codes::kModelPortNumbering);
+      return false;
+    }
+    cm.sig = std::move(sig).value();
+  }
+  return true;
+}
+
+unsigned optimize_flag_mask(const codegen::OptimizeOptions& optimize) {
+  unsigned mask = 0;
+  if (optimize.fuse) mask |= 1u;
+  if (optimize.shrink_buffers) mask |= 2u;
+  if (optimize.alias_truncation) mask |= 4u;
+  return mask;
+}
+
+Result<range::RangeAnalysis> ranges_with_cache(
+    const model::Model& original, const blocks::Analysis& analysis,
+    const AnalysisCache* cache, unsigned flag_mask,
+    const std::string& generator_family, diag::Engine* engine,
+    support::ThreadPool* pool, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (cache == nullptr)
+    return range::determine_ranges(analysis, engine, pool);
+
+  std::string key;
+  {
+    trace::Scope span("cache_key");
+    key = cache_key(original, flag_mask, generator_family);
+  }
+  {
+    range::RangeAnalysis cached;
+    trace::Scope span("cache_lookup");
+    if (cache->lookup(key, &cached) &&
+        ranges_match_analysis(cached, analysis)) {
+      trace::count("analysis_cache_hits");
+      if (cache_hit != nullptr) *cache_hit = true;
+      return cached;
+    }
+  }
+  trace::count("analysis_cache_misses");
+
+  const int warnings_before = engine != nullptr ? engine->warning_count() : 0;
+  auto ranges = range::determine_ranges(analysis, engine, pool);
+  if (!ranges.is_ok()) return ranges;
+  // A degraded analysis (new FRODO-W002 warnings) must re-report those
+  // warnings on every compile; a cache hit would silently swallow them, so
+  // such results are never stored.
+  const int warnings_after = engine != nullptr ? engine->warning_count() : 0;
+  if (warnings_after == warnings_before) {
+    trace::Scope span("cache_store");
+    cache->store(key, ranges.value());
+    trace::count("analysis_cache_stores");
+  }
+  return ranges;
+}
+
+Result<codegen::Report> model_report(
+    const CheckedModel& checked, const std::string& generator_name,
+    const codegen::OptimizeOptions& optimize, const std::string& model_name,
+    const range::RangeAnalysis* precomputed) {
+  const std::string lower = to_lower(generator_name);
+  const bool frodo_style = lower.rfind("frodo", 0) == 0;
+
+  range::RangeAnalysis ranges;
+  if (frodo_style) {
+    if (precomputed != nullptr) {
+      ranges = *precomputed;
+    } else {
+      // Degradation warnings were already reported by the main pipeline run;
+      // recomputing with a null engine keeps them from appearing twice.
+      auto r = range::determine_ranges(checked.analysis, nullptr);
+      if (!r.is_ok()) return r.status();
+      ranges = std::move(r).value();
+    }
+    if (lower == "frodo-loose")
+      ranges = range::loosen(checked.analysis, ranges, nullptr);
+  } else {
+    ranges = range::full_ranges(checked.analysis);
+  }
+  const codegen::OptimizePlan plan = codegen::plan_optimizations(
+      checked.analysis, ranges,
+      (frodo_style && lower != "frodo-noopt")
+          ? optimize
+          : codegen::OptimizeOptions::none());
+  return codegen::build_report(checked.analysis, ranges, plan, model_name,
+                               generator_name);
+}
+
+Result<std::vector<std::string>> expand_input(const std::string& arg) {
+  using R = Result<std::vector<std::string>>;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+
+  if (fs::is_directory(arg, ec)) {
+    std::vector<std::string> paths;
+    for (const fs::directory_entry& entry : fs::directory_iterator(arg, ec)) {
+      if (ec) break;
+      if (!entry.is_regular_file(ec)) continue;
+      const std::string path = entry.path().string();
+      if (has_model_extension(path)) paths.push_back(path);
+    }
+    if (paths.empty())
+      return R::error(diag::codes::kBatchInput,
+                      "no model files (*.slx, *.slxz, *.xml) in directory '" +
+                          arg + "'");
+    std::sort(paths.begin(), paths.end());
+    return paths;
+  }
+
+  if (has_model_extension(arg)) return std::vector<std::string>{arg};
+
+  // A manifest: one model path per line, '#' comments, blank lines ignored,
+  // relative paths resolved against the manifest's directory.
+  std::ifstream in(arg, std::ios::binary);
+  if (!in)
+    return R::error(diag::codes::kBatchInput,
+                    "cannot read batch manifest '" + arg + "'");
+  const std::string base = fs::path(arg).parent_path().string();
+  std::vector<std::string> paths;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string entry{trim(line)};
+    if (entry.empty() || entry[0] == '#') continue;
+    const bool absolute = fs::path(entry).is_absolute();
+    paths.push_back(absolute || base.empty() ? entry : base + "/" + entry);
+  }
+  if (paths.empty())
+    return R::error(diag::codes::kBatchInput,
+                    "batch manifest '" + arg + "' names no models");
+  return paths;
+}
+
+namespace {
+
+// The per-model pipeline, reporting into outcome->engine.  Runs on a pool
+// worker with outcome->tracer installed as the thread's trace sink.
+int compile_one(const std::string& path, const BatchOptions& options,
+                const AnalysisCache* cache, support::ThreadPool* pool,
+                ModelOutcome* outcome) {
+  auto model = slx::load(path);
+  if (!model.is_ok()) {
+    const std::string code = model.status().code().empty()
+                                 ? std::string(diag::codes::kPkgUnreadable)
+                                 : model.status().code();
+    outcome->engine.error(
+        code, "cannot load '" + path + "': " + model.message(), path);
+    return 1;
+  }
+  outcome->model_name = model.value().name();
+
+  auto generator = codegen::make_generator(options.generator,
+                                           options.simd_width,
+                                           &options.optimize);
+  if (!generator.is_ok()) {
+    // compile_batch validated the name up front; reaching here is internal.
+    outcome->engine.error(diag::codes::kInternal, generator.message());
+    return 2;
+  }
+
+  CheckedModel checked;
+  if (!check_model(model.value(), outcome->engine, options.strict, &checked))
+    return 1;
+
+  codegen::GenerateOptions gen_options;
+  gen_options.engine = options.strict ? nullptr : &outcome->engine;
+  gen_options.profile_hooks = options.profile_hooks;
+  gen_options.pool = pool;
+
+  // frodo-family generators run Algorithm 1 — front it with the cache and
+  // hand the result to both the generator and the report.
+  range::RangeAnalysis ranges;
+  const range::RangeAnalysis* precomputed = nullptr;
+  const std::string family = to_lower(options.generator);
+  if (family.rfind("frodo", 0) == 0) {
+    outcome->cache_checked = cache != nullptr;
+    auto r = ranges_with_cache(model.value(), checked.analysis, cache,
+                               optimize_flag_mask(options.optimize), family,
+                               gen_options.engine, pool, &outcome->cache_hit);
+    if (!r.is_ok()) {
+      outcome->engine.error_from(r.status(), diag::codes::kAnalysisShape);
+      return 1;
+    }
+    ranges = std::move(r).value();
+    precomputed = &ranges;
+    gen_options.precomputed_ranges = precomputed;
+  }
+
+  auto code = generator.value()->generate(model.value(), gen_options);
+  if (!code.is_ok()) {
+    outcome->engine.error_from(code.status(), diag::codes::kCodegenEmit);
+    return 1;
+  }
+  outcome->code = std::move(code).value();
+
+  if (!options.report_format.empty()) {
+    auto report = model_report(checked, options.generator, options.optimize,
+                               outcome->model_name, precomputed);
+    if (!report.is_ok()) {
+      outcome->engine.error_from(report.status(),
+                                 diag::codes::kAnalysisShape);
+      return 1;
+    }
+    codegen::Report rendered = std::move(report).value();
+    if (outcome->cache_checked)
+      rendered.analysis_cache = outcome->cache_hit ? "hit" : "miss";
+    outcome->report = options.report_format == "json"
+                          ? codegen::render_report_json(rendered)
+                          : codegen::render_report_text(rendered);
+  }
+  return 0;
+}
+
+}  // namespace
+
+BatchResult compile_batch(const std::vector<std::string>& inputs,
+                          const BatchOptions& options) {
+  const auto batch_start = std::chrono::steady_clock::now();
+  BatchResult result;
+
+  // Reject a bad generator name once, up front, instead of N times.
+  {
+    auto probe = codegen::make_generator(options.generator,
+                                         options.simd_width,
+                                         &options.optimize);
+    if (!probe.is_ok()) {
+      result.exit_code = 2;
+      result.usage_error = probe.message();
+      return result;
+    }
+  }
+
+  const AnalysisCache cache(options.cache_dir);
+  const AnalysisCache* cache_ptr =
+      options.cache_dir.empty() ? nullptr : &cache;
+
+  result.models.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    result.models[i].input_path = inputs[i];
+    result.models[i].engine = diag::Engine(options.max_errors);
+  }
+
+  // jobs includes the calling thread; the same pool also runs the
+  // intra-model parallel passes (nested parallel_for is deadlock-free —
+  // see support/thread_pool.hpp).
+  const int jobs = options.jobs < 1 ? 1 : options.jobs;
+  support::ThreadPool pool(jobs - 1);
+  support::ThreadPool* pool_ptr = pool.worker_count() > 0 ? &pool : nullptr;
+
+  pool.parallel_for(inputs.size(), [&](std::size_t i) {
+    ModelOutcome& outcome = result.models[i];
+    outcome.tracer.set_metadata("model", outcome.input_path);
+    outcome.tracer.set_metadata("generator", options.generator);
+    trace::Tracer* previous = trace::install(&outcome.tracer);
+    const auto start = std::chrono::steady_clock::now();
+    outcome.exit_code =
+        compile_one(outcome.input_path, options, cache_ptr, pool_ptr,
+                    &outcome);
+    outcome.compile_us = elapsed_us(start);
+    trace::install(previous);
+  });
+
+  // Serial write phase, strictly in input order: deterministic "wrote" lines
+  // and first-entry-wins on output-prefix clashes regardless of --jobs.
+  if (options.write_outputs) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options.outdir, ec);
+    std::unordered_set<std::string> used_prefixes;
+    for (ModelOutcome& outcome : result.models) {
+      if (outcome.exit_code != 0) continue;
+      if (!used_prefixes.insert(outcome.code.prefix).second) {
+        outcome.engine.error(
+            diag::codes::kBatchOutputClash,
+            "output prefix '" + outcome.code.prefix +
+                "' already written by an earlier batch entry; not writing",
+            outcome.input_path);
+        outcome.exit_code = 1;
+        continue;
+      }
+      const std::string base = options.outdir + "/" + outcome.code.prefix;
+      const std::pair<std::string, std::string> parts[] = {
+          {base + ".c", outcome.code.source},
+          {base + ".h", outcome.code.header}};
+      for (const auto& [path, text] : parts) {
+        auto status = zip::write_file(path, text);
+        if (!status.is_ok()) {
+          outcome.engine.error(diag::codes::kIoWrite, status.message(), path);
+          outcome.exit_code = 2;
+          break;
+        }
+        outcome.written.push_back(path);
+      }
+    }
+  }
+
+  for (const ModelOutcome& outcome : result.models) {
+    result.exit_code = std::max(result.exit_code, outcome.exit_code);
+    if (outcome.cache_checked) {
+      if (outcome.cache_hit)
+        ++result.cache_hits;
+      else
+        ++result.cache_misses;
+    }
+  }
+  result.wall_us = elapsed_us(batch_start);
+  return result;
+}
+
+std::string render_batch_report(const BatchResult& result,
+                                const BatchOptions& options) {
+  long long ok = 0;
+  for (const ModelOutcome& outcome : result.models)
+    if (outcome.exit_code == 0) ++ok;
+  const long long failed =
+      static_cast<long long>(result.models.size()) - ok;
+  const bool cache_enabled = !options.cache_dir.empty();
+
+  if (options.report_format == "json") {
+    auto q = [](std::string_view s) {
+      return "\"" + diag::json_escape(s) + "\"";
+    };
+    // All wall-clock numbers live on the single "timing" line so tooling can
+    // compare two runs modulo timing by dropping that one line.
+    std::string out = "{\n";
+    out += "\"batch\": {\"models\": " + std::to_string(result.models.size()) +
+           ", \"ok\": " + std::to_string(ok) +
+           ", \"failed\": " + std::to_string(failed) +
+           ", \"jobs\": " + std::to_string(options.jobs) +
+           ", \"generator\": " + q(options.generator) +
+           ", \"cache\": {\"enabled\": " +
+           (cache_enabled ? "true" : "false") +
+           ", \"hits\": " + std::to_string(result.cache_hits) +
+           ", \"misses\": " + std::to_string(result.cache_misses) + "}},\n";
+    {
+      std::string timing =
+          "\"timing\": {\"wall_us\": " + std::to_string(result.wall_us);
+      const double secs =
+          static_cast<double>(result.wall_us) / 1'000'000.0;
+      const double rate = secs > 0.0
+                              ? static_cast<double>(result.models.size()) /
+                                    secs
+                              : 0.0;
+      char rate_text[32];
+      std::snprintf(rate_text, sizeof rate_text, "%.2f", rate);
+      timing += std::string(", \"models_per_sec\": ") + rate_text;
+      timing += ", \"per_model_us\": [";
+      for (std::size_t i = 0; i < result.models.size(); ++i) {
+        if (i > 0) timing += ", ";
+        timing += std::to_string(result.models[i].compile_us);
+      }
+      timing += "]},\n";
+      out += timing;
+    }
+    out += "\"models\": [\n";
+    for (std::size_t i = 0; i < result.models.size(); ++i) {
+      const ModelOutcome& m = result.models[i];
+      out += "{\"path\": " + q(m.input_path) + ", \"name\": " +
+             q(m.model_name) +
+             ", \"exit_code\": " + std::to_string(m.exit_code) +
+             ", \"cache\": " +
+             q(!m.cache_checked ? "off" : m.cache_hit ? "hit" : "miss") +
+             ", \"errors\": " + std::to_string(m.engine.error_count()) +
+             ", \"warnings\": " + std::to_string(m.engine.warning_count()) +
+             "}";
+      out += i + 1 < result.models.size() ? ",\n" : "\n";
+    }
+    out += "]";
+    // Per-model redundancy reports, as produced by `--report json` for a
+    // single model, in batch order (null for failed entries).
+    out += ",\n\"reports\": [\n";
+    for (std::size_t i = 0; i < result.models.size(); ++i) {
+      const ModelOutcome& m = result.models[i];
+      if (m.report.empty()) {
+        out += "null";
+      } else {
+        std::string doc = m.report;
+        while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+        out += doc;
+      }
+      out += i + 1 < result.models.size() ? ",\n" : "\n";
+    }
+    out += "]\n}\n";
+    return out;
+  }
+
+  // Text: per-model reports first (batch order), then the summary footer.
+  std::string out;
+  for (const ModelOutcome& m : result.models) {
+    if (m.report.empty()) continue;
+    out += "== " + m.input_path + " ==\n";
+    out += m.report;
+  }
+  out += "batch: " + std::to_string(result.models.size()) + " models, " +
+         std::to_string(ok) + " ok, " + std::to_string(failed) + " failed";
+  if (cache_enabled)
+    out += ", cache " + std::to_string(result.cache_hits) + " hits / " +
+           std::to_string(result.cache_misses) + " misses";
+  out += "\n";
+  return out;
+}
+
+}  // namespace frodo::batch

@@ -1,0 +1,141 @@
+// Batch compilation engine — many models, one process, N workers.
+//
+// `frodoc --batch` compiles a directory or manifest of model packages
+// concurrently on a work-stealing pool (support/thread_pool.hpp).  The
+// parallelism never leaks into the observable output:
+//
+//   * one pipeline per model, with diagnostics accumulated in a per-model
+//     diag::Engine and spans/counters in a per-model (thread-installed)
+//     trace::Tracer — workers never interleave output;
+//   * results are merged and rendered strictly in manifest order, and output
+//     files are written serially in that order, so a `--jobs 8` run is
+//     byte-identical to `--jobs 1` (modulo timing fields);
+//   * the same pool runs the intra-model parallel passes (Algorithm 1
+//     component partitioning, snippet-emission units), which are themselves
+//     deterministic by construction.
+//
+// The cache-aware Algorithm 1 front end (`ranges_with_cache`) and the
+// checked-model pipeline (`check_model`) are shared with the single-model
+// CLI path, so `frodoc model.slxz` and a one-entry batch agree exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/cache.hpp"
+#include "blocks/analysis.hpp"
+#include "codegen/generator.hpp"
+#include "codegen/optimize.hpp"
+#include "codegen/report.hpp"
+#include "graph/graph.hpp"
+#include "model/model.hpp"
+#include "support/diag.hpp"
+#include "support/status.hpp"
+#include "support/trace.hpp"
+
+namespace frodo::support {
+class ThreadPool;
+}  // namespace frodo::support
+
+namespace frodo::batch {
+
+// Internally self-referential (graph points into flat, analysis into
+// graph): keep the instance where it was filled in, never move or copy it.
+struct CheckedModel {
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  blocks::IoSignature sig;
+};
+
+// Validator + analysis pipeline, reporting every problem into `engine`.
+// Returns false when errors were reported.
+bool check_model(const model::Model& m, diag::Engine& engine, bool strict,
+                 CheckedModel* out);
+
+// The optimizer flag bit mask that participates in the cache key.
+unsigned optimize_flag_mask(const codegen::OptimizeOptions& optimize);
+
+// Algorithm 1 behind the analysis cache.  On a hit the ranges come from the
+// cache and no range_analysis pass runs (zero trace spans); on a miss they
+// are computed (optionally partitioned across `pool`) and stored — unless
+// the analysis degraded with warnings, which must be re-reported on every
+// compile and therefore make the entry uncacheable.  `cache` may be null
+// (cache disabled).  Counters: analysis_cache_{hit,miss,store}.
+Result<range::RangeAnalysis> ranges_with_cache(
+    const model::Model& original, const blocks::Analysis& analysis,
+    const AnalysisCache* cache, unsigned flag_mask,
+    const std::string& generator_family, diag::Engine* engine,
+    support::ThreadPool* pool, bool* cache_hit);
+
+// The redundancy-elimination report for a checked model, mirroring the
+// ranges/plan the selected generator actually uses.  `precomputed` (e.g. the
+// ranges the generate step already used, possibly from the cache) skips the
+// recomputation of Algorithm 1; pass null to recompute.
+Result<codegen::Report> model_report(
+    const CheckedModel& checked, const std::string& generator_name,
+    const codegen::OptimizeOptions& optimize, const std::string& model_name,
+    const range::RangeAnalysis* precomputed);
+
+struct BatchOptions {
+  std::string generator = "frodo";
+  std::string outdir = ".";
+  codegen::OptimizeOptions optimize;
+  int simd_width = 4;
+  bool strict = false;
+  int max_errors = diag::Engine::kDefaultMaxErrors;
+  bool profile_hooks = false;
+  // Total concurrent compiles (the calling thread participates, so the pool
+  // gets jobs-1 workers); 1 = fully serial.
+  int jobs = 1;
+  // Analysis cache directory; empty = cache disabled.
+  std::string cache_dir;
+  // "", "text" or "json" — per-model redundancy reports collected into
+  // ModelOutcome::report.
+  std::string report_format;
+  // The bench harness measures pure compile throughput without file I/O.
+  bool write_outputs = true;
+};
+
+struct ModelOutcome {
+  std::string input_path;
+  std::string model_name;  // empty when the package did not load
+  int exit_code = 0;       // 0 ok, 1 diagnosable input, 2 internal
+  bool cache_checked = false;
+  bool cache_hit = false;
+  codegen::GeneratedCode code;  // valid when exit_code == 0
+  std::vector<std::string> written;
+  std::string report;  // rendered per-model report ("" when off)
+  diag::Engine engine;
+  trace::Tracer tracer;  // this model's private spans + counters
+  long long compile_us = 0;
+};
+
+struct BatchResult {
+  std::vector<ModelOutcome> models;  // in input (manifest) order
+  int exit_code = 0;                 // max over models; 2 on usage errors
+  std::string usage_error;           // non-empty when exit_code forced to 2
+  long long wall_us = 0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+};
+
+// Expands one --batch positional into model paths:
+//   * directory — every *.slx / *.slxz / *.xml inside, sorted by name;
+//   * model file (by extension) — itself;
+//   * anything else — a manifest: one path per line ('#' comments and blank
+//     lines ignored), relative paths resolved against the manifest's
+//     directory.
+// FRODO-E904 when nothing usable is found.
+Result<std::vector<std::string>> expand_input(const std::string& arg);
+
+BatchResult compile_batch(const std::vector<std::string>& inputs,
+                          const BatchOptions& options);
+
+// The batch-level summary + per-model reports ("json" renders one combined
+// document; timing fields are confined to the "timing" line so tooling can
+// compare runs modulo timing).
+std::string render_batch_report(const BatchResult& result,
+                                const BatchOptions& options);
+
+}  // namespace frodo::batch

@@ -1,0 +1,204 @@
+#include "batch/cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "blocks/semantics.hpp"
+#include "slx/slx.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+#include "support/version.hpp"
+
+namespace frodo::batch {
+
+namespace {
+
+constexpr char kFormatTag[] = "frodo-ranges 1";
+
+std::string intervals_text(const mapping::IndexSet& set) {
+  if (set.is_empty()) return "-";
+  std::string out;
+  for (const mapping::Interval& iv : set.intervals()) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(iv.lo) + ":" + std::to_string(iv.hi);
+  }
+  return out;
+}
+
+bool parse_intervals(std::string_view text, mapping::IndexSet* out) {
+  *out = mapping::IndexSet::empty();
+  if (text == "-") return true;
+  for (const std::string& part : split(std::string(text), ',')) {
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    long long lo = 0;
+    long long hi = 0;
+    if (!parse_int(part.substr(0, colon), &lo) ||
+        !parse_int(part.substr(colon + 1), &hi) || lo > hi)
+      return false;
+    out->insert(lo, hi);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string cache_key(const model::Model& model, unsigned flag_mask,
+                      std::string_view generator) {
+  // Everything the computed ranges (and their consumers' configuration) can
+  // depend on goes into the digest; '\n' separators keep fields from
+  // concatenating ambiguously.
+  std::string content = slx::to_xml(model);
+  content += "\nlibrary:";
+  content += version_string();
+  for (const std::string& type : blocks::registered_types()) {
+    content += ",";
+    content += type;
+  }
+  content += "\nflags:" + std::to_string(flag_mask);
+  content += "\ngenerator:";
+  content += generator;
+  return support::sha256_hex(content);
+}
+
+std::string serialize_ranges(const range::RangeAnalysis& ranges) {
+  std::string out = kFormatTag;
+  out += "\nblocks " + std::to_string(ranges.out_ranges.size());
+  out += "\ncyclic";
+  for (std::size_t id = 0; id < ranges.cyclic.size(); ++id) {
+    if (ranges.cyclic[id]) out += " " + std::to_string(id);
+  }
+  for (std::size_t id = 0; id < ranges.out_ranges.size(); ++id) {
+    out += "\nblock " + std::to_string(id) + " out " +
+           std::to_string(ranges.out_ranges[id].size()) + " in " +
+           std::to_string(ranges.in_ranges[id].size());
+    for (const mapping::IndexSet& set : ranges.out_ranges[id])
+      out += "\no " + intervals_text(set);
+    for (const mapping::IndexSet& set : ranges.in_ranges[id])
+      out += "\ni " + intervals_text(set);
+  }
+  out += "\nend\n";
+  return out;
+}
+
+Result<range::RangeAnalysis> deserialize_ranges(std::string_view text) {
+  using R = Result<range::RangeAnalysis>;
+  std::vector<std::string> lines = split(std::string(text), '\n');
+  std::size_t at = 0;
+  auto next = [&]() -> std::string {
+    return at < lines.size() ? lines[at++] : std::string();
+  };
+  if (next() != kFormatTag) return R::error("bad cache entry format tag");
+
+  const std::string blocks_line = next();
+  long long n = 0;
+  if (blocks_line.rfind("blocks ", 0) != 0 ||
+      !parse_int(blocks_line.substr(7), &n) || n < 0)
+    return R::error("bad cache entry block count");
+
+  range::RangeAnalysis ranges;
+  ranges.cyclic.assign(static_cast<std::size_t>(n), false);
+  ranges.out_ranges.resize(static_cast<std::size_t>(n));
+  ranges.in_ranges.resize(static_cast<std::size_t>(n));
+
+  const std::string cyclic_line = next();
+  if (cyclic_line.rfind("cyclic", 0) != 0)
+    return R::error("bad cache entry cyclic line");
+  for (const std::string& tok : split(trim(cyclic_line.substr(6)), ' ')) {
+    if (tok.empty()) continue;
+    long long id = 0;
+    if (!parse_int(tok, &id) || id < 0 || id >= n)
+      return R::error("bad cache entry cyclic id");
+    ranges.cyclic[static_cast<std::size_t>(id)] = true;
+  }
+
+  for (long long id = 0; id < n; ++id) {
+    const std::vector<std::string> header = split(trim(next()), ' ');
+    long long hdr_id = 0;
+    long long outs = 0;
+    long long ins = 0;
+    if (header.size() != 6 || header[0] != "block" || header[2] != "out" ||
+        header[4] != "in" || !parse_int(header[1], &hdr_id) ||
+        hdr_id != id || !parse_int(header[3], &outs) || outs < 0 ||
+        !parse_int(header[5], &ins) || ins < 0)
+      return R::error("bad cache entry block header");
+    auto& out_row = ranges.out_ranges[static_cast<std::size_t>(id)];
+    auto& in_row = ranges.in_ranges[static_cast<std::size_t>(id)];
+    for (long long p = 0; p < outs; ++p) {
+      const std::string line = next();
+      mapping::IndexSet set = mapping::IndexSet::empty();
+      if (line.rfind("o ", 0) != 0 || !parse_intervals(line.substr(2), &set))
+        return R::error("bad cache entry output range");
+      out_row.push_back(std::move(set));
+    }
+    for (long long p = 0; p < ins; ++p) {
+      const std::string line = next();
+      mapping::IndexSet set = mapping::IndexSet::empty();
+      if (line.rfind("i ", 0) != 0 || !parse_intervals(line.substr(2), &set))
+        return R::error("bad cache entry input range");
+      in_row.push_back(std::move(set));
+    }
+  }
+  if (next() != "end") return R::error("bad cache entry trailer");
+  return ranges;
+}
+
+std::string AnalysisCache::entry_path(const std::string& key) const {
+  return dir_ + "/" + key + ".ranges";
+}
+
+bool AnalysisCache::lookup(const std::string& key,
+                           range::RangeAnalysis* out) const {
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto ranges = deserialize_ranges(text.str());
+  if (!ranges.is_ok()) return false;
+  *out = std::move(ranges).value();
+  return true;
+}
+
+void AnalysisCache::store(const std::string& key,
+                          const range::RangeAnalysis& ranges) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const std::string final_path = entry_path(key);
+  // PID-unique temp + rename: concurrent writers of the same key race to an
+  // identical final content, so last-rename-wins is harmless.
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << serialize_ranges(ranges);
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+bool ranges_match_analysis(const range::RangeAnalysis& ranges,
+                           const blocks::Analysis& analysis) {
+  const std::size_t n =
+      static_cast<std::size_t>(analysis.graph->block_count());
+  if (ranges.out_ranges.size() != n || ranges.in_ranges.size() != n ||
+      ranges.cyclic.size() != n)
+    return false;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (ranges.out_ranges[id].size() != analysis.out_shapes[id].size())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace frodo::batch

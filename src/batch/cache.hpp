@@ -1,0 +1,69 @@
+// Content-addressed analysis cache.
+//
+// Range analysis (Algorithm 1) is the one pipeline pass whose cost grows
+// with both model size and mapping complexity, and CI / fuzz / bench runs
+// recompile the same models over and over.  The cache keys the *content*
+// that determines the analysis result:
+//
+//   key = sha256( canonical model XML
+//               ‖ block-library fingerprint (version + registered types)
+//               ‖ optimizer flag mask ‖ generator family )
+//
+// and stores the serialized per-block calculation ranges.  Content
+// addressing is the whole invalidation story: editing the model, upgrading
+// the tool, registering new block types or flipping optimizer flags all
+// change the key, so entries never go stale — they just stop being found
+// (docs/BATCH.md).  Cache I/O failures are soft: an unreadable or corrupt
+// entry is a miss, a failed store is ignored, and the compile proceeds.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "model/model.hpp"
+#include "range/range_analysis.hpp"
+#include "support/status.hpp"
+
+namespace frodo::batch {
+
+// The cache key for `model` under the given configuration.  `flag_mask` is
+// the optimizer flag bit set (fuse=1, shrink=2, alias=4) — the mask does not
+// change the ranges themselves, but keying on it keeps one entry per build
+// configuration and makes hits trivially auditable.  `generator` is the
+// generator family name.
+std::string cache_key(const model::Model& model, unsigned flag_mask,
+                      std::string_view generator);
+
+// Text serialization of a RangeAnalysis (stable, versioned).
+std::string serialize_ranges(const range::RangeAnalysis& ranges);
+Result<range::RangeAnalysis> deserialize_ranges(std::string_view text);
+
+// Filesystem-backed store: one file per key under `dir`, written atomically
+// (temp file + rename) so concurrent batch workers and parallel CI jobs can
+// share a cache directory.
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+  std::string entry_path(const std::string& key) const;
+
+  // True on a hit, with the deserialized ranges in `out`.  Corrupt or
+  // unreadable entries are misses.
+  bool lookup(const std::string& key, range::RangeAnalysis* out) const;
+
+  // Best-effort atomic store; creates `dir` on demand.
+  void store(const std::string& key,
+             const range::RangeAnalysis& ranges) const;
+
+ private:
+  std::string dir_;
+};
+
+// Consistency check before trusting a deserialized entry: the per-block
+// port counts must match the model analysis (they always do when the key
+// matched — this guards against hand-edited or truncated cache files).
+bool ranges_match_analysis(const range::RangeAnalysis& ranges,
+                           const blocks::Analysis& analysis);
+
+}  // namespace frodo::batch

@@ -28,7 +28,8 @@ void usage() {
                "  --workdir DIR    JIT scratch dir (default "
                "/tmp/frodo_fuzz_work)\n"
                "  --cc BIN         C compiler for the JIT (default gcc)\n"
-               "  --verbose        per-seed progress on stderr\n");
+               "  --verbose        per-seed progress on stderr\n"
+               "env: FRODO_FUZZ_SEEDS overrides --seeds (CI budget knob)\n");
 }
 
 bool parse_int(const char* text, long long* out) {
@@ -103,6 +104,14 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  // CI bounds every fuzz entry point — this CLI and the in-process gtest
+  // campaign alike — through one environment knob.
+  if (const char* env_seeds = std::getenv("FRODO_FUZZ_SEEDS")) {
+    long long n = 0;
+    if (parse_int(env_seeds, &n) && n >= 0)
+      options.seeds = static_cast<int>(n);
   }
 
   const frodo::fuzz::CampaignResult result =

@@ -1,6 +1,7 @@
 // frodoc — the command-line code generator.
 //
 //   frodoc MODEL.(slxz|xml) [options]
+//   frodoc --batch INPUT... [options]
 //
 // Options:
 //   --generator NAME   frodo (default) | frodo-noopt | frodo-loose |
@@ -10,6 +11,14 @@
 //   --[no-]fuse               elementwise loop fusion (frodo; default on)
 //   --[no-]shrink-buffers     range-hull buffer shrinking (frodo; default on)
 //   --[no-]alias-truncation   zero-copy slice aliases (frodo; default on)
+//   --batch            compile many models in one run; each INPUT is a model
+//                      file, a directory of models, or a manifest listing one
+//                      model path per line (docs/BATCH.md)
+//   --jobs N           concurrent compiles / intra-model workers (default 1;
+//                      output is byte-identical for every N)
+//   --cache-dir DIR    content-addressed analysis cache: reuse Algorithm 1
+//                      results across runs keyed by model + library + flags
+//   --no-cache         ignore --cache-dir (scripting convenience)
 //   --print-ranges     dump the calculation ranges (Algorithm 1); composes
 //                      with --report (ranges first, then the report), then
 //                      exits without generating code
@@ -33,7 +42,8 @@
 //   --help             this text
 //
 // Exit codes: 0 = success, 1 = the input has diagnosable problems,
-// 2 = usage error or internal/environment failure.
+// 2 = usage error or internal/environment failure.  A batch run exits with
+// the worst per-model code.
 //
 // Writes <Model>.c and <Model>.h into the output directory.
 #include <cctype>
@@ -41,18 +51,18 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "batch/batch.hpp"
 #include "blocks/analysis.hpp"
 #include "blocks/semantics.hpp"
 #include "codegen/generator.hpp"
 #include "codegen/report.hpp"
-#include "graph/graph.hpp"
-#include "model/flatten.hpp"
-#include "model/validate.hpp"
 #include "range/range_analysis.hpp"
 #include "slx/slx.hpp"
 #include "support/diag.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 #include "support/version.hpp"
 #include "zip/zip.hpp"
@@ -66,6 +76,7 @@ int usage(int code) {
                "usage: frodoc MODEL.(slxz|xml) [--generator NAME] "
                "[--out DIR] [--emit-main] [--[no-]fuse] "
                "[--[no-]shrink-buffers] [--[no-]alias-truncation] "
+               "[--batch] [--jobs N] [--cache-dir DIR] [--no-cache] "
                "[--print-ranges] [--report text|json] [--trace-out FILE] "
                "[--profile-hooks] [-v|--verbose] [--check] "
                "[--strict] [--max-errors N] [--diag-format text|json] "
@@ -91,116 +102,45 @@ void flush_diagnostics(const diag::Engine& engine, const std::string& format) {
   if (!text.empty()) std::fprintf(stderr, "%s", text.c_str());
 }
 
-// Internally self-referential (graph points into flat, analysis into
-// graph): keep the instance where it was filled in, never move or copy it.
-struct CheckedModel {
-  frodo::model::Model flat;
-  frodo::graph::DataflowGraph graph;
-  frodo::blocks::Analysis analysis;
-  frodo::blocks::IoSignature sig;
-};
-
-// Validator + analysis pipeline, reporting every problem into `engine`.
-// Returns false when errors were reported.
-bool check_into(const frodo::model::Model& m, diag::Engine& engine,
-                bool strict, CheckedModel* out) {
-  frodo::model::ValidateOptions vopts;
-  vopts.oracle = &frodo::blocks::validation_oracle();
-  vopts.strict = strict;
-  {
-    frodo::trace::Scope span("validate");
-    if (!frodo::model::validate(m, engine, vopts)) return false;
-  }
-
-  CheckedModel local;
-  CheckedModel& cm = out != nullptr ? *out : local;
-  {
-    auto flat = frodo::model::flatten(m);
-    if (!flat.is_ok()) {
-      engine.error_from(flat.status(), diag::codes::kInternal);
-      return false;
+// Per-model batch diagnostics: text gets a "== path ==" header per model
+// that produced any; JSON gets one document per model (JSON-lines), each
+// tagged with the input path.  Always in batch (manifest) order.
+void flush_batch_diagnostics(const frodo::batch::BatchResult& result,
+                             const std::string& format) {
+  for (const frodo::batch::ModelOutcome& outcome : result.models) {
+    if (format == "json") {
+      const std::string doc = outcome.engine.render_json();
+      std::fprintf(stderr, "{\"model\": \"%s\", %s\n",
+                   diag::json_escape(outcome.input_path).c_str(),
+                   doc.c_str() + 1);
+      continue;
     }
-    cm.flat = std::move(flat).value();
+    const std::string text = outcome.engine.render_text();
+    if (!text.empty())
+      std::fprintf(stderr, "== %s ==\n%s", outcome.input_path.c_str(),
+                   text.c_str());
   }
-  {
-    auto graph = frodo::graph::DataflowGraph::build(cm.flat);
-    if (!graph.is_ok()) {
-      engine.error_from(graph.status(), diag::codes::kInternal);
-      return false;
-    }
-    cm.graph = std::move(graph).value();
-  }
-  frodo::blocks::AnalyzeOptions aopts;
-  aopts.engine = &engine;
-  aopts.degrade_unknown = !strict;
-  {
-    auto analysis = frodo::blocks::analyze(cm.graph, aopts);
-    if (!analysis.is_ok()) {
-      engine.error_from(analysis.status(), diag::codes::kAnalysisShape);
-      return false;
-    }
-    cm.analysis = std::move(analysis).value();
-  }
-  {
-    auto sig = frodo::blocks::io_signature(cm.analysis);
-    if (!sig.is_ok()) {
-      engine.error_from(sig.status(), diag::codes::kModelPortNumbering);
-      return false;
-    }
-    cm.sig = std::move(sig).value();
-  }
-  return true;
-}
-
-// The report mirrors the ranges/plan the selected generator actually uses:
-// frodo variants run Algorithm 1 (frodo-loose widens, frodo-noopt plans no
-// passes); the baselines compute every element, so their report shows zero
-// elimination.
-frodo::Result<frodo::codegen::Report> compute_report(
-    const CheckedModel& checked, const std::string& generator_name,
-    const frodo::codegen::OptimizeOptions& optimize,
-    const std::string& model_name) {
-  std::string lower;
-  for (char c : generator_name)
-    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  const bool frodo_style = lower.rfind("frodo", 0) == 0;
-
-  frodo::range::RangeAnalysis ranges;
-  if (frodo_style) {
-    // Degradation warnings were already reported by the main pipeline run;
-    // recomputing with a null engine keeps them from appearing twice.
-    auto r = frodo::range::determine_ranges(checked.analysis, nullptr);
-    if (!r.is_ok()) return r.status();
-    ranges = std::move(r).value();
-    if (lower == "frodo-loose")
-      ranges = frodo::range::loosen(checked.analysis, ranges, nullptr);
-  } else {
-    ranges = frodo::range::full_ranges(checked.analysis);
-  }
-  const frodo::codegen::OptimizePlan plan = frodo::codegen::plan_optimizations(
-      checked.analysis, ranges,
-      (frodo_style && lower != "frodo-noopt")
-          ? optimize
-          : frodo::codegen::OptimizeOptions::none());
-  return frodo::codegen::build_report(checked.analysis, ranges, plan,
-                                      model_name, generator_name);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string model_path;
+  std::vector<std::string> inputs;
   std::string generator_name = "frodo";
   std::string outdir = ".";
   std::string diag_format = "text";
   std::string report_format;  // empty = no report
   std::string trace_out;      // empty = no trace file
+  std::string cache_dir;      // empty = analysis cache off
+  bool no_cache = false;
+  bool batch_mode = false;
   bool verbose = false;
   bool profile_hooks = false;
   bool emit_main = false;
   bool want_ranges = false;
   bool want_check = false;
   bool strict = false;
+  int jobs = 1;
   int simd_width = 4;
   int max_errors = frodo::diag::Engine::kDefaultMaxErrors;
   frodo::codegen::OptimizeOptions optimize;  // all passes on by default
@@ -243,6 +183,14 @@ int main(int argc, char** argv) {
       long long n = 0;
       if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) return usage(2);
       simd_width = static_cast<int>(n);
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr, "frodoc: --jobs expects a positive integer\n");
+        return usage(2);
+      }
+      jobs = static_cast<int>(n);
     } else if (arg == "--max-errors") {
       const char* v = value();
       long long n = 0;
@@ -263,6 +211,17 @@ int main(int argc, char** argv) {
       diag_format = v;
     } else if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--batch") {
+      batch_mode = true;
+    } else if (arg == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodoc: --cache-dir expects a directory\n");
+        return usage(2);
+      }
+      cache_dir = v;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg == "--fuse") {
       optimize.fuse = true;
     } else if (arg == "--no-fuse") {
@@ -303,29 +262,114 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "frodoc: unknown option '%s'\n", arg.c_str());
       return usage(2);
-    } else if (model_path.empty()) {
-      model_path = arg;
     } else {
-      return usage(2);
+      inputs.push_back(arg);
     }
   }
-  if (model_path.empty()) return usage(2);
+  if (inputs.empty()) return usage(2);
+  if (batch_mode && (want_check || want_ranges || emit_main)) {
+    std::fprintf(stderr,
+                 "frodoc: --batch does not compose with --check, "
+                 "--print-ranges or --emit-main\n");
+    return usage(2);
+  }
 
   frodo::diag::Engine engine(max_errors);
 
+  // Extra positionals without --batch would silently compile only the first
+  // model — reject them up front (FRODO-E903).
+  if (!batch_mode && inputs.size() > 1) {
+    for (std::size_t i = 1; i < inputs.size(); ++i)
+      engine.error(diag::codes::kUsageExtraInput,
+                   "unexpected extra input '" + inputs[i] +
+                       "' (pass --batch to compile several models)",
+                   inputs[i]);
+    flush_diagnostics(engine, diag_format);
+    return 2;
+  }
+
+  const bool cache_enabled = !cache_dir.empty() && !no_cache;
+
   // The tracer must be installed before slx::load so the "parse" span is
   // captured; the epilogue below uninstalls it, writes --trace-out, and
-  // prints the -v summary.
+  // prints the -v summary.  In batch mode each model compiles under its own
+  // tracer; those are absorbed into this one afterwards.
   frodo::trace::Tracer tracer;
-  if (!trace_out.empty() || verbose) {
-    tracer.set_metadata("model", model_path);
+  const bool tracing = !trace_out.empty() || verbose;
+  if (tracing) {
+    tracer.set_metadata("model", inputs[0]);
     tracer.set_metadata("generator", generator_name);
     frodo::trace::install(&tracer);
   }
 
+  // Workers beyond the calling thread, shared by batch-level and intra-model
+  // parallelism; 0 workers = fully serial.
+  frodo::support::ThreadPool pool(jobs - 1);
+  frodo::support::ThreadPool* pool_ptr =
+      pool.worker_count() > 0 ? &pool : nullptr;
+
   // The full pipeline, with diagnostics accumulated into `engine` and
   // flushed exactly once by the epilogue.
   auto run = [&]() -> int {
+    if (batch_mode) {
+      std::vector<std::string> models;
+      for (const std::string& input : inputs) {
+        auto expanded = frodo::batch::expand_input(input);
+        if (!expanded.is_ok()) {
+          engine.error_from(expanded.status(), diag::codes::kBatchInput,
+                            input);
+          return 2;
+        }
+        for (std::string& path : expanded.value())
+          models.push_back(std::move(path));
+      }
+
+      frodo::batch::BatchOptions bopts;
+      bopts.generator = generator_name;
+      bopts.outdir = outdir;
+      bopts.optimize = optimize;
+      bopts.simd_width = simd_width;
+      bopts.strict = strict;
+      bopts.max_errors = max_errors;
+      bopts.profile_hooks = profile_hooks;
+      bopts.jobs = jobs;
+      bopts.cache_dir = cache_enabled ? cache_dir : std::string();
+      bopts.report_format = report_format;
+
+      frodo::batch::BatchResult result =
+          frodo::batch::compile_batch(models, bopts);
+      if (!result.usage_error.empty()) {
+        std::fprintf(stderr, "frodoc: %s\n", result.usage_error.c_str());
+        return 2;
+      }
+
+      // stdout strictly in batch order: "wrote" lines + per-model summary,
+      // then the batch report/summary.
+      for (const frodo::batch::ModelOutcome& outcome : result.models) {
+        for (const std::string& path : outcome.written)
+          std::printf("wrote %s\n", path.c_str());
+        if (outcome.exit_code == 0)
+          std::printf("%s: %d lines, %lld static doubles (%s)\n",
+                      outcome.code.model_name.c_str(),
+                      outcome.code.source_lines, outcome.code.static_doubles,
+                      outcome.code.generator.c_str());
+      }
+      std::printf("%s",
+                  frodo::batch::render_batch_report(result, bopts).c_str());
+
+      flush_batch_diagnostics(result, diag_format);
+      if (tracing) {
+        for (const frodo::batch::ModelOutcome& outcome : result.models) {
+          const std::string& label = outcome.model_name.empty()
+                                         ? outcome.input_path
+                                         : outcome.model_name;
+          tracer.absorb(outcome.tracer, label + "/");
+        }
+      }
+      return result.exit_code;
+    }
+
+    const std::string& model_path = inputs[0];
     auto model = frodo::slx::load(model_path);
     if (!model.is_ok()) {
       const std::string code = model.status().code().empty()
@@ -338,8 +382,9 @@ int main(int argc, char** argv) {
     }
 
     if (want_check || want_ranges) {
-      CheckedModel checked;
-      if (!check_into(model.value(), engine, strict, &checked)) return 1;
+      frodo::batch::CheckedModel checked;
+      if (!frodo::batch::check_model(model.value(), engine, strict, &checked))
+        return 1;
       if (want_check) {
         std::printf("%s: OK (%d blocks, %zu inputs, %zu outputs)\n",
                     model.value().name().c_str(), checked.flat.block_count(),
@@ -347,7 +392,7 @@ int main(int argc, char** argv) {
         return 0;
       }
       auto ranges = frodo::range::determine_ranges(
-          checked.analysis, strict ? nullptr : &engine);
+          checked.analysis, strict ? nullptr : &engine, pool_ptr);
       if (!ranges.is_ok()) {
         engine.error_from(ranges.status(), diag::codes::kAnalysisShape);
         return 1;
@@ -358,8 +403,10 @@ int main(int argc, char** argv) {
       // --print-ranges --report: ranges first, then the report, then exit
       // without generating code.
       if (!report_format.empty()) {
-        auto report = compute_report(checked, generator_name, optimize,
-                                     model.value().name());
+        auto report = frodo::batch::model_report(checked, generator_name,
+                                                 optimize,
+                                                 model.value().name(),
+                                                 &ranges.value());
         if (!report.is_ok()) {
           engine.error_from(report.status(), diag::codes::kAnalysisShape);
           return 1;
@@ -382,12 +429,41 @@ int main(int argc, char** argv) {
     }
 
     // Surface every model problem in one run before generating.
-    CheckedModel checked;
-    if (!check_into(model.value(), engine, strict, &checked)) return 1;
+    frodo::batch::CheckedModel checked;
+    if (!frodo::batch::check_model(model.value(), engine, strict, &checked))
+      return 1;
 
     frodo::codegen::GenerateOptions gen_options;
     gen_options.engine = strict ? nullptr : &engine;
     gen_options.profile_hooks = profile_hooks;
+    gen_options.pool = pool_ptr;
+
+    // frodo-family generators run Algorithm 1 — with a cache directory the
+    // ranges come through it (and a hit skips range analysis entirely).
+    std::string family;
+    for (char c : generator_name)
+      family +=
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    frodo::range::RangeAnalysis ranges;
+    const frodo::range::RangeAnalysis* precomputed = nullptr;
+    bool cache_hit = false;
+    const bool cache_used =
+        cache_enabled && family.rfind("frodo", 0) == 0;
+    if (cache_used) {
+      const frodo::batch::AnalysisCache cache(cache_dir);
+      auto r = frodo::batch::ranges_with_cache(
+          model.value(), checked.analysis, &cache,
+          frodo::batch::optimize_flag_mask(optimize), family,
+          gen_options.engine, pool_ptr, &cache_hit);
+      if (!r.is_ok()) {
+        engine.error_from(r.status(), diag::codes::kAnalysisShape);
+        return 1;
+      }
+      ranges = std::move(r).value();
+      precomputed = &ranges;
+      gen_options.precomputed_ranges = precomputed;
+    }
+
     auto code = generator.value()->generate(model.value(), gen_options);
     if (!code.is_ok()) {
       engine.error_from(code.status(), diag::codes::kCodegenEmit);
@@ -430,18 +506,20 @@ int main(int argc, char** argv) {
     // The report goes last on stdout so tooling can take everything after
     // the final "wrote ..." line.
     if (!report_format.empty()) {
-      auto report = compute_report(checked, generator_name, optimize,
-                                   model.value().name());
+      auto report = frodo::batch::model_report(checked, generator_name,
+                                               optimize,
+                                               model.value().name(),
+                                               precomputed);
       if (!report.is_ok()) {
         engine.error_from(report.status(), diag::codes::kAnalysisShape);
         return 1;
       }
+      frodo::codegen::Report rendered = std::move(report).value();
+      if (cache_used) rendered.analysis_cache = cache_hit ? "hit" : "miss";
       std::printf("%s",
                   report_format == "json"
-                      ? frodo::codegen::render_report_json(report.value())
-                            .c_str()
-                      : frodo::codegen::render_report_text(report.value())
-                            .c_str());
+                      ? frodo::codegen::render_report_json(rendered).c_str()
+                      : frodo::codegen::render_report_text(rendered).c_str());
     }
     return 0;
   };
@@ -460,7 +538,10 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 2;
     }
   }
-  flush_diagnostics(engine, diag_format);
+  // Batch mode flushes per-model diagnostics inside run(); the top-level
+  // engine only carries batch-global problems (bad inputs, trace I/O).
+  if (!batch_mode || engine.error_count() > 0 || engine.warning_count() > 0)
+    flush_diagnostics(engine, diag_format);
   if (verbose) std::fprintf(stderr, "%s", tracer.summary_text().c_str());
   return rc;
 }

@@ -12,7 +12,11 @@ namespace frodo::codegen {
 
 class CWriter {
  public:
-  explicit CWriter(int indent_width = 2) : indent_width_(indent_width) {}
+  // `initial_depth` starts the writer pre-indented — emission units rendered
+  // into private writers at the depth they will be spliced back at produce
+  // bytes identical to in-place emission.
+  explicit CWriter(int indent_width = 2, int initial_depth = 0)
+      : indent_width_(indent_width), depth_(initial_depth) {}
 
   // One indented line (no trailing newline needed).
   void line(std::string_view text);
@@ -26,6 +30,10 @@ class CWriter {
   // "header {" then indent; close() emits the matching "}".
   void open(std::string_view header);
   void close(std::string_view trailer = "}");
+
+  // Appends pre-rendered text byte-for-byte (already newline-terminated);
+  // the parallel emitter splices unit outputs back in schedule order.
+  void splice(std::string_view rendered) { out_.append(rendered); }
 
   int depth() const { return depth_; }
   const std::string& str() const { return out_; }

@@ -7,6 +7,7 @@
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace frodo::codegen {
@@ -103,8 +104,15 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
 
   range::RangeAnalysis ranges;
   if (use_range_analysis()) {
-    FRODO_ASSIGN_OR_RETURN(ranges,
-                           range::determine_ranges(analysis, options.engine));
+    if (options.precomputed_ranges != nullptr) {
+      // Analysis-cache hit: Algorithm 1 already ran for this exact content;
+      // no range_analysis span appears in the trace.
+      ranges = *options.precomputed_ranges;
+    } else {
+      FRODO_ASSIGN_OR_RETURN(
+          ranges,
+          range::determine_ranges(analysis, options.engine, options.pool));
+    }
     if (loose_ranges())
       ranges = range::loosen(analysis, ranges, options.engine);
   } else {
@@ -245,17 +253,20 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   w.raw("#include <string.h>");
   w.blank();
 
-  EmitContext ctx;
-  ctx.w = &w;
-  ctx.style = style();
-  ctx.snippets = &SnippetLibrary::builtin();
-  ctx.simd_width = simd_width();
-  ctx.shared_kernels = shared_kernels();
-  ctx.prefix = code.prefix;
-  if (ctx.simd_width > 1) {
-    ctx.simd_type = "v" + std::to_string(ctx.simd_width) + "df";
-    w.raw("typedef double " + ctx.simd_type + " __attribute__((vector_size(" +
-          std::to_string(ctx.simd_width * 8) + "), aligned(8)));");
+  // The invariant part of the per-block emission context.  Every emission
+  // unit fills a private copy (ctx.w pointed at its own writer), so snippet
+  // rendering can run on pool workers without sharing mutable state.
+  EmitContext proto;
+  proto.style = style();
+  proto.snippets = &SnippetLibrary::builtin();
+  proto.simd_width = simd_width();
+  proto.shared_kernels = shared_kernels();
+  proto.prefix = code.prefix;
+  if (proto.simd_width > 1) {
+    proto.simd_type = "v" + std::to_string(proto.simd_width) + "df";
+    w.raw("typedef double " + proto.simd_type +
+          " __attribute__((vector_size(" +
+          std::to_string(proto.simd_width * 8) + "), aligned(8)));");
     w.blank();
   }
 
@@ -368,8 +379,8 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     w.blank();
   }
 
-  // Helper configuring the per-block context.
-  auto make_ctx = [&](BlockId id) -> Status {
+  // Helper configuring the per-block part of a context copy.
+  auto fill_ctx = [&](EmitContext& ctx, BlockId id) {
     const model::Block& block = flat.block(id);
     ctx.block = &block;
     ctx.in_shapes = analysis.in_shapes[static_cast<std::size_t>(id)];
@@ -382,28 +393,28 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
     ctx.state = buffers.state[static_cast<std::size_t>(id)];
     ctx.out_ranges = ranges.out_ranges[static_cast<std::size_t>(id)];
     ctx.uid = "b" + std::to_string(id);
-    return Status::ok();
   };
 
   // The RAII profiling brace pair around one step-code site: enter opens a
   // scope holding the start timestamp, leave charges the elapsed time to the
-  // site's row and closes it.  Both vanish without FRODO_PROFILE.
-  std::size_t prof_index = 0;
-  auto prof_enter = [&]() {
+  // site's row and closes it.  Both vanish without FRODO_PROFILE.  Site
+  // indices are the emission-unit indices, pre-assigned so units can render
+  // on any worker.
+  auto prof_enter = [&](CWriter& uw) {
     if (!profile) return;
-    w.raw("#ifdef FRODO_PROFILE");
-    w.line("{ unsigned long long frodo_prof_t0 = " + code.prefix +
-           "_prof_now();");
-    w.raw("#endif");
+    uw.raw("#ifdef FRODO_PROFILE");
+    uw.line("{ unsigned long long frodo_prof_t0 = " + code.prefix +
+            "_prof_now();");
+    uw.raw("#endif");
   };
-  auto prof_leave = [&]() {
+  auto prof_leave = [&](CWriter& uw, std::size_t site) {
     if (!profile) return;
-    const std::string idx = std::to_string(prof_index++);
-    w.raw("#ifdef FRODO_PROFILE");
-    w.line(code.prefix + "_prof_ns[" + idx + "] += " + code.prefix +
-           "_prof_now() - frodo_prof_t0;");
-    w.line(code.prefix + "_prof_calls[" + idx + "] += 1; }");
-    w.raw("#endif");
+    const std::string idx = std::to_string(site);
+    uw.raw("#ifdef FRODO_PROFILE");
+    uw.line(code.prefix + "_prof_ns[" + idx + "] += " + code.prefix +
+            "_prof_now() - frodo_prof_t0;");
+    uw.line(code.prefix + "_prof_calls[" + idx + "] += 1; }");
+    uw.raw("#endif");
   };
 
   // §5 code-duplication mitigation: one generic, range-parameterized kernel
@@ -436,7 +447,9 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   if (block_functions()) {
     for (BlockId id : analysis.order) {
       if (should_skip(id)) continue;
-      FRODO_RETURN_IF_ERROR(make_ctx(id));
+      EmitContext ctx = proto;
+      ctx.w = &w;
+      fill_ctx(ctx, id);
       const model::Block& block = flat.block(id);
       // Re-point the context at the function's parameters.
       std::vector<std::string> call_args;
@@ -491,14 +504,55 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   w.close();
   w.blank();
 
-  // step().
-  w.open("void " + code.prefix + "_step(" + step_params(sig) + ")");
+  // step() is assembled from *emission units* — one per scheduled block (a
+  // fused chain counts once, at its tail) plus one per end-of-step state
+  // update, in schedule order.  Each unit renders into a private CWriter
+  // pre-indented to the step body's depth, so splicing the rendered texts
+  // back in unit order reproduces the serial output byte for byte; with a
+  // pool, units render concurrently on the workers.  Unit index == profile
+  // site index (the site table above was built with the same predicates).
+  struct EmitUnit {
+    BlockId id = 0;
+    bool state_update = false;
+  };
+  std::vector<EmitUnit> units;
   for (BlockId id : analysis.order) {
     if (should_skip(id)) continue;
-    FRODO_RETURN_IF_ERROR(make_ctx(id));
+    units.push_back(EmitUnit{id, false});
+  }
+  for (BlockId id : analysis.order) {
+    if (buffers.state[static_cast<std::size_t>(id)].empty()) continue;
+    const auto& in_ranges = ranges.in_ranges[static_cast<std::size_t>(id)];
+    if (in_ranges.empty() || in_ranges[0].is_empty())
+      continue;  // state never read downstream
+    units.push_back(EmitUnit{id, true});
+  }
+
+  auto render_unit = [&](const EmitUnit& unit, std::size_t site,
+                         CWriter& uw) -> Status {
+    const BlockId id = unit.id;
+    EmitContext ctx = proto;
+    ctx.w = &uw;
+    fill_ctx(ctx, id);
     const model::Block& block = flat.block(id);
+    if (unit.state_update) {
+      const auto& in_ranges = ranges.in_ranges[static_cast<std::size_t>(id)];
+      const mapping::IndexSet in_range =
+          in_ranges.empty() ? mapping::IndexSet::empty() : in_ranges[0];
+      uw.comment(block.name() + " state update");
+      prof_enter(uw);
+      uw.open("");
+      FRODO_RETURN_IF_ERROR(
+          analysis.sems[static_cast<std::size_t>(id)]
+              ->emit_state_update(ctx, in_range)
+              .with_context("emitting state update of '" + block.name() +
+                            "'"));
+      uw.close();
+      prof_leave(uw, site);
+      return Status::ok();
+    }
     if (block_functions()) {
-      // make_ctx already resolved every buffer expression; reuse it.
+      // fill_ctx already resolved every buffer expression; reuse it.
       std::string args;
       for (const std::string& e : ctx.in) {
         if (!args.empty()) args += ", ";
@@ -512,10 +566,10 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
         if (!args.empty()) args += ", ";
         args += ctx.state;
       }
-      prof_enter();
-      w.line(code.prefix + "_blk" + std::to_string(id) + "(" + args + ");");
-      prof_leave();
-      continue;
+      prof_enter(uw);
+      uw.line(code.prefix + "_blk" + std::to_string(id) + "(" + args + ");");
+      prof_leave(uw, site);
+      return Status::ok();
     }
     const int chain = plan.chain_of[static_cast<std::size_t>(id)];
     if (chain != -1) {
@@ -525,12 +579,12 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
         if (!names.empty()) names += " -> ";
         names += flat.block(m).name();
       }
-      w.comment("fused chain: " + names);
-      prof_enter();
-      w.open("");
+      uw.comment("fused chain: " + names);
+      prof_enter(uw);
+      uw.open("");
       FRODO_RETURN_IF_ERROR(
           emit_fused_chain(
-              w, analysis, ranges,
+              uw, analysis, ranges,
               plan.chains[static_cast<std::size_t>(chain)],
               [&](BlockId b, int p) {
                 return input_expr(analysis, buffers, sig, b, p);
@@ -538,38 +592,41 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
               buffers.out[static_cast<std::size_t>(id)][0])
               .with_context("emitting fused chain ending at '" +
                             block.name() + "'"));
-      w.close();
-      prof_leave();
-      continue;
+      uw.close();
+      prof_leave(uw, site);
+      return Status::ok();
     }
-    w.comment(block.name() + " (" + block.type() + ")");
-    prof_enter();
-    w.open("");
+    uw.comment(block.name() + " (" + block.type() + ")");
+    prof_enter(uw);
+    uw.open("");
     FRODO_RETURN_IF_ERROR(
         analysis.sems[static_cast<std::size_t>(id)]->emit(ctx).with_context(
             "emitting block '" + block.name() + "'"));
-    w.close();
-    prof_leave();
-  }
+    uw.close();
+    prof_leave(uw, site);
+    return Status::ok();
+  };
 
-  // End-of-step state updates.
-  for (BlockId id : analysis.order) {
-    if (buffers.state[static_cast<std::size_t>(id)].empty()) continue;
-    FRODO_RETURN_IF_ERROR(make_ctx(id));
-    const auto& in_ranges = ranges.in_ranges[static_cast<std::size_t>(id)];
-    const mapping::IndexSet in_range =
-        in_ranges.empty() ? mapping::IndexSet::empty() : in_ranges[0];
-    if (in_range.is_empty()) continue;  // state never read downstream
-    w.comment(flat.block(id).name() + " state update");
-    prof_enter();
-    w.open("");
-    FRODO_RETURN_IF_ERROR(
-        analysis.sems[static_cast<std::size_t>(id)]
-            ->emit_state_update(ctx, in_range)
-            .with_context("emitting state update of '" +
-                          flat.block(id).name() + "'"));
-    w.close();
-    prof_leave();
+  // step().
+  w.open("void " + code.prefix + "_step(" + step_params(sig) + ")");
+  {
+    std::vector<std::string> rendered(units.size());
+    std::vector<Status> unit_status(units.size());
+    auto render_at = [&](std::size_t k) {
+      CWriter uw(/*indent_width=*/2, /*initial_depth=*/w.depth());
+      unit_status[k] = render_unit(units[k], k, uw);
+      rendered[k] = uw.take();
+    };
+    if (options.pool != nullptr && options.pool->worker_count() > 0 &&
+        units.size() > 1) {
+      trace::count("emit_parallel_units",
+                   static_cast<long long>(units.size()));
+      options.pool->parallel_for(units.size(), render_at);
+    } else {
+      for (std::size_t k = 0; k < units.size(); ++k) render_at(k);
+    }
+    for (const Status& s : unit_status) FRODO_RETURN_IF_ERROR(s);
+    for (const std::string& text : rendered) w.splice(text);
   }
   w.close();
   w.blank();

@@ -31,6 +31,10 @@
 #include "support/diag.hpp"
 #include "support/status.hpp"
 
+namespace frodo::support {
+class ThreadPool;
+}  // namespace frodo::support
+
 namespace frodo::codegen {
 
 struct PortDecl {
@@ -70,6 +74,17 @@ struct GenerateOptions {
   // `#ifdef FRODO_PROFILE`, so with the macro undefined the preprocessed
   // code is byte-identical to the uninstrumented output — zero overhead.
   bool profile_hooks = false;
+  // Optional worker pool for intra-model parallelism: Algorithm 1 partitions
+  // independent subtrees across workers and step-code snippet emission runs
+  // as parallel tasks reassembled in schedule order.  Output is byte-for-byte
+  // identical to the serial path (docs/BATCH.md).
+  support::ThreadPool* pool = nullptr;
+  // Precomputed calculation ranges (e.g. a batch analysis-cache hit for this
+  // exact model + block library + flag mask): generators that would run
+  // Algorithm 1 use these instead and skip the range_analysis pass entirely.
+  // Ignored by the full-range baselines.  The ranges must have been computed
+  // from this same model; the cache guarantees that by content-addressing.
+  const range::RangeAnalysis* precomputed_ranges = nullptr;
 };
 
 class Generator {

@@ -172,6 +172,8 @@ std::string render_report_text(const Report& report) {
   std::string out;
   out += "redundancy elimination report: model '" + report.model_name +
          "', generator " + report.generator + "\n";
+  if (!report.analysis_cache.empty())
+    out += "analysis cache: " + report.analysis_cache + "\n";
   out += pad("block", name_w) + "  " + pad("type", type_w) +
          "      full  demanded      elim   elim%  passes\n";
   for (const BlockReportRow& row : report.rows) {
@@ -208,6 +210,8 @@ std::string render_report_json(const Report& report) {
   out += "  \"version\": " + q(version_string()) + ",\n";
   out += "  \"model\": " + q(report.model_name) + ",\n";
   out += "  \"generator\": " + q(report.generator) + ",\n";
+  if (!report.analysis_cache.empty())
+    out += "  \"analysis_cache\": " + q(report.analysis_cache) + ",\n";
   out += "  \"totals\": {\n";
   out += "    \"blocks\": " + std::to_string(report.blocks) + ",\n";
   out += "    \"emitted_blocks\": " + std::to_string(report.emitted_blocks) +

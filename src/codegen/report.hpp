@@ -41,6 +41,11 @@ struct BlockReportRow {
 struct Report {
   std::string model_name;
   std::string generator;
+  // Analysis-cache disposition for the compile this report describes:
+  // "hit", "miss", or "" when no cache was consulted.  Filled in by the
+  // CLI/batch driver (build_report itself knows nothing about caching) and
+  // rendered only when non-empty, so cacheless reports are unchanged.
+  std::string analysis_cache;
 
   // Model totals.
   long long blocks = 0;              // all blocks in the flattened model

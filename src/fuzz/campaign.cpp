@@ -1,15 +1,16 @@
 #include "fuzz/campaign.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <utility>
+#include <vector>
 
 #include "fuzz/minimize.hpp"
 #include "slx/slx.hpp"
+#include "support/thread_pool.hpp"
 
 namespace frodo::fuzz {
 
@@ -59,67 +60,70 @@ std::string CampaignResult::summary() const {
 
 CampaignResult run_campaign(const CampaignOptions& options) {
   CampaignResult result;
-  std::atomic<int> next{0};
-  std::mutex result_mutex;
+  const std::size_t seeds =
+      options.seeds < 0 ? 0 : static_cast<std::size_t>(options.seeds);
 
-  auto worker = [&]() {
-    for (;;) {
-      const int index = next.fetch_add(1);
-      if (index >= options.seeds) return;
-      const std::uint64_t seed =
-          options.base_seed + static_cast<std::uint64_t>(index);
-
-      auto generated = generate_model(seed, options.gen);
-      if (!generated.is_ok()) {
-        std::lock_guard<std::mutex> lock(result_mutex);
-        ++result.generation_errors;
-        if (options.verbose)
-          std::fprintf(stderr, "seed %llu: generation error: %s\n",
-                       static_cast<unsigned long long>(seed),
-                       generated.message().c_str());
-        continue;
-      }
-
-      const DiffOutcome outcome =
-          run_differential(generated.value(), options.diff);
-      if (options.verbose) {
-        std::fprintf(stderr, "seed %llu: %s\n",
-                     static_cast<unsigned long long>(seed),
-                     outcome.to_string().c_str());
-      }
-
-      Failure failure;
-      if (outcome.failed) {
-        failure.seed = seed;
-        failure.outcome = outcome;
-        failure.minimized =
-            options.minimize
-                ? minimize_model(generated.value(),
-                                 [&](const model::Model& candidate) {
-                                   return fails_same_way(candidate, outcome,
-                                                         options.diff);
-                                 })
-                : model::Model();
-        failure.original = std::move(generated.value());
-      }
-
-      std::lock_guard<std::mutex> lock(result_mutex);
-      ++result.models_run;
-      if (outcome.failed) {
-        if (!options.corpus_dir.empty())
-          write_corpus_entry(options, failure);
-        result.failures.push_back(std::move(failure));
-      }
-    }
-  };
+  // Per-seed result slots: workers never contend on the result, and the
+  // merge below runs in seed order, so the failure list (and the corpus on
+  // disk) is identical for every --jobs value.
+  std::vector<std::unique_ptr<Failure>> failures(seeds);
+  std::vector<char> ran(seeds, 0);
+  std::vector<char> generation_error(seeds, 0);
+  std::mutex log_mutex;
 
   const int jobs = options.jobs < 1 ? 1 : options.jobs;
-  if (jobs == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    for (int i = 0; i < jobs; ++i) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
+  support::ThreadPool pool(jobs - 1);
+  pool.parallel_for(seeds, [&](std::size_t index) {
+    const std::uint64_t seed =
+        options.base_seed + static_cast<std::uint64_t>(index);
+
+    auto generated = generate_model(seed, options.gen);
+    if (!generated.is_ok()) {
+      generation_error[index] = 1;
+      if (options.verbose) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(stderr, "seed %llu: generation error: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     generated.message().c_str());
+      }
+      return;
+    }
+
+    const DiffOutcome outcome =
+        run_differential(generated.value(), options.diff);
+    if (options.verbose) {
+      std::lock_guard<std::mutex> lock(log_mutex);
+      std::fprintf(stderr, "seed %llu: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   outcome.to_string().c_str());
+    }
+
+    ran[index] = 1;
+    if (outcome.failed) {
+      auto failure = std::make_unique<Failure>();
+      failure->seed = seed;
+      failure->outcome = outcome;
+      failure->minimized =
+          options.minimize
+              ? minimize_model(generated.value(),
+                               [&](const model::Model& candidate) {
+                                 return fails_same_way(candidate, outcome,
+                                                       options.diff);
+                               })
+              : model::Model();
+      failure->original = std::move(generated.value());
+      failures[index] = std::move(failure);
+    }
+  });
+
+  for (std::size_t index = 0; index < seeds; ++index) {
+    if (ran[index]) ++result.models_run;
+    if (generation_error[index]) ++result.generation_errors;
+    if (failures[index] != nullptr) {
+      if (!options.corpus_dir.empty())
+        write_corpus_entry(options, *failures[index]);
+      result.failures.push_back(std::move(*failures[index]));
+    }
   }
   return result;
 }

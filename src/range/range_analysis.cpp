@@ -1,7 +1,9 @@
 #include "range/range_analysis.hpp"
 
 #include <algorithm>
+#include <numeric>
 
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace frodo::range {
@@ -80,11 +82,46 @@ std::vector<bool> find_cyclic(const graph::DataflowGraph& graph) {
   return cyclic;
 }
 
+// A FRODO-W002 degradation recorded during the traversal.  Parallel runs
+// buffer warnings per block and replay them in serial traversal order, so
+// diagnostic output is independent of the worker count.
+struct PendingWarning {
+  bool set = false;
+  std::string message;
+  std::string where;
+};
+
+// Trace counters tallied locally (a worker thread has no tracer installed);
+// the calling thread flushes the sums after the traversal.
+struct Tally {
+  long long pullbacks = 0;
+  long long worklist_iterations = 0;
+  long long blocks_visited = 0;
+  long long w002_loosenings = 0;
+
+  void add(const Tally& other) {
+    pullbacks += other.pullbacks;
+    worklist_iterations += other.worklist_iterations;
+    blocks_visited += other.blocks_visited;
+    w002_loosenings += other.w002_loosenings;
+  }
+};
+
 class Determiner {
  public:
+  // `warnings` non-null enables graceful degradation (the caller reports
+  // them); null makes a failed pullback a hard error.  `component`/`mine`
+  // restrict the traversal to one weakly-connected component (every edge
+  // stays inside a component, so only the entry loops need the filter).
   Determiner(const blocks::Analysis& analysis, RangeAnalysis* out,
-             diag::Engine* engine)
-      : a_(analysis), r_(*out), engine_(engine) {
+             std::vector<PendingWarning>* warnings, Tally* tally,
+             const std::vector<int>* component, int mine)
+      : a_(analysis),
+        r_(*out),
+        warnings_(warnings),
+        tally_(*tally),
+        component_(component),
+        mine_(mine) {
     const int n = a_.graph->block_count();
     computed_.assign(static_cast<std::size_t>(n), false);
   }
@@ -94,19 +131,30 @@ class Determiner {
     // Cyclic blocks keep their full ranges (fixed before any traversal so a
     // traversal that reaches them stops immediately).
     for (BlockId id = 0; id < n; ++id) {
-      if (!r_.cyclic[static_cast<std::size_t>(id)]) continue;
+      if (skip(id) || !r_.cyclic[static_cast<std::size_t>(id)]) continue;
       set_full(id);
       FRODO_RETURN_IF_ERROR(fill_in_ranges(id));
       computed_[static_cast<std::size_t>(id)] = true;
     }
     // Algorithm 1: determine child-first from the root blocks...
-    for (BlockId id : a_.graph->roots()) FRODO_RETURN_IF_ERROR(determine(id));
+    for (BlockId id : a_.graph->roots()) {
+      if (skip(id)) continue;
+      FRODO_RETURN_IF_ERROR(determine(id));
+    }
     // ...then sweep anything only reachable through a cycle.
-    for (BlockId id = 0; id < n; ++id) FRODO_RETURN_IF_ERROR(determine(id));
+    for (BlockId id = 0; id < n; ++id) {
+      if (skip(id)) continue;
+      FRODO_RETURN_IF_ERROR(determine(id));
+    }
     return Status::ok();
   }
 
  private:
+  bool skip(BlockId id) const {
+    return component_ != nullptr &&
+           (*component_)[static_cast<std::size_t>(id)] != mine_;
+  }
+
   void set_full(BlockId id) {
     auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
     const auto& shapes = a_.out_shapes[static_cast<std::size_t>(id)];
@@ -115,20 +163,21 @@ class Determiner {
   }
 
   Status fill_in_ranges(BlockId id) {
-    trace::count("pullbacks");
+    ++tally_.pullbacks;
     auto demand = a_.sems[static_cast<std::size_t>(id)]->pullback(
         a_.instance(id), r_.out_ranges[static_cast<std::size_t>(id)]);
     if (!demand.is_ok()) {
-      if (engine_ == nullptr)
+      if (warnings_ == nullptr)
         return demand.status().with_context(
             "I/O mapping of block '" + a_.model().block(id).name() + "'");
       // Graceful degradation: demand the block's full inputs.  Always sound
       // (a superset of any true demand); only optimization is lost.
-      trace::count("w002_loosenings");
-      engine_->warning(diag::codes::kWPullbackFallback,
-                       "I/O mapping failed (" + demand.message() +
-                           ") — assuming full input ranges",
-                       a_.model().block(id).name());
+      ++tally_.w002_loosenings;
+      auto& w = (*warnings_)[static_cast<std::size_t>(id)];
+      w.set = true;
+      w.message = "I/O mapping failed (" + demand.message() +
+                  ") — assuming full input ranges";
+      w.where = a_.model().block(id).name();
       auto& in_ranges = r_.in_ranges[static_cast<std::size_t>(id)];
       in_ranges.clear();
       for (const model::Shape& s :
@@ -154,7 +203,7 @@ class Determiner {
     std::vector<Frame> frames{{root}};
     computed_[static_cast<std::size_t>(root)] = true;
     while (!frames.empty()) {
-      trace::count("worklist_iterations");
+      ++tally_.worklist_iterations;
       Frame& f = frames.back();
       const auto& out_edges = a_.graph->out_edges(f.id);
       if (f.next < out_edges.size()) {
@@ -166,7 +215,7 @@ class Determiner {
         continue;
       }
       // Children done: merge their demands into this block's out ranges.
-      trace::count("blocks_visited");
+      ++tally_.blocks_visited;
       const BlockId id = f.id;
       frames.pop_back();
       auto& ranges = r_.out_ranges[static_cast<std::size_t>(id)];
@@ -186,9 +235,93 @@ class Determiner {
 
   const blocks::Analysis& a_;
   RangeAnalysis& r_;
-  diag::Engine* engine_;
+  std::vector<PendingWarning>* warnings_;
+  Tally& tally_;
+  const std::vector<int>* component_;
+  int mine_;
   std::vector<bool> computed_;
 };
+
+// Weakly-connected components of the dataflow graph, labelled 0..n_comp-1
+// in order of their smallest block id (deterministic).  Blocks that share no
+// signal path can be range-determined independently.
+std::vector<int> weak_components(const graph::DataflowGraph& graph,
+                                 int* n_comp) {
+  const int n = graph.block_count();
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(
+              x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (BlockId id = 0; id < n; ++id) {
+    for (const model::Connection& e : graph.out_edges(id)) {
+      const int a = find(static_cast<int>(id));
+      const int b = find(static_cast<int>(e.dst.block));
+      if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] =
+          std::min(a, b);
+    }
+  }
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (BlockId id = 0; id < n; ++id) {
+    const int root = find(static_cast<int>(id));
+    if (label[static_cast<std::size_t>(root)] == -1)
+      label[static_cast<std::size_t>(root)] = next++;
+    label[static_cast<std::size_t>(id)] =
+        label[static_cast<std::size_t>(root)];
+  }
+  *n_comp = next;
+  return label;
+}
+
+// The block order in which the serial Determiner performs pullbacks: cyclic
+// blocks by ascending id, then DFS post-order from the roots, then the
+// residual sweep.  Cheap to recompute; used to replay buffered W002 warnings
+// deterministically after a parallel traversal.
+std::vector<BlockId> serial_fill_order(const blocks::Analysis& analysis,
+                                       const std::vector<bool>& cyclic) {
+  const int n = analysis.graph->block_count();
+  std::vector<BlockId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> computed(static_cast<std::size_t>(n), false);
+  for (BlockId id = 0; id < n; ++id) {
+    if (!cyclic[static_cast<std::size_t>(id)]) continue;
+    order.push_back(id);
+    computed[static_cast<std::size_t>(id)] = true;
+  }
+  auto visit = [&](BlockId root) {
+    if (computed[static_cast<std::size_t>(root)]) return;
+    struct Frame {
+      BlockId id;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> frames{{root}};
+    computed[static_cast<std::size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& out_edges = analysis.graph->out_edges(f.id);
+      if (f.next < out_edges.size()) {
+        const BlockId w = out_edges[f.next++].dst.block;
+        if (!computed[static_cast<std::size_t>(w)]) {
+          computed[static_cast<std::size_t>(w)] = true;
+          frames.push_back(Frame{w});
+        }
+        continue;
+      }
+      order.push_back(f.id);
+      frames.pop_back();
+    }
+  };
+  for (BlockId id : analysis.graph->roots()) visit(id);
+  for (BlockId id = 0; id < n; ++id) visit(id);
+  return order;
+}
 
 }  // namespace
 
@@ -232,7 +365,8 @@ std::string RangeAnalysis::to_string(const blocks::Analysis& analysis) const {
 }
 
 Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
-                                       diag::Engine* engine) {
+                                       diag::Engine* engine,
+                                       support::ThreadPool* pool) {
   trace::Scope span("range_analysis");
   RangeAnalysis r;
   const int n = analysis.graph->block_count();
@@ -244,8 +378,53 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
   }
   r.cyclic = find_cyclic(*analysis.graph);
 
-  Determiner determiner(analysis, &r, engine);
-  FRODO_RETURN_IF_ERROR(determiner.run());
+  // Warnings are buffered per block (disjoint across components, so no
+  // locking) and replayed below in the serial traversal order.
+  std::vector<PendingWarning> warnings(
+      engine != nullptr ? static_cast<std::size_t>(n) : 0);
+  std::vector<PendingWarning>* warning_slots =
+      engine != nullptr ? &warnings : nullptr;
+  Tally tally;
+
+  int n_comp = 0;
+  std::vector<int> component;
+  if (pool != nullptr && pool->worker_count() > 0 && n > 1)
+    component = weak_components(*analysis.graph, &n_comp);
+
+  if (n_comp > 1) {
+    // Independent subtrees in parallel; each worker writes only its own
+    // component's slots of r/warnings.
+    trace::count("range_partitions", n_comp);
+    std::vector<Status> status(static_cast<std::size_t>(n_comp));
+    std::vector<Tally> tallies(static_cast<std::size_t>(n_comp));
+    pool->parallel_for(
+        static_cast<std::size_t>(n_comp), [&](std::size_t c) {
+          Determiner determiner(analysis, &r, warning_slots, &tallies[c],
+                                &component, static_cast<int>(c));
+          status[c] = determiner.run();
+        });
+    for (const Status& s : status) FRODO_RETURN_IF_ERROR(s);
+    for (const Tally& t : tallies) tally.add(t);
+  } else {
+    Determiner determiner(analysis, &r, warning_slots, &tally, nullptr, -1);
+    FRODO_RETURN_IF_ERROR(determiner.run());
+  }
+
+  if (tally.pullbacks > 0) trace::count("pullbacks", tally.pullbacks);
+  if (tally.worklist_iterations > 0)
+    trace::count("worklist_iterations", tally.worklist_iterations);
+  if (tally.blocks_visited > 0)
+    trace::count("blocks_visited", tally.blocks_visited);
+  if (tally.w002_loosenings > 0)
+    trace::count("w002_loosenings", tally.w002_loosenings);
+
+  if (engine != nullptr) {
+    for (BlockId id : serial_fill_order(analysis, r.cyclic)) {
+      const PendingWarning& w = warnings[static_cast<std::size_t>(id)];
+      if (w.set)
+        engine->warning(diag::codes::kWPullbackFallback, w.message, w.where);
+    }
+  }
   return r;
 }
 

@@ -23,6 +23,10 @@
 #include "support/diag.hpp"
 #include "support/status.hpp"
 
+namespace frodo::support {
+class ThreadPool;
+}  // namespace frodo::support
+
 namespace frodo::range {
 
 struct RangeAnalysis {
@@ -49,8 +53,19 @@ struct RangeAnalysis {
 // mapping pullback falls back to demanding the block's *full* inputs (always
 // sound — it only costs optimization) with a FRODO-W002 warning, instead of
 // failing the run.
+//
+// When `pool` is non-null (and has workers), Algorithm 1 partitions the
+// graph's weakly-connected components — independent sink subtrees that share
+// no signal — across the pool.  Every block's traversal, memoization and
+// pullbacks stay within its own component, so the computed ranges are
+// *identical* to the serial run (a per-sink split would not be: pullbacks
+// may over-approximate, so they need not distribute over the IndexSet union
+// of split demands).  FRODO-W002 warnings are buffered per block and
+// replayed into `engine` in the serial traversal order, keeping diagnostic
+// output byte-identical no matter how many workers ran.
 Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
-                                       diag::Engine* engine = nullptr);
+                                       diag::Engine* engine = nullptr,
+                                       support::ThreadPool* pool = nullptr);
 
 // Ablation: whole-block granularity — any partially-demanded range is
 // widened back to the full signal (only completely dead blocks stay empty).

@@ -68,6 +68,15 @@ inline constexpr char kMappingOverflow[] = "FRODO-E403";
 inline constexpr char kInternal[] = "FRODO-E901";
 // Output artifacts (generated sources, trace files) cannot be written.
 inline constexpr char kIoWrite[] = "FRODO-E902";
+// Extra positional arguments without --batch (the single-model pipeline
+// would silently drop all but the first input).
+inline constexpr char kUsageExtraInput[] = "FRODO-E903";
+// A --batch input cannot be expanded: unreadable manifest, or a directory /
+// manifest naming no model files at all.
+inline constexpr char kBatchInput[] = "FRODO-E904";
+// Two batch models map to the same output file prefix; the later one is not
+// written (it would clobber the first).
+inline constexpr char kBatchOutputClash[] = "FRODO-E905";
 // Warnings (graceful degradation).
 inline constexpr char kWUnknownBlockType[] = "FRODO-W001";
 inline constexpr char kWPullbackFallback[] = "FRODO-W002";

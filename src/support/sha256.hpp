@@ -1,0 +1,17 @@
+// SHA-256 (FIPS 180-4), self-contained.
+//
+// The batch compiler's analysis cache is content-addressed: the cache key is
+// the digest of the canonical model XML plus everything else that feeds the
+// range analysis (docs/BATCH.md).  A cryptographic digest keeps accidental
+// key collisions out of the question without trusting file timestamps.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace frodo::support {
+
+// Lowercase hex digest (64 characters) of `data`.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace frodo::support

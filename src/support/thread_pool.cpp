@@ -1,0 +1,155 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace frodo::support {
+
+namespace {
+
+// Index of the pool worker the current thread is, or npos on external
+// threads.  Set once at worker startup; used to route run() to the caller's
+// own deque.
+thread_local std::size_t t_worker_index = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  const std::size_t n = workers < 0 ? 0 : static_cast<std::size_t>(workers);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run(std::function<void()> task) {
+  if (queues_.empty()) {
+    // No workers: run() degenerates to a direct call, which keeps single-job
+    // batch runs strictly serial.
+    task();
+    return;
+  }
+  std::size_t target = t_worker_index;
+  if (target >= queues_.size())
+    target = round_robin_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::size_t self, std::function<void()>* task) {
+  // Own deque first (LIFO: the most recently pushed work is cache-warm)...
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // ...then steal the oldest task from any other worker.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  t_worker_index = self;
+  std::function<void()> task;
+  for (;;) {
+    if (try_acquire(self, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    // Re-check under the wake lock: run() notifies after pushing, so a task
+    // pushed between our scan and this wait is caught by the timeout.
+    wake_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  // Drain anything still queued so run() tasks are never silently dropped.
+  while (try_acquire(self, &task)) {
+    task();
+    task = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (queues_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Loop {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::size_t total = 0;
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto loop = std::make_shared<Loop>();
+  loop->total = n;
+
+  auto finish_one = [](const std::shared_ptr<Loop>& l) {
+    if (l->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        l->total) {
+      // Empty critical section pairs with the caller's wait so the final
+      // notification cannot be lost between predicate check and sleep.
+      std::lock_guard<std::mutex> lock(l->mutex);
+      l->done.notify_all();
+    }
+  };
+
+  // Runners copy `body` (a straggler may outlive this frame; it then finds
+  // no index left and never invokes its copy).
+  const std::size_t runners =
+      std::min(queues_.size(), n - 1);
+  for (std::size_t r = 0; r < runners; ++r) {
+    run([loop, body, finish_one] {
+      for (;;) {
+        const std::size_t i =
+            loop->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= loop->total) return;
+        body(i);
+        finish_one(loop);
+      }
+    });
+  }
+
+  // The caller claims indices too — queued runners that never start cannot
+  // strand any iteration.
+  for (;;) {
+    const std::size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= loop->total) break;
+    body(i);
+    finish_one(loop);
+  }
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->done.wait(lock, [&] {
+    return loop->completed.load(std::memory_order_acquire) == loop->total;
+  });
+}
+
+}  // namespace frodo::support

@@ -1,0 +1,72 @@
+// Work-stealing thread pool shared by the batch compiler, the intra-model
+// parallel passes and the fuzz campaign.
+//
+// Design notes:
+//   * Each worker owns a deque; it pops its own work LIFO (cache-warm) and
+//     steals FIFO from the other workers when its deque runs dry.
+//   * `parallel_for` never parks the calling thread behind queued work: the
+//     caller claims iteration indices from a shared atomic alongside the
+//     enqueued runner tasks and only sleeps once every index is *finished*.
+//     A runner that is still sitting in a queue when the loop completes wakes
+//     up, finds no indices left, and exits — so nested parallel_for calls
+//     (batch compile -> per-model emission) cannot deadlock even on a pool
+//     with zero workers.
+//   * A pool with zero workers is valid and runs everything inline on the
+//     caller; `frodoc --jobs 1` uses exactly this to stay byte-for-byte the
+//     serial tool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frodo::support {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (clamped at 0 below).  A batch run with
+  // `--jobs N` uses N-1 workers: the caller participates in every
+  // parallel_for, so exactly N threads compile concurrently.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues a fire-and-forget task.  Tasks enqueued from a worker go to
+  // that worker's own deque; external threads distribute round-robin.
+  void run(std::function<void()> task);
+
+  // Invokes body(0) .. body(n-1), possibly concurrently, and returns when
+  // every call has finished.  The calling thread participates, so this works
+  // (serially) even with zero workers, and may be nested freely.  Iteration
+  // order is unspecified; `body` must be safe to call concurrently from
+  // different threads for different indices.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_main(std::size_t self);
+  bool try_acquire(std::size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> round_robin_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace frodo::support

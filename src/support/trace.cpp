@@ -10,7 +10,9 @@ namespace frodo::trace {
 
 namespace {
 
-Tracer* g_tracer = nullptr;
+// Thread-local so batch workers trace the model they are compiling into
+// that model's own Tracer without locking.
+thread_local Tracer* g_tracer = nullptr;
 
 }  // namespace
 
@@ -79,6 +81,16 @@ Scope::Scope(std::string_view name) : tracer_(current()) {
 
 Scope::~Scope() {
   if (tracer_ != nullptr) tracer_->end_span(index_);
+}
+
+void Tracer::absorb(const Tracer& other, const std::string& prefix) {
+  for (const Span& span : other.spans_) {
+    Span merged = span;
+    merged.name = prefix + merged.name;
+    spans_.push_back(std::move(merged));
+  }
+  for (const auto& [name, value] : other.counters_)
+    add_counter(name, value);
 }
 
 std::string Tracer::chrome_json() const {

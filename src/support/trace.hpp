@@ -15,8 +15,12 @@
 //   * summary_text() — the human per-phase wall-time + counter table that
 //     `frodoc -v` prints to stderr.
 //
-// The tool is single-threaded by design; the installed tracer is process
-// state, not thread state (see docs/OBSERVABILITY.md).
+// The installed tracer is *thread* state: each batch worker installs its
+// model's private Tracer while compiling it, so concurrent compiles never
+// interleave spans, and absorb() merges the per-model tracers into one batch
+// trace afterwards (see docs/OBSERVABILITY.md and docs/BATCH.md).  A Tracer
+// instance itself is not thread-safe; it must only be fed from the thread it
+// is installed on.
 #pragma once
 
 #include <chrono>
@@ -55,6 +59,12 @@ class Tracer {
   // 0 when the counter was never touched.
   long long counter(std::string_view name) const;
 
+  // Appends another tracer's spans (names prefixed with `prefix`, e.g.
+  // "Kalman/") and adds its counters into this one.  Timestamps keep the
+  // other tracer's epoch; the batch driver uses this to merge per-model
+  // traces into one exported file.
+  void absorb(const Tracer& other, const std::string& prefix);
+
   std::string chrome_json() const;
   std::string summary_text() const;
 
@@ -68,7 +78,7 @@ class Tracer {
   std::vector<std::pair<std::string, std::string>> metadata_;
 };
 
-// Installs `tracer` as the process-wide sink (nullptr disables tracing);
+// Installs `tracer` as the calling thread's sink (nullptr disables tracing);
 // returns the previously installed one so callers can restore it.
 Tracer* install(Tracer* tracer);
 Tracer* current();

@@ -1,0 +1,501 @@
+// Batch compilation engine: analysis-cache round-trip, input expansion, and
+// end-to-end frodoc --batch behavior (determinism across --jobs, warm-cache
+// reuse, the FRODO-E903/E904/E905 diagnostics).
+#include "batch/batch.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "batch/cache.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "blocks/analysis.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+#include "slx/slx.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+#include "zip/zip.hpp"
+
+#ifndef FRODOC_PATH
+#error "FRODOC_PATH must be defined by the build"
+#endif
+
+namespace frodo {
+namespace {
+
+std::string tmpdir() {
+  const std::string dir = testing::TempDir() + "/frodo_batch";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Unique per call: ctest runs tests from this binary as parallel processes,
+// which must never share scratch directories.
+std::string unique_dir(const std::string& stem) {
+  static int counter = 0;
+  const std::string dir = tmpdir() + "/" + stem + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+int run_frodoc(const std::string& args, std::string* stdout_text = nullptr,
+               std::string* stderr_text = nullptr) {
+  const std::string dir = unique_dir("cap");
+  const std::string cmd = std::string(FRODOC_PATH) + " " + args + " > '" +
+                          dir + "/out.txt' 2> '" + dir + "/err.txt'";
+  const int code = std::system(cmd.c_str());
+  if (stdout_text != nullptr) {
+    auto text = zip::read_file(dir + "/out.txt");
+    *stdout_text = text.is_ok() ? text.value() : "";
+  }
+  if (stderr_text != nullptr) {
+    auto text = zip::read_file(dir + "/err.txt");
+    *stderr_text = text.is_ok() ? text.value() : "";
+  }
+  return WEXITSTATUS(code);
+}
+
+// Writes the first `count` Table 1 benchmark models as packages into a fresh
+// directory and returns (dir, sorted package paths).
+std::string write_bench_models(int count, std::vector<std::string>* paths) {
+  const std::string dir = unique_dir("models");
+  const auto& models = benchmodels::all_models();
+  for (int i = 0; i < count && i < static_cast<int>(models.size()); ++i) {
+    auto model = models[static_cast<std::size_t>(i)].build();
+    EXPECT_TRUE(model.is_ok()) << models[static_cast<std::size_t>(i)].name;
+    const std::string path =
+        dir + "/" + models[static_cast<std::size_t>(i)].name + ".slxz";
+    EXPECT_TRUE(slx::save(model.value(), path).is_ok());
+    if (paths != nullptr) paths->push_back(path);
+  }
+  if (paths != nullptr) std::sort(paths->begin(), paths->end());
+  return dir;
+}
+
+// Batch output modulo the bits that legitimately differ between runs:
+// the single "timing" report line, the echoed jobs count, and any embedded
+// scratch-directory paths.
+std::string normalized(const std::string& text,
+                       const std::vector<std::string>& scrub) {
+  std::string out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    if (line.find("\"timing\"") == std::string::npos) {
+      const std::size_t jobs = line.find("\"jobs\": ");
+      if (jobs != std::string::npos) {
+        std::size_t stop = line.find_first_of(",}", jobs);
+        line.erase(jobs, stop - jobs);
+      }
+      for (const std::string& s : scrub) {
+        for (std::size_t at; (at = line.find(s)) != std::string::npos;)
+          line.erase(at, s.size());
+      }
+      out += line;
+      out += '\n';
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  auto text = zip::read_file(path);
+  return text.is_ok() ? text.value() : "";
+}
+
+// -- Analysis cache unit tests -----------------------------------------------
+
+range::RangeAnalysis analyzed_ranges(const model::Model& m,
+                                     blocks::Analysis* analysis_out,
+                                     model::Model* flat_out,
+                                     graph::DataflowGraph* graph_out) {
+  auto flat = model::flatten(m);
+  EXPECT_TRUE(flat.is_ok());
+  *flat_out = std::move(flat).value();
+  auto graph = graph::DataflowGraph::build(*flat_out);
+  EXPECT_TRUE(graph.is_ok());
+  *graph_out = std::move(graph).value();
+  auto analysis = blocks::analyze(*graph_out);
+  EXPECT_TRUE(analysis.is_ok());
+  *analysis_out = std::move(analysis).value();
+  auto ranges = range::determine_ranges(*analysis_out);
+  EXPECT_TRUE(ranges.is_ok());
+  return std::move(ranges).value();
+}
+
+TEST(AnalysisCache, SerializationRoundTripsExactly) {
+  auto model = benchmodels::build_kalman();
+  ASSERT_TRUE(model.is_ok());
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  const range::RangeAnalysis ranges =
+      analyzed_ranges(model.value(), &analysis, &flat, &graph);
+
+  const std::string text = batch::serialize_ranges(ranges);
+  auto parsed = batch::deserialize_ranges(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  ASSERT_TRUE(batch::ranges_match_analysis(parsed.value(), analysis));
+  // The round-trip must preserve every interval: re-serializing the parsed
+  // ranges is byte-identical.
+  EXPECT_EQ(batch::serialize_ranges(parsed.value()), text);
+  EXPECT_EQ(parsed.value().cyclic, ranges.cyclic);
+}
+
+TEST(AnalysisCache, DeserializeRejectsCorruptEntries) {
+  EXPECT_FALSE(batch::deserialize_ranges("").is_ok());
+  EXPECT_FALSE(batch::deserialize_ranges("not a cache entry").is_ok());
+  EXPECT_FALSE(
+      batch::deserialize_ranges("frodo-ranges 1\nblocks -4\ncyclic\nend\n")
+          .is_ok());
+  // A valid prefix with a truncated tail must not parse.
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  const range::RangeAnalysis ranges =
+      analyzed_ranges(model.value(), &analysis, &flat, &graph);
+  std::string text = batch::serialize_ranges(ranges);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(batch::deserialize_ranges(text).is_ok());
+}
+
+TEST(AnalysisCache, KeyChangesWithFlagsGeneratorAndModel) {
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  const std::string base = batch::cache_key(model.value(), 7, "frodo");
+  EXPECT_EQ(base.size(), 64u);
+  EXPECT_EQ(base, batch::cache_key(model.value(), 7, "frodo"));
+  EXPECT_NE(base, batch::cache_key(model.value(), 3, "frodo"));
+  EXPECT_NE(base, batch::cache_key(model.value(), 7, "frodo-loose"));
+  auto other = benchmodels::build_kalman();
+  ASSERT_TRUE(other.is_ok());
+  EXPECT_NE(base, batch::cache_key(other.value(), 7, "frodo"));
+}
+
+TEST(AnalysisCache, StoreThenLookupHitsAndMissesSoftly) {
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  const range::RangeAnalysis ranges =
+      analyzed_ranges(model.value(), &analysis, &flat, &graph);
+
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  const std::string key = batch::cache_key(model.value(), 7, "frodo");
+  range::RangeAnalysis out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  cache.store(key, ranges);
+  ASSERT_TRUE(cache.lookup(key, &out));
+  EXPECT_EQ(batch::serialize_ranges(out), batch::serialize_ranges(ranges));
+
+  // Corrupting the entry on disk turns the hit back into a soft miss.
+  std::ofstream(cache.entry_path(key), std::ios::trunc) << "garbage";
+  EXPECT_FALSE(cache.lookup(key, &out));
+}
+
+TEST(RangesWithCache, WarmCallSkipsRangeAnalysisSpans) {
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  const range::RangeAnalysis direct =
+      analyzed_ranges(model.value(), &analysis, &flat, &graph);
+
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  bool hit = true;
+  trace::Tracer cold;
+  trace::install(&cold);
+  auto first = batch::ranges_with_cache(model.value(), analysis, &cache, 7,
+                                        "frodo", nullptr, nullptr, &hit);
+  trace::install(nullptr);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cold.counter("analysis_cache_misses"), 1);
+  EXPECT_EQ(cold.counter("analysis_cache_stores"), 1);
+
+  trace::Tracer warm;
+  trace::install(&warm);
+  auto second = batch::ranges_with_cache(model.value(), analysis, &cache, 7,
+                                         "frodo", nullptr, nullptr, &hit);
+  trace::install(nullptr);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(warm.counter("analysis_cache_hits"), 1);
+  for (const trace::Span& span : warm.spans())
+    EXPECT_NE(span.name, "range_analysis");
+  EXPECT_EQ(batch::serialize_ranges(second.value()),
+            batch::serialize_ranges(direct));
+}
+
+// -- expand_input -------------------------------------------------------------
+
+TEST(ExpandInput, DirectoryIsSortedAndFiltered) {
+  const std::string dir = unique_dir("expand");
+  std::ofstream(dir + "/b.slxz") << "x";
+  std::ofstream(dir + "/a.xml") << "x";
+  std::ofstream(dir + "/c.slx") << "x";
+  std::ofstream(dir + "/notes.txt") << "x";
+  auto paths = batch::expand_input(dir);
+  ASSERT_TRUE(paths.is_ok());
+  ASSERT_EQ(paths.value().size(), 3u);
+  EXPECT_EQ(paths.value()[0], dir + "/a.xml");
+  EXPECT_EQ(paths.value()[1], dir + "/b.slxz");
+  EXPECT_EQ(paths.value()[2], dir + "/c.slx");
+}
+
+TEST(ExpandInput, ManifestResolvesRelativePathsAndComments) {
+  const std::string dir = unique_dir("manifest");
+  std::ofstream(dir + "/list.txt") << "# comment\n"
+                                   << "\n"
+                                   << "sub/a.slxz\n"
+                                   << "/abs/b.slxz\n";
+  auto paths = batch::expand_input(dir + "/list.txt");
+  ASSERT_TRUE(paths.is_ok());
+  ASSERT_EQ(paths.value().size(), 2u);
+  EXPECT_EQ(paths.value()[0], dir + "/sub/a.slxz");
+  EXPECT_EQ(paths.value()[1], "/abs/b.slxz");
+}
+
+TEST(ExpandInput, EmptyInputsAreE904) {
+  const std::string dir = unique_dir("empty");
+  auto from_dir = batch::expand_input(dir);
+  ASSERT_FALSE(from_dir.is_ok());
+  EXPECT_EQ(from_dir.status().code(), "FRODO-E904");
+  auto missing = batch::expand_input(dir + "/absent_manifest");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), "FRODO-E904");
+  std::ofstream(dir + "/only_comments") << "# nothing\n";
+  auto empty = batch::expand_input(dir + "/only_comments");
+  ASSERT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), "FRODO-E904");
+}
+
+// -- compile_batch (library level) -------------------------------------------
+
+TEST(CompileBatch, ParallelOutputIsByteIdenticalToSerial) {
+  std::vector<std::string> paths;
+  write_bench_models(4, &paths);
+
+  batch::BatchOptions serial;
+  serial.jobs = 1;
+  serial.write_outputs = false;
+  serial.report_format = "json";
+  batch::BatchOptions parallel = serial;
+  parallel.jobs = 8;
+
+  const batch::BatchResult a = batch::compile_batch(paths, serial);
+  const batch::BatchResult b = batch::compile_batch(paths, parallel);
+  ASSERT_EQ(a.exit_code, 0);
+  ASSERT_EQ(b.exit_code, 0);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (std::size_t i = 0; i < a.models.size(); ++i) {
+    EXPECT_EQ(a.models[i].code.source, b.models[i].code.source) << paths[i];
+    EXPECT_EQ(a.models[i].code.header, b.models[i].code.header) << paths[i];
+    EXPECT_EQ(a.models[i].report, b.models[i].report) << paths[i];
+    EXPECT_EQ(a.models[i].engine.render_text(),
+              b.models[i].engine.render_text());
+  }
+}
+
+TEST(CompileBatch, OutputPrefixClashIsE905ForTheLaterEntry) {
+  const std::string dir = unique_dir("clash");
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  ASSERT_TRUE(slx::save(model.value(), dir + "/first.slxz").is_ok());
+  ASSERT_TRUE(slx::save(model.value(), dir + "/second.slxz").is_ok());
+
+  batch::BatchOptions options;
+  options.outdir = unique_dir("clash_out");
+  const batch::BatchResult result = batch::compile_batch(
+      {dir + "/first.slxz", dir + "/second.slxz"}, options);
+  EXPECT_EQ(result.exit_code, 1);
+  ASSERT_EQ(result.models.size(), 2u);
+  EXPECT_EQ(result.models[0].exit_code, 0);
+  EXPECT_EQ(result.models[1].exit_code, 1);
+  ASSERT_FALSE(result.models[1].engine.diagnostics().empty());
+  EXPECT_EQ(result.models[1].engine.diagnostics()[0].code, "FRODO-E905");
+  EXPECT_TRUE(result.models[1].written.empty());
+}
+
+TEST(CompileBatch, UnknownGeneratorFailsOnceWithUsageError) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  batch::BatchOptions options;
+  options.generator = "no-such-generator";
+  const batch::BatchResult result = batch::compile_batch(paths, options);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_FALSE(result.usage_error.empty());
+  EXPECT_TRUE(result.models.empty());
+}
+
+// -- frodoc --batch end to end ------------------------------------------------
+
+TEST(FrodocBatch, JobsDoNotChangeBytes) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(3, &paths);
+  const std::string out1 = unique_dir("out_j1");
+  const std::string out8 = unique_dir("out_j8");
+
+  std::string stdout1, stderr1, stdout8, stderr8;
+  ASSERT_EQ(run_frodoc("--batch '" + models + "' --jobs 1 --out '" + out1 +
+                           "' --report json",
+                       &stdout1, &stderr1),
+            0)
+      << stderr1;
+  ASSERT_EQ(run_frodoc("--batch '" + models + "' --jobs 8 --out '" + out8 +
+                           "' --report json",
+                       &stdout8, &stderr8),
+            0)
+      << stderr8;
+
+  // Generated C/H files byte-identical.
+  int compared = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(out1)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(read_file(out1 + "/" + name), read_file(out8 + "/" + name))
+        << name;
+    ++compared;
+  }
+  EXPECT_EQ(compared, 6);  // 3 models x (.c + .h)
+
+  // stdout (wrote lines, summaries, report) and stderr (diagnostics)
+  // identical modulo timing and the differing --out/--jobs echoes.
+  EXPECT_EQ(normalized(stdout1, {out1}), normalized(stdout8, {out8}));
+  EXPECT_EQ(stderr1, stderr8);
+}
+
+TEST(FrodocBatch, WarmCacheIsIdenticalAndSkipsRangeAnalysis) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(2, &paths);
+  const std::string cache = unique_dir("cache");
+  const std::string out_cold = unique_dir("out_cold");
+  const std::string out_warm = unique_dir("out_warm");
+  const std::string trace_cold = out_cold + "/trace.json";
+  const std::string trace_warm = out_warm + "/trace.json";
+
+  std::string cold, warm, err;
+  ASSERT_EQ(run_frodoc("--batch '" + models + "' --jobs 2 --cache-dir '" +
+                           cache + "' --out '" + out_cold +
+                           "' --report json --trace-out '" + trace_cold + "'",
+                       &cold, &err),
+            0)
+      << err;
+  EXPECT_NE(cold.find("\"cache\": {\"enabled\": true, \"hits\": 0, "
+                      "\"misses\": 2}"),
+            std::string::npos)
+      << cold;
+  EXPECT_NE(read_file(trace_cold).find("range_analysis"), std::string::npos);
+
+  ASSERT_EQ(run_frodoc("--batch '" + models + "' --jobs 2 --cache-dir '" +
+                           cache + "' --out '" + out_warm +
+                           "' --report json --trace-out '" + trace_warm + "'",
+                       &warm, &err),
+            0)
+      << err;
+  EXPECT_NE(warm.find("\"cache\": {\"enabled\": true, \"hits\": 2, "
+                      "\"misses\": 0}"),
+            std::string::npos)
+      << warm;
+  // The warm run never runs Algorithm 1: zero range_analysis spans.
+  EXPECT_EQ(read_file(trace_warm).find("range_analysis"), std::string::npos);
+
+  // Byte-identical generated code, and identical output modulo timing,
+  // cache-status and the differing output paths.
+  for (const auto& entry : std::filesystem::directory_iterator(out_cold)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "trace.json") continue;
+    EXPECT_EQ(read_file(out_cold + "/" + name),
+              read_file(out_warm + "/" + name))
+        << name;
+  }
+  std::string cold_n = normalized(cold, {out_cold});
+  std::string warm_n = normalized(warm, {out_warm});
+  const std::pair<std::string, std::string> scrubs[] = {
+      {"\"hits\": 0, \"misses\": 2", "CACHE_COUNTS"},
+      {"\"hits\": 2, \"misses\": 0", "CACHE_COUNTS"},
+      {"\"cache\": \"miss\"", "CACHE_STATUS"},
+      {"\"cache\": \"hit\"", "CACHE_STATUS"},
+      {"\"analysis_cache\": \"miss\"", "CACHE_STATUS"},
+      {"\"analysis_cache\": \"hit\"", "CACHE_STATUS"},
+  };
+  for (std::string* text : {&cold_n, &warm_n}) {
+    for (const auto& [from, to] : scrubs) {
+      for (std::size_t at; (at = text->find(from)) != std::string::npos;)
+        text->replace(at, from.size(), to);
+    }
+  }
+  EXPECT_EQ(cold_n, warm_n);
+}
+
+TEST(FrodocBatch, FlagMaskChangeInvalidatesCache) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(1, &paths);
+  const std::string cache = unique_dir("cache");
+  std::string out;
+  ASSERT_EQ(run_frodoc("--batch '" + models + "' --cache-dir '" + cache +
+                           "' --out '" + unique_dir("o1") + "' --report json",
+                       &out),
+            0);
+  ASSERT_EQ(run_frodoc("--batch '" + models + "' --no-fuse --cache-dir '" +
+                           cache + "' --out '" + unique_dir("o2") +
+                           "' --report json",
+                       &out),
+            0);
+  // Different optimizer flag mask -> different key -> a miss, not a hit.
+  EXPECT_NE(out.find("\"hits\": 0, \"misses\": 1"), std::string::npos) << out;
+}
+
+TEST(FrodocBatch, ExtraPositionalWithoutBatchIsE903) {
+  std::vector<std::string> paths;
+  write_bench_models(2, &paths);
+  std::string err;
+  EXPECT_EQ(run_frodoc("'" + paths[0] + "' '" + paths[1] + "'", nullptr,
+                       &err),
+            2);
+  EXPECT_NE(err.find("FRODO-E903"), std::string::npos) << err;
+}
+
+TEST(FrodocBatch, BadBatchInputIsE904) {
+  std::string err;
+  EXPECT_EQ(run_frodoc("--batch /definitely/not/a/manifest", nullptr, &err),
+            2);
+  EXPECT_NE(err.find("FRODO-E904"), std::string::npos) << err;
+}
+
+TEST(FrodocBatch, SingleModelCacheReportsHitStatus) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  const std::string cache = unique_dir("cache");
+  std::string out;
+  ASSERT_EQ(run_frodoc("'" + paths[0] + "' --cache-dir '" + cache +
+                           "' --out '" + unique_dir("s1") + "' --report json",
+                       &out),
+            0);
+  EXPECT_NE(out.find("\"analysis_cache\": \"miss\""), std::string::npos)
+      << out;
+  ASSERT_EQ(run_frodoc("'" + paths[0] + "' --cache-dir '" + cache +
+                           "' --out '" + unique_dir("s2") + "' --report json",
+                       &out),
+            0);
+  EXPECT_NE(out.find("\"analysis_cache\": \"hit\""), std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace frodo
