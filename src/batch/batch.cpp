@@ -8,10 +8,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include "batch/isolate.hpp"
 #include "blocks/semantics.hpp"
 #include "model/flatten.hpp"
 #include "model/validate.hpp"
 #include "slx/slx.hpp"
+#include "support/cancel.hpp"
+#include "support/faultinject.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "zip/zip.hpp"
@@ -114,7 +117,15 @@ Result<range::RangeAnalysis> ranges_with_cache(
     trace::Scope span("cache_key");
     key = cache_key(original, flag_mask, generator_family);
   }
-  {
+  // Cache faults are never fatal: a failed read is a miss, a failed write
+  // is an unstored entry, and either way the compile proceeds — with a
+  // coded warning so a run that silently lost its cache is explicable.
+  if (support::faultinject::at("cache.read")) {
+    if (engine != nullptr)
+      engine->warning(diag::codes::kWCacheDegraded,
+                      "analysis cache read failed (injected fault); "
+                      "treating as a miss");
+  } else {
     range::RangeAnalysis cached;
     trace::Scope span("cache_lookup");
     if (cache->lookup(key, &cached) &&
@@ -134,9 +145,16 @@ Result<range::RangeAnalysis> ranges_with_cache(
   // such results are never stored.
   const int warnings_after = engine != nullptr ? engine->warning_count() : 0;
   if (warnings_after == warnings_before) {
-    trace::Scope span("cache_store");
-    cache->store(key, ranges.value());
-    trace::count("analysis_cache_stores");
+    if (support::faultinject::at("cache.write")) {
+      if (engine != nullptr)
+        engine->warning(diag::codes::kWCacheDegraded,
+                        "analysis cache write failed (injected fault); "
+                        "entry not stored");
+    } else {
+      trace::Scope span("cache_store");
+      cache->store(key, ranges.value());
+      trace::count("analysis_cache_stores");
+    }
   }
   return ranges;
 }
@@ -220,11 +238,34 @@ Result<std::vector<std::string>> expand_input(const std::string& arg) {
 
 namespace {
 
+// Classifies a failed Status by its root diagnostic code, reports it, and
+// fills the outcome's failure record.
+int fail_model(ModelOutcome* outcome, const Status& status,
+               const char* fallback_code) {
+  outcome->engine.error_from(status, fallback_code);
+  const std::string& code = status.code();
+  if (code == diag::codes::kCancelled)
+    outcome->failure_kind = "cancelled";
+  else if (code == diag::codes::kDeadline)
+    outcome->failure_kind = "timeout";
+  else
+    outcome->failure_kind = "error";
+  return 1;
+}
+
+bool is_stop_code(const Status& status) {
+  return status.code() == diag::codes::kCancelled ||
+         status.code() == diag::codes::kDeadline;
+}
+
+}  // namespace
+
 // The per-model pipeline, reporting into outcome->engine.  Runs on a pool
-// worker with outcome->tracer installed as the thread's trace sink.
-int compile_one(const std::string& path, const BatchOptions& options,
-                const AnalysisCache* cache, support::ThreadPool* pool,
-                ModelOutcome* outcome) {
+// worker (or an isolated child) with outcome->tracer installed as the
+// thread's trace sink.
+int compile_one_model(const std::string& path, const BatchOptions& options,
+                      const AnalysisCache* cache, support::ThreadPool* pool,
+                      ModelOutcome* outcome) {
   auto model = slx::load(path);
   if (!model.is_ok()) {
     const std::string code = model.status().code().empty()
@@ -232,6 +273,7 @@ int compile_one(const std::string& path, const BatchOptions& options,
                                  : model.status().code();
     outcome->engine.error(
         code, "cannot load '" + path + "': " + model.message(), path);
+    outcome->failure_kind = "error";
     return 1;
   }
   outcome->model_name = model.value().name();
@@ -242,12 +284,16 @@ int compile_one(const std::string& path, const BatchOptions& options,
   if (!generator.is_ok()) {
     // compile_batch validated the name up front; reaching here is internal.
     outcome->engine.error(diag::codes::kInternal, generator.message());
+    outcome->failure_kind = "infra";
     return 2;
   }
 
   CheckedModel checked;
-  if (!check_model(model.value(), outcome->engine, options.strict, &checked))
+  if (!check_model(model.value(), outcome->engine, options.strict,
+                   &checked)) {
+    outcome->failure_kind = "error";
     return 1;
+  }
 
   codegen::GenerateOptions gen_options;
   gen_options.engine = options.strict ? nullptr : &outcome->engine;
@@ -264,30 +310,74 @@ int compile_one(const std::string& path, const BatchOptions& options,
     auto r = ranges_with_cache(model.value(), checked.analysis, cache,
                                optimize_flag_mask(options.optimize), family,
                                gen_options.engine, pool, &outcome->cache_hit);
-    if (!r.is_ok()) {
-      outcome->engine.error_from(r.status(), diag::codes::kAnalysisShape);
-      return 1;
-    }
+    if (!r.is_ok())
+      return fail_model(outcome, r.status(), diag::codes::kAnalysisShape);
     ranges = std::move(r).value();
     precomputed = &ranges;
     gen_options.precomputed_ranges = precomputed;
   }
 
+  // Optimizer flags actually used — the degradation ladder below may mask
+  // some off; the report then describes what really ran.
+  codegen::OptimizeOptions effective = options.optimize;
   auto code = generator.value()->generate(model.value(), gen_options);
-  if (!code.is_ok()) {
-    outcome->engine.error_from(code.status(), diag::codes::kCodegenEmit);
-    return 1;
+  if (!code.is_ok() &&
+      code.status().code() == diag::codes::kOptimizerPass &&
+      family.rfind("frodo", 0) == 0 && effective.any()) {
+    // Degradation ladder: an *optimizer* failure (FRODO-E404 — only the
+    // optimizer passes report it) is retried with passes masked off one at
+    // a time (fuse, then shrink, then alias — i.e. down to noopt).  Other
+    // generate failures (emission, planning) fail the model directly:
+    // masking an optimizer flag cannot fix what the optimizer did not
+    // break.  The ranges are flag-independent, so the precomputed analysis
+    // is reused; losing a pass loses performance, never correctness.
+    const Status original_failure = code.status();
+    std::vector<std::string> dropped;
+    struct LadderStep {
+      bool codegen::OptimizeOptions::*flag;
+      const char* name;
+    };
+    const LadderStep ladder[] = {
+        {&codegen::OptimizeOptions::fuse, "fuse"},
+        {&codegen::OptimizeOptions::shrink_buffers, "shrink-buffers"},
+        {&codegen::OptimizeOptions::alias_truncation, "alias-truncation"},
+    };
+    for (const LadderStep& step : ladder) {
+      if (!(effective.*(step.flag))) continue;
+      effective.*(step.flag) = false;
+      dropped.push_back(step.name);
+      auto degraded = codegen::make_generator(options.generator,
+                                              options.simd_width, &effective);
+      if (!degraded.is_ok()) break;
+      trace::count("optimizer_degraded_retries");
+      auto retry = degraded.value()->generate(model.value(), gen_options);
+      if (retry.is_ok() || is_stop_code(retry.status())) {
+        code = std::move(retry);
+        break;
+      }
+    }
+    if (code.is_ok()) {
+      outcome->degraded_mask = optimize_flag_mask(options.optimize) &
+                               ~optimize_flag_mask(effective);
+      std::string disabled = join(dropped, ", ");
+      outcome->engine.warning(
+          diag::codes::kWOptimizerDegraded,
+          "optimizer failed (" + original_failure.message() +
+              "); compiled with " + disabled + " disabled",
+          outcome->model_name);
+      trace::count("models_degraded");
+    }
   }
+  if (!code.is_ok())
+    return fail_model(outcome, code.status(), diag::codes::kCodegenEmit);
   outcome->code = std::move(code).value();
 
   if (!options.report_format.empty()) {
-    auto report = model_report(checked, options.generator, options.optimize,
+    auto report = model_report(checked, options.generator, effective,
                                outcome->model_name, precomputed);
-    if (!report.is_ok()) {
-      outcome->engine.error_from(report.status(),
-                                 diag::codes::kAnalysisShape);
-      return 1;
-    }
+    if (!report.is_ok())
+      return fail_model(outcome, report.status(),
+                        diag::codes::kAnalysisShape);
     codegen::Report rendered = std::move(report).value();
     if (outcome->cache_checked)
       rendered.analysis_cache = outcome->cache_hit ? "hit" : "miss";
@@ -297,8 +387,6 @@ int compile_one(const std::string& path, const BatchOptions& options,
   }
   return 0;
 }
-
-}  // namespace
 
 BatchResult compile_batch(const std::vector<std::string>& inputs,
                           const BatchOptions& options) {
@@ -327,25 +415,51 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
     result.models[i].engine = diag::Engine(options.max_errors);
   }
 
-  // jobs includes the calling thread; the same pool also runs the
-  // intra-model parallel passes (nested parallel_for is deadlock-free —
-  // see support/thread_pool.hpp).
-  const int jobs = options.jobs < 1 ? 1 : options.jobs;
-  support::ThreadPool pool(jobs - 1);
-  support::ThreadPool* pool_ptr = pool.worker_count() > 0 ? &pool : nullptr;
+  if (options.isolate == "process") {
+    // Fork discipline: no thread pool exists in the parent in this mode —
+    // children must be forked from a single-threaded process (see
+    // batch/isolate.hpp).  Concurrency comes from running up to `jobs`
+    // children at once.
+    compile_batch_isolated(inputs, options, cache_ptr, &result);
+  } else {
+    // jobs includes the calling thread; the same pool also runs the
+    // intra-model parallel passes (nested parallel_for is deadlock-free —
+    // see support/thread_pool.hpp).
+    const int jobs = options.jobs < 1 ? 1 : options.jobs;
+    support::ThreadPool pool(jobs - 1);
+    support::ThreadPool* pool_ptr = pool.worker_count() > 0 ? &pool : nullptr;
 
-  pool.parallel_for(inputs.size(), [&](std::size_t i) {
-    ModelOutcome& outcome = result.models[i];
-    outcome.tracer.set_metadata("model", outcome.input_path);
-    outcome.tracer.set_metadata("generator", options.generator);
-    trace::Tracer* previous = trace::install(&outcome.tracer);
-    const auto start = std::chrono::steady_clock::now();
-    outcome.exit_code =
-        compile_one(outcome.input_path, options, cache_ptr, pool_ptr,
-                    &outcome);
-    outcome.compile_us = elapsed_us(start);
-    trace::install(previous);
-  });
+    pool.parallel_for(inputs.size(), [&](std::size_t i) {
+      ModelOutcome& outcome = result.models[i];
+      outcome.tracer.set_metadata("model", outcome.input_path);
+      outcome.tracer.set_metadata("generator", options.generator);
+      trace::Tracer* previous = trace::install(&outcome.tracer);
+      // Per-model deadline: cooperative polls in the pass loops unwind with
+      // FRODO-E911.  The token is installed on this worker and re-installed
+      // by the intra-model fan-out points.
+      support::CancelToken token;
+      if (options.timeout_per_model_ms > 0)
+        token.set_timeout_ms(options.timeout_per_model_ms);
+      support::CancelScope cancel_scope(
+          options.timeout_per_model_ms > 0 ? &token : nullptr);
+      support::faultinject::ScopedContext fault_context(outcome.input_path);
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        outcome.exit_code = compile_one_model(outcome.input_path, options,
+                                              cache_ptr, pool_ptr, &outcome);
+      } catch (const std::bad_alloc&) {
+        // Contain an in-process allocation failure to this model (real
+        // memory caps need --isolate=process; this keeps the batch alive).
+        outcome.engine.error(diag::codes::kChildOom,
+                             "out of memory while compiling",
+                             outcome.input_path);
+        outcome.failure_kind = "oom";
+        outcome.exit_code = 1;
+      }
+      outcome.compile_us = elapsed_us(start);
+      trace::install(previous);
+    });
+  }
 
   // Serial write phase, strictly in input order: deterministic "wrote" lines
   // and first-entry-wins on output-prefix clashes regardless of --jobs.
@@ -370,10 +484,13 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
           {base + ".c", outcome.code.source},
           {base + ".h", outcome.code.header}};
       for (const auto& [path, text] : parts) {
-        auto status = zip::write_file(path, text);
+        auto status =
+            support::faultinject::check("output.write", diag::codes::kIoWrite);
+        if (status.is_ok()) status = zip::write_file(path, text);
         if (!status.is_ok()) {
           outcome.engine.error(diag::codes::kIoWrite, status.message(), path);
           outcome.exit_code = 2;
+          outcome.failure_kind = "infra";
           break;
         }
         outcome.written.push_back(path);
@@ -389,6 +506,12 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
       else
         ++result.cache_misses;
     }
+    if (outcome.exit_code != 0) ++result.failed_models;
+    if (outcome.degraded_mask != 0) ++result.degraded_models;
+    result.retries_used += outcome.attempts - 1;
+    if (outcome.failure_kind == "timeout") ++result.timeouts;
+    else if (outcome.failure_kind == "crash") ++result.crashes;
+    else if (outcome.failure_kind == "oom") ++result.ooms;
   }
   result.wall_us = elapsed_us(batch_start);
   return result;
@@ -418,7 +541,13 @@ std::string render_batch_report(const BatchResult& result,
            ", \"cache\": {\"enabled\": " +
            (cache_enabled ? "true" : "false") +
            ", \"hits\": " + std::to_string(result.cache_hits) +
-           ", \"misses\": " + std::to_string(result.cache_misses) + "}},\n";
+           ", \"misses\": " + std::to_string(result.cache_misses) + "}" +
+           ", \"resilience\": {\"degraded\": " +
+           std::to_string(result.degraded_models) +
+           ", \"retries\": " + std::to_string(result.retries_used) +
+           ", \"timeouts\": " + std::to_string(result.timeouts) +
+           ", \"crashes\": " + std::to_string(result.crashes) +
+           ", \"ooms\": " + std::to_string(result.ooms) + "}},\n";
     {
       std::string timing =
           "\"timing\": {\"wall_us\": " + std::to_string(result.wall_us);
@@ -449,6 +578,9 @@ std::string render_batch_report(const BatchResult& result,
              q(!m.cache_checked ? "off" : m.cache_hit ? "hit" : "miss") +
              ", \"errors\": " + std::to_string(m.engine.error_count()) +
              ", \"warnings\": " + std::to_string(m.engine.warning_count()) +
+             ", \"failure\": " + q(m.failure_kind) +
+             ", \"attempts\": " + std::to_string(m.attempts) +
+             ", \"degraded_mask\": " + std::to_string(m.degraded_mask) +
              "}";
       out += i + 1 < result.models.size() ? ",\n" : "\n";
     }
@@ -484,6 +616,16 @@ std::string render_batch_report(const BatchResult& result,
     out += ", cache " + std::to_string(result.cache_hits) + " hits / " +
            std::to_string(result.cache_misses) + " misses";
   out += "\n";
+  // Resilience footer only when something non-routine happened, so a clean
+  // run's summary is unchanged.
+  if (result.degraded_models > 0 || result.retries_used > 0 ||
+      result.timeouts > 0 || result.crashes > 0 || result.ooms > 0) {
+    out += "resilience: " + std::to_string(result.degraded_models) +
+           " degraded, " + std::to_string(result.retries_used) +
+           " retries, " + std::to_string(result.timeouts) + " timeouts, " +
+           std::to_string(result.crashes) + " crashes, " +
+           std::to_string(result.ooms) + " ooms\n";
+  }
   return out;
 }
 

@@ -95,12 +95,34 @@ struct BatchOptions {
   std::string report_format;
   // The bench harness measures pure compile throughput without file I/O.
   bool write_outputs = true;
+
+  // -- Fault tolerance (docs/ROBUSTNESS.md) ----------------------------------
+  // Per-model wall-clock budget; a compile that overruns it unwinds with
+  // FRODO-E911 (cooperative in-process, SIGKILL under process isolation).
+  // 0 = no deadline.
+  long long timeout_per_model_ms = 0;
+  // "none" — every model compiles in this process (fast, but a crash or
+  // unpollable hang takes the batch down with it); "process" — each model
+  // compiles in a forked child, so crashes / hangs / OOMs become structured
+  // FRODO-E91x records and the rest of the batch completes.
+  std::string isolate = "none";
+  // Address-space rlimit per isolated child; 0 = unlimited.  Exceeding it
+  // surfaces as a FRODO-E913 OOM record, not a host-wide allocation storm.
+  long long memory_per_model_mb = 0;
+  // Crashed / timed-out / OOMed isolated compiles are retried up to this
+  // many times (transient faults — a cosmic-ray crash, a loaded machine
+  // missing a deadline — deserve a second chance; deterministic failures
+  // just fail `retries` times and keep their record).
+  int retries = 0;
+  // Base of the exponential retry backoff: attempt k sleeps
+  // retry_backoff_ms * 2^(k-1) before re-forking.
+  long long retry_backoff_ms = 100;
 };
 
 struct ModelOutcome {
   std::string input_path;
   std::string model_name;  // empty when the package did not load
-  int exit_code = 0;       // 0 ok, 1 diagnosable input, 2 internal
+  int exit_code = 0;       // 0 ok, 1 model failed, 2 infrastructure
   bool cache_checked = false;
   bool cache_hit = false;
   codegen::GeneratedCode code;  // valid when exit_code == 0
@@ -109,15 +131,35 @@ struct ModelOutcome {
   diag::Engine engine;
   trace::Tracer tracer;  // this model's private spans + counters
   long long compile_us = 0;
+  // -- Resilience record (docs/ROBUSTNESS.md) --------------------------------
+  // "" while healthy; otherwise how the compile ended: "error" (diagnosed),
+  // "cancelled" (E910), "timeout" (E911), "crash" (E912), "oom" (E913),
+  // "infra" (E914).
+  std::string failure_kind;
+  // Compile attempts consumed (1 + retries actually used).
+  int attempts = 1;
+  // Optimizer flag bits (fuse=1, shrink=2, alias=4) masked off by the
+  // degradation ladder before the compile succeeded; 0 = no degradation.
+  unsigned degraded_mask = 0;
 };
 
 struct BatchResult {
   std::vector<ModelOutcome> models;  // in input (manifest) order
-  int exit_code = 0;                 // max over models; 2 on usage errors
+  // 0 — every model compiled; 1 — some models failed (per-model records in
+  // `models`); 2 — infrastructure error (usage, output I/O, isolation
+  // machinery).  Matches single-model `frodoc` (docs/diagnostics.md).
+  int exit_code = 0;
   std::string usage_error;           // non-empty when exit_code forced to 2
   long long wall_us = 0;
   long long cache_hits = 0;
   long long cache_misses = 0;
+  // -- Resilience counters ---------------------------------------------------
+  long long failed_models = 0;    // exit_code != 0 entries
+  long long degraded_models = 0;  // compiled with optimizer flags masked
+  long long retries_used = 0;     // extra attempts beyond the first, summed
+  long long timeouts = 0;         // E911 records
+  long long crashes = 0;          // E912 records
+  long long ooms = 0;             // E913 records
 };
 
 // Expands one --batch positional into model paths:
@@ -137,5 +179,14 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
 // compare runs modulo timing).
 std::string render_batch_report(const BatchResult& result,
                                 const BatchOptions& options);
+
+// Internal: the per-model pipeline shared by the in-process path and the
+// isolated child (batch/isolate.cpp).  Reports into outcome->engine;
+// returns the per-model exit code and sets outcome->failure_kind /
+// degraded_mask.  Callers install the tracer, cancel token, and fault
+// context around it.
+int compile_one_model(const std::string& path, const BatchOptions& options,
+                      const AnalysisCache* cache, support::ThreadPool* pool,
+                      ModelOutcome* outcome);
 
 }  // namespace frodo::batch

@@ -1,7 +1,9 @@
 #include "batch/cache.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +20,8 @@ namespace frodo::batch {
 namespace {
 
 constexpr char kFormatTag[] = "frodo-ranges 1";
+// Integrity frame: "sha256:<hex digest of payload>\n" precedes the payload.
+constexpr char kChecksumPrefix[] = "sha256:";
 
 std::string intervals_text(const mapping::IndexSet& set) {
   if (set.is_empty()) return "-";
@@ -153,12 +157,33 @@ std::string AnalysisCache::entry_path(const std::string& key) const {
 
 bool AnalysisCache::lookup(const std::string& key,
                            range::RangeAnalysis* out) const {
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return false;
-  std::ostringstream text;
-  text << in.rdbuf();
-  auto ranges = deserialize_ranges(text.str());
-  if (!ranges.is_ok()) return false;
+  namespace fs = std::filesystem;
+  const std::string path = entry_path(key);
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  // Quarantine anything that fails integrity or format checks: rename to
+  // `*.bad` so the corrupt file stops costing a read-and-reject on every
+  // run but stays on disk for inspection.  A miss either way.
+  auto quarantine = [&] {
+    std::error_code ec;
+    fs::rename(path, path + ".bad", ec);
+    if (ec) fs::remove(path, ec);  // cross-device or permission oddity
+    return false;
+  };
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string::npos || text.compare(0, 7, kChecksumPrefix) != 0)
+    return quarantine();
+  const std::string payload = text.substr(eol + 1);
+  if (text.substr(7, eol - 7) != support::sha256_hex(payload))
+    return quarantine();
+  auto ranges = deserialize_ranges(payload);
+  if (!ranges.is_ok()) return quarantine();
   *out = std::move(ranges).value();
   return true;
 }
@@ -168,6 +193,7 @@ void AnalysisCache::store(const std::string& key,
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir_, ec);
+  std::call_once(sweep_once_, [this] { sweep_stale_tmp_files(); });
   const std::string final_path = entry_path(key);
   // PID-unique temp + rename: concurrent writers of the same key race to an
   // identical final content, so last-rename-wins is harmless.
@@ -176,7 +202,9 @@ void AnalysisCache::store(const std::string& key,
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return;
-    out << serialize_ranges(ranges);
+    const std::string payload = serialize_ranges(ranges);
+    out << kChecksumPrefix << support::sha256_hex(payload) << "\n" << payload;
+    out.flush();
     if (!out.good()) {
       out.close();
       fs::remove(tmp_path, ec);
@@ -185,6 +213,28 @@ void AnalysisCache::store(const std::string& key,
   }
   fs::rename(tmp_path, final_path, ec);
   if (ec) fs::remove(tmp_path, ec);
+}
+
+// Removes `*.tmp.<pid>` files whose writer is gone — a worker that crashed
+// or was killed mid-store (exactly what --isolate=process does to a wedged
+// child) never reaches its rename-or-remove, and those orphans otherwise
+// accumulate forever in a shared cache directory.  Live writers (their pid
+// still exists) are left alone.
+void AnalysisCache::sweep_stale_tmp_files() const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t tag = name.rfind(".tmp.");
+    if (tag == std::string::npos) continue;
+    long long pid = 0;
+    if (!parse_int(name.substr(tag + 5), &pid) || pid <= 0) continue;
+    if (pid == static_cast<long long>(::getpid()) ||
+        (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH))
+      continue;
+    std::error_code remove_ec;
+    fs::remove(entry.path(), remove_ec);
+  }
 }
 
 bool ranges_match_analysis(const range::RangeAnalysis& ranges,

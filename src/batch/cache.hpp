@@ -17,6 +17,7 @@
 // entry is a miss, a failed store is ignored, and the compile proceeds.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -41,15 +42,26 @@ Result<range::RangeAnalysis> deserialize_ranges(std::string_view text);
 // Filesystem-backed store: one file per key under `dir`, written atomically
 // (temp file + rename) so concurrent batch workers and parallel CI jobs can
 // share a cache directory.
+//
+// Integrity: each entry is framed with a sha256 line over the payload
+// ("sha256:<hex>\n" + serialized ranges).  An entry that fails
+// verification — truncated by a crashed writer, bit-rotted, hand-edited —
+// is *quarantined*: renamed to `<entry>.bad` so it is inspected once, not
+// re-read and re-rejected every run.  Temp files abandoned by a dead
+// writer (`*.tmp.<pid>` where pid no longer runs) are swept on the first
+// store of a run.
 class AnalysisCache {
  public:
   explicit AnalysisCache(std::string dir) : dir_(std::move(dir)) {}
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
 
   const std::string& dir() const { return dir_; }
   std::string entry_path(const std::string& key) const;
 
   // True on a hit, with the deserialized ranges in `out`.  Corrupt or
-  // unreadable entries are misses.
+  // unreadable entries are misses; entries failing checksum verification
+  // are additionally quarantined to `*.bad`.
   bool lookup(const std::string& key, range::RangeAnalysis* out) const;
 
   // Best-effort atomic store; creates `dir` on demand.
@@ -57,7 +69,10 @@ class AnalysisCache {
              const range::RangeAnalysis& ranges) const;
 
  private:
+  void sweep_stale_tmp_files() const;
+
   std::string dir_;
+  mutable std::once_flag sweep_once_;
 };
 
 // Consistency check before trusting a deserialized entry: the per-block

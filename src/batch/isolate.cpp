@@ -1,0 +1,489 @@
+#include "batch/isolate.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "support/cancel.hpp"
+#include "support/faultinject.hpp"
+#include "support/strings.hpp"
+
+// AddressSanitizer reserves terabytes of virtual address space for its
+// shadow mappings, so any RLIMIT_AS cap kills an instrumented child at
+// startup ("Failed to mmap") before it can write a record.  Skip the cap
+// in sanitized builds; injected OOM faults still reach kExitOom through
+// the bad_alloc path.
+#if defined(__SANITIZE_ADDRESS__)
+#define FRODO_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FRODO_ASAN 1
+#endif
+#endif
+
+namespace frodo::batch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Child exit codes with protocol meaning (anything else, or a signal, is a
+// crash).  High values keep clear of errno-style exits.
+constexpr int kExitRecord = 0;   // a complete record was written to the pipe
+constexpr int kExitOom = 97;     // std::bad_alloc escaped the compile
+constexpr int kExitStart = 99;   // the worker failed to start
+
+// ---- Record framing ---------------------------------------------------------
+//
+// The child streams "<key> <payload-len>\n<payload>\n" frames, ending with
+// an explicit "end 0\n\n" so the parent can tell a complete record from a
+// child that died mid-write.  Payloads are length-delimited, so diagnostic
+// messages may contain anything.
+
+void put_frame(std::string* out, std::string_view key,
+               std::string_view payload) {
+  *out += key;
+  *out += ' ';
+  *out += std::to_string(payload.size());
+  *out += '\n';
+  *out += payload;
+  *out += '\n';
+}
+
+std::string encode_outcome(const ModelOutcome& outcome) {
+  std::string out;
+  put_frame(&out, "exit", std::to_string(outcome.exit_code));
+  put_frame(&out, "name", outcome.model_name);
+  put_frame(&out, "kind", outcome.failure_kind);
+  put_frame(&out, "cache", std::string(outcome.cache_checked ? "1" : "0") +
+                               (outcome.cache_hit ? "1" : "0"));
+  put_frame(&out, "degraded", std::to_string(outcome.degraded_mask));
+  put_frame(&out, "prefix", outcome.code.prefix);
+  put_frame(&out, "header", outcome.code.header);
+  put_frame(&out, "source", outcome.code.source);
+  put_frame(&out, "static_doubles",
+            std::to_string(outcome.code.static_doubles));
+  put_frame(&out, "source_lines", std::to_string(outcome.code.source_lines));
+  put_frame(&out, "report", outcome.report);
+  for (const diag::Diagnostic& d : outcome.engine.diagnostics()) {
+    // severity '\n' code '\n' where '\n' message — message last so embedded
+    // newlines cannot shift the other fields.
+    std::string payload = std::string(diag::to_string(d.severity)) + "\n" +
+                          d.code + "\n" + d.where + "\n" + d.message;
+    put_frame(&out, "diag", payload);
+  }
+  for (const auto& [name, value] : outcome.tracer.counters())
+    put_frame(&out, "counter", std::to_string(value) + " " + name);
+  put_frame(&out, "end", "");
+  return out;
+}
+
+// Parses the child record into `outcome`; false when the record is
+// truncated or malformed (the parent then records FRODO-E914).
+bool decode_outcome(const std::string& text, ModelOutcome* outcome) {
+  std::size_t at = 0;
+  bool complete = false;
+  while (at < text.size()) {
+    const std::size_t sp = text.find(' ', at);
+    const std::size_t eol = text.find('\n', at);
+    if (sp == std::string::npos || eol == std::string::npos || sp > eol)
+      return false;
+    const std::string key = text.substr(at, sp - at);
+    long long len = 0;
+    if (!parse_int(text.substr(sp + 1, eol - sp - 1), &len) || len < 0)
+      return false;
+    const std::size_t payload_at = eol + 1;
+    if (payload_at + static_cast<std::size_t>(len) + 1 > text.size() + 1)
+      return false;
+    const std::string payload =
+        text.substr(payload_at, static_cast<std::size_t>(len));
+    at = payload_at + static_cast<std::size_t>(len) + 1;  // skip '\n'
+
+    if (key == "exit") {
+      long long v = 0;
+      if (!parse_int(payload, &v)) return false;
+      outcome->exit_code = static_cast<int>(v);
+    } else if (key == "name") {
+      outcome->model_name = payload;
+    } else if (key == "kind") {
+      outcome->failure_kind = payload;
+    } else if (key == "cache" && payload.size() == 2) {
+      outcome->cache_checked = payload[0] == '1';
+      outcome->cache_hit = payload[1] == '1';
+    } else if (key == "degraded") {
+      long long v = 0;
+      if (!parse_int(payload, &v)) return false;
+      outcome->degraded_mask = static_cast<unsigned>(v);
+    } else if (key == "prefix") {
+      outcome->code.prefix = payload;
+    } else if (key == "header") {
+      outcome->code.header = payload;
+    } else if (key == "source") {
+      outcome->code.source = payload;
+    } else if (key == "static_doubles") {
+      parse_int(payload, &outcome->code.static_doubles);
+    } else if (key == "source_lines") {
+      long long v = 0;
+      if (parse_int(payload, &v))
+        outcome->code.source_lines = static_cast<int>(v);
+    } else if (key == "diag") {
+      std::vector<std::string> fields;
+      std::size_t from = 0;
+      for (int i = 0; i < 3; ++i) {
+        const std::size_t nl = payload.find('\n', from);
+        if (nl == std::string::npos) return false;
+        fields.push_back(payload.substr(from, nl - from));
+        from = nl + 1;
+      }
+      diag::Diagnostic d;
+      d.severity = fields[0] == "error"     ? diag::Severity::kError
+                   : fields[0] == "warning" ? diag::Severity::kWarning
+                                            : diag::Severity::kNote;
+      d.code = fields[1];
+      d.where = fields[2];
+      d.message = payload.substr(from);
+      outcome->engine.report(std::move(d));
+    } else if (key == "counter") {
+      const std::size_t space = payload.find(' ');
+      long long value = 0;
+      if (space == std::string::npos ||
+          !parse_int(payload.substr(0, space), &value))
+        return false;
+      outcome->tracer.add_counter(payload.substr(space + 1), value);
+    } else if (key == "end") {
+      complete = true;
+      break;
+    }
+    // Unknown keys are skipped: older parents tolerate newer children.
+  }
+  return complete;
+}
+
+// ---- Child side -------------------------------------------------------------
+
+void write_all(int fd, const std::string& data) {
+  std::size_t at = 0;
+  while (at < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + at, data.size() - at);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // parent gone; nothing useful left to do
+    }
+    at += static_cast<std::size_t>(n);
+  }
+}
+
+// Compiles one model and streams the outcome record to `fd`.  Runs in the
+// forked child; must _exit (never return into the parent's stack teardown).
+[[noreturn]] void child_main(int fd, const std::string& path,
+                             const BatchOptions& options,
+                             const AnalysisCache* cache) {
+  if (support::faultinject::at("worker.start")) ::_exit(kExitStart);
+#ifndef FRODO_ASAN
+  if (options.memory_per_model_mb > 0) {
+    struct rlimit limit;
+    limit.rlim_cur = limit.rlim_max =
+        static_cast<rlim_t>(options.memory_per_model_mb) << 20;
+    ::setrlimit(RLIMIT_AS, &limit);
+  }
+#endif
+
+  ModelOutcome outcome;
+  outcome.input_path = path;
+  outcome.engine = diag::Engine(options.max_errors);
+
+  // Cooperative deadline inside the child gives a clean E911 record; the
+  // parent's SIGKILL is the backstop for code that stops polling.
+  support::CancelToken token;
+  if (options.timeout_per_model_ms > 0)
+    token.set_timeout_ms(options.timeout_per_model_ms);
+  support::CancelScope cancel_scope(
+      options.timeout_per_model_ms > 0 ? &token : nullptr);
+  support::faultinject::ScopedContext fault_context(path);
+
+  trace::Tracer* previous = trace::install(&outcome.tracer);
+  try {
+    outcome.exit_code =
+        compile_one_model(path, options, cache, nullptr, &outcome);
+  } catch (const std::bad_alloc&) {
+    trace::install(previous);
+    ::_exit(kExitOom);
+  }
+  trace::install(previous);
+
+  write_all(fd, encode_outcome(outcome));
+  ::_exit(kExitRecord);
+}
+
+// ---- Parent side ------------------------------------------------------------
+
+struct ChildSlot {
+  pid_t pid = -1;
+  int fd = -1;             // read end of the result pipe
+  std::size_t index = 0;   // model index in the batch
+  int attempt = 1;
+  std::string buffer;      // record bytes received so far
+  bool has_deadline = false;
+  Clock::time_point deadline;
+  bool killed_on_timeout = false;
+};
+
+struct PendingRetry {
+  std::size_t index = 0;
+  int attempt = 1;         // the attempt about to run
+  Clock::time_point ready;
+};
+
+long long ms_until(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(t -
+                                                               Clock::now())
+      .count();
+}
+
+// One failure record: coded diagnostic + failure kind on the outcome.
+void record_failure(ModelOutcome* outcome, const char* code,
+                    const char* kind, const std::string& message,
+                    int exit_code) {
+  outcome->engine.error(code, message, outcome->input_path);
+  outcome->failure_kind = kind;
+  outcome->exit_code = exit_code;
+}
+
+}  // namespace
+
+void compile_batch_isolated(const std::vector<std::string>& inputs,
+                            const BatchOptions& options,
+                            const AnalysisCache* cache, BatchResult* result) {
+  const int jobs = options.jobs < 1 ? 1 : options.jobs;
+  const int max_attempts = 1 + (options.retries < 0 ? 0 : options.retries);
+
+  std::vector<ChildSlot> running;
+  std::vector<PendingRetry> retries;
+  std::size_t next = 0;
+
+  auto spawn = [&](std::size_t index, int attempt) {
+    ModelOutcome& outcome = result->models[index];
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      record_failure(&outcome, diag::codes::kIsolateInfra, "infra",
+                     std::string("pipe failed: ") + ::strerror(errno), 2);
+      return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      record_failure(&outcome, diag::codes::kIsolateInfra, "infra",
+                     std::string("fork failed: ") + ::strerror(errno), 2);
+      return;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      child_main(fds[1], inputs[index], options, cache);  // never returns
+    }
+    ::close(fds[1]);
+    // Non-blocking reads: the parent drains whatever poll() reported and
+    // never wedges on a child that stops mid-frame.
+    ::fcntl(fds[0], F_SETFL, ::fcntl(fds[0], F_GETFL, 0) | O_NONBLOCK);
+    ChildSlot slot;
+    slot.pid = pid;
+    slot.fd = fds[0];
+    slot.index = index;
+    slot.attempt = attempt;
+    if (options.timeout_per_model_ms > 0) {
+      slot.has_deadline = true;
+      // The parent-side kill deadline trails the child's cooperative one so
+      // a well-behaved child gets to write its own E911 record first.
+      slot.deadline = Clock::now() + std::chrono::milliseconds(
+                                         options.timeout_per_model_ms + 250);
+    }
+    running.push_back(slot);
+  };
+
+  auto schedule_retry_or_fail =
+      [&](const ChildSlot& slot, const char* code, const char* kind,
+          const std::string& message, int exit_code) {
+        ModelOutcome& outcome = result->models[slot.index];
+        outcome.attempts = slot.attempt;
+        if (slot.attempt < max_attempts) {
+          outcome.tracer.add_counter("compile_retries", 1);
+          PendingRetry retry;
+          retry.index = slot.index;
+          retry.attempt = slot.attempt + 1;
+          const long long backoff =
+              options.retry_backoff_ms > 0
+                  ? options.retry_backoff_ms << (slot.attempt - 1)
+                  : 0;
+          retry.ready = Clock::now() + std::chrono::milliseconds(backoff);
+          retries.push_back(retry);
+          return;
+        }
+        record_failure(&outcome, code, kind, message, exit_code);
+      };
+
+  auto finalize = [&](ChildSlot& slot) {
+    int status = 0;
+    while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    ::close(slot.fd);
+    ModelOutcome& outcome = result->models[slot.index];
+    const std::string attempt_note =
+        " (attempt " + std::to_string(slot.attempt) + " of " +
+        std::to_string(max_attempts) + ")";
+
+    if (slot.killed_on_timeout) {
+      schedule_retry_or_fail(
+          slot, diag::codes::kDeadline, "timeout",
+          "compile exceeded --timeout-per-model (" +
+              std::to_string(options.timeout_per_model_ms) +
+              " ms); worker killed" + attempt_note,
+          1);
+      return;
+    }
+    if (WIFSIGNALED(status)) {
+      schedule_retry_or_fail(
+          slot, diag::codes::kChildCrash, "crash",
+          "compile worker crashed with signal " +
+              std::to_string(WTERMSIG(status)) + attempt_note,
+          1);
+      return;
+    }
+    const int child_exit = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (child_exit == kExitOom) {
+      schedule_retry_or_fail(
+          slot, diag::codes::kChildOom, "oom",
+          "compile worker exceeded --memory-per-model (" +
+              std::to_string(options.memory_per_model_mb) + " MiB)" +
+              attempt_note,
+          1);
+      return;
+    }
+    if (child_exit == kExitStart) {
+      schedule_retry_or_fail(slot, diag::codes::kIsolateInfra, "infra",
+                             "compile worker failed to start" + attempt_note,
+                             2);
+      return;
+    }
+    ModelOutcome parsed;
+    parsed.input_path = outcome.input_path;
+    parsed.engine = diag::Engine(options.max_errors);
+    if (child_exit != kExitRecord ||
+        !decode_outcome(slot.buffer, &parsed)) {
+      schedule_retry_or_fail(
+          slot, diag::codes::kIsolateInfra, "infra",
+          "compile worker returned no usable result record (exit " +
+              std::to_string(child_exit) + ")" + attempt_note,
+          2);
+      return;
+    }
+    // Keep retry accounting accumulated on the parent-side outcome across
+    // attempts; everything else comes from the child's record.
+    const long long prior_retries = outcome.tracer.counter("compile_retries");
+    outcome.model_name = std::move(parsed.model_name);
+    outcome.exit_code = parsed.exit_code;
+    outcome.failure_kind = std::move(parsed.failure_kind);
+    outcome.cache_checked = parsed.cache_checked;
+    outcome.cache_hit = parsed.cache_hit;
+    outcome.degraded_mask = parsed.degraded_mask;
+    outcome.code = std::move(parsed.code);
+    outcome.report = std::move(parsed.report);
+    outcome.engine = std::move(parsed.engine);
+    outcome.tracer = std::move(parsed.tracer);
+    if (prior_retries > 0)
+      outcome.tracer.add_counter("compile_retries", prior_retries);
+    outcome.attempts = slot.attempt;
+    if (slot.attempt > 1 && outcome.exit_code == 0)
+      outcome.engine.warning(
+          diag::codes::kWRetrySucceeded,
+          "compile succeeded on attempt " + std::to_string(slot.attempt) +
+              " of " + std::to_string(max_attempts),
+          outcome.input_path);
+  };
+
+  while (next < inputs.size() || !running.empty() || !retries.empty()) {
+    // Launch ready retries first (they hold batch slots), then fresh models,
+    // up to the concurrency cap.
+    for (std::size_t r = 0;
+         r < retries.size() && running.size() < static_cast<std::size_t>(jobs);) {
+      if (ms_until(retries[r].ready) <= 0) {
+        spawn(retries[r].index, retries[r].attempt);
+        retries.erase(retries.begin() + static_cast<long>(r));
+      } else {
+        ++r;
+      }
+    }
+    while (next < inputs.size() &&
+           running.size() < static_cast<std::size_t>(jobs)) {
+      const std::size_t index = next++;
+      ModelOutcome& outcome = result->models[index];
+      outcome.tracer.set_metadata("model", outcome.input_path);
+      outcome.tracer.set_metadata("generator", options.generator);
+      spawn(index, 1);
+    }
+    if (running.empty()) {
+      if (retries.empty()) break;
+      // Nothing in flight; sleep until the earliest retry is ready.
+      long long wait = 250;
+      for (const PendingRetry& retry : retries)
+        wait = std::min(wait, ms_until(retry.ready));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<long long>(wait, 1)));
+      continue;
+    }
+
+    // Wait for output, exit, or the nearest deadline.
+    std::vector<struct pollfd> fds(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      fds[i].fd = running[i].fd;
+      fds[i].events = POLLIN;
+      fds[i].revents = 0;
+    }
+    long long wait_ms = 250;
+    for (const ChildSlot& slot : running) {
+      if (slot.has_deadline)
+        wait_ms = std::min(wait_ms,
+                           std::max<long long>(ms_until(slot.deadline), 0));
+    }
+    ::poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
+
+    for (std::size_t i = running.size(); i-- > 0;) {
+      ChildSlot& slot = running[i];
+      bool eof = false;
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        char chunk[65536];
+        for (;;) {
+          const ssize_t n = ::read(slot.fd, chunk, sizeof chunk);
+          if (n > 0) {
+            slot.buffer.append(chunk, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) eof = true;
+          break;  // EOF, EAGAIN, or EINTR; poll again next round
+        }
+      }
+      if (!eof && slot.has_deadline && ms_until(slot.deadline) <= 0) {
+        // Unresponsive past the grace window: hard-kill.  The EOF from the
+        // dying child's pipe arrives immediately after.
+        slot.killed_on_timeout = true;
+        ::kill(slot.pid, SIGKILL);
+        eof = true;
+      }
+      if (eof) {
+        finalize(slot);
+        running.erase(running.begin() + static_cast<long>(i));
+      }
+    }
+  }
+}
+
+}  // namespace frodo::batch

@@ -1,0 +1,49 @@
+// Process isolation for batch compiles (`frodoc --batch --isolate=process`).
+//
+// Cooperative cancellation (support/cancel.hpp) bounds compiles that keep
+// reaching poll points; it cannot contain a crash in a pass, an allocation
+// storm, or a hang inside a call that never returns.  Isolation mode draws
+// the containment boundary at the process instead: every model compiles in
+// a forked child with
+//
+//   * an address-space rlimit (`--memory-per-model`), so an OOM is the
+//     child's std::bad_alloc — never the host's;
+//   * the per-model deadline enforced twice — cooperatively inside the
+//     child (a clean FRODO-E911 record) and by SIGKILL from the parent for
+//     children that stop responding;
+//   * results streamed back over a pipe as a framed record the parent
+//     merges into the ordinary ModelOutcome slot.
+//
+// A child that dies — signal, OOM exit, kill — becomes a structured
+// FRODO-E912/E913/E911 failure record, is retried up to `retries` times
+// with exponential backoff (transient faults deserve another chance;
+// deterministic ones just keep their record), and the rest of the batch
+// completes byte-identically to a clean run.
+//
+// Fork discipline: the parent never creates the thread pool in this mode —
+// children are forked from a single-threaded process (forking a
+// multi-threaded process and continuing without exec risks inheriting a
+// lock mid-flight).  `--jobs N` still applies: up to N children run
+// concurrently, multiplexed with poll(2) from the parent's one thread.
+//
+// Known trade-off: per-model trace *spans* are not serialized across the
+// pipe (counters and diagnostics are), so --isolate=process traces carry
+// counters only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+
+namespace frodo::batch {
+
+// Runs the isolate-mode compile loop, filling `result->models` (which the
+// caller has already sized and initialized) for every input.  The serial
+// write phase and summary aggregation stay with compile_batch.  `cache` may
+// be null.
+void compile_batch_isolated(const std::vector<std::string>& inputs,
+                            const BatchOptions& options,
+                            const AnalysisCache* cache, BatchResult* result);
+
+}  // namespace frodo::batch

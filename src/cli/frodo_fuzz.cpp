@@ -22,6 +22,9 @@ void usage() {
                "  --max-blocks K   block budget per model (default 24)\n"
                "  --steps N        simulation steps per config (default 3)\n"
                "  --jobs J         worker threads (default 1)\n"
+               "  --timeout-per-seed MS  wall-clock budget per seed; an\n"
+               "                   overrun is recorded as a phase=timeout\n"
+               "                   finding (default: no deadline)\n"
                "  --corpus DIR     write failing repros under DIR\n"
                "  --minimize       shrink failing models before writing\n"
                "  --no-minimize    keep failing models as generated\n"
@@ -72,6 +75,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       if (!next_value(&n)) return 2;
       options.jobs = static_cast<int>(n);
+    } else if (arg == "--timeout-per-seed") {
+      if (!next_value(&n) || n < 0) {
+        std::fprintf(stderr,
+                     "frodo-fuzz: --timeout-per-seed needs a non-negative "
+                     "millisecond count\n");
+        return 2;
+      }
+      options.timeout_per_seed_ms = n;
     } else if (arg == "--corpus") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "frodo-fuzz: --corpus needs a directory\n");

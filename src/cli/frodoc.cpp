@@ -19,6 +19,17 @@
 //   --cache-dir DIR    content-addressed analysis cache: reuse Algorithm 1
 //                      results across runs keyed by model + library + flags
 //   --no-cache         ignore --cache-dir (scripting convenience)
+//   --timeout-per-model MS   per-model wall-clock budget; an overrunning
+//                      compile unwinds with FRODO-E911 (docs/ROBUSTNESS.md)
+//   --isolate MODE     none (default) | process — with --batch, compile each
+//                      model in a sandboxed child so crashes / hangs / OOMs
+//                      become structured FRODO-E91x records
+//   --memory-per-model MB    address-space rlimit per isolated child
+//   --retries N        retry crashed / timed-out / OOMed isolated compiles
+//                      up to N times (default 0)
+//   --retry-backoff MS exponential backoff base between retries (default 100)
+//   --list-fault-sites print the registered fault-injection sites (see
+//                      FRODO_FAULT in docs/ROBUSTNESS.md) and exit
 //   --print-ranges     dump the calculation ranges (Algorithm 1); composes
 //                      with --report (ranges first, then the report), then
 //                      exits without generating code
@@ -60,7 +71,9 @@
 #include "codegen/report.hpp"
 #include "range/range_analysis.hpp"
 #include "slx/slx.hpp"
+#include "support/cancel.hpp"
 #include "support/diag.hpp"
+#include "support/faultinject.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -77,6 +90,9 @@ int usage(int code) {
                "[--out DIR] [--emit-main] [--[no-]fuse] "
                "[--[no-]shrink-buffers] [--[no-]alias-truncation] "
                "[--batch] [--jobs N] [--cache-dir DIR] [--no-cache] "
+               "[--timeout-per-model MS] [--isolate none|process] "
+               "[--memory-per-model MB] [--retries N] [--retry-backoff MS] "
+               "[--list-fault-sites] "
                "[--print-ranges] [--report text|json] [--trace-out FILE] "
                "[--profile-hooks] [-v|--verbose] [--check] "
                "[--strict] [--max-errors N] [--diag-format text|json] "
@@ -88,6 +104,15 @@ int list_blocks() {
   std::printf("supported block types:\n");
   for (const std::string& type : frodo::blocks::registered_types())
     std::printf("  %s\n", type.c_str());
+  return 0;
+}
+
+int list_fault_sites() {
+  std::printf("registered fault-injection sites (FRODO_FAULT="
+              "<site>:<nth>[:<kind>][@<model>]):\n");
+  for (const std::string& site :
+       frodo::support::faultinject::registered_sites())
+    std::printf("  %s\n", site.c_str());
   return 0;
 }
 
@@ -143,6 +168,11 @@ int main(int argc, char** argv) {
   int jobs = 1;
   int simd_width = 4;
   int max_errors = frodo::diag::Engine::kDefaultMaxErrors;
+  long long timeout_per_model_ms = 0;
+  std::string isolate = "none";
+  long long memory_per_model_mb = 0;
+  int retries = 0;
+  long long retry_backoff_ms = 100;
   frodo::codegen::OptimizeOptions optimize;  // all passes on by default
 
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +196,7 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") return usage(0);
     if (arg == "--list-blocks") return list_blocks();
+    if (arg == "--list-fault-sites") return list_fault_sites();
     if (arg == "--version") {
       std::printf("%s\n", frodo::version_string());
       return 0;
@@ -222,6 +253,54 @@ int main(int argc, char** argv) {
       cache_dir = v;
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--timeout-per-model") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "frodoc: --timeout-per-model expects a positive "
+                     "millisecond count\n");
+        return usage(2);
+      }
+      timeout_per_model_ms = n;
+    } else if (arg == "--isolate") {
+      const char* v = value();
+      if (v == nullptr ||
+          (std::strcmp(v, "none") != 0 && std::strcmp(v, "process") != 0)) {
+        std::fprintf(stderr,
+                     "frodoc: --isolate expects 'none' or 'process'\n");
+        return usage(2);
+      }
+      isolate = v;
+    } else if (arg == "--memory-per-model") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "frodoc: --memory-per-model expects a positive MiB "
+                     "count\n");
+        return usage(2);
+      }
+      memory_per_model_mb = n;
+    } else if (arg == "--retries") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 0) {
+        std::fprintf(stderr,
+                     "frodoc: --retries expects a non-negative integer\n");
+        return usage(2);
+      }
+      retries = static_cast<int>(n);
+    } else if (arg == "--retry-backoff") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 0) {
+        std::fprintf(stderr,
+                     "frodoc: --retry-backoff expects a non-negative "
+                     "millisecond count\n");
+        return usage(2);
+      }
+      retry_backoff_ms = n;
     } else if (arg == "--fuse") {
       optimize.fuse = true;
     } else if (arg == "--no-fuse") {
@@ -273,6 +352,13 @@ int main(int argc, char** argv) {
                  "--print-ranges or --emit-main\n");
     return usage(2);
   }
+  if (!batch_mode &&
+      (isolate != "none" || retries > 0 || memory_per_model_mb > 0)) {
+    std::fprintf(stderr,
+                 "frodoc: --isolate, --memory-per-model and --retries "
+                 "require --batch\n");
+    return usage(2);
+  }
 
   frodo::diag::Engine engine(max_errors);
 
@@ -303,10 +389,21 @@ int main(int argc, char** argv) {
   }
 
   // Workers beyond the calling thread, shared by batch-level and intra-model
-  // parallelism; 0 workers = fully serial.
-  frodo::support::ThreadPool pool(jobs - 1);
+  // parallelism; 0 workers = fully serial.  Process-isolation mode must fork
+  // from a single-threaded parent, so it gets no pool here — its concurrency
+  // comes from running children in parallel (batch/isolate.hpp).
+  const bool isolate_mode = batch_mode && isolate == "process";
+  frodo::support::ThreadPool pool(isolate_mode ? 0 : jobs - 1);
   frodo::support::ThreadPool* pool_ptr =
       pool.worker_count() > 0 ? &pool : nullptr;
+
+  // Single-model deadline: install the token here so every pass the run()
+  // below reaches polls it.  Batch mode arms one per model instead.
+  frodo::support::CancelToken deadline_token;
+  if (timeout_per_model_ms > 0 && !batch_mode) {
+    deadline_token.set_timeout_ms(timeout_per_model_ms);
+    frodo::support::cancel_install(&deadline_token);
+  }
 
   // The full pipeline, with diagnostics accumulated into `engine` and
   // flushed exactly once by the epilogue.
@@ -335,6 +432,11 @@ int main(int argc, char** argv) {
       bopts.jobs = jobs;
       bopts.cache_dir = cache_enabled ? cache_dir : std::string();
       bopts.report_format = report_format;
+      bopts.timeout_per_model_ms = timeout_per_model_ms;
+      bopts.isolate = isolate;
+      bopts.memory_per_model_mb = memory_per_model_mb;
+      bopts.retries = retries;
+      bopts.retry_backoff_ms = retry_backoff_ms;
 
       frodo::batch::BatchResult result =
           frodo::batch::compile_batch(models, bopts);
@@ -527,6 +629,7 @@ int main(int argc, char** argv) {
   int rc = run();
 
   // Epilogue: stop tracing, export, flush all diagnostics once, summarize.
+  frodo::support::cancel_install(nullptr);
   frodo::trace::install(nullptr);
   if (!trace_out.empty()) {
     auto status = frodo::zip::write_file(trace_out, tracer.chrome_json());

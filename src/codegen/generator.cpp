@@ -6,6 +6,9 @@
 #include "codegen/optimize.hpp"
 #include "graph/graph.hpp"
 #include "model/flatten.hpp"
+#include "support/cancel.hpp"
+#include "support/diag.hpp"
+#include "support/faultinject.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -125,13 +128,29 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   // buffers and the emission below is unchanged.
   const bool optimize_active = style() == EmitStyle::kFrodo &&
                                !block_functions() && optimize_options().any();
-  const OptimizePlan plan = plan_optimizations(
-      analysis, ranges,
-      optimize_active ? optimize_options() : OptimizeOptions::none());
+  const OptimizeOptions active_opts =
+      optimize_active ? optimize_options() : OptimizeOptions::none();
+  // Each pass has a named fault site so the degradation ladder (batch
+  // retries with the failing flag masked off) can be exercised on demand;
+  // a site is only reachable while its pass is enabled, so masking the
+  // flag genuinely clears the failure.
+  FRODO_RETURN_IF_ERROR(support::cancel_poll());
+  if (active_opts.fuse)
+    FRODO_RETURN_IF_ERROR(support::faultinject::check(
+        "pass.optimize.fuse", diag::codes::kOptimizerPass));
+  if (active_opts.shrink_buffers)
+    FRODO_RETURN_IF_ERROR(support::faultinject::check(
+        "pass.optimize.shrink", diag::codes::kOptimizerPass));
+  if (active_opts.alias_truncation)
+    FRODO_RETURN_IF_ERROR(support::faultinject::check(
+        "pass.optimize.alias", diag::codes::kOptimizerPass));
+  const OptimizePlan plan = plan_optimizations(analysis, ranges, active_opts);
 
   // Everything below — buffer planning, header and step-code assembly — is
   // the emit phase of the trace.
   trace::Scope emit_span("emit");
+  FRODO_RETURN_IF_ERROR(
+      support::faultinject::check("pass.emit", diag::codes::kCodegenEmit));
 
   GeneratedCode code;
   code.model_name = m.name();
@@ -147,6 +166,8 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
   const int n = graph.block_count();
 
   // ---- Buffer planning -------------------------------------------------------
+  FRODO_RETURN_IF_ERROR(
+      support::faultinject::check("alloc.buffers", diag::codes::kInternal));
   Buffers buffers;
   buffers.out.resize(static_cast<std::size_t>(n));
   buffers.state.resize(static_cast<std::size_t>(n));
@@ -530,6 +551,7 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
 
   auto render_unit = [&](const EmitUnit& unit, std::size_t site,
                          CWriter& uw) -> Status {
+    FRODO_RETURN_IF_ERROR(support::cancel_poll());
     const BlockId id = unit.id;
     EmitContext ctx = proto;
     ctx.w = &uw;
@@ -621,7 +643,12 @@ Result<GeneratedCode> Generator::generate(const model::Model& m,
         units.size() > 1) {
       trace::count("emit_parallel_units",
                    static_cast<long long>(units.size()));
-      options.pool->parallel_for(units.size(), render_at);
+      // Units rendering on pool workers poll the submitting thread's token.
+      support::CancelToken* token = support::cancel_current();
+      options.pool->parallel_for(units.size(), [&](std::size_t k) {
+        support::CancelScope cancel_scope(token);
+        render_at(k);
+      });
     } else {
       for (std::size_t k = 0; k < units.size(); ++k) render_at(k);
     }

@@ -10,6 +10,7 @@
 
 #include "fuzz/minimize.hpp"
 #include "slx/slx.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 
 namespace frodo::fuzz {
@@ -36,7 +37,7 @@ void write_corpus_entry(const CampaignOptions& options, const Failure& f) {
   fs::create_directories(dir, ec);
   if (ec) return;
   (void)slx::save(f.original, dir + "/original.slxz");
-  if (options.minimize)
+  if (options.minimize && f.outcome.phase != "timeout")
     (void)slx::save(f.minimized, dir + "/minimized.slxz");
   std::ofstream report(dir + "/failure.txt");
   report << "seed: " << f.seed << "\n"
@@ -77,6 +78,14 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     const std::uint64_t seed =
         options.base_seed + static_cast<std::uint64_t>(index);
 
+    // Each seed gets its own deadline token: a hanging JIT compare becomes
+    // a phase="timeout" finding for that seed, and the worker moves on.
+    support::CancelToken deadline;
+    if (options.timeout_per_seed_ms > 0)
+      deadline.set_timeout_ms(options.timeout_per_seed_ms);
+    support::CancelScope cancel_scope(
+        options.timeout_per_seed_ms > 0 ? &deadline : nullptr);
+
     auto generated = generate_model(seed, options.gen);
     if (!generated.is_ok()) {
       generation_error[index] = 1;
@@ -103,8 +112,12 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       auto failure = std::make_unique<Failure>();
       failure->seed = seed;
       failure->outcome = outcome;
+      // A timeout finding is never minimized: the token is already expired,
+      // so every probe would trivially "fail the same way".
+      const bool minimize =
+          options.minimize && outcome.phase != "timeout";
       failure->minimized =
-          options.minimize
+          minimize
               ? minimize_model(generated.value(),
                                [&](const model::Model& candidate) {
                                  return fails_same_way(candidate, outcome,

@@ -30,6 +30,10 @@ struct CampaignOptions {
   // <corpus_dir>/seed_<seed>/{original.slxz, minimized.slxz, failure.txt}.
   std::string corpus_dir;
   bool verbose = false;
+  // Wall-clock budget per seed (generation + full differential).  A seed
+  // that overruns it is recorded as a failure in phase "timeout" instead of
+  // wedging its worker for the rest of the campaign.  0 = no deadline.
+  long long timeout_per_seed_ms = 0;
 };
 
 struct Failure {

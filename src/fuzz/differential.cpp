@@ -12,6 +12,8 @@
 #include "jit/jit.hpp"
 #include "model/flatten.hpp"
 #include "slx/slx.hpp"
+#include "support/cancel.hpp"
+#include "support/diag.hpp"
 
 namespace frodo::fuzz {
 
@@ -53,6 +55,24 @@ bool values_match(double want, double got, double rel_tolerance) {
          rel_tolerance * std::fmax(1.0, std::fabs(want));
 }
 
+// True when the thread's installed CancelToken (the campaign's per-seed
+// deadline) wants us to stop; the caller converts this into a
+// phase="timeout" outcome at the next boundary.
+bool out_of_time() {
+  const support::CancelToken* token = support::cancel_current();
+  return token != nullptr && token->stop_requested();
+}
+
+DiffOutcome timed_out(const std::string& generator, int configs_run) {
+  DiffOutcome out;
+  out.failed = true;
+  out.phase = "timeout";
+  out.generator = generator;
+  out.detail = "per-seed deadline exceeded";
+  out.configs_run = configs_run;
+  return out;
+}
+
 DiffOutcome fail(std::string phase, std::string generator, std::string detail,
                  int configs_run) {
   DiffOutcome out;
@@ -83,6 +103,8 @@ std::vector<std::string> generator_labels() {
 
 DiffOutcome run_differential(const model::Model& m,
                              const DiffOptions& options) {
+  if (out_of_time()) return timed_out("", 0);
+
   // Phase 1: package round-trip.  The round-tripped model is used for
   // everything downstream, so serializer bugs surface either here (XML not
   // stable) or as an analysis/compare divergence.
@@ -113,11 +135,20 @@ DiffOutcome run_differential(const model::Model& m,
     if (!options.only_generator.empty() &&
         config.label != options.only_generator)
       continue;
+    if (out_of_time()) return timed_out(config.label, outcome.configs_run);
 
     auto code = config.gen->generate(model);
-    if (!code.is_ok())
+    if (!code.is_ok()) {
+      // FRODO configurations poll the installed deadline inside their
+      // passes and unwind with FRODO-E910/E911 — that is the deadline
+      // firing, not a generator bug.
+      const std::string& status_code = code.status().code();
+      if (status_code == diag::codes::kCancelled ||
+          status_code == diag::codes::kDeadline)
+        return timed_out(config.label, outcome.configs_run);
       return fail("generate", config.label, code.message(),
                   outcome.configs_run);
+    }
     auto compiled =
         jit::compile_and_load(code.value(), profile, options.workdir);
     if (!compiled.is_ok())
@@ -131,6 +162,7 @@ DiffOutcome run_differential(const model::Model& m,
                   outcome.configs_run);
 
     for (int step = 0; step < options.steps; ++step) {
+      if (out_of_time()) return timed_out(config.label, outcome.configs_run);
       auto inputs = jit::random_inputs(
           code.value(),
           options.input_seed + static_cast<std::uint64_t>(step) * 1000003ull);

@@ -31,7 +31,9 @@ struct DiffOptions {
 
 struct DiffOutcome {
   bool failed = false;
-  // "roundtrip" | "analyze" | "generate" | "compile" | "compare".
+  // "roundtrip" | "analyze" | "generate" | "compile" | "compare", or
+  // "timeout" when an installed support::CancelToken deadline expired
+  // mid-differential (the generator label names where it was caught).
   std::string phase;
   // Generator configuration label ("Simulink", "Frodo[fsa]", ...); empty
   // for model-level phases.

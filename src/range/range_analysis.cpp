@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "support/cancel.hpp"
+#include "support/diag.hpp"
+#include "support/faultinject.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -203,6 +206,7 @@ class Determiner {
     std::vector<Frame> frames{{root}};
     computed_[static_cast<std::size_t>(root)] = true;
     while (!frames.empty()) {
+      FRODO_RETURN_IF_ERROR(support::cancel_poll());
       ++tally_.worklist_iterations;
       Frame& f = frames.back();
       const auto& out_edges = a_.graph->out_edges(f.id);
@@ -368,6 +372,9 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
                                        diag::Engine* engine,
                                        support::ThreadPool* pool) {
   trace::Scope span("range_analysis");
+  FRODO_RETURN_IF_ERROR(support::cancel_poll());
+  FRODO_RETURN_IF_ERROR(
+      support::faultinject::check("pass.range", diag::codes::kInternal));
   RangeAnalysis r;
   const int n = analysis.graph->block_count();
   r.out_ranges.resize(static_cast<std::size_t>(n));
@@ -397,8 +404,12 @@ Result<RangeAnalysis> determine_ranges(const blocks::Analysis& analysis,
     trace::count("range_partitions", n_comp);
     std::vector<Status> status(static_cast<std::size_t>(n_comp));
     std::vector<Tally> tallies(static_cast<std::size_t>(n_comp));
+    // Cancellation follows the work onto the pool: each worker re-installs
+    // the submitting thread's token for the duration of its component.
+    support::CancelToken* token = support::cancel_current();
     pool->parallel_for(
         static_cast<std::size_t>(n_comp), [&](std::size_t c) {
+          support::CancelScope cancel_scope(token);
           Determiner determiner(analysis, &r, warning_slots, &tallies[c],
                                 &component, static_cast<int>(c));
           status[c] = determiner.run();

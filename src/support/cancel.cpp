@@ -1,0 +1,46 @@
+#include "support/cancel.hpp"
+
+#include "support/diag.hpp"
+
+namespace frodo::support {
+
+namespace {
+
+thread_local CancelToken* t_token = nullptr;
+thread_local unsigned t_poll_counter = 0;
+
+}  // namespace
+
+Status CancelToken::status() const {
+  if (cancelled())
+    return Status::error(std::string(diag::codes::kCancelled),
+                         "compilation cancelled");
+  if (expired())
+    return Status::error(std::string(diag::codes::kDeadline),
+                         "per-model deadline exceeded");
+  return Status::ok();
+}
+
+CancelToken* cancel_install(CancelToken* token) {
+  CancelToken* previous = t_token;
+  t_token = token;
+  t_poll_counter = 0;
+  return previous;
+}
+
+CancelToken* cancel_current() { return t_token; }
+
+Status cancel_poll() {
+  CancelToken* token = t_token;
+  if (token == nullptr) return Status::ok();
+  if (token->cancelled())
+    return Status::error(std::string(diag::codes::kCancelled),
+                         "compilation cancelled");
+  // The deadline check reads the clock; stride it so tight loops stay cheap.
+  if ((t_poll_counter++ & 63u) == 0 && token->expired())
+    return Status::error(std::string(diag::codes::kDeadline),
+                         "per-model deadline exceeded");
+  return Status::ok();
+}
+
+}  // namespace frodo::support

@@ -1,0 +1,107 @@
+// Cooperative cancellation and deadline tokens.
+//
+// A CancelToken carries a "stop now" request — an explicit cancel() from a
+// caller (a batch abort, a service shutting down) or a wall-clock deadline
+// (`frodoc --batch --timeout-per-model`).  The long-running passes — range
+// analysis worklists, optimization planning, snippet emission — poll the
+// token at loop boundaries and unwind with a structured Status
+// (FRODO-E910 cancelled / FRODO-E911 deadline) instead of running to
+// completion; the batch driver turns that Status into a per-model failure
+// record and moves on to the next model.
+//
+// Like trace::Tracer, the token is *installed* thread-locally rather than
+// threaded through every pass signature: library loops call
+// `support::cancel_poll()` unconditionally, which is a single relaxed load
+// when no token is installed.  The helpers that fan work out to pool workers
+// (range partitioning, parallel emission, the batch loop itself) re-install
+// the calling thread's token inside the worker body, so cancellation follows
+// the work onto the pool.
+//
+// Cooperative polling bounds *well-behaved* compiles.  Code that never
+// returns to a poll point (a wedged third-party call, a pathological libc
+// allocation) is out of reach by design — that is what
+// `--isolate=process` is for (batch/isolate.hpp): the child is killed with
+// a signal and the parent synthesizes the same structured record.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "support/status.hpp"
+
+namespace frodo::support {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cooperative cancellation; safe from any thread, sticky.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // Arms a wall-clock deadline `timeout_ms` from now (<= 0 disarms).
+  void set_timeout_ms(long long timeout_ms) {
+    if (timeout_ms <= 0) {
+      has_deadline_.store(false, std::memory_order_release);
+      return;
+    }
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms);
+    expired_.store(false, std::memory_order_release);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // True once the armed deadline has passed.  The first expiring check
+  // latches the flag, so later polls skip the clock read.
+  bool expired() const {
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    if (expired_.load(std::memory_order_acquire)) return true;
+    if (std::chrono::steady_clock::now() < deadline_) return false;
+    expired_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool stop_requested() const { return cancelled() || expired(); }
+
+  // OK while running is allowed; otherwise the structured reason
+  // (FRODO-E910 cancelled, FRODO-E911 deadline exceeded).
+  Status status() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  mutable std::atomic<bool> expired_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+// Installs `token` as the calling thread's cancellation source (nullptr
+// disarms); returns the previously installed token so callers can restore
+// it.  Mirrors trace::install.
+CancelToken* cancel_install(CancelToken* token);
+CancelToken* cancel_current();
+
+// RAII installation for scopes that fan out to pool workers.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken* token)
+      : previous_(cancel_install(token)) {}
+  ~CancelScope() { cancel_install(previous_); }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken* previous_;
+};
+
+// The poll called from pass loops: OK when no token is installed or no stop
+// was requested.  Deadline checks (a clock read) run on the first call and
+// then every 64th, so a tight worklist pays one relaxed load + a counter
+// bump per iteration.
+Status cancel_poll();
+
+}  // namespace frodo::support

@@ -64,6 +64,9 @@ inline constexpr char kAnalysisShape[] = "FRODO-E401";
 inline constexpr char kCodegenEmit[] = "FRODO-E402";
 // Index-mapping arithmetic would overflow (IndexSet::affine_expand).
 inline constexpr char kMappingOverflow[] = "FRODO-E403";
+// An optimizer pass failed; the model may still compile with that pass
+// masked off (see kWOptimizerDegraded).
+inline constexpr char kOptimizerPass[] = "FRODO-E404";
 // Usage / internal.
 inline constexpr char kInternal[] = "FRODO-E901";
 // Output artifacts (generated sources, trace files) cannot be written.
@@ -77,10 +80,29 @@ inline constexpr char kBatchInput[] = "FRODO-E904";
 // Two batch models map to the same output file prefix; the later one is not
 // written (it would clobber the first).
 inline constexpr char kBatchOutputClash[] = "FRODO-E905";
+// Fault tolerance (batch / isolation).  A compile was stopped or contained;
+// the rest of the batch is unaffected.
+inline constexpr char kCancelled[] = "FRODO-E910";
+inline constexpr char kDeadline[] = "FRODO-E911";
+// An isolated worker died on a signal (crash) before producing a result.
+inline constexpr char kChildCrash[] = "FRODO-E912";
+// An isolated worker exceeded its memory cap (--memory-per-model).
+inline constexpr char kChildOom[] = "FRODO-E913";
+// The isolation machinery itself failed (fork/pipe/wait) — an
+// infrastructure error, not a verdict on the model.
+inline constexpr char kIsolateInfra[] = "FRODO-E914";
 // Warnings (graceful degradation).
 inline constexpr char kWUnknownBlockType[] = "FRODO-W001";
 inline constexpr char kWPullbackFallback[] = "FRODO-W002";
 inline constexpr char kWErrorLimit[] = "FRODO-W003";
+// The model compiled only after masking optimizer flags off (degradation
+// ladder); the message names the disabled passes.
+inline constexpr char kWOptimizerDegraded[] = "FRODO-W004";
+// An isolated compile succeeded after one or more retries.
+inline constexpr char kWRetrySucceeded[] = "FRODO-W005";
+// An analysis-cache read or write failed; the compile proceeded without
+// the cache (slower, never wrong).
+inline constexpr char kWCacheDegraded[] = "FRODO-W006";
 }  // namespace codes
 
 enum class Severity { kNote, kWarning, kError };

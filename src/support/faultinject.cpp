@@ -1,0 +1,217 @@
+#include "support/faultinject.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "support/cancel.hpp"
+#include "support/strings.hpp"
+
+namespace frodo::support::faultinject {
+
+namespace {
+
+enum class Kind { kFail, kCrash, kHang, kOom };
+
+struct Spec {
+  std::string site;
+  long long nth = 1;          // fire on the nth hit (1-based)
+  Kind kind = Kind::kFail;
+  std::string model_filter;   // substring of the installed context; empty = any
+  long long hits = 0;         // hits matching this spec's site + filter
+  bool fired = false;         // each spec fires at most once
+};
+
+struct State {
+  std::mutex mu;
+  std::vector<Spec> specs;  // guarded by mu
+};
+
+// `armed` is the fast-path gate: a single relaxed load on every at() call
+// when nothing is armed.  The spec list behind it is mutex-guarded.
+std::atomic<bool> g_armed{false};
+State& state() {
+  static State s;
+  return s;
+}
+
+thread_local std::string t_context;
+
+std::once_flag g_env_once;
+
+bool parse_kind(std::string_view text, Kind* out) {
+  if (text == "fail") *out = Kind::kFail;
+  else if (text == "crash") *out = Kind::kCrash;
+  else if (text == "hang") *out = Kind::kHang;
+  else if (text == "oom") *out = Kind::kOom;
+  else return false;
+  return true;
+}
+
+// <site>:<nth>[:<kind>][@<model>]
+bool parse_spec(std::string_view text, Spec* out) {
+  const size_t at_pos = text.find('@');
+  if (at_pos != std::string_view::npos) {
+    out->model_filter = std::string(text.substr(at_pos + 1));
+    if (out->model_filter.empty()) return false;
+    text = text.substr(0, at_pos);
+  }
+  std::vector<std::string> fields = split(text, ':');
+  if (fields.size() < 2 || fields.size() > 3) return false;
+  out->site = fields[0];
+  const auto& sites = registered_sites();
+  if (!std::binary_search(sites.begin(), sites.end(), out->site)) return false;
+  char* end = nullptr;
+  out->nth = std::strtoll(fields[1].c_str(), &end, 10);
+  if (end == fields[1].c_str() || *end != '\0' || out->nth < 1) return false;
+  if (fields.size() == 3 && !parse_kind(fields[2], &out->kind)) return false;
+  return true;
+}
+
+void ensure_armed_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("FRODO_FAULT");
+    if (env != nullptr && *env != '\0') arm(env);
+  });
+}
+
+// Allocates until std::bad_alloc, touching pages so the pressure is real
+// under an rlimit, bounded at 1 GiB so an un-capped process survives the
+// exercise.  On hitting the bound without an allocation failure the memory
+// is released and bad_alloc thrown anyway: the *site* promised an OOM.
+[[noreturn]] void inject_oom() {
+  constexpr size_t kChunk = 16ull << 20;   // 16 MiB
+  constexpr size_t kBound = 1ull << 30;    // 1 GiB
+  std::vector<std::unique_ptr<char[]>> chunks;
+  size_t total = 0;
+  while (total < kBound) {
+    std::unique_ptr<char[]> chunk(new char[kChunk]);
+    for (size_t i = 0; i < kChunk; i += 4096) chunk[i] = 1;
+    chunks.push_back(std::move(chunk));
+    total += kChunk;
+  }
+  chunks.clear();
+  throw std::bad_alloc();
+}
+
+// Spins until a stop is requested on the calling thread's CancelToken; with
+// no token, spins forever (the process-isolation watchdog owns the kill).
+void inject_hang() {
+  for (;;) {
+    CancelToken* token = cancel_current();
+    if (token != nullptr && token->stop_requested()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered_sites() {
+  // Sorted (parse_spec binary-searches it).  Adding a site here is all the
+  // registration a probe needs; the CI sweep derives its matrix from
+  // `frodoc --list-fault-sites`.
+  static const std::vector<std::string> kSites = {
+      "alloc.buffers",        // codegen buffer planning
+      "cache.read",           // analysis-cache lookup
+      "cache.write",          // analysis-cache store
+      "output.write",         // emitted-source write
+      "pass.emit",            // emission loop
+      "pass.optimize.alias",  // alias-truncation planning
+      "pass.optimize.fuse",   // loop-fusion planning
+      "pass.optimize.shrink", // buffer-shrink planning
+      "pass.range",           // range-analysis worklist
+      "worker.start",         // isolated child startup
+  };
+  return kSites;
+}
+
+bool at(std::string_view site) {
+  ensure_armed_from_env();
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  Kind kind;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    Spec* firing = nullptr;
+    for (Spec& spec : s.specs) {
+      if (spec.site != site) continue;
+      if (!spec.model_filter.empty() &&
+          t_context.find(spec.model_filter) == std::string::npos)
+        continue;
+      ++spec.hits;
+      if (!spec.fired && spec.hits == spec.nth) {
+        spec.fired = true;
+        firing = &spec;
+      }
+    }
+    if (firing == nullptr) return false;
+    kind = firing->kind;
+  }
+  // Effects run outside the lock: hang and oom take arbitrarily long, and
+  // other threads must keep passing through their own probes meanwhile.
+  switch (kind) {
+    case Kind::kFail:
+      return true;
+    case Kind::kCrash:
+      std::abort();
+    case Kind::kHang:
+      inject_hang();
+      return true;
+    case Kind::kOom:
+      inject_oom();
+  }
+  return true;
+}
+
+Status check(std::string_view site, std::string_view code) {
+  if (!at(site)) return Status::ok();
+  // A hang broken by the deadline (or an explicit cancel) is a timeout, not
+  // a pass bug: report the token's E910/E911 so the batch driver classifies
+  // the record as the fault kind actually simulated.
+  CancelToken* token = cancel_current();
+  if (token != nullptr && token->stop_requested())
+    return token->status().with_context("injected fault at site '" +
+                                        std::string(site) + "'");
+  return Status::error(std::string(code),
+                       "injected fault at site '" + std::string(site) + "'");
+}
+
+bool arm(std::string_view specs) {
+  std::vector<Spec> parsed;
+  for (const std::string& field : split(specs, ',')) {
+    std::string trimmed(trim(field));
+    if (trimmed.empty()) continue;
+    Spec spec;
+    if (!parse_spec(trimmed, &spec)) {
+      disarm();
+      return false;
+    }
+    parsed.push_back(std::move(spec));
+  }
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.specs = std::move(parsed);
+  g_armed.store(!s.specs.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void disarm() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.specs.clear();
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+ScopedContext::ScopedContext(std::string context)
+    : previous_(std::move(t_context)) {
+  t_context = std::move(context);
+}
+
+ScopedContext::~ScopedContext() { t_context = std::move(previous_); }
+
+}  // namespace frodo::support::faultinject

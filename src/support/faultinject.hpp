@@ -1,0 +1,76 @@
+// Deterministic fault injection.
+//
+// Every recovery path the fault-tolerance layer promises — cache misses on
+// corrupt entries, degraded optimizer retries, structured crash/timeout/OOM
+// records from isolated workers — is only trustworthy if it can be
+// *exercised on demand*.  This harness instruments the failure-prone sites
+// (allocation, cache read/write, output write, worker start, pass
+// boundaries) with named probes:
+//
+//   if (faultinject::at("cache.write")) { /* behave as if the write failed */ }
+//
+// Armed from the environment (`FRODO_FAULT=<site>:<nth>[:<kind>][@<model>]`,
+// comma-separated specs) or programmatically (tests), a probe fires at the
+// nth hit of its site — once — and otherwise stays a single relaxed atomic
+// load, so production runs pay nothing.
+//
+//   kind   effect at the firing site
+//   -----  ------------------------------------------------------------
+//   fail   at() returns true; the site takes its error path (default)
+//   crash  abort() — a SIGABRT, as a real bug in the pass would produce
+//   hang   spins until the installed CancelToken requests a stop, then
+//          fires — `check()` reports the token's E910/E911 (a broken hang
+//          *is* a timeout); with no token the spin is unbounded and the
+//          process-isolation watchdog must kill it
+//   oom    allocates until std::bad_alloc (bounded at 1 GiB so a
+//          misconfigured run cannot take the host down); the exception
+//          propagates out of at()
+//
+// `@<model>` restricts the spec to compiles whose installed context (the
+// model path, see ScopedContext) contains the substring — that is how a
+// batch test poisons exactly one model of ten.
+//
+// The site catalog is fixed at compile time (`registered_sites()`, surfaced
+// by `frodoc --list-fault-sites`) so CI can sweep every site mechanically.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::support::faultinject {
+
+// True when an armed fault fires at this site (see kinds above).  Arms
+// lazily from FRODO_FAULT on first use; a single relaxed load when nothing
+// is armed.
+bool at(std::string_view site);
+
+// Convenience for Status-returning sites: an error carrying `code` when the
+// fault fires, OK otherwise.
+Status check(std::string_view site, std::string_view code);
+
+// Replaces the armed spec list; empty or unparsable specs disarm.  Format
+// as in FRODO_FAULT.  Returns false (and disarms) on a spec naming an
+// unregistered site or malformed fields.
+bool arm(std::string_view specs);
+void disarm();
+
+// The compile-time site catalog, sorted.
+const std::vector<std::string>& registered_sites();
+
+// Installs `context` (the model path being compiled) as the calling
+// thread's fault-filter subject for `@<model>` specs.
+class ScopedContext {
+ public:
+  explicit ScopedContext(std::string context);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace frodo::support::faultinject

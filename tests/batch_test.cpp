@@ -19,6 +19,7 @@
 #include "model/flatten.hpp"
 #include "range/range_analysis.hpp"
 #include "slx/slx.hpp"
+#include "support/faultinject.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 #include "zip/zip.hpp"
@@ -495,6 +496,293 @@ TEST(FrodocBatch, SingleModelCacheReportsHitStatus) {
             0);
   EXPECT_NE(out.find("\"analysis_cache\": \"hit\""), std::string::npos)
       << out;
+}
+
+// -- Fault tolerance (docs/ROBUSTNESS.md) -------------------------------------
+
+// Like run_frodoc, but with environment assignments (e.g. a FRODO_FAULT
+// spec) prefixed to the command.
+int run_frodoc_env(const std::string& env, const std::string& args,
+                   std::string* stdout_text = nullptr,
+                   std::string* stderr_text = nullptr) {
+  const std::string dir = unique_dir("cap");
+  const std::string cmd = "env " + env + " " + std::string(FRODOC_PATH) +
+                          " " + args + " > '" + dir + "/out.txt' 2> '" + dir +
+                          "/err.txt'";
+  const int code = std::system(cmd.c_str());
+  if (stdout_text != nullptr) {
+    auto text = zip::read_file(dir + "/out.txt");
+    *stdout_text = text.is_ok() ? text.value() : "";
+  }
+  if (stderr_text != nullptr) {
+    auto text = zip::read_file(dir + "/err.txt");
+    *stderr_text = text.is_ok() ? text.value() : "";
+  }
+  return WEXITSTATUS(code);
+}
+
+// In-process fault-injection tests share the global harness; every test
+// must leave it disarmed.
+class BatchRobustness : public testing::Test {
+ protected:
+  void TearDown() override { support::faultinject::disarm(); }
+};
+
+TEST_F(BatchRobustness, DegradationLadderMasksFailingPassAndWarns) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  ASSERT_TRUE(support::faultinject::arm("pass.optimize.fuse:1"));
+
+  batch::BatchOptions options;
+  options.write_outputs = false;
+  const batch::BatchResult result = batch::compile_batch(paths, options);
+  ASSERT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.models.size(), 1u);
+  const batch::ModelOutcome& outcome = result.models[0];
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.degraded_mask, 1u);  // fuse bit masked off
+  EXPECT_EQ(result.degraded_models, 1);
+  bool warned = false;
+  for (const auto& d : outcome.engine.diagnostics())
+    if (d.code == "FRODO-W004") warned = true;
+  EXPECT_TRUE(warned) << outcome.engine.render_text();
+}
+
+TEST_F(BatchRobustness, LadderWalksToNooptWhenEveryPassFails) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  // Nth=1 per site: the first retry re-runs shrink+alias, so those sites
+  // fire on their next hit and the ladder must walk all the way down.
+  ASSERT_TRUE(support::faultinject::arm(
+      "pass.optimize.fuse:1,pass.optimize.shrink:1,pass.optimize.alias:1"));
+
+  batch::BatchOptions options;
+  options.write_outputs = false;
+  const batch::BatchResult result = batch::compile_batch(paths, options);
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.models[0].degraded_mask, 7u);  // fuse|shrink|alias
+}
+
+TEST_F(BatchRobustness, HangAgainstDeadlineRecordsTimeout) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  ASSERT_TRUE(support::faultinject::arm("pass.range:1:hang"));
+
+  batch::BatchOptions options;
+  options.write_outputs = false;
+  options.timeout_per_model_ms = 100;
+  const batch::BatchResult result = batch::compile_batch(paths, options);
+  EXPECT_EQ(result.exit_code, 1);
+  ASSERT_EQ(result.models.size(), 1u);
+  EXPECT_EQ(result.models[0].failure_kind, "timeout");
+  EXPECT_EQ(result.timeouts, 1);
+  bool coded = false;
+  for (const auto& d : result.models[0].engine.diagnostics())
+    if (d.code == "FRODO-E911") coded = true;
+  EXPECT_TRUE(coded) << result.models[0].engine.render_text();
+}
+
+TEST_F(BatchRobustness, CacheFaultsDegradeSoftlyWithW006) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  ASSERT_TRUE(support::faultinject::arm("cache.read:1,cache.write:1"));
+
+  batch::BatchOptions options;
+  options.write_outputs = false;
+  options.cache_dir = unique_dir("faultcache");
+  const batch::BatchResult result = batch::compile_batch(paths, options);
+  ASSERT_EQ(result.exit_code, 0);  // cache faults are never fatal
+  int w006 = 0;
+  for (const auto& d : result.models[0].engine.diagnostics())
+    if (d.code == "FRODO-W006") ++w006;
+  EXPECT_EQ(w006, 2);  // one for the read, one for the write
+}
+
+TEST_F(BatchRobustness, InProcessOomIsContainedToItsModel) {
+  std::vector<std::string> paths;
+  write_bench_models(2, &paths);
+  const std::string victim =
+      paths[0].substr(paths[0].find_last_of('/') + 1);
+  ASSERT_TRUE(
+      support::faultinject::arm("alloc.buffers:1:oom@" + victim));
+
+  batch::BatchOptions options;
+  options.write_outputs = false;
+  const batch::BatchResult result = batch::compile_batch(paths, options);
+  EXPECT_EQ(result.exit_code, 1);
+  ASSERT_EQ(result.models.size(), 2u);
+  EXPECT_EQ(result.models[0].failure_kind, "oom");
+  EXPECT_EQ(result.models[1].exit_code, 0);  // the batch survived
+  EXPECT_EQ(result.ooms, 1);
+}
+
+TEST(AnalysisCacheRobustness, CorruptEntryIsQuarantinedToBad) {
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  const range::RangeAnalysis ranges =
+      analyzed_ranges(model.value(), &analysis, &flat, &graph);
+
+  const batch::AnalysisCache cache(unique_dir("quarantine"));
+  const std::string key = batch::cache_key(model.value(), 7, "frodo");
+  cache.store(key, ranges);
+  // Flip payload bytes without touching the checksum header.
+  std::ofstream(cache.entry_path(key), std::ios::trunc)
+      << "sha256:0000000000000000000000000000000000000000000000000000000000"
+         "000000\ntampered";
+
+  range::RangeAnalysis out;
+  EXPECT_FALSE(cache.lookup(key, &out));
+  // The entry was moved aside, not deleted: the evidence survives for a
+  // post-mortem, and the next lookup is a clean miss.
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(key)));
+  EXPECT_TRUE(std::filesystem::exists(cache.entry_path(key) + ".bad"));
+
+  // The slot is reusable after quarantine.
+  cache.store(key, ranges);
+  EXPECT_TRUE(cache.lookup(key, &out));
+}
+
+TEST(AnalysisCacheRobustness, StaleTmpFilesFromDeadWritersAreSwept) {
+  const std::string dir = unique_dir("tmpsweep");
+  // A temp file left by a writer that no longer exists (no pid this large)
+  // and one from a live process (our own).
+  const std::string stale = dir + "/deadbeef.bin.tmp.999999999";
+  const std::string live =
+      dir + "/cafe.bin.tmp." + std::to_string(::getpid());
+  std::ofstream(stale) << "orphaned";
+  std::ofstream(live) << "in flight";
+
+  auto model = benchmodels::build_back();
+  ASSERT_TRUE(model.is_ok());
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  const range::RangeAnalysis ranges =
+      analyzed_ranges(model.value(), &analysis, &flat, &graph);
+
+  const batch::AnalysisCache cache(dir);
+  cache.store(batch::cache_key(model.value(), 1, "frodo"), ranges);
+
+  EXPECT_FALSE(std::filesystem::exists(stale)) << "stale tmp not swept";
+  EXPECT_TRUE(std::filesystem::exists(live)) << "live tmp must survive";
+}
+
+// The poisoned-batch demo: ten models, one crashes, one hangs, one OOMs.
+// The batch exits 1 with three structured FRODO-E91x records and the other
+// seven compile byte-identically at any --jobs.
+TEST(FrodocIsolate, PoisonedBatchYieldsRecordsAndIdenticalSurvivors) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(10, &paths);
+  ASSERT_EQ(paths.size(), 10u);
+
+  auto base = [](const std::string& path) {
+    return path.substr(path.find_last_of('/') + 1);
+  };
+  const std::string crash_model = base(paths[1]);
+  const std::string hang_model = base(paths[4]);
+  const std::string oom_model = base(paths[7]);
+  const std::string fault = "FRODO_FAULT='pass.range:1:crash@" + crash_model +
+                            ",pass.range:1:hang@" + hang_model +
+                            ",alloc.buffers:1:oom@" + oom_model + "'";
+  const std::string common = "--batch '" + models +
+                             "' --isolate process --timeout-per-model 2000 "
+                             "--memory-per-model 512 --report json";
+
+  const std::string out1 = unique_dir("poison_j1");
+  const std::string out4 = unique_dir("poison_j4");
+  const std::string clean_dir = unique_dir("poison_clean");
+
+  std::string json1, err1, json4, err4, clean_json, clean_err;
+  EXPECT_EQ(run_frodoc_env(fault, common + " --jobs 1 --out '" + out1 + "'",
+                           &json1, &err1),
+            1)
+      << err1;
+  EXPECT_EQ(run_frodoc_env(fault, common + " --jobs 4 --out '" + out4 + "'",
+                           &json4, &err4),
+            1)
+      << err4;
+  ASSERT_EQ(run_frodoc("--batch '" + models +
+                           "' --isolate process --jobs 4 --report json "
+                           "--out '" + clean_dir + "'",
+                       &clean_json, &clean_err),
+            0)
+      << clean_err;
+
+  for (const std::string* json : {&json1, &json4}) {
+    EXPECT_NE(json->find("\"failure\": \"crash\""), std::string::npos);
+    EXPECT_NE(json->find("\"failure\": \"timeout\""), std::string::npos);
+    EXPECT_NE(json->find("\"failure\": \"oom\""), std::string::npos);
+    EXPECT_NE(json->find("\"crashes\": 1"), std::string::npos);
+    EXPECT_NE(json->find("\"timeouts\": 1"), std::string::npos);
+    EXPECT_NE(json->find("\"ooms\": 1"), std::string::npos);
+  }
+  // The structured records carry the documented codes.
+  for (const std::string* err : {&err1, &err4}) {
+    EXPECT_NE(err->find("FRODO-E911"), std::string::npos) << *err;
+    EXPECT_NE(err->find("FRODO-E912"), std::string::npos) << *err;
+    EXPECT_NE(err->find("FRODO-E913"), std::string::npos) << *err;
+  }
+
+  // The seven survivors are byte-identical across --jobs and match an
+  // unpoisoned run of the same batch.
+  int survivors = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(clean_dir)) {
+    const std::string name = entry.path().filename().string();
+    const std::string j1 = out1 + "/" + name;
+    const std::string j4 = out4 + "/" + name;
+    if (!std::filesystem::exists(j1)) continue;  // a poisoned model's output
+    ASSERT_TRUE(std::filesystem::exists(j4)) << name;
+    EXPECT_EQ(read_file(j1), read_file(entry.path().string())) << name;
+    EXPECT_EQ(read_file(j4), read_file(entry.path().string())) << name;
+    ++survivors;
+  }
+  EXPECT_EQ(survivors, 14);  // 7 models x (.c + .h)
+}
+
+TEST(FrodocIsolate, DeterministicCrashExhaustsRetriesAndKeepsRecord) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(2, &paths);
+  const std::string victim = paths[0].substr(paths[0].find_last_of('/') + 1);
+
+  std::string json, err;
+  const int code = run_frodoc_env(
+      "FRODO_FAULT='pass.range:1:crash@" + victim + "'",
+      "--batch '" + models + "' --isolate process --retries 2 "
+      "--retry-backoff 10 --report json --out '" + unique_dir("retry") + "'",
+      &json, &err);
+  EXPECT_EQ(code, 1) << err;
+  // Every re-forked child re-arms from the environment and crashes again:
+  // three attempts, two retries, and the E912 record stands.
+  EXPECT_NE(json.find("\"attempts\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retries\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failure\": \"crash\""), std::string::npos) << json;
+  EXPECT_NE(err.find("FRODO-E912"), std::string::npos) << err;
+}
+
+TEST(FrodocBatch, OutputWriteFaultIsInfrastructureExit2) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(1, &paths);
+  std::string json, err;
+  const int code = run_frodoc_env(
+      "FRODO_FAULT='output.write:1'",
+      "--batch '" + models + "' --report json --out '" +
+          unique_dir("wfault") + "'",
+      &json, &err);
+  EXPECT_EQ(code, 2) << err;
+  EXPECT_NE(json.find("\"failure\": \"infra\""), std::string::npos) << json;
+  EXPECT_NE(err.find("FRODO-E902"), std::string::npos) << err;
+}
+
+TEST(FrodocBatch, IsolationFlagsRequireBatchMode) {
+  std::vector<std::string> paths;
+  write_bench_models(1, &paths);
+  std::string out, err;
+  EXPECT_EQ(run_frodoc("'" + paths[0] + "' --isolate process", &out, &err),
+            2);
+  EXPECT_NE(err.find("--batch"), std::string::npos) << err;
 }
 
 }  // namespace

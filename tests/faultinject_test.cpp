@@ -1,0 +1,188 @@
+// Cancellation tokens and the deterministic fault-injection harness
+// (support/cancel.hpp, support/faultinject.hpp): spec parsing, nth-hit
+// arming, @model filters, and the E910/E911 status plumbing the batch
+// driver relies on.
+#include "support/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/cancel.hpp"
+#include "support/diag.hpp"
+
+namespace frodo::support {
+namespace {
+
+// Every test leaves the global harness disarmed; gtest runs the tests of
+// this binary serially in one process, so this is enough isolation.
+class FaultInjectTest : public testing::Test {
+ protected:
+  void TearDown() override { faultinject::disarm(); }
+};
+
+TEST_F(FaultInjectTest, SiteCatalogIsSortedAndStable) {
+  const std::vector<std::string>& sites = faultinject::registered_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  // The sites the docs and the CI sweep promise exist.
+  for (const char* site :
+       {"alloc.buffers", "cache.read", "cache.write", "output.write",
+        "pass.emit", "pass.optimize.alias", "pass.optimize.fuse",
+        "pass.optimize.shrink", "pass.range", "worker.start"}) {
+    EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(),
+                                   std::string(site)))
+        << site;
+  }
+}
+
+TEST_F(FaultInjectTest, DisarmedProbeNeverFires) {
+  faultinject::disarm();
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(faultinject::at("pass.range"));
+}
+
+TEST_F(FaultInjectTest, FiresOnNthHitExactlyOnce) {
+  ASSERT_TRUE(faultinject::arm("pass.range:3"));
+  EXPECT_FALSE(faultinject::at("pass.range"));  // hit 1
+  EXPECT_FALSE(faultinject::at("pass.range"));  // hit 2
+  EXPECT_TRUE(faultinject::at("pass.range"));   // hit 3 — fires
+  // A spec fires at most once; later hits pass through.
+  EXPECT_FALSE(faultinject::at("pass.range"));
+  EXPECT_FALSE(faultinject::at("pass.range"));
+}
+
+TEST_F(FaultInjectTest, SitesCountIndependently) {
+  ASSERT_TRUE(faultinject::arm("cache.read:1,cache.write:2"));
+  EXPECT_TRUE(faultinject::at("cache.read"));
+  EXPECT_FALSE(faultinject::at("cache.write"));  // write hit 1
+  EXPECT_TRUE(faultinject::at("cache.write"));   // write hit 2
+}
+
+TEST_F(FaultInjectTest, RejectsUnknownSiteAndMalformedSpecs) {
+  EXPECT_FALSE(faultinject::arm("no.such.site:1"));
+  EXPECT_FALSE(faultinject::arm("pass.range"));        // missing :nth
+  EXPECT_FALSE(faultinject::arm("pass.range:zero"));   // nth not a number
+  EXPECT_FALSE(faultinject::arm("pass.range:0"));      // nth must be >= 1
+  EXPECT_FALSE(faultinject::arm("pass.range:1:melt"));  // unknown kind
+  // A failed arm leaves the harness disarmed.
+  EXPECT_FALSE(faultinject::at("pass.range"));
+}
+
+TEST_F(FaultInjectTest, ModelFilterMatchesInstalledContextSubstring) {
+  ASSERT_TRUE(faultinject::arm("pass.emit:1@poison"));
+  {
+    faultinject::ScopedContext ctx("/tmp/batch/healthy_model.slxz");
+    EXPECT_FALSE(faultinject::at("pass.emit"));
+  }
+  {
+    faultinject::ScopedContext ctx("/tmp/batch/poison_model.slxz");
+    EXPECT_TRUE(faultinject::at("pass.emit"));
+  }
+}
+
+TEST_F(FaultInjectTest, FilteredSpecDoesNotCountForeignHits) {
+  // Hits under a non-matching context must not consume the spec's nth
+  // budget: the 2nd *matching* hit fires.
+  ASSERT_TRUE(faultinject::arm("pass.emit:2@victim"));
+  {
+    faultinject::ScopedContext ctx("other_model");
+    for (int i = 0; i < 5; ++i) EXPECT_FALSE(faultinject::at("pass.emit"));
+  }
+  {
+    faultinject::ScopedContext ctx("victim_model");
+    EXPECT_FALSE(faultinject::at("pass.emit"));  // matching hit 1
+    EXPECT_TRUE(faultinject::at("pass.emit"));   // matching hit 2
+  }
+}
+
+TEST_F(FaultInjectTest, CheckReturnsCodedStatus) {
+  ASSERT_TRUE(faultinject::arm("cache.write:1"));
+  const Status fired =
+      faultinject::check("cache.write", diag::codes::kWCacheDegraded);
+  ASSERT_FALSE(fired.is_ok());
+  EXPECT_EQ(fired.code(), diag::codes::kWCacheDegraded);
+  EXPECT_TRUE(faultinject::check("cache.write", diag::codes::kInternal)
+                  .is_ok());
+}
+
+TEST_F(FaultInjectTest, ScopedContextRestoresPreviousOnExit) {
+  ASSERT_TRUE(faultinject::arm("pass.emit:1@outer"));
+  faultinject::ScopedContext outer("outer_model");
+  {
+    faultinject::ScopedContext inner("inner_model");
+    EXPECT_FALSE(faultinject::at("pass.emit"));
+  }
+  EXPECT_TRUE(faultinject::at("pass.emit"));  // outer context is back
+}
+
+TEST(CancelToken, StartsClean) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(token.status().is_ok());
+}
+
+TEST(CancelToken, CancelIsStickyAndCoded) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.stop_requested());
+  const Status status = token.status();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), diag::codes::kCancelled);
+}
+
+TEST(CancelToken, DeadlineExpiresAndLatches) {
+  CancelToken token;
+  token.set_timeout_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.expired());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.status().code(), diag::codes::kDeadline);
+}
+
+TEST(CancelToken, NonPositiveTimeoutDisarms) {
+  CancelToken token;
+  token.set_timeout_ms(1);
+  token.set_timeout_ms(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(token.expired());
+}
+
+TEST(CancelToken, PollSeesInstalledTokenAndScopeRestores) {
+  EXPECT_TRUE(cancel_poll().is_ok());  // nothing installed
+  CancelToken token;
+  {
+    CancelScope scope(&token);
+    EXPECT_EQ(cancel_current(), &token);
+    EXPECT_TRUE(cancel_poll().is_ok());
+    token.cancel();
+    EXPECT_EQ(cancel_poll().code(), diag::codes::kCancelled);
+  }
+  EXPECT_EQ(cancel_current(), nullptr);
+  EXPECT_TRUE(cancel_poll().is_ok());
+}
+
+TEST(CancelToken, PollStridesButStillCatchesDeadline) {
+  // cancel_poll only reads the clock every 64th call; a long poll loop must
+  // still observe an expired deadline within one stride.
+  CancelToken token;
+  CancelScope scope(&token);
+  token.set_timeout_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int tripped_at = -1;
+  for (int i = 0; i < 256; ++i) {
+    if (!cancel_poll().is_ok()) {
+      tripped_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(tripped_at, 0);
+  EXPECT_LT(tripped_at, 65);
+}
+
+}  // namespace
+}  // namespace frodo::support

@@ -170,6 +170,28 @@ TEST(FuzzCampaign, SmokeDifferential) {
   EXPECT_TRUE(result.clean()) << result.summary();
 }
 
+// Per-seed deadlines (--timeout-per-seed): a seed that overruns its budget
+// is recorded as a phase="timeout" finding — never minimized — and the
+// campaign keeps going instead of wedging a worker.
+TEST(FuzzCampaign, ExpiredSeedDeadlineIsARecordedTimeoutFinding) {
+  fuzz::CampaignOptions options;
+  options.base_seed = 1;
+  options.seeds = 3;
+  options.jobs = 2;
+  options.minimize = true;  // must be skipped for timeout findings
+  options.timeout_per_seed_ms = 1;  // every seed blows the budget
+  options.diff.workdir = testing::TempDir() + "/frodo_fuzz_deadline";
+  const fuzz::CampaignResult result = fuzz::run_campaign(options);
+  ASSERT_EQ(static_cast<int>(result.failures.size()), options.seeds)
+      << result.summary();
+  for (const fuzz::Failure& f : result.failures) {
+    EXPECT_EQ(f.outcome.phase, "timeout") << f.outcome.to_string();
+    // Not minimized: an expired token would make every probe "fail".
+    EXPECT_EQ(f.minimized.block_count(), 0);
+  }
+  EXPECT_FALSE(result.clean());
+}
+
 TEST(FuzzCampaign, GeneratorLabelsCoverAllStyles) {
   const std::vector<std::string> labels = fuzz::generator_labels();
   const std::set<std::string> label_set(labels.begin(), labels.end());

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Fault-injection sweep: arms every registered fault site (from
+# `frodoc --list-fault-sites`) in turn over a 10-model batch and requires a
+# *structured* outcome each time — a documented exit code (0/1/2, never a
+# signal death) and the documented FRODO diagnostic for the site.  Optimizer
+# sites must additionally *degrade but succeed* (FRODO-W004, exit 0): losing
+# a pass loses performance, never the model.
+#
+# Usage: tests/run_fault_sweep.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+frodoc="$build_dir/src/cli/frodoc"
+
+if [ ! -x "$frodoc" ]; then
+  echo "run_fault_sweep.sh: $frodoc not built" >&2
+  exit 2
+fi
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/frodo_fault_sweep.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+# A 10-model corpus.  Plain .xml packages are enough — the batch expander
+# accepts them — and the Selector gives the optimizer passes real work.
+corpus="$work/models"
+mkdir -p "$corpus"
+i=1
+while [ "$i" -le 10 ]; do
+  cat > "$corpus/sweep$i.xml" <<EOF
+<?xml version="1.0" encoding="UTF-8"?>
+<Model Name="Sweep$i">
+  <Block Name="in" Type="Inport"><P Name="Port">1</P><P Name="Dims">64</P></Block>
+  <Block Name="g" Type="Gain"><P Name="Gain">2.0</P></Block>
+  <Block Name="sel" Type="Selector"><P Name="Start">8</P><P Name="End">39</P></Block>
+  <Block Name="out" Type="Outport"><P Name="Port">1</P></Block>
+  <Line><Src Block="in" Port="1"/><Dst Block="g" Port="1"/></Line>
+  <Line><Src Block="g" Port="1"/><Dst Block="sel" Port="1"/></Line>
+  <Line><Src Block="sel" Port="1"/><Dst Block="out" Port="1"/></Line>
+</Model>
+EOF
+  i=$((i + 1))
+done
+
+sites=$("$frodoc" --list-fault-sites | sed -n 's/^  //p')
+[ -n "$sites" ] || { echo "no fault sites registered?" >&2; exit 2; }
+
+failures=0
+for site in $sites; do
+  # Documented per-site contract (docs/ROBUSTNESS.md, docs/diagnostics.md).
+  case $site in
+    cache.read|cache.write) want_exit=0; want_code=FRODO-W006 ;;
+    pass.optimize.*)        want_exit=0; want_code=FRODO-W004 ;;
+    output.write)           want_exit=2; want_code=FRODO-E902 ;;
+    worker.start)           want_exit=2; want_code=FRODO-E914 ;;
+    pass.emit)              want_exit=1; want_code=FRODO-E402 ;;
+    alloc.buffers|pass.range) want_exit=1; want_code=FRODO-E901 ;;
+    # A site added without updating this table still has to fail
+    # *structurally*: any documented exit code, some FRODO code reported.
+    *)                      want_exit=any; want_code=FRODO- ;;
+  esac
+
+  out="$work/out_$site"
+  rc=0
+  FRODO_FAULT="$site:1" "$frodoc" --batch "$corpus" \
+      --isolate process --timeout-per-model 5000 --jobs 4 \
+      --cache-dir "$work/cache_$site" --out "$out" --report json \
+      > "$work/stdout_$site" 2> "$work/stderr_$site" || rc=$?
+
+  ok=1
+  if [ "$rc" -gt 2 ]; then
+    echo "FAIL $site: unstructured death (exit $rc — a signal?)" >&2
+    ok=0
+  elif [ "$want_exit" != any ] && [ "$rc" -ne "$want_exit" ]; then
+    echo "FAIL $site: exit $rc, want $want_exit" >&2
+    ok=0
+  fi
+  if ! grep -q "$want_code" "$work/stderr_$site"; then
+    echo "FAIL $site: no $want_code in diagnostics" >&2
+    ok=0
+  fi
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   $site (exit $rc, $want_code)"
+  else
+    sed 's/^/     /' "$work/stderr_$site" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures fault site(s) broke their recovery contract" >&2
+  exit 1
+fi
+echo "fault sweep clean: every site failed structurally"

@@ -16,7 +16,10 @@ cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 4)"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 cd "$build_dir"
-ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 4)"
+# Per-test timeout: a wedged test (a hang the cancellation layer failed to
+# break) must fail the job with a named culprit, not stall it until the CI
+# runner's global kill.
+ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 4)" --timeout 600
 
 # Re-drive the observability surfaces explicitly (trace writer, report
 # renderers, profile hooks, frodoc's tracing/report/verbose paths) so a

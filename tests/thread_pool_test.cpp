@@ -1,4 +1,5 @@
-// Work-stealing pool: completion, nesting, and degenerate configurations.
+// Work-stealing pool: completion, nesting, degenerate configurations, and
+// cooperative cancellation (the batch driver's cancelled-token drain).
 #include "support/thread_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -7,6 +8,8 @@
 #include <mutex>
 #include <set>
 #include <vector>
+
+#include "support/cancel.hpp"
 
 namespace frodo::support {
 namespace {
@@ -81,6 +84,62 @@ TEST(ThreadPool, RunTasksAllExecute) {
   while (done.load() < kTasks)
     pool.parallel_for(1, [](std::size_t) {});
   EXPECT_EQ(static_cast<int>(seen.size()), kTasks);
+}
+
+// The batch driver's cancellation contract: parallel_for always *visits*
+// every index (the pool has no cancellation of its own), but bodies that
+// poll an already-cancelled token return immediately, so the queue drains
+// without running the real per-model work — and without deadlocking.
+TEST(ThreadPool, CancelledTokenDrainsParallelForWithoutRunningWork) {
+  ThreadPool pool(3);
+  CancelToken token;
+  token.cancel();  // cancelled before any work is queued
+
+  std::atomic<int> visited{0};
+  std::atomic<int> worked{0};
+  pool.parallel_for(512, [&](std::size_t) {
+    // Workers re-install the caller's token, exactly as compile_batch does.
+    CancelScope scope(&token);
+    visited.fetch_add(1);
+    if (!cancel_poll().is_ok()) return;  // the early-out under test
+    worked.fetch_add(1);
+  });
+
+  EXPECT_EQ(visited.load(), 512);  // the pool drained — no deadlock
+  EXPECT_EQ(worked.load(), 0);     // no body got past the poll
+}
+
+// Nested parallel_for (models outer, emission units inner) with the token
+// cancelled midway: both levels keep draining, later outer iterations skip
+// their inner work, and the pool is reusable afterwards.
+TEST(ThreadPool, CancellationPropagatesThroughNestedParallelFor) {
+  ThreadPool pool(2);
+  CancelToken token;
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+
+  std::atomic<long long> inner_work{0};
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    CancelScope outer_scope(&token);
+    if (i == kOuter / 2) token.cancel();
+    if (!cancel_poll().is_ok()) return;
+    pool.parallel_for(kInner, [&](std::size_t) {
+      CancelScope inner_scope(&token);
+      if (!cancel_poll().is_ok()) return;
+      inner_work.fetch_add(1);
+    });
+  });
+
+  // Cancellation is asynchronous, so the exact count is scheduling-
+  // dependent — but it must be strictly less than the uncancelled total,
+  // and the drain must have completed (we got here).
+  EXPECT_LT(inner_work.load(),
+            static_cast<long long>(kOuter) * static_cast<long long>(kInner));
+
+  // The pool survives a cancelled drain: a fresh run completes in full.
+  std::atomic<int> after{0};
+  pool.parallel_for(64, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
 }
 
 TEST(ThreadPool, ParallelForResultOrderIndependentOfWorkers) {
