@@ -107,27 +107,95 @@ Result<ProfileAttribution> run_profiled_cell(
   return result;
 }
 
+namespace {
+
+// One compiled-and-loaded column of a row, ready to time.
+struct PreparedCell {
+  std::string name;
+  jit::CompiledModel compiled;
+  std::vector<std::vector<double>> inputs;
+};
+
+Result<PreparedCell> prepare_cell(const model::Model& model,
+                                  const codegen::Generator& generator,
+                                  const std::string& name,
+                                  const jit::CompilerProfile& profile) {
+  PreparedCell cell;
+  cell.name = name;
+  FRODO_ASSIGN_OR_RETURN(codegen::GeneratedCode code,
+                         generator.generate(model));
+  FRODO_ASSIGN_OR_RETURN(cell.compiled,
+                         jit::compile_and_load(code, profile, workdir()));
+  cell.inputs = jit::random_inputs(cell.compiled.code(), /*seed=*/0xF20D0);
+  return cell;
+}
+
+}  // namespace
+
 Result<std::vector<Row>> sweep(
     const jit::CompilerProfile& profile, int repetitions,
-    const std::vector<const codegen::Generator*>& extra_generators) {
+    const std::vector<const codegen::Generator*>& extra_generators,
+    const codegen::Generator* frodo_replacement,
+    const PerModelGenerator& per_model) {
   std::vector<Row> rows;
   const auto owned = codegen::paper_generators(profile.hcg_simd_width);
   std::vector<const codegen::Generator*> generators;
-  for (const auto& gen : owned) generators.push_back(gen.get());
+  for (const auto& gen : owned) {
+    if (frodo_replacement != nullptr && gen->name() == "Frodo")
+      generators.push_back(frodo_replacement);
+    else
+      generators.push_back(gen.get());
+  }
   generators.insert(generators.end(), extra_generators.begin(),
                     extra_generators.end());
   for (const auto& bench : benchmodels::all_models()) {
     FRODO_ASSIGN_OR_RETURN(model::Model model, bench.build());
     Row row;
     row.model = bench.name;
+
+    // Compile every column of the row up front, then time them in
+    // interleaved rounds.  Sequential whole-cell timing lets machine drift
+    // (frequency scaling, co-tenant steal time) land on one column and not
+    // its neighbor, which poisons exactly the within-row comparisons the
+    // optimizer gate makes; interleaving means any drift window covers a
+    // chunk of *every* column, and the per-column best-of-rounds discards
+    // it symmetrically.
+    std::vector<PreparedCell> cells;
     for (const codegen::Generator* gen : generators) {
-      std::fprintf(stderr, "  [%s] %s / %s ...\n", profile.label.c_str(),
+      std::fprintf(stderr, "  [%s] %s / %s: compile\n", profile.label.c_str(),
                    bench.name.c_str(), gen->name().c_str());
-      auto seconds = run_cell(model, *gen, profile, repetitions);
-      if (!seconds.is_ok())
-        return seconds.status().with_context(bench.name + "/" + gen->name());
-      row.seconds[gen->name()] = seconds.value();
+      auto cell = prepare_cell(model, *gen, gen->name(), profile);
+      if (!cell.is_ok())
+        return cell.status().with_context(bench.name + "/" + gen->name());
+      cells.push_back(std::move(cell).value());
     }
+    if (per_model) {
+      std::string name;
+      if (const codegen::Generator* gen = per_model(model, &name)) {
+        std::fprintf(stderr, "  [%s] %s / %s: compile\n",
+                     profile.label.c_str(), bench.name.c_str(), name.c_str());
+        auto cell = prepare_cell(model, *gen, name, profile);
+        if (!cell.is_ok())
+          return cell.status().with_context(bench.name + "/" + name);
+        cells.push_back(std::move(cell).value());
+      }
+    }
+
+    const int chunk = std::max(1, repetitions / kTimingRounds);
+    std::fprintf(stderr, "  [%s] %s: timing %zu cell(s), %d rounds x %d "
+                 "steps\n",
+                 profile.label.c_str(), bench.name.c_str(), cells.size(),
+                 kTimingRounds, chunk);
+    std::vector<double> best(cells.size(), 0.0);
+    for (int round = 0; round < kTimingRounds; ++round) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        const double seconds =
+            jit::time_steps(cells[c].compiled, cells[c].inputs, chunk);
+        if (round == 0 || seconds < best[c]) best[c] = seconds;
+      }
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      row.seconds[cells[c].name] = best[c] / chunk * repetitions;
     rows.push_back(std::move(row));
   }
   return rows;

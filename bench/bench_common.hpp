@@ -4,9 +4,12 @@
 // code with each tool, compile it with a real C compiler at -O3, execute the
 // step function repeatedly over fixed random inputs, and report the average
 // total duration.  FRODO_BENCH_REPS overrides the 10,000-rep default (times
-// scale linearly; the shape of the comparison does not change).
+// scale linearly; the shape of the comparison does not change).  Within a
+// row the cells are timed in interleaved rounds (kTimingRounds) so machine
+// drift cannot land on one column and skew the within-row ratios.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +24,16 @@ namespace frodo::bench {
 
 // Repetition count: FRODO_BENCH_REPS env var, default 10000 (the paper's).
 int reps();
+
+// Interleaved timing rounds per row (see sweep()): each cell's reps are
+// split into this many chunks, timed round-robin across the row's cells,
+// and the cell reports its best-per-step round scaled back to the full
+// repetition count.  Total timed work per cell is unchanged; what changes
+// is that a machine-drift window now covers a chunk of every column
+// instead of all of one column, so the within-row comparisons the
+// optimizer gate makes (Frodo / Frodo-tuned vs Frodo-noopt) see the same
+// noise on both sides and the best-of-rounds minimum discards it.
+inline constexpr int kTimingRounds = 5;
 
 // Scratch directory for generated C files and shared objects.
 std::string workdir();
@@ -91,12 +104,28 @@ struct Row {
   std::map<std::string, double> seconds;
 };
 
+// Per-model extra column, built after the model is constructed and measured
+// in the same row pass as the fixed generators — machine drift between
+// distant measurements cancels within a row, which matters for columns
+// (like Frodo-tuned) that are compared cell-by-cell against another column
+// of the same row.  Called once per model; write the column name into
+// `*name` and return the generator, or return nullptr to skip the model.
+// The returned generator (and anything it references, e.g. a tuned decision
+// vector) must stay alive until the next invocation.
+using PerModelGenerator = std::function<const codegen::Generator*(
+    const model::Model& model, std::string* name)>;
+
 // Runs all paper generators over all Table 1 models under one compiler
 // profile, printing progress to stderr.  `extra_generators` adds columns
-// beyond the paper's four (e.g. a Frodo-noopt ablation).
+// beyond the paper's four (e.g. a Frodo-noopt ablation).  When
+// `frodo_replacement` is given it substitutes for the paper "Frodo"
+// generator — bench_table2_x86 uses this to measure the cost-model default
+// (static per-block decisions) under the same column name.
 Result<std::vector<Row>> sweep(
     const jit::CompilerProfile& profile, int repetitions,
-    const std::vector<const codegen::Generator*>& extra_generators = {});
+    const std::vector<const codegen::Generator*>& extra_generators = {},
+    const codegen::Generator* frodo_replacement = nullptr,
+    const PerModelGenerator& per_model = nullptr);
 
 // One full benchmark result: rows per compiler profile, ready for the JSON
 // trajectory reporter.

@@ -17,24 +17,37 @@
 // (codegen profile hooks on) under the first compiler profile and reports
 // per-block step-time attribution; with --json the attribution is merged
 // into the output as "profile_attribution".
+//
+// --tuned adds a Frodo-tuned row set: per model and compiler profile the
+// JIT autotuner (codegen/autotune.hpp) measures the candidate plans, pins
+// the winning per-block decision vector, and the winner is timed as its own
+// column next to Frodo / Frodo-noopt.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "bench/bench_common.hpp"
+#include "codegen/autotune.hpp"
 
 int main(int argc, char** argv) {
   using frodo::bench::fmt_seconds;
   std::string json_path;
   bool profile_attribution = false;
+  bool tuned_rows = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile_attribution = true;
+    } else if (std::strcmp(argv[i], "--tuned") == 0) {
+      tuned_rows = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_table2_x86 [--json=PATH] [--profile]\n");
+      std::fprintf(
+          stderr, "usage: bench_table2_x86 [--json=PATH] [--profile] "
+                  "[--tuned]\n");
       return 2;
     }
   }
@@ -44,15 +57,62 @@ int main(int argc, char** argv) {
   const frodo::codegen::FrodoGenerator noopt(
       /*loose=*/false, /*shared_kernels=*/false,
       frodo::codegen::OptimizeOptions::none());
+  // The "Frodo" column measures the cost-model default (frodoc ships
+  // --cost-model static): every pass grant individually vetted by the
+  // calibrated profitability rules, not applied wholesale.
+  frodo::codegen::OptimizeOptions static_opts;
+  static_opts.cost_model = frodo::codegen::cost::CostModelMode::kStatic;
+  const frodo::codegen::FrodoGenerator frodo_static(
+      /*loose=*/false, /*shared_kernels=*/false, static_opts);
 
   std::printf(
       "Table 2: Comparison of the code execution duration on x86 "
       "(%d repetitions per cell).\n\n",
       repetitions);
 
+  // State kept alive across per-model calls: the pinned decision vector the
+  // tuned generator points into.
+  struct TunedState {
+    frodo::codegen::cost::DecisionVector decisions;
+    std::optional<frodo::codegen::FrodoGenerator> generator;
+  };
+  auto tuned_state = std::make_shared<TunedState>();
+
   std::vector<frodo::bench::ProfileRows> all_rows;
   for (const auto& profile : profiles) {
-    auto rows = frodo::bench::sweep(profile, repetitions, {&noopt});
+    // The tuned cell is measured inside the row pass, right after the fixed
+    // generators — machine drift between distant measurements would
+    // otherwise dominate the cell-vs-Frodo-noopt comparison the regression
+    // gate makes.
+    frodo::bench::PerModelGenerator tuned_column;
+    if (tuned_rows) {
+      tuned_column = [&profile, repetitions, tuned_state](
+                         const frodo::model::Model& model,
+                         std::string* name) -> const frodo::codegen::Generator* {
+        frodo::codegen::autotune::AutotuneOptions aopts;
+        aopts.reps = repetitions < 2000 ? repetitions : 2000;
+        aopts.profile = profile;
+        aopts.workdir = frodo::bench::workdir() + "/autotune";
+        auto tuned = frodo::codegen::autotune::autotune_model(model, aopts);
+        if (!tuned.is_ok()) {
+          // A partial tuned column would break the all-or-none row contract
+          // the JSON schema test pins; fail the run instead.
+          std::fprintf(stderr, "autotune %s: %s\n", model.name().c_str(),
+                       tuned.message().c_str());
+          std::exit(1);
+        }
+        tuned_state->decisions = std::move(tuned).value().decisions;
+        frodo::codegen::OptimizeOptions topts;
+        topts.cost_model = frodo::codegen::cost::CostModelMode::kTuned;
+        topts.tuned = &tuned_state->decisions;
+        tuned_state->generator.emplace(
+            /*loose=*/false, /*shared_kernels=*/false, topts);
+        *name = "Frodo-tuned";
+        return &*tuned_state->generator;
+      };
+    }
+    auto rows = frodo::bench::sweep(profile, repetitions, {&noopt},
+                                    &frodo_static, tuned_column);
     if (!rows.is_ok()) {
       std::fprintf(stderr, "sweep failed: %s\n", rows.message().c_str());
       return 1;
@@ -61,17 +121,19 @@ int main(int argc, char** argv) {
         frodo::bench::ProfileRows{profile.label, std::move(rows).value()});
   }
 
-  const char* kColumns[] = {"Simulink", "DFSynth", "HCG", "Frodo-noopt",
-                            "Frodo"};
+  std::vector<const char*> columns = {"Simulink", "DFSynth", "HCG",
+                                      "Frodo-noopt", "Frodo"};
+  if (tuned_rows) columns.push_back("Frodo-tuned");
+  const int profile_width = static_cast<int>(11 * columns.size() + 5);
   std::printf("%-14s", "Model");
   for (const auto& profile : profiles)
     std::printf(" | [%s]%*s", profile.label.c_str(),
-                static_cast<int>(49 - profile.label.size()), "");
+                static_cast<int>(profile_width - profile.label.size()), "");
   std::printf("\n");
   std::printf("%-14s", "");
   for (std::size_t p = 0; p < profiles.size(); ++p) {
     std::printf(" |");
-    for (const char* col : kColumns) std::printf(" %-10s", col);
+    for (const char* col : columns) std::printf(" %-10s", col);
   }
   std::printf("\n");
 
@@ -81,7 +143,7 @@ int main(int argc, char** argv) {
     for (const auto& rows : all_rows) {
       const auto& row = rows.rows[row_idx];
       std::printf(" |");
-      for (const char* col : kColumns)
+      for (const char* col : columns)
         std::printf(" %-10s", fmt_seconds(row.seconds.at(col)).c_str());
     }
     std::printf("\n");
@@ -129,7 +191,8 @@ int main(int argc, char** argv) {
   // Per-block attribution of the Frodo step time (FRODO_PROFILE hooks).
   std::vector<frodo::bench::AttributionRow> attribution;
   if (profile_attribution) {
-    const frodo::codegen::FrodoGenerator frodo_gen;
+    // Attribute the same code shape the Frodo column measured.
+    const frodo::codegen::FrodoGenerator& frodo_gen = frodo_static;
     const auto& profile = profiles[0];
     std::printf("\nPer-block step-time attribution (Frodo, [%s], "
                 "-DFRODO_PROFILE):\n",

@@ -22,6 +22,16 @@ committed trajectory file.  Three stages:
    * no single cell may regress by more than --cell-threshold (default
      50%) — wide enough to clear per-cell noise on shared runners, tight
      enough to catch one model's codegen breaking outright.
+4. Optimizer gate (docs/COSTMODEL.md): on every merged (profile, model)
+   cell, Frodo must not be slower than the Frodo-noopt ablation by more
+   than --opt-threshold (default 3%).  The cost model exists precisely so
+   an "optimization" that hurts a model gets vetoed there; a Frodo cell
+   losing to noopt means a profitability rule regressed.  Frodo-tuned
+   cells (the --tuned row set), when present, face the same gate — the
+   autotuner always measures the noopt candidate, so losing to it means
+   the pinned decision vector went stale.  The gate runs on the fresh
+   best-of-N merge (cross-run minimums suppress scheduler noise) and,
+   informationally, on the committed file.
 
 --merge-out FILE writes the first fresh document with every ns_per_step
 cell replaced by the across-runs minimum — used to refresh the committed
@@ -31,7 +41,8 @@ Exit status: 0 clean, 1 regression or schema violation, 2 usage error.
 
 Usage:
   bench/check_regression.py FRESH.json [FRESH.json ...] COMMITTED.json \
-      [--threshold 0.10] [--cell-threshold 0.50] [--merge-out MERGED.json]
+      [--threshold 0.10] [--cell-threshold 0.50] [--opt-threshold 0.03] \
+      [--merge-out MERGED.json]
 """
 
 import argparse
@@ -45,8 +56,12 @@ if hasattr(signal, "SIGPIPE"):
     signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 GENERATORS = ("Simulink", "DFSynth", "HCG", "Frodo", "Frodo-noopt")
+# Present only when the bench ran with --tuned; validated when present,
+# never required (CI's fresh runs skip the expensive autotune pass).
+OPTIONAL_GENERATORS = ("Frodo-tuned",)
 OPTIMIZED = "Frodo"
 BASELINE = "Simulink"
+ABLATION = "Frodo-noopt"
 
 
 def fail(message):
@@ -84,7 +99,47 @@ def validate_schema(doc, label):
                         f"{name}/{model}: missing or non-positive "
                         f"ns_per_step for {gen}"
                     )
+            for gen in OPTIONAL_GENERATORS:
+                if gen not in cells:
+                    continue
+                value = cells.get(gen)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    errors.append(
+                        f"{name}/{model}: non-positive ns_per_step for {gen}"
+                    )
     return errors
+
+
+def optimizer_gate(doc, label, tolerance):
+    """Frodo (and Frodo-tuned when present) must not lose to Frodo-noopt.
+
+    Returns a list of violation strings; prints one line per checked cell.
+    """
+    violations = []
+    for profile in doc.get("profiles", []):
+        for row in profile.get("rows", []):
+            cells = row.get("ns_per_step", {})
+            noopt = cells.get(ABLATION)
+            if not noopt:
+                continue
+            for gen in (OPTIMIZED,) + OPTIONAL_GENERATORS:
+                ns = cells.get(gen)
+                if not ns:
+                    continue
+                slowdown = (ns - noopt) / noopt
+                ok = slowdown <= tolerance
+                print(
+                    f"  [{label}] {profile.get('label'):>10s} "
+                    f"{row.get('model'):<14s} {gen}: {ns:.1f} ns vs "
+                    f"{ABLATION} {noopt:.1f} ns ({slowdown:+.1%})"
+                    f"{'' if ok else '  <-- SLOWER THAN NOOPT'}"
+                )
+                if not ok:
+                    violations.append(
+                        f"{profile.get('label')}/{row.get('model')}/{gen} "
+                        f"{slowdown:+.1%}"
+                    )
+    return violations
 
 
 def merge_min(docs):
@@ -137,6 +192,13 @@ def main():
         help="allowed per-cell ratio regression (default 0.50 = 50%%)",
     )
     parser.add_argument(
+        "--opt-threshold",
+        type=float,
+        default=0.03,
+        help="allowed Frodo slowdown vs Frodo-noopt per cell "
+        "(default 0.03 = 3%%)",
+    )
+    parser.add_argument(
         "--merge-out",
         metavar="FILE",
         help="write the best-of-N merged fresh document to FILE",
@@ -169,6 +231,20 @@ def main():
             f.write("\n")
         print(f"check_regression: wrote best-of-{len(fresh_docs)} merge to "
               f"{args.merge_out}")
+
+    # Optimizer gate: Frodo >= Frodo-noopt on every merged cell.  The
+    # committed file is checked too (a regenerated trajectory must never be
+    # committed with a losing cell), but only the fresh merge gates CI.
+    print("check_regression: optimizer gate (Frodo vs Frodo-noopt):")
+    opt_violations = optimizer_gate(
+        merged, "fresh", args.opt_threshold
+    ) + optimizer_gate(committed, "committed", args.opt_threshold)
+    if opt_violations:
+        return fail(
+            f"{len(opt_violations)} cell(s) where the optimizer loses to "
+            f"the noopt ablation by more than {args.opt_threshold:.0%}: "
+            + ", ".join(opt_violations)
+        )
 
     fresh_ratios = ratios(merged)
     committed_ratios = ratios(committed)

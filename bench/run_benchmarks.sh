@@ -18,6 +18,12 @@
 #   BUILD_DIR          cmake build tree (default: build)
 #   FRODO_BENCH_PROFILE=1  also run the -DFRODO_PROFILE per-block attribution
 #                      pass and merge it into the JSON ("profile_attribution")
+#   FRODO_BENCH_TUNED=1    also autotune every model (JIT-measured candidate
+#                      plans, docs/COSTMODEL.md) and record Frodo-tuned rows
+#
+# After the run the optimizer gate (bench/check_regression.py stage 4) is
+# applied to the produced JSON: Frodo — and Frodo-tuned when present — must
+# not lose to the Frodo-noopt ablation on any model/compiler cell.
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -28,7 +34,15 @@ cmake --build "$build_dir" --target bench_table2_x86 -j >/dev/null
 
 profile_flag=""
 [ "${FRODO_BENCH_PROFILE:-0}" = "1" ] && profile_flag="--profile"
+tuned_flag=""
+[ "${FRODO_BENCH_TUNED:-0}" = "1" ] && tuned_flag="--tuned"
 
+out="${FRODO_BENCH_OUT:-$repo_root/BENCH_table2_x86.json}"
 FRODO_BENCH_REPS="${FRODO_BENCH_REPS:-2000}" \
     "$build_dir/bench/bench_table2_x86" \
-    --json="${FRODO_BENCH_OUT:-$repo_root/BENCH_table2_x86.json}" $profile_flag
+    --json="$out" $profile_flag $tuned_flag
+
+# Self-gate the fresh file (fresh == committed degenerates the trajectory
+# comparison to a no-op; the schema check and the Frodo >= Frodo-noopt
+# optimizer gate still apply).
+python3 "$repo_root/bench/check_regression.py" "$out" "$out"

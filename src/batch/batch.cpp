@@ -10,6 +10,7 @@
 
 #include "batch/isolate.hpp"
 #include "blocks/semantics.hpp"
+#include "codegen/autotune.hpp"
 #include "model/flatten.hpp"
 #include "model/validate.hpp"
 #include "slx/slx.hpp"
@@ -157,6 +158,78 @@ Result<range::RangeAnalysis> ranges_with_cache(
     }
   }
   return ranges;
+}
+
+TunedSetup resolve_tuned_decisions(const model::Model& original,
+                                   const CheckedModel& checked,
+                                   const AnalysisCache* cache,
+                                   const BatchOptions& options,
+                                   diag::Engine* engine) {
+  TunedSetup setup;
+  const std::string family = to_lower(options.generator);
+  const std::string key =
+      cache_key(original, optimize_flag_mask(options.optimize), family);
+
+  // Cache faults are never fatal here either (same FRODO-W006 story as the
+  // ranges entries): a failed read is a miss — autotune or the static
+  // fallback takes over — and a failed write just loses the persisted entry.
+  if (cache != nullptr && !support::faultinject::at("cache.read")) {
+    trace::Scope span("tuned_cache_lookup");
+    if (cache->lookup_tuned(key, &setup.vector) &&
+        setup.vector.masks.size() ==
+            static_cast<std::size_t>(checked.graph.block_count())) {
+      trace::count("tuned_cache_hits");
+      setup.source = "cache";
+      setup.resolved = true;
+      return setup;
+    }
+  }
+  trace::count("tuned_cache_misses");
+
+  if (options.autotune) {
+    codegen::autotune::AutotuneOptions tune;
+    tune.reps = options.autotune_reps;
+    tune.rounds = options.autotune_rounds;
+    tune.optimize = options.optimize;
+    tune.optimize.tuned = nullptr;
+    tune.engine = engine;
+    tune.workdir =
+        (options.cache_dir.empty() ? options.outdir : options.cache_dir) +
+        "/autotune/" + original.name();
+    auto tuned = codegen::autotune::autotune_model(original, tune);
+    if (tuned.is_ok()) {
+      setup.vector = std::move(tuned).value().decisions;
+      setup.source = "autotune";
+      setup.resolved = true;
+      if (cache != nullptr) {
+        if (support::faultinject::at("cache.write")) {
+          if (engine != nullptr)
+            engine->warning(diag::codes::kWCacheDegraded,
+                            "analysis cache write failed (injected fault); "
+                            "tuned entry not stored");
+        } else {
+          trace::Scope span("tuned_cache_store");
+          cache->store_tuned(key, setup.vector);
+          trace::count("tuned_cache_stores");
+        }
+      }
+      return setup;
+    }
+    if (engine != nullptr)
+      engine->warning(diag::codes::kWTunedFallback,
+                      "autotune failed (" + tuned.status().message() +
+                          "); falling back to the static cost model",
+                      original.name());
+    return setup;
+  }
+
+  if (engine != nullptr)
+    engine->warning(
+        diag::codes::kWTunedFallback,
+        "no tuned decisions cached for this model (run with --autotune to "
+        "measure them); falling back to the static cost model",
+        original.name());
+  return setup;
 }
 
 Result<codegen::Report> model_report(
@@ -320,6 +393,29 @@ int compile_one_model(const std::string& path, const BatchOptions& options,
   // Optimizer flags actually used — the degradation ladder below may mask
   // some off; the report then describes what really ran.
   codegen::OptimizeOptions effective = options.optimize;
+
+  // Tuned-decision replay: with --cost-model tuned the per-block grant
+  // masks come from the analysis cache or a fresh autotune run instead of
+  // static scoring.  Every failure path degrades to the static model with
+  // FRODO-W007 — tuning is a performance layer, never a correctness one.
+  TunedSetup tuned;  // must outlive generate()
+  if (family.rfind("frodo", 0) == 0 &&
+      effective.cost_model == codegen::cost::CostModelMode::kTuned) {
+    tuned = resolve_tuned_decisions(model.value(), checked, cache, options,
+                                    gen_options.engine);
+    outcome->tuned_source = tuned.source;
+    if (tuned.resolved) effective.tuned = &tuned.vector;
+    // Rebind the generator to the resolved options (tuned vector or the
+    // static fallback the planner will downgrade to).
+    generator = codegen::make_generator(options.generator,
+                                        options.simd_width, &effective);
+    if (!generator.is_ok()) {
+      outcome->engine.error(diag::codes::kInternal, generator.message());
+      outcome->failure_kind = "infra";
+      return 2;
+    }
+  }
+
   auto code = generator.value()->generate(model.value(), gen_options);
   if (!code.is_ok() &&
       code.status().code() == diag::codes::kOptimizerPass &&

@@ -96,6 +96,15 @@ struct BatchOptions {
   // The bench harness measures pure compile throughput without file I/O.
   bool write_outputs = true;
 
+  // -- Autotuning (docs/COSTMODEL.md) ----------------------------------------
+  // With optimize.cost_model == kTuned: on a tuned-entry cache miss, measure
+  // candidate plans with the JIT (codegen/autotune.hpp) and persist the
+  // winning per-block decision vector as `<key>.tuned` beside the ranges
+  // entry.  Off, a miss degrades to the static cost model with FRODO-W007.
+  bool autotune = false;
+  int autotune_reps = 200;
+  int autotune_rounds = 3;
+
   // -- Fault tolerance (docs/ROBUSTNESS.md) ----------------------------------
   // Per-model wall-clock budget; a compile that overruns it unwinds with
   // FRODO-E911 (cooperative in-process, SIGKILL under process isolation).
@@ -119,6 +128,23 @@ struct BatchOptions {
   long long retry_backoff_ms = 100;
 };
 
+// Resolved tuned decisions for one model (docs/COSTMODEL.md): the cached
+// `<key>.tuned` entry when present, a fresh autotune measurement when
+// `options.autotune` is set (persisted back to the cache), or an
+// unresolved fallback (FRODO-W007 reported on `engine`) — the planner then
+// degrades kTuned to the static cost model.
+struct TunedSetup {
+  codegen::cost::DecisionVector vector;
+  // "cache" | "autotune" | "fallback".
+  std::string source = "fallback";
+  bool resolved = false;
+};
+TunedSetup resolve_tuned_decisions(const model::Model& original,
+                                   const CheckedModel& checked,
+                                   const AnalysisCache* cache,
+                                   const BatchOptions& options,
+                                   diag::Engine* engine);
+
 struct ModelOutcome {
   std::string input_path;
   std::string model_name;  // empty when the package did not load
@@ -141,6 +167,10 @@ struct ModelOutcome {
   // Optimizer flag bits (fuse=1, shrink=2, alias=4) masked off by the
   // degradation ladder before the compile succeeded; 0 = no degradation.
   unsigned degraded_mask = 0;
+  // Where --cost-model tuned got its decisions: "" (not in tuned mode),
+  // "cache" (persisted entry replayed), "autotune" (measured this run),
+  // "fallback" (unavailable — compiled with the static model, FRODO-W007).
+  std::string tuned_source;
 };
 
 struct BatchResult {

@@ -155,10 +155,13 @@ std::string AnalysisCache::entry_path(const std::string& key) const {
   return dir_ + "/" + key + ".ranges";
 }
 
-bool AnalysisCache::lookup(const std::string& key,
-                           range::RangeAnalysis* out) const {
+std::string AnalysisCache::tuned_entry_path(const std::string& key) const {
+  return dir_ + "/" + key + ".tuned";
+}
+
+bool AnalysisCache::read_framed(const std::string& path,
+                                std::string* payload) const {
   namespace fs = std::filesystem;
-  const std::string path = entry_path(key);
   std::string text;
   {
     std::ifstream in(path, std::ios::binary);
@@ -167,42 +170,35 @@ bool AnalysisCache::lookup(const std::string& key,
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  // Quarantine anything that fails integrity or format checks: rename to
-  // `*.bad` so the corrupt file stops costing a read-and-reject on every
-  // run but stays on disk for inspection.  A miss either way.
-  auto quarantine = [&] {
-    std::error_code ec;
-    fs::rename(path, path + ".bad", ec);
-    if (ec) fs::remove(path, ec);  // cross-device or permission oddity
-    return false;
-  };
+  // Quarantine anything that fails the integrity check: rename to `*.bad`
+  // so the corrupt file stops costing a read-and-reject on every run but
+  // stays on disk for inspection.  A miss either way.
   const std::size_t eol = text.find('\n');
-  if (eol == std::string::npos || text.compare(0, 7, kChecksumPrefix) != 0)
-    return quarantine();
-  const std::string payload = text.substr(eol + 1);
-  if (text.substr(7, eol - 7) != support::sha256_hex(payload))
-    return quarantine();
-  auto ranges = deserialize_ranges(payload);
-  if (!ranges.is_ok()) return quarantine();
-  *out = std::move(ranges).value();
-  return true;
+  if (eol != std::string::npos && text.compare(0, 7, kChecksumPrefix) == 0) {
+    std::string body = text.substr(eol + 1);
+    if (text.substr(7, eol - 7) == support::sha256_hex(body)) {
+      *payload = std::move(body);
+      return true;
+    }
+  }
+  std::error_code ec;
+  fs::rename(path, path + ".bad", ec);
+  if (ec) fs::remove(path, ec);  // cross-device or permission oddity
+  return false;
 }
 
-void AnalysisCache::store(const std::string& key,
-                          const range::RangeAnalysis& ranges) const {
+void AnalysisCache::write_framed(const std::string& path,
+                                 const std::string& payload) const {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir_, ec);
   std::call_once(sweep_once_, [this] { sweep_stale_tmp_files(); });
-  const std::string final_path = entry_path(key);
   // PID-unique temp + rename: concurrent writers of the same key race to an
   // identical final content, so last-rename-wins is harmless.
-  const std::string tmp_path =
-      final_path + ".tmp." + std::to_string(::getpid());
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return;
-    const std::string payload = serialize_ranges(ranges);
     out << kChecksumPrefix << support::sha256_hex(payload) << "\n" << payload;
     out.flush();
     if (!out.good()) {
@@ -211,8 +207,56 @@ void AnalysisCache::store(const std::string& key,
       return;
     }
   }
-  fs::rename(tmp_path, final_path, ec);
+  fs::rename(tmp_path, path, ec);
   if (ec) fs::remove(tmp_path, ec);
+}
+
+bool AnalysisCache::lookup(const std::string& key,
+                           range::RangeAnalysis* out) const {
+  namespace fs = std::filesystem;
+  const std::string path = entry_path(key);
+  std::string payload;
+  if (!read_framed(path, &payload)) return false;
+  auto ranges = deserialize_ranges(payload);
+  if (!ranges.is_ok()) {
+    // Checksummed but semantically malformed (hand-edited then re-framed,
+    // or a format skew): quarantine like any other bad entry.
+    std::error_code ec;
+    fs::rename(path, path + ".bad", ec);
+    if (ec) fs::remove(path, ec);
+    return false;
+  }
+  *out = std::move(ranges).value();
+  return true;
+}
+
+void AnalysisCache::store(const std::string& key,
+                          const range::RangeAnalysis& ranges) const {
+  write_framed(entry_path(key), serialize_ranges(ranges));
+}
+
+bool AnalysisCache::lookup_tuned(const std::string& key,
+                                 codegen::cost::DecisionVector* out) const {
+  namespace fs = std::filesystem;
+  const std::string path = tuned_entry_path(key);
+  std::string payload;
+  if (!read_framed(path, &payload)) return false;
+  auto decisions = codegen::cost::deserialize_decisions(payload);
+  if (!decisions.is_ok()) {
+    std::error_code ec;
+    fs::rename(path, path + ".bad", ec);
+    if (ec) fs::remove(path, ec);
+    return false;
+  }
+  *out = std::move(decisions).value();
+  return true;
+}
+
+void AnalysisCache::store_tuned(
+    const std::string& key,
+    const codegen::cost::DecisionVector& decisions) const {
+  write_framed(tuned_entry_path(key),
+               codegen::cost::serialize_decisions(decisions));
 }
 
 // Removes `*.tmp.<pid>` files whose writer is gone — a worker that crashed

@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 
+#include "codegen/cost.hpp"
 #include "model/model.hpp"
 #include "range/range_analysis.hpp"
 #include "support/status.hpp"
@@ -58,6 +59,9 @@ class AnalysisCache {
 
   const std::string& dir() const { return dir_; }
   std::string entry_path(const std::string& key) const;
+  // Autotuned per-block decision vectors live beside the ranges entry for
+  // the same key, as `<key>.tuned` — same framing, same quarantine rules.
+  std::string tuned_entry_path(const std::string& key) const;
 
   // True on a hit, with the deserialized ranges in `out`.  Corrupt or
   // unreadable entries are misses; entries failing checksum verification
@@ -68,7 +72,18 @@ class AnalysisCache {
   void store(const std::string& key,
              const range::RangeAnalysis& ranges) const;
 
+  // Tuned-decision entries: a warm batch rerun replays the autotuner's
+  // per-block masks from here instead of re-measuring (docs/COSTMODEL.md).
+  bool lookup_tuned(const std::string& key,
+                    codegen::cost::DecisionVector* out) const;
+  void store_tuned(const std::string& key,
+                   const codegen::cost::DecisionVector& decisions) const;
+
  private:
+  // Shared entry I/O: checksum-framed read (quarantining failures to
+  // `*.bad`) and atomic temp-file + rename write.
+  bool read_framed(const std::string& path, std::string* payload) const;
+  void write_framed(const std::string& path, const std::string& payload) const;
   void sweep_stale_tmp_files() const;
 
   std::string dir_;

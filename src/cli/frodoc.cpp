@@ -11,6 +11,19 @@
 //   --[no-]fuse               elementwise loop fusion (frodo; default on)
 //   --[no-]shrink-buffers     range-hull buffer shrinking (frodo; default on)
 //   --[no-]alias-truncation   zero-copy slice aliases (frodo; default on)
+//   --cost-model MODE  off | static (default) | tuned — how candidates inside
+//                      the enabled passes are admitted (docs/COSTMODEL.md):
+//                      off applies everything (the pre-cost-model behavior),
+//                      static vetoes unprofitable candidates per block,
+//                      tuned replays autotuned per-block decisions from the
+//                      analysis cache (FRODO-W007 + static fallback when
+//                      none are cached)
+//   --autotune         with --cost-model tuned (implied): measure candidate
+//                      plans with a real C compiler on a tuned-entry cache
+//                      miss and persist the winner (needs --cache-dir to
+//                      survive the run; not with --isolate process)
+//   --autotune-reps N  timed steps per autotune measurement (default 200)
+//   --autotune-rounds N  best-of rounds per candidate (default 3)
 //   --batch            compile many models in one run; each INPUT is a model
 //                      file, a directory of models, or a manifest listing one
 //                      model path per line (docs/BATCH.md)
@@ -61,6 +74,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -89,6 +103,8 @@ int usage(int code) {
                "usage: frodoc MODEL.(slxz|xml) [--generator NAME] "
                "[--out DIR] [--emit-main] [--[no-]fuse] "
                "[--[no-]shrink-buffers] [--[no-]alias-truncation] "
+               "[--cost-model off|static|tuned] [--autotune] "
+               "[--autotune-reps N] [--autotune-rounds N] "
                "[--batch] [--jobs N] [--cache-dir DIR] [--no-cache] "
                "[--timeout-per-model MS] [--isolate none|process] "
                "[--memory-per-model MB] [--retries N] [--retry-backoff MS] "
@@ -174,6 +190,13 @@ int main(int argc, char** argv) {
   int retries = 0;
   long long retry_backoff_ms = 100;
   frodo::codegen::OptimizeOptions optimize;  // all passes on by default
+  // The CLI's default admission mode is the static cost model; --cost-model
+  // off restores the pre-cost-model apply-everything behavior byte-for-byte.
+  optimize.cost_model = frodo::codegen::cost::CostModelMode::kStatic;
+  bool cost_model_set = false;
+  bool autotune = false;
+  int autotune_reps = 200;
+  int autotune_rounds = 3;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -313,6 +336,38 @@ int main(int argc, char** argv) {
       optimize.alias_truncation = true;
     } else if (arg == "--no-alias-truncation") {
       optimize.alias_truncation = false;
+    } else if (arg == "--cost-model") {
+      const char* v = value();
+      if (v == nullptr ||
+          !frodo::codegen::cost::parse_cost_model_mode(
+              v, &optimize.cost_model)) {
+        std::fprintf(stderr,
+                     "frodoc: --cost-model expects 'off', 'static' or "
+                     "'tuned'\n");
+        return usage(2);
+      }
+      cost_model_set = true;
+    } else if (arg == "--autotune") {
+      autotune = true;
+    } else if (arg == "--autotune-reps") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "frodoc: --autotune-reps expects a positive integer\n");
+        return usage(2);
+      }
+      autotune_reps = static_cast<int>(n);
+    } else if (arg == "--autotune-rounds") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "frodoc: --autotune-rounds expects a positive "
+                     "integer\n");
+        return usage(2);
+      }
+      autotune_rounds = static_cast<int>(n);
     } else if (arg == "--emit-main") {
       emit_main = true;
     } else if (arg == "--print-ranges") {
@@ -358,6 +413,25 @@ int main(int argc, char** argv) {
                  "frodoc: --isolate, --memory-per-model and --retries "
                  "require --batch\n");
     return usage(2);
+  }
+  if (autotune) {
+    // --autotune implies --cost-model tuned; saying both differently is a
+    // contradiction, not a preference.
+    if (cost_model_set &&
+        optimize.cost_model != frodo::codegen::cost::CostModelMode::kTuned) {
+      std::fprintf(stderr,
+                   "frodoc: --autotune requires --cost-model tuned\n");
+      return usage(2);
+    }
+    optimize.cost_model = frodo::codegen::cost::CostModelMode::kTuned;
+    if (isolate == "process") {
+      // The measurement JIT compiles and dlopens inside the worker; a
+      // sandboxed child is the wrong place to shell out to a C compiler.
+      std::fprintf(stderr,
+                   "frodoc: --autotune does not compose with --isolate "
+                   "process\n");
+      return usage(2);
+    }
   }
 
   frodo::diag::Engine engine(max_errors);
@@ -437,6 +511,9 @@ int main(int argc, char** argv) {
       bopts.memory_per_model_mb = memory_per_model_mb;
       bopts.retries = retries;
       bopts.retry_backoff_ms = retry_backoff_ms;
+      bopts.autotune = autotune;
+      bopts.autotune_reps = autotune_reps;
+      bopts.autotune_rounds = autotune_rounds;
 
       frodo::batch::BatchResult result =
           frodo::batch::compile_batch(models, bopts);
@@ -551,10 +628,11 @@ int main(int argc, char** argv) {
     bool cache_hit = false;
     const bool cache_used =
         cache_enabled && family.rfind("frodo", 0) == 0;
+    std::optional<frodo::batch::AnalysisCache> cache;
     if (cache_used) {
-      const frodo::batch::AnalysisCache cache(cache_dir);
+      cache.emplace(cache_dir);
       auto r = frodo::batch::ranges_with_cache(
-          model.value(), checked.analysis, &cache,
+          model.value(), checked.analysis, &*cache,
           frodo::batch::optimize_flag_mask(optimize), family,
           gen_options.engine, pool_ptr, &cache_hit);
       if (!r.is_ok()) {
@@ -564,6 +642,36 @@ int main(int argc, char** argv) {
       ranges = std::move(r).value();
       precomputed = &ranges;
       gen_options.precomputed_ranges = precomputed;
+    }
+
+    // --cost-model tuned: resolve the per-block decision vector (cached
+    // entry, fresh autotune, or the FRODO-W007 static fallback) and rebind
+    // the generator to it.
+    frodo::batch::TunedSetup tuned;  // must outlive generate()
+    frodo::codegen::OptimizeOptions effective = optimize;
+    if (family.rfind("frodo", 0) == 0 &&
+        optimize.cost_model ==
+            frodo::codegen::cost::CostModelMode::kTuned) {
+      frodo::batch::BatchOptions topts;
+      topts.generator = generator_name;
+      topts.outdir = outdir;
+      topts.optimize = optimize;
+      topts.autotune = autotune;
+      topts.autotune_reps = autotune_reps;
+      topts.autotune_rounds = autotune_rounds;
+      topts.cache_dir = cache_used ? cache_dir : std::string();
+      tuned = frodo::batch::resolve_tuned_decisions(
+          model.value(), checked, cache ? &*cache : nullptr, topts,
+          gen_options.engine);
+      if (tuned.resolved) {
+        effective.tuned = &tuned.vector;
+        generator = frodo::codegen::make_generator(generator_name,
+                                                   simd_width, &effective);
+        if (!generator.is_ok()) {
+          std::fprintf(stderr, "frodoc: %s\n", generator.message().c_str());
+          return 2;
+        }
+      }
     }
 
     auto code = generator.value()->generate(model.value(), gen_options);
@@ -609,7 +717,7 @@ int main(int argc, char** argv) {
     // the final "wrote ..." line.
     if (!report_format.empty()) {
       auto report = frodo::batch::model_report(checked, generator_name,
-                                               optimize,
+                                               effective,
                                                model.value().name(),
                                                precomputed);
       if (!report.is_ok()) {

@@ -1,0 +1,197 @@
+#include "codegen/autotune.hpp"
+
+#include <algorithm>
+
+#include "blocks/analysis.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+#include "support/trace.hpp"
+
+namespace frodo::codegen::autotune {
+
+namespace {
+
+// Candidate pass configurations, in tie-break order: on equal measurements
+// the earlier entry wins, so noise never promotes a riskier plan over the
+// baseline.
+struct CandidateSpec {
+  const char* label;
+  OptimizeOptions (*configure)(const OptimizeOptions& base);
+};
+
+const CandidateSpec kCandidates[] = {
+    {"noopt",
+     [](const OptimizeOptions&) { return OptimizeOptions::none(); }},
+    {"static",
+     [](const OptimizeOptions& base) {
+       OptimizeOptions o = base;
+       o.cost_model = cost::CostModelMode::kStatic;
+       o.tuned = nullptr;
+       return o;
+     }},
+    {"full",
+     [](const OptimizeOptions& base) {
+       OptimizeOptions o = base;
+       o.cost_model = cost::CostModelMode::kOff;
+       o.tuned = nullptr;
+       return o;
+     }},
+};
+
+}  // namespace
+
+Result<AutotuneResult> autotune_model(const model::Model& model,
+                                      const AutotuneOptions& options) {
+  using R = Result<AutotuneResult>;
+  trace::Scope span("autotune");
+
+  // One shared pipeline run: every candidate plans and generates from the
+  // same analysis and ranges (they do not depend on the pass flags).
+  FRODO_ASSIGN_OR_RETURN(model::Model flat, model::flatten(model));
+  FRODO_ASSIGN_OR_RETURN(graph::DataflowGraph graph,
+                         graph::DataflowGraph::build(flat));
+  FRODO_ASSIGN_OR_RETURN(blocks::Analysis analysis,
+                         blocks::analyze(graph,
+                                         {options.engine,
+                                          options.engine != nullptr}));
+  FRODO_ASSIGN_OR_RETURN(range::RangeAnalysis ranges,
+                         range::determine_ranges(analysis, options.engine));
+
+  jit::CompilerProfile profile = options.profile;
+  if (profile.cc.empty()) {
+    const auto profiles = jit::table2_profiles();
+    if (profiles.empty()) return R::error("no JIT compiler available");
+    profile = profiles.front();
+  }
+
+  const int reps = std::max(1, options.reps);
+  const int rounds = std::max(1, options.rounds);
+
+  AutotuneResult result;
+  std::vector<cost::DecisionVector> vectors;
+  // Candidates whose code compiled, awaiting measurement; `reuse_src[c]`
+  // points a duplicate candidate at the (always earlier, always distinct)
+  // candidate whose timing it inherits.
+  struct Prepared {
+    std::size_t index;  // into result.candidates
+    jit::CompiledModel compiled;
+    std::vector<std::vector<double>> inputs;
+    double best_seconds = 0.0;
+  };
+  std::vector<Prepared> prepared;
+  std::vector<int> reuse_src;
+  for (const CandidateSpec& spec : kCandidates) {
+    const OptimizeOptions candidate_options = spec.configure(options.optimize);
+    const OptimizePlan plan =
+        plan_optimizations(analysis, ranges, candidate_options);
+    cost::DecisionVector vector = plan_decision_vector(plan);
+
+    CandidateOutcome outcome;
+    outcome.label = spec.label;
+    reuse_src.push_back(-1);
+
+    // Identical decision vectors generate identical step code (only the
+    // header comment names the generator), so measure each distinct plan
+    // once.  A fully vetoed static plan reuses the noopt timing.
+    bool reused = false;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (vectors[i].masks != vector.masks) continue;
+      outcome.reused_from = result.candidates[i].label;
+      reuse_src.back() = static_cast<int>(i);
+      trace::count("autotune_reused");
+      reused = true;
+      break;
+    }
+    if (!reused) {
+      FrodoGenerator generator(false, false, candidate_options);
+      GenerateOptions gen_options;
+      gen_options.engine = options.engine;
+      gen_options.precomputed_ranges = &ranges;
+      auto code = generator.generate(model, gen_options);
+      if (!code.is_ok()) {
+        if (options.engine != nullptr)
+          options.engine->warning(
+              diag::codes::kWTunedFallback,
+              "autotune candidate '" + outcome.label +
+                  "' failed to generate: " + code.status().message());
+        result.candidates.push_back(std::move(outcome));
+        vectors.push_back(std::move(vector));
+        continue;
+      }
+      Result<jit::CompiledModel> compiled = [&] {
+        trace::Scope jit_span("autotune_jit");
+        return jit::compile_and_load(code.value(), profile, options.workdir);
+      }();
+      if (!compiled.is_ok()) {
+        if (options.engine != nullptr)
+          options.engine->warning(
+              diag::codes::kWTunedFallback,
+              "autotune candidate '" + outcome.label +
+                  "' failed to compile: " + compiled.status().message());
+        result.candidates.push_back(std::move(outcome));
+        vectors.push_back(std::move(vector));
+        continue;
+      }
+      Prepared prep;
+      prep.index = result.candidates.size();
+      prep.compiled = std::move(compiled).value();
+      prep.inputs = jit::random_inputs(code.value(), options.seed);
+      prepared.push_back(std::move(prep));
+    }
+
+    result.candidates.push_back(std::move(outcome));
+    vectors.push_back(std::move(vector));
+  }
+
+  // Time the compiled candidates in interleaved rounds: sequential
+  // whole-candidate timing lets machine drift (frequency scaling, steal
+  // time) land on one candidate and decide the pick; round-robin chunks
+  // put every drift window across all candidates, and the per-candidate
+  // best round discards it symmetrically.
+  if (!prepared.empty()) {
+    trace::Scope measure_span("autotune_measure");
+    for (int round = 0; round < rounds; ++round) {
+      for (Prepared& prep : prepared) {
+        const double seconds =
+            jit::time_steps(prep.compiled, prep.inputs, reps);
+        if (round == 0 || seconds < prep.best_seconds)
+          prep.best_seconds = seconds;
+      }
+    }
+  }
+  for (const Prepared& prep : prepared) {
+    result.candidates[prep.index].ns_per_step =
+        prep.best_seconds * 1e9 / static_cast<double>(reps);
+    result.candidates[prep.index].measured = true;
+    trace::count("autotune_candidates");
+  }
+  // Duplicates inherit their source's timing (0 when the source failed to
+  // measure, which keeps them out of the winner scan like the source).
+  for (std::size_t c = 0; c < result.candidates.size(); ++c) {
+    if (reuse_src[c] >= 0)
+      result.candidates[c].ns_per_step =
+          result.candidates[static_cast<std::size_t>(reuse_src[c])]
+              .ns_per_step;
+  }
+
+  int winner = -1;
+  for (std::size_t c = 0; c < result.candidates.size(); ++c) {
+    const double ns = result.candidates[c].ns_per_step;
+    if (ns > 0.0 &&
+        (winner < 0 ||
+         ns < result.candidates[static_cast<std::size_t>(winner)]
+                  .ns_per_step)) {
+      winner = static_cast<int>(c);
+    }
+  }
+
+  if (winner < 0) return R::error("autotune: no candidate could be measured");
+  const auto w = static_cast<std::size_t>(winner);
+  result.decisions = std::move(vectors[w]);
+  result.decisions.winner = result.candidates[w].label;
+  result.decisions.ns_per_step = result.candidates[w].ns_per_step;
+  return result;
+}
+
+}  // namespace frodo::codegen::autotune

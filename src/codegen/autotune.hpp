@@ -1,0 +1,75 @@
+// JIT-backed per-model autotuning of optimizer decisions.
+//
+// The static cost model (codegen/cost.hpp) predicts profitability from
+// machine-calibrated thresholds; autotune *measures* it.  For one model it
+// compiles a small set of candidate optimization plans with a real C
+// compiler (src/jit), times each one's step function on deterministic
+// pseudo-random inputs, and pins the winner as a per-block decision vector.
+//
+// Candidates:
+//   * "noopt"  — every pass vetoed everywhere (the ablation baseline);
+//   * "static" — the static cost model's per-block grants;
+//   * "full"   — every enabled pass applied everywhere (pre-cost-model).
+//
+// The winning vector replays through `--cost-model tuned` byte-exactly —
+// plan_decision_vector() round-trips the plan — and the batch driver
+// persists it in the analysis cache (`<key>.tuned`, src/batch/cache.hpp) so
+// warm reruns apply the tuned plan with zero re-measurement.  Measurement
+// work is visible in the pipeline trace as `autotune_jit` / `autotune_measure`
+// spans; candidates whose decision vectors coincide (a fully vetoed static
+// plan equals noopt) are measured once and the duplicate marked reused.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/cost.hpp"
+#include "codegen/optimize.hpp"
+#include "jit/jit.hpp"
+#include "model/model.hpp"
+#include "support/diag.hpp"
+#include "support/status.hpp"
+
+namespace frodo::codegen::autotune {
+
+struct AutotuneOptions {
+  // Timed steps per measurement round and best-of round count.  The product
+  // bounds per-candidate measurement cost; the defaults suit bench-sized
+  // models, CI smoke runs pass something much smaller.  Rounds interleave
+  // round-robin across the compiled candidates, so machine drift during
+  // one round lands on every candidate instead of deciding the pick.
+  int reps = 2000;
+  int rounds = 3;
+  std::uint64_t seed = 42;  // deterministic input data
+  // Measurement compiler; defaults to the first table2 profile (gcc -O3).
+  jit::CompilerProfile profile;
+  // Scratch directory for JIT artifacts (created on demand).
+  std::string workdir = "/tmp/frodo-autotune";
+  // Base pass flags the candidates narrow (the CLI's --no-* switches apply
+  // here too).  cost_model/tuned members are ignored — candidates set them.
+  OptimizeOptions optimize;
+  diag::Engine* engine = nullptr;
+};
+
+struct CandidateOutcome {
+  std::string label;
+  double ns_per_step = 0.0;
+  bool measured = false;  // false: reused an identical candidate's timing
+  std::string reused_from;
+};
+
+struct AutotuneResult {
+  // Winner's per-block decision vector (winner label and ns_per_step
+  // filled), ready for OptimizeOptions::tuned and the analysis cache.
+  cost::DecisionVector decisions;
+  std::vector<CandidateOutcome> candidates;
+};
+
+// Measures the candidate plans for `model` and returns the winner.  Errors
+// only when the pipeline itself fails or no candidate could be compiled;
+// individual candidate compile failures degrade to skipping the candidate
+// (with a warning on `engine`).
+Result<AutotuneResult> autotune_model(const model::Model& model,
+                                      const AutotuneOptions& options);
+
+}  // namespace frodo::codegen::autotune

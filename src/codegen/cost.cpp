@@ -1,0 +1,150 @@
+#include "codegen/cost.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace frodo::codegen::cost {
+
+const char* cost_model_mode_name(CostModelMode mode) {
+  switch (mode) {
+    case CostModelMode::kOff:
+      return "off";
+    case CostModelMode::kStatic:
+      return "static";
+    case CostModelMode::kTuned:
+      return "tuned";
+  }
+  return "off";
+}
+
+bool parse_cost_model_mode(std::string_view text, CostModelMode* out) {
+  if (text == "off") {
+    *out = CostModelMode::kOff;
+  } else if (text == "static") {
+    *out = CostModelMode::kStatic;
+  } else if (text == "tuned") {
+    *out = CostModelMode::kTuned;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string decision_mask_name(unsigned mask) {
+  std::string out;
+  auto add = [&out](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (mask & kDecisionFuse) add("fuse");
+  if (mask & kDecisionShrink) add("shrink");
+  if (mask & kDecisionAlias) add("alias");
+  return out.empty() ? "none" : out;
+}
+
+double score_fusion(const FusionFeatures& f) {
+  const double bytes = static_cast<double>(f.elem_bytes);
+  double score =
+      bytes * static_cast<double>(f.avoided_stores + f.avoided_loads) -
+      kFusionMinBytes;
+  // Streams the fused loop walks concurrently: every external operand plus
+  // the tail's result.  Beyond the L1 window the loop is memory-bound either
+  // way and fusion only costs registers and scheduling freedom.
+  const double working_set = static_cast<double>(f.external_streams + 1) *
+                             static_cast<double>(f.range_elements) * bytes;
+  if (working_set > kFusionStreamWindowBytes) score -= kVetoPenalty;
+  return score;
+}
+
+double score_shrink(const ShrinkFeatures& f) {
+  const double bytes = static_cast<double>(f.elem_bytes);
+  const double full = static_cast<double>(f.full_elements);
+  const double saved =
+      static_cast<double>(f.full_elements - f.hull_elements) * bytes;
+  double score = saved;
+  // Rebasing ("(B - lo)[i]") turns every consumer's address computation into
+  // base-minus-constant arithmetic; measured as a loss wherever it fired on
+  // its own, so only pure tail trims qualify.
+  if (f.origin != 0) score -= kVetoPenalty;
+  // A sparse hull keeps dead holes resident — shrinking bought little.
+  if (f.store_density < kShrinkMinDensity) score -= kVetoPenalty;
+  // Sub-threshold savings do not pay for the layout churn.
+  if (saved < kShrinkMinSavingFraction * full * bytes) score -= kVetoPenalty;
+  // A truncation alias publishes a window into this very buffer; resizing
+  // underneath it rearranges the window the alias pinned (measured harmful).
+  if (f.aliased_consumer) score -= kVetoPenalty;
+  return score;
+}
+
+double score_alias(const AliasFeatures& f) {
+  const double bytes = static_cast<double>(f.elem_bytes);
+  double score =
+      bytes * static_cast<double>(f.avoided_stores + f.avoided_loads);
+  const double slice = static_cast<double>(f.range_elements) * bytes;
+  const double offset = static_cast<double>(f.offset_elements) * bytes;
+  // Below the window the copy was nearly free; above it the alias pins the
+  // whole source buffer live across every consumer.
+  if (slice < kAliasMinBytes || slice > kAliasMaxBytes) score -= kVetoPenalty;
+  // Ragged slices break the aligned whole-run access pattern the dedicated
+  // copy buffer would have restored.
+  if (std::fmod(slice, kAliasRunBytes) != 0.0) score -= kVetoPenalty;
+  if (std::fmod(offset, kAliasRunBytes) != 0.0) score -= kVetoPenalty;
+  // Aliasing an external step-input pointer spreads its unknown provenance
+  // into every consumer loop (the compiler cannot disalias it against the
+  // output buffers), where the copy loop would have localized that to one
+  // trivial loop.  Measured on RunningDiff: every alias-bearing mask loses
+  // ~9-16% to noopt at gcc -O2/-O3 from exactly this.
+  if (f.external_source) score -= kVetoPenalty;
+  return score;
+}
+
+std::string serialize_decisions(const DecisionVector& decisions) {
+  std::string out = "frodo-tuned 1\n";
+  out += "winner " + (decisions.winner.empty() ? "?" : decisions.winner) +
+         "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ns-per-step %.6f\n", decisions.ns_per_step);
+  out += buf;
+  out += "blocks " + std::to_string(decisions.masks.size()) + "\n";
+  out += "masks";
+  for (unsigned mask : decisions.masks) out += " " + std::to_string(mask);
+  out += "\nend\n";
+  return out;
+}
+
+Result<DecisionVector> deserialize_decisions(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  auto malformed = [](const std::string& what) {
+    return Status::error("malformed tuned-decision entry: " + what);
+  };
+  if (!std::getline(in, line) || line != "frodo-tuned 1")
+    return malformed("bad header");
+  DecisionVector out;
+  if (!std::getline(in, line) || line.rfind("winner ", 0) != 0)
+    return malformed("missing winner");
+  out.winner = line.substr(7);
+  if (!std::getline(in, line) || line.rfind("ns-per-step ", 0) != 0)
+    return malformed("missing ns-per-step");
+  out.ns_per_step = std::strtod(line.c_str() + 12, nullptr);
+  if (!std::getline(in, line) || line.rfind("blocks ", 0) != 0)
+    return malformed("missing block count");
+  const long long count = std::strtoll(line.c_str() + 7, nullptr, 10);
+  if (count < 0 || count > 1'000'000) return malformed("bad block count");
+  if (!std::getline(in, line) || line.rfind("masks", 0) != 0)
+    return malformed("missing masks");
+  std::istringstream masks{line.substr(5)};
+  unsigned long long mask = 0;
+  while (masks >> mask) {
+    if (mask > kDecisionAll) return malformed("mask out of range");
+    out.masks.push_back(static_cast<unsigned>(mask));
+  }
+  if (static_cast<long long>(out.masks.size()) != count)
+    return malformed("mask count mismatch");
+  if (!std::getline(in, line) || line != "end") return malformed("missing end");
+  return out;
+}
+
+}  // namespace frodo::codegen::cost

@@ -1,0 +1,156 @@
+// Static cost model for the post-range-analysis optimization passes.
+//
+// The committed Table-2 trajectory showed the optimizer *losing* to its own
+// no-opt ablation on several models: fusion, buffer shrinking and truncation
+// aliasing were applied unconditionally even where they hurt.  This module
+// scores every candidate (fused chain / shrinkable buffer / truncation
+// alias) from data the pipeline already computes — avoided loads/stores and
+// range sizes from the elimination report's accounting, chain length,
+// element width, store-range density — and plan_optimizations() consults it
+// per block, so the `OptimizeOptions` flags become per-block *defaults the
+// model can veto* rather than global switches.
+//
+// Three modes (frodoc --cost-model off|static|tuned):
+//   * kOff    — every enabled pass applies everywhere (the pre-cost-model
+//               behavior, byte-identical output; the ablation baseline).
+//   * kStatic — candidates below the profitability bar are vetoed using the
+//               scoring functions here.
+//   * kTuned  — a per-block decision vector measured by the autotuner
+//               (codegen/autotune.hpp) gates the passes; falls back to
+//               kStatic when no tuned vector is available.
+//
+// Scores are signed "profitability bytes" per step: the traffic the
+// candidate removes minus machine-calibrated penalty terms.  score > 0
+// means apply.  The benefit terms (avoided loads/stores, shrink savings)
+// always carry non-negative coefficients, so a candidate that eliminates
+// *more* traffic can never score worse with the other features held fixed —
+// the monotonicity contract the unit tests pin down.  docs/COSTMODEL.md
+// documents every feature and threshold.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace frodo::codegen::cost {
+
+enum class CostModelMode { kOff, kStatic, kTuned };
+
+// "off" | "static" | "tuned".
+const char* cost_model_mode_name(CostModelMode mode);
+// Parses the --cost-model argument; false for unknown spellings.
+bool parse_cost_model_mode(std::string_view text, CostModelMode* out);
+
+// Per-block pass-decision bits.  Identical encoding to the analysis-cache
+// flag mask (batch::optimize_flag_mask) so decision vectors and cache keys
+// speak the same language.
+enum : unsigned {
+  kDecisionFuse = 1u,
+  kDecisionShrink = 2u,
+  kDecisionAlias = 4u,
+  kDecisionAll = 7u,
+};
+
+// "none", "fuse", "fuse+shrink", ... for reports.
+std::string decision_mask_name(unsigned mask);
+
+// ---------------------------------------------------------------------------
+// Candidate features.  All element counts are per step; elem_bytes is the
+// signal element width (doubles today).
+
+struct FusionFeatures {
+  int chain_length = 0;           // blocks in the candidate chain
+  long long range_elements = 0;   // the chain's common calculation range
+  long long avoided_stores = 0;   // intermediate elements never stored
+  long long avoided_loads = 0;    // intermediate elements never reloaded
+  int external_streams = 0;       // non-chain operand streams feeding the loop
+  int elem_bytes = 8;
+};
+
+struct ShrinkFeatures {
+  long long full_elements = 0;    // full-shape buffer size
+  long long hull_elements = 0;    // range-hull size after shrinking
+  long long origin = 0;           // hull lower bound (index rebase offset)
+  double store_density = 0.0;     // stored elements / hull size
+  bool aliased_consumer = false;  // a truncation alias points into this buffer
+  int elem_bytes = 8;
+};
+
+struct AliasFeatures {
+  long long range_elements = 0;   // demanded elements of the aliased slice
+  long long avoided_stores = 0;   // the copy loop's stores
+  long long avoided_loads = 0;    // the consumers' reloads of the copy
+  long long offset_elements = 0;  // slice offset into the source buffer
+  bool external_source = false;   // slice of a step-input pointer, not a
+                                  // static buffer
+  int elem_bytes = 8;
+};
+
+// ---------------------------------------------------------------------------
+// Calibration constants (docs/COSTMODEL.md has the measurement story).
+
+// A fused chain must remove at least this much per-step traffic: below it
+// the eliminated stores cannot pay for the lost per-block vectorization
+// freedom (scalar chains and tiny vectors land here).
+inline constexpr double kFusionMinBytes = 4096.0;
+// A fused loop touching more than an L1's worth of operand + result streams
+// serializes on memory anyway and only adds register pressure.
+inline constexpr double kFusionStreamWindowBytes = 16384.0;
+// Aliased slices outside [kAliasMinBytes, kAliasMaxBytes] lose: tiny slices
+// save no measurable copy, and huge ones pin the source buffer live across
+// the consumers' whole lifetime.
+inline constexpr double kAliasMinBytes = 1024.0;
+inline constexpr double kAliasMaxBytes = 4096.0;
+// Slice size and offset must be whole aligned runs of this many bytes, or
+// consumers lose the aligned-access pattern the copy loop would have had.
+inline constexpr double kAliasRunBytes = 512.0;
+// Shrinking pays only when it actually removes a meaningful slab of the
+// buffer and the kept hull is dense.
+inline constexpr double kShrinkMinSavingFraction = 0.30;
+inline constexpr double kShrinkMinDensity = 0.90;
+// Penalty magnitude for a disqualified candidate: large enough to dominate
+// any realistic benefit term, small enough to render in reports.
+inline constexpr double kVetoPenalty = 1e12;
+
+// ---------------------------------------------------------------------------
+// Scoring.  score > 0 — apply the pass; score <= 0 — veto.  Monotone
+// non-decreasing in avoided_stores / avoided_loads (fusion, alias) and in
+// (full_elements - hull_elements) (shrink) with the other features fixed.
+
+double score_fusion(const FusionFeatures& f);
+double score_shrink(const ShrinkFeatures& f);
+double score_alias(const AliasFeatures& f);
+
+// ---------------------------------------------------------------------------
+// Decisions.
+
+// One block's resolved pass grants, for the report and the trace.
+struct BlockDecision {
+  unsigned mask = kDecisionAll;  // pass bits this block may use
+  double cost_score = 0.0;       // sum of candidate scores evaluated here
+  bool scored = false;           // a candidate touching this block was scored
+  // "default" (flags only), "cost_model" (static veto applied here) or
+  // "autotuned" (per-block tuned vector).
+  std::string source = "default";
+};
+
+// The per-block decision vector the autotuner pins and the analysis cache
+// persists: masks[id] holds the kDecision* bits block id may use.
+struct DecisionVector {
+  std::vector<unsigned> masks;
+  // Autotune provenance, carried through the cache so warm runs can report
+  // how the decisions were chosen without re-measuring.
+  std::string winner;          // winning candidate label, e.g. "static"
+  double ns_per_step = 0.0;    // the winner's measured cost
+
+  bool empty() const { return masks.empty(); }
+};
+
+// Stable text serialization ("frodo-tuned 1" header), used by the analysis
+// cache for `<key>.tuned` entries.
+std::string serialize_decisions(const DecisionVector& decisions);
+Result<DecisionVector> deserialize_decisions(std::string_view text);
+
+}  // namespace frodo::codegen::cost

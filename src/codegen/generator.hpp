@@ -130,7 +130,9 @@ class FrodoGenerator final : public Generator {
   std::string name() const override {
     if (shared_kernels_) return "Frodo-shared";
     if (loose_) return "Frodo-loose";
-    return optimize_.any() ? "Frodo" : "Frodo-noopt";
+    if (!optimize_.any()) return "Frodo-noopt";
+    return optimize_.cost_model == cost::CostModelMode::kTuned ? "Frodo-tuned"
+                                                               : "Frodo";
   }
 
  protected:

@@ -38,7 +38,11 @@ int find_root(std::vector<int>& parent, int x) {
 // A block qualifies for fusion when it emits one output whose every element
 // is a pure function of the same-index elements of its inputs.
 bool fusion_candidate(const Analysis& analysis,
-                      const range::RangeAnalysis& ranges, BlockId id) {
+                      const range::RangeAnalysis& ranges,
+                      const OptimizePlan& plan, BlockId id) {
+  if (!(plan.decisions[static_cast<std::size_t>(id)].mask &
+        cost::kDecisionFuse))
+    return false;
   if (emission_skipped(analysis, ranges, id)) return false;
   const model::Block& block = analysis.model().block(id);
   const BlockSemantics& sem = *analysis.sems[static_cast<std::size_t>(id)];
@@ -46,6 +50,34 @@ bool fusion_candidate(const Analysis& analysis,
   if (analysis.out_shapes[static_cast<std::size_t>(id)].size() != 1)
     return false;
   return !ranges.out_ranges[static_cast<std::size_t>(id)][0].is_empty();
+}
+
+// The chain's cost features: traffic its fused-away members stop paying,
+// plus the operand streams the single fused loop must walk.
+cost::FusionFeatures fusion_features(const Analysis& analysis,
+                                     const range::RangeAnalysis& ranges,
+                                     const std::vector<BlockId>& members) {
+  cost::FusionFeatures f;
+  f.chain_length = static_cast<int>(members.size());
+  const BlockId tail = members.back();
+  f.range_elements =
+      ranges.out_ranges[static_cast<std::size_t>(tail)][0].count();
+  for (BlockId m : members) {
+    if (m != tail) {
+      const long long dem =
+          ranges.out_ranges[static_cast<std::size_t>(m)][0].count();
+      f.avoided_stores += dem;
+      f.avoided_loads += dem;
+    }
+    for (int p = 0; p < analysis.graph->input_count(m); ++p) {
+      const auto driver = analysis.graph->input_driver(m, p);
+      bool internal = false;
+      if (driver.has_value())
+        for (BlockId mm : members) internal = internal || mm == driver->block;
+      if (!internal) ++f.external_streams;
+    }
+  }
+  return f;
 }
 
 void plan_fusion(const Analysis& analysis, const range::RangeAnalysis& ranges,
@@ -58,11 +90,11 @@ void plan_fusion(const Analysis& analysis, const range::RangeAnalysis& ranges,
   for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
 
   for (BlockId id = 0; id < n; ++id) {
-    if (!fusion_candidate(analysis, ranges, id)) continue;
+    if (!fusion_candidate(analysis, ranges, plan, id)) continue;
     const auto& edges = analysis.graph->out_edges(id);
     if (edges.size() != 1) continue;  // fan-out keeps the buffer alive
     const BlockId dst = edges[0].dst.block;
-    if (!fusion_candidate(analysis, ranges, dst)) continue;
+    if (!fusion_candidate(analysis, ranges, plan, dst)) continue;
     const auto i = static_cast<std::size_t>(id);
     const auto d = static_cast<std::size_t>(dst);
     if (analysis.out_shapes[i][0] != analysis.out_shapes[d][0]) continue;
@@ -80,6 +112,21 @@ void plan_fusion(const Analysis& analysis, const range::RangeAnalysis& ranges,
         .push_back(id);
   for (auto& members : components) {
     if (members.size() < 2) continue;
+    if (plan.cost_mode == cost::CostModelMode::kStatic) {
+      const double score =
+          cost::score_fusion(fusion_features(analysis, ranges, members));
+      for (BlockId m : members) {
+        auto& decision = plan.decisions[static_cast<std::size_t>(m)];
+        decision.scored = true;
+        decision.cost_score += score;
+        decision.source = "cost_model";
+        if (score <= 0.0) decision.mask &= ~cost::kDecisionFuse;
+      }
+      if (score <= 0.0) {
+        trace::count("cost_vetoed_chains");
+        continue;
+      }
+    }
     const int chain_index = static_cast<int>(plan.chains.size());
     for (BlockId m : members) {
       plan.chain_of[static_cast<std::size_t>(m)] = chain_index;
@@ -97,6 +144,7 @@ void plan_aliases(const Analysis& analysis, const range::RangeAnalysis& ranges,
   const int n = analysis.graph->block_count();
   for (BlockId id = 0; id < n; ++id) {
     const auto i = static_cast<std::size_t>(id);
+    if (!(plan.decisions[i].mask & cost::kDecisionAlias)) continue;
     const model::Block& block = analysis.model().block(id);
     if (block.type() == "Inport") continue;
     if (emission_skipped(analysis, ranges, id)) continue;
@@ -115,6 +163,36 @@ void plan_aliases(const Analysis& analysis, const range::RangeAnalysis& ranges,
       if (ok) aliases.push_back(*alias);
     }
     if (!ok) continue;  // emission stays; partial aliasing is not worth it
+    if (plan.cost_mode == cost::CostModelMode::kStatic) {
+      // Every port must clear the bar: partial aliasing keeps the copy loop
+      // anyway, so the block applies all-or-nothing just like the pass.
+      double total = 0.0;
+      bool apply = true;
+      for (std::size_t p = 0; p < ports; ++p) {
+        cost::AliasFeatures f;
+        f.range_elements = ranges.out_ranges[i][p].count();
+        f.avoided_stores = f.range_elements;
+        f.avoided_loads = f.range_elements;
+        f.offset_elements = aliases[p].offset;
+        const auto driver =
+            analysis.graph->input_driver(id, aliases[p].input_port);
+        f.external_source =
+            driver.has_value() &&
+            analysis.model().block(driver->block).type() == "Inport";
+        const double score = cost::score_alias(f);
+        total += score;
+        apply = apply && score > 0.0;
+      }
+      auto& decision = plan.decisions[i];
+      decision.scored = true;
+      decision.cost_score += total;
+      decision.source = "cost_model";
+      if (!apply) {
+        decision.mask &= ~cost::kDecisionAlias;
+        trace::count("cost_vetoed_aliases");
+        continue;
+      }
+    }
     for (std::size_t p = 0; p < ports; ++p) {
       BufferLayout& l = plan.layout[i][p];
       l.alias = true;
@@ -123,6 +201,18 @@ void plan_aliases(const Analysis& analysis, const range::RangeAnalysis& ranges,
       l.size = 0;
     }
   }
+}
+
+// True when some planned truncation alias points into (id, port)'s buffer.
+bool has_aliased_consumer(const Analysis& analysis, const OptimizePlan& plan,
+                          BlockId id, std::size_t port) {
+  for (const model::Connection& edge : analysis.graph->out_edges(id)) {
+    if (edge.src.port != static_cast<int>(port)) continue;
+    const auto c = static_cast<std::size_t>(edge.dst.block);
+    for (const BufferLayout& l : plan.layout[c])
+      if (l.alias && l.alias_port == edge.dst.port) return true;
+  }
+  return false;
 }
 
 void plan_shrinking(const Analysis& analysis,
@@ -135,7 +225,17 @@ void plan_shrinking(const Analysis& analysis,
     const BlockSemantics& sem = *analysis.sems[i];
     if (sem.is_constant(block)) continue;  // initializer stays full-shape
     const bool skipped = emission_skipped(analysis, ranges, id);
-    for (std::size_t p = 0; p < analysis.out_shapes[i].size(); ++p) {
+    const std::size_t ports = analysis.out_shapes[i].size();
+    // First resolve each port's hull; dead signals drop their arrays
+    // unconditionally (elimination, not a layout trade-off the cost model
+    // weighs in on).
+    struct Candidate {
+      std::size_t port;
+      mapping::Interval hull;
+      long long stored;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t p = 0; p < ports; ++p) {
       BufferLayout& l = plan.layout[i][p];
       if (l.alias || l.fused_away) continue;
       const IndexSet& range = ranges.out_ranges[i][p];
@@ -151,8 +251,40 @@ void plan_shrinking(const Analysis& analysis,
         continue;
       }
       const mapping::Interval hull = all.hull();
-      l.origin = hull.lo;
-      l.size = hull.size();
+      if (hull.size() >= analysis.out_shapes[i][p].size()) continue;
+      candidates.push_back({p, hull, all.count()});
+    }
+    if (candidates.empty()) continue;
+    if (!(plan.decisions[i].mask & cost::kDecisionShrink)) continue;
+    if (plan.cost_mode == cost::CostModelMode::kStatic) {
+      double total = 0.0;
+      bool apply = true;
+      for (const Candidate& c : candidates) {
+        cost::ShrinkFeatures f;
+        f.full_elements = analysis.out_shapes[i][c.port].size();
+        f.hull_elements = c.hull.size();
+        f.origin = c.hull.lo;
+        f.store_density = static_cast<double>(c.stored) /
+                          static_cast<double>(c.hull.size());
+        f.aliased_consumer = has_aliased_consumer(analysis, plan, id, c.port);
+        const double score = cost::score_shrink(f);
+        total += score;
+        apply = apply && score > 0.0;
+      }
+      auto& decision = plan.decisions[i];
+      decision.scored = true;
+      decision.cost_score += total;
+      decision.source = "cost_model";
+      if (!apply) {
+        decision.mask &= ~cost::kDecisionShrink;
+        trace::count("cost_vetoed_shrinks");
+        continue;
+      }
+    }
+    for (const Candidate& c : candidates) {
+      BufferLayout& l = plan.layout[i][c.port];
+      l.origin = c.hull.lo;
+      l.size = c.hull.size();
     }
   }
 }
@@ -188,6 +320,30 @@ OptimizePlan plan_optimizations(const Analysis& analysis,
     for (std::size_t p = 0; p < shapes.size(); ++p)
       row[p].size = shapes[p].size();  // full-shape default
   }
+
+  // Per-block pass grants: the flags bound what any mode may apply; the
+  // tuned vector (when present and matching) narrows them per block, and
+  // static mode narrows them candidate-by-candidate during planning.
+  plan.cost_mode = options.cost_model;
+  const unsigned base =
+      (options.fuse ? cost::kDecisionFuse : 0u) |
+      (options.shrink_buffers ? cost::kDecisionShrink : 0u) |
+      (options.alias_truncation ? cost::kDecisionAlias : 0u);
+  plan.decisions.assign(static_cast<std::size_t>(n), cost::BlockDecision{});
+  const bool tuned_usable =
+      plan.cost_mode == cost::CostModelMode::kTuned && options.tuned &&
+      options.tuned->masks.size() == static_cast<std::size_t>(n);
+  if (plan.cost_mode == cost::CostModelMode::kTuned && !tuned_usable)
+    plan.cost_mode = cost::CostModelMode::kStatic;  // nothing to replay
+  for (std::size_t i = 0; i < plan.decisions.size(); ++i) {
+    auto& decision = plan.decisions[i];
+    decision.mask = base;
+    if (tuned_usable) {
+      decision.mask &= options.tuned->masks[i];
+      decision.source = "autotuned";
+    }
+  }
+
   if (options.fuse) plan_fusion(analysis, ranges, plan);
   if (options.alias_truncation) plan_aliases(analysis, ranges, plan);
   if (options.shrink_buffers) plan_shrinking(analysis, ranges, plan);
@@ -206,6 +362,14 @@ OptimizePlan plan_optimizations(const Analysis& analysis,
     }
   }
   return plan;
+}
+
+cost::DecisionVector plan_decision_vector(const OptimizePlan& plan) {
+  cost::DecisionVector out;
+  out.masks.reserve(plan.decisions.size());
+  for (const cost::BlockDecision& decision : plan.decisions)
+    out.masks.push_back(decision.mask);
+  return out;
 }
 
 Status emit_fused_chain(

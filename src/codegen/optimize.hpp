@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "blocks/analysis.hpp"
+#include "codegen/cost.hpp"
 #include "codegen/cwriter.hpp"
 #include "range/range_analysis.hpp"
 #include "support/status.hpp"
@@ -38,8 +39,20 @@ struct OptimizeOptions {
   bool fuse = true;
   bool shrink_buffers = true;
   bool alias_truncation = true;
+  // How candidates inside the enabled passes are admitted: kOff applies
+  // every candidate (the pre-cost-model behavior), kStatic scores each one
+  // (codegen/cost.hpp) and vetoes losers per block, kTuned gates blocks by
+  // `tuned` (falling back to kStatic when it is absent or mismatched).
+  cost::CostModelMode cost_model = cost::CostModelMode::kOff;
+  // Per-block tuned decision masks (autotune result or cache entry).
+  // Non-owning; must outlive plan_optimizations()/generate().
+  const cost::DecisionVector* tuned = nullptr;
 
-  static OptimizeOptions none() { return OptimizeOptions{false, false, false}; }
+  static OptimizeOptions none() {
+    OptimizeOptions o;
+    o.fuse = o.shrink_buffers = o.alias_truncation = false;
+    return o;
+  }
   bool any() const { return fuse || shrink_buffers || alias_truncation; }
 };
 
@@ -77,9 +90,20 @@ struct OptimizePlan {
   std::vector<int> chain_of;
   // Per block: true when the block is the tail of its chain (emission point).
   std::vector<bool> chain_tail;
+  // Per block: which passes were granted, the candidate scores evaluated,
+  // and where the decision came from (cost model / tuned vector / flags).
+  std::vector<cost::BlockDecision> decisions;
+  // The mode the decisions were made under (kStatic downgraded from kTuned
+  // when no usable tuned vector was supplied).
+  cost::CostModelMode cost_mode = cost::CostModelMode::kOff;
 
   bool active() const { return options.any(); }
 };
+
+// The plan's per-block grant masks as a decision vector.  Replaying the
+// vector through kTuned mode reproduces this exact plan — the property the
+// autotuner and the analysis cache rely on.
+cost::DecisionVector plan_decision_vector(const OptimizePlan& plan);
 
 // Mirror of the generator's per-block skip rule: Inports, constants, and
 // blocks whose every output range is empty emit no step code.

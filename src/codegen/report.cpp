@@ -26,6 +26,12 @@ std::string fmt_pct(double value) {
   return buf;
 }
 
+std::string fmt_score(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep) {
   std::string out;
@@ -46,6 +52,7 @@ Report build_report(const Analysis& analysis,
   report.model_name = model_name;
   report.generator = generator_name;
   report.blocks = analysis.graph->block_count();
+  report.cost_model = cost::cost_model_mode_name(plan.cost_mode);
 
   report.fused_chains = static_cast<long long>(plan.chains.size());
   for (const FusionChain& chain : plan.chains)
@@ -73,6 +80,14 @@ Report build_report(const Analysis& analysis,
     }
     row.eliminated_elements = row.full_elements - row.demanded_elements;
     row.eliminated_pct = pct(row.eliminated_elements, row.full_elements);
+
+    if (i < plan.decisions.size()) {
+      const cost::BlockDecision& decision = plan.decisions[i];
+      row.decision = cost::decision_mask_name(decision.mask);
+      row.decision_source = decision.source;
+      row.cost_score = decision.cost_score;
+      row.cost_scored = decision.scored;
+    }
 
     // Buffer accounting mirrors the generator: Inports read through step
     // parameters (no buffer), constants keep their full-shape initializer,
@@ -199,6 +214,16 @@ std::string render_report_text(const Report& report) {
          " block(s), " + std::to_string(report.aliased_ports) +
          " aliased port(s), " + std::to_string(report.shrunk_buffers) +
          " shrunk buffer(s)\n";
+  if (!report.cost_model.empty() && report.cost_model != "off") {
+    long long scored = 0, vetoed = 0;
+    for (const BlockReportRow& row : report.rows) {
+      if (!row.cost_scored) continue;
+      ++scored;
+      if (row.cost_score <= 0.0) ++vetoed;
+    }
+    out += "cost model: " + report.cost_model + "; " + std::to_string(scored) +
+           " block(s) scored, " + std::to_string(vetoed) + " vetoed\n";
+  }
   return out;
 }
 
@@ -237,7 +262,8 @@ std::string render_report_json(const Report& report) {
   out += "    \"aliased_ports\": " + std::to_string(report.aliased_ports) +
          ",\n";
   out += "    \"shrunk_buffers\": " + std::to_string(report.shrunk_buffers) +
-         "\n";
+         ",\n";
+  out += "    \"cost_model\": " + q(report.cost_model) + "\n";
   out += "  },\n";
   out += "  \"blocks\": [\n";
   for (std::size_t r = 0; r < report.rows.size(); ++r) {
@@ -256,7 +282,13 @@ std::string render_report_json(const Report& report) {
       if (p != 0) out += ", ";
       out += q(row.passes[p]);
     }
-    out += "]}";
+    out += "]";
+    if (!row.decision.empty()) {
+      out += ", \"decision\": " + q(row.decision) + ", \"decision_source\": " +
+             q(row.decision_source);
+      if (row.cost_scored) out += ", \"cost_score\": " + fmt_score(row.cost_score);
+    }
+    out += "}";
     out += (r + 1 < report.rows.size()) ? ",\n" : "\n";
   }
   out += "  ]\n";

@@ -36,6 +36,14 @@ struct BlockReportRow {
   // "range-reduced", "fused", "fused-tail", "aliased", "shrunk".  Empty for
   // a block emitted in full.
   std::vector<std::string> passes;
+  // Cost-model outcome: the pass bits the block was granted
+  // (cost::decision_mask_name), where the decision came from ("default",
+  // "cost_model", "autotuned"), and the summed candidate scores evaluated
+  // here (meaningful only when cost_scored).
+  std::string decision;
+  std::string decision_source;
+  double cost_score = 0.0;
+  bool cost_scored = false;
 };
 
 struct Report {
@@ -68,6 +76,10 @@ struct Report {
   long long fused_blocks = 0;
   long long aliased_ports = 0;
   long long shrunk_buffers = 0;
+  // Admission mode the plan was computed under ("off" | "static" | "tuned");
+  // the per-candidate veto tallies live in the pipeline trace counters
+  // (cost_vetoed_chains / cost_vetoed_aliases / cost_vetoed_shrinks).
+  std::string cost_model;
 
   std::vector<BlockReportRow> rows;
 };

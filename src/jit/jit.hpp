@@ -96,6 +96,10 @@ std::vector<std::vector<double>> random_inputs(
 
 // Runs `reps` steps over fixed inputs and returns elapsed seconds.  A
 // checksum over the outputs is accumulated to keep the work observable.
+// I/O buffers are staged into page-aligned storage with a fixed per-port
+// stagger so data placement — and therefore the cache-set conflict
+// pattern — is identical for every timed cell; byte-identical code then
+// times identically instead of drawing a per-cell malloc lottery.
 double time_steps(const CompiledModel& model,
                   const std::vector<std::vector<double>>& inputs, int reps);
 

@@ -103,6 +103,10 @@ inline constexpr char kWRetrySucceeded[] = "FRODO-W005";
 // An analysis-cache read or write failed; the compile proceeded without
 // the cache (slower, never wrong).
 inline constexpr char kWCacheDegraded[] = "FRODO-W006";
+// Tuned optimizer decisions were unavailable (cache miss without autotune,
+// or autotune/measurement failure); the compile fell back to the static
+// cost model.  Correctness is unaffected.
+inline constexpr char kWTunedFallback[] = "FRODO-W007";
 }  // namespace codes
 
 enum class Severity { kNote, kWarning, kError };

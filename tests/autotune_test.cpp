@@ -1,0 +1,226 @@
+// JIT autotuner (codegen/autotune.hpp) and the tuned-decision side of the
+// analysis cache: winner pinning, candidate dedupe, `<key>.tuned`
+// round-trip with corrupted-entry quarantine, and the batch driver's
+// cache / autotune / fallback resolution (FRODO-W007, FRODO_FAULT sites).
+#include "codegen/autotune.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "batch/cache.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/cost.hpp"
+#include "codegen/generator.hpp"
+#include "support/faultinject.hpp"
+
+namespace frodo {
+namespace {
+
+std::string unique_dir(const std::string& stem) {
+  static int counter = 0;
+  const std::string dir = testing::TempDir() + "/frodo_autotune_test/" +
+                          stem + "_" + std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+jit::CompilerProfile fast_profile() {
+  return jit::CompilerProfile{"gcc-O0", "gcc", {"-O0"}, 4};
+}
+
+model::Model bench_model(const std::string& name) {
+  for (const auto& bench : benchmodels::all_models()) {
+    if (bench.name != name) continue;
+    auto m = bench.build();
+    EXPECT_TRUE(m.is_ok()) << m.message();
+    return std::move(m).value();
+  }
+  ADD_FAILURE() << "unknown model " << name;
+  return model::Model{};
+}
+
+codegen::autotune::AutotuneOptions quick_options(diag::Engine* engine) {
+  codegen::autotune::AutotuneOptions options;
+  options.reps = 50;
+  options.rounds = 1;
+  options.profile = fast_profile();
+  options.workdir = unique_dir("jit");
+  options.engine = engine;
+  return options;
+}
+
+TEST(Autotune, PinsAWinnerWhoseVectorReplays) {
+  const model::Model m = bench_model("Simpson");
+  diag::Engine engine;
+  auto result =
+      codegen::autotune::autotune_model(m, quick_options(&engine));
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  const auto& tuned = result.value();
+
+  const std::set<std::string> labels = {"noopt", "static", "full"};
+  EXPECT_TRUE(labels.count(tuned.decisions.winner))
+      << tuned.decisions.winner;
+  EXPECT_GT(tuned.decisions.ns_per_step, 0.0);
+  ASSERT_FALSE(tuned.decisions.masks.empty());
+  ASSERT_EQ(tuned.candidates.size(), 3u);
+
+  // The winning vector must replay: generation under kTuned succeeds and
+  // carries the autotuned provenance end to end.
+  codegen::OptimizeOptions opts;
+  opts.cost_model = codegen::cost::CostModelMode::kTuned;
+  opts.tuned = &tuned.decisions;
+  const codegen::FrodoGenerator gen(false, false, opts);
+  EXPECT_EQ(gen.name(), "Frodo-tuned");
+  auto code = gen.generate(m);
+  ASSERT_TRUE(code.is_ok()) << code.message();
+  EXPECT_FALSE(code.value().source.empty());
+}
+
+TEST(Autotune, IdenticalCandidateVectorsAreMeasuredOnce) {
+  // Candidates whose decision vectors coincide must reuse the first
+  // measurement: the number of measured candidates equals the number of
+  // distinct vectors, and every reused candidate names its donor.
+  const model::Model m = bench_model("Back");
+  diag::Engine engine;
+  auto result =
+      codegen::autotune::autotune_model(m, quick_options(&engine));
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  const auto& candidates = result.value().candidates;
+  ASSERT_EQ(candidates.size(), 3u);
+
+  int measured = 0;
+  for (const auto& candidate : candidates) {
+    if (candidate.measured) {
+      ++measured;
+      EXPECT_TRUE(candidate.reused_from.empty()) << candidate.label;
+    } else {
+      EXPECT_FALSE(candidate.reused_from.empty()) << candidate.label;
+      EXPECT_GT(candidate.ns_per_step, 0.0) << candidate.label;
+    }
+  }
+  EXPECT_GE(measured, 1);
+  // noopt (all-zero) and full (all-bits) vectors always differ, so at
+  // least two distinct plans exist for any model with optimizable blocks.
+  EXPECT_GE(measured, 2);
+}
+
+// ---------------------------------------------------------------------------
+// `<key>.tuned` cache entries.
+
+TEST(TunedCache, RoundTripsBesideTheRangesEntry) {
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  codegen::cost::DecisionVector v;
+  v.masks = {7u, 0u, 3u};
+  v.winner = "static";
+  v.ns_per_step = 42.0;
+  cache.store_tuned("k123", v);
+
+  codegen::cost::DecisionVector back;
+  ASSERT_TRUE(cache.lookup_tuned("k123", &back));
+  EXPECT_EQ(back.masks, v.masks);
+  EXPECT_EQ(back.winner, "static");
+  EXPECT_NEAR(back.ns_per_step, 42.0, 1e-9);
+
+  EXPECT_FALSE(cache.lookup_tuned("other", &back));
+  EXPECT_NE(cache.tuned_entry_path("k123"), cache.entry_path("k123"));
+}
+
+TEST(TunedCache, CorruptEntryIsQuarantinedToBad) {
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  codegen::cost::DecisionVector v;
+  v.masks = {1u, 2u};
+  cache.store_tuned("key", v);
+
+  // Flip payload bytes after the checksum frame was written.
+  const std::string path = cache.tuned_entry_path("key");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(0, std::ios::end);
+    f << "corruption";
+  }
+  codegen::cost::DecisionVector out;
+  EXPECT_FALSE(cache.lookup_tuned("key", &out));
+  EXPECT_FALSE(std::filesystem::exists(path)) << "entry not quarantined";
+  EXPECT_TRUE(std::filesystem::exists(path + ".bad"));
+  // Quarantine is once: the retry is a plain miss.
+  EXPECT_FALSE(cache.lookup_tuned("key", &out));
+}
+
+// ---------------------------------------------------------------------------
+// resolve_tuned_decisions: cache hit / fallback / fault-injected read.
+
+struct Resolved {
+  batch::TunedSetup setup;
+  diag::Engine engine;
+};
+
+void resolve(const std::string& model_name, const batch::AnalysisCache* cache,
+             bool prestore, Resolved* out) {
+  const model::Model m = bench_model(model_name);
+  batch::CheckedModel checked;
+  ASSERT_TRUE(batch::check_model(m, out->engine, /*strict=*/false, &checked));
+
+  batch::BatchOptions options;
+  options.optimize.cost_model = codegen::cost::CostModelMode::kTuned;
+  if (prestore) {
+    ASSERT_NE(cache, nullptr);
+    codegen::cost::DecisionVector v;
+    v.masks.assign(
+        static_cast<std::size_t>(checked.graph.block_count()), 0u);
+    v.winner = "noopt";
+    v.ns_per_step = 10.0;
+    const std::string key = batch::cache_key(
+        m, batch::optimize_flag_mask(options.optimize), "frodo");
+    cache->store_tuned(key, v);
+  }
+  out->setup =
+      batch::resolve_tuned_decisions(m, checked, cache, options, &out->engine);
+}
+
+TEST(ResolveTunedDecisions, WarmCacheHitReplaysWithoutMeasuring) {
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  Resolved r;
+  resolve("Back", &cache, /*prestore=*/true, &r);
+  EXPECT_TRUE(r.setup.resolved);
+  EXPECT_EQ(r.setup.source, "cache");
+  EXPECT_EQ(r.setup.vector.winner, "noopt");
+  for (const auto& d : r.engine.diagnostics())
+    EXPECT_NE(d.code, diag::codes::kWTunedFallback) << d.message;
+}
+
+TEST(ResolveTunedDecisions, MissWithoutAutotuneFallsBackWithW007) {
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  Resolved r;
+  resolve("Back", &cache, /*prestore=*/false, &r);
+  EXPECT_FALSE(r.setup.resolved);
+  EXPECT_EQ(r.setup.source, "fallback");
+  int w007 = 0;
+  for (const auto& d : r.engine.diagnostics())
+    if (d.code == diag::codes::kWTunedFallback) ++w007;
+  EXPECT_EQ(w007, 1) << r.engine.render_text();
+}
+
+TEST(ResolveTunedDecisions, FaultInjectedReadDegradesToFallback) {
+  const batch::AnalysisCache cache(unique_dir("cache"));
+  ASSERT_TRUE(support::faultinject::arm("cache.read:1"));
+  Resolved r;
+  resolve("Back", &cache, /*prestore=*/true, &r);
+  support::faultinject::disarm();
+  // The entry exists, but the injected read fault makes it unreachable —
+  // tuned mode degrades softly instead of trusting a failing medium.
+  EXPECT_FALSE(r.setup.resolved);
+  EXPECT_EQ(r.setup.source, "fallback");
+}
+
+}  // namespace
+}  // namespace frodo

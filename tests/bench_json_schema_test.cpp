@@ -93,5 +93,28 @@ TEST(BenchJson, ProfilesCoverAllModelsAndGenerators) {
   }
 }
 
+TEST(BenchJson, TunedRowsConsistentWhenPresent) {
+  // "Frodo-tuned" rows come from `bench_table2_x86 --tuned` (the JIT
+  // autotuner, docs/COSTMODEL.md).  They are optional — but the flag is
+  // all-or-nothing per run, so either every row of every profile carries
+  // the cell or none does, and present cells must be positive.
+  const json::Value* profiles = load_bench_json().find("profiles");
+  ASSERT_NE(profiles, nullptr);
+  std::size_t with_tuned = 0;
+  std::size_t total = 0;
+  for (const json::Value& profile : profiles->items) {
+    for (const json::Value& row : profile.find("rows")->items) {
+      ++total;
+      const json::Value* tuned = row.find("ns_per_step")->find("Frodo-tuned");
+      if (tuned == nullptr) continue;
+      ++with_tuned;
+      EXPECT_GT(tuned->number, 0.0) << row.find("model")->string;
+    }
+  }
+  EXPECT_TRUE(with_tuned == 0 || with_tuned == total)
+      << with_tuned << " of " << total
+      << " rows carry a Frodo-tuned cell; --tuned is all-or-nothing";
+}
+
 }  // namespace
 }  // namespace frodo

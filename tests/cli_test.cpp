@@ -437,6 +437,57 @@ TEST(Frodoc, VerboseSummarizesPhasesAndCounters) {
   EXPECT_NE(text.find("range_analysis"), std::string::npos) << text;
 }
 
+TEST(Frodoc, CostModelFlagParsingAndValidation) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("costmodel", "");
+  // All three spellings are accepted.
+  for (const char* mode : {"off", "static", "tuned"}) {
+    EXPECT_EQ(run("'" + package + "' --cost-model " + mode + " --out '" +
+                  out + "'"),
+              0)
+        << mode;
+  }
+  // Usage errors, per the documented exit-code contract.
+  EXPECT_EQ(run("'" + package + "' --cost-model bogus"), 2);
+  EXPECT_EQ(run("'" + package + "' --autotune --cost-model static"), 2);
+  EXPECT_EQ(run("'" + package + "' --autotune --isolate process"), 2);
+  EXPECT_EQ(run("'" + package + "' --autotune-reps 0"), 2);
+}
+
+TEST(Frodoc, ReportJsonCarriesCostModelDecisions) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("costreport", "");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --cost-model static --report json "
+                "--out '" + out + "'",
+                &text),
+            0)
+        << text;
+  EXPECT_NE(text.find("\"cost_model\": \"static\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"decision\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"decision_source\""), std::string::npos) << text;
+
+  // --cost-model off reports itself too, with flag-default decisions.
+  ASSERT_EQ(run("'" + package + "' --cost-model off --report json --out '" +
+                    out + "'",
+                &text),
+            0);
+  EXPECT_NE(text.find("\"cost_model\": \"off\""), std::string::npos) << text;
+}
+
+TEST(Frodoc, TunedWithoutCacheFallsBackWithW007) {
+  const std::string package = write_sample_package();
+  const std::string out = unique_file("tuned_fallback", "");
+  std::string text;
+  // No cache dir and no --autotune: tuned decisions are unavailable, the
+  // compile degrades to the static cost model and reports FRODO-W007.
+  ASSERT_EQ(run("'" + package + "' --cost-model tuned --out '" + out + "'",
+                &text),
+            0)
+      << text;
+  EXPECT_NE(text.find("FRODO-W007"), std::string::npos) << text;
+}
+
 TEST(Frodoc, XmlInputAlsoAccepted) {
   auto model = benchmodels::build_simpson();
   const std::string path = tmpdir() + "/Simpson.xml";

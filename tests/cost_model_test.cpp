@@ -1,0 +1,315 @@
+// Unit tests for the static cost model (codegen/cost.hpp): mode parsing,
+// the monotonicity contract of the scoring functions, decision-vector
+// serialization, and the tuned-replay semantics of plan_optimizations().
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchmodels/benchmodels.hpp"
+#include "blocks/analysis.hpp"
+#include "codegen/cost.hpp"
+#include "codegen/optimize.hpp"
+#include "graph/graph.hpp"
+#include "model/flatten.hpp"
+#include "range/range_analysis.hpp"
+
+namespace frodo::codegen {
+namespace {
+
+using cost::AliasFeatures;
+using cost::CostModelMode;
+using cost::DecisionVector;
+using cost::FusionFeatures;
+using cost::ShrinkFeatures;
+
+TEST(CostModelMode, NamesAndParsingRoundTrip) {
+  for (CostModelMode mode : {CostModelMode::kOff, CostModelMode::kStatic,
+                             CostModelMode::kTuned}) {
+    CostModelMode parsed;
+    ASSERT_TRUE(
+        cost::parse_cost_model_mode(cost::cost_model_mode_name(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  CostModelMode out;
+  EXPECT_FALSE(cost::parse_cost_model_mode("", &out));
+  EXPECT_FALSE(cost::parse_cost_model_mode("Static", &out));
+  EXPECT_FALSE(cost::parse_cost_model_mode("auto", &out));
+}
+
+TEST(CostModelMode, DecisionMaskNames) {
+  EXPECT_EQ(cost::decision_mask_name(0), "none");
+  EXPECT_EQ(cost::decision_mask_name(cost::kDecisionFuse), "fuse");
+  EXPECT_EQ(cost::decision_mask_name(cost::kDecisionAll),
+            "fuse+shrink+alias");
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity: a candidate that eliminates MORE traffic never scores worse
+// with the other features held fixed, so growing the benefit terms can never
+// flip a profitable candidate to vetoed.
+
+FusionFeatures profitable_fusion() {
+  FusionFeatures f;
+  f.chain_length = 2;
+  f.range_elements = 512;
+  f.avoided_stores = 512;
+  f.avoided_loads = 512;
+  f.external_streams = 0;
+  return f;
+}
+
+TEST(CostModelScoring, FusionMonotoneInAvoidedTraffic) {
+  FusionFeatures f = profitable_fusion();
+  ASSERT_GT(cost::score_fusion(f), 0.0);
+  double prev = cost::score_fusion(f);
+  for (int step = 0; step < 16; ++step) {
+    f.avoided_stores += 256;
+    f.avoided_loads += 128;
+    const double score = cost::score_fusion(f);
+    EXPECT_GE(score, prev) << "avoided_stores=" << f.avoided_stores;
+    prev = score;
+  }
+}
+
+TEST(CostModelScoring, FusionVetoesTinyChainsAndWideLoops) {
+  FusionFeatures tiny = profitable_fusion();
+  tiny.range_elements = 4;
+  tiny.avoided_stores = 4;
+  tiny.avoided_loads = 4;
+  EXPECT_LE(cost::score_fusion(tiny), 0.0) << "below kFusionMinBytes";
+
+  FusionFeatures wide = profitable_fusion();
+  // (streams + 1) * range * elem_bytes beyond the L1 window: serialized on
+  // memory regardless of fusion, so the model must veto.
+  wide.external_streams = 8;
+  EXPECT_LE(cost::score_fusion(wide), 0.0) << "beyond stream window";
+}
+
+TEST(CostModelScoring, ShrinkMonotoneInSavedElements) {
+  ShrinkFeatures f;
+  f.full_elements = 4096;
+  f.hull_elements = 1024;
+  f.origin = 0;
+  f.store_density = 1.0;
+  ASSERT_GT(cost::score_shrink(f), 0.0);
+  double prev = cost::score_shrink(f);
+  // Growing full_elements with the hull fixed only increases the saving.
+  for (int step = 0; step < 16; ++step) {
+    f.full_elements += 1024;
+    const double score = cost::score_shrink(f);
+    EXPECT_GE(score, prev) << "full_elements=" << f.full_elements;
+    prev = score;
+  }
+}
+
+TEST(CostModelScoring, ShrinkVetoesSparseRebasedAndAliasedBuffers) {
+  ShrinkFeatures base;
+  base.full_elements = 4096;
+  base.hull_elements = 1024;
+  base.origin = 0;
+  base.store_density = 1.0;
+  ASSERT_GT(cost::score_shrink(base), 0.0);
+
+  ShrinkFeatures sparse = base;
+  sparse.store_density = 0.5;  // below kShrinkMinDensity
+  EXPECT_LE(cost::score_shrink(sparse), 0.0);
+
+  ShrinkFeatures rebased = base;
+  rebased.origin = 32;  // index rebase on every access
+  EXPECT_LE(cost::score_shrink(rebased), 0.0);
+
+  ShrinkFeatures aliased = base;
+  aliased.aliased_consumer = true;
+  EXPECT_LE(cost::score_shrink(aliased), 0.0);
+
+  ShrinkFeatures marginal = base;
+  marginal.hull_elements = 3500;  // saving below kShrinkMinSavingFraction
+  EXPECT_LE(cost::score_shrink(marginal), 0.0);
+}
+
+TEST(CostModelScoring, AliasBandAndAlignment) {
+  AliasFeatures f;
+  f.range_elements = 256;  // 2048 B: inside [kAliasMinBytes, kAliasMaxBytes]
+  f.avoided_stores = 256;
+  f.avoided_loads = 256;
+  f.offset_elements = 64;  // 512 B aligned
+  ASSERT_GT(cost::score_alias(f), 0.0);
+
+  // Monotone in avoided traffic within the band.
+  AliasFeatures more = f;
+  more.avoided_loads += 512;
+  EXPECT_GE(cost::score_alias(more), cost::score_alias(f));
+
+  AliasFeatures small = f;
+  small.range_elements = 32;  // 256 B: below the band
+  small.avoided_stores = 32;
+  EXPECT_LE(cost::score_alias(small), 0.0);
+
+  AliasFeatures huge = f;
+  huge.range_elements = 4096;  // 32 KiB: above the band
+  huge.avoided_stores = 4096;
+  EXPECT_LE(cost::score_alias(huge), 0.0);
+
+  AliasFeatures misaligned = f;
+  misaligned.offset_elements = 63;  // not a whole 512 B run
+  EXPECT_LE(cost::score_alias(misaligned), 0.0);
+
+  // Slices of a step-input pointer are never aliased: the consumers would
+  // inherit the pointer's unknown provenance in every loop.
+  AliasFeatures external = f;
+  external.external_source = true;
+  EXPECT_LE(cost::score_alias(external), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Decision-vector serialization (the `<key>.tuned` cache payload).
+
+TEST(DecisionVectorSerialization, RoundTrip) {
+  DecisionVector v;
+  v.masks = {7u, 0u, 5u, 2u, 1u};
+  v.winner = "static";
+  v.ns_per_step = 1234.5;
+  auto back = cost::deserialize_decisions(cost::serialize_decisions(v));
+  ASSERT_TRUE(back.is_ok()) << back.message();
+  EXPECT_EQ(back.value().masks, v.masks);
+  EXPECT_EQ(back.value().winner, "static");
+  EXPECT_NEAR(back.value().ns_per_step, 1234.5, 1e-6);
+}
+
+TEST(DecisionVectorSerialization, RejectsMalformedPayloads) {
+  DecisionVector v;
+  v.masks = {1u, 2u};
+  v.winner = "full";
+  const std::string good = cost::serialize_decisions(v);
+
+  EXPECT_FALSE(cost::deserialize_decisions("").is_ok());
+  EXPECT_FALSE(cost::deserialize_decisions("frodo-ranges 1\n").is_ok());
+  // Truncated: drop the trailing "end" line.
+  EXPECT_FALSE(
+      cost::deserialize_decisions(good.substr(0, good.size() - 4)).is_ok());
+  // A mask outside the kDecisionAll bit set.
+  std::string bad_mask = good;
+  const auto pos = bad_mask.find("masks ");
+  ASSERT_NE(pos, std::string::npos);
+  bad_mask.replace(pos, 8, "masks 9");
+  EXPECT_FALSE(cost::deserialize_decisions(bad_mask).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tuned replay: plan_optimizations() with a kTuned vector must gate blocks
+// by exactly those masks, and the vector of the resulting plan must
+// round-trip (the autotuner's pin-and-replay contract).
+
+struct Pipeline {
+  model::Model flat;
+  graph::DataflowGraph graph;
+  blocks::Analysis analysis;
+  range::RangeAnalysis ranges;
+};
+
+void build_pipeline(const std::string& model_name, Pipeline* out) {
+  for (const auto& bench : benchmodels::all_models()) {
+    if (bench.name != model_name) continue;
+    auto m = bench.build();
+    ASSERT_TRUE(m.is_ok()) << m.message();
+    auto flat = model::flatten(m.value());
+    ASSERT_TRUE(flat.is_ok()) << flat.message();
+    out->flat = std::move(flat).value();
+    auto g = graph::DataflowGraph::build(out->flat);
+    ASSERT_TRUE(g.is_ok()) << g.message();
+    out->graph = std::move(g).value();
+    auto a = blocks::analyze(out->graph);
+    ASSERT_TRUE(a.is_ok()) << a.message();
+    out->analysis = std::move(a).value();
+    auto r = range::determine_ranges(out->analysis);
+    ASSERT_TRUE(r.is_ok()) << r.message();
+    out->ranges = std::move(r).value();
+    return;
+  }
+  FAIL() << "unknown model " << model_name;
+}
+
+TEST(TunedReplay, StaticPlanRoundTripsThroughItsDecisionVector) {
+  Pipeline p;
+  build_pipeline("Kalman", &p);
+
+  OptimizeOptions static_opts;
+  static_opts.cost_model = CostModelMode::kStatic;
+  const OptimizePlan static_plan =
+      plan_optimizations(p.analysis, p.ranges, static_opts);
+  const DecisionVector vector = plan_decision_vector(static_plan);
+  ASSERT_EQ(vector.masks.size(),
+            static_cast<std::size_t>(p.graph.block_count()));
+
+  OptimizeOptions tuned_opts;
+  tuned_opts.cost_model = CostModelMode::kTuned;
+  tuned_opts.tuned = &vector;
+  const OptimizePlan replay =
+      plan_optimizations(p.analysis, p.ranges, tuned_opts);
+  EXPECT_EQ(replay.cost_mode, CostModelMode::kTuned);
+  const DecisionVector replayed = plan_decision_vector(replay);
+  EXPECT_EQ(replayed.masks, vector.masks)
+      << "replaying a plan's own decision vector must reproduce it";
+  ASSERT_EQ(replay.chains.size(), static_plan.chains.size());
+  ASSERT_EQ(replay.layout.size(), static_plan.layout.size());
+  for (std::size_t b = 0; b < replay.layout.size(); ++b) {
+    ASSERT_EQ(replay.layout[b].size(), static_plan.layout[b].size());
+    for (std::size_t port = 0; port < replay.layout[b].size(); ++port) {
+      const BufferLayout& got = replay.layout[b][port];
+      const BufferLayout& want = static_plan.layout[b][port];
+      EXPECT_EQ(got.size, want.size) << "block " << b << " port " << port;
+      EXPECT_EQ(got.origin, want.origin) << "block " << b;
+      EXPECT_EQ(got.alias, want.alias) << "block " << b;
+      EXPECT_EQ(got.alias_offset, want.alias_offset) << "block " << b;
+      EXPECT_EQ(got.fused_away, want.fused_away) << "block " << b;
+    }
+  }
+  for (const auto& decision : replay.decisions)
+    EXPECT_EQ(decision.source, "autotuned");
+}
+
+TEST(TunedReplay, AllZeroVectorReproducesNoopt) {
+  Pipeline p;
+  build_pipeline("Simpson", &p);
+
+  DecisionVector zeros;
+  zeros.masks.assign(static_cast<std::size_t>(p.graph.block_count()), 0u);
+  OptimizeOptions tuned_opts;
+  tuned_opts.cost_model = CostModelMode::kTuned;
+  tuned_opts.tuned = &zeros;
+  const OptimizePlan plan =
+      plan_optimizations(p.analysis, p.ranges, tuned_opts);
+  EXPECT_TRUE(plan.chains.empty());
+  for (std::size_t b = 0; b < plan.layout.size(); ++b) {
+    for (const BufferLayout& layout : plan.layout[b]) {
+      EXPECT_FALSE(layout.alias) << "block " << b;
+      EXPECT_FALSE(layout.fused_away) << "block " << b;
+      EXPECT_EQ(layout.origin, 0) << "block " << b;
+    }
+  }
+}
+
+TEST(TunedReplay, SizeMismatchFallsBackToStatic) {
+  Pipeline p;
+  build_pipeline("HT", &p);
+
+  DecisionVector wrong;
+  wrong.masks.assign(3u, cost::kDecisionAll);  // not block_count() entries
+  OptimizeOptions tuned_opts;
+  tuned_opts.cost_model = CostModelMode::kTuned;
+  tuned_opts.tuned = &wrong;
+  const OptimizePlan plan =
+      plan_optimizations(p.analysis, p.ranges, tuned_opts);
+  EXPECT_EQ(plan.cost_mode, CostModelMode::kStatic)
+      << "an unusable tuned vector degrades to the static cost model";
+
+  OptimizeOptions static_opts;
+  static_opts.cost_model = CostModelMode::kStatic;
+  const OptimizePlan static_plan =
+      plan_optimizations(p.analysis, p.ranges, static_opts);
+  EXPECT_EQ(plan_decision_vector(plan).masks,
+            plan_decision_vector(static_plan).masks);
+}
+
+}  // namespace
+}  // namespace frodo::codegen

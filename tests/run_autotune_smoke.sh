@@ -1,0 +1,93 @@
+#!/bin/sh
+# Autotune smoke (docs/COSTMODEL.md): a cold `frodoc --batch --autotune`
+# over three small models must JIT-measure candidate plans and persist each
+# winner as a `<key>.tuned` entry in the analysis cache; a warm rerun of the
+# same command must replay those vectors with ZERO re-measurement — no
+# autotune_jit / autotune_measure spans in the warm trace, and a
+# tuned_cache_hits counter matching the model count.
+#
+# Usage: tests/run_autotune_smoke.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+frodoc="$build_dir/src/cli/frodoc"
+
+if [ ! -x "$frodoc" ]; then
+  echo "run_autotune_smoke.sh: $frodoc not built" >&2
+  exit 2
+fi
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/frodo_autotune_smoke.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+# Three small models with real optimizer candidates: a Gain chain feeding a
+# Selector gives fusion, shrinking and aliasing something to decide about.
+corpus="$work/models"
+mkdir -p "$corpus"
+for i in 1 2 3; do
+  dims=$((256 * i))
+  end=$((dims / 2 - 1))
+  cat > "$corpus/tune$i.xml" <<EOF
+<?xml version="1.0" encoding="UTF-8"?>
+<Model Name="Tune$i">
+  <Block Name="in" Type="Inport"><P Name="Port">1</P><P Name="Dims">$dims</P></Block>
+  <Block Name="g1" Type="Gain"><P Name="Gain">2.0</P></Block>
+  <Block Name="g2" Type="Gain"><P Name="Gain">0.5</P></Block>
+  <Block Name="sel" Type="Selector"><P Name="Start">0</P><P Name="End">$end</P></Block>
+  <Block Name="out" Type="Outport"><P Name="Port">1</P></Block>
+  <Line><Src Block="in" Port="1"/><Dst Block="g1" Port="1"/></Line>
+  <Line><Src Block="g1" Port="1"/><Dst Block="g2" Port="1"/></Line>
+  <Line><Src Block="g2" Port="1"/><Dst Block="sel" Port="1"/></Line>
+  <Line><Src Block="sel" Port="1"/><Dst Block="out" Port="1"/></Line>
+</Model>
+EOF
+done
+
+cache="$work/cache"
+cold_trace="$work/cold_trace.json"
+warm_trace="$work/warm_trace.json"
+
+echo "== cold autotune batch =="
+"$frodoc" --batch "$corpus" --autotune --autotune-reps 50 \
+    --autotune-rounds 1 --cache-dir "$cache" --out "$work/cold_out" \
+    --trace-out "$cold_trace"
+
+tuned_entries=$(ls "$cache"/*.tuned 2>/dev/null | wc -l)
+if [ "$tuned_entries" -ne 3 ]; then
+  echo "FAIL: expected 3 persisted .tuned entries, found $tuned_entries" >&2
+  ls -l "$cache" >&2 || true
+  exit 1
+fi
+if ! grep -q "autotune_jit" "$cold_trace"; then
+  echo "FAIL: cold trace records no autotune_jit spans" >&2
+  exit 1
+fi
+
+echo "== warm replay batch =="
+"$frodoc" --batch "$corpus" --autotune --autotune-reps 50 \
+    --autotune-rounds 1 --cache-dir "$cache" --out "$work/warm_out" \
+    --trace-out "$warm_trace"
+
+if grep -q "autotune_jit\|autotune_measure" "$warm_trace"; then
+  echo "FAIL: warm rerun re-measured (autotune spans in trace)" >&2
+  grep -o "autotune_[a-z]*" "$warm_trace" | sort | uniq -c >&2
+  exit 1
+fi
+hits=$(grep -o '"tuned_cache_hits":[0-9]*' "$warm_trace" | head -1 |
+       cut -d: -f2)
+if [ "${hits:-0}" -lt 3 ]; then
+  echo "FAIL: warm rerun reports tuned_cache_hits=${hits:-0}, want >= 3" >&2
+  exit 1
+fi
+
+# The warm code must be byte-identical to the cold code (same pinned plan).
+for i in 1 2 3; do
+  if ! cmp -s "$work/cold_out/Tune$i.c" "$work/warm_out/Tune$i.c"; then
+    echo "FAIL: Tune$i.c differs between cold and warm runs" >&2
+    exit 1
+  fi
+done
+
+echo "run_autotune_smoke.sh: OK (3 tuned entries persisted, warm replay"
+echo "re-measured nothing, cold/warm code identical)"
