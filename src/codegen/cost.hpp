@@ -103,8 +103,11 @@ inline constexpr double kFusionStreamWindowBytes = 16384.0;
 // the consumers' whole lifetime.
 inline constexpr double kAliasMinBytes = 1024.0;
 inline constexpr double kAliasMaxBytes = 4096.0;
-// Slice size and offset must be whole aligned runs of this many bytes, or
-// consumers lose the aligned-access pattern the copy loop would have had.
+// Slice size must be a whole aligned run of this many bytes, or consumers
+// lose the aligned-access pattern the copy loop would have had.  The offset
+// is held to a stricter bar still — it must be zero (prefix slices only),
+// because a mid-buffer alias pins the source buffer against the hull shrink
+// that is usually worth more than the avoided copy.
 inline constexpr double kAliasRunBytes = 512.0;
 // Shrinking pays only when it actually removes a meaningful slab of the
 // buffer and the kept hull is dense.

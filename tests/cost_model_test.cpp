@@ -132,7 +132,7 @@ TEST(CostModelScoring, AliasBandAndAlignment) {
   f.range_elements = 256;  // 2048 B: inside [kAliasMinBytes, kAliasMaxBytes]
   f.avoided_stores = 256;
   f.avoided_loads = 256;
-  f.offset_elements = 64;  // 512 B aligned
+  f.offset_elements = 0;  // prefix slice
   ASSERT_GT(cost::score_alias(f), 0.0);
 
   // Monotone in avoided traffic within the band.
@@ -150,9 +150,17 @@ TEST(CostModelScoring, AliasBandAndAlignment) {
   huge.avoided_stores = 4096;
   EXPECT_LE(cost::score_alias(huge), 0.0);
 
-  AliasFeatures misaligned = f;
-  misaligned.offset_elements = 63;  // not a whole 512 B run
-  EXPECT_LE(cost::score_alias(misaligned), 0.0);
+  AliasFeatures ragged = f;
+  ragged.range_elements = 250;  // 2000 B: not a whole 512 B run
+  ragged.avoided_stores = 250;
+  EXPECT_LE(cost::score_alias(ragged), 0.0);
+
+  // Mid-buffer slices never qualify, however well aligned: the alias pins
+  // the source buffer against the hull shrink the shrink pass would
+  // otherwise grant, which is routinely the bigger win.
+  AliasFeatures mid = f;
+  mid.offset_elements = 1024;  // 8 KiB into the source buffer
+  EXPECT_LE(cost::score_alias(mid), 0.0);
 
   // Slices of a step-input pointer are never aliased: the consumers would
   // inherit the pointer's unknown provenance in every loop.
