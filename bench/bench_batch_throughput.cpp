@@ -7,45 +7,67 @@
 // byte-identical to serial by construction, so the only observable
 // difference is the wall clock — which is exactly what this binary reports.
 //
-//   --reps N       batch compiles per worker count (default 5; best wall
-//                  time wins, FRODO_BENCH_REPS overrides)
-//   --json=PATH    also write the results as a JSON document
-//   --cache DIR    run with an analysis cache (first compile cold, the rest
-//                  warm — reported separately)
+// Rates come from the batch telemetry rollups (batch::batch_rollups), the
+// same aggregation `frodoc --metrics-out` snapshots — so the regression
+// gate (bench/check_regression.py --batch-metrics) reads the number the
+// fleet telemetry reports, not a bench-local re-derivation.
+//
+//   --reps N           batch compiles per worker count (default 5; best wall
+//                      time wins, FRODO_BENCH_REPS overrides)
+//   --json=PATH        also write the results as a JSON document
+//   --cache DIR        run with an analysis cache (first compile cold, the
+//                      rest warm — reported separately)
+//   --metrics-out FILE write the best run's Prometheus exposition to FILE
+//                      and its "frodo.metrics/1" snapshot to FILE.json
+//   --events-out FILE  write the best run's "frodo.event/1" JSONL ledger
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "batch/batch.hpp"
 #include "benchmodels/benchmodels.hpp"
 #include "slx/slx.hpp"
+#include "support/metrics/ledger.hpp"
+#include "support/metrics/registry.hpp"
 #include "support/version.hpp"
 
 namespace {
 
-long long best_wall_us(const std::vector<std::string>& inputs,
-                       const frodo::batch::BatchOptions& options, int reps) {
-  long long best = -1;
+// Best-of-`reps` batch compile: lowest wall time wins; the winning run's
+// full BatchResult is kept so its telemetry can be exported.
+frodo::batch::BatchResult best_run(const std::vector<std::string>& inputs,
+                                   const frodo::batch::BatchOptions& options,
+                                   int reps) {
+  frodo::batch::BatchResult best;
+  best.wall_us = -1;
   for (int rep = 0; rep < reps; ++rep) {
-    const frodo::batch::BatchResult result =
+    frodo::batch::BatchResult result =
         frodo::batch::compile_batch(inputs, options);
     if (result.exit_code != 0) {
       std::fprintf(stderr, "bench_batch_throughput: batch failed (rc %d)\n",
                    result.exit_code);
       std::exit(1);
     }
-    if (best < 0 || result.wall_us < best) best = result.wall_us;
+    if (best.wall_us < 0 || result.wall_us < best.wall_us)
+      best = std::move(result);
   }
   return best;
 }
 
-double models_per_sec(std::size_t models, long long wall_us) {
-  return wall_us > 0 ? static_cast<double>(models) * 1'000'000.0 /
-                           static_cast<double>(wall_us)
-                     : 0.0;
+bool write_text(const std::string& path, const std::string& text) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_batch_throughput: cannot write %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -54,6 +76,8 @@ int main(int argc, char** argv) {
   int reps = 5;
   std::string json_path;
   std::string cache_dir;
+  std::string metrics_out;
+  std::string events_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--reps" && i + 1 < argc) {
@@ -62,10 +86,14 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg == "--cache" && i + 1 < argc) {
       cache_dir = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--events-out" && i + 1 < argc) {
+      events_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_batch_throughput [--reps N] [--json=PATH] "
-                   "[--cache DIR]\n");
+                   "[--cache DIR] [--metrics-out FILE] [--events-out FILE]\n");
       return 2;
     }
   }
@@ -99,15 +127,20 @@ int main(int argc, char** argv) {
 
   const int worker_counts[] = {1, 2, 4, 8};
   std::vector<std::pair<int, double>> results;
+  frodo::batch::BatchResult exported;       // best run of the widest sweep
+  frodo::batch::BatchOptions exported_opts;
   for (int jobs : worker_counts) {
     frodo::batch::BatchOptions options;
     options.jobs = jobs;
     options.write_outputs = false;
     options.cache_dir = cache_dir;
-    const long long wall = best_wall_us(inputs, options, reps);
-    const double rate = models_per_sec(inputs.size(), wall);
-    results.emplace_back(jobs, rate);
-    std::printf("  jobs=%d  %8lld us  %7.1f models/sec\n", jobs, wall, rate);
+    frodo::batch::BatchResult best = best_run(inputs, options, reps);
+    const frodo::metrics::Rollups rollups = frodo::batch::batch_rollups(best);
+    results.emplace_back(jobs, rollups.models_per_sec);
+    std::printf("  jobs=%d  %8lld us  %7.1f models/sec\n", jobs, best.wall_us,
+                rollups.models_per_sec);
+    exported = std::move(best);
+    exported_opts = options;
   }
   const double serial = results.front().second;
   for (const auto& [jobs, rate] : results) {
@@ -128,14 +161,25 @@ int main(int argc, char** argv) {
       out += row;
     }
     out += "]}\n";
-    FILE* f = std::fopen(json_path.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench_batch_throughput: cannot write %s\n",
-                   json_path.c_str());
+    if (!write_text(json_path, out)) return 1;
+  }
+
+  // Telemetry export of the widest sweep's best run — the same artifacts
+  // `frodoc --metrics-out/--events-out` writes, validated in CI by
+  // bench/metrics_schema_check.py.
+  if (!metrics_out.empty()) {
+    frodo::metrics::Registry registry;
+    frodo::batch::record_batch_metrics(exported, exported_opts, &registry);
+    const frodo::metrics::Rollups rollups =
+        frodo::batch::batch_rollups(exported);
+    if (!write_text(metrics_out, registry.prometheus_text())) return 1;
+    if (!write_text(metrics_out + ".json", registry.json_snapshot(&rollups)))
       return 1;
-    }
-    std::fwrite(out.data(), 1, out.size(), f);
-    std::fclose(f);
+  }
+  if (!events_out.empty()) {
+    const std::string ledger = frodo::metrics::ledger_text(
+        frodo::batch::batch_events(exported, exported_opts));
+    if (!write_text(events_out, ledger)) return 1;
   }
   return 0;
 }

@@ -37,12 +37,18 @@ committed trajectory file.  Three stages:
 cell replaced by the across-runs minimum — used to refresh the committed
 trajectory file from the same best-of-N measurement.
 
+--batch-metrics SNAPSHOT.json additionally gates on the batch-throughput
+telemetry snapshot ("frodo.metrics/1", written by bench_batch_throughput
+--metrics-out): the schema must parse, no model may have failed, and the
+rollup throughput must be positive.  The rate is read from the telemetry
+the fleet reports (docs/OBSERVABILITY.md), not re-derived bench-side.
+
 Exit status: 0 clean, 1 regression or schema violation, 2 usage error.
 
 Usage:
   bench/check_regression.py FRESH.json [FRESH.json ...] COMMITTED.json \
       [--threshold 0.10] [--cell-threshold 0.50] [--opt-threshold 0.03] \
-      [--merge-out MERGED.json]
+      [--merge-out MERGED.json] [--batch-metrics SNAPSHOT.json]
 """
 
 import argparse
@@ -173,6 +179,41 @@ def ratios(doc):
     return out
 
 
+def check_batch_metrics(path):
+    """Gate on the bench_batch_throughput telemetry snapshot.
+
+    Returns a list of violation strings (empty = clean).
+    """
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: cannot read snapshot: {err}"]
+    violations = []
+    if snap.get("schema") != "frodo.metrics/1":
+        violations.append(
+            f'{path}: schema is {snap.get("schema")!r}, want "frodo.metrics/1"'
+        )
+        return violations
+    rollups = snap.get("rollups")
+    if not isinstance(rollups, dict):
+        return [f"{path}: snapshot carries no rollups"]
+    failed = rollups.get("failed")
+    if failed != 0:
+        violations.append(f"{path}: {failed} model(s) failed in the batch run")
+    rate = rollups.get("timing", {}).get("models_per_sec")
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        violations.append(f"{path}: non-positive models_per_sec ({rate!r})")
+    else:
+        print(
+            f"check_regression: batch telemetry: {rollups.get('models')} "
+            f"models, {rate:.1f} models/sec, "
+            f"{rollups.get('cache_hits')} cache hit(s), "
+            f"{rollups.get('retries')} retr(ies)"
+        )
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -203,6 +244,11 @@ def main():
         metavar="FILE",
         help="write the best-of-N merged fresh document to FILE",
     )
+    parser.add_argument(
+        "--batch-metrics",
+        metavar="SNAPSHOT",
+        help="also gate on a frodo.metrics/1 batch-throughput snapshot",
+    )
     args = parser.parse_args()
 
     try:
@@ -223,6 +269,13 @@ def main():
         for err in schema_errors:
             print(f"check_regression: schema: {err}")
         return fail(f"{len(schema_errors)} schema violation(s)")
+
+    if args.batch_metrics:
+        metric_violations = check_batch_metrics(args.batch_metrics)
+        if metric_violations:
+            return fail(
+                f"batch telemetry gate: " + "; ".join(metric_violations)
+            )
 
     merged = merge_min(fresh_docs)
     if args.merge_out:

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts frodoc / bench_batch_throughput emit.
+
+Checks any combination of:
+  --prom FILE       Prometheus text exposition (`--metrics-out` FILE)
+  --snapshot FILE   "frodo.metrics/1" JSON snapshot (`--metrics-out` FILE.json)
+  --ledger FILE     "frodo.event/1" JSONL event ledger (`--events-out`)
+  --expect-models N assert the ledger has exactly N records and the
+                    snapshot rollups counted N models
+
+Run by the CI bench-regression job; exits non-zero with a message on the
+first schema violation.  See docs/OBSERVABILITY.md for both schemas.
+"""
+import argparse
+import json
+import re
+import sys
+
+EVENT_SCHEMA = "frodo.event/1"
+SNAPSHOT_SCHEMA = "frodo.metrics/1"
+EVENT_REQUIRED = [
+    "schema", "index", "input", "model", "generator", "outcome",
+    "exit_code", "cache", "tuned_source", "degraded", "attempts",
+    "retries", "errors", "warnings", "timings_us",
+]
+OUTCOMES = {"ok", "error", "cancelled", "timeout", "crash", "oom", "infra"}
+CACHE_RESULTS = {"hit", "miss", "off"}
+METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[0-9.eE+-]+|NaN|[+-]Inf)$")
+
+
+def fail(msg):
+    print(f"metrics_schema_check: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_prom(path):
+    helps, types, samples = set(), {}, []
+    with open(path, encoding="utf-8") as f:
+        for n, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helps.add(line.split()[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) < 4 or parts[3] not in METRIC_TYPES:
+                    fail(f"{path}:{n}: bad TYPE line: {line}")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{n}: unparseable sample: {line}")
+            samples.append((m.group("name"), m.group("labels") or "",
+                            m.group("value")))
+    if not samples:
+        fail(f"{path}: no samples")
+    for name, _, _ in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in types and name not in types:
+            fail(f"{path}: sample {name} has no # TYPE")
+        if base not in helps and name not in helps:
+            fail(f"{path}: sample {name} has no # HELP")
+
+    # Histogram integrity: cumulative buckets, +Inf bucket == _count.
+    hist = {}
+    for name, labels, value in samples:
+        m = re.match(r"^(.*)_bucket$", name)
+        if m and types.get(m.group(1)) == "histogram":
+            series = re.sub(r'(,?le="[^"]*")', "", labels)
+            le = re.search(r'le="([^"]*)"', labels).group(1)
+            hist.setdefault((m.group(1), series), []).append(
+                (le, float(value)))
+    for (fam, series), buckets in hist.items():
+        last = -1.0
+        for le, count in buckets:  # file order == ascending bounds
+            if count < last:
+                fail(f"{path}: {fam}{{{series}}} buckets not cumulative")
+            last = count
+        if buckets[-1][0] != "+Inf":
+            fail(f"{path}: {fam}{{{series}}} missing +Inf bucket")
+        count_value = next(
+            (float(v) for n, s, v in samples
+             if n == f"{fam}_count" and re.sub(r'(,?le="[^"]*")', "", s) ==
+             series), None)
+        if count_value is None or count_value != buckets[-1][1]:
+            fail(f"{path}: {fam}{{{series}}} +Inf bucket != _count")
+    print(f"metrics_schema_check: {path}: "
+          f"{len(types)} families, {len(samples)} samples ok")
+
+
+def check_snapshot(path, expect_models=None):
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+    if snap.get("schema") != SNAPSHOT_SCHEMA:
+        fail(f"{path}: schema is {snap.get('schema')!r}, "
+             f"want {SNAPSHOT_SCHEMA!r}")
+    if not snap.get("version"):
+        fail(f"{path}: missing build version")
+    families = snap.get("families")
+    if not isinstance(families, list) or not families:
+        fail(f"{path}: missing or empty families")
+    for fam in families:
+        for key in ("name", "type", "help", "timing", "samples"):
+            if key not in fam:
+                fail(f"{path}: family {fam.get('name')!r} missing {key!r}")
+        if fam["type"] not in METRIC_TYPES:
+            fail(f"{path}: family {fam['name']} has type {fam['type']!r}")
+        for s in fam["samples"]:
+            if fam["type"] == "histogram":
+                if "count" not in s or "sum" not in s or "buckets" not in s:
+                    fail(f"{path}: histogram sample in {fam['name']} "
+                         f"missing count/sum/buckets")
+                counts = [b["count"] for b in s["buckets"]]
+                if counts != sorted(counts):
+                    fail(f"{path}: {fam['name']} buckets not cumulative")
+            elif "value" not in s:
+                fail(f"{path}: sample in {fam['name']} missing value")
+    rollups = snap.get("rollups")
+    if rollups is not None:
+        for key in ("models", "ok", "failed", "cache_hits", "cache_misses",
+                    "retries", "degraded", "timing"):
+            if key not in rollups:
+                fail(f"{path}: rollups missing {key!r}")
+        for key in ("wall_us", "models_per_sec", "p50_us", "p95_us",
+                    "p99_us"):
+            if key not in rollups["timing"]:
+                fail(f"{path}: rollups.timing missing {key!r}")
+        if expect_models is not None and rollups["models"] != expect_models:
+            fail(f"{path}: rollups counted {rollups['models']} models, "
+                 f"want {expect_models}")
+    elif expect_models is not None:
+        fail(f"{path}: no rollups to check --expect-models against")
+    print(f"metrics_schema_check: {path}: snapshot ok "
+          f"({len(families)} families)")
+
+
+def check_ledger(path, expect_models=None):
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{n}: not JSON: {e}")
+            if rec.get("schema") != EVENT_SCHEMA:
+                fail(f"{path}:{n}: schema is {rec.get('schema')!r}, "
+                     f"want {EVENT_SCHEMA!r}")
+            for key in EVENT_REQUIRED:
+                if key not in rec:
+                    fail(f"{path}:{n}: missing field {key!r}")
+            if rec["index"] != len(records):
+                fail(f"{path}:{n}: index {rec['index']} out of batch order")
+            if rec["outcome"] not in OUTCOMES:
+                fail(f"{path}:{n}: unknown outcome {rec['outcome']!r}")
+            if rec["cache"] not in CACHE_RESULTS:
+                fail(f"{path}:{n}: unknown cache result {rec['cache']!r}")
+            if rec["retries"] != max(0, rec["attempts"] - 1):
+                fail(f"{path}:{n}: retries != attempts - 1")
+            if "total" not in rec["timings_us"]:
+                fail(f"{path}:{n}: timings_us missing 'total'")
+            records.append(rec)
+    if expect_models is not None and len(records) != expect_models:
+        fail(f"{path}: {len(records)} records, want {expect_models}")
+    print(f"metrics_schema_check: {path}: {len(records)} ledger records ok")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--prom")
+    parser.add_argument("--snapshot")
+    parser.add_argument("--ledger")
+    parser.add_argument("--expect-models", type=int, default=None)
+    args = parser.parse_args()
+    if not (args.prom or args.snapshot or args.ledger):
+        fail("nothing to check (pass --prom/--snapshot/--ledger)")
+    if args.prom:
+        check_prom(args.prom)
+    if args.snapshot:
+        check_snapshot(args.snapshot, args.expect_models)
+    if args.ledger:
+        check_ledger(args.ledger, args.expect_models)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@
 #include "support/faultinject.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
+#include "support/version.hpp"
 #include "zip/zip.hpp"
 
 namespace frodo::batch {
@@ -48,6 +49,9 @@ bool has_model_extension(const std::string& path) {
 
 bool check_model(const model::Model& m, diag::Engine& engine, bool strict,
                  CheckedModel* out) {
+  // The analysis phases run again inside the generator; the pass label
+  // keeps the two runs distinguishable in the exported trace.
+  trace::PassScope pass("validate");
   model::ValidateOptions vopts;
   vopts.oracle = &blocks::validation_oracle();
   vopts.strict = strict;
@@ -109,6 +113,10 @@ Result<range::RangeAnalysis> ranges_with_cache(
     const AnalysisCache* cache, unsigned flag_mask,
     const std::string& generator_family, diag::Engine* engine,
     support::ThreadPool* pool, bool* cache_hit) {
+  // These ranges are handed to the generator as precomputed_ranges — they
+  // replace the generation pass's own Algorithm 1 run, so label them as
+  // generation-pass work.
+  trace::PassScope pass("generate");
   if (cache_hit != nullptr) *cache_hit = false;
   if (cache == nullptr)
     return range::determine_ranges(analysis, engine, pool);
@@ -236,6 +244,7 @@ Result<codegen::Report> model_report(
     const CheckedModel& checked, const std::string& generator_name,
     const codegen::OptimizeOptions& optimize, const std::string& model_name,
     const range::RangeAnalysis* precomputed) {
+  trace::PassScope pass("report");
   const std::string lower = to_lower(generator_name);
   const bool frodo_style = lower.rfind("frodo", 0) == 0;
 
@@ -723,6 +732,158 @@ std::string render_batch_report(const BatchResult& result,
            std::to_string(result.ooms) + " ooms\n";
   }
   return out;
+}
+
+// ---- Telemetry --------------------------------------------------------------
+
+namespace {
+
+std::string outcome_name(const ModelOutcome& m) {
+  if (m.exit_code == 0) return "ok";
+  return m.failure_kind.empty() ? "error" : m.failure_kind;
+}
+
+std::string cache_result_name(const ModelOutcome& m) {
+  if (!m.cache_checked) return "off";
+  return m.cache_hit ? "hit" : "miss";
+}
+
+// The optimizer flag bits of ModelOutcome::degraded_mask, named like the
+// degradation ladder's W004 message and the CLI flags.
+std::vector<std::string> degraded_pass_names(unsigned mask) {
+  std::vector<std::string> names;
+  if (mask & 1u) names.push_back("fuse");
+  if (mask & 2u) names.push_back("shrink-buffers");
+  if (mask & 4u) names.push_back("alias-truncation");
+  return names;
+}
+
+// Top-level trace spans summed by name in first-touch order — the ledger's
+// per-phase timing breakdown.  Duplicate names (validate-pass vs
+// generation-pass analysis runs) accumulate into one row; nested spans are
+// already inside their parent's time.
+std::vector<std::pair<std::string, long long>> phase_timings(
+    const trace::Tracer& tracer) {
+  std::vector<std::pair<std::string, long long>> timings;
+  for (const trace::Span& span : tracer.spans()) {
+    if (span.depth != 0) continue;
+    bool found = false;
+    for (auto& [name, us] : timings) {
+      if (name == span.name) {
+        us += span.dur_us;
+        found = true;
+        break;
+      }
+    }
+    if (!found) timings.emplace_back(span.name, span.dur_us);
+  }
+  return timings;
+}
+
+}  // namespace
+
+metrics::CompileEvent outcome_event(const ModelOutcome& outcome,
+                                    long long index,
+                                    const std::string& generator) {
+  metrics::CompileEvent e;
+  e.index = index;
+  e.input = outcome.input_path;
+  e.model = outcome.model_name;
+  e.generator = generator;
+  e.outcome = outcome_name(outcome);
+  e.exit_code = outcome.exit_code;
+  e.cache = cache_result_name(outcome);
+  e.tuned_source = outcome.tuned_source;
+  const std::vector<std::string> dropped =
+      degraded_pass_names(outcome.degraded_mask);
+  e.degraded = dropped.empty() ? "none" : join(dropped, "+");
+  e.attempts = outcome.attempts;
+  e.errors = outcome.engine.error_count();
+  e.warnings = outcome.engine.warning_count();
+  e.timings_us.emplace_back("total", outcome.compile_us);
+  for (const auto& [phase, us] : phase_timings(outcome.tracer))
+    e.timings_us.emplace_back(phase, us);
+  return e;
+}
+
+std::vector<metrics::CompileEvent> batch_events(const BatchResult& result,
+                                                const BatchOptions& options) {
+  std::vector<metrics::CompileEvent> events;
+  events.reserve(result.models.size());
+  for (std::size_t i = 0; i < result.models.size(); ++i)
+    events.push_back(outcome_event(result.models[i],
+                                   static_cast<long long>(i),
+                                   options.generator));
+  return events;
+}
+
+metrics::Rollups batch_rollups(const BatchResult& result) {
+  metrics::Rollups r;
+  r.models = static_cast<long long>(result.models.size());
+  r.failed = result.failed_models;
+  r.ok = r.models - r.failed;
+  r.cache_hits = result.cache_hits;
+  r.cache_misses = result.cache_misses;
+  r.retries = result.retries_used;
+  r.degraded = result.degraded_models;
+  r.wall_us = result.wall_us;
+  r.models_per_sec =
+      result.wall_us > 0
+          ? static_cast<double>(r.models) * 1e6 /
+                static_cast<double>(result.wall_us)
+          : 0.0;
+  std::vector<long long> latencies;
+  latencies.reserve(result.models.size());
+  for (const ModelOutcome& m : result.models)
+    latencies.push_back(m.compile_us);
+  r.p50_us = metrics::percentile_us(latencies, 50.0);
+  r.p95_us = metrics::percentile_us(latencies, 95.0);
+  r.p99_us = metrics::percentile_us(latencies, 99.0);
+  return r;
+}
+
+void record_batch_metrics(const BatchResult& result,
+                          const BatchOptions& options,
+                          metrics::Registry* registry) {
+  if (registry == nullptr) return;
+  metrics::Registry& reg = *registry;
+  reg.set("frodo_build_info", {{"version", version_string()}}, 1.0);
+  for (const ModelOutcome& m : result.models) {
+    const metrics::Labels by_outcome{{"generator", options.generator},
+                                     {"outcome", outcome_name(m)}};
+    reg.add("frodo_compiles_total", by_outcome);
+    reg.observe("frodo_compile_latency_seconds", by_outcome,
+                static_cast<double>(m.compile_us) / 1e6);
+    for (const auto& [phase, us] : phase_timings(m.tracer))
+      reg.observe("frodo_compile_phase_seconds", {{"phase", phase}},
+                  static_cast<double>(us) / 1e6);
+    if (m.cache_checked)
+      reg.add("frodo_cache_lookups_total",
+              {{"result", m.cache_hit ? "hit" : "miss"}});
+    if (const long long q = m.tracer.counter("cache_quarantined"); q > 0)
+      reg.add("frodo_cache_lookups_total", {{"result", "quarantined"}},
+              static_cast<double>(q));
+    if (!m.tuned_source.empty())
+      reg.add("frodo_tuned_decisions_total", {{"source", m.tuned_source}});
+    if (m.attempts > 1)
+      reg.add("frodo_retries_total", {},
+              static_cast<double>(m.attempts - 1));
+    for (const std::string& pass : degraded_pass_names(m.degraded_mask))
+      reg.add("frodo_degraded_compiles_total", {{"pass", pass}});
+  }
+  const metrics::Rollups r = batch_rollups(result);
+  reg.set("frodo_batch_models", {}, static_cast<double>(r.models));
+  reg.set("frodo_batch_jobs", {},
+          static_cast<double>(options.jobs < 1 ? 1 : options.jobs));
+  reg.set("frodo_batch_wall_seconds", {},
+          static_cast<double>(r.wall_us) / 1e6);
+  reg.set("frodo_batch_models_per_sec", {}, r.models_per_sec);
+  reg.set("frodo_compile_latency_quantile_seconds", {{"q", "0.5"}},
+          static_cast<double>(r.p50_us) / 1e6);
+  reg.set("frodo_compile_latency_quantile_seconds", {{"q", "0.95"}},
+          static_cast<double>(r.p95_us) / 1e6);
+  reg.set("frodo_compile_latency_quantile_seconds", {{"q", "0.99"}},
+          static_cast<double>(r.p99_us) / 1e6);
 }
 
 }  // namespace frodo::batch

@@ -30,6 +30,8 @@
 #include "graph/graph.hpp"
 #include "model/model.hpp"
 #include "support/diag.hpp"
+#include "support/metrics/ledger.hpp"
+#include "support/metrics/registry.hpp"
 #include "support/status.hpp"
 #include "support/trace.hpp"
 
@@ -209,6 +211,33 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
 // compare runs modulo timing).
 std::string render_batch_report(const BatchResult& result,
                                 const BatchOptions& options);
+
+// -- Telemetry (docs/OBSERVABILITY.md, "Metrics & event ledger") -------------
+
+// One "frodo.event/1" ledger record for a finished model compile: outcome,
+// cache result, decision source, degradation, retries, and per-phase
+// timings extracted from the model's trace spans (top-level spans summed by
+// name; "total" is the end-to-end compile).  Deterministic apart from the
+// record's `timings_us` object.
+metrics::CompileEvent outcome_event(const ModelOutcome& outcome,
+                                    long long index,
+                                    const std::string& generator);
+
+// Every model's ledger record in batch order, regardless of --jobs or
+// --isolate (`frodoc --events-out`).
+std::vector<metrics::CompileEvent> batch_events(const BatchResult& result,
+                                                const BatchOptions& options);
+
+// Aggregated batch rollups (latency percentiles over per-model compile_us).
+metrics::Rollups batch_rollups(const BatchResult& result);
+
+// Populates `registry` with the batch's labeled metric families
+// (frodo_compiles_total, frodo_compile_latency_seconds, ...) from the
+// per-model outcomes — deterministic sample sets for identical results at
+// any --jobs; only histogram/gauge *values* carry wall-clock time.
+void record_batch_metrics(const BatchResult& result,
+                          const BatchOptions& options,
+                          metrics::Registry* registry);
 
 // Internal: the per-model pipeline shared by the in-process path and the
 // isolated child (batch/isolate.cpp).  Reports into outcome->engine;

@@ -13,6 +13,7 @@
 #include "slx/slx.hpp"
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 #include "support/version.hpp"
 
 namespace frodo::batch {
@@ -181,6 +182,7 @@ bool AnalysisCache::read_framed(const std::string& path,
       return true;
     }
   }
+  trace::count("cache_quarantined");
   std::error_code ec;
   fs::rename(path, path + ".bad", ec);
   if (ec) fs::remove(path, ec);  // cross-device or permission oddity
@@ -221,6 +223,7 @@ bool AnalysisCache::lookup(const std::string& key,
   if (!ranges.is_ok()) {
     // Checksummed but semantically malformed (hand-edited then re-framed,
     // or a format skew): quarantine like any other bad entry.
+    trace::count("cache_quarantined");
     std::error_code ec;
     fs::rename(path, path + ".bad", ec);
     if (ec) fs::remove(path, ec);
@@ -243,6 +246,7 @@ bool AnalysisCache::lookup_tuned(const std::string& key,
   if (!read_framed(path, &payload)) return false;
   auto decisions = codegen::cost::deserialize_decisions(payload);
   if (!decisions.is_ok()) {
+    trace::count("cache_quarantined");
     std::error_code ec;
     fs::rename(path, path + ".bad", ec);
     if (ec) fs::remove(path, ec);

@@ -82,8 +82,19 @@ std::string encode_outcome(const ModelOutcome& outcome) {
                           d.code + "\n" + d.where + "\n" + d.message;
     put_frame(&out, "diag", payload);
   }
+  put_frame(&out, "tuned", outcome.tuned_source);
+  put_frame(&out, "compile_us", std::to_string(outcome.compile_us));
   for (const auto& [name, value] : outcome.tracer.counters())
     put_frame(&out, "counter", std::to_string(value) + " " + name);
+  for (const trace::Span& span : outcome.tracer.spans()) {
+    // start dur depth pass '\n' name — name last so spaces can't shift the
+    // numeric fields; pass is the line's tail for the same reason.
+    put_frame(&out, "span",
+              std::to_string(span.start_us) + " " +
+                  std::to_string(span.dur_us) + " " +
+                  std::to_string(span.depth) + " " + span.pass + "\n" +
+                  span.name);
+  }
   put_frame(&out, "end", "");
   return out;
 }
@@ -160,6 +171,30 @@ bool decode_outcome(const std::string& text, ModelOutcome* outcome) {
           !parse_int(payload.substr(0, space), &value))
         return false;
       outcome->tracer.add_counter(payload.substr(space + 1), value);
+    } else if (key == "tuned") {
+      outcome->tuned_source = payload;
+    } else if (key == "compile_us") {
+      parse_int(payload, &outcome->compile_us);
+    } else if (key == "span") {
+      const std::size_t nl = payload.find('\n');
+      if (nl == std::string::npos) return false;
+      const std::string head = payload.substr(0, nl);
+      trace::Span span;
+      span.name = payload.substr(nl + 1);
+      std::size_t from = 0;
+      long long nums[3] = {0, 0, 0};
+      for (int i = 0; i < 3; ++i) {
+        const std::size_t space = head.find(' ', from);
+        if (space == std::string::npos ||
+            !parse_int(head.substr(from, space - from), &nums[i]))
+          return false;
+        from = space + 1;
+      }
+      span.start_us = nums[0];
+      span.dur_us = nums[1];
+      span.depth = static_cast<int>(nums[2]);
+      span.pass = head.substr(from);
+      outcome->tracer.add_span(std::move(span));
     } else if (key == "end") {
       complete = true;
       break;
@@ -212,6 +247,7 @@ void write_all(int fd, const std::string& data) {
   support::faultinject::ScopedContext fault_context(path);
 
   trace::Tracer* previous = trace::install(&outcome.tracer);
+  const auto started = Clock::now();
   try {
     outcome.exit_code =
         compile_one_model(path, options, cache, nullptr, &outcome);
@@ -219,6 +255,9 @@ void write_all(int fd, const std::string& data) {
     trace::install(previous);
     ::_exit(kExitOom);
   }
+  outcome.compile_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - started)
+                           .count();
   trace::install(previous);
 
   write_all(fd, encode_outcome(outcome));
@@ -395,6 +434,8 @@ void compile_batch_isolated(const std::vector<std::string>& inputs,
     outcome.cache_checked = parsed.cache_checked;
     outcome.cache_hit = parsed.cache_hit;
     outcome.degraded_mask = parsed.degraded_mask;
+    outcome.tuned_source = std::move(parsed.tuned_source);
+    outcome.compile_us = parsed.compile_us;
     outcome.code = std::move(parsed.code);
     outcome.report = std::move(parsed.report);
     outcome.engine = std::move(parsed.engine);

@@ -51,6 +51,11 @@
 //                      model totals; see docs/OBSERVABILITY.md)
 //   --trace-out FILE   write a Chrome trace_event JSON of the pipeline
 //                      phases (load in chrome://tracing or Perfetto)
+//   --metrics-out FILE write the labeled telemetry registry as Prometheus
+//                      text exposition to FILE and as a schema-versioned
+//                      JSON snapshot (with batch rollups) to FILE.json
+//   --events-out FILE  write the per-model compile ledger (one JSONL
+//                      "frodo.event/1" record per model, in batch order)
 //   --profile-hooks    emit FRODO_PROFILE-guarded per-block counters and a
 //                      <model>_profile_dump() into the generated code
 //   -v, --verbose      print per-phase wall times and pipeline counters to
@@ -71,6 +76,7 @@
 //
 // Writes <Model>.c and <Model>.h into the output directory.
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -110,6 +116,7 @@ int usage(int code) {
                "[--memory-per-model MB] [--retries N] [--retry-backoff MS] "
                "[--list-fault-sites] "
                "[--print-ranges] [--report text|json] [--trace-out FILE] "
+               "[--metrics-out FILE] [--events-out FILE] "
                "[--profile-hooks] [-v|--verbose] [--check] "
                "[--strict] [--max-errors N] [--diag-format text|json] "
                "[--simd-width N] [--list-blocks] [--version]\n");
@@ -172,6 +179,8 @@ int main(int argc, char** argv) {
   std::string diag_format = "text";
   std::string report_format;  // empty = no report
   std::string trace_out;      // empty = no trace file
+  std::string metrics_out;    // empty = no metrics exposition/snapshot
+  std::string events_out;     // empty = no event ledger
   std::string cache_dir;      // empty = analysis cache off
   bool no_cache = false;
   bool batch_mode = false;
@@ -389,6 +398,20 @@ int main(int argc, char** argv) {
         return usage(2);
       }
       trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodoc: --metrics-out expects a file path\n");
+        return usage(2);
+      }
+      metrics_out = v;
+    } else if (arg == "--events-out") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodoc: --events-out expects a file path\n");
+        return usage(2);
+      }
+      events_out = v;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--profile-hooks") {
@@ -455,7 +478,19 @@ int main(int argc, char** argv) {
   // prints the -v summary.  In batch mode each model compiles under its own
   // tracer; those are absorbed into this one afterwards.
   frodo::trace::Tracer tracer;
-  const bool tracing = !trace_out.empty() || verbose;
+  // Telemetry sinks (docs/OBSERVABILITY.md, "Metrics & event ledger").  The
+  // single-model path needs the tracer installed to extract per-phase
+  // timings for the ledger; batch mode records per-model tracers anyway.
+  const bool want_metrics = !metrics_out.empty();
+  const bool want_events = !events_out.empty();
+  frodo::metrics::Registry registry;
+  std::optional<frodo::metrics::Rollups> rollups;
+  std::string ledger;
+  // Single-model telemetry capture: run() fills in what it learns; the
+  // epilogue turns it into the one-record ledger/registry.
+  frodo::batch::ModelOutcome single_outcome;
+  const bool tracing =
+      !trace_out.empty() || verbose || want_metrics || want_events;
   if (tracing) {
     tracer.set_metadata("model", inputs[0]);
     tracer.set_metadata("generator", generator_name);
@@ -537,6 +572,13 @@ int main(int argc, char** argv) {
                   frodo::batch::render_batch_report(result, bopts).c_str());
 
       flush_batch_diagnostics(result, diag_format);
+      if (want_metrics)
+        frodo::batch::record_batch_metrics(result, bopts, &registry);
+      if (want_metrics || verbose)
+        rollups = frodo::batch::batch_rollups(result);
+      if (want_events)
+        ledger = frodo::metrics::ledger_text(
+            frodo::batch::batch_events(result, bopts));
       if (tracing) {
         for (const frodo::batch::ModelOutcome& outcome : result.models) {
           const std::string& label = outcome.model_name.empty()
@@ -559,6 +601,7 @@ int main(int argc, char** argv) {
                    model_path);
       return 1;
     }
+    single_outcome.model_name = model.value().name();
 
     if (want_check || want_ranges) {
       frodo::batch::CheckedModel checked;
@@ -643,6 +686,8 @@ int main(int argc, char** argv) {
       precomputed = &ranges;
       gen_options.precomputed_ranges = precomputed;
     }
+    single_outcome.cache_checked = cache_used;
+    single_outcome.cache_hit = cache_hit;
 
     // --cost-model tuned: resolve the per-block decision vector (cached
     // entry, fresh autotune, or the FRODO-W007 static fallback) and rebind
@@ -663,6 +708,7 @@ int main(int argc, char** argv) {
       tuned = frodo::batch::resolve_tuned_decisions(
           model.value(), checked, cache ? &*cache : nullptr, topts,
           gen_options.engine);
+      single_outcome.tuned_source = tuned.source;
       if (tuned.resolved) {
         effective.tuned = &tuned.vector;
         generator = frodo::codegen::make_generator(generator_name,
@@ -734,11 +780,47 @@ int main(int argc, char** argv) {
     return 0;
   };
 
+  const auto run_started = std::chrono::steady_clock::now();
   int rc = run();
+  const long long run_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - run_started)
+          .count();
 
   // Epilogue: stop tracing, export, flush all diagnostics once, summarize.
   frodo::support::cancel_install(nullptr);
   frodo::trace::install(nullptr);
+
+  // Single-model telemetry: one ledger record / one-compile registry built
+  // from what run() captured plus the global tracer.  Batch mode filled
+  // these inside run() from the per-model outcomes instead.
+  if (!batch_mode && (want_metrics || want_events)) {
+    single_outcome.input_path = inputs[0];
+    single_outcome.exit_code = rc;
+    single_outcome.compile_us = run_us;
+    single_outcome.engine = engine;
+    single_outcome.tracer = tracer;
+    if (rc != 0) single_outcome.failure_kind = "error";
+    frodo::batch::BatchResult one;
+    one.exit_code = rc;
+    one.wall_us = run_us;
+    one.failed_models = rc == 0 ? 0 : 1;
+    one.cache_hits = single_outcome.cache_hit ? 1 : 0;
+    one.cache_misses =
+        single_outcome.cache_checked && !single_outcome.cache_hit ? 1 : 0;
+    one.models.push_back(std::move(single_outcome));
+    frodo::batch::BatchOptions oopts;
+    oopts.generator = generator_name;
+    oopts.jobs = 1;
+    if (want_metrics) {
+      frodo::batch::record_batch_metrics(one, oopts, &registry);
+      rollups = frodo::batch::batch_rollups(one);
+    }
+    if (want_events)
+      ledger = frodo::metrics::ledger_text(
+          frodo::batch::batch_events(one, oopts));
+  }
+
   if (!trace_out.empty()) {
     auto status = frodo::zip::write_file(trace_out, tracer.chrome_json());
     if (!status.is_ok()) {
@@ -749,10 +831,43 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 2;
     }
   }
+  if (want_metrics) {
+    // FILE gets the Prometheus exposition, FILE.json the schema-versioned
+    // snapshot.  Like --trace-out, a failed write is FRODO-E902 (exit 2)
+    // but never forfeits the generated bundle.
+    const std::pair<std::string, std::string> sinks[] = {
+        {metrics_out, registry.prometheus_text()},
+        {metrics_out + ".json",
+         registry.json_snapshot(rollups ? &*rollups : nullptr)}};
+    for (const auto& [path, text] : sinks) {
+      auto status = frodo::zip::write_file(path, text);
+      if (!status.is_ok()) {
+        engine.error(diag::codes::kIoWrite,
+                     "cannot write metrics '" + path + "': " +
+                         status.message(),
+                     path);
+        if (rc == 0) rc = 2;
+      }
+    }
+  }
+  if (want_events) {
+    auto status = frodo::zip::write_file(events_out, ledger);
+    if (!status.is_ok()) {
+      engine.error(diag::codes::kIoWrite,
+                   "cannot write event ledger '" + events_out + "': " +
+                       status.message(),
+                   events_out);
+      if (rc == 0) rc = 2;
+    }
+  }
   // Batch mode flushes per-model diagnostics inside run(); the top-level
   // engine only carries batch-global problems (bad inputs, trace I/O).
   if (!batch_mode || engine.error_count() > 0 || engine.warning_count() > 0)
     flush_diagnostics(engine, diag_format);
-  if (verbose) std::fprintf(stderr, "%s", tracer.summary_text().c_str());
+  if (verbose) {
+    std::fprintf(stderr, "%s", tracer.summary_text().c_str());
+    if (rollups)
+      std::fprintf(stderr, "%s", frodo::metrics::rollup_text(*rollups).c_str());
+  }
   return rc;
 }

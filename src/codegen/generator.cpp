@@ -95,6 +95,7 @@ std::string double_list(const std::vector<double>& values) {
 
 Result<GeneratedCode> Generator::generate(const model::Model& m,
                                           const GenerateOptions& options) const {
+  trace::PassScope pass("generate");
   FRODO_ASSIGN_OR_RETURN(model::Model flat, model::flatten(m));
   FRODO_ASSIGN_OR_RETURN(graph::DataflowGraph graph,
                          graph::DataflowGraph::build(flat));

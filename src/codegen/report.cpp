@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "support/diag.hpp"
+#include "support/trace.hpp"
 #include "support/version.hpp"
 
 namespace frodo::codegen {
@@ -48,6 +49,7 @@ Report build_report(const Analysis& analysis,
                     const range::RangeAnalysis& ranges,
                     const OptimizePlan& plan, const std::string& model_name,
                     const std::string& generator_name) {
+  trace::PassScope pass("report");
   Report report;
   report.model_name = model_name;
   report.generator = generator_name;

@@ -1,0 +1,41 @@
+#include "support/metrics/ledger.hpp"
+
+#include "support/diag.hpp"
+
+namespace frodo::metrics {
+
+std::string event_json_line(const CompileEvent& e) {
+  std::string out = "{\"schema\": \"frodo.event/1\"";
+  out += ", \"index\": " + std::to_string(e.index);
+  out += ", \"input\": \"" + diag::json_escape(e.input) + "\"";
+  out += ", \"model\": \"" + diag::json_escape(e.model) + "\"";
+  out += ", \"generator\": \"" + diag::json_escape(e.generator) + "\"";
+  out += ", \"outcome\": \"" + diag::json_escape(e.outcome) + "\"";
+  out += ", \"exit_code\": " + std::to_string(e.exit_code);
+  out += ", \"cache\": \"" + diag::json_escape(e.cache) + "\"";
+  out += ", \"tuned_source\": \"" + diag::json_escape(e.tuned_source) + "\"";
+  out += ", \"degraded\": \"" + diag::json_escape(e.degraded) + "\"";
+  out += ", \"attempts\": " + std::to_string(e.attempts);
+  out += ", \"retries\": " + std::to_string(e.attempts > 0 ? e.attempts - 1
+                                                           : 0);
+  out += ", \"errors\": " + std::to_string(e.errors);
+  out += ", \"warnings\": " + std::to_string(e.warnings);
+  // The one timing-bearing key; determinism tooling drops it wholesale.
+  out += ", \"timings_us\": {";
+  bool first = true;
+  for (const auto& [phase, us] : e.timings_us) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + diag::json_escape(phase) + "\": " + std::to_string(us);
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string ledger_text(const std::vector<CompileEvent>& events) {
+  std::string out;
+  for (const auto& e : events) out += event_json_line(e);
+  return out;
+}
+
+}  // namespace frodo::metrics

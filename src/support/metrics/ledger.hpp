@@ -1,0 +1,54 @@
+// Per-compile event ledger: one JSONL record per model compile, the
+// append-only "what did each compile actually do" companion to the
+// aggregate registry.  `frodoc --batch --events-out FILE` writes one line
+// per model in batch order regardless of `--jobs`; `frodod` will append to
+// the same format per request.
+//
+// Record schema "frodo.event/1" (docs/OBSERVABILITY.md):
+//
+//   {"schema": "frodo.event/1", "index": 0, "input": "m/Back.slxz",
+//    "model": "Back", "generator": "frodo", "outcome": "ok",
+//    "exit_code": 0, "cache": "hit", "tuned_source": "cache",
+//    "degraded": "none", "attempts": 1, "retries": 0,
+//    "errors": 0, "warnings": 1,
+//    "timings_us": {"total": 1234, "validate": 10, "analyze": 500, ...}}
+//
+// Every wall-clock-derived number is confined to the `timings_us` object —
+// dropping that one key makes two ledgers of the same batch byte-
+// comparable across `--jobs`, warm/cold caches with identical results, and
+// `--isolate process` (tests/batch_test.cpp pins this).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace frodo::metrics {
+
+struct CompileEvent {
+  long long index = 0;       // position in batch order
+  std::string input;         // path as given
+  std::string model;         // model name ("" when the package didn't load)
+  std::string generator;
+  std::string outcome;       // "ok" | "error" | "cancelled" | "timeout" |
+                             // "crash" | "oom" | "infra"
+  int exit_code = 0;
+  std::string cache;         // "hit" | "miss" | "off"
+  std::string tuned_source;  // "" (not tuned) | "cache" | "autotune" |
+                             // "fallback"
+  std::string degraded;      // "none" or the shed pass mask ("fuse+shrink")
+  int attempts = 1;
+  int errors = 0;
+  int warnings = 0;
+  // Phase name -> microseconds, plus "total"; insertion order preserved.
+  std::vector<std::pair<std::string, long long>> timings_us;
+};
+
+// One JSONL line (single line, trailing '\n'), fields in schema order so
+// identical events render identical bytes.
+std::string event_json_line(const CompileEvent& event);
+
+// The whole ledger: event_json_line per event, in order.
+std::string ledger_text(const std::vector<CompileEvent>& events);
+
+}  // namespace frodo::metrics

@@ -1,0 +1,399 @@
+#include "support/metrics/registry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+#include "support/diag.hpp"
+#include "support/version.hpp"
+
+namespace frodo::metrics {
+
+namespace {
+
+// Known family descriptors: help text and the timing flag ride with the
+// name so every producer renders identical metadata.  Unknown names still
+// work (generic help, non-timing) — the table is documentation-grade, not
+// a gate.
+struct Descriptor {
+  std::string_view name;
+  std::string_view help;
+  bool timing;
+};
+
+constexpr Descriptor kDescriptors[] = {
+    {"frodo_build_info",
+     "Build identification; value is always 1, labels carry the version.",
+     false},
+    {"frodo_compiles_total", "Model compiles by generator and outcome.",
+     false},
+    {"frodo_compile_latency_seconds",
+     "End-to-end per-model compile latency.", true},
+    {"frodo_compile_phase_seconds",
+     "Per-phase compile latency (validate/analyze/emit/...).", true},
+    {"frodo_cache_lookups_total",
+     "Analysis-cache lookups by result (hit/miss/quarantined).", false},
+    {"frodo_tuned_decisions_total",
+     "Cost-model decision vectors by source (cache/autotune/fallback/"
+     "static/off).",
+     false},
+    {"frodo_retries_total", "Isolated-child re-forks after failures.",
+     false},
+    {"frodo_degraded_compiles_total",
+     "Compiles that shed an optimizer pass on the degradation ladder.",
+     false},
+    {"frodo_batch_models", "Models in the last batch.", false},
+    {"frodo_batch_jobs", "Worker count of the last batch.", false},
+    {"frodo_batch_wall_seconds", "Wall time of the last batch.", true},
+    {"frodo_batch_models_per_sec", "Throughput of the last batch.", true},
+    {"frodo_compile_latency_quantile_seconds",
+     "Batch latency quantiles (nearest-rank, label q=0.5/0.95/0.99).",
+     true},
+};
+
+const Descriptor* find_descriptor(std::string_view name) {
+  for (const auto& d : kDescriptors) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+// %g loses no information for counts and keeps latencies readable; render
+// integral values without an exponent so counters look like counters.
+std::string render_value(double v) {
+  char buf[64];
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string render_bound(double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", b);
+  return buf;
+}
+
+// Prometheus label values escape backslash, double-quote and newline.
+std::string label_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::atomic<Registry*> g_registry{nullptr};
+
+}  // namespace
+
+Labels::Labels(std::initializer_list<std::pair<std::string, std::string>> kv)
+    : kv_(kv) {
+  std::sort(kv_.begin(), kv_.end());
+}
+
+std::string Labels::text() const {
+  std::string out;
+  for (const auto& [k, v] : kv_) {
+    if (!out.empty()) out += ',';
+    out += k + "=\"" + label_escape(v) + "\"";
+  }
+  return out;
+}
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+const std::vector<double>& histogram_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double bound = 0.0001;  // 100 us
+    for (int i = 0; i < 18; ++i) {
+      b.push_back(bound);
+      bound *= 2.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+long long percentile_us(std::vector<long long> values_us, double pct) {
+  if (values_us.empty()) return 0;
+  std::sort(values_us.begin(), values_us.end());
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(values_us.size())));
+  if (rank == 0) rank = 1;
+  if (rank > values_us.size()) rank = values_us.size();
+  return values_us[rank - 1];
+}
+
+std::string rollup_text(const Rollups& r) {
+  char buf[512];
+  std::string out = "batch rollups:\n";
+  std::snprintf(buf, sizeof(buf),
+                "  models %lld  ok %lld  failed %lld\n"
+                "  cache hits %lld  misses %lld  retries %lld  degraded "
+                "%lld\n",
+                r.models, r.ok, r.failed, r.cache_hits, r.cache_misses,
+                r.retries, r.degraded);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  wall %.3f ms  %.2f models/sec  latency p50 %.3f ms  "
+                "p95 %.3f ms  p99 %.3f ms\n",
+                r.wall_us / 1000.0, r.models_per_sec, r.p50_us / 1000.0,
+                r.p95_us / 1000.0, r.p99_us / 1000.0);
+  out += buf;
+  return out;
+}
+
+Sample& Registry::sample(std::string_view name, Kind kind,
+                         const Labels& labels, bool* kind_ok) {
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& fam = it->second;
+  if (inserted) {
+    fam.name = std::string(name);
+    fam.kind = kind;
+    if (const Descriptor* d = find_descriptor(name)) {
+      fam.help = std::string(d->help);
+      fam.timing = d->timing;
+    } else {
+      fam.help = fam.name + ".";
+    }
+  }
+  *kind_ok = fam.kind == kind;
+  std::string key = labels.text();
+  auto [sit, sinserted] = fam.samples.try_emplace(key);
+  Sample& s = sit->second;
+  if (sinserted) {
+    s.labels = key;
+    if (fam.kind == Kind::kHistogram) {
+      s.buckets.assign(histogram_bounds().size(), 0);
+    }
+  }
+  return s;
+}
+
+void Registry::add(std::string_view name, const Labels& labels,
+                   double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool ok = false;
+  Sample& s = sample(name, Kind::kCounter, labels, &ok);
+  if (ok) s.value += delta;
+}
+
+void Registry::set(std::string_view name, const Labels& labels,
+                   double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool ok = false;
+  Sample& s = sample(name, Kind::kGauge, labels, &ok);
+  if (ok) s.value = value;
+}
+
+void Registry::observe(std::string_view name, const Labels& labels,
+                       double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool ok = false;
+  Sample& s = sample(name, Kind::kHistogram, labels, &ok);
+  if (!ok) return;
+  const auto& bounds = histogram_bounds();
+  bool bucketed = false;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (seconds <= bounds[i]) {
+      ++s.buckets[i];
+      bucketed = true;
+      break;
+    }
+  }
+  if (!bucketed) ++s.overflow;
+  s.sum += seconds;
+  ++s.count;
+}
+
+void Registry::absorb(const Registry& other) {
+  // Snapshot under the other's lock, merge under ours (never both at
+  // once, so two absorbs can't deadlock).
+  std::map<std::string, Family> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    theirs = other.families_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, fam] : theirs) {
+    auto [it, inserted] = families_.try_emplace(name, fam);
+    if (inserted) continue;
+    Family& mine = it->second;
+    if (mine.kind != fam.kind) continue;
+    for (const auto& [key, s] : fam.samples) {
+      auto [sit, sinserted] = mine.samples.try_emplace(key, s);
+      if (sinserted) continue;
+      Sample& m = sit->second;
+      switch (mine.kind) {
+        case Kind::kCounter: m.value += s.value; break;
+        case Kind::kGauge: m.value = s.value; break;
+        case Kind::kHistogram:
+          for (size_t i = 0; i < m.buckets.size() && i < s.buckets.size();
+               ++i) {
+            m.buckets[i] += s.buckets[i];
+          }
+          m.overflow += s.overflow;
+          m.sum += s.sum;
+          m.count += s.count;
+          break;
+      }
+    }
+  }
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return families_.empty();
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += std::string(kind_name(fam.kind)) + "\n";
+    for (const auto& [key, s] : fam.samples) {
+      if (fam.kind == Kind::kHistogram) {
+        const auto& bounds = histogram_bounds();
+        long long cumulative = 0;
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += s.buckets[i];
+          out += name + "_bucket{";
+          if (!key.empty()) out += key + ",";
+          out += "le=\"" + render_bound(bounds[i]) + "\"} " +
+                 render_value(static_cast<double>(cumulative)) + "\n";
+        }
+        cumulative += s.overflow;
+        out += name + "_bucket{";
+        if (!key.empty()) out += key + ",";
+        out += "le=\"+Inf\"} " +
+               render_value(static_cast<double>(cumulative)) + "\n";
+        out += name + "_sum";
+        if (!key.empty()) out += "{" + key + "}";
+        out += " " + render_value(s.sum) + "\n";
+        out += name + "_count";
+        if (!key.empty()) out += "{" + key + "}";
+        out += " " + render_value(static_cast<double>(s.count)) + "\n";
+      } else {
+        out += name;
+        if (!key.empty()) out += "{" + key + "}";
+        out += " " + render_value(s.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::json_snapshot(const Rollups* rollups) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n";
+  out += "  \"schema\": \"frodo.metrics/1\",\n";
+  out += "  \"version\": \"" + diag::json_escape(version_string()) + "\",\n";
+  out += "  \"families\": [";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    out += first_fam ? "\n" : ",\n";
+    first_fam = false;
+    out += "    {\"name\": \"" + diag::json_escape(name) + "\", \"type\": \"";
+    out += std::string(kind_name(fam.kind)) + "\", \"help\": \"" +
+           diag::json_escape(fam.help) + "\", \"timing\": ";
+    out += fam.timing ? "true" : "false";
+    out += ", \"samples\": [";
+    bool first_s = true;
+    for (const auto& [key, s] : fam.samples) {
+      out += first_s ? "\n" : ",\n";
+      first_s = false;
+      out += "      {\"labels\": \"" + diag::json_escape(key) + "\", ";
+      if (fam.kind == Kind::kHistogram) {
+        out += "\"count\": " +
+               render_value(static_cast<double>(s.count)) +
+               ", \"sum\": " + render_value(s.sum) + ", \"buckets\": [";
+        const auto& bounds = histogram_bounds();
+        long long cumulative = 0;
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += s.buckets[i];
+          if (i) out += ", ";
+          out += "{\"le\": " + render_bound(bounds[i]) + ", \"count\": " +
+                 render_value(static_cast<double>(cumulative)) + "}";
+        }
+        out += "]}";
+      } else {
+        out += "\"value\": " + render_value(s.value) + "}";
+      }
+    }
+    out += first_s ? "]}" : "\n    ]}";
+  }
+  out += first_fam ? "],\n" : "\n  ],\n";
+  out += "  \"rollups\": ";
+  if (rollups) {
+    const Rollups& r = *rollups;
+    char buf[160];
+    out += "{\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    \"models\": %lld, \"ok\": %lld, \"failed\": %lld,\n",
+                  r.models, r.ok, r.failed);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    \"cache_hits\": %lld, \"cache_misses\": %lld, "
+                  "\"retries\": %lld, \"degraded\": %lld,\n",
+                  r.cache_hits, r.cache_misses, r.retries, r.degraded);
+    out += buf;
+    // Everything wall-clock-derived lives under this one key, so tooling
+    // can diff two snapshots by dropping "timing".
+    std::snprintf(buf, sizeof(buf),
+                  "    \"timing\": {\"wall_us\": %lld, \"models_per_sec\": "
+                  "%.6g, \"p50_us\": %lld, \"p95_us\": %lld, \"p99_us\": "
+                  "%lld}\n",
+                  r.wall_us, r.models_per_sec, r.p50_us, r.p95_us,
+                  r.p99_us);
+    out += buf;
+    out += "  }\n";
+  } else {
+    out += "null\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Registry* install(Registry* registry) {
+  return g_registry.exchange(registry, std::memory_order_acq_rel);
+}
+
+Registry* current() {
+  return g_registry.load(std::memory_order_relaxed);
+}
+
+void count(std::string_view name, const Labels& labels, double delta) {
+  if (Registry* r = current()) r->add(name, labels, delta);
+}
+
+void gauge(std::string_view name, const Labels& labels, double value) {
+  if (Registry* r = current()) r->set(name, labels, value);
+}
+
+void observe_seconds(std::string_view name, const Labels& labels,
+                     double seconds) {
+  if (Registry* r = current()) r->observe(name, labels, seconds);
+}
+
+}  // namespace frodo::metrics

@@ -1,0 +1,168 @@
+// Compile-fleet telemetry: a registry of labeled counters, gauges and
+// log-scale latency histograms.
+//
+// This is the fleet-facing metrics surface the `frodod` daemon will serve
+// from its `/metrics` endpoint, built now so the batch CLI, the bench
+// harness and CI all speak it first.  It supersedes the flat trace counters
+// for aggregate questions (the per-model trace counters remain the
+// per-compile diagnostic surface — see docs/OBSERVABILITY.md):
+//
+//   * samples are *labeled* (`frodo_compile_latency_seconds{generator=
+//     "frodo",outcome="ok"}`), so one family covers every generator and
+//     failure mode instead of one flat counter per combination;
+//   * latency distributions are log-scale histograms (doubling buckets from
+//     100 us), so p50/p95/p99 survive aggregation across a fleet;
+//   * rendering is deterministic — families sorted by name, samples by
+//     label string — so two runs of the same batch produce byte-identical
+//     exposition text regardless of worker interleaving.
+//
+// Instrumentation is installation-based like the tracer: `metrics::count()`
+// et al. are a single relaxed atomic load when no Registry is installed, so
+// un-instrumented runs pay nothing.  Unlike the thread-local tracer the
+// installed registry is *process-global* and the Registry itself is
+// thread-safe (a mutex around low-frequency events), because fleet counters
+// are shared state by definition.
+//
+// Two sinks (docs/OBSERVABILITY.md documents both schemas):
+//   * prometheus_text() — the Prometheus text exposition format (# HELP /
+//     # TYPE / samples; histograms as cumulative `_bucket{le=...}` series
+//     plus `_sum` / `_count`);
+//   * json_snapshot() — a schema-versioned JSON document embedding the
+//     `frodoc --version` build metadata, every family (flagged `"timing"`
+//     when its values depend on the wall clock, so tooling can compare two
+//     runs modulo timing), and optional batch rollups.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace frodo::metrics {
+
+// Ordered key/value label set.  Keys must be unique; construction sorts by
+// key so equal label sets compare equal regardless of call-site order.
+class Labels {
+ public:
+  Labels() = default;
+  Labels(std::initializer_list<std::pair<std::string, std::string>> kv);
+
+  const std::vector<std::pair<std::string, std::string>>& pairs() const {
+    return kv_;
+  }
+  // Canonical rendering used as the sample key and in the exposition text:
+  // `key="value",...` with escaped values, empty for the empty set.
+  std::string text() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+std::string_view kind_name(Kind kind);
+
+// Log-scale histogram bucket upper bounds in seconds: doubling from 100 us
+// to ~13.1 s (18 bounds), plus the implicit +Inf bucket.  Fixed at compile
+// time so every producer in the fleet exposes mergeable series.
+const std::vector<double>& histogram_bounds();
+
+struct Sample {
+  std::string labels;  // Labels::text()
+  double value = 0.0;  // counter/gauge value
+  // Histogram state (kind == kHistogram): per-bound counts (non-cumulative;
+  // rendering accumulates), observations beyond the last bound, sum, count.
+  std::vector<long long> buckets;
+  long long overflow = 0;
+  double sum = 0.0;
+  long long count = 0;
+};
+
+struct Family {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::string help;
+  // True when the family's values depend on the wall clock (latencies,
+  // rates): tooling that diffs two runs for determinism drops these.
+  bool timing = false;
+  std::map<std::string, Sample> samples;  // by label text
+};
+
+// Aggregated batch rollups, embedded in the snapshot and printed under -v.
+// Deterministic fields live at the top level; everything wall-clock-derived
+// is confined to the timing sub-fields (suffix `_us` / `models_per_sec`).
+struct Rollups {
+  long long models = 0;
+  long long ok = 0;
+  long long failed = 0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long retries = 0;
+  long long degraded = 0;
+  // Timing-dependent.
+  long long wall_us = 0;
+  double models_per_sec = 0.0;
+  long long p50_us = 0;
+  long long p95_us = 0;
+  long long p99_us = 0;
+};
+
+// Percentile helper: the nearest-rank percentile of `values_us` (sorted
+// internally; empty input yields 0).
+long long percentile_us(std::vector<long long> values_us, double pct);
+
+// Human rollup summary printed to stderr by `frodoc --batch -v`.
+std::string rollup_text(const Rollups& rollups);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Counters accumulate, gauges overwrite, histograms observe seconds into
+  // the fixed log-scale buckets.  A family's kind is pinned by its first
+  // touch; later calls with a different kind are ignored (malformed
+  // instrumentation must not corrupt the export).
+  void add(std::string_view name, const Labels& labels, double delta = 1.0);
+  void set(std::string_view name, const Labels& labels, double value);
+  void observe(std::string_view name, const Labels& labels, double seconds);
+
+  // Adds another registry's samples into this one (counters and histograms
+  // sum; gauges take the other's value).
+  void absorb(const Registry& other);
+
+  bool empty() const;
+
+  // Prometheus text exposition format, families sorted by name, samples by
+  // label text.  Ends with a trailing newline.
+  std::string prometheus_text() const;
+
+  // Schema-versioned JSON snapshot ("frodo.metrics/1"), embedding the
+  // frodoc build identification; `rollups` (optional) lands in a "rollups"
+  // object.  Parseable by support/json.
+  std::string json_snapshot(const Rollups* rollups = nullptr) const;
+
+ private:
+  Sample& sample(std::string_view name, Kind kind, const Labels& labels,
+                 bool* kind_ok);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+// Installs `registry` as the process-wide sink (nullptr disables); returns
+// the previous one.  The free helpers below are no-ops (one relaxed load)
+// while nothing is installed.
+Registry* install(Registry* registry);
+Registry* current();
+
+void count(std::string_view name, const Labels& labels = {},
+           double delta = 1.0);
+void gauge(std::string_view name, const Labels& labels, double value);
+void observe_seconds(std::string_view name, const Labels& labels,
+                     double seconds);
+
+}  // namespace frodo::metrics

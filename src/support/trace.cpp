@@ -64,8 +64,17 @@ std::size_t Tracer::begin_span(std::string_view name) {
   span.name = std::string(name);
   span.start_us = now_us();
   span.depth = depth_++;
+  span.pass = pass_;
   spans_.push_back(std::move(span));
   return spans_.size() - 1;
+}
+
+void Tracer::add_span(Span span) { spans_.push_back(std::move(span)); }
+
+std::string Tracer::set_pass(std::string pass) {
+  std::string previous = std::move(pass_);
+  pass_ = std::move(pass);
+  return previous;
 }
 
 void Tracer::end_span(std::size_t index) {
@@ -81,6 +90,15 @@ Scope::Scope(std::string_view name) : tracer_(current()) {
 
 Scope::~Scope() {
   if (tracer_ != nullptr) tracer_->end_span(index_);
+}
+
+PassScope::PassScope(std::string_view pass) : tracer_(current()) {
+  if (tracer_ != nullptr)
+    previous_ = tracer_->set_pass(std::string(pass));
+}
+
+PassScope::~PassScope() {
+  if (tracer_ != nullptr) tracer_->set_pass(std::move(previous_));
 }
 
 void Tracer::absorb(const Tracer& other, const std::string& prefix) {
@@ -106,7 +124,10 @@ std::string Tracer::chrome_json() const {
            "\",\"ph\":\"X\",\"ts\":" + std::to_string(span.start_us) +
            ",\"dur\":" + std::to_string(span.dur_us) +
            ",\"pid\":1,\"tid\":1,\"args\":{\"depth\":" +
-           std::to_string(span.depth) + "}}";
+           std::to_string(span.depth);
+    if (!span.pass.empty())
+      out += ",\"pass\":\"" + diag::json_escape(span.pass) + "\"";
+    out += "}}";
   }
   if (!counters_.empty()) {
     long long ts = 0;

@@ -37,6 +37,11 @@ struct Span {
   long long start_us = 0;  // since the tracer's construction
   long long dur_us = 0;
   int depth = 0;  // nesting level at begin time (0 = top-level phase)
+  // Which compilation pass the span ran under ("validate", "generate",
+  // "report"; "" outside any pass).  Disambiguates the analysis phases
+  // that legitimately run twice — once for validation, once inside the
+  // generator — in the exported flame view (Chrome trace `args.pass`).
+  std::string pass;
 };
 
 class Tracer {
@@ -50,6 +55,15 @@ class Tracer {
   // Span protocol used by Scope; begin returns the span's index.
   std::size_t begin_span(std::string_view name);
   void end_span(std::size_t index);
+
+  // Appends an already-finished span verbatim (depth/timestamps kept).
+  // Used when reassembling a child's trace from the isolation pipe.
+  void add_span(Span span);
+
+  // Pass label stamped onto spans begun while it is set; PassScope is the
+  // RAII driver.  Returns the previous label for restoration.
+  std::string set_pass(std::string pass);
+  const std::string& pass() const { return pass_; }
 
   const std::vector<Span>& spans() const { return spans_; }
   // Counters in first-touch order.
@@ -73,6 +87,7 @@ class Tracer {
 
   std::chrono::steady_clock::time_point epoch_;
   int depth_ = 0;
+  std::string pass_;
   std::vector<Span> spans_;
   std::vector<std::pair<std::string, long long>> counters_;
   std::vector<std::pair<std::string, std::string>> metadata_;
@@ -94,6 +109,20 @@ class Scope {
  private:
   Tracer* tracer_;
   std::size_t index_ = 0;
+};
+
+// RAII pass label over the installed tracer: spans begun inside the scope
+// carry `pass` in the Chrome trace args.  No-op when tracing is off.
+class PassScope {
+ public:
+  explicit PassScope(std::string_view pass);
+  ~PassScope();
+  PassScope(const PassScope&) = delete;
+  PassScope& operator=(const PassScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string previous_;
 };
 
 inline void count(std::string_view name, long long delta = 1) {

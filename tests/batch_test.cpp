@@ -785,5 +785,237 @@ TEST(FrodocBatch, IsolationFlagsRequireBatchMode) {
   EXPECT_NE(err.find("--batch"), std::string::npos) << err;
 }
 
+// -- Telemetry (docs/OBSERVABILITY.md, "Metrics & event ledger") --------------
+
+// A ledger with every line truncated at its trailing timings_us object: the
+// schema confines wall-clock numbers there, so this prefix must be
+// byte-identical across worker counts and repeated runs.
+std::string ledger_modulo_timing(const std::string& ledger) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < ledger.size()) {
+    std::size_t end = ledger.find('\n', start);
+    if (end == std::string::npos) end = ledger.size();
+    std::string line = ledger.substr(start, end - start);
+    const std::size_t timings = line.find("\"timings_us\"");
+    if (timings != std::string::npos) line.resize(timings);
+    out += line;
+    out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+// A snapshot minus its wall-clock content: sample lines of families flagged
+// "timing": true, the rollups "timing" sub-object, and the echoed jobs
+// gauge (which legitimately differs across --jobs, like the report's jobs
+// field).
+std::string snapshot_modulo_timing(const std::string& snapshot) {
+  std::string out;
+  bool skip_samples = false;
+  std::size_t start = 0;
+  while (start < snapshot.size()) {
+    std::size_t end = snapshot.find('\n', start);
+    if (end == std::string::npos) end = snapshot.size();
+    const std::string line = snapshot.substr(start, end - start);
+    start = end + 1;
+    if (line.find("\"name\":") != std::string::npos) {
+      skip_samples = line.find("\"timing\": true") != std::string::npos ||
+                     line.find("\"frodo_batch_jobs\"") != std::string::npos;
+      out += line;
+      out += '\n';
+      continue;
+    }
+    if (skip_samples && line.find("\"labels\":") != std::string::npos)
+      continue;
+    if (line.find("\"timing\": {") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(FrodocTelemetry, LedgerAndSnapshotDeterministicAcrossJobs) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(6, &paths);
+
+  std::vector<std::string> ledgers;
+  std::vector<std::string> snapshots;
+  for (int jobs : {1, 4, 8}) {
+    const std::string events = unique_dir("tele") + "/e.jsonl";
+    const std::string metrics = unique_dir("tele") + "/m.prom";
+    std::string err;
+    ASSERT_EQ(run_frodoc("--batch '" + models + "' --jobs " +
+                             std::to_string(jobs) + " --out '" +
+                             unique_dir("tele_out") + "' --events-out '" +
+                             events + "' --metrics-out '" + metrics + "'",
+                         nullptr, &err),
+              0)
+        << err;
+    ledgers.push_back(ledger_modulo_timing(read_file(events)));
+    snapshots.push_back(snapshot_modulo_timing(read_file(metrics + ".json")));
+    // The Prometheus text carries histogram/latency values, but its sample
+    // *sets* (families, label combinations) must agree; spot-check the
+    // deterministic counters verbatim.
+    const std::string prom = read_file(metrics);
+    EXPECT_NE(prom.find("frodo_compiles_total{generator=\"frodo\","
+                        "outcome=\"ok\"} 6"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("frodo_batch_models 6"), std::string::npos);
+  }
+  EXPECT_EQ(ledgers[0], ledgers[1]);
+  EXPECT_EQ(ledgers[0], ledgers[2]);
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+
+  // Six records in batch (sorted-path) order with the deterministic fields
+  // populated.
+  int index = 0;
+  std::size_t at = 0;
+  for (const std::string& path : paths) {
+    const std::string name =
+        path.substr(path.find_last_of('/') + 1);
+    const std::string model = name.substr(0, name.find('.'));
+    const std::string want = "\"index\": " + std::to_string(index++) +
+                             ", \"input\": \"" + path + "\", \"model\": \"" +
+                             model + "\"";
+    const std::size_t found = ledgers[0].find(want, at);
+    ASSERT_NE(found, std::string::npos) << want << "\n" << ledgers[0];
+    at = found;
+  }
+}
+
+TEST(FrodocTelemetry, IsolatedCrashAndRetryLedgerIsReproducible) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(3, &paths);
+  const std::string victim = paths[1].substr(paths[1].find_last_of('/') + 1);
+  // Each re-forked child re-arms the fault from the environment, so the
+  // victim crashes on the retry too: attempts 2, outcome "crash", and the
+  // other two models compile — same story on every run.
+  const std::string fault = "FRODO_FAULT='pass.range:1:crash@" + victim + "'";
+
+  std::vector<std::string> ledgers;
+  std::vector<std::string> snapshots;
+  for (int run = 0; run < 2; ++run) {
+    const std::string events = unique_dir("crash_tele") + "/e.jsonl";
+    const std::string metrics = unique_dir("crash_tele") + "/m.prom";
+    std::string err;
+    EXPECT_EQ(run_frodoc_env(fault,
+                             "--batch '" + models +
+                                 "' --isolate process --retries 1 "
+                                 "--retry-backoff 10 --jobs 2 --out '" +
+                                 unique_dir("crash_out") + "' --events-out '" +
+                                 events + "' --metrics-out '" + metrics + "'",
+                             nullptr, &err),
+              1)
+        << err;
+    ledgers.push_back(ledger_modulo_timing(read_file(events)));
+    snapshots.push_back(snapshot_modulo_timing(read_file(metrics + ".json")));
+  }
+  EXPECT_EQ(ledgers[0], ledgers[1]);
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+
+  EXPECT_NE(ledgers[0].find("\"outcome\": \"crash\""), std::string::npos)
+      << ledgers[0];
+  EXPECT_NE(ledgers[0].find("\"attempts\": 2, \"retries\": 1"),
+            std::string::npos)
+      << ledgers[0];
+  EXPECT_NE(snapshots[0].find("\"frodo_retries_total\""), std::string::npos);
+  EXPECT_NE(
+      snapshots[0].find("\"labels\": \"generator=\\\"frodo\\\","
+                        "outcome=\\\"crash\\\"\", \"value\": 1"),
+      std::string::npos)
+      << snapshots[0];
+}
+
+// The PR's acceptance scenario: ten models at --jobs 4 with both sinks.
+TEST(FrodocTelemetry, TenModelWarmCacheLedgersAgreeModuloTiming) {
+  std::vector<std::string> paths;
+  const std::string models = write_bench_models(10, &paths);
+  ASSERT_EQ(paths.size(), 10u);
+  const std::string cache = unique_dir("accept_cache");
+  const std::string common = "--batch '" + models +
+                             "' --jobs 4 --cache-dir '" + cache + "'";
+
+  // Cold run primes the cache; two warm runs must agree modulo timing.
+  ASSERT_EQ(run_frodoc(common + " --out '" + unique_dir("accept_out") + "'"),
+            0);
+  std::vector<std::string> ledgers;
+  for (int run = 0; run < 2; ++run) {
+    const std::string events = unique_dir("accept") + "/e.jsonl";
+    const std::string metrics = unique_dir("accept") + "/m.prom";
+    std::string err;
+    ASSERT_EQ(run_frodoc(common + " --out '" + unique_dir("accept_out") +
+                             "' --metrics-out '" + metrics +
+                             "' --events-out '" + events + "'",
+                         nullptr, &err),
+              0)
+        << err;
+    const std::string ledger = read_file(events);
+    ledgers.push_back(ledger_modulo_timing(ledger));
+    // Exactly ten records, all warm hits, fields populated.
+    int lines = 0;
+    for (char c : ledger)
+      if (c == '\n') ++lines;
+    EXPECT_EQ(lines, 10);
+    for (int i = 0; i < 10; ++i)
+      EXPECT_NE(ledger.find("\"index\": " + std::to_string(i) + ","),
+                std::string::npos);
+    EXPECT_EQ(ledger.find("\"cache\": \"miss\""), std::string::npos);
+    EXPECT_NE(ledger.find("\"cache\": \"hit\""), std::string::npos);
+
+    const std::string prom = read_file(metrics);
+    EXPECT_NE(prom.find("frodo_cache_lookups_total{result=\"hit\"} 10"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("frodo_compile_latency_seconds_count{"
+                        "generator=\"frodo\",outcome=\"ok\"} 10"),
+              std::string::npos);
+  }
+  EXPECT_EQ(ledgers[0], ledgers[1]);
+}
+
+TEST(FrodocTelemetry, BatchEventsCaptureCacheAndPhases) {
+  std::vector<std::string> paths;
+  write_bench_models(2, &paths);
+  batch::BatchOptions options;
+  options.write_outputs = false;
+  options.cache_dir = unique_dir("tele_cache");
+
+  const batch::BatchResult cold = batch::compile_batch(paths, options);
+  ASSERT_EQ(cold.exit_code, 0);
+  const batch::BatchResult warm = batch::compile_batch(paths, options);
+  ASSERT_EQ(warm.exit_code, 0);
+
+  const auto cold_events = batch::batch_events(cold, options);
+  const auto warm_events = batch::batch_events(warm, options);
+  ASSERT_EQ(cold_events.size(), 2u);
+  ASSERT_EQ(warm_events.size(), 2u);
+  for (const auto& ev : cold_events) {
+    EXPECT_EQ(ev.cache, "miss");
+    EXPECT_EQ(ev.outcome, "ok");
+    // Phase timings surface from the per-model tracer: the cold compile ran
+    // Algorithm 1 itself.
+    bool ranged = false;
+    for (const auto& [phase, us] : ev.timings_us)
+      if (phase == "range_analysis") ranged = true;
+    EXPECT_TRUE(ranged);
+  }
+  for (const auto& ev : warm_events) EXPECT_EQ(ev.cache, "hit");
+
+  const metrics::Rollups rollups = batch::batch_rollups(warm);
+  EXPECT_EQ(rollups.models, 2);
+  EXPECT_EQ(rollups.ok, 2);
+  EXPECT_EQ(rollups.cache_hits, 2);
+
+  metrics::Registry registry;
+  batch::record_batch_metrics(warm, options, &registry);
+  const std::string prom = registry.prometheus_text();
+  EXPECT_NE(prom.find("frodo_cache_lookups_total{result=\"hit\"} 2"),
+            std::string::npos)
+      << prom;
+}
+
 }  // namespace
 }  // namespace frodo

@@ -498,5 +498,77 @@ TEST(Frodoc, XmlInputAlsoAccepted) {
   EXPECT_TRUE(std::filesystem::exists(out + "/Simpson.c"));
 }
 
+// -- Telemetry sinks (docs/OBSERVABILITY.md) ----------------------------------
+
+TEST(Frodoc, SingleModelMetricsAndEventsOut) {
+  const std::string package = write_sample_package();
+  const std::string out = tmpdir() + "/tele_bundle";
+  const std::string prom = unique_file("metrics", ".prom");
+  const std::string events = unique_file("events", ".jsonl");
+  std::string text;
+  ASSERT_EQ(run("'" + package + "' --out '" + out + "' --metrics-out '" +
+                    prom + "' --events-out '" + events + "'",
+                &text),
+            0)
+      << text;
+
+  auto exposition = zip::read_file(prom);
+  ASSERT_TRUE(exposition.is_ok());
+  EXPECT_NE(exposition.value().find(
+                "# TYPE frodo_compiles_total counter"),
+            std::string::npos);
+  EXPECT_NE(exposition.value().find("frodo_compiles_total{generator="
+                                    "\"frodo\",outcome=\"ok\"} 1"),
+            std::string::npos)
+      << exposition.value();
+
+  auto snapshot = zip::read_file(prom + ".json");
+  ASSERT_TRUE(snapshot.is_ok());
+  auto doc = json::parse(snapshot.value());
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  EXPECT_EQ(doc.value().find("schema")->string, "frodo.metrics/1");
+  ASSERT_NE(doc.value().find("rollups"), nullptr);
+
+  auto ledger = zip::read_file(events);
+  ASSERT_TRUE(ledger.is_ok());
+  auto record = json::parse(ledger.value());
+  ASSERT_TRUE(record.is_ok()) << ledger.value();
+  EXPECT_EQ(record.value().find("schema")->string, "frodo.event/1");
+  EXPECT_EQ(record.value().find("model")->string, "Back");
+  EXPECT_EQ(record.value().find("outcome")->string, "ok");
+  // The single-model path still reports per-phase timings from the tracer.
+  const json::Value* timings = record.value().find("timings_us");
+  ASSERT_NE(timings, nullptr);
+  EXPECT_NE(timings->find("total"), nullptr);
+  EXPECT_NE(timings->find("emit"), nullptr);
+}
+
+TEST(Frodoc, UnwritableMetricsOutIsE902AndKeepsBundle) {
+  const std::string package = write_sample_package();
+  const std::string out = tmpdir() + "/e902_metrics_bundle";
+  std::string text;
+  EXPECT_EQ(run("'" + package + "' --out '" + out +
+                    "' --metrics-out /definitely/not/writable/m.prom",
+                &text),
+            2)
+      << text;
+  EXPECT_NE(text.find("FRODO-E902"), std::string::npos) << text;
+  // The failed export never forfeits the generated bundle.
+  EXPECT_TRUE(std::filesystem::exists(out + "/Back.c"));
+}
+
+TEST(Frodoc, UnwritableEventsOutIsE902AndKeepsBundle) {
+  const std::string package = write_sample_package();
+  const std::string out = tmpdir() + "/e902_events_bundle";
+  std::string text;
+  EXPECT_EQ(run("'" + package + "' --out '" + out +
+                    "' --events-out /definitely/not/writable/e.jsonl",
+                &text),
+            2)
+      << text;
+  EXPECT_NE(text.find("FRODO-E902"), std::string::npos) << text;
+  EXPECT_TRUE(std::filesystem::exists(out + "/Back.c"));
+}
+
 }  // namespace
 }  // namespace frodo

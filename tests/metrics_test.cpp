@@ -1,0 +1,323 @@
+// Tests of the compile-fleet telemetry layer (support/metrics): the labeled
+// registry, the Prometheus exposition, the JSON snapshot, and the
+// "frodo.event/1" ledger rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/metrics/ledger.hpp"
+#include "support/metrics/registry.hpp"
+
+namespace frodo {
+namespace {
+
+// ---- Labels ----------------------------------------------------------------
+
+TEST(MetricsLabels, SortsByKeyAndRendersCanonically) {
+  metrics::Labels a{{"outcome", "ok"}, {"generator", "frodo"}};
+  metrics::Labels b{{"generator", "frodo"}, {"outcome", "ok"}};
+  EXPECT_EQ(a.text(), b.text());
+  EXPECT_EQ(a.text(), "generator=\"frodo\",outcome=\"ok\"");
+  EXPECT_EQ(metrics::Labels{}.text(), "");
+}
+
+TEST(MetricsLabels, EscapesValues) {
+  metrics::Labels l{{"path", "a\"b\\c\nd"}};
+  EXPECT_EQ(l.text(), "path=\"a\\\"b\\\\c\\nd\"");
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersAccumulateGaugesOverwrite) {
+  metrics::Registry reg;
+  metrics::Labels l{{"result", "hit"}};
+  reg.add("frodo_cache_lookups_total", l);
+  reg.add("frodo_cache_lookups_total", l, 2.0);
+  reg.set("frodo_batch_jobs", {}, 4.0);
+  reg.set("frodo_batch_jobs", {}, 8.0);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("frodo_cache_lookups_total{result=\"hit\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("frodo_batch_jobs 8"), std::string::npos);
+  EXPECT_EQ(text.find("frodo_batch_jobs 4"), std::string::npos);
+}
+
+TEST(MetricsRegistry, KindPinnedByFirstTouch) {
+  metrics::Registry reg;
+  reg.add("frodo_retries_total", {}, 2.0);
+  // Malformed instrumentation: the same family touched as a gauge and a
+  // histogram.  Both must be ignored, not corrupt the counter.
+  reg.set("frodo_retries_total", {}, 99.0);
+  reg.observe("frodo_retries_total", {}, 1.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("frodo_retries_total 2"), std::string::npos);
+  EXPECT_EQ(text.find("99"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramRendersCumulativeBuckets) {
+  metrics::Registry reg;
+  metrics::Labels l{{"generator", "frodo"}, {"outcome", "ok"}};
+  // One observation inside the first bucket (<= 100 us), one around 1 ms,
+  // one beyond the last bound (~13.1 s) that only the +Inf bucket catches.
+  reg.observe("frodo_compile_latency_seconds", l, 0.00005);
+  reg.observe("frodo_compile_latency_seconds", l, 0.001);
+  reg.observe("frodo_compile_latency_seconds", l, 60.0);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE frodo_compile_latency_seconds histogram"),
+            std::string::npos);
+  // First bound holds exactly the 50 us observation.
+  EXPECT_NE(text.find("le=\"0.0001\"} 1"), std::string::npos);
+  // The +Inf bucket equals _count.
+  EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(
+      text.find("frodo_compile_latency_seconds_count{generator=\"frodo\","
+                "outcome=\"ok\"} 3"),
+      std::string::npos);
+
+  // Cumulative counts never decrease across the rendered bucket series.
+  long long last = -1;
+  std::size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("_bucket{", pos)) != std::string::npos) {
+    const std::size_t space = text.find(' ', pos);
+    const std::size_t eol = text.find('\n', space);
+    const long long v = std::stoll(text.substr(space + 1, eol - space - 1));
+    EXPECT_GE(v, last);
+    last = v;
+    ++buckets_seen;
+    pos = eol;
+  }
+  // 18 finite bounds + the +Inf bucket.
+  EXPECT_EQ(buckets_seen, 19);
+}
+
+TEST(MetricsRegistry, HistogramBoundsDoubleFromHundredMicroseconds) {
+  const std::vector<double>& bounds = metrics::histogram_bounds();
+  ASSERT_EQ(bounds.size(), 18u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.0001);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+}
+
+TEST(MetricsRegistry, DeterministicAcrossInsertionOrder) {
+  metrics::Registry a;
+  metrics::Registry b;
+  metrics::Labels ok{{"generator", "frodo"}, {"outcome", "ok"}};
+  metrics::Labels err{{"generator", "frodo"}, {"outcome", "error"}};
+  a.add("frodo_compiles_total", ok, 3);
+  a.add("frodo_compiles_total", err, 1);
+  a.set("frodo_batch_models", {}, 4);
+  // Same content, reversed call order (the worker-interleaving case).
+  b.set("frodo_batch_models", {}, 4);
+  b.add("frodo_compiles_total", err, 1);
+  b.add("frodo_compiles_total", ok, 3);
+  EXPECT_EQ(a.prometheus_text(), b.prometheus_text());
+  EXPECT_EQ(a.json_snapshot(), b.json_snapshot());
+}
+
+TEST(MetricsRegistry, AbsorbMergesSamples) {
+  metrics::Registry a;
+  metrics::Registry b;
+  a.add("frodo_compiles_total", {}, 2);
+  a.set("frodo_batch_jobs", {}, 1);
+  a.observe("frodo_compile_latency_seconds", {}, 0.001);
+  b.add("frodo_compiles_total", {}, 3);
+  b.set("frodo_batch_jobs", {}, 8);
+  b.observe("frodo_compile_latency_seconds", {}, 0.002);
+
+  a.absorb(b);
+  const std::string text = a.prometheus_text();
+  EXPECT_NE(text.find("frodo_compiles_total 5"), std::string::npos);
+  EXPECT_NE(text.find("frodo_batch_jobs 8"), std::string::npos);
+  EXPECT_NE(text.find("frodo_compile_latency_seconds_count 2"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotIsSchemaVersionedJson) {
+  metrics::Registry reg;
+  reg.add("frodo_compiles_total", {{"generator", "frodo"}, {"outcome", "ok"}});
+  reg.observe("frodo_compile_latency_seconds",
+              {{"generator", "frodo"}, {"outcome", "ok"}}, 0.01);
+  metrics::Rollups rollups;
+  rollups.models = 10;
+  rollups.ok = 10;
+  rollups.wall_us = 12345;
+  rollups.models_per_sec = 810.0;
+
+  auto doc = json::parse(reg.json_snapshot(&rollups));
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const json::Value& snap = doc.value();
+  ASSERT_NE(snap.find("schema"), nullptr);
+  EXPECT_EQ(snap.find("schema")->string, "frodo.metrics/1");
+  ASSERT_NE(snap.find("version"), nullptr);
+  EXPECT_NE(snap.find("version")->string.find("frodo-codegen"),
+            std::string::npos);
+
+  const json::Value* families = snap.find("families");
+  ASSERT_NE(families, nullptr);
+  ASSERT_TRUE(families->is_array());
+  bool saw_latency = false;
+  for (const json::Value& fam : families->items) {
+    ASSERT_NE(fam.find("name"), nullptr);
+    ASSERT_NE(fam.find("type"), nullptr);
+    ASSERT_NE(fam.find("timing"), nullptr);
+    if (fam.find("name")->string == "frodo_compile_latency_seconds") {
+      saw_latency = true;
+      EXPECT_EQ(fam.find("type")->string, "histogram");
+      // Latencies are wall-clock-derived: flagged for modulo-timing diffs.
+      EXPECT_TRUE(fam.find("timing")->boolean);
+    }
+    if (fam.find("name")->string == "frodo_compiles_total") {
+      EXPECT_FALSE(fam.find("timing")->boolean);
+    }
+  }
+  EXPECT_TRUE(saw_latency);
+
+  const json::Value* roll = snap.find("rollups");
+  ASSERT_NE(roll, nullptr);
+  EXPECT_DOUBLE_EQ(roll->find("models")->number, 10.0);
+  // Wall-clock-derived rollups live only under the "timing" sub-object.
+  const json::Value* timing = roll->find("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_DOUBLE_EQ(timing->find("wall_us")->number, 12345.0);
+  EXPECT_DOUBLE_EQ(timing->find("models_per_sec")->number, 810.0);
+}
+
+TEST(MetricsRegistry, EmptyRegistry) {
+  metrics::Registry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add("frodo_compiles_total", {});
+  EXPECT_FALSE(reg.empty());
+}
+
+// ---- Installation-based helpers --------------------------------------------
+
+TEST(MetricsInstall, HelpersNoOpWithoutRegistry) {
+  ASSERT_EQ(metrics::current(), nullptr);
+  metrics::count("frodo_orphan_total");
+  metrics::gauge("frodo_orphan", {}, 1.0);
+  metrics::observe_seconds("frodo_orphan_seconds", {}, 0.1);
+}
+
+TEST(MetricsInstall, HelpersFeedInstalledRegistry) {
+  metrics::Registry reg;
+  metrics::Registry* prev = metrics::install(&reg);
+  metrics::count("frodo_retries_total", {}, 2.0);
+  metrics::gauge("frodo_batch_jobs", {}, 4.0);
+  metrics::observe_seconds("frodo_compile_latency_seconds", {}, 0.001);
+  EXPECT_EQ(metrics::install(prev), &reg);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("frodo_retries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("frodo_batch_jobs 4"), std::string::npos);
+  EXPECT_NE(text.find("frodo_compile_latency_seconds_count 1"),
+            std::string::npos);
+}
+
+// ---- Rollups ---------------------------------------------------------------
+
+TEST(MetricsRollups, NearestRankPercentile) {
+  EXPECT_EQ(metrics::percentile_us({}, 50.0), 0);
+  EXPECT_EQ(metrics::percentile_us({7}, 99.0), 7);
+  // Nearest-rank over 1..10: p50 -> 5th value, p95 -> 10th, p99 -> 10th.
+  std::vector<long long> v{10, 1, 9, 2, 8, 3, 7, 4, 6, 5};
+  EXPECT_EQ(metrics::percentile_us(v, 50.0), 5);
+  EXPECT_EQ(metrics::percentile_us(v, 95.0), 10);
+  EXPECT_EQ(metrics::percentile_us(v, 99.0), 10);
+}
+
+TEST(MetricsRollups, RollupTextSummarizes) {
+  metrics::Rollups r;
+  r.models = 10;
+  r.ok = 9;
+  r.failed = 1;
+  r.cache_hits = 4;
+  r.cache_misses = 5;
+  r.retries = 2;
+  r.wall_us = 2000000;
+  r.models_per_sec = 5.0;
+  r.p50_us = 1500;
+  const std::string text = metrics::rollup_text(r);
+  EXPECT_NE(text.find("10"), std::string::npos);
+  EXPECT_NE(text.find("models/sec"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+}
+
+// ---- Event ledger ----------------------------------------------------------
+
+metrics::CompileEvent sample_event() {
+  metrics::CompileEvent ev;
+  ev.index = 3;
+  ev.input = "models/Back.slxz";
+  ev.model = "Back";
+  ev.generator = "frodo";
+  ev.outcome = "ok";
+  ev.exit_code = 0;
+  ev.cache = "hit";
+  ev.tuned_source = "cache";
+  ev.degraded = "none";
+  ev.attempts = 2;
+  ev.errors = 0;
+  ev.warnings = 1;
+  ev.timings_us = {{"total", 1234}, {"parse", 100}, {"analyze", 500}};
+  return ev;
+}
+
+TEST(MetricsLedger, RecordIsOneSchemaStampedJsonLine) {
+  const std::string line = metrics::event_json_line(sample_event());
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one line
+
+  auto doc = json::parse(line);
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const json::Value& rec = doc.value();
+  EXPECT_EQ(rec.find("schema")->string, "frodo.event/1");
+  EXPECT_DOUBLE_EQ(rec.find("index")->number, 3.0);
+  EXPECT_EQ(rec.find("model")->string, "Back");
+  EXPECT_EQ(rec.find("outcome")->string, "ok");
+  EXPECT_EQ(rec.find("cache")->string, "hit");
+  EXPECT_EQ(rec.find("tuned_source")->string, "cache");
+  EXPECT_EQ(rec.find("degraded")->string, "none");
+  EXPECT_DOUBLE_EQ(rec.find("attempts")->number, 2.0);
+  // Derived, never stored: retries = attempts - 1.
+  EXPECT_DOUBLE_EQ(rec.find("retries")->number, 1.0);
+  const json::Value* timings = rec.find("timings_us");
+  ASSERT_NE(timings, nullptr);
+  EXPECT_DOUBLE_EQ(timings->find("total")->number, 1234.0);
+  EXPECT_DOUBLE_EQ(timings->find("analyze")->number, 500.0);
+}
+
+TEST(MetricsLedger, TimingsAreTheLastField) {
+  // The modulo-timing comparison story (docs/OBSERVABILITY.md) depends on
+  // every wall-clock number living in the trailing timings_us object.
+  const std::string line = metrics::event_json_line(sample_event());
+  const std::size_t timings = line.find("\"timings_us\"");
+  ASSERT_NE(timings, std::string::npos);
+  EXPECT_EQ(line.find("\"total\""), line.find("\"total\"", timings));
+  // Deterministic prefix: identical events differing only in timings agree
+  // byte-for-byte up to the timings_us key.
+  metrics::CompileEvent other = sample_event();
+  other.timings_us = {{"total", 9999}};
+  const std::string other_line = metrics::event_json_line(other);
+  EXPECT_EQ(line.substr(0, timings), other_line.substr(0, timings));
+}
+
+TEST(MetricsLedger, LedgerConcatenatesInOrder) {
+  metrics::CompileEvent a = sample_event();
+  a.index = 0;
+  metrics::CompileEvent b = sample_event();
+  b.index = 1;
+  b.outcome = "crash";
+  b.exit_code = 1;
+  const std::string ledger = metrics::ledger_text({a, b});
+  EXPECT_EQ(ledger,
+            metrics::event_json_line(a) + metrics::event_json_line(b));
+}
+
+}  // namespace
+}  // namespace frodo

@@ -150,6 +150,71 @@ TEST(Trace, ChromeJsonIsValidAndComplete) {
             std::string::npos);
 }
 
+TEST(Trace, PassScopeStampsSpans) {
+  trace::Tracer tracer;
+  trace::Tracer* prev = trace::install(&tracer);
+  { trace::Scope s("parse"); }  // before any pass: unlabeled
+  {
+    trace::PassScope validate("validate");
+    { trace::Scope s("analyze"); }
+    {
+      trace::PassScope generate("generate");
+      { trace::Scope s("analyze"); }  // same name, different pass
+    }
+    { trace::Scope s("flatten"); }  // inner scope restored the outer pass
+  }
+  { trace::Scope s("write_output"); }  // outermost scope restored ""
+  trace::install(prev);
+
+  ASSERT_EQ(tracer.spans().size(), 5u);
+  EXPECT_EQ(tracer.spans()[0].pass, "");
+  EXPECT_EQ(tracer.spans()[1].pass, "validate");
+  EXPECT_EQ(tracer.spans()[2].pass, "generate");
+  EXPECT_EQ(tracer.spans()[3].pass, "validate");
+  EXPECT_EQ(tracer.spans()[4].pass, "");
+}
+
+TEST(Trace, PassScopeNoOpWithoutTracer) {
+  ASSERT_EQ(trace::current(), nullptr);
+  trace::PassScope orphan("validate");  // must not crash
+}
+
+TEST(Trace, ChromeJsonCarriesPassAttribute) {
+  trace::Tracer tracer;
+  trace::Tracer* prev = trace::install(&tracer);
+  { trace::Scope s("parse"); }
+  {
+    trace::PassScope pass("validate");
+    { trace::Scope s("analyze"); }
+  }
+  trace::install(prev);
+
+  auto doc = json::parse(tracer.chrome_json());
+  ASSERT_TRUE(doc.is_ok()) << doc.message();
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_parse = false;
+  bool saw_analyze = false;
+  for (const json::Value& ev : events->items) {
+    const json::Value* name = ev.find("name");
+    if (name == nullptr) continue;
+    const json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    if (name->string == "parse") {
+      saw_parse = true;
+      // Unlabeled spans carry no pass attribute at all.
+      EXPECT_EQ(args->find("pass"), nullptr);
+    } else if (name->string == "analyze") {
+      saw_analyze = true;
+      const json::Value* pass = args->find("pass");
+      ASSERT_NE(pass, nullptr);
+      EXPECT_EQ(pass->string, "validate");
+    }
+  }
+  EXPECT_TRUE(saw_parse);
+  EXPECT_TRUE(saw_analyze);
+}
+
 TEST(Trace, SummaryTextListsPhasesAndCounters) {
   trace::Tracer tracer;
   trace::Tracer* prev = trace::install(&tracer);
