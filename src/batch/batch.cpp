@@ -538,7 +538,13 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
       ModelOutcome& outcome = result.models[i];
       outcome.tracer.set_metadata("model", outcome.input_path);
       outcome.tracer.set_metadata("generator", options.generator);
-      trace::Tracer* previous = trace::install(&outcome.tracer);
+      // RAII installation: a compile that unwinds with an exception must
+      // restore this worker thread's previous tracer, or the next model
+      // compiled here would interleave its spans into the wrong tracer.
+      // (The manual install/restore pair this replaces leaked on every
+      // non-bad_alloc throw — a latent cross-request state leak once a
+      // long-lived daemon reuses the thread.)
+      trace::InstallScope trace_scope(&outcome.tracer);
       // Per-model deadline: cooperative polls in the pass loops unwind with
       // FRODO-E911.  The token is installed on this worker and re-installed
       // by the intra-model fan-out points.
@@ -562,7 +568,6 @@ BatchResult compile_batch(const std::vector<std::string>& inputs,
         outcome.exit_code = 1;
       }
       outcome.compile_us = elapsed_us(start);
-      trace::install(previous);
     });
   }
 

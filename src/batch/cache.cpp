@@ -163,6 +163,15 @@ std::string AnalysisCache::tuned_entry_path(const std::string& key) const {
 bool AnalysisCache::read_framed(const std::string& path,
                                 std::string* payload) const {
   namespace fs = std::filesystem;
+  if (resident_) {
+    std::lock_guard<std::mutex> lock(resident_mutex_);
+    auto found = resident_entries_.find(path);
+    if (found != resident_entries_.end()) {
+      *payload = found->second;
+      return true;
+    }
+  }
+  if (dir_.empty()) return false;  // memory-only cache: cold entry
   std::string text;
   {
     std::ifstream in(path, std::ios::binary);
@@ -178,6 +187,10 @@ bool AnalysisCache::read_framed(const std::string& path,
   if (eol != std::string::npos && text.compare(0, 7, kChecksumPrefix) == 0) {
     std::string body = text.substr(eol + 1);
     if (text.substr(7, eol - 7) == support::sha256_hex(body)) {
+      if (resident_) {
+        std::lock_guard<std::mutex> lock(resident_mutex_);
+        resident_entries_[path] = body;
+      }
       *payload = std::move(body);
       return true;
     }
@@ -192,6 +205,11 @@ bool AnalysisCache::read_framed(const std::string& path,
 void AnalysisCache::write_framed(const std::string& path,
                                  const std::string& payload) const {
   namespace fs = std::filesystem;
+  if (resident_) {
+    std::lock_guard<std::mutex> lock(resident_mutex_);
+    resident_entries_[path] = payload;
+  }
+  if (dir_.empty()) return;  // memory-only cache: nothing to persist
   std::error_code ec;
   fs::create_directories(dir_, ec);
   std::call_once(sweep_once_, [this] { sweep_stale_tmp_files(); });
@@ -266,20 +284,40 @@ void AnalysisCache::store_tuned(
 // Removes `*.tmp.<pid>` files whose writer is gone — a worker that crashed
 // or was killed mid-store (exactly what --isolate=process does to a wedged
 // child) never reaches its rename-or-remove, and those orphans otherwise
-// accumulate forever in a shared cache directory.  Live writers (their pid
-// still exists) are left alone.
+// accumulate forever in a shared cache directory.
+//
+// With a daemon and CLI clients sharing one cache directory the pid probe
+// alone is not enough:
+//   * kill(pid, 0) can report "alive" for an *unrelated* process that
+//     recycled a dead writer's pid (same-PID reuse) — so files older than
+//     kTmpSweepMaxAgeSeconds are swept regardless of the probe;
+//   * conversely a writer that just created its temp file must never lose
+//     it to a concurrently-starting process whose probe misfires (EPERM
+//     across uid boundaries makes liveness ambiguous) — so files younger
+//     than kTmpSweepGraceSeconds are never swept, no matter what the probe
+//     says.
 void AnalysisCache::sweep_stale_tmp_files() const {
   namespace fs = std::filesystem;
   std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
     const std::size_t tag = name.rfind(".tmp.");
     if (tag == std::string::npos) continue;
     long long pid = 0;
     if (!parse_int(name.substr(tag + 5), &pid) || pid <= 0) continue;
-    if (pid == static_cast<long long>(::getpid()) ||
-        (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH))
-      continue;
+    std::error_code time_ec;
+    const auto mtime = fs::last_write_time(entry.path(), time_ec);
+    if (time_ec) continue;  // racing writer finished (renamed/removed it)
+    const long long age_s =
+        std::chrono::duration_cast<std::chrono::seconds>(now - mtime).count();
+    if (age_s < kTmpSweepGraceSeconds) continue;
+    if (age_s < kTmpSweepMaxAgeSeconds) {
+      const bool probably_alive =
+          pid == static_cast<long long>(::getpid()) ||
+          ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+      if (probably_alive) continue;
+    }
     std::error_code remove_ec;
     fs::remove(entry.path(), remove_ec);
   }

@@ -17,6 +17,7 @@
 // entry is a miss, a failed store is ignored, and the compile proceeds.
 #pragma once
 
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -57,6 +58,16 @@ class AnalysisCache {
   AnalysisCache(const AnalysisCache&) = delete;
   AnalysisCache& operator=(const AnalysisCache&) = delete;
 
+  // Keeps every framed payload this instance reads or writes resident in
+  // memory, so a long-lived process (frodod) serves warm lookups without
+  // touching disk — and, with an empty `dir`, gets a memory-only cache.
+  // Entries are content-addressed, so the resident copy can never go stale
+  // against another writer of the same directory: an identical key implies
+  // identical content.  Thread-safe (lookups and stores may race across
+  // daemon workers).
+  void set_resident(bool resident) { resident_ = resident; }
+  bool resident() const { return resident_; }
+
   const std::string& dir() const { return dir_; }
   std::string entry_path(const std::string& key) const;
   // Autotuned per-block decision vectors live beside the ranges entry for
@@ -88,7 +99,20 @@ class AnalysisCache {
 
   std::string dir_;
   mutable std::once_flag sweep_once_;
+  // Resident-entry memo (path -> verified payload); only touched when
+  // `resident_` is set.
+  bool resident_ = false;
+  mutable std::mutex resident_mutex_;
+  mutable std::map<std::string, std::string> resident_entries_;
 };
+
+// Stale temp-file sweep policy (exposed for tests).  A `*.tmp.<pid>` file is
+// swept only when it is older than the grace window AND its writer looks
+// dead — or older than the hard age cap regardless of the pid check, since
+// by then the recorded pid has almost certainly been recycled by an
+// unrelated process (same-PID reuse would otherwise pin an orphan forever).
+inline constexpr long long kTmpSweepGraceSeconds = 60;
+inline constexpr long long kTmpSweepMaxAgeSeconds = 6 * 60 * 60;
 
 // Consistency check before trusting a deserialized entry: the per-block
 // port counts must match the model analysis (they always do when the key

@@ -35,7 +35,12 @@ namespace frodo::batch {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Parent-side kill deadlines and retry-backoff sleeps share the cancel
+// token's monotonic clock: a wall-clock adjustment mid-batch must neither
+// SIGKILL a healthy child early nor stall a pending retry.
+using Clock = support::CancelToken::Clock;
+static_assert(Clock::is_steady,
+              "isolation deadlines/backoff must use a monotonic clock");
 
 // Child exit codes with protocol meaning (anything else, or a signal, is a
 // crash).  High values keep clear of errno-style exits.
@@ -246,19 +251,17 @@ void write_all(int fd, const std::string& data) {
       options.timeout_per_model_ms > 0 ? &token : nullptr);
   support::faultinject::ScopedContext fault_context(path);
 
-  trace::Tracer* previous = trace::install(&outcome.tracer);
+  trace::InstallScope trace_scope(&outcome.tracer);
   const auto started = Clock::now();
   try {
     outcome.exit_code =
         compile_one_model(path, options, cache, nullptr, &outcome);
   } catch (const std::bad_alloc&) {
-    trace::install(previous);
     ::_exit(kExitOom);
   }
   outcome.compile_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            Clock::now() - started)
                            .count();
-  trace::install(previous);
 
   write_all(fd, encode_outcome(outcome));
   ::_exit(kExitRecord);

@@ -43,6 +43,14 @@
 //   --retry-backoff MS exponential backoff base between retries (default 100)
 //   --list-fault-sites print the registered fault-injection sites (see
 //                      FRODO_FAULT in docs/ROBUSTNESS.md) and exit
+//   --connect SOCK     forward the compile to a running frodod daemon at
+//                      SOCK and render its results as if compiled locally
+//                      (docs/DAEMON.md)
+//   --priority P       normal (default) | high — the daemon queue class of
+//                      a forwarded compile (with --connect)
+//   --daemon-verb V    metrics | health | shutdown — query or stop the
+//                      daemon instead of compiling (with --connect);
+//                      metrics prints the Prometheus exposition on stdout
 //   --print-ranges     dump the calculation ranges (Algorithm 1); composes
 //                      with --report (ranges first, then the report), then
 //                      exits without generating code
@@ -75,6 +83,8 @@
 // the worst per-model code.
 //
 // Writes <Model>.c and <Model>.h into the output directory.
+#include <unistd.h>
+
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -82,9 +92,12 @@
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "batch/batch.hpp"
+#include "daemon/client.hpp"
+#include "daemon/protocol.hpp"
 #include "blocks/analysis.hpp"
 #include "blocks/semantics.hpp"
 #include "codegen/generator.hpp"
@@ -94,6 +107,7 @@
 #include "support/cancel.hpp"
 #include "support/diag.hpp"
 #include "support/faultinject.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -115,6 +129,8 @@ int usage(int code) {
                "[--timeout-per-model MS] [--isolate none|process] "
                "[--memory-per-model MB] [--retries N] [--retry-backoff MS] "
                "[--list-fault-sites] "
+               "[--connect SOCK] [--priority normal|high] "
+               "[--daemon-verb metrics|health|shutdown] "
                "[--print-ranges] [--report text|json] [--trace-out FILE] "
                "[--metrics-out FILE] [--events-out FILE] "
                "[--profile-hooks] [-v|--verbose] [--check] "
@@ -170,42 +186,145 @@ void flush_batch_diagnostics(const frodo::batch::BatchResult& result,
   }
 }
 
+frodo::diag::Severity severity_from(const std::string& text) {
+  if (text == "warning") return frodo::diag::Severity::kWarning;
+  if (text == "note") return frodo::diag::Severity::kNote;
+  return frodo::diag::Severity::kError;
+}
+
+// frodoc --connect: forward one compile (or a --daemon-verb query) to a
+// running frodod and render the structured response the way a local run
+// would have — "wrote" lines and the summary on stdout, diagnostics on
+// stderr in the requested --diag-format, the daemon's exit code as ours.
+int run_daemon_client(const std::string& socket, const std::string& verb,
+                      frodo::daemon::CompileRequest req,
+                      const std::vector<std::string>& inputs) {
+  frodo::daemon::Request request;
+  request.id = static_cast<long long>(::getpid());
+  if (!verb.empty()) {
+    request.verb = verb;
+  } else {
+    request.verb = "compile";
+    if (req.batch || req.check || req.print_ranges || req.emit_main ||
+        !req.trace_out.empty() || !req.metrics_out.empty() ||
+        !req.events_out.empty() || !req.cache_dir.empty() ||
+        req.isolate != "none" || req.retries > 0 ||
+        req.memory_per_model_mb > 0 || req.jobs != 1 || req.verbose) {
+      std::fprintf(
+          stderr,
+          "frodoc: --connect forwards a single compile; --batch, --check, "
+          "--print-ranges, --emit-main, --trace-out, --metrics-out, "
+          "--events-out, --verbose and the daemon-side resources "
+          "(--cache-dir, --jobs, --isolate, --retries, --memory-per-model) "
+          "do not compose with it\n");
+      return 2;
+    }
+    if (inputs.size() != 1) {
+      std::fprintf(stderr, "frodoc: --connect expects exactly one MODEL\n");
+      return 2;
+    }
+    // The daemon resolves paths against its own working directory — ship
+    // absolute ones.
+    std::error_code ec;
+    request.model = std::filesystem::absolute(inputs[0], ec).string();
+    req.outdir = std::filesystem::absolute(req.outdir, ec).string();
+    request.options = std::move(req);
+  }
+
+  auto response = frodo::daemon::roundtrip(
+      socket, frodo::daemon::encode_request(request));
+  if (!response.is_ok()) {
+    std::fprintf(stderr, "frodoc: %s\n", response.message().c_str());
+    return 2;
+  }
+  auto parsed = frodo::json::parse(response.value());
+  if (!parsed.is_ok() || !parsed.value().is_object()) {
+    std::fprintf(stderr, "frodoc: malformed daemon response: %s\n",
+                 response.value().c_str());
+    return 2;
+  }
+  const frodo::json::Value& resp = parsed.value();
+  const auto number_field = [&](const char* key, long long fallback) {
+    const frodo::json::Value* v = resp.find(key);
+    return v != nullptr && v->is_number() ? static_cast<long long>(v->number)
+                                          : fallback;
+  };
+
+  // Protocol-level failure (FRODO-E92x: busy daemon, malformed request):
+  // surface the daemon's structured code and message.
+  if (const frodo::json::Value* err = resp.find("error"); err != nullptr) {
+    const frodo::json::Value* code = err->find("code");
+    const frodo::json::Value* message = err->find("message");
+    std::fprintf(stderr, "frodoc: daemon error [%s]: %s\n",
+                 code != nullptr ? code->string.c_str() : "?",
+                 message != nullptr ? message->string.c_str() : "?");
+    return static_cast<int>(number_field("exit_code", 2));
+  }
+
+  if (request.verb == "metrics") {
+    const frodo::json::Value* prom = resp.find("prometheus");
+    if (prom != nullptr && prom->is_string())
+      std::fputs(prom->string.c_str(), stdout);
+    return 0;
+  }
+  if (request.verb == "health" || request.verb == "shutdown") {
+    std::printf("%s\n", response.value().c_str());
+    return 0;
+  }
+
+  if (const frodo::json::Value* written = resp.find("written");
+      written != nullptr && written->is_array()) {
+    for (const frodo::json::Value& path : written->items)
+      if (path.is_string()) std::printf("wrote %s\n", path.string.c_str());
+  }
+  const int exit_code = static_cast<int>(number_field("exit_code", 2));
+  if (exit_code == 0) {
+    const frodo::json::Value* model = resp.find("model");
+    const frodo::json::Value* gen = resp.find("generator_name");
+    std::printf("%s: %lld lines, %lld static doubles (%s)\n",
+                model != nullptr ? model->string.c_str() : "?",
+                number_field("lines", 0), number_field("static_doubles", 0),
+                gen != nullptr ? gen->string.c_str() : "?");
+  }
+  if (const frodo::json::Value* report = resp.find("report");
+      report != nullptr && report->is_string())
+    std::fputs(report->string.c_str(), stdout);
+
+  // Re-render the daemon's structured diagnostics locally so a forwarded
+  // compile reads exactly like a local one.
+  frodo::diag::Engine engine(request.options.max_errors);
+  if (const frodo::json::Value* diags = resp.find("diagnostics");
+      diags != nullptr && diags->is_array()) {
+    for (const frodo::json::Value& d : diags->items) {
+      if (!d.is_object()) continue;
+      frodo::diag::Diagnostic diagnostic;
+      if (const auto* code = d.find("code"); code != nullptr)
+        diagnostic.code = code->string;
+      if (const auto* severity = d.find("severity"); severity != nullptr)
+        diagnostic.severity = severity_from(severity->string);
+      if (const auto* message = d.find("message"); message != nullptr)
+        diagnostic.message = message->string;
+      if (const auto* where = d.find("where"); where != nullptr)
+        diagnostic.where = where->string;
+      engine.report(std::move(diagnostic));
+    }
+  }
+  if (engine.error_count() > 0 || engine.warning_count() > 0 ||
+      request.options.diag_format == "json")
+    flush_diagnostics(engine, request.options.diag_format);
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
-  std::string generator_name = "frodo";
-  std::string outdir = ".";
-  std::string diag_format = "text";
-  std::string report_format;  // empty = no report
-  std::string trace_out;      // empty = no trace file
-  std::string metrics_out;    // empty = no metrics exposition/snapshot
-  std::string events_out;     // empty = no event ledger
-  std::string cache_dir;      // empty = analysis cache off
-  bool no_cache = false;
-  bool batch_mode = false;
-  bool verbose = false;
-  bool profile_hooks = false;
-  bool emit_main = false;
-  bool want_ranges = false;
-  bool want_check = false;
-  bool strict = false;
-  int jobs = 1;
-  int simd_width = 4;
-  int max_errors = frodo::diag::Engine::kDefaultMaxErrors;
-  long long timeout_per_model_ms = 0;
-  std::string isolate = "none";
-  long long memory_per_model_mb = 0;
-  int retries = 0;
-  long long retry_backoff_ms = 100;
-  frodo::codegen::OptimizeOptions optimize;  // all passes on by default
-  // The CLI's default admission mode is the static cost model; --cost-model
-  // off restores the pre-cost-model apply-everything behavior byte-for-byte.
-  optimize.cost_model = frodo::codegen::cost::CostModelMode::kStatic;
-  bool cost_model_set = false;
-  bool autotune = false;
-  int autotune_reps = 200;
-  int autotune_rounds = 3;
+  // One option vocabulary, shared with the frodod wire protocol
+  // (daemon/request.hpp): argv tokens and request "options" members parse
+  // through the same set_option with the same validation and messages.
+  frodo::daemon::CompileRequest req;
+  std::string connect_socket;  // --connect: forward to a daemon
+  std::string daemon_verb;     // --daemon-verb: query/stop it instead
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -233,229 +352,106 @@ int main(int argc, char** argv) {
       std::printf("%s\n", frodo::version_string());
       return 0;
     }
-    if (arg == "--generator") {
-      const char* v = value();
-      if (v == nullptr) return usage(2);
-      generator_name = v;
-    } else if (arg == "--out") {
-      const char* v = value();
-      if (v == nullptr) return usage(2);
-      outdir = v;
-    } else if (arg == "--simd-width") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) return usage(2);
-      simd_width = static_cast<int>(n);
-    } else if (arg == "--jobs") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
-        std::fprintf(stderr, "frodoc: --jobs expects a positive integer\n");
-        return usage(2);
-      }
-      jobs = static_cast<int>(n);
-    } else if (arg == "--max-errors") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
-        std::fprintf(stderr,
-                     "frodoc: --max-errors expects a positive integer\n");
-        return usage(2);
-      }
-      max_errors = static_cast<int>(n);
-    } else if (arg == "--diag-format") {
-      const char* v = value();
-      if (v == nullptr ||
-          (std::strcmp(v, "text") != 0 && std::strcmp(v, "json") != 0)) {
-        std::fprintf(stderr,
-                     "frodoc: --diag-format expects 'text' or 'json'\n");
-        return usage(2);
-      }
-      diag_format = v;
-    } else if (arg == "--strict") {
-      strict = true;
-    } else if (arg == "--batch") {
-      batch_mode = true;
-    } else if (arg == "--cache-dir") {
+    if (arg == "--verbose" || arg == "-v") {
+      req.verbose = true;
+      continue;
+    }
+    if (arg == "--connect") {
       const char* v = value();
       if (v == nullptr || *v == '\0') {
-        std::fprintf(stderr, "frodoc: --cache-dir expects a directory\n");
+        std::fprintf(stderr, "frodoc: --connect expects a socket path\n");
         return usage(2);
       }
-      cache_dir = v;
-    } else if (arg == "--no-cache") {
-      no_cache = true;
-    } else if (arg == "--timeout-per-model") {
+      connect_socket = v;
+      continue;
+    }
+    if (arg == "--daemon-verb") {
       const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+      if (v == nullptr || (std::strcmp(v, "metrics") != 0 &&
+                           std::strcmp(v, "health") != 0 &&
+                           std::strcmp(v, "shutdown") != 0)) {
         std::fprintf(stderr,
-                     "frodoc: --timeout-per-model expects a positive "
-                     "millisecond count\n");
+                     "frodoc: --daemon-verb expects 'metrics', 'health' or "
+                     "'shutdown'\n");
         return usage(2);
       }
-      timeout_per_model_ms = n;
-    } else if (arg == "--isolate") {
-      const char* v = value();
-      if (v == nullptr ||
-          (std::strcmp(v, "none") != 0 && std::strcmp(v, "process") != 0)) {
-        std::fprintf(stderr,
-                     "frodoc: --isolate expects 'none' or 'process'\n");
-        return usage(2);
+      daemon_verb = v;
+      continue;
+    }
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const std::string name = arg.substr(2);
+      const char* v = "";
+      if (frodo::daemon::option_takes_value(name)) {
+        v = value();
+        if (v == nullptr) {
+          std::fprintf(stderr, "frodoc: %s expects a value\n", arg.c_str());
+          return usage(2);
+        }
       }
-      isolate = v;
-    } else if (arg == "--memory-per-model") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
-        std::fprintf(stderr,
-                     "frodoc: --memory-per-model expects a positive MiB "
-                     "count\n");
-        return usage(2);
+      std::string error;
+      switch (frodo::daemon::set_option(req, name, v, &error)) {
+        case frodo::daemon::OptionStatus::kHandled:
+          continue;
+        case frodo::daemon::OptionStatus::kError:
+          std::fprintf(stderr, "frodoc: %s\n", error.c_str());
+          return usage(2);
+        case frodo::daemon::OptionStatus::kUnknown:
+          break;
       }
-      memory_per_model_mb = n;
-    } else if (arg == "--retries") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 0) {
-        std::fprintf(stderr,
-                     "frodoc: --retries expects a non-negative integer\n");
-        return usage(2);
-      }
-      retries = static_cast<int>(n);
-    } else if (arg == "--retry-backoff") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 0) {
-        std::fprintf(stderr,
-                     "frodoc: --retry-backoff expects a non-negative "
-                     "millisecond count\n");
-        return usage(2);
-      }
-      retry_backoff_ms = n;
-    } else if (arg == "--fuse") {
-      optimize.fuse = true;
-    } else if (arg == "--no-fuse") {
-      optimize.fuse = false;
-    } else if (arg == "--shrink-buffers") {
-      optimize.shrink_buffers = true;
-    } else if (arg == "--no-shrink-buffers") {
-      optimize.shrink_buffers = false;
-    } else if (arg == "--alias-truncation") {
-      optimize.alias_truncation = true;
-    } else if (arg == "--no-alias-truncation") {
-      optimize.alias_truncation = false;
-    } else if (arg == "--cost-model") {
-      const char* v = value();
-      if (v == nullptr ||
-          !frodo::codegen::cost::parse_cost_model_mode(
-              v, &optimize.cost_model)) {
-        std::fprintf(stderr,
-                     "frodoc: --cost-model expects 'off', 'static' or "
-                     "'tuned'\n");
-        return usage(2);
-      }
-      cost_model_set = true;
-    } else if (arg == "--autotune") {
-      autotune = true;
-    } else if (arg == "--autotune-reps") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
-        std::fprintf(stderr,
-                     "frodoc: --autotune-reps expects a positive integer\n");
-        return usage(2);
-      }
-      autotune_reps = static_cast<int>(n);
-    } else if (arg == "--autotune-rounds") {
-      const char* v = value();
-      long long n = 0;
-      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
-        std::fprintf(stderr,
-                     "frodoc: --autotune-rounds expects a positive "
-                     "integer\n");
-        return usage(2);
-      }
-      autotune_rounds = static_cast<int>(n);
-    } else if (arg == "--emit-main") {
-      emit_main = true;
-    } else if (arg == "--print-ranges") {
-      want_ranges = true;
-    } else if (arg == "--check") {
-      want_check = true;
-    } else if (arg == "--report") {
-      const char* v = value();
-      if (v == nullptr ||
-          (std::strcmp(v, "text") != 0 && std::strcmp(v, "json") != 0)) {
-        std::fprintf(stderr, "frodoc: --report expects 'text' or 'json'\n");
-        return usage(2);
-      }
-      report_format = v;
-    } else if (arg == "--trace-out") {
-      const char* v = value();
-      if (v == nullptr || *v == '\0') {
-        std::fprintf(stderr, "frodoc: --trace-out expects a file path\n");
-        return usage(2);
-      }
-      trace_out = v;
-    } else if (arg == "--metrics-out") {
-      const char* v = value();
-      if (v == nullptr || *v == '\0') {
-        std::fprintf(stderr, "frodoc: --metrics-out expects a file path\n");
-        return usage(2);
-      }
-      metrics_out = v;
-    } else if (arg == "--events-out") {
-      const char* v = value();
-      if (v == nullptr || *v == '\0') {
-        std::fprintf(stderr, "frodoc: --events-out expects a file path\n");
-        return usage(2);
-      }
-      events_out = v;
-    } else if (arg == "--verbose" || arg == "-v") {
-      verbose = true;
-    } else if (arg == "--profile-hooks") {
-      profile_hooks = true;
-    } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "frodoc: unknown option '%s'\n", arg.c_str());
       return usage(2);
-    } else {
-      inputs.push_back(arg);
     }
-  }
-  if (inputs.empty()) return usage(2);
-  if (batch_mode && (want_check || want_ranges || emit_main)) {
-    std::fprintf(stderr,
-                 "frodoc: --batch does not compose with --check, "
-                 "--print-ranges or --emit-main\n");
-    return usage(2);
-  }
-  if (!batch_mode &&
-      (isolate != "none" || retries > 0 || memory_per_model_mb > 0)) {
-    std::fprintf(stderr,
-                 "frodoc: --isolate, --memory-per-model and --retries "
-                 "require --batch\n");
-    return usage(2);
-  }
-  if (autotune) {
-    // --autotune implies --cost-model tuned; saying both differently is a
-    // contradiction, not a preference.
-    if (cost_model_set &&
-        optimize.cost_model != frodo::codegen::cost::CostModelMode::kTuned) {
-      std::fprintf(stderr,
-                   "frodoc: --autotune requires --cost-model tuned\n");
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "frodoc: unknown option '%s'\n", arg.c_str());
       return usage(2);
     }
-    optimize.cost_model = frodo::codegen::cost::CostModelMode::kTuned;
-    if (isolate == "process") {
-      // The measurement JIT compiles and dlopens inside the worker; a
-      // sandboxed child is the wrong place to shell out to a C compiler.
-      std::fprintf(stderr,
-                   "frodoc: --autotune does not compose with --isolate "
-                   "process\n");
+    inputs.push_back(arg);
+  }
+  if (inputs.empty() && daemon_verb.empty()) return usage(2);
+  {
+    std::string error;
+    if (!frodo::daemon::finalize_request(req, &error)) {
+      std::fprintf(stderr, "frodoc: %s\n", error.c_str());
       return usage(2);
     }
   }
+
+  // --connect: this invocation is a thin client of a running frodod.
+  if (!connect_socket.empty() || !daemon_verb.empty()) {
+    if (connect_socket.empty()) {
+      std::fprintf(stderr, "frodoc: --daemon-verb requires --connect\n");
+      return usage(2);
+    }
+    return run_daemon_client(connect_socket, daemon_verb, std::move(req),
+                             inputs);
+  }
+
+  // Local compile: bind the request's fields to the names the pipeline
+  // below uses.
+  const std::string& generator_name = req.generator;
+  const std::string& outdir = req.outdir;
+  const std::string& diag_format = req.diag_format;
+  const std::string& report_format = req.report_format;
+  const std::string& trace_out = req.trace_out;
+  const std::string& metrics_out = req.metrics_out;
+  const std::string& events_out = req.events_out;
+  const std::string& cache_dir = req.cache_dir;
+  const std::string& isolate = req.isolate;
+  const frodo::codegen::OptimizeOptions& optimize = req.optimize;
+  const bool batch_mode = req.batch;
+  const bool verbose = req.verbose;
+  const bool profile_hooks = req.profile_hooks;
+  const bool emit_main = req.emit_main;
+  const bool want_ranges = req.print_ranges;
+  const bool want_check = req.check;
+  const bool strict = req.strict;
+  const int jobs = req.jobs;
+  const int simd_width = req.simd_width;
+  const int max_errors = req.max_errors;
+  const long long timeout_per_model_ms = req.timeout_per_model_ms;
+  const bool autotune = req.autotune;
+  const int autotune_reps = req.autotune_reps;
+  const int autotune_rounds = req.autotune_rounds;
 
   frodo::diag::Engine engine(max_errors);
 
@@ -471,13 +467,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const bool cache_enabled = !cache_dir.empty() && !no_cache;
+  const bool cache_enabled = req.cache_enabled();
 
   // The tracer must be installed before slx::load so the "parse" span is
   // captured; the epilogue below uninstalls it, writes --trace-out, and
   // prints the -v summary.  In batch mode each model compiles under its own
   // tracer; those are absorbed into this one afterwards.
   frodo::trace::Tracer tracer;
+  // RAII installation (uninstalled by the epilogue's reset(); restores the
+  // previous sink on every path, including exceptional unwinds).
+  std::optional<frodo::trace::InstallScope> trace_scope;
   // Telemetry sinks (docs/OBSERVABILITY.md, "Metrics & event ledger").  The
   // single-model path needs the tracer installed to extract per-phase
   // timings for the ledger; batch mode records per-model tracers anyway.
@@ -494,7 +493,7 @@ int main(int argc, char** argv) {
   if (tracing) {
     tracer.set_metadata("model", inputs[0]);
     tracer.set_metadata("generator", generator_name);
-    frodo::trace::install(&tracer);
+    trace_scope.emplace(&tracer);
   }
 
   // Workers beyond the calling thread, shared by batch-level and intra-model
@@ -509,9 +508,10 @@ int main(int argc, char** argv) {
   // Single-model deadline: install the token here so every pass the run()
   // below reaches polls it.  Batch mode arms one per model instead.
   frodo::support::CancelToken deadline_token;
+  std::optional<frodo::support::CancelScope> deadline_scope;
   if (timeout_per_model_ms > 0 && !batch_mode) {
     deadline_token.set_timeout_ms(timeout_per_model_ms);
-    frodo::support::cancel_install(&deadline_token);
+    deadline_scope.emplace(&deadline_token);
   }
 
   // The full pipeline, with diagnostics accumulated into `engine` and
@@ -530,25 +530,8 @@ int main(int argc, char** argv) {
           models.push_back(std::move(path));
       }
 
-      frodo::batch::BatchOptions bopts;
-      bopts.generator = generator_name;
-      bopts.outdir = outdir;
-      bopts.optimize = optimize;
-      bopts.simd_width = simd_width;
-      bopts.strict = strict;
-      bopts.max_errors = max_errors;
-      bopts.profile_hooks = profile_hooks;
-      bopts.jobs = jobs;
-      bopts.cache_dir = cache_enabled ? cache_dir : std::string();
-      bopts.report_format = report_format;
-      bopts.timeout_per_model_ms = timeout_per_model_ms;
-      bopts.isolate = isolate;
-      bopts.memory_per_model_mb = memory_per_model_mb;
-      bopts.retries = retries;
-      bopts.retry_backoff_ms = retry_backoff_ms;
-      bopts.autotune = autotune;
-      bopts.autotune_reps = autotune_reps;
-      bopts.autotune_rounds = autotune_rounds;
+      const frodo::batch::BatchOptions bopts =
+          frodo::daemon::to_batch_options(req);
 
       frodo::batch::BatchResult result =
           frodo::batch::compile_batch(models, bopts);
@@ -787,9 +770,10 @@ int main(int argc, char** argv) {
           std::chrono::steady_clock::now() - run_started)
           .count();
 
-  // Epilogue: stop tracing, export, flush all diagnostics once, summarize.
-  frodo::support::cancel_install(nullptr);
-  frodo::trace::install(nullptr);
+  // Epilogue: uninstall the instrumentation (the RAII scopes restore the
+  // previous sinks), export, flush all diagnostics once, summarize.
+  deadline_scope.reset();
+  trace_scope.reset();
 
   // Single-model telemetry: one ledger record / one-compile registry built
   // from what run() captured plus the global tracer.  Batch mode filled

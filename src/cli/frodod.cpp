@@ -1,0 +1,147 @@
+// frodod — the compilation-as-a-service daemon (docs/DAEMON.md).
+//
+//   frodod --socket PATH [options]
+//
+// Options:
+//   --socket PATH      Unix-domain socket to serve (required)
+//   --jobs N           concurrent compile requests; the same pool runs the
+//                      intra-model parallel passes (default 1)
+//   --cache-dir DIR    persistent analysis-cache directory; without it the
+//                      resident (memory-only) cache still makes repeat
+//                      compiles warm, but nothing survives the daemon
+//   --queue-limit N    max queued compile requests before new ones are
+//                      rejected with FRODO-E920 (default 32)
+//   --events-out FILE  append one "frodo.event/1" JSONL record per served
+//                      compile request
+//   --version          print the frodod build identification and exit
+//   --help             this text
+//
+// Protocol: line-delimited JSON, one request per connection —
+// "frodo.request/1" in, "frodo.response/1" out; verbs compile / metrics /
+// health / shutdown.  `frodoc --connect PATH MODEL` is the stock client.
+//
+// Lifecycle: SIGTERM / SIGINT (or the "shutdown" verb) stop the accept
+// loop, unlink the socket, finish every queued and in-flight request, and
+// exit 0.  Exit codes: 0 = clean drain, 2 = startup/usage failure.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "daemon/server.hpp"
+#include "support/strings.hpp"
+#include "support/version.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: frodod --socket PATH [--jobs N] [--cache-dir DIR] "
+               "[--queue-limit N] [--events-out FILE] [--version]\n");
+  return code;
+}
+
+// The signal handler only pokes the daemon's self-pipe (async-signal-safe).
+frodo::daemon::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  frodo::daemon::DaemonOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg = arg.substr(0, eq);
+      }
+    }
+    auto value = [&]() -> const char* {
+      return has_inline_value ? inline_value.c_str() : next();
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--version") {
+      std::printf("%s\n", frodo::version_string());
+      return 0;
+    }
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodod: --socket expects a path\n");
+        return usage(2);
+      }
+      options.socket_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr, "frodod: --jobs expects a positive integer\n");
+        return usage(2);
+      }
+      options.jobs = static_cast<int>(n);
+    } else if (arg == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodod: --cache-dir expects a directory\n");
+        return usage(2);
+      }
+      options.cache_dir = v;
+    } else if (arg == "--queue-limit") {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr || !frodo::parse_int(v, &n) || n < 1) {
+        std::fprintf(stderr,
+                     "frodod: --queue-limit expects a positive integer\n");
+        return usage(2);
+      }
+      options.queue_limit = static_cast<std::size_t>(n);
+    } else if (arg == "--events-out") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "frodod: --events-out expects a file path\n");
+        return usage(2);
+      }
+      options.events_out = v;
+    } else {
+      std::fprintf(stderr, "frodod: unknown option '%s'\n", arg.c_str());
+      return usage(2);
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "frodod: --socket is required\n");
+    return usage(2);
+  }
+
+  frodo::daemon::Daemon daemon(options);
+  auto status = daemon.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "frodod: %s\n", status.message().c_str());
+    return 2;
+  }
+
+  g_daemon = &daemon;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr, "frodod: serving %s (jobs=%d, queue-limit=%zu%s%s)\n",
+               options.socket_path.c_str(), options.jobs, options.queue_limit,
+               options.cache_dir.empty() ? ", cache=memory-only"
+                                         : ", cache=",
+               options.cache_dir.c_str());
+  const int rc = daemon.serve();
+  std::fprintf(stderr, "frodod: drained, exiting\n");
+  g_daemon = nullptr;
+  return rc;
+}

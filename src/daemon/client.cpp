@@ -1,0 +1,75 @@
+#include "daemon/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace frodo::daemon {
+
+Result<std::string> roundtrip(const std::string& socket_path,
+                              const std::string& request_line,
+                              int timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    return Status::error("socket path empty or too long: '" + socket_path +
+                         "'");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::error(std::string("socket: ") + std::strerror(errno));
+  timeval timeout{timeout_ms / 1000, (timeout_ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::error(
+        "cannot connect to daemon at '" + socket_path +
+        "': " + std::strerror(errno) + " (is frodod running?)");
+    ::close(fd);
+    return status;
+  }
+
+  std::string framed = request_line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char buf[4096];
+  bool complete = false;
+  while (!complete) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got < 0) {
+      ::close(fd);
+      return Status::error(std::string("recv: ") + std::strerror(errno));
+    }
+    if (got == 0) break;  // EOF — daemon closed after its one response line
+    for (ssize_t i = 0; i < got; ++i) {
+      if (buf[i] == '\n') {
+        complete = true;
+        break;
+      }
+      response.push_back(buf[i]);
+    }
+  }
+  ::close(fd);
+  if (response.empty())
+    return Status::error("daemon closed the connection without a response");
+  return response;
+}
+
+}  // namespace frodo::daemon

@@ -1,0 +1,21 @@
+// Client side of the frodod protocol: one blocking request/response
+// round-trip over the Unix-domain socket (`frodoc --connect`, the smoke
+// harness, tests).
+#pragma once
+
+#include <string>
+
+#include "support/status.hpp"
+
+namespace frodo::daemon {
+
+// Connects to `socket_path`, sends `request_line` (a single
+// "frodo.request/1" JSON document; the trailing newline is added here) and
+// returns the daemon's response line with its newline stripped.  Errors are
+// connection-level only — a protocol-level failure still yields the
+// daemon's structured "frodo.response/1" error line.
+Result<std::string> roundtrip(const std::string& socket_path,
+                              const std::string& request_line,
+                              int timeout_ms = 120000);
+
+}  // namespace frodo::daemon

@@ -1,0 +1,313 @@
+#include "daemon/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/diag.hpp"
+#include "support/json.hpp"
+
+namespace frodo::daemon {
+
+namespace {
+
+using diag::json_escape;
+
+Status protocol_error(std::string message) {
+  return Status::error(diag::codes::kDaemonProtocol, std::move(message));
+}
+
+// Renders a decoded JSON scalar as the option-value text set_option expects:
+// strings verbatim, integral numbers without a fraction, booleans as
+// "true"/"false".
+Result<std::string> option_value_text(const json::Value& value) {
+  switch (value.kind) {
+    case json::Value::Kind::kString:
+      return value.string;
+    case json::Value::Kind::kBool:
+      return std::string(value.boolean ? "true" : "false");
+    case json::Value::Kind::kNumber: {
+      const long long n = static_cast<long long>(value.number);
+      if (static_cast<double>(n) != value.number)
+        return protocol_error("option values must be integers");
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", n);
+      return std::string(buf);
+    }
+    default:
+      return protocol_error("option values must be strings, numbers or booleans");
+  }
+}
+
+void append_kv(std::string* out, std::string_view key, std::string_view value,
+               bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  *out += json_escape(value);
+  *out += '"';
+}
+
+void append_kv(std::string* out, std::string_view key, long long value,
+               bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += buf;
+}
+
+void append_kv(std::string* out, std::string_view key, bool value,
+               bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += value ? "true" : "false";
+}
+
+std::string response_head(long long id, bool ok, std::string_view verb) {
+  std::string out = "{\"schema\":\"";
+  out += kResponseSchema;
+  out += '"';
+  bool first = false;
+  append_kv(&out, "id", id, &first);
+  append_kv(&out, "ok", ok, &first);
+  append_kv(&out, "verb", verb, &first);
+  return out;
+}
+
+}  // namespace
+
+Result<Request> decode_request(std::string_view line) {
+  auto parsed = json::parse(line);
+  if (!parsed.is_ok())
+    return protocol_error("request is not valid JSON: " +
+                          parsed.status().message());
+  const json::Value& root = parsed.value();
+  if (!root.is_object()) return protocol_error("request must be an object");
+
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kRequestSchema)
+    return protocol_error(std::string("request schema must be \"") +
+                          kRequestSchema + "\"");
+
+  Request request;
+  if (const json::Value* id = root.find("id"); id != nullptr) {
+    if (!id->is_number()) return protocol_error("\"id\" must be a number");
+    request.id = static_cast<long long>(id->number);
+  }
+
+  const json::Value* verb = root.find("verb");
+  if (verb == nullptr || !verb->is_string())
+    return protocol_error("request needs a string \"verb\"");
+  request.verb = verb->string;
+  if (request.verb != "compile" && request.verb != "metrics" &&
+      request.verb != "health" && request.verb != "shutdown")
+    return protocol_error("unknown verb '" + request.verb +
+                          "' (expected compile, metrics, health or shutdown)");
+  if (request.verb != "compile") return request;
+
+  const json::Value* model = root.find("model");
+  if (model == nullptr || !model->is_string() || model->string.empty())
+    return protocol_error("compile request needs a non-empty \"model\" path");
+  request.model = model->string;
+
+  if (const json::Value* options = root.find("options"); options != nullptr) {
+    if (!options->is_object())
+      return protocol_error("\"options\" must be an object");
+    for (const auto& [name, value] : options->members) {
+      if (!daemon_request_option(name))
+        return protocol_error("option '--" + name +
+                              "' is not valid in a daemon request");
+      auto text = option_value_text(value);
+      if (!text.is_ok())
+        return protocol_error("option '--" + name +
+                              "': " + text.status().message());
+      std::string error;
+      switch (set_option(request.options, name, text.value(), &error)) {
+        case OptionStatus::kHandled:
+          break;
+        case OptionStatus::kUnknown:
+          return protocol_error("unknown option '--" + name + "'");
+        case OptionStatus::kError:
+          return protocol_error(error);
+      }
+    }
+  }
+  std::string error;
+  if (!finalize_request(request.options, &error)) return protocol_error(error);
+  return request;
+}
+
+std::string encode_request(const Request& request) {
+  static const CompileRequest kDefaults;
+  std::string out = "{\"schema\":\"";
+  out += kRequestSchema;
+  out += '"';
+  bool first = false;
+  append_kv(&out, "id", request.id, &first);
+  append_kv(&out, "verb", request.verb, &first);
+  if (request.verb != "compile") {
+    out += '}';
+    return out;
+  }
+  append_kv(&out, "model", request.model, &first);
+
+  out += ",\"options\":{";
+  bool opt_first = true;
+  const CompileRequest& r = request.options;
+  if (r.generator != kDefaults.generator)
+    append_kv(&out, "generator", r.generator, &opt_first);
+  if (r.outdir != kDefaults.outdir) append_kv(&out, "out", r.outdir, &opt_first);
+  if (r.simd_width != kDefaults.simd_width)
+    append_kv(&out, "simd-width", static_cast<long long>(r.simd_width),
+              &opt_first);
+  if (r.max_errors != kDefaults.max_errors)
+    append_kv(&out, "max-errors", static_cast<long long>(r.max_errors),
+              &opt_first);
+  if (r.strict) append_kv(&out, "strict", true, &opt_first);
+  if (r.profile_hooks) append_kv(&out, "profile-hooks", true, &opt_first);
+  if (r.optimize.fuse != kDefaults.optimize.fuse)
+    append_kv(&out, "fuse", r.optimize.fuse, &opt_first);
+  if (r.optimize.shrink_buffers != kDefaults.optimize.shrink_buffers)
+    append_kv(&out, "shrink-buffers", r.optimize.shrink_buffers, &opt_first);
+  if (r.optimize.alias_truncation != kDefaults.optimize.alias_truncation)
+    append_kv(&out, "alias-truncation", r.optimize.alias_truncation,
+              &opt_first);
+  if (r.cost_model_set &&
+      r.optimize.cost_model != kDefaults.optimize.cost_model)
+    append_kv(&out, "cost-model",
+              std::string_view(
+                  codegen::cost::cost_model_mode_name(r.optimize.cost_model)),
+              &opt_first);
+  if (r.autotune) append_kv(&out, "autotune", true, &opt_first);
+  if (r.autotune_reps != kDefaults.autotune_reps)
+    append_kv(&out, "autotune-reps", static_cast<long long>(r.autotune_reps),
+              &opt_first);
+  if (r.autotune_rounds != kDefaults.autotune_rounds)
+    append_kv(&out, "autotune-rounds",
+              static_cast<long long>(r.autotune_rounds), &opt_first);
+  if (r.timeout_per_model_ms != kDefaults.timeout_per_model_ms)
+    append_kv(&out, "timeout-per-model", r.timeout_per_model_ms, &opt_first);
+  if (r.report_format != kDefaults.report_format)
+    append_kv(&out, "report", r.report_format, &opt_first);
+  if (r.no_cache) append_kv(&out, "no-cache", true, &opt_first);
+  if (r.priority != kDefaults.priority)
+    append_kv(&out, "priority", r.priority, &opt_first);
+  out += "}}";
+  return out;
+}
+
+std::string error_response(long long id, std::string_view code,
+                           std::string_view message) {
+  std::string out = response_head(id, /*ok=*/false, "error");
+  bool first = false;
+  append_kv(&out, "exit_code", 2LL, &first);
+  out += ",\"error\":{";
+  bool efirst = true;
+  append_kv(&out, "code", code, &efirst);
+  append_kv(&out, "message", message, &efirst);
+  out += "}}";
+  return out;
+}
+
+std::string compile_response(long long id, long long served_seq,
+                             const batch::ModelOutcome& outcome,
+                             const metrics::CompileEvent& event) {
+  std::string out =
+      response_head(id, outcome.exit_code == 0, "compile");
+  bool first = false;
+  append_kv(&out, "exit_code", static_cast<long long>(outcome.exit_code),
+            &first);
+  append_kv(&out, "served_seq", served_seq, &first);
+  append_kv(&out, "model", outcome.model_name, &first);
+  append_kv(&out, "cache", std::string_view(event.cache), &first);
+  append_kv(&out, "outcome", std::string_view(event.outcome), &first);
+  if (outcome.exit_code == 0) {
+    append_kv(&out, "lines", static_cast<long long>(outcome.code.source_lines),
+              &first);
+    append_kv(&out, "static_doubles", outcome.code.static_doubles, &first);
+    append_kv(&out, "generator_name", outcome.code.generator, &first);
+  }
+  out += ",\"written\":[";
+  for (std::size_t i = 0; i < outcome.written.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + json_escape(outcome.written[i]) + '"';
+  }
+  out += ']';
+  if (!outcome.report.empty()) {
+    bool rfirst = false;
+    append_kv(&out, "report", outcome.report, &rfirst);
+  }
+  out += ",\"diagnostics\":[";
+  const auto& diags = outcome.engine.diagnostics();
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '{';
+    bool dfirst = true;
+    append_kv(&out, "severity", diag::to_string(diags[i].severity), &dfirst);
+    append_kv(&out, "code", diags[i].code, &dfirst);
+    append_kv(&out, "message", diags[i].message, &dfirst);
+    append_kv(&out, "where", diags[i].where, &dfirst);
+    out += '}';
+  }
+  out += ']';
+  // event_json_line is a complete single-line JSON object + '\n'; embed it
+  // verbatim minus the newline.
+  std::string event_line = metrics::event_json_line(event);
+  while (!event_line.empty() && event_line.back() == '\n') event_line.pop_back();
+  out += ",\"event\":";
+  out += event_line;
+  out += '}';
+  return out;
+}
+
+std::string health_response(long long id, long long active, long long queued,
+                            long long served, bool draining) {
+  std::string out = response_head(id, /*ok=*/true, "health");
+  bool first = false;
+  append_kv(&out, "status", std::string_view(draining ? "draining" : "ok"),
+            &first);
+  append_kv(&out, "active", active, &first);
+  append_kv(&out, "queued", queued, &first);
+  append_kv(&out, "served", served, &first);
+  out += '}';
+  return out;
+}
+
+std::string metrics_response(long long id, const std::string& prometheus,
+                             const std::string& snapshot_json) {
+  std::string out = response_head(id, /*ok=*/true, "metrics");
+  bool first = false;
+  append_kv(&out, "prometheus", prometheus, &first);
+  out += ",\"snapshot\":";
+  // json_snapshot() is itself a JSON object; a snapshot must never be
+  // double-encoded or the schema checker downstream would see a string.
+  // It is pretty-printed, though, and a literal newline would end the
+  // response early under the line-delimited protocol: strip them (newlines
+  // inside JSON strings are always escaped, so these are pure whitespace).
+  if (snapshot_json.empty()) {
+    out += "{}";
+  } else {
+    for (const char c : snapshot_json) {
+      if (c != '\n' && c != '\r') out += c;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::string ok_response(long long id, std::string_view verb) {
+  std::string out = response_head(id, /*ok=*/true, verb);
+  out += '}';
+  return out;
+}
+
+}  // namespace frodo::daemon

@@ -1,0 +1,85 @@
+// The frodod wire protocol: line-delimited JSON over a Unix-domain socket.
+//
+// One request per connection (docs/DAEMON.md): the client connects, writes
+// exactly one "frodo.request/1" line, and reads exactly one
+// "frodo.response/1" line.  Keeping the framing this dumb means any client
+// — frodoc --connect, a shell script with socat, a CI harness — can speak
+// it, and a wedged client can never corrupt another request's stream.
+//
+//   request  {"schema":"frodo.request/1","id":7,"verb":"compile",
+//             "model":"/abs/path/Model.slxz","options":{"generator":"frodo",
+//             "out":"/abs/outdir","no-fuse":true,"priority":"high"}}
+//   response {"schema":"frodo.response/1","id":7,"ok":true,"verb":"compile",
+//             "exit_code":0,"served_seq":12,"model":"Model","cache":"hit",
+//             "outcome":"ok","lines":210,"static_doubles":56,
+//             "generator_name":"frodo","written":[...],"report":"",
+//             "diagnostics":[{"severity":"warning","code":"FRODO-W001",
+//             "message":"...","where":"..."}],"event":{...frodo.event/1...}}
+//
+// Verbs: "compile", "metrics", "health", "shutdown".  Protocol-level
+// failures answer {"ok":false,...,"error":{"code":"FRODO-E92x",...}} — E921
+// for an unparsable/invalid request, E920 for queue-full backpressure.
+//
+// The "options" object speaks the frodoc option vocabulary (keys are the
+// long option names without dashes, values are JSON strings/numbers/bools)
+// but only the per-request subset: server resources (--jobs, --cache-dir),
+// CLI sinks (--trace-out, ...) and multi-model modes are rejected with
+// FRODO-E921 (daemon_request_option).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "batch/batch.hpp"
+#include "daemon/request.hpp"
+#include "support/metrics/ledger.hpp"
+#include "support/status.hpp"
+
+namespace frodo::daemon {
+
+inline constexpr char kRequestSchema[] = "frodo.request/1";
+inline constexpr char kResponseSchema[] = "frodo.response/1";
+
+struct Request {
+  long long id = 0;
+  std::string verb;   // "compile" | "metrics" | "health" | "shutdown"
+  std::string model;  // compile only: the model package path (server-side)
+  CompileRequest options;
+};
+
+// Parses one request line.  Failed statuses carry code FRODO-E921 and a
+// message naming exactly what was wrong (the client sees it verbatim).
+Result<Request> decode_request(std::string_view line);
+
+// The client side: one single-line JSON document (no trailing newline).
+// Only options differing from a default CompileRequest are emitted, so the
+// wire form stays minimal and decode(encode(r)) round-trips.
+std::string encode_request(const Request& request);
+
+// -- Responses (single-line JSON, no trailing newline) -----------------------
+
+// Protocol/backpressure failure: ok=false with a structured error object.
+// `exit_code` mirrors what a local frodoc run would have returned (2).
+std::string error_response(long long id, std::string_view code,
+                           std::string_view message);
+
+// A finished compile.  `served_seq` is the daemon's monotonically
+// increasing service order (position in the dequeue sequence), which is how
+// tests pin priority ordering without racing on wall clocks.
+std::string compile_response(long long id, long long served_seq,
+                             const batch::ModelOutcome& outcome,
+                             const metrics::CompileEvent& event);
+
+std::string health_response(long long id, long long active, long long queued,
+                            long long served, bool draining);
+
+// `prometheus` is Registry::prometheus_text() (escaped into a JSON string);
+// `snapshot_json` is Registry::json_snapshot() embedded verbatim (it is
+// already a JSON object).
+std::string metrics_response(long long id, const std::string& prometheus,
+                             const std::string& snapshot_json);
+
+// Acknowledgement for verbs with no payload (shutdown).
+std::string ok_response(long long id, std::string_view verb);
+
+}  // namespace frodo::daemon

@@ -1,0 +1,273 @@
+#include "daemon/request.hpp"
+
+#include <set>
+
+#include "codegen/cost.hpp"
+#include "support/strings.hpp"
+
+namespace frodo::daemon {
+
+namespace {
+
+// A positive/non-negative integer option value.
+bool parse_count(std::string_view value, long long min, long long* out) {
+  return parse_int(value, out) && *out >= min;
+}
+
+// Flag values: "" and "true"/"1" mean on, "false"/"0" means off (JSON
+// booleans arrive as the latter two spellings).
+bool parse_flag(std::string_view value, bool* on) {
+  if (value.empty() || value == "true" || value == "1") {
+    *on = true;
+    return true;
+  }
+  if (value == "false" || value == "0") {
+    *on = false;
+    return true;
+  }
+  return false;
+}
+
+OptionStatus fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return OptionStatus::kError;
+}
+
+}  // namespace
+
+bool option_takes_value(std::string_view name) {
+  static const std::set<std::string, std::less<>> kValueOptions = {
+      "generator",      "out",
+      "simd-width",     "jobs",
+      "max-errors",     "diag-format",
+      "cache-dir",      "timeout-per-model",
+      "isolate",        "memory-per-model",
+      "retries",        "retry-backoff",
+      "cost-model",     "autotune-reps",
+      "autotune-rounds", "report",
+      "trace-out",      "metrics-out",
+      "events-out",     "priority",
+  };
+  return kValueOptions.count(name) > 0;
+}
+
+OptionStatus set_option(CompileRequest& req, std::string_view name,
+                        std::string_view value, std::string* error) {
+  long long n = 0;
+  // -- Value options ---------------------------------------------------------
+  if (name == "generator") {
+    req.generator = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "out") {
+    req.outdir = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "simd-width") {
+    if (!parse_count(value, 1, &n))
+      return fail(error, "--simd-width expects a positive integer");
+    req.simd_width = static_cast<int>(n);
+    return OptionStatus::kHandled;
+  }
+  if (name == "jobs") {
+    if (!parse_count(value, 1, &n))
+      return fail(error, "--jobs expects a positive integer");
+    req.jobs = static_cast<int>(n);
+    return OptionStatus::kHandled;
+  }
+  if (name == "max-errors") {
+    if (!parse_count(value, 1, &n))
+      return fail(error, "--max-errors expects a positive integer");
+    req.max_errors = static_cast<int>(n);
+    return OptionStatus::kHandled;
+  }
+  if (name == "diag-format") {
+    if (value != "text" && value != "json")
+      return fail(error, "--diag-format expects 'text' or 'json'");
+    req.diag_format = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "cache-dir") {
+    if (value.empty()) return fail(error, "--cache-dir expects a directory");
+    req.cache_dir = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "timeout-per-model") {
+    if (!parse_count(value, 1, &n))
+      return fail(error,
+                  "--timeout-per-model expects a positive millisecond count");
+    req.timeout_per_model_ms = n;
+    return OptionStatus::kHandled;
+  }
+  if (name == "isolate") {
+    if (value != "none" && value != "process")
+      return fail(error, "--isolate expects 'none' or 'process'");
+    req.isolate = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "memory-per-model") {
+    if (!parse_count(value, 1, &n))
+      return fail(error, "--memory-per-model expects a positive MiB count");
+    req.memory_per_model_mb = n;
+    return OptionStatus::kHandled;
+  }
+  if (name == "retries") {
+    if (!parse_count(value, 0, &n))
+      return fail(error, "--retries expects a non-negative integer");
+    req.retries = static_cast<int>(n);
+    return OptionStatus::kHandled;
+  }
+  if (name == "retry-backoff") {
+    if (!parse_count(value, 0, &n))
+      return fail(error,
+                  "--retry-backoff expects a non-negative millisecond count");
+    req.retry_backoff_ms = n;
+    return OptionStatus::kHandled;
+  }
+  if (name == "cost-model") {
+    if (!codegen::cost::parse_cost_model_mode(value, &req.optimize.cost_model))
+      return fail(error, "--cost-model expects 'off', 'static' or 'tuned'");
+    req.cost_model_set = true;
+    return OptionStatus::kHandled;
+  }
+  if (name == "autotune-reps") {
+    if (!parse_count(value, 1, &n))
+      return fail(error, "--autotune-reps expects a positive integer");
+    req.autotune_reps = static_cast<int>(n);
+    return OptionStatus::kHandled;
+  }
+  if (name == "autotune-rounds") {
+    if (!parse_count(value, 1, &n))
+      return fail(error, "--autotune-rounds expects a positive integer");
+    req.autotune_rounds = static_cast<int>(n);
+    return OptionStatus::kHandled;
+  }
+  if (name == "report") {
+    if (value != "text" && value != "json")
+      return fail(error, "--report expects 'text' or 'json'");
+    req.report_format = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "trace-out") {
+    if (value.empty()) return fail(error, "--trace-out expects a file path");
+    req.trace_out = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "metrics-out") {
+    if (value.empty()) return fail(error, "--metrics-out expects a file path");
+    req.metrics_out = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "events-out") {
+    if (value.empty()) return fail(error, "--events-out expects a file path");
+    req.events_out = value;
+    return OptionStatus::kHandled;
+  }
+  if (name == "priority") {
+    if (value != "normal" && value != "high")
+      return fail(error, "--priority expects 'normal' or 'high'");
+    req.priority = value;
+    return OptionStatus::kHandled;
+  }
+
+  // -- Flags -----------------------------------------------------------------
+  bool on = true;
+  const auto flag = [&](bool* field, bool invert) -> OptionStatus {
+    if (!parse_flag(value, &on))
+      return fail(error, "--" + std::string(name) + " expects a boolean");
+    *field = invert ? !on : on;
+    return OptionStatus::kHandled;
+  };
+  if (name == "batch") return flag(&req.batch, false);
+  if (name == "strict") return flag(&req.strict, false);
+  if (name == "no-cache") return flag(&req.no_cache, false);
+  if (name == "emit-main") return flag(&req.emit_main, false);
+  if (name == "print-ranges") return flag(&req.print_ranges, false);
+  if (name == "check") return flag(&req.check, false);
+  if (name == "verbose") return flag(&req.verbose, false);
+  if (name == "profile-hooks") return flag(&req.profile_hooks, false);
+  if (name == "autotune") return flag(&req.autotune, false);
+  if (name == "fuse") return flag(&req.optimize.fuse, false);
+  if (name == "no-fuse") return flag(&req.optimize.fuse, true);
+  if (name == "shrink-buffers") return flag(&req.optimize.shrink_buffers, false);
+  if (name == "no-shrink-buffers")
+    return flag(&req.optimize.shrink_buffers, true);
+  if (name == "alias-truncation")
+    return flag(&req.optimize.alias_truncation, false);
+  if (name == "no-alias-truncation")
+    return flag(&req.optimize.alias_truncation, true);
+
+  return OptionStatus::kUnknown;
+}
+
+bool finalize_request(CompileRequest& req, std::string* error) {
+  if (req.batch && (req.check || req.print_ranges || req.emit_main)) {
+    *error =
+        "--batch does not compose with --check, --print-ranges or "
+        "--emit-main";
+    return false;
+  }
+  if (!req.batch && (req.isolate != "none" || req.retries > 0 ||
+                     req.memory_per_model_mb > 0)) {
+    *error = "--isolate, --memory-per-model and --retries require --batch";
+    return false;
+  }
+  if (req.autotune) {
+    // --autotune implies --cost-model tuned; saying both differently is a
+    // contradiction, not a preference.
+    if (req.cost_model_set &&
+        req.optimize.cost_model != codegen::cost::CostModelMode::kTuned) {
+      *error = "--autotune requires --cost-model tuned";
+      return false;
+    }
+    req.optimize.cost_model = codegen::cost::CostModelMode::kTuned;
+    if (req.isolate == "process") {
+      // The measurement JIT compiles and dlopens inside the worker; a
+      // sandboxed child is the wrong place to shell out to a C compiler.
+      *error = "--autotune does not compose with --isolate process";
+      return false;
+    }
+  }
+  return true;
+}
+
+batch::BatchOptions to_batch_options(const CompileRequest& req) {
+  batch::BatchOptions bopts;
+  bopts.generator = req.generator;
+  bopts.outdir = req.outdir;
+  bopts.optimize = req.optimize;
+  bopts.simd_width = req.simd_width;
+  bopts.strict = req.strict;
+  bopts.max_errors = req.max_errors;
+  bopts.profile_hooks = req.profile_hooks;
+  bopts.jobs = req.jobs;
+  bopts.cache_dir = req.cache_enabled() ? req.cache_dir : std::string();
+  bopts.report_format = req.report_format;
+  bopts.timeout_per_model_ms = req.timeout_per_model_ms;
+  bopts.isolate = req.isolate;
+  bopts.memory_per_model_mb = req.memory_per_model_mb;
+  bopts.retries = req.retries;
+  bopts.retry_backoff_ms = req.retry_backoff_ms;
+  bopts.autotune = req.autotune;
+  bopts.autotune_reps = req.autotune_reps;
+  bopts.autotune_rounds = req.autotune_rounds;
+  return bopts;
+}
+
+bool daemon_request_option(std::string_view name) {
+  static const std::set<std::string, std::less<>> kAllowed = {
+      "generator",      "out",
+      "simd-width",     "max-errors",
+      "strict",         "profile-hooks",
+      "fuse",           "no-fuse",
+      "shrink-buffers", "no-shrink-buffers",
+      "alias-truncation", "no-alias-truncation",
+      "cost-model",     "autotune",
+      "autotune-reps",  "autotune-rounds",
+      "timeout-per-model", "report",
+      "no-cache",       "priority",
+  };
+  return kAllowed.count(name) > 0;
+}
+
+}  // namespace frodo::daemon

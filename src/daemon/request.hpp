@@ -1,0 +1,99 @@
+// CompileRequest — one compile's worth of options, shared by the frodoc
+// command line and the frodod wire protocol.
+//
+// The CLI and the daemon must accept the *same* option vocabulary with the
+// *same* validation (a request that means something different over the
+// socket than on the command line is a debugging nightmare), so both parse
+// through `set_option`: frodoc feeds it argv tokens, the protocol decoder
+// feeds it the members of the request's "options" object.  Error strings
+// are shared too — the daemon's FRODO-E921 message for a bad option is the
+// exact text frodoc would have printed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "codegen/optimize.hpp"
+#include "support/diag.hpp"
+
+namespace frodo::daemon {
+
+// Everything a single frodoc invocation (or one daemon request) can ask
+// for.  Defaults mirror the historical frodoc defaults exactly.
+struct CompileRequest {
+  std::string generator = "frodo";
+  std::string outdir = ".";
+  std::string diag_format = "text";
+  std::string report_format;  // empty = no report
+  std::string trace_out;      // CLI only
+  std::string metrics_out;    // CLI only
+  std::string events_out;     // CLI only
+  std::string cache_dir;      // CLI only (the daemon owns its cache)
+  bool no_cache = false;
+  bool batch = false;
+  bool verbose = false;
+  bool profile_hooks = false;
+  bool emit_main = false;
+  bool print_ranges = false;
+  bool check = false;
+  bool strict = false;
+  int jobs = 1;
+  int simd_width = 4;
+  int max_errors = diag::Engine::kDefaultMaxErrors;
+  long long timeout_per_model_ms = 0;
+  std::string isolate = "none";
+  long long memory_per_model_mb = 0;
+  int retries = 0;
+  long long retry_backoff_ms = 100;
+  codegen::OptimizeOptions optimize;  // cost_model forced to kStatic below
+  bool cost_model_set = false;
+  bool autotune = false;
+  int autotune_reps = 200;
+  int autotune_rounds = 3;
+  // Daemon queue class: "normal" | "high" (docs/DAEMON.md).
+  std::string priority = "normal";
+
+  CompileRequest() {
+    // The CLI's default admission mode is the static cost model;
+    // --cost-model off restores the pre-cost-model behavior byte-for-byte.
+    optimize.cost_model = codegen::cost::CostModelMode::kStatic;
+  }
+
+  bool cache_enabled() const { return !cache_dir.empty() && !no_cache; }
+};
+
+enum class OptionStatus {
+  kHandled,  // recognized and applied
+  kUnknown,  // not an option this vocabulary knows
+  kError,    // recognized but the value is missing/invalid; *error says why
+};
+
+// True when `--NAME` consumes a value ("--jobs 4"); false for bare flags.
+bool option_takes_value(std::string_view name);
+
+// Applies one option to `req`.  `name` is the option without leading
+// dashes ("jobs", "no-fuse").  For value options `value` is the raw text;
+// for flags it is "" or "true" (on) / "false" (off — JSON booleans), where
+// turning a "no-X" flag off sets X back on.  On kError, `*error` holds the
+// frodoc-style message ("--jobs expects a positive integer").
+OptionStatus set_option(CompileRequest& req, std::string_view name,
+                        std::string_view value, std::string* error);
+
+// Cross-option validation + implications (e.g. --autotune implies
+// --cost-model tuned).  False on contradiction, with the message in
+// `*error`.  Call once, after the last set_option.
+bool finalize_request(CompileRequest& req, std::string* error);
+
+// The batch engine's view of the request.  Honors cache_enabled(): a
+// --no-cache request maps to an empty cache_dir.
+batch::BatchOptions to_batch_options(const CompileRequest& req);
+
+// Option names that are valid inside a daemon request's "options" object —
+// per-request knobs only.  Server resources (--jobs, --cache-dir), CLI
+// output sinks (--trace-out, ...) and multi-model modes (--batch, --check)
+// are excluded; the protocol decoder rejects them with FRODO-E921.
+bool daemon_request_option(std::string_view name);
+
+}  // namespace frodo::daemon

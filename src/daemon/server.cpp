@@ -1,0 +1,378 @@
+#include "daemon/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <utility>
+
+#include "support/cancel.hpp"
+#include "support/diag.hpp"
+#include "support/faultinject.hpp"
+#include "support/trace.hpp"
+#include "zip/zip.hpp"
+
+namespace frodo::daemon {
+
+namespace {
+
+// A request line is one JSON document; anything larger than this is a
+// protocol violation, not a model.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+long long elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Reads one '\n'-terminated line (the newline is stripped).  False on EOF
+// before any byte, on a read error, or past the size cap.
+bool read_line(int fd, std::string* line) {
+  line->clear();
+  char buf[4096];
+  while (line->size() < kMaxRequestBytes) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) return false;
+    for (ssize_t i = 0; i < got; ++i) {
+      if (buf[i] == '\n') return true;
+      line->push_back(buf[i]);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+batch::ModelOutcome execute_compile(const CompileRequest& request,
+                                    const std::string& model_path,
+                                    const batch::AnalysisCache* cache,
+                                    support::ThreadPool* pool) {
+  batch::BatchOptions options = to_batch_options(request);
+  batch::ModelOutcome outcome;
+  outcome.input_path = model_path;
+  outcome.engine = diag::Engine(options.max_errors);
+  outcome.tracer.set_metadata("model", model_path);
+  outcome.tracer.set_metadata("generator", options.generator);
+  {
+    // Per-request isolation, all RAII: a request that unwinds on any path
+    // must leave this (pooled, reused) thread exactly as it found it, or
+    // the next request served here inherits its tracer/deadline/fault
+    // filter — the cross-request state leak a long-lived daemon cannot
+    // afford (tests/daemon_test.cpp pins this).
+    trace::InstallScope trace_scope(&outcome.tracer);
+    support::CancelToken token;
+    if (options.timeout_per_model_ms > 0)
+      token.set_timeout_ms(options.timeout_per_model_ms);
+    support::CancelScope cancel_scope(
+        options.timeout_per_model_ms > 0 ? &token : nullptr);
+    support::faultinject::ScopedContext fault_context(model_path);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      outcome.exit_code =
+          batch::compile_one_model(model_path, options, cache, pool, &outcome);
+    } catch (const std::bad_alloc&) {
+      outcome.engine.error(diag::codes::kChildOom,
+                           "out of memory while compiling", model_path);
+      outcome.failure_kind = "oom";
+      outcome.exit_code = 1;
+    }
+    outcome.compile_us = elapsed_us(start);
+  }
+
+  // Output write phase, outside the instrumentation scopes (mirrors the
+  // batch engine's serial writer; repeat compiles legitimately overwrite).
+  if (outcome.exit_code == 0 && options.write_outputs) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.outdir, ec);
+    const std::string base = options.outdir + "/" + outcome.code.prefix;
+    const std::pair<std::string, std::string> parts[] = {
+        {base + ".c", outcome.code.source}, {base + ".h", outcome.code.header}};
+    for (const auto& [path, text] : parts) {
+      auto status =
+          support::faultinject::check("output.write", diag::codes::kIoWrite);
+      if (status.is_ok()) status = zip::write_file(path, text);
+      if (!status.is_ok()) {
+        outcome.engine.error(diag::codes::kIoWrite, status.message(), path);
+        outcome.exit_code = 2;
+        outcome.failure_kind = "infra";
+        break;
+      }
+      outcome.written.push_back(path);
+    }
+  }
+  return outcome;
+}
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      pool_(options_.jobs < 1 ? 1 : options_.jobs),
+      cache_(options_.cache_dir) {
+  // Resident layer: verified cache entries stay in memory, so a warm
+  // request never touches disk — and with no --cache-dir the daemon still
+  // has a (memory-only) cache.
+  cache_.set_resident(true);
+}
+
+Daemon::~Daemon() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+Status Daemon::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path))
+    return Status::error("socket path empty or too long: '" +
+                         options_.socket_path + "'");
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  if (::pipe(wake_fds_) != 0)
+    return Status::error(std::string("pipe: ") + std::strerror(errno));
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Status::error(std::string("socket: ") + std::strerror(errno));
+
+  // A leftover socket file from a crashed daemon must not block startup,
+  // but a *live* daemon on the same path must: probe with a connect.
+  if (std::filesystem::exists(options_.socket_path)) {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool live = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                  sizeof(addr)) == 0;
+      ::close(probe);
+      if (live)
+        return Status::error("another daemon is already serving '" +
+                             options_.socket_path + "'");
+    }
+    ::unlink(options_.socket_path.c_str());
+  }
+
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    return Status::error("bind '" + options_.socket_path +
+                         "': " + std::strerror(errno));
+  if (::listen(listen_fd_, 64) != 0)
+    return Status::error(std::string("listen: ") + std::strerror(errno));
+  return Status::ok();
+}
+
+void Daemon::request_shutdown() {
+  const char byte = 's';
+  // Async-signal-safe; a full pipe means a wake-up is already pending.
+  [[maybe_unused]] ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+}
+
+int Daemon::serve() {
+  // The daemon's registry collects every request's metrics for the
+  // "metrics" verb; restore whatever the host process had installed when
+  // the daemon drains (tests embed daemons in-process).
+  metrics::Registry* previous_registry = metrics::install(&registry_);
+
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // shutdown requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+  }
+
+  // Drain: stop accepting (clients see ECONNREFUSED, not a hang), then let
+  // every queued and in-flight request finish.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+    drained_.wait(lock, [&] {
+      return high_.empty() && normal_.empty() && active_ == 0;
+    });
+  }
+  metrics::install(previous_registry);
+  return 0;
+}
+
+void Daemon::respond(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;  // client went away; its loss
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Daemon::handle_connection(int fd) {
+  // A stalled client must not wedge the accept loop.
+  timeval timeout{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string line;
+  if (!read_line(fd, &line)) {
+    respond(fd, error_response(0, diag::codes::kDaemonProtocol,
+                               "request line unreadable, over 1 MiB, or "
+                               "missing its newline"));
+    ::close(fd);
+    return;
+  }
+  auto decoded = decode_request(line);
+  if (!decoded.is_ok()) {
+    registry_.add("frodo_daemon_requests_total",
+                  metrics::Labels{{"verb", "invalid"}});
+    respond(fd, error_response(0, diag::codes::kDaemonProtocol,
+                               decoded.status().message()));
+    ::close(fd);
+    return;
+  }
+  Request request = std::move(decoded).value();
+  registry_.add("frodo_daemon_requests_total",
+                metrics::Labels{{"verb", request.verb}});
+
+  if (request.verb == "health") {
+    long long queued = 0, active = 0;
+    bool draining = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queued = static_cast<long long>(high_.size() + normal_.size());
+      active = active_;
+      draining = draining_;
+    }
+    respond(fd, health_response(request.id, active, queued, served_.load(),
+                                draining));
+    ::close(fd);
+    return;
+  }
+  if (request.verb == "metrics") {
+    respond(fd, metrics_response(request.id, registry_.prometheus_text(),
+                                 registry_.json_snapshot()));
+    ::close(fd);
+    return;
+  }
+  if (request.verb == "shutdown") {
+    respond(fd, ok_response(request.id, "shutdown"));
+    ::close(fd);
+    request_shutdown();
+    return;
+  }
+  enqueue_compile(std::move(request), fd);
+}
+
+void Daemon::enqueue_compile(Request request, int fd) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    const std::size_t queued = high_.size() + normal_.size();
+    if (draining_ || queued >= options_.queue_limit) {
+      registry_.add("frodo_daemon_rejected_total",
+                    metrics::Labels{
+                        {"reason", draining_ ? "draining" : "busy"}});
+      respond(fd,
+              error_response(
+                  request.id, diag::codes::kDaemonBusy,
+                  draining_
+                      ? "daemon is draining; no new requests accepted"
+                      : "request queue is full (" + std::to_string(queued) +
+                            " queued); retry later"));
+      ::close(fd);
+      return;
+    }
+    const bool high = request.options.priority == "high";
+    (high ? high_ : normal_).push_back(Job{std::move(request), fd});
+    registry_.set("frodo_daemon_queue_depth", {},
+                  static_cast<double>(queued + 1));
+  }
+  // One drain ticket per enqueued job; the ticket serves the *best* queued
+  // job at execution time, which is what makes priorities real: a ticket
+  // posted for a normal job will happily serve a high one that arrived
+  // while the pool was busy.
+  pool_.run([this] { serve_one(); });
+}
+
+void Daemon::serve_one() {
+  Job job;
+  long long served_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::deque<Job>& queue = high_.empty() ? normal_ : high_;
+    if (queue.empty()) return;  // already served by another ticket
+    job = std::move(queue.front());
+    queue.pop_front();
+    ++active_;
+    served_seq = ++seq_;
+    registry_.set("frodo_daemon_queue_depth", {},
+                  static_cast<double>(high_.size() + normal_.size()));
+  }
+
+  std::string response;
+  try {
+    const batch::AnalysisCache* cache =
+        job.request.options.no_cache ? nullptr : &cache_;
+    batch::ModelOutcome outcome =
+        execute_compile(job.request.options, job.request.model, cache, &pool_);
+
+    metrics::CompileEvent event =
+        batch::outcome_event(outcome, served_seq, job.request.options.generator);
+    registry_.add("frodo_daemon_compiles_total",
+                  metrics::Labels{{"priority", job.request.options.priority},
+                                  {"outcome", event.outcome}});
+    // Aggregate compile families (frodo_compiles_total, latency histogram,
+    // cache counters) via the same recorder the batch CLI uses, so fleet
+    // dashboards need one schema.
+    {
+      batch::BatchOptions bopts = to_batch_options(job.request.options);
+      batch::BatchResult one;
+      one.exit_code = outcome.exit_code;
+      one.wall_us = outcome.compile_us;
+      one.failed_models = outcome.exit_code == 0 ? 0 : 1;
+      one.cache_hits = outcome.cache_hit ? 1 : 0;
+      one.cache_misses = outcome.cache_checked && !outcome.cache_hit ? 1 : 0;
+      one.models.push_back(std::move(outcome));
+      batch::record_batch_metrics(one, bopts, &registry_);
+      outcome = std::move(one.models.front());
+    }
+    if (!options_.events_out.empty()) {
+      std::lock_guard<std::mutex> lock(ledger_mutex_);
+      std::ofstream out(options_.events_out, std::ios::app);
+      out << metrics::event_json_line(event);
+    }
+    response = compile_response(job.request.id, served_seq, outcome, event);
+  } catch (const std::exception& e) {
+    response = error_response(job.request.id, diag::codes::kInternal,
+                              std::string("internal error: ") + e.what());
+  } catch (...) {
+    response = error_response(job.request.id, diag::codes::kInternal,
+                              "internal error");
+  }
+  respond(job.fd, response);
+  ::close(job.fd);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    --active_;
+    ++served_;
+    if (high_.empty() && normal_.empty() && active_ == 0)
+      drained_.notify_all();
+  }
+}
+
+}  // namespace frodo::daemon

@@ -1,0 +1,130 @@
+// frodod — the compilation-as-a-service daemon (docs/DAEMON.md).
+//
+// A long-lived server that keeps the expensive state resident between
+// requests — the content-addressed analysis cache (plus autotuned decision
+// vectors), the parsed block library, and the warmed thread pool — so a
+// fleet of clients pays the Algorithm 1 cost once per distinct model
+// configuration instead of once per invocation.  The second compile of a
+// model the daemon has seen does zero range-analysis work (zero
+// range_analysis spans; analysis_cache_hit increments).
+//
+// Concurrency model:
+//   * the accept loop runs on the caller of serve(); each connection is one
+//     request (protocol.hpp);
+//   * compile requests land in a two-level bounded queue (high before
+//     normal, FIFO within a level); each enqueue posts one "drain ticket"
+//     to the shared ThreadPool, and each ticket pops the *best* queued job
+//     at execution time — so a high-priority request enqueued while the
+//     pool is busy overtakes every queued normal-priority one;
+//   * the same pool runs the intra-model parallel passes (nested
+//     parallel_for is deadlock-free, support/thread_pool.hpp);
+//   * when the queue is full the request is rejected immediately with a
+//     structured FRODO-E920 response — backpressure, not silence.
+//
+// Lifecycle: SIGTERM/SIGINT (via request_shutdown(), self-pipe) or the
+// "shutdown" verb stop the accept loop, unlink the socket, finish every
+// queued and in-flight request, flush the event ledger, and exit 0.  Every
+// request runs under RAII-installed per-request instrumentation (tracer,
+// cancel token, fault context), so nothing leaks across requests on any
+// path — the property tests/daemon_test.cpp pins.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "batch/batch.hpp"
+#include "batch/cache.hpp"
+#include "daemon/protocol.hpp"
+#include "support/metrics/registry.hpp"
+#include "support/status.hpp"
+#include "support/thread_pool.hpp"
+
+namespace frodo::daemon {
+
+struct DaemonOptions {
+  // Unix-domain socket path; bound by start(), unlinked on drain.
+  std::string socket_path;
+  // Concurrent compile requests (pool workers).  Intra-model parallelism
+  // shares the same pool.
+  int jobs = 1;
+  // Analysis-cache directory.  Empty = memory-only: the resident layer
+  // (AnalysisCache::set_resident) still makes repeat compiles warm, but
+  // nothing survives the daemon.
+  std::string cache_dir;
+  // Max queued (not yet started) compile requests before FRODO-E920.
+  std::size_t queue_limit = 32;
+  // Append one "frodo.event/1" line per served compile request; empty = off.
+  std::string events_out;
+};
+
+// One compile executed with full per-request isolation: tracer, cancel
+// token (from options.timeout_per_model_ms) and fault context are
+// RAII-installed around the pipeline and guaranteed uninstalled on every
+// path, and generated files are written afterwards (outcome->written).
+// `cache` may be null (request said --no-cache).  Exposed as a free
+// function so tests can pin zero cross-request state leakage without a
+// socket in the way.
+batch::ModelOutcome execute_compile(const CompileRequest& request,
+                                    const std::string& model_path,
+                                    const batch::AnalysisCache* cache,
+                                    support::ThreadPool* pool);
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Binds and listens on the socket (rejecting a path another live daemon
+  // is serving; replacing a stale socket file).  Call once before serve().
+  Status start();
+
+  // Accept loop; returns the process exit code (0 after a clean drain).
+  int serve();
+
+  // Initiates shutdown-with-drain from any thread or signal handler (one
+  // byte down a self-pipe; async-signal-safe).
+  void request_shutdown();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  metrics::Registry& registry() { return registry_; }
+  long long served() const { return served_.load(); }
+
+ private:
+  struct Job {
+    Request request;
+    int fd = -1;
+  };
+
+  void handle_connection(int fd);
+  void enqueue_compile(Request request, int fd);
+  // One drain ticket: pops and serves the best queued job.
+  void serve_one();
+  void respond(int fd, const std::string& line);
+
+  DaemonOptions options_;
+  support::ThreadPool pool_;
+  batch::AnalysisCache cache_;
+  metrics::Registry registry_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+
+  std::mutex queue_mutex_;
+  std::condition_variable drained_;
+  std::deque<Job> high_;
+  std::deque<Job> normal_;
+  long long active_ = 0;  // jobs dequeued but not finished
+  bool draining_ = false;
+
+  std::atomic<long long> served_{0};
+  std::atomic<long long> seq_{0};  // service-order stamp (served_seq)
+
+  std::mutex ledger_mutex_;  // serializes events_out appends
+};
+
+}  // namespace frodo::daemon

@@ -33,6 +33,13 @@ namespace frodo::support {
 
 class CancelToken {
  public:
+  // All deadline arithmetic is pinned to the monotonic clock.  A long-lived
+  // daemon outlives NTP steps and manual clock adjustments; a system_clock
+  // deadline would fire early or never across such a jump.  Tests
+  // static_assert on this alias (tests/daemon_test.cpp).
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "deadlines must use a monotonic clock");
+
   CancelToken() = default;
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
@@ -40,14 +47,14 @@ class CancelToken {
   // Requests cooperative cancellation; safe from any thread, sticky.
   void cancel() { cancelled_.store(true, std::memory_order_release); }
 
-  // Arms a wall-clock deadline `timeout_ms` from now (<= 0 disarms).
+  // Arms a deadline `timeout_ms` from now on the monotonic clock (<= 0
+  // disarms).
   void set_timeout_ms(long long timeout_ms) {
     if (timeout_ms <= 0) {
       has_deadline_.store(false, std::memory_order_release);
       return;
     }
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(timeout_ms);
+    deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
     expired_.store(false, std::memory_order_release);
     has_deadline_.store(true, std::memory_order_release);
   }
@@ -61,7 +68,7 @@ class CancelToken {
   bool expired() const {
     if (!has_deadline_.load(std::memory_order_acquire)) return false;
     if (expired_.load(std::memory_order_acquire)) return true;
-    if (std::chrono::steady_clock::now() < deadline_) return false;
+    if (Clock::now() < deadline_) return false;
     expired_.store(true, std::memory_order_release);
     return true;
   }
@@ -76,7 +83,7 @@ class CancelToken {
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> has_deadline_{false};
   mutable std::atomic<bool> expired_{false};
-  std::chrono::steady_clock::time_point deadline_{};
+  Clock::time_point deadline_{};
 };
 
 // Installs `token` as the calling thread's cancellation source (nullptr

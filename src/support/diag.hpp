@@ -91,6 +91,13 @@ inline constexpr char kChildOom[] = "FRODO-E913";
 // The isolation machinery itself failed (fork/pipe/wait) — an
 // infrastructure error, not a verdict on the model.
 inline constexpr char kIsolateInfra[] = "FRODO-E914";
+// Compilation service (frodod, docs/DAEMON.md).  The daemon's request queue
+// is full (backpressure): the request was rejected without compiling and the
+// client should retry later.
+inline constexpr char kDaemonBusy[] = "FRODO-E920";
+// A daemon request line was unparsable or structurally invalid (bad JSON,
+// missing/unknown verb, bad option value) — a client bug, not a model one.
+inline constexpr char kDaemonProtocol[] = "FRODO-E921";
 // Warnings (graceful degradation).
 inline constexpr char kWUnknownBlockType[] = "FRODO-W001";
 inline constexpr char kWPullbackFallback[] = "FRODO-W002";

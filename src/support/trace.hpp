@@ -98,6 +98,23 @@ class Tracer {
 Tracer* install(Tracer* tracer);
 Tracer* current();
 
+// RAII installation, mirroring support::CancelScope: the previous tracer is
+// restored on *every* exit path, including exceptions.  Long-lived
+// multi-request processes (the batch workers, the frodod daemon) must use
+// this instead of a manual install/restore pair — a request that unwinds
+// past a missed restore would leave its tracer installed on the thread, and
+// the next request compiled there would interleave spans into it.
+class InstallScope {
+ public:
+  explicit InstallScope(Tracer* tracer) : previous_(install(tracer)) {}
+  ~InstallScope() { install(previous_); }
+  InstallScope(const InstallScope&) = delete;
+  InstallScope& operator=(const InstallScope&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
 // RAII span over the installed tracer; no-op when tracing is off.
 class Scope {
  public:

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -648,12 +649,19 @@ TEST(AnalysisCacheRobustness, CorruptEntryIsQuarantinedToBad) {
 TEST(AnalysisCacheRobustness, StaleTmpFilesFromDeadWritersAreSwept) {
   const std::string dir = unique_dir("tmpsweep");
   // A temp file left by a writer that no longer exists (no pid this large)
-  // and one from a live process (our own).
+  // and one from a live process (our own).  Both are aged past the sweep's
+  // grace window — a *fresh* file is never reaped, even with a dead pid,
+  // because the pid probe races a writer mid-write (tests/daemon_test.cpp
+  // covers the grace-window and PID-reuse cases).
   const std::string stale = dir + "/deadbeef.bin.tmp.999999999";
   const std::string live =
       dir + "/cafe.bin.tmp." + std::to_string(::getpid());
   std::ofstream(stale) << "orphaned";
   std::ofstream(live) << "in flight";
+  const auto aged = std::filesystem::file_time_type::clock::now() -
+                    std::chrono::seconds(batch::kTmpSweepGraceSeconds + 60);
+  std::filesystem::last_write_time(stale, aged);
+  std::filesystem::last_write_time(live, aged);
 
   auto model = benchmodels::build_back();
   ASSERT_TRUE(model.is_ok());

@@ -1,0 +1,770 @@
+// frodod, the compilation-as-a-service daemon (docs/DAEMON.md):
+//
+//   * the shared option vocabulary (set_option / finalize_request) and the
+//     wire protocol (encode/decode round-trip, FRODO-E921 rejection paths,
+//     single-line framing of every response);
+//   * the state-leak fixes a long-lived process depends on: RAII
+//     uninstallation of the per-request tracer and cancel token on every
+//     exit path, monotonic-clock deadlines, and the stale-tmp sweep's
+//     grace window + PID-reuse age cap;
+//   * end-to-end daemon behavior over a real Unix-domain socket: cold/warm
+//     compiles (a warm request does ZERO range-analysis work and emits
+//     byte-identical code to a one-shot frodoc), priority overtaking,
+//     FRODO-E920 backpressure, metrics/health verbs, drain-on-shutdown,
+//     and the frodod binary's SIGTERM lifecycle.
+#include "daemon/server.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "batch/cache.hpp"
+#include "daemon/client.hpp"
+#include "daemon/protocol.hpp"
+#include "daemon/request.hpp"
+#include "support/cancel.hpp"
+#include "support/faultinject.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+#include "zip/zip.hpp"
+
+#ifndef FRODOC_PATH
+#error "FRODOC_PATH must be defined by the build"
+#endif
+#ifndef FRODOD_PATH
+#error "FRODOD_PATH must be defined by the build"
+#endif
+
+namespace frodo {
+namespace {
+
+namespace fs = std::filesystem;
+using daemon::CompileRequest;
+using daemon::OptionStatus;
+
+std::string tmpdir() {
+  const std::string dir = testing::TempDir() + "/frodo_daemon";
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Unique per call: ctest runs tests from this binary as parallel processes,
+// which must never share scratch directories or sockets.
+std::string unique_dir(const std::string& stem) {
+  static int counter = 0;
+  const std::string dir = tmpdir() + "/" + stem + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// sockaddr_un::sun_path is ~107 bytes; keep socket paths short and in /tmp
+// regardless of where TempDir() points.
+std::string unique_socket() {
+  static int counter = 0;
+  return "/tmp/frodod_t" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+// A small model with real optimizer decisions (Gain chain into a Selector),
+// large enough that range analysis leaves a visible trace span.
+std::string write_model(const std::string& dir, const std::string& name,
+                        int dims) {
+  const std::string path = dir + "/" + name + ".xml";
+  std::ofstream out(path);
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<Model Name=\"" << name << "\">\n"
+      << "  <Block Name=\"in\" Type=\"Inport\"><P Name=\"Port\">1</P>"
+      << "<P Name=\"Dims\">" << dims << "</P></Block>\n"
+      << "  <Block Name=\"g1\" Type=\"Gain\"><P Name=\"Gain\">2.0</P></Block>\n"
+      << "  <Block Name=\"g2\" Type=\"Gain\"><P Name=\"Gain\">0.5</P></Block>\n"
+      << "  <Block Name=\"sel\" Type=\"Selector\"><P Name=\"Start\">0</P>"
+      << "<P Name=\"End\">" << (dims / 2 - 1) << "</P></Block>\n"
+      << "  <Block Name=\"out\" Type=\"Outport\"><P Name=\"Port\">1</P>"
+      << "</Block>\n"
+      << "  <Line><Src Block=\"in\" Port=\"1\"/>"
+      << "<Dst Block=\"g1\" Port=\"1\"/></Line>\n"
+      << "  <Line><Src Block=\"g1\" Port=\"1\"/>"
+      << "<Dst Block=\"g2\" Port=\"1\"/></Line>\n"
+      << "  <Line><Src Block=\"g2\" Port=\"1\"/>"
+      << "<Dst Block=\"sel\" Port=\"1\"/></Line>\n"
+      << "  <Line><Src Block=\"sel\" Port=\"1\"/>"
+      << "<Dst Block=\"out\" Port=\"1\"/></Line>\n"
+      << "</Model>\n";
+  return path;
+}
+
+json::Value parse_response(const std::string& line) {
+  auto parsed = json::parse(line);
+  EXPECT_TRUE(parsed.is_ok()) << "unparsable response: " << line;
+  if (!parsed.is_ok()) return json::Value{};
+  return std::move(parsed).value();
+}
+
+double number_field(const json::Value& value, std::string_view key) {
+  const json::Value* field = value.find(key);
+  EXPECT_NE(field, nullptr) << "missing field " << key;
+  return field != nullptr ? field->number : -1;
+}
+
+std::string string_field(const json::Value& value, std::string_view key) {
+  const json::Value* field = value.find(key);
+  EXPECT_NE(field, nullptr) << "missing field " << key;
+  return field != nullptr ? field->string : "";
+}
+
+// Runs an in-process Daemon with serve() on its own thread; shutdown() (or
+// the destructor) drains it.
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(daemon::DaemonOptions options)
+      : daemon_(std::move(options)) {
+    start_status_ = daemon_.start();
+    if (start_status_.is_ok())
+      server_ = std::thread([this] { exit_code_ = daemon_.serve(); });
+  }
+  ~DaemonHarness() { shutdown(); }
+
+  const Status& start_status() const { return start_status_; }
+  daemon::Daemon& daemon() { return daemon_; }
+  const std::string& socket() const { return daemon_.socket_path(); }
+
+  int shutdown() {
+    if (server_.joinable()) {
+      daemon_.request_shutdown();
+      server_.join();
+    }
+    return exit_code_;
+  }
+
+  Result<std::string> send(const daemon::Request& request) {
+    return daemon::roundtrip(socket(), daemon::encode_request(request));
+  }
+
+  // Compile `model` into `outdir` with `extra` option (name, value) pairs
+  // applied on top of the defaults; returns the parsed response.
+  json::Value compile(const std::string& model, const std::string& outdir,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          extra = {}) {
+    daemon::Request request;
+    request.id = ++next_id_;
+    request.verb = "compile";
+    request.model = model;
+    std::string error;
+    EXPECT_EQ(daemon::set_option(request.options, "out", outdir, &error),
+              OptionStatus::kHandled)
+        << error;
+    for (const auto& [name, value] : extra) {
+      EXPECT_EQ(daemon::set_option(request.options, name, value, &error),
+                OptionStatus::kHandled)
+          << name << ": " << error;
+    }
+    auto response = send(request);
+    EXPECT_TRUE(response.is_ok()) << response.status().message();
+    if (!response.is_ok()) return json::Value{};
+    return parse_response(response.value());
+  }
+
+  // Polls the health verb until `ready` holds (or ~5 s pass).
+  template <typename Predicate>
+  bool wait_health(Predicate ready) {
+    for (int i = 0; i < 500; ++i) {
+      daemon::Request request;
+      request.id = ++next_id_;
+      request.verb = "health";
+      auto response = send(request);
+      if (response.is_ok()) {
+        const json::Value health = parse_response(response.value());
+        if (ready(static_cast<long long>(number_field(health, "active")),
+                  static_cast<long long>(number_field(health, "queued"))))
+          return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+ private:
+  daemon::Daemon daemon_;
+  Status start_status_ = Status::ok();
+  std::thread server_;
+  int exit_code_ = -1;
+  long long next_id_ = 0;
+};
+
+struct FaultGuard {
+  ~FaultGuard() { support::faultinject::disarm(); }
+};
+
+// ---------------------------------------------------------------------------
+// Option vocabulary (shared by frodoc argv and the wire protocol)
+
+TEST(DaemonRequest, SetOptionAppliesValuesFlagsAndInversions) {
+  CompileRequest req;
+  std::string error;
+  EXPECT_EQ(daemon::set_option(req, "generator", "sota", &error),
+            OptionStatus::kHandled);
+  EXPECT_EQ(req.generator, "sota");
+  EXPECT_EQ(daemon::set_option(req, "jobs", "8", &error),
+            OptionStatus::kHandled);
+  EXPECT_EQ(req.jobs, 8);
+  EXPECT_EQ(daemon::set_option(req, "strict", "", &error),
+            OptionStatus::kHandled);
+  EXPECT_TRUE(req.strict);
+
+  // "no-X" flags flip the optimizer bit off; a JSON `false` flips it back.
+  EXPECT_TRUE(req.optimize.fuse);
+  EXPECT_EQ(daemon::set_option(req, "no-fuse", "true", &error),
+            OptionStatus::kHandled);
+  EXPECT_FALSE(req.optimize.fuse);
+  EXPECT_EQ(daemon::set_option(req, "no-fuse", "false", &error),
+            OptionStatus::kHandled);
+  EXPECT_TRUE(req.optimize.fuse);
+
+  EXPECT_TRUE(daemon::option_takes_value("jobs"));
+  EXPECT_TRUE(daemon::option_takes_value("priority"));
+  EXPECT_FALSE(daemon::option_takes_value("strict"));
+  EXPECT_FALSE(daemon::option_takes_value("no-fuse"));
+}
+
+TEST(DaemonRequest, SetOptionRejectsBadValuesWithFrodocMessages) {
+  CompileRequest req;
+  std::string error;
+  EXPECT_EQ(daemon::set_option(req, "jobs", "zero", &error),
+            OptionStatus::kError);
+  EXPECT_NE(error.find("--jobs"), std::string::npos) << error;
+  EXPECT_EQ(daemon::set_option(req, "priority", "urgent", &error),
+            OptionStatus::kError);
+  EXPECT_EQ(daemon::set_option(req, "definitely-not-an-option", "", &error),
+            OptionStatus::kUnknown);
+}
+
+TEST(DaemonRequest, FinalizeCatchesCrossOptionContradictions) {
+  // --autotune forces the tuned cost model; explicitly asking for another
+  // one at the same time is a contradiction, not a silent override.
+  CompileRequest req;
+  std::string error;
+  ASSERT_EQ(daemon::set_option(req, "autotune", "", &error),
+            OptionStatus::kHandled);
+  ASSERT_EQ(daemon::set_option(req, "cost-model", "off", &error),
+            OptionStatus::kHandled);
+  EXPECT_FALSE(daemon::finalize_request(req, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Isolation knobs belong to --batch.
+  CompileRequest iso;
+  ASSERT_EQ(daemon::set_option(iso, "isolate", "process", &error),
+            OptionStatus::kHandled);
+  EXPECT_FALSE(daemon::finalize_request(iso, &error));
+}
+
+TEST(DaemonRequest, DaemonVocabularyExcludesServerResources) {
+  // Per-request knobs pass; server resources and CLI sinks do not.
+  EXPECT_TRUE(daemon::daemon_request_option("generator"));
+  EXPECT_TRUE(daemon::daemon_request_option("priority"));
+  EXPECT_TRUE(daemon::daemon_request_option("no-fuse"));
+  EXPECT_FALSE(daemon::daemon_request_option("jobs"));
+  EXPECT_FALSE(daemon::daemon_request_option("cache-dir"));
+  EXPECT_FALSE(daemon::daemon_request_option("trace-out"));
+  EXPECT_FALSE(daemon::daemon_request_option("batch"));
+  EXPECT_FALSE(daemon::daemon_request_option("isolate"));
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(DaemonProtocol, EncodeDecodeRoundTrip) {
+  daemon::Request request;
+  request.id = 42;
+  request.verb = "compile";
+  request.model = "/abs/path/Model.slxz";
+  std::string error;
+  ASSERT_EQ(daemon::set_option(request.options, "generator", "sota", &error),
+            OptionStatus::kHandled);
+  ASSERT_EQ(daemon::set_option(request.options, "no-fuse", "", &error),
+            OptionStatus::kHandled);
+  ASSERT_EQ(daemon::set_option(request.options, "priority", "high", &error),
+            OptionStatus::kHandled);
+  ASSERT_EQ(
+      daemon::set_option(request.options, "timeout-per-model", "250", &error),
+      OptionStatus::kHandled);
+
+  const std::string line = daemon::encode_request(request);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto decoded = daemon::decode_request(line);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().message();
+  EXPECT_EQ(decoded.value().id, 42);
+  EXPECT_EQ(decoded.value().verb, "compile");
+  EXPECT_EQ(decoded.value().model, "/abs/path/Model.slxz");
+  EXPECT_EQ(decoded.value().options.generator, "sota");
+  EXPECT_FALSE(decoded.value().options.optimize.fuse);
+  EXPECT_EQ(decoded.value().options.priority, "high");
+  EXPECT_EQ(decoded.value().options.timeout_per_model_ms, 250);
+}
+
+TEST(DaemonProtocol, DecodeRejectsInvalidRequestsWithE921) {
+  const char* bad[] = {
+      "not json at all",
+      "{\"schema\":\"frodo.request/2\",\"id\":1,\"verb\":\"compile\","
+      "\"model\":\"m\"}",
+      "{\"schema\":\"frodo.request/1\",\"id\":1,\"verb\":\"dance\"}",
+      "{\"schema\":\"frodo.request/1\",\"id\":1,\"verb\":\"compile\"}",
+      // --jobs is a server resource, not a per-request option.
+      "{\"schema\":\"frodo.request/1\",\"id\":1,\"verb\":\"compile\","
+      "\"model\":\"m\",\"options\":{\"jobs\":4}}",
+      // Recognized option, bad value: the error is frodoc's own message.
+      "{\"schema\":\"frodo.request/1\",\"id\":1,\"verb\":\"compile\","
+      "\"model\":\"m\",\"options\":{\"simd-width\":\"wide\"}}",
+  };
+  for (const char* line : bad) {
+    auto decoded = daemon::decode_request(line);
+    ASSERT_FALSE(decoded.is_ok()) << line;
+    EXPECT_EQ(decoded.status().code(), diag::codes::kDaemonProtocol) << line;
+  }
+}
+
+TEST(DaemonProtocol, ResponsesAreSingleLine) {
+  // The line protocol dies if any response embeds a literal newline — the
+  // metrics response is the regression case (json_snapshot() pretty-prints).
+  metrics::Registry registry;
+  registry.add("frodo_daemon_requests_total", {{"verb", "compile"}});
+  registry.observe("frodo_compile_latency_seconds", {{"outcome", "ok"}}, 0.25);
+  const std::string metrics = daemon::metrics_response(
+      7, registry.prometheus_text(), registry.json_snapshot());
+  EXPECT_EQ(metrics.find('\n'), std::string::npos);
+  const json::Value parsed = parse_response(metrics);
+  const json::Value* snapshot = parsed.find("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->is_object());
+  EXPECT_EQ(string_field(*snapshot, "schema"), "frodo.metrics/1");
+  EXPECT_NE(string_field(parsed, "prometheus")
+                .find("frodo_daemon_requests_total"),
+            std::string::npos);
+
+  EXPECT_EQ(daemon::error_response(1, diag::codes::kDaemonBusy, "q\nfull")
+                .find('\n'),
+            std::string::npos);
+  EXPECT_EQ(daemon::health_response(1, 0, 0, 0, false).find('\n'),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// State-leak bugfixes
+
+TEST(DaemonStateLeaks, CancelDeadlinesUseAMonotonicClock) {
+  // A wall-clock deadline would fire spuriously (or never) when NTP steps
+  // the clock under a long-lived daemon; the token must be pinned to
+  // steady_clock, not merely to "some clock that was steady at the time".
+  static_assert(std::is_same_v<support::CancelToken::Clock,
+                               std::chrono::steady_clock>,
+                "per-request deadlines must use std::chrono::steady_clock");
+  static_assert(support::CancelToken::Clock::is_steady);
+  support::CancelToken token;
+  token.set_timeout_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(DaemonStateLeaks, ExecuteCompileUninstallsInstrumentationOnEveryPath) {
+  const std::string dir = unique_dir("leak");
+  const std::string model = write_model(dir, "Leak", 64);
+  support::ThreadPool pool(0);
+  batch::AnalysisCache cache("");
+  cache.set_resident(true);
+
+  ASSERT_EQ(trace::current(), nullptr);
+  ASSERT_EQ(support::cancel_current(), nullptr);
+
+  CompileRequest ok_request;
+  ok_request.outdir = dir + "/out";
+  ok_request.timeout_per_model_ms = 30000;
+  batch::ModelOutcome ok_outcome =
+      daemon::execute_compile(ok_request, model, &cache, &pool);
+  EXPECT_EQ(ok_outcome.exit_code, 0);
+  EXPECT_EQ(ok_outcome.written.size(), 2u);
+  // The request's tracer and deadline must be gone from this thread.
+  EXPECT_EQ(trace::current(), nullptr);
+  EXPECT_EQ(support::cancel_current(), nullptr);
+
+  // Failure path (unloadable package) unwinds through the same scopes.
+  batch::ModelOutcome bad_outcome = daemon::execute_compile(
+      ok_request, dir + "/does_not_exist.slxz", &cache, &pool);
+  EXPECT_NE(bad_outcome.exit_code, 0);
+  EXPECT_EQ(trace::current(), nullptr);
+  EXPECT_EQ(support::cancel_current(), nullptr);
+}
+
+TEST(DaemonStateLeaks, WarmCompileDoesZeroRangeAnalysis) {
+  const std::string dir = unique_dir("warm");
+  const std::string model = write_model(dir, "Warm", 128);
+  support::ThreadPool pool(0);
+  batch::AnalysisCache cache("");  // memory-only: resident layer is the cache
+  cache.set_resident(true);
+
+  CompileRequest request;
+  request.outdir = dir + "/out";
+  const batch::ModelOutcome cold =
+      daemon::execute_compile(request, model, &cache, &pool);
+  ASSERT_EQ(cold.exit_code, 0);
+  EXPECT_TRUE(cold.cache_checked);
+  EXPECT_FALSE(cold.cache_hit);
+
+  const batch::ModelOutcome warm =
+      daemon::execute_compile(request, model, &cache, &pool);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_TRUE(warm.cache_hit);
+  const metrics::CompileEvent cold_event = batch::outcome_event(cold, 1, "f");
+  const metrics::CompileEvent warm_event = batch::outcome_event(warm, 2, "f");
+  auto has_phase = [](const metrics::CompileEvent& event,
+                      const std::string& phase) {
+    for (const auto& [name, us] : event.timings_us)
+      if (name == phase) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_phase(cold_event, "range_analysis"));
+  EXPECT_FALSE(has_phase(warm_event, "range_analysis"));
+
+  // Identical request, identical bytes.
+  auto cold_src = zip::read_file(cold.written[0]);
+  ASSERT_TRUE(cold_src.is_ok());
+  auto warm_src = zip::read_file(warm.written[0]);
+  ASSERT_TRUE(warm_src.is_ok());
+  EXPECT_EQ(cold_src.value(), warm_src.value());
+}
+
+TEST(DaemonStateLeaks, TmpSweepSparesRecentAndLiveWritersReapsOrphans) {
+  // Two writers share one cache directory: the sweep must never reap a
+  // *young* temp file (its writer may be mid-write even if the pid probe
+  // says dead — PID checks race), must reap an old file whose writer is
+  // gone, and must reap an *ancient* file even when its recorded pid
+  // "runs", because by then the pid has been recycled by an unrelated
+  // process.
+  const std::string dir = unique_dir("sweep");
+  const std::string live_pid = std::to_string(::getpid());
+  const std::string dead_pid = "999999999";
+
+  auto plant = [&](const std::string& name, long long age_seconds) {
+    const std::string path = dir + "/" + name;
+    std::ofstream(path) << "partial";
+    fs::last_write_time(
+        path, fs::file_time_type::clock::now() -
+                  std::chrono::seconds(age_seconds));
+    return path;
+  };
+  const std::string young_dead = plant("a.tmp." + dead_pid, 5);
+  const std::string old_dead =
+      plant("b.tmp." + dead_pid, batch::kTmpSweepGraceSeconds + 60);
+  const std::string old_live =
+      plant("c.tmp." + live_pid, batch::kTmpSweepGraceSeconds + 60);
+  const std::string ancient_live =
+      plant("d.tmp." + live_pid, batch::kTmpSweepMaxAgeSeconds + 60);
+
+  // The sweep runs on this instance's first store.
+  batch::AnalysisCache cache(dir);
+  cache.store("sweeptrigger", range::RangeAnalysis{});
+
+  EXPECT_TRUE(fs::exists(young_dead)) << "grace window violated";
+  EXPECT_FALSE(fs::exists(old_dead)) << "orphan not reaped";
+  EXPECT_TRUE(fs::exists(old_live)) << "live writer's file reaped";
+  EXPECT_FALSE(fs::exists(ancient_live)) << "PID-reuse age cap violated";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over the socket (in-process daemon)
+
+TEST(DaemonE2E, ColdThenWarmCompileMatchesOneShotFrodoc) {
+  const std::string dir = unique_dir("e2e");
+  const std::string model = write_model(dir, "Cold", 256);
+  daemon::DaemonOptions options;
+  options.socket_path = unique_socket();
+  options.events_out = dir + "/events.jsonl";
+  DaemonHarness harness(options);
+  ASSERT_TRUE(harness.start_status().is_ok())
+      << harness.start_status().message();
+
+  const json::Value cold = harness.compile(model, dir + "/cold");
+  EXPECT_EQ(number_field(cold, "exit_code"), 0);
+  EXPECT_EQ(string_field(cold, "cache"), "miss");
+  EXPECT_EQ(string_field(cold, "model"), "Cold");
+  EXPECT_GT(number_field(cold, "lines"), 0);
+
+  const json::Value warm = harness.compile(model, dir + "/warm");
+  EXPECT_EQ(number_field(warm, "exit_code"), 0);
+  EXPECT_EQ(string_field(warm, "cache"), "hit");
+  // The warm request's event must record zero range-analysis work.
+  const json::Value* event = warm.find("event");
+  ASSERT_NE(event, nullptr);
+  const json::Value* timings = event->find("timings_us");
+  ASSERT_NE(timings, nullptr);
+  EXPECT_EQ(timings->find("range_analysis"), nullptr)
+      << "warm request re-ran range analysis";
+
+  EXPECT_EQ(harness.shutdown(), 0);
+
+  // Both daemon compiles are byte-identical to a one-shot frodoc run.
+  const std::string cmd = std::string(FRODOC_PATH) + " '" + model +
+                          "' --out '" + dir + "/oneshot' > /dev/null 2>&1";
+  ASSERT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 0);
+  for (const char* stem : {"Cold.c", "Cold.h"}) {
+    auto oneshot = zip::read_file(dir + "/oneshot/" + stem);
+    ASSERT_TRUE(oneshot.is_ok()) << stem;
+    for (const char* phase : {"cold", "warm"}) {
+      auto daemon_copy = zip::read_file(dir + "/" + phase + "/" + stem);
+      ASSERT_TRUE(daemon_copy.is_ok()) << phase << "/" << stem;
+      EXPECT_EQ(daemon_copy.value(), oneshot.value()) << phase << "/" << stem;
+    }
+  }
+
+  // Two events in the ledger, in service order.
+  auto ledger = zip::read_file(dir + "/events.jsonl");
+  ASSERT_TRUE(ledger.is_ok());
+  EXPECT_EQ(std::count(ledger.value().begin(), ledger.value().end(), '\n'), 2);
+  EXPECT_NE(ledger.value().find("\"cache\": \"hit\""), std::string::npos);
+}
+
+TEST(DaemonE2E, HighPriorityOvertakesQueuedNormalRequests) {
+  const std::string dir = unique_dir("prio");
+  const std::string blocker = write_model(dir, "PrioBlocker", 64);
+  const std::string model = write_model(dir, "Prio", 64);
+  daemon::DaemonOptions options;
+  options.socket_path = unique_socket();
+  options.jobs = 1;
+  DaemonHarness harness(options);
+  ASSERT_TRUE(harness.start_status().is_ok());
+
+  // Occupy the single worker: the blocker's range pass hangs until its own
+  // per-request deadline cancels it (~2.5 s window).
+  FaultGuard guard;
+  ASSERT_TRUE(support::faultinject::arm("pass.range:1:hang@PrioBlocker"));
+  json::Value blocker_response, n1, n2, high;
+  std::thread blocker_thread([&] {
+    blocker_response = harness.compile(
+        blocker, dir + "/b", {{"timeout-per-model", "2500"}});
+  });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long active, long long) { return active == 1; }));
+
+  // Enqueue normal, normal, high — strictly in that order.
+  std::thread n1_thread([&] { n1 = harness.compile(model, dir + "/n1"); });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long, long long queued) { return queued == 1; }));
+  std::thread n2_thread([&] { n2 = harness.compile(model, dir + "/n2"); });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long, long long queued) { return queued == 2; }));
+  std::thread high_thread([&] {
+    high = harness.compile(model, dir + "/hi", {{"priority", "high"}});
+  });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long, long long queued) { return queued == 3; }));
+
+  blocker_thread.join();
+  n1_thread.join();
+  n2_thread.join();
+  high_thread.join();
+
+  // The blocker timed out (that was the point); everyone else compiled.
+  EXPECT_EQ(string_field(blocker_response, "outcome"), "timeout");
+  EXPECT_EQ(number_field(n1, "exit_code"), 0);
+  EXPECT_EQ(number_field(n2, "exit_code"), 0);
+  EXPECT_EQ(number_field(high, "exit_code"), 0);
+  // Service order: high first, then the normals in FIFO order.
+  EXPECT_LT(number_field(high, "served_seq"), number_field(n1, "served_seq"));
+  EXPECT_LT(number_field(n1, "served_seq"), number_field(n2, "served_seq"));
+  EXPECT_EQ(harness.shutdown(), 0);
+}
+
+TEST(DaemonE2E, FullQueueRejectsWithE920Backpressure) {
+  const std::string dir = unique_dir("busy");
+  const std::string blocker = write_model(dir, "BusyBlocker", 64);
+  const std::string model = write_model(dir, "Busy", 64);
+  daemon::DaemonOptions options;
+  options.socket_path = unique_socket();
+  options.jobs = 1;
+  options.queue_limit = 1;
+  DaemonHarness harness(options);
+  ASSERT_TRUE(harness.start_status().is_ok());
+
+  FaultGuard guard;
+  ASSERT_TRUE(support::faultinject::arm("pass.range:1:hang@BusyBlocker"));
+  json::Value blocker_response, queued_response;
+  std::thread blocker_thread([&] {
+    blocker_response = harness.compile(
+        blocker, dir + "/b", {{"timeout-per-model", "2500"}});
+  });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long active, long long) { return active == 1; }));
+  std::thread queued_thread(
+      [&] { queued_response = harness.compile(model, dir + "/q"); });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long, long long queued) { return queued == 1; }));
+
+  // Queue full: the daemon must answer NOW with a structured E920, not
+  // block the client behind the hung worker.
+  const auto reject_started = std::chrono::steady_clock::now();
+  const json::Value rejected = harness.compile(model, dir + "/r");
+  const auto reject_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - reject_started)
+                             .count();
+  EXPECT_LT(reject_us, 1500 * 1000) << "rejection waited on the queue";
+  const json::Value* ok = rejected.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->boolean);
+  EXPECT_EQ(number_field(rejected, "exit_code"), 2);
+  const json::Value* error = rejected.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(string_field(*error, "code"), diag::codes::kDaemonBusy);
+
+  blocker_thread.join();
+  queued_thread.join();
+  EXPECT_EQ(number_field(queued_response, "exit_code"), 0);
+  EXPECT_EQ(harness.shutdown(), 0);
+}
+
+TEST(DaemonE2E, ShutdownDrainsQueuedWorkWithoutPartialOutputs) {
+  const std::string dir = unique_dir("drain");
+  const std::string blocker = write_model(dir, "DrainBlocker", 64);
+  const std::string model = write_model(dir, "Drain", 64);
+  daemon::DaemonOptions options;
+  options.socket_path = unique_socket();
+  options.jobs = 1;
+  DaemonHarness harness(options);
+  ASSERT_TRUE(harness.start_status().is_ok());
+
+  FaultGuard guard;
+  ASSERT_TRUE(support::faultinject::arm("pass.range:1:hang@DrainBlocker"));
+  json::Value blocker_response, queued_response;
+  std::thread blocker_thread([&] {
+    blocker_response = harness.compile(
+        blocker, dir + "/b", {{"timeout-per-model", "1500"}});
+  });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long active, long long) { return active == 1; }));
+  std::thread queued_thread(
+      [&] { queued_response = harness.compile(model, dir + "/q"); });
+  ASSERT_TRUE(harness.wait_health(
+      [](long long, long long queued) { return queued == 1; }));
+
+  // Shutdown with one request in flight and one queued: both must finish.
+  EXPECT_EQ(harness.shutdown(), 0);
+  blocker_thread.join();
+  queued_thread.join();
+  EXPECT_EQ(string_field(blocker_response, "outcome"), "timeout");
+  EXPECT_EQ(number_field(queued_response, "exit_code"), 0);
+  // The queued request's outputs are complete, not torn.
+  auto source = zip::read_file(dir + "/q/Drain.c");
+  ASSERT_TRUE(source.is_ok());
+  EXPECT_NE(source.value().find("void Drain_step"), std::string::npos);
+  // The socket is gone; a late client gets a connection error, not a hang.
+  EXPECT_FALSE(fs::exists(options.socket_path));
+  daemon::Request late;
+  late.id = 1;
+  late.verb = "health";
+  EXPECT_FALSE(
+      daemon::roundtrip(options.socket_path, daemon::encode_request(late))
+          .is_ok());
+}
+
+TEST(DaemonE2E, MetricsVerbServesPrometheusAndSnapshot) {
+  const std::string dir = unique_dir("metrics");
+  const std::string model = write_model(dir, "Met", 64);
+  daemon::DaemonOptions options;
+  options.socket_path = unique_socket();
+  DaemonHarness harness(options);
+  ASSERT_TRUE(harness.start_status().is_ok());
+
+  harness.compile(model, dir + "/out");
+  daemon::Request request;
+  request.id = 9;
+  request.verb = "metrics";
+  auto response = harness.send(request);
+  ASSERT_TRUE(response.is_ok()) << response.status().message();
+  const json::Value parsed = parse_response(response.value());
+  const std::string prometheus = string_field(parsed, "prometheus");
+  EXPECT_NE(prometheus.find("frodo_daemon_requests_total{verb=\"compile\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("frodo_compiles_total"), std::string::npos);
+  const json::Value* snapshot = parsed.find("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(string_field(*snapshot, "schema"), "frodo.metrics/1");
+  EXPECT_EQ(harness.shutdown(), 0);
+}
+
+TEST(DaemonE2E, StartRejectsLiveSocketAndReplacesStaleOne) {
+  daemon::DaemonOptions options;
+  options.socket_path = unique_socket();
+  // A stale regular file (crashed daemon) is replaced...
+  std::ofstream(options.socket_path) << "";
+  DaemonHarness harness(options);
+  ASSERT_TRUE(harness.start_status().is_ok())
+      << harness.start_status().message();
+  // ...but a live daemon on the same path blocks a second one.
+  daemon::Daemon second(options);
+  const Status status = second.start();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("already serving"), std::string::npos);
+  EXPECT_EQ(harness.shutdown(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The frodod binary
+
+TEST(FrododBinary, SigtermDrainsAndExitsZero) {
+  const std::string dir = unique_dir("sigterm");
+  const std::string model = write_model(dir, "Term", 64);
+  const std::string socket = unique_socket();
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Quiet the child's lifecycle chatter.
+    std::freopen("/dev/null", "w", stderr);
+    ::execl(FRODOD_PATH, "frodod", "--socket", socket.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  // Wait for the daemon to come up, serve one compile, then SIGTERM it.
+  daemon::Request health;
+  health.id = 1;
+  health.verb = "health";
+  bool up = false;
+  for (int i = 0; i < 500 && !up; ++i) {
+    up = daemon::roundtrip(socket, daemon::encode_request(health)).is_ok();
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(up) << "frodod did not come up on " << socket;
+
+  daemon::Request compile;
+  compile.id = 2;
+  compile.verb = "compile";
+  compile.model = model;
+  std::string error;
+  ASSERT_EQ(daemon::set_option(compile.options, "out", dir + "/out", &error),
+            OptionStatus::kHandled);
+  auto response = daemon::roundtrip(socket, daemon::encode_request(compile));
+  ASSERT_TRUE(response.is_ok()) << response.status().message();
+  EXPECT_EQ(number_field(parse_response(response.value()), "exit_code"), 0);
+  EXPECT_TRUE(fs::exists(dir + "/out/Term.c"));
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  EXPECT_FALSE(fs::exists(socket)) << "socket not unlinked on drain";
+}
+
+}  // namespace
+}  // namespace frodo

@@ -1,0 +1,173 @@
+#!/bin/sh
+# frodod lifecycle smoke (docs/DAEMON.md): start the daemon, drive 20
+# mixed-priority compile requests from 4 concurrent frodoc --connect
+# clients, scrape the metrics verb and validate the exposition with
+# bench/metrics_schema_check.py, verify the event ledger and warm-cache
+# behavior, then shut down cleanly via SIGTERM (exit 0, socket unlinked).
+# A second short pass runs with FRODO_FAULT armed to prove a failing
+# request stays contained to its own response.
+#
+# Usage: tests/run_daemon_smoke.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+frodoc="$build_dir/src/cli/frodoc"
+frodod="$build_dir/src/cli/frodod"
+
+for bin in "$frodoc" "$frodod"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_daemon_smoke.sh: $bin not built" >&2
+    exit 2
+  fi
+done
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/frodo_daemon_smoke.XXXXXX")
+sock="$work/d.sock"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Five small models with real optimizer candidates; each client compiles
+# every model once, so identical requests repeat across clients and must
+# all come back byte-identical and (after the first) cache-warm.
+corpus="$work/models"
+mkdir -p "$corpus"
+for i in 1 2 3 4 5; do
+  dims=$((128 * i))
+  end=$((dims / 2 - 1))
+  cat > "$corpus/smoke$i.xml" <<EOF
+<?xml version="1.0" encoding="UTF-8"?>
+<Model Name="Smoke$i">
+  <Block Name="in" Type="Inport"><P Name="Port">1</P><P Name="Dims">$dims</P></Block>
+  <Block Name="g1" Type="Gain"><P Name="Gain">2.0</P></Block>
+  <Block Name="g2" Type="Gain"><P Name="Gain">0.5</P></Block>
+  <Block Name="sel" Type="Selector"><P Name="Start">0</P><P Name="End">$end</P></Block>
+  <Block Name="out" Type="Outport"><P Name="Port">1</P></Block>
+  <Line><Src Block="in" Port="1"/><Dst Block="g1" Port="1"/></Line>
+  <Line><Src Block="g1" Port="1"/><Dst Block="g2" Port="1"/></Line>
+  <Line><Src Block="g2" Port="1"/><Dst Block="sel" Port="1"/></Line>
+  <Line><Src Block="sel" Port="1"/><Dst Block="out" Port="1"/></Line>
+</Model>
+EOF
+done
+
+echo "== start frodod =="
+"$frodod" --socket "$sock" --jobs 2 --cache-dir "$work/cache" \
+    --events-out "$work/events.jsonl" 2> "$work/daemon.log" &
+daemon_pid=$!
+
+for _ in $(seq 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+"$frodoc" --connect "$sock" --daemon-verb health > /dev/null
+
+echo "== 20 mixed-priority requests from 4 concurrent clients =="
+client_pids=""
+for client in 1 2 3 4; do
+  (
+    for i in 1 2 3 4 5; do
+      prio="normal"
+      [ $(((client + i) % 2)) -eq 0 ] && prio="high"
+      "$frodoc" --connect "$sock" "$corpus/smoke$i.xml" \
+          --out "$work/out_c$client" --priority "$prio" \
+          > "$work/client${client}_$i.log" 2>&1 \
+          || echo "client $client model $i FAILED" >> "$work/failures"
+    done
+  ) &
+  client_pids="$client_pids $!"
+done
+# Wait on the clients only — a bare `wait` would also wait on the daemon.
+for pid in $client_pids; do
+  wait "$pid" || true
+done
+if [ -f "$work/failures" ]; then
+  echo "FAIL: some requests failed:" >&2
+  cat "$work/failures" >&2
+  cat "$work"/client*_*.log >&2
+  exit 1
+fi
+
+# All four clients must have received byte-identical code.
+for i in 1 2 3 4 5; do
+  for client in 2 3 4; do
+    if ! cmp -s "$work/out_c1/Smoke$i.c" "$work/out_c$client/Smoke$i.c"; then
+      echo "FAIL: Smoke$i.c differs between clients 1 and $client" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "== metrics scrape =="
+"$frodoc" --connect "$sock" --daemon-verb metrics > "$work/metrics.prom"
+python3 "$repo_root/bench/metrics_schema_check.py" --prom "$work/metrics.prom"
+for family in frodo_daemon_requests_total frodo_daemon_compiles_total \
+              frodo_daemon_queue_depth frodo_compiles_total; do
+  if ! grep -q "^$family" "$work/metrics.prom"; then
+    echo "FAIL: metrics exposition lacks $family" >&2
+    exit 1
+  fi
+done
+if ! grep -q 'frodo_daemon_compiles_total{outcome="ok",priority="high"}' \
+    "$work/metrics.prom"; then
+  echo "FAIL: no high-priority compiles recorded" >&2
+  exit 1
+fi
+
+echo "== event ledger =="
+events=$(wc -l < "$work/events.jsonl")
+if [ "$events" -ne 20 ]; then
+  echo "FAIL: expected 20 ledger events, found $events" >&2
+  exit 1
+fi
+# 5 distinct models, 20 requests: 15 of them must have been cache-warm.
+hits=$(grep -c '"cache": "hit"' "$work/events.jsonl" || true)
+if [ "$hits" -ne 15 ]; then
+  echo "FAIL: expected 15 warm requests in the ledger, found $hits" >&2
+  exit 1
+fi
+
+echo "== fault-injection pass =="
+# An injected range-pass failure must come back as that request's own
+# structured error response; the daemon keeps serving afterwards.
+kill "$daemon_pid" && wait "$daemon_pid" || true
+FRODO_FAULT="pass.range:1:fail" "$frodod" --socket "$sock" --jobs 2 \
+    2>> "$work/daemon.log" &
+daemon_pid=$!
+for _ in $(seq 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+if "$frodoc" --connect "$sock" "$corpus/smoke1.xml" --out "$work/fault_out" \
+    > "$work/fault.log" 2>&1; then
+  echo "FAIL: fault-armed compile unexpectedly succeeded" >&2
+  exit 1
+fi
+"$frodoc" --connect "$sock" "$corpus/smoke2.xml" --out "$work/fault_out" \
+    > /dev/null
+if ! cmp -s "$work/fault_out/Smoke2.c" "$work/out_c1/Smoke2.c"; then
+  echo "FAIL: post-fault compile differs from the healthy run" >&2
+  exit 1
+fi
+
+echo "== SIGTERM drain =="
+kill -TERM "$daemon_pid"
+drain_rc=0
+wait "$daemon_pid" || drain_rc=$?
+daemon_pid=""
+if [ "$drain_rc" -ne 0 ]; then
+  echo "FAIL: frodod exited $drain_rc on SIGTERM (want 0)" >&2
+  cat "$work/daemon.log" >&2
+  exit 1
+fi
+if [ -e "$sock" ]; then
+  echo "FAIL: socket not unlinked after drain" >&2
+  exit 1
+fi
+
+echo "run_daemon_smoke.sh: OK (20/20 requests served byte-identically,"
+echo "15 warm, metrics schema valid, fault contained, clean drain)"
